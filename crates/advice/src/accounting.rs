@@ -1,0 +1,73 @@
+//! Advice-size accounting.
+//!
+//! The `(m, t)` of an advising scheme is exactly what the experiments
+//! tabulate: `m` comes from [`AdviceStats`] (maximum and average advice size
+//! in bits), `t` from the simulator's [`lma_sim::RunStats`].
+
+use crate::scheme::Advice;
+
+/// Size statistics of one advice assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdviceStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Total advice bits over all nodes.
+    pub total_bits: usize,
+    /// The largest advice string, in bits (the paper's `m`).
+    pub max_bits: usize,
+    /// Average advice size, in bits per node.
+    pub avg_bits: f64,
+    /// Number of nodes with empty advice.
+    pub empty_nodes: usize,
+}
+
+impl AdviceStats {
+    /// Computes statistics for an advice assignment.
+    #[must_use]
+    pub fn from_advice(advice: &Advice) -> Self {
+        let nodes = advice.per_node.len();
+        let total_bits: usize = advice.per_node.iter().map(crate::bits::BitString::len).sum();
+        let max_bits = advice.per_node.iter().map(crate::bits::BitString::len).max().unwrap_or(0);
+        let empty_nodes = advice.per_node.iter().filter(|s| s.is_empty()).count();
+        let avg_bits = if nodes == 0 { 0.0 } else { total_bits as f64 / nodes as f64 };
+        Self {
+            nodes,
+            total_bits,
+            max_bits,
+            avg_bits,
+            empty_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitString;
+
+    #[test]
+    fn stats_from_mixed_advice() {
+        let advice = Advice {
+            per_node: vec![
+                BitString::from_bits([true, false, true]),
+                BitString::new(),
+                BitString::from_bits([false]),
+            ],
+        };
+        let stats = AdviceStats::from_advice(&advice);
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.total_bits, 4);
+        assert_eq!(stats.max_bits, 3);
+        assert_eq!(stats.empty_nodes, 1);
+        assert!((stats.avg_bits - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_assignment() {
+        let advice = Advice { per_node: vec![] };
+        let stats = AdviceStats::from_advice(&advice);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.max_bits, 0);
+        assert_eq!(stats.avg_bits, 0.0);
+    }
+}

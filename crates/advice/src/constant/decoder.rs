@@ -1,0 +1,451 @@
+//! The Theorem 3 distributed decoder (the paper's Process `A`).
+//!
+//! Every node runs the same program, driven purely by the global round
+//! schedule (computable from `n`), its advice string, and the messages it
+//! receives:
+//!
+//! * during a phase's **convergecast window** every non-root node repeatedly
+//!   sends its current structured report (own unconsumed advice bits +
+//!   ordered child reports) to its fragment-tree parent;
+//! * at the end of the window each fragment **root** reassembles `A(F)` from
+//!   the first bits of the BFS-ordered report, decides whether its fragment
+//!   is active (it can count the fragment's size from the report), and
+//!   answers with a **map** telling every node how many bits were consumed
+//!   and telling the choosing node what edge to select;
+//! * in the **notify round** a choosing node whose selected edge is *down*
+//!   sends the 1-bit "I am your parent" message across it (step 7 of the
+//!   paper's algorithm); an *up* selection makes the choosing node (the
+//!   fragment root) record its own parent port (step 6);
+//! * the **final phase** collects the per-node final bits of the first
+//!   `⌈log n⌉` BFS positions of each remaining fragment so its root can
+//!   decode the rank of its parent edge (steps 8–9).
+
+use super::messages::{ChooserPayload, ConstMsg, MapEntry, Report};
+use super::schedule::{PhaseWindow, Schedule};
+use super::ConstantVariant;
+use crate::bits::BitString;
+use lma_graph::Port;
+use lma_mst::verify::UpwardOutput;
+use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox};
+use std::collections::HashMap;
+
+/// The per-node program of the constant-advice scheme.
+pub struct ConstantDecoder {
+    variant: ConstantVariant,
+    schedule: Schedule,
+    /// Advice prefix holding the packed phase strings (everything except the
+    /// trailing final segment).
+    phase_bits: Vec<bool>,
+    /// The trailing final-phase segment: exactly one bit in the paper's
+    /// Theorem 3 scheme, and `⌈log n / 2^P⌉` bits in the tradeoff scheme
+    /// that stops the packed phases after phase `P` (see
+    /// [`crate::tradeoff`]).
+    final_bits: Vec<bool>,
+    /// How many BFS positions of each remaining fragment the final
+    /// collection must gather (`⌈log n / |final_bits|⌉`).
+    final_limit: usize,
+    /// Idealized per-phase fragment levels (paper-literal level variant
+    /// only; empty for the index variant).  `my_levels[i - 1]` is this node's
+    /// fragment level at phase `i`.
+    my_levels: Vec<u8>,
+
+    // --- dynamic state ---
+    cons: usize,
+    parent_port: Option<Port>,
+    child_reports: HashMap<Port, Report>,
+    pending_map: Option<Vec<MapEntry>>,
+    map_child_ports: Vec<Port>,
+    chooser: Option<ChooserPayload>,
+    neighbor_levels: HashMap<Port, u8>,
+    final_child_reports: HashMap<Port, Report>,
+    output: Option<UpwardOutput>,
+}
+
+impl ConstantDecoder {
+    /// Creates the program for one node (the paper's setting: the advice
+    /// ends in a single final-phase bit).
+    #[must_use]
+    pub fn new(
+        variant: ConstantVariant,
+        schedule: Schedule,
+        advice: &BitString,
+        my_levels: Vec<u8>,
+    ) -> Self {
+        Self::with_final_width(variant, schedule, advice, my_levels, 1)
+    }
+
+    /// Creates the program for one node whose advice ends in a final-phase
+    /// segment of `final_width` bits (the tradeoff scheme's generalization;
+    /// `final_width = 1` is the paper's Theorem 3).
+    #[must_use]
+    pub fn with_final_width(
+        variant: ConstantVariant,
+        schedule: Schedule,
+        advice: &BitString,
+        my_levels: Vec<u8>,
+        final_width: usize,
+    ) -> Self {
+        let all: Vec<bool> = advice.iter().collect();
+        let width = final_width.max(1).min(all.len());
+        let split = all.len() - width;
+        let (phase_bits, final_bits) = (all[..split].to_vec(), all[split..].to_vec());
+        let l = super::schedule::log_n(schedule.n);
+        let final_limit = l.div_ceil(final_width.max(1)).max(1);
+        Self {
+            variant,
+            schedule,
+            phase_bits,
+            final_bits,
+            final_limit,
+            my_levels,
+            cons: 0,
+            parent_port: None,
+            child_reports: HashMap::new(),
+            pending_map: None,
+            map_child_ports: Vec::new(),
+            chooser: None,
+            neighbor_levels: HashMap::new(),
+            final_child_reports: HashMap::new(),
+            output: None,
+        }
+    }
+
+    /// This node's still-unconsumed phase-advice bits.
+    fn unconsumed(&self) -> Vec<bool> {
+        self.phase_bits[self.cons.min(self.phase_bits.len())..].to_vec()
+    }
+
+    /// Child ports ordered by `(weight, port)` — the order the paper's BFS
+    /// uses, shared by reports and maps.
+    fn ordered_child_ports(&self, view: &LocalView, reports: &HashMap<Port, Report>) -> Vec<Port> {
+        let mut ports: Vec<Port> = reports.keys().copied().collect();
+        ports.sort_by_key(|&p| (view.weight_at(p), p));
+        ports
+    }
+
+    /// Builds this node's current report for the main phases.
+    fn build_report(&self, view: &LocalView, limit: usize) -> Report {
+        let children = self
+            .ordered_child_ports(view, &self.child_reports)
+            .into_iter()
+            .map(|p| self.child_reports[&p].clone())
+            .collect();
+        Report { bits: self.unconsumed(), children }.truncate_bfs(limit.max(1))
+    }
+
+    /// Builds this node's current report for the final phase.
+    fn build_final_report(&self, view: &LocalView, limit: usize) -> Report {
+        let children = self
+            .ordered_child_ports(view, &self.final_child_reports)
+            .into_iter()
+            .map(|p| self.final_child_reports[&p].clone())
+            .collect();
+        Report { bits: self.final_bits.clone(), children }.truncate_bfs(limit.max(1))
+    }
+
+    /// Resolves the local rank `r` (1-based, in `(weight, port)` order) to a
+    /// port.
+    fn port_of_rank(view: &LocalView, rank: usize) -> Option<Port> {
+        view.ports_by_weight().get(rank.checked_sub(1)?).copied()
+    }
+
+    /// The fragment root's work at the end of a convergecast window:
+    /// reassemble `A(F)`, decide activity, and prepare the downward map.
+    fn root_assemble(&mut self, view: &LocalView, window: &PhaseWindow) {
+        let i = window.phase;
+        let threshold = 1usize << i.min(60);
+        let report = self.build_report(view, threshold);
+        let count = report.node_count();
+        if count >= threshold || count == view.n {
+            // Passive fragment (or the whole graph): nothing to decode.
+            return;
+        }
+        let needed = super::encoder::fragment_string_len(self.variant, i);
+        let bits = report.bfs_bits();
+        if bits.len() < needed {
+            return; // corrupted advice; verification will flag the outputs
+        }
+        let a_f = &bits[..needed];
+        let up = a_f[0];
+        let (j, payload) = match self.variant {
+            ConstantVariant::Level => {
+                let target_level = u8::from(a_f[1]);
+                let j = 1 + bits_to_uint(&a_f[2..2 + i]);
+                (j, ChooserPayload::Level { up, target_level })
+            }
+            ConstantVariant::Index => {
+                let j = 1 + bits_to_uint(&a_f[1..1 + i]);
+                let rank = 1 + bits_to_uint(&a_f[1 + i..1 + 2 * i]);
+                (j, ChooserPayload::Index { up, rank: rank as usize })
+            }
+        };
+        // Greedy consumption along the BFS order.
+        let lengths = report.bfs_lengths();
+        let mut consume = vec![0usize; count];
+        let mut remaining = needed;
+        for (k, &len) in lengths.iter().enumerate() {
+            let take = len.min(remaining);
+            consume[k] = take;
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+        }
+        // Build the map tree with the same shape as the report.
+        let map = build_map(&report, &consume, j as usize, &payload, &mut 0);
+        // Apply the root's own entry.
+        self.cons = (self.cons + map.consume).min(self.phase_bits.len());
+        if map.chooser.is_some() {
+            self.chooser = map.chooser;
+        }
+        self.map_child_ports = self.ordered_child_ports(view, &self.child_reports);
+        self.pending_map = Some(map.children);
+    }
+
+    /// Applies a map entry received from the parent.
+    fn apply_map(&mut self, view: &LocalView, entry: MapEntry) {
+        self.cons = (self.cons + entry.consume).min(self.phase_bits.len());
+        if entry.chooser.is_some() {
+            self.chooser = entry.chooser;
+        }
+        self.map_child_ports = self.ordered_child_ports(view, &self.child_reports);
+        self.pending_map = Some(entry.children);
+    }
+
+    /// The choosing node's action, producing the optional notify message.
+    fn resolve_chooser(&mut self, view: &LocalView) -> Option<(Port, ConstMsg)> {
+        let payload = self.chooser.take()?;
+        let (up, port) = match payload {
+            ChooserPayload::Index { up, rank } => (up, Self::port_of_rank(view, rank)?),
+            ChooserPayload::Level { up, target_level } => {
+                let port = (0..view.degree())
+                    .filter(|p| self.neighbor_levels.get(p) == Some(&target_level))
+                    .min_by_key(|&p| (view.weight_at(p), p))?;
+                (up, port)
+            }
+        };
+        if up {
+            if self.parent_port.is_none() {
+                self.parent_port = Some(port);
+            }
+            None
+        } else {
+            Some((port, ConstMsg::Parent))
+        }
+    }
+
+    /// Handles everything delivered in round `r`.
+    fn process(&mut self, view: &LocalView, r: usize, inbox: &Inbox<ConstMsg>) {
+        if let Some(window) = self.schedule.phase_of_round(r).copied() {
+            for (port, msg) in inbox {
+                match msg {
+                    ConstMsg::Level(l) if Some(r) == window.level_round => {
+                        self.neighbor_levels.insert(*port, *l);
+                    }
+                    ConstMsg::Report(rep)
+                        if (window.converge_start..=window.converge_end).contains(&r) =>
+                    {
+                        self.child_reports.insert(*port, rep.clone());
+                    }
+                    ConstMsg::Map(entry)
+                        if (window.broadcast_start..=window.broadcast_end).contains(&r)
+                            && Some(*port) == self.parent_port =>
+                    {
+                        self.apply_map(view, entry.clone());
+                    }
+                    ConstMsg::Parent if r == window.notify_round
+                        && self.parent_port.is_none() => {
+                            self.parent_port = Some(*port);
+                        }
+                    _ => {}
+                }
+            }
+            if r == window.converge_end && self.parent_port.is_none() {
+                self.root_assemble(view, &window);
+            }
+        } else if self.schedule.is_final_round(r) {
+            for (port, msg) in inbox {
+                if let ConstMsg::Report(rep) = msg {
+                    self.final_child_reports.insert(*port, rep.clone());
+                }
+            }
+        }
+    }
+
+    /// Produces the messages to send in round `next`.
+    fn emit(&mut self, view: &LocalView, next: usize) -> Outbox<ConstMsg> {
+        let mut outbox = Vec::new();
+        if let Some(window) = self.schedule.phase_of_round(next).copied() {
+            let phase_start = window.level_round.unwrap_or(window.converge_start);
+            if next == phase_start {
+                // A new phase begins: reset the per-phase state.
+                self.child_reports.clear();
+                self.neighbor_levels.clear();
+                self.pending_map = None;
+                self.map_child_ports.clear();
+                self.chooser = None;
+            }
+            if Some(next) == window.level_round {
+                let level = self.my_levels.get(window.phase - 1).copied().unwrap_or(0);
+                for p in 0..view.degree() {
+                    outbox.push((p, ConstMsg::Level(level)));
+                }
+            }
+            if (window.converge_start..=window.converge_end).contains(&next) {
+                if let Some(parent) = self.parent_port {
+                    let limit = 1usize << window.phase.min(60);
+                    outbox.push((parent, ConstMsg::Report(self.build_report(view, limit))));
+                }
+            }
+            if (window.broadcast_start..=window.broadcast_end).contains(&next) {
+                if let Some(entries) = self.pending_map.take() {
+                    for (entry, port) in entries.into_iter().zip(self.map_child_ports.iter()) {
+                        outbox.push((*port, ConstMsg::Map(entry)));
+                    }
+                }
+            }
+            if next == window.notify_round {
+                if let Some((port, msg)) = self.resolve_chooser(view) {
+                    outbox.push((port, msg));
+                }
+            }
+        } else if self.schedule.is_final_round(next) {
+            if let Some(parent) = self.parent_port {
+                let limit = self.final_limit;
+                outbox.push((parent, ConstMsg::Report(self.build_final_report(view, limit))));
+            }
+        }
+        outbox
+    }
+
+    /// Computes the node's final output after the last round.
+    fn finalize(&mut self, view: &LocalView) {
+        let out = if let Some(port) = self.parent_port {
+            UpwardOutput::Parent(port)
+        } else {
+            let l = super::schedule::log_n(view.n);
+            let report = self.build_final_report(view, self.final_limit);
+            let bits = report.bfs_bits();
+            let take = bits.len().min(l);
+            let value = bits_to_uint(&bits[..take]);
+            if value == 0 {
+                UpwardOutput::Root
+            } else {
+                match Self::port_of_rank(view, value as usize) {
+                    Some(p) => UpwardOutput::Parent(p),
+                    None => UpwardOutput::Root,
+                }
+            }
+        };
+        self.output = Some(out);
+    }
+}
+
+/// Interprets a big-endian bit slice as an unsigned integer.
+fn bits_to_uint(bits: &[bool]) -> u64 {
+    bits.iter().fold(0u64, |acc, &b| (acc << 1) | u64::from(b))
+}
+
+/// Builds the map tree parallel to a report tree.  `bfs_counter` tracks the
+/// BFS position assigned so far; `consume` is indexed by BFS position.
+fn build_map(
+    report: &Report,
+    consume: &[usize],
+    chooser_pos: usize,
+    payload: &ChooserPayload,
+    _unused: &mut usize,
+) -> MapEntry {
+    // Assign BFS positions to report nodes, then build the map recursively
+    // (shape-preserving, so children stay aligned with ports).
+    let order = report.bfs_order();
+    let mut positions: HashMap<*const Report, usize> = HashMap::new();
+    for (k, node) in order.iter().enumerate() {
+        positions.insert(std::ptr::from_ref::<Report>(node), k);
+    }
+    fn build(
+        node: &Report,
+        positions: &HashMap<*const Report, usize>,
+        consume: &[usize],
+        chooser_pos: usize,
+        payload: &ChooserPayload,
+    ) -> MapEntry {
+        let pos = positions[&std::ptr::from_ref::<Report>(node)];
+        MapEntry {
+            consume: consume.get(pos).copied().unwrap_or(0),
+            chooser: (pos + 1 == chooser_pos).then_some(*payload),
+            children: node
+                .children
+                .iter()
+                .map(|c| build(c, positions, consume, chooser_pos, payload))
+                .collect(),
+        }
+    }
+    build(report, &positions, consume, chooser_pos, payload)
+}
+
+impl NodeAlgorithm for ConstantDecoder {
+    type Msg = ConstMsg;
+    type Output = UpwardOutput;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<ConstMsg> {
+        if self.schedule.total_rounds() == 0 {
+            self.finalize(view);
+            return Vec::new();
+        }
+        self.emit(view, 1)
+    }
+
+    fn round(&mut self, view: &LocalView, round: usize, inbox: &Inbox<ConstMsg>) -> Outbox<ConstMsg> {
+        self.process(view, round, inbox);
+        if round >= self.schedule.total_rounds() {
+            self.finalize(view);
+            return Vec::new();
+        }
+        self.emit(view, round + 1)
+    }
+
+    fn is_done(&self) -> bool {
+        self.output.is_some()
+    }
+
+    fn output(&self) -> Option<UpwardOutput> {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_to_uint_works() {
+        assert_eq!(bits_to_uint(&[]), 0);
+        assert_eq!(bits_to_uint(&[true]), 1);
+        assert_eq!(bits_to_uint(&[true, false, true]), 5);
+        assert_eq!(bits_to_uint(&[false, false, true, true]), 3);
+    }
+
+    #[test]
+    fn build_map_marks_the_right_bfs_position() {
+        // Report: root with two children, second child has one child.
+        let report = Report {
+            bits: vec![true, true],
+            children: vec![
+                Report::leaf(vec![false]),
+                Report { bits: vec![true], children: vec![Report::leaf(vec![false, false])] },
+            ],
+        };
+        let consume = vec![2, 1, 0, 0];
+        let payload = ChooserPayload::Index { up: true, rank: 3 };
+        let map = build_map(&report, &consume, 3, &payload, &mut 0);
+        assert_eq!(map.consume, 2);
+        assert!(map.chooser.is_none());
+        assert_eq!(map.children.len(), 2);
+        assert_eq!(map.children[0].consume, 1);
+        assert!(map.children[0].chooser.is_none());
+        // BFS position 3 is the second child of the root.
+        assert!(map.children[1].chooser.is_some());
+        assert_eq!(map.children[1].children.len(), 1);
+        assert!(map.children[1].children[0].chooser.is_none());
+    }
+}

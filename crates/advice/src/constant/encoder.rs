@@ -1,0 +1,266 @@
+//! The Theorem 3 oracle: building the constant-size advice strings.
+//!
+//! For every phase `i = 1 … ⌈log log n⌉` and every active fragment `F` with a
+//! selection, the oracle builds the fragment string `A(F)` and *packs* it
+//! into the advice of `F`'s nodes, walking the fragment's BFS order and
+//! filling each node up to the per-node capacity `c` (the paper's
+//! `used(v, i)` procedure).  The final phase then writes, for every fragment
+//! of phase `⌈log log n⌉ + 1`, the identity of the fragment root's parent
+//! edge (its local rank, `⌈log n⌉` bits, `0` meaning "I am the MST root"),
+//! one bit per node along the fragment's BFS order; every other node receives
+//! a padding `0` bit so that the final bit always sits at a known position
+//! (the last bit of the advice).
+
+use crate::bits::BitString;
+use crate::constant::schedule::{log_log_n, log_n};
+use crate::constant::ConstantVariant;
+use crate::scheme::{Advice, SchemeError};
+use lma_graph::{index, WeightedGraph};
+use lma_mst::decomposition::BoruvkaRun;
+
+/// The per-node capacity `c` used for packing the phase strings.
+///
+/// * Level variant: the paper's `c = 11` (a phase-`i` string has `i + 2`
+///   bits; `Σ (i+2)/2^{i−1} = 8`, and `(11 − 8)·2^{i−1} ≥ i + 2` for all
+///   `i ≥ 1`).
+/// * Index variant: `c = 13` (a phase-`i` string has `2i + 1` bits;
+///   `Σ (2i+1)/2^{i−1} = 10`, and `(13 − 10)·2^{i−1} ≥ 2i + 1` for all
+///   `i ≥ 1`).
+#[must_use]
+pub fn capacity(variant: ConstantVariant) -> usize {
+    match variant {
+        ConstantVariant::Level => 11,
+        ConstantVariant::Index => 13,
+    }
+}
+
+/// Builds the fragment string `A(F)` for one selection at phase `i`.
+pub(crate) fn fragment_string(
+    g: &WeightedGraph,
+    variant: ConstantVariant,
+    phase: usize,
+    frag: &lma_mst::FragmentRecord,
+    sel: &lma_mst::Selection,
+) -> Result<BitString, SchemeError> {
+    let i = phase;
+    let j = sel.bfs_position;
+    if j > frag.size() || j > (1usize << i.min(60)) {
+        return Err(SchemeError::Encoding(format!(
+            "phase {i}: choosing-node position {j} does not fit in {i} bits"
+        )));
+    }
+    let mut s = BitString::new();
+    s.push(sel.up);
+    match variant {
+        ConstantVariant::Level => {
+            // The level stored is the level of the fragment on the *other*
+            // side of the selected edge (see DESIGN.md, deviation D2/G1):
+            // fragments adjacent in the fragment tree have opposite parity.
+            let target = 1 - frag.level;
+            s.push(target == 1);
+            s.push_uint((j - 1) as u64, i);
+        }
+        ConstantVariant::Index => {
+            let port = g.port_of_edge(sel.choosing_node, sel.edge);
+            let rank = index::rank_of(g, sel.choosing_node, port);
+            if rank > frag.size() || rank > (1usize << i.min(60)) {
+                return Err(SchemeError::Encoding(format!(
+                    "phase {i}: selected-edge rank {rank} exceeds the Lemma 2 bound for a \
+                     fragment of size {}",
+                    frag.size()
+                )));
+            }
+            s.push_uint((j - 1) as u64, i);
+            s.push_uint((rank - 1) as u64, i);
+        }
+    }
+    Ok(s)
+}
+
+/// The length in bits of `A(F)` at phase `i` for the given variant — this is
+/// what the decoder's fragment root expects to reassemble.
+#[must_use]
+pub fn fragment_string_len(variant: ConstantVariant, phase: usize) -> usize {
+    match variant {
+        ConstantVariant::Level => phase + 2,
+        ConstantVariant::Index => 2 * phase + 1,
+    }
+}
+
+/// Runs the full oracle: phase packing plus the final-phase bit.
+pub fn encode(
+    g: &WeightedGraph,
+    run: &BoruvkaRun,
+    variant: ConstantVariant,
+) -> Result<Advice, SchemeError> {
+    encode_with_capacity(g, run, variant, capacity(variant))
+}
+
+/// Like [`encode`], but with an explicit per-node packing capacity `c`
+/// (used by the A1 ablation to find the smallest capacity that still packs).
+pub fn encode_with_capacity(
+    g: &WeightedGraph,
+    run: &BoruvkaRun,
+    variant: ConstantVariant,
+    c: usize,
+) -> Result<Advice, SchemeError> {
+    let n = g.node_count();
+    let k = log_log_n(n);
+    let l = log_n(n);
+
+    let mut phase_advice = vec![BitString::new(); n];
+
+    // Phases 1..=K: pack A(F) along each active fragment's BFS order.
+    for i in 1..=k {
+        let rec = run.phase(i);
+        for frag in &rec.fragments {
+            let Some(sel) = &frag.selection else { continue };
+            let a_f = fragment_string(g, variant, i, frag, sel)?;
+            debug_assert_eq!(a_f.len(), fragment_string_len(variant, i));
+            let mut remaining: Vec<bool> = a_f.iter().collect();
+            remaining.reverse(); // pop() yields bits in order
+            for &v in &frag.bfs_order {
+                while phase_advice[v].len() < c {
+                    match remaining.pop() {
+                        Some(bit) => phase_advice[v].push(bit),
+                        None => break,
+                    }
+                }
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+            if !remaining.is_empty() {
+                return Err(SchemeError::Encoding(format!(
+                    "phase {i}: could not pack {} leftover bits of A(F) into a fragment of size \
+                     {} with capacity {c}",
+                    remaining.len(),
+                    frag.size()
+                )));
+            }
+        }
+    }
+
+    // Final phase: one bit per node (padded with 0 for nodes outside the
+    // first ⌈log n⌉ BFS positions of their fragment).
+    let mut final_bit = vec![false; n];
+    let rec = run.phase(k + 1);
+    for frag in &rec.fragments {
+        let value: u64 = if frag.root == run.root {
+            0
+        } else {
+            let port = run.tree.parent_port[frag.root]
+                .expect("non-root fragment roots have a parent in the MST");
+            index::rank_of(g, frag.root, port) as u64
+        };
+        if value >= (1u64 << l.min(63)) {
+            return Err(SchemeError::Encoding(format!(
+                "final phase: parent-edge rank {value} does not fit in {l} bits"
+            )));
+        }
+        if frag.size() < l && frag.root != run.root {
+            return Err(SchemeError::Encoding(format!(
+                "final phase: fragment of size {} cannot hold {l} bits one per node",
+                frag.size()
+            )));
+        }
+        let mut bits = BitString::new();
+        bits.push_uint(value, l);
+        for (pos, &node) in frag.bfs_order.iter().take(l).enumerate() {
+            final_bit[node] = bits.get(pos).unwrap_or(false);
+        }
+    }
+
+    // Assemble: phase advice followed by the single final bit.
+    let per_node = (0..n)
+        .map(|u| {
+            let mut s = phase_advice[u].clone();
+            s.push(final_bit[u]);
+            debug_assert!(s.len() <= c + 1);
+            s
+        })
+        .collect();
+    Ok(Advice { per_node })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{complete, connected_random, grid, path, ring, star};
+    use lma_graph::weights::WeightStrategy;
+    use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
+
+    fn encode_for(g: &WeightedGraph, variant: ConstantVariant) -> Advice {
+        let run = run_boruvka(g, &BoruvkaConfig::default()).unwrap();
+        encode(g, &run, variant).unwrap()
+    }
+
+    #[test]
+    fn capacity_constants() {
+        assert_eq!(capacity(ConstantVariant::Level), 11);
+        assert_eq!(capacity(ConstantVariant::Index), 13);
+        assert_eq!(fragment_string_len(ConstantVariant::Level, 3), 5);
+        assert_eq!(fragment_string_len(ConstantVariant::Index, 3), 7);
+    }
+
+    #[test]
+    fn max_advice_is_constant_for_both_variants() {
+        for n in [16usize, 64, 256, 600] {
+            let g = connected_random(n, 3 * n, 3, WeightStrategy::DistinctRandom { seed: 3 });
+            for variant in [ConstantVariant::Index, ConstantVariant::Level] {
+                let advice = encode_for(&g, variant);
+                let stats = advice.stats();
+                assert!(
+                    stats.max_bits <= capacity(variant) + 1,
+                    "n={n} variant={variant:?}: max {} exceeds {}",
+                    stats.max_bits,
+                    capacity(variant) + 1
+                );
+                // Every node carries at least the final bit.
+                assert_eq!(stats.empty_nodes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn max_advice_does_not_grow_with_n() {
+        let small = encode_for(
+            &connected_random(32, 100, 1, WeightStrategy::DistinctRandom { seed: 1 }),
+            ConstantVariant::Index,
+        )
+        .stats()
+        .max_bits;
+        let large = encode_for(
+            &connected_random(1024, 3000, 1, WeightStrategy::DistinctRandom { seed: 1 }),
+            ConstantVariant::Index,
+        )
+        .stats()
+        .max_bits;
+        assert!(large <= capacity(ConstantVariant::Index) + 1);
+        assert!(small <= capacity(ConstantVariant::Index) + 1);
+    }
+
+    #[test]
+    fn every_family_encodes() {
+        for g in [
+            path(20, WeightStrategy::DistinctRandom { seed: 1 }),
+            ring(21, WeightStrategy::DistinctRandom { seed: 2 }),
+            star(22, WeightStrategy::DistinctRandom { seed: 3 }),
+            grid(5, 5, WeightStrategy::DistinctRandom { seed: 4 }),
+            complete(16, WeightStrategy::DistinctRandom { seed: 5 }),
+        ] {
+            for variant in [ConstantVariant::Index, ConstantVariant::Level] {
+                let advice = encode_for(&g, variant);
+                assert_eq!(advice.per_node.len(), g.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_encode() {
+        let g = path(2, WeightStrategy::Unit);
+        let advice = encode_for(&g, ConstantVariant::Index);
+        // With n = 2 there are no packing phases, only the final bit.
+        assert!(advice.per_node.iter().all(|s| s.len() == 1));
+    }
+}

@@ -1,0 +1,314 @@
+//! Message types of the Theorem 3 decoder.
+//!
+//! The decoding process of Theorem 3 communicates inside fragment trees:
+//!
+//! * **convergecast**: every node repeatedly forwards to its fragment-tree
+//!   parent a [`Report`] — its own unconsumed advice bits plus the (ordered)
+//!   reports of its children — so that after `d` rounds the fragment root
+//!   holds the full structure of the fragment up to depth `d`;
+//! * **broadcast**: the root answers with a [`MapEntry`] tree of the same
+//!   shape, telling every node how many of its advice bits were consumed and
+//!   telling the choosing node what it must do;
+//! * a 1-bit [`ConstMsg::Parent`] notification implements the paper's
+//!   "down" case (step 7 of Process `A`);
+//! * the paper-literal level variant adds a 1-round [`ConstMsg::Level`]
+//!   exchange (see the module docs of [`crate::constant`] for the
+//!   idealization involved).
+//!
+//! All messages implement [`BitSized`]: a report costs about 2 structure bits
+//! per node plus its payload bits, so for an active fragment at phase `i`
+//! (size `< 2^i ≤ log n`) messages stay within `O(c · log n)` bits, matching
+//! the paper's CONGEST claim.
+
+use lma_sim::message::{bits_for_value, BitSized};
+
+/// A structured convergecast report: one node's unconsumed advice bits plus
+/// the reports of its fragment-tree children, ordered by the `(weight, port)`
+/// of the child edges (the same order the paper's BFS uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The reporting node's payload bits (unconsumed advice bits during the
+    /// main phases; the single final-phase bit during the last phase).
+    pub bits: Vec<bool>,
+    /// Ordered child reports.
+    pub children: Vec<Report>,
+}
+
+impl Report {
+    /// A leaf report carrying only this node's bits.
+    #[must_use]
+    pub fn leaf(bits: Vec<bool>) -> Self {
+        Self { bits, children: Vec::new() }
+    }
+
+    /// Total number of nodes represented in the report.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(Report::node_count).sum::<usize>()
+    }
+
+    /// The BFS order of the report's nodes (indices into a preorder walk are
+    /// not needed — we return references in BFS order).
+    #[must_use]
+    pub fn bfs_order(&self) -> Vec<&Report> {
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self);
+        while let Some(node) = queue.pop_front() {
+            order.push(node);
+            for child in &node.children {
+                queue.push_back(child);
+            }
+        }
+        order
+    }
+
+    /// Concatenation of all payload bits in BFS order.
+    #[must_use]
+    pub fn bfs_bits(&self) -> Vec<bool> {
+        self.bfs_order().iter().flat_map(|r| r.bits.iter().copied()).collect()
+    }
+
+    /// Per-node payload lengths in BFS order.
+    #[must_use]
+    pub fn bfs_lengths(&self) -> Vec<usize> {
+        self.bfs_order().iter().map(|r| r.bits.len()).collect()
+    }
+
+    /// Returns a copy truncated to the first `limit` nodes of the BFS order.
+    /// Because a node's parent always precedes it in BFS order, the result is
+    /// a well-formed tree, and the relative BFS order of the surviving nodes
+    /// is unchanged.
+    #[must_use]
+    pub fn truncate_bfs(&self, limit: usize) -> Report {
+        assert!(limit >= 1, "cannot truncate a report to zero nodes");
+        if self.node_count() <= limit {
+            return self.clone();
+        }
+        truncate_exact(self, limit)
+    }
+}
+
+/// Exact BFS truncation: keep the first `limit` BFS nodes.
+fn truncate_exact(root: &Report, limit: usize) -> Report {
+    // First, list nodes in BFS order with their parent's BFS index.
+    let mut order: Vec<(&Report, Option<usize>)> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back((root, None));
+    while let Some((node, parent)) = queue.pop_front() {
+        let my_index = order.len();
+        order.push((node, parent));
+        for child in &node.children {
+            queue.push_back((child, Some(my_index)));
+        }
+    }
+    let keep = limit.min(order.len());
+    // Rebuild the first `keep` nodes.
+    let mut rebuilt: Vec<Report> = order[..keep]
+        .iter()
+        .map(|(node, _)| Report { bits: node.bits.clone(), children: Vec::new() })
+        .collect();
+    // Attach children to parents, deepest first so we can move them out.
+    for idx in (1..keep).rev() {
+        let parent = order[idx].1.expect("non-root BFS nodes have parents");
+        let child = std::mem::replace(&mut rebuilt[idx], Report::leaf(Vec::new()));
+        rebuilt[parent].children.insert(0, child);
+    }
+    // Children were inserted in reverse, so restore the original order.
+    fn reverse_children(r: &mut Report) {
+        // Insertion at index 0 in reverse iteration order already restores the
+        // original order, so nothing to do; kept for clarity.
+        for c in &mut r.children {
+            reverse_children(c);
+        }
+    }
+    let mut result = rebuilt.swap_remove(0);
+    reverse_children(&mut result);
+    result
+}
+
+impl BitSized for Report {
+    fn bit_size(&self) -> usize {
+        // Two structure bits per node (balanced-parentheses shape encoding)
+        // plus a small length header and the payload bits themselves.
+        self.bfs_order()
+            .iter()
+            .map(|r| 2 + bits_for_value(r.bits.len() as u64) + r.bits.len())
+            .sum()
+    }
+}
+
+/// What the choosing node must do, as decoded by the fragment root from
+/// `A(F)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChooserPayload {
+    /// Index variant: the selected edge is the one with this local
+    /// `(weight, port)` rank; `up` tells whether it leads to the chooser's
+    /// parent.
+    Index {
+        /// Orientation of the selected edge at the chooser.
+        up: bool,
+        /// 1-based rank of the selected edge in the chooser's local
+        /// `(weight, port)` order.
+        rank: usize,
+    },
+    /// Level variant: select the minimum-weight incident edge whose other
+    /// endpoint lies in a fragment of this level.
+    Level {
+        /// Orientation of the selected edge at the chooser.
+        up: bool,
+        /// Level of the fragment on the far side of the selected edge.
+        target_level: u8,
+    },
+}
+
+impl BitSized for ChooserPayload {
+    fn bit_size(&self) -> usize {
+        match self {
+            ChooserPayload::Index { rank, .. } => 1 + bits_for_value(*rank as u64),
+            ChooserPayload::Level { .. } => 2,
+        }
+    }
+}
+
+/// The broadcast counterpart of [`Report`]: for every node of the fragment
+/// (same shape, same child order), how many of its unconsumed bits the root
+/// consumed, and — for exactly one node — the chooser payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapEntry {
+    /// Number of this node's unconsumed advice bits that were consumed by the
+    /// root when reassembling `A(F)`.
+    pub consume: usize,
+    /// Present iff this node is the fragment's choosing node for this phase.
+    pub chooser: Option<ChooserPayload>,
+    /// Entries for the node's children, in the same order as the report's
+    /// children.
+    pub children: Vec<MapEntry>,
+}
+
+impl MapEntry {
+    /// An entry with no consumption, no chooser and no children.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { consume: 0, chooser: None, children: Vec::new() }
+    }
+
+    /// Total number of entries in the tree.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(MapEntry::node_count).sum::<usize>()
+    }
+}
+
+impl BitSized for MapEntry {
+    fn bit_size(&self) -> usize {
+        2 + bits_for_value(self.consume as u64)
+            + 1
+            + self.chooser.as_ref().map_or(0, BitSized::bit_size)
+            + self.children.iter().map(BitSized::bit_size).sum::<usize>()
+    }
+}
+
+/// The messages exchanged by the Theorem 3 decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstMsg {
+    /// Convergecast report (child → parent).
+    Report(Report),
+    /// Broadcast consumption/chooser map (parent → child).
+    Map(MapEntry),
+    /// "I am your parent" (the down case of step 7).
+    Parent,
+    /// Current fragment level (paper-literal level variant only).
+    Level(u8),
+}
+
+impl BitSized for ConstMsg {
+    fn bit_size(&self) -> usize {
+        2 + match self {
+            ConstMsg::Report(r) => r.bit_size(),
+            ConstMsg::Map(m) => m.bit_size(),
+            ConstMsg::Parent => 0,
+            ConstMsg::Level(_) => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        // Root with bits [1], children A (bits [0,1]) and B (bits []),
+        // A has child C (bits [1,1,1]).
+        Report {
+            bits: vec![true],
+            children: vec![
+                Report {
+                    bits: vec![false, true],
+                    children: vec![Report::leaf(vec![true, true, true])],
+                },
+                Report::leaf(vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn bfs_order_and_bits() {
+        let r = sample_report();
+        assert_eq!(r.node_count(), 4);
+        let lengths = r.bfs_lengths();
+        assert_eq!(lengths, vec![1, 2, 0, 3]);
+        assert_eq!(
+            r.bfs_bits(),
+            vec![true, false, true, true, true, true]
+        );
+    }
+
+    #[test]
+    fn truncation_keeps_bfs_prefix() {
+        let r = sample_report();
+        let t = r.truncate_bfs(3);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.bfs_lengths(), vec![1, 2, 0]);
+        // Truncating to at least the full size is the identity.
+        assert_eq!(r.truncate_bfs(10), r);
+        // Truncating to one node keeps only the root.
+        assert_eq!(r.truncate_bfs(1).node_count(), 1);
+    }
+
+    #[test]
+    fn truncation_on_deep_chain() {
+        // A chain of 6 nodes.
+        let mut chain = Report::leaf(vec![true]);
+        for k in 0..5 {
+            chain = Report { bits: vec![k % 2 == 0], children: vec![chain] };
+        }
+        assert_eq!(chain.node_count(), 6);
+        let t = chain.truncate_bfs(4);
+        assert_eq!(t.node_count(), 4);
+        // BFS order of a chain is the chain itself.
+        assert_eq!(t.bfs_lengths(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn bit_sizes_are_positive_and_monotone() {
+        let r = sample_report();
+        let small = Report::leaf(vec![true]);
+        assert!(r.bit_size() > small.bit_size());
+        let msg = ConstMsg::Report(r);
+        assert!(msg.bit_size() > 2);
+        assert_eq!(ConstMsg::Parent.bit_size(), 2);
+        assert_eq!(ConstMsg::Level(1).bit_size(), 3);
+    }
+
+    #[test]
+    fn map_entry_counts_and_size() {
+        let m = MapEntry {
+            consume: 3,
+            chooser: Some(ChooserPayload::Index { up: true, rank: 5 }),
+            children: vec![MapEntry::empty(), MapEntry::empty()],
+        };
+        assert_eq!(m.node_count(), 3);
+        assert!(m.bit_size() > MapEntry::empty().bit_size());
+    }
+}

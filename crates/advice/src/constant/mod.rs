@@ -1,0 +1,324 @@
+//! Theorem 3: the (O(1), O(log n))-advising scheme — constant **maximum**
+//! advice, logarithmically many rounds.
+//!
+//! The oracle replays ⌈log log n⌉ phases of the paper's Borůvka variant and
+//! packs, for every active fragment, a short string `A(F)` over the
+//! fragment's nodes (at most [`encoder::capacity`] bits per node), plus one
+//! final bit per node that encodes — spread over each remaining fragment —
+//! the identity of the fragment root's MST parent edge.  The decoder (the
+//! paper's Process `A`) reconstructs each `A(F)` by a convergecast inside the
+//! fragment, lets the choosing node pick the fragment's outgoing edge, and
+//! finishes after `O(log n)` rounds in total.
+//!
+//! Two variants are provided (see `DESIGN.md`, deviation D2 and gap G1):
+//!
+//! * [`ConstantVariant::Index`] (default): `A(F)` carries the *local rank* of
+//!   the selected edge at the choosing node (as in Theorem 2), so the
+//!   decoder needs no information about neighbouring fragments whatsoever.
+//!   Max advice: 14 bits (capacity 13 + the final bit), independent of `n`.
+//! * [`ConstantVariant::Level`] (paper-literal): `A(F)` carries the paper's
+//!   up/level bits and the choosing node selects its cheapest edge towards a
+//!   fragment of the advertised level, reproducing the paper's 12-bit
+//!   maximum.  Determining the *neighbour's* current level is not possible
+//!   from the published advice for nodes in passive fragments, so this
+//!   variant runs with an explicit idealization: the decoder is handed the
+//!   ground-truth per-phase level of its own fragment (one extra
+//!   level-exchange round per phase then makes neighbours' levels known).
+//!   The idealized bits are **not** counted as advice; the variant exists to
+//!   reproduce the paper's exact accounting and to quantify the gap.
+
+pub mod decoder;
+pub mod encoder;
+pub mod messages;
+pub mod schedule;
+
+use crate::bits::BitString;
+use crate::scheme::{Advice, AdvisingScheme, DecodeOutcome, SchemeError};
+use decoder::ConstantDecoder;
+use lma_graph::WeightedGraph;
+use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
+use lma_sim::{RunConfig, Runtime};
+use schedule::{Schedule, ScheduleVariant};
+
+/// Which decoder/encoder variant of Theorem 3 to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConstantVariant {
+    /// Self-contained index-based variant (slightly larger constant, no
+    /// idealization).
+    #[default]
+    Index,
+    /// Paper-literal level-based variant (12-bit maximum, idealized
+    /// neighbour-level knowledge).
+    Level,
+}
+
+impl ConstantVariant {
+    fn schedule_variant(self) -> ScheduleVariant {
+        match self {
+            ConstantVariant::Index => ScheduleVariant::Index,
+            ConstantVariant::Level => ScheduleVariant::Level,
+        }
+    }
+
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ConstantVariant::Index => "index",
+            ConstantVariant::Level => "level",
+        }
+    }
+}
+
+/// The (O(1), O(log n))-advising scheme of Theorem 3.
+#[derive(Debug, Clone, Default)]
+pub struct ConstantScheme {
+    /// Which variant to run.
+    pub variant: ConstantVariant,
+    /// Configuration of the oracle's Borůvka run.
+    pub boruvka: BoruvkaConfig,
+}
+
+impl ConstantScheme {
+    /// The default (index) variant rooted at a specific node.
+    #[must_use]
+    pub fn rooted_at(root: usize) -> Self {
+        Self {
+            variant: ConstantVariant::Index,
+            boruvka: BoruvkaConfig { root: Some(root), ..BoruvkaConfig::default() },
+        }
+    }
+
+    /// The paper-literal level variant.
+    #[must_use]
+    pub fn paper_literal() -> Self {
+        Self { variant: ConstantVariant::Level, ..Self::default() }
+    }
+
+    /// The round schedule the decoder follows on an `n`-node graph.
+    #[must_use]
+    pub fn schedule_for(&self, n: usize) -> Schedule {
+        Schedule::for_n(n, self.variant.schedule_variant())
+    }
+}
+
+impl AdvisingScheme for ConstantScheme {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            ConstantVariant::Index => "theorem3-constant-advice-index",
+            ConstantVariant::Level => "theorem3-constant-advice-level",
+        }
+    }
+
+    fn claimed_max_bits(&self, _n: usize) -> Option<usize> {
+        Some(encoder::capacity(self.variant) + 1)
+    }
+
+    fn claimed_rounds(&self, n: usize) -> Option<usize> {
+        Some(self.schedule_for(n).total_rounds())
+    }
+
+    fn advise(&self, g: &WeightedGraph) -> Result<Advice, SchemeError> {
+        let run = run_boruvka(g, &self.boruvka)?;
+        encoder::encode(g, &run, self.variant)
+    }
+
+    fn decode(
+        &self,
+        g: &WeightedGraph,
+        advice: &Advice,
+        config: &RunConfig,
+    ) -> Result<DecodeOutcome, SchemeError> {
+        let n = g.node_count();
+        let schedule = self.schedule_for(n);
+        // The paper-literal level variant needs every node to know its own
+        // fragment's level at every phase; this cannot be reconstructed from
+        // the published advice (gap G1 in DESIGN.md), so it is injected here
+        // as idealized ground truth from a fresh oracle run.
+        let levels: Vec<Vec<u8>> = match self.variant {
+            ConstantVariant::Index => vec![Vec::new(); n],
+            ConstantVariant::Level => {
+                let run = run_boruvka(g, &self.boruvka)?;
+                let k = schedule::log_log_n(n);
+                (0..n)
+                    .map(|u| (1..=k).map(|i| run.phase(i).fragment_containing(u).level).collect())
+                    .collect()
+            }
+        };
+        let runtime = Runtime::with_config(g, *config);
+        let programs: Vec<ConstantDecoder> = g
+            .nodes()
+            .map(|u| {
+                ConstantDecoder::new(
+                    self.variant,
+                    schedule.clone(),
+                    advice.per_node.get(u).unwrap_or(&BitString::new()),
+                    levels[u].clone(),
+                )
+            })
+            .collect();
+        let result = runtime.run(programs)?;
+        Ok(DecodeOutcome { outputs: result.outputs, stats: result.stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::evaluate_scheme;
+    use lma_graph::generators::{
+        caterpillar, complete, connected_random, dumbbell, grid, lollipop, path, ring, star, torus,
+    };
+    use lma_graph::weights::WeightStrategy;
+    use lma_sim::Model;
+
+    fn eval_with(
+        g: &WeightedGraph,
+        variant: ConstantVariant,
+    ) -> crate::scheme::SchemeEvaluation {
+        let scheme = ConstantScheme { variant, ..ConstantScheme::default() };
+        let eval = evaluate_scheme(&scheme, g, &RunConfig::default())
+            .unwrap_or_else(|e| panic!("variant {variant:?} failed: {e}"));
+        assert!(
+            eval.within_claims(&scheme, g.node_count()),
+            "claims violated for {variant:?}: advice {:?}, rounds {} (claimed {:?})",
+            eval.advice,
+            eval.run.rounds,
+            scheme.claimed_rounds(g.node_count())
+        );
+        eval
+    }
+
+    #[test]
+    fn index_variant_on_every_family() {
+        for g in [
+            path(33, WeightStrategy::DistinctRandom { seed: 1 }),
+            ring(40, WeightStrategy::DistinctRandom { seed: 2 }),
+            star(48, WeightStrategy::DistinctRandom { seed: 3 }),
+            grid(6, 7, WeightStrategy::DistinctRandom { seed: 4 }),
+            complete(24, WeightStrategy::DistinctRandom { seed: 5 }),
+            lollipop(30, WeightStrategy::DistinctRandom { seed: 6 }),
+            dumbbell(27, WeightStrategy::DistinctRandom { seed: 7 }),
+            torus(5, 5, WeightStrategy::DistinctRandom { seed: 8 }),
+            caterpillar(8, 3, WeightStrategy::DistinctRandom { seed: 9 }),
+        ] {
+            let e = eval_with(&g, ConstantVariant::Index);
+            assert!(e.advice.max_bits <= 14);
+        }
+    }
+
+    #[test]
+    fn level_variant_on_several_families() {
+        for g in [
+            path(33, WeightStrategy::DistinctRandom { seed: 11 }),
+            grid(6, 6, WeightStrategy::DistinctRandom { seed: 12 }),
+            complete(20, WeightStrategy::DistinctRandom { seed: 13 }),
+            connected_random(60, 180, 14, WeightStrategy::DistinctRandom { seed: 14 }),
+        ] {
+            let e = eval_with(&g, ConstantVariant::Level);
+            // The paper's Theorem 3 constant: at most 12 bits per node.
+            assert!(
+                e.advice.max_bits <= 12,
+                "level variant must reproduce the paper's 12-bit bound, got {}",
+                e.advice.max_bits
+            );
+        }
+    }
+
+    #[test]
+    fn random_graphs_across_sizes() {
+        for n in [8usize, 16, 33, 64, 130, 256] {
+            let g = connected_random(n, 3 * n, n as u64, WeightStrategy::DistinctRandom { seed: n as u64 });
+            let e = eval_with(&g, ConstantVariant::Index);
+            assert!(e.advice.max_bits <= 14, "n={n}");
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_not_linear() {
+        // The headline claim: rounds grow like log n (vs. Θ(n)-ish for the
+        // no-advice baselines on the same graphs).
+        let mut rounds = Vec::new();
+        for n in [64usize, 256, 1024] {
+            let g = connected_random(n, 3 * n, 21, WeightStrategy::DistinctRandom { seed: 21 });
+            let e = eval_with(&g, ConstantVariant::Index);
+            rounds.push((n, e.run.rounds));
+            assert!(
+                e.run.rounds <= Schedule::nine_log_n(n) + 3 * schedule::log_log_n(n) + 8,
+                "n={n}: {} rounds",
+                e.run.rounds
+            );
+        }
+        // Growing n by 16x should far less than 16x the rounds.
+        let (n0, r0) = rounds[0];
+        let (n1, r1) = rounds[2];
+        assert!(n1 / n0 == 16 && r1 < 4 * r0, "rounds {rounds:?} not logarithmic");
+    }
+
+    #[test]
+    fn congest_messages_stay_polylogarithmic() {
+        let n = 256;
+        let g = connected_random(n, 1024, 31, WeightStrategy::DistinctRandom { seed: 31 });
+        let scheme = ConstantScheme::default();
+        let config = RunConfig { model: Model::Congest { bits: 4096 }, ..RunConfig::default() };
+        let advice = scheme.advise(&g).unwrap();
+        let outcome = scheme.decode(&g, &advice, &config).unwrap();
+        lma_mst::verify::verify_upward_outputs(&g, &outcome.outputs).unwrap();
+        // Messages are structured reports of at most O(log n) entries of a
+        // few bits each; assert a generous polylog bound.
+        let logn = schedule::log_n(n);
+        assert!(
+            outcome.stats.max_message_bits <= 40 * logn * logn,
+            "max message {} bits",
+            outcome.stats.max_message_bits
+        );
+    }
+
+    #[test]
+    fn duplicate_weights_handled_when_tie_break_succeeds() {
+        let g = connected_random(48, 120, 9, WeightStrategy::UniformRandom { seed: 9, max: 200 });
+        // With a wide weight range duplicates are rare; the paper tie-break
+        // almost surely applies.  If it ever reports a cycle the test would
+        // surface it as an error rather than a wrong tree.
+        let e = eval_with(&g, ConstantVariant::Index);
+        assert!(e.advice.max_bits <= 14);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        for n in [2usize, 3, 4, 5] {
+            let g = path(n, WeightStrategy::DistinctRandom { seed: 2 });
+            let e = eval_with(&g, ConstantVariant::Index);
+            assert!(e.advice.max_bits <= 14);
+        }
+    }
+
+    #[test]
+    fn respects_requested_root() {
+        let g = grid(5, 5, WeightStrategy::DistinctRandom { seed: 41 });
+        let scheme = ConstantScheme::rooted_at(12);
+        let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        assert_eq!(e.tree.root, 12);
+    }
+
+    #[test]
+    fn decoded_tree_matches_the_oracles_tree() {
+        let g = connected_random(90, 270, 55, WeightStrategy::DistinctRandom { seed: 55 });
+        let scheme = ConstantScheme::default();
+        let run = run_boruvka(&g, &scheme.boruvka).unwrap();
+        let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let mut a = e.tree.edges.clone();
+        let mut b = run.mst_edges.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "decoder must reconstruct exactly the oracle's MST");
+        assert_eq!(e.tree.root, run.root);
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(ConstantVariant::Index.label(), "index");
+        assert_eq!(ConstantVariant::Level.label(), "level");
+        assert_eq!(ConstantScheme::paper_literal().variant, ConstantVariant::Level);
+    }
+}

@@ -1,0 +1,231 @@
+//! The global round schedule of the Theorem 3 decoder.
+//!
+//! The paper's round analysis pads every phase to its worst case: phase `i`
+//! needs one convergecast and one broadcast over fragment trees of size (and
+//! hence depth) `< 2^i`, and the final phase needs `⌈log n⌉` rounds to
+//! collect the `⌈log n⌉` final bits.  Because `n` is common knowledge, every
+//! node computes the same schedule and the whole network stays synchronized
+//! without any extra coordination, exactly as in the paper's accounting
+//! (`Σ_i 2^{i+1} + ⌈log n⌉ ≤ 9⌈log n⌉`).
+//!
+//! The schedule below adds a constant number of bookkeeping rounds per phase
+//! (the explicit notify round and, for the paper-literal level variant, a
+//! level-exchange round), so the total is `9⌈log n⌉ + O(log log n)`; the
+//! experiments report the measured count next to the paper's `9⌈log n⌉`.
+
+use lma_graph::graph::ceil_log2;
+
+/// Which decoder variant the schedule serves (the level variant has one extra
+/// round per phase for the level exchange).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleVariant {
+    /// Index variant (default).
+    Index,
+    /// Paper-literal level variant.
+    Level,
+}
+
+/// `⌈log₂ n⌉` — the paper's `⌈log n⌉`.
+#[must_use]
+pub fn log_n(n: usize) -> usize {
+    ceil_log2(n.max(2)) as usize
+}
+
+/// `⌈log₂ log₂ n⌉` — the number of Borůvka phases the scheme encodes.
+#[must_use]
+pub fn log_log_n(n: usize) -> usize {
+    ceil_log2(log_n(n).max(1)) as usize
+}
+
+/// The window of rounds assigned to one Borůvka phase of the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseWindow {
+    /// 1-based phase number `i`.
+    pub phase: usize,
+    /// Round in which the level exchange happens (level variant only).
+    pub level_round: Option<usize>,
+    /// First round of the convergecast window.
+    pub converge_start: usize,
+    /// Last round of the convergecast window (`converge_start + 2^i − 1`).
+    pub converge_end: usize,
+    /// First round of the broadcast window.
+    pub broadcast_start: usize,
+    /// Last round of the broadcast window.
+    pub broadcast_end: usize,
+    /// The round in which the choosing node's "I am your parent" message is
+    /// delivered.
+    pub notify_round: usize,
+}
+
+impl PhaseWindow {
+    /// True when round `r` lies anywhere inside this phase's window.
+    #[must_use]
+    pub fn contains(&self, r: usize) -> bool {
+        let start = self.level_round.unwrap_or(self.converge_start);
+        (start..=self.notify_round).contains(&r)
+    }
+}
+
+/// The complete, deterministic round schedule of one decoding run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Number of nodes the schedule was computed for.
+    pub n: usize,
+    /// Phase windows for phases `1..=⌈log log n⌉`.
+    pub phases: Vec<PhaseWindow>,
+    /// First round of the final-phase convergecast.
+    pub final_start: usize,
+    /// Last round of the final-phase convergecast; the run terminates after
+    /// processing this round.
+    pub final_end: usize,
+}
+
+impl Schedule {
+    /// Computes the schedule for an `n`-node network (the paper's setting:
+    /// `⌈log log n⌉` packed phases followed by a `⌈log n⌉`-round final
+    /// collection).
+    #[must_use]
+    pub fn for_n(n: usize, variant: ScheduleVariant) -> Self {
+        Self::custom(n, log_log_n(n), log_n(n), variant)
+    }
+
+    /// Computes a schedule with an explicit number of packed Borůvka phases
+    /// and an explicit final-collection window length.  This is what the
+    /// advice-vs-time tradeoff scheme ([`crate::tradeoff`]) uses: fewer
+    /// packed phases mean a shorter packed prefix but a wider per-node final
+    /// segment (and vice versa); `phase_count = ⌈log log n⌉` and
+    /// `final_len = ⌈log n⌉` recover the paper's Theorem 3 schedule.
+    #[must_use]
+    pub fn custom(n: usize, phase_count: usize, final_len: usize, variant: ScheduleVariant) -> Self {
+        let k = phase_count;
+        let l = final_len;
+        let mut phases = Vec::with_capacity(k);
+        let mut next = 0usize; // last assigned round
+        for i in 1..=k {
+            let span = 1usize << i.min(40);
+            let level_round = match variant {
+                ScheduleVariant::Index => None,
+                ScheduleVariant::Level => {
+                    next += 1;
+                    Some(next)
+                }
+            };
+            let converge_start = next + 1;
+            let converge_end = next + span;
+            let broadcast_start = converge_end + 1;
+            let broadcast_end = converge_end + span;
+            let notify_round = broadcast_end + 1;
+            next = notify_round;
+            phases.push(PhaseWindow {
+                phase: i,
+                level_round,
+                converge_start,
+                converge_end,
+                broadcast_start,
+                broadcast_end,
+                notify_round,
+            });
+        }
+        let final_start = next + 1;
+        let final_end = next + l;
+        Self { n, phases, final_start, final_end }
+    }
+
+    /// Total number of rounds the decoder uses (it terminates right after the
+    /// final convergecast).
+    #[must_use]
+    pub fn total_rounds(&self) -> usize {
+        self.final_end
+    }
+
+    /// The paper's headline bound `9⌈log n⌉`, for comparison in the
+    /// experiment tables.
+    #[must_use]
+    pub fn nine_log_n(n: usize) -> usize {
+        9 * log_n(n)
+    }
+
+    /// The phase window containing round `r`, if any.
+    #[must_use]
+    pub fn phase_of_round(&self, r: usize) -> Option<&PhaseWindow> {
+        self.phases.iter().find(|w| w.contains(r))
+    }
+
+    /// True when round `r` is part of the final-phase convergecast.
+    #[must_use]
+    pub fn is_final_round(&self, r: usize) -> bool {
+        (self.final_start..=self.final_end).contains(&r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(log_n(2), 1);
+        assert_eq!(log_n(1024), 10);
+        assert_eq!(log_n(1000), 10);
+        assert_eq!(log_log_n(2), 0);
+        assert_eq!(log_log_n(16), 2);
+        assert_eq!(log_log_n(1024), 4);
+        assert_eq!(log_log_n(1 << 20), 5);
+    }
+
+    #[test]
+    fn windows_are_contiguous_and_disjoint() {
+        for n in [2usize, 5, 16, 100, 1024, 1 << 15] {
+            for variant in [ScheduleVariant::Index, ScheduleVariant::Level] {
+                let s = Schedule::for_n(n, variant);
+                let mut expected_next = 1usize;
+                for w in &s.phases {
+                    let start = w.level_round.unwrap_or(w.converge_start);
+                    assert_eq!(start, expected_next, "n={n}");
+                    assert_eq!(w.converge_end - w.converge_start + 1, 1 << w.phase);
+                    assert_eq!(w.broadcast_end - w.broadcast_start + 1, 1 << w.phase);
+                    assert_eq!(w.broadcast_start, w.converge_end + 1);
+                    assert_eq!(w.notify_round, w.broadcast_end + 1);
+                    expected_next = w.notify_round + 1;
+                }
+                assert_eq!(s.final_start, expected_next);
+                assert_eq!(s.final_end - s.final_start + 1, log_n(n));
+                assert_eq!(s.total_rounds(), s.final_end);
+            }
+        }
+    }
+
+    #[test]
+    fn total_rounds_is_o_log_n() {
+        for n in [16usize, 256, 4096, 1 << 16, 1 << 20] {
+            let s = Schedule::for_n(n, ScheduleVariant::Index);
+            let bound = Schedule::nine_log_n(n) + 3 * log_log_n(n) + 8;
+            assert!(
+                s.total_rounds() <= bound,
+                "n={n}: {} rounds exceeds {bound}",
+                s.total_rounds()
+            );
+        }
+    }
+
+    #[test]
+    fn phase_of_round_lookup() {
+        let s = Schedule::for_n(1024, ScheduleVariant::Index);
+        for w in &s.phases {
+            assert_eq!(s.phase_of_round(w.converge_start).unwrap().phase, w.phase);
+            assert_eq!(s.phase_of_round(w.notify_round).unwrap().phase, w.phase);
+        }
+        assert!(s.phase_of_round(s.final_start).is_none());
+        assert!(s.is_final_round(s.final_start));
+        assert!(s.is_final_round(s.final_end));
+        assert!(!s.is_final_round(s.final_end + 1));
+    }
+
+    #[test]
+    fn tiny_networks_have_only_the_final_phase() {
+        let s = Schedule::for_n(2, ScheduleVariant::Index);
+        assert!(s.phases.is_empty());
+        assert_eq!(s.final_start, 1);
+        assert_eq!(s.total_rounds(), 1);
+    }
+}

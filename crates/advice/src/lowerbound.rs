@@ -1,0 +1,290 @@
+//! Theorem 1: zero-round schemes need Ω(log n) bits of advice **on
+//! average**.
+//!
+//! The paper proves this on the two-clique family `G_n` of Figure 1
+//! (implemented in [`lma_graph::generators::lowerbound`]).  The reproduction
+//! makes the argument *operational* in two ways (DESIGN.md, deviation D3):
+//!
+//! 1. **Certified counting bound** ([`certified_report`]): for every spine
+//!    position `i`, [`lma_graph::generators::lowerbound::lowerbound_family_at`]
+//!    constructs `n − i` instances on which node `u_i`'s local view (its
+//!    identifier and its port → weight table) is *bit-for-bit identical*
+//!    while the port of its MST parent edge differs.  A zero-round output at
+//!    `u_i` is a deterministic function of that view and of at most `m`
+//!    advice bits, so it can take at most `2^m` values across the family —
+//!    fewer than the `n − i` required answers unless
+//!    `m ≥ ⌈log₂(n − i)⌉`.  Summing over `i` yields the paper's
+//!    `Ω(log n)` average.
+//! 2. **Concrete falsification** ([`falsify_zero_round_scheme`],
+//!    [`pigeonhole_witness`]): given any actual zero-round scheme (e.g. the
+//!    trivial scheme truncated to `m` bits, [`TruncateAdvice`]), the
+//!    adversary finds an instance of the family on which the scheme outputs
+//!    a wrong parent port, or exhibits two instances that receive identical
+//!    advice at the target yet require different answers.
+
+use crate::scheme::{Advice, AdvisingScheme, DecodeOutcome, SchemeError};
+use crate::trivial::TrivialScheme;
+use lma_graph::generators::lowerbound::{
+    certified_average_bits, lowerbound_family_at, LowerBoundFamily,
+};
+use lma_graph::graph::ceil_log2;
+use lma_graph::{NodeIdx, Port, WeightedGraph};
+use lma_mst::verify::UpwardOutput;
+use lma_sim::RunConfig;
+
+/// The certified per-node and average advice requirements on `G_n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerBoundReport {
+    /// The parameter `n` (each clique has `n` nodes, the graph `2n`).
+    pub n: usize,
+    /// For each spine position `i` in `2..n`, the certified minimum number of
+    /// advice bits any zero-round scheme needs at `u_i`.
+    pub per_node_bits: Vec<(usize, usize)>,
+    /// The certified lower bound on the **average** advice size (bits per
+    /// node) over the whole graph.
+    pub average_bits: f64,
+}
+
+/// Certified minimum advice bits at spine position `i` of `G_n`: the
+/// indistinguishable family at `u_i` has `n − i` members.
+#[must_use]
+pub fn certified_node_bits(n: usize, i: usize) -> usize {
+    assert!((2..n).contains(&i));
+    ceil_log2((n - i).max(1)) as usize
+}
+
+/// Builds the full certified report for `G_n`.
+#[must_use]
+pub fn certified_report(n: usize) -> LowerBoundReport {
+    let per_node_bits: Vec<(usize, usize)> =
+        (2..n).map(|i| (i, certified_node_bits(n, i))).collect();
+    LowerBoundReport {
+        n,
+        per_node_bits,
+        average_bits: certified_average_bits(n),
+    }
+}
+
+/// A wrapper that truncates every advice string of an inner scheme to at most
+/// `max_bits` bits — the standard way to turn an (m′, t)-scheme into an
+/// (m, t)-scheme candidate for the adversary to attack.
+#[derive(Debug, Clone)]
+pub struct TruncateAdvice<S> {
+    /// The wrapped scheme.
+    pub inner: S,
+    /// The per-node advice budget in bits.
+    pub max_bits: usize,
+}
+
+impl<S: AdvisingScheme> AdvisingScheme for TruncateAdvice<S> {
+    fn name(&self) -> &'static str {
+        "truncated-advice"
+    }
+
+    fn claimed_max_bits(&self, _n: usize) -> Option<usize> {
+        Some(self.max_bits)
+    }
+
+    fn claimed_rounds(&self, n: usize) -> Option<usize> {
+        self.inner.claimed_rounds(n)
+    }
+
+    fn advise(&self, g: &WeightedGraph) -> Result<Advice, SchemeError> {
+        let advice = self.inner.advise(g)?;
+        let per_node = advice
+            .per_node
+            .into_iter()
+            .map(|s| crate::bits::BitString::from_bits(s.iter().take(self.max_bits)))
+            .collect();
+        Ok(Advice { per_node })
+    }
+
+    fn decode(
+        &self,
+        g: &WeightedGraph,
+        advice: &Advice,
+        config: &RunConfig,
+    ) -> Result<DecodeOutcome, SchemeError> {
+        self.inner.decode(g, advice, config)
+    }
+}
+
+/// The trivial scheme truncated to `max_bits` bits per node (with the
+/// canonical tie-break, since the adversarial family has duplicate weights).
+#[must_use]
+pub fn truncated_trivial(max_bits: usize) -> TruncateAdvice<TrivialScheme> {
+    TruncateAdvice {
+        inner: TrivialScheme {
+            boruvka: lma_mst::boruvka::BoruvkaConfig {
+                root: None,
+                tie_break: lma_mst::boruvka::TieBreak::CanonicalGlobal,
+            },
+        },
+        max_bits,
+    }
+}
+
+/// A concrete counterexample: an instance of the family on which a scheme
+/// answered incorrectly at the target node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FalsificationWitness {
+    /// Index of the failing instance within the family.
+    pub instance: usize,
+    /// The target node `u_i`.
+    pub target: NodeIdx,
+    /// The port the scheme should have output at the target.
+    pub expected_port: Port,
+    /// What the scheme actually output.
+    pub produced: Option<UpwardOutput>,
+}
+
+/// Runs a zero-round scheme on every instance of an adversary family and
+/// returns a witness of failure at the target node, if any.
+///
+/// Also returns an error if the scheme uses any communication round — the
+/// adversary only applies to zero-round schemes.
+pub fn falsify_zero_round_scheme<S: AdvisingScheme>(
+    scheme: &S,
+    family: &LowerBoundFamily,
+) -> Result<Option<FalsificationWitness>, SchemeError> {
+    for (k, instance) in family.instances.iter().enumerate() {
+        let advice = scheme.advise(instance)?;
+        let outcome = scheme.decode(instance, &advice, &RunConfig::default())?;
+        if outcome.stats.rounds > 0 {
+            return Err(SchemeError::Encoding(format!(
+                "scheme {} used {} rounds; the Theorem 1 adversary applies to zero-round schemes",
+                scheme.name(),
+                outcome.stats.rounds
+            )));
+        }
+        let expected = UpwardOutput::Parent(family.correct_ports[k]);
+        let produced = outcome.outputs[family.target];
+        if produced != Some(expected) {
+            return Ok(Some(FalsificationWitness {
+                instance: k,
+                target: family.target,
+                expected_port: family.correct_ports[k],
+                produced,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Scheme-independent pigeonhole certificate: two instances of the family on
+/// which the oracle hands the target node *identical* advice although the
+/// required answers differ.  Any deterministic zero-round decoder must then
+/// fail on at least one of the two (the target's local views are identical by
+/// construction of the family).
+pub fn pigeonhole_witness<S: AdvisingScheme>(
+    scheme: &S,
+    family: &LowerBoundFamily,
+) -> Result<Option<(usize, usize)>, SchemeError> {
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for (k, instance) in family.instances.iter().enumerate() {
+        let advice = scheme.advise(instance)?;
+        let key = advice.per_node[family.target].to_bit_string();
+        if let Some(&prev) = seen.get(&key) {
+            if family.correct_ports[prev] != family.correct_ports[k] {
+                return Ok(Some((prev, k)));
+            }
+        } else {
+            seen.insert(key, k);
+        }
+    }
+    Ok(None)
+}
+
+/// Convenience: builds the family at spine position `i` and checks whether a
+/// scheme survives it (`Ok(None)`) or is falsified.
+pub fn attack_scheme_at<S: AdvisingScheme>(
+    scheme: &S,
+    n: usize,
+    i: usize,
+) -> Result<Option<FalsificationWitness>, SchemeError> {
+    let family = lowerbound_family_at(n, i);
+    falsify_zero_round_scheme(scheme, &family)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::evaluate_scheme;
+
+    #[test]
+    fn certified_report_matches_theorem_statement() {
+        let report = certified_report(64);
+        assert_eq!(report.per_node_bits.len(), 62);
+        // u_2 needs ~log2(62) bits, u_{n-1} needs 1 bit... wait (n - i) = 1
+        // gives 0 bits; the last entry is i = 63 with n - i = 1.
+        assert_eq!(report.per_node_bits[0], (2, ceil_log2(62) as usize));
+        assert_eq!(report.per_node_bits.last().unwrap().1, 0);
+        assert!(report.average_bits > 1.0);
+        // Growth with n.
+        assert!(certified_report(512).average_bits > report.average_bits + 1.0);
+    }
+
+    #[test]
+    fn full_trivial_scheme_survives_the_adversary() {
+        // With the full ⌈log n⌉ bits the trivial scheme answers every
+        // instance correctly — the adversary must not produce a witness.
+        let scheme = truncated_trivial(64);
+        let witness = attack_scheme_at(&scheme, 10, 3).unwrap();
+        assert_eq!(witness, None);
+    }
+
+    #[test]
+    fn starved_trivial_scheme_is_falsified() {
+        // With 0 bits of advice (and 0 rounds), the family at i = 2 has 8
+        // members with 8 different correct answers: failure is certain.
+        let scheme = truncated_trivial(0);
+        let witness = attack_scheme_at(&scheme, 10, 2).unwrap();
+        assert!(witness.is_some());
+        let w = witness.unwrap();
+        assert_eq!(w.target, 1); // u_2 has node index 1
+    }
+
+    #[test]
+    fn one_bit_is_not_enough_for_a_large_family() {
+        let scheme = truncated_trivial(1);
+        let witness = attack_scheme_at(&scheme, 12, 2).unwrap();
+        assert!(witness.is_some(), "1 bit cannot distinguish 10 different answers");
+    }
+
+    #[test]
+    fn pigeonhole_certificate_exists_for_small_budgets() {
+        let family = lowerbound_family_at(12, 2);
+        let starved = truncated_trivial(1);
+        let pigeon = pigeonhole_witness(&starved, &family).unwrap();
+        assert!(pigeon.is_some());
+        let (a, b) = pigeon.unwrap();
+        assert_ne!(family.correct_ports[a], family.correct_ports[b]);
+
+        // With the full budget no such pair exists.
+        let full = truncated_trivial(64);
+        assert_eq!(pigeonhole_witness(&full, &family).unwrap(), None);
+    }
+
+    #[test]
+    fn adversary_rejects_schemes_that_communicate() {
+        let family = lowerbound_family_at(8, 2);
+        let one_round = crate::one_round::OneRoundScheme::default();
+        // The one-round scheme is not a zero-round scheme; on the adversarial
+        // family (duplicate weights) its oracle may also fail with a
+        // tie-breaking cycle.  Either way, it must not be reported as
+        // "surviving the adversary".
+        if let Ok(None) = falsify_zero_round_scheme(&one_round, &family) { panic!("a communicating scheme must not pass the zero-round adversary") }
+    }
+
+    #[test]
+    fn adversarial_instances_are_solvable_with_full_advice() {
+        // Sanity: the family instances are ordinary graphs; the full trivial
+        // scheme solves them end to end.
+        let family = lowerbound_family_at(9, 4);
+        for instance in &family.instances {
+            let scheme = truncated_trivial(64);
+            let eval = evaluate_scheme(&scheme, instance, &RunConfig::default()).unwrap();
+            assert_eq!(eval.run.rounds, 0);
+        }
+    }
+}

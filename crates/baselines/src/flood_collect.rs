@@ -1,0 +1,239 @@
+//! The LOCAL-model (0, ~D)-scheme: flood the topology, compute locally.
+//!
+//! Every node repeatedly forwards everything it knows about the graph (as a
+//! set of `(id_u, id_v, weight)` edge descriptors) to all neighbours.  After
+//! ~`ecc(u)` rounds node `u` knows the entire graph, computes the canonical
+//! Kruskal MST locally, roots it at the globally smallest identifier, and
+//! outputs the port of its own parent edge.  This is the "(0, D+1)-advising
+//! scheme in the LOCAL model" the paper mentions in §1; its message sizes are
+//! Θ(m log n) bits, which is why it says nothing about the CONGEST model.
+
+use crate::NoAdviceMst;
+use lma_graph::{GraphBuilder, Port, WeightedGraph};
+use lma_mst::kruskal::kruskal_mst;
+use lma_mst::tree::RootedTree;
+use lma_mst::verify::UpwardOutput;
+use lma_sim::message::{bits_for_value, BitSized};
+use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One known edge, described by endpoint identifiers and weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EdgeFact {
+    /// Smaller endpoint identifier.
+    pub a: u64,
+    /// Larger endpoint identifier.
+    pub b: u64,
+    /// Edge weight.
+    pub w: u64,
+}
+
+impl BitSized for EdgeFact {
+    fn bit_size(&self) -> usize {
+        bits_for_value(self.a) + bits_for_value(self.b) + bits_for_value(self.w)
+    }
+}
+
+/// The message: the sender's identifier plus every edge fact it knows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knowledge {
+    /// Sender identifier (lets the receiver map ports to identifiers).
+    pub sender: u64,
+    /// All edge facts known to the sender.
+    pub facts: Vec<EdgeFact>,
+}
+
+impl BitSized for Knowledge {
+    fn bit_size(&self) -> usize {
+        bits_for_value(self.sender) + self.facts.iter().map(BitSized::bit_size).sum::<usize>()
+    }
+}
+
+/// The flood-and-compute baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FloodCollectMst;
+
+impl NoAdviceMst for FloodCollectMst {
+    fn name(&self) -> &'static str {
+        "flood-collect-local"
+    }
+
+    fn run(
+        &self,
+        g: &WeightedGraph,
+        config: &RunConfig,
+    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError> {
+        let runtime = Runtime::with_config(g, *config);
+        let programs: Vec<FloodNode> = g.nodes().map(|_| FloodNode::default()).collect();
+        let result = runtime.run(programs)?;
+        Ok((result.outputs, result.stats))
+    }
+}
+
+/// Per-node program state.
+#[derive(Debug, Default)]
+struct FloodNode {
+    facts: BTreeSet<EdgeFact>,
+    /// Identifier of the neighbour behind each port (learned in round 1).
+    port_ids: BTreeMap<Port, u64>,
+    grew_last_round: bool,
+    output: Option<UpwardOutput>,
+}
+
+impl FloodNode {
+    fn broadcast(&self, view: &LocalView) -> Outbox<Knowledge> {
+        let msg = Knowledge {
+            sender: view.id,
+            facts: self.facts.iter().copied().collect(),
+        };
+        (0..view.degree()).map(|p| (p, msg.clone())).collect()
+    }
+
+    /// Computes the final output once the node's knowledge is complete.
+    fn conclude(&mut self, view: &LocalView) {
+        // Rebuild the graph from the collected facts.  Identifiers are mapped
+        // to dense indices in ascending order so every node reconstructs the
+        // exact same graph and therefore the exact same canonical MST.
+        let mut ids: BTreeSet<u64> = BTreeSet::new();
+        for f in &self.facts {
+            ids.insert(f.a);
+            ids.insert(f.b);
+        }
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let index_of = |id: u64| ids.binary_search(&id).expect("id present");
+        let mut builder = GraphBuilder::new(ids.len());
+        builder.set_ids(ids.clone());
+        let mut fact_list: Vec<EdgeFact> = self.facts.iter().copied().collect();
+        fact_list.sort_unstable();
+        for f in &fact_list {
+            builder.add_edge(index_of(f.a), index_of(f.b), f.w);
+        }
+        let Ok(reconstructed) = builder.build() else {
+            self.output = Some(UpwardOutput::Root);
+            return;
+        };
+        let Some(mst) = kruskal_mst(&reconstructed) else {
+            self.output = Some(UpwardOutput::Root);
+            return;
+        };
+        // Root at the globally smallest identifier (index 0 after sorting).
+        let Some(tree) = RootedTree::from_edges(&reconstructed, 0, &mst) else {
+            self.output = Some(UpwardOutput::Root);
+            return;
+        };
+        let me = index_of(view.id);
+        self.output = Some(match tree.parent[me] {
+            None => UpwardOutput::Root,
+            Some(parent_idx) => {
+                let parent_id = reconstructed.id(parent_idx);
+                // Find the local port to the neighbour with that identifier
+                // and the weight of the parent edge (disambiguates parallel
+                // candidates when several neighbours share an identifier —
+                // impossible with distinct ids, but cheap to be precise).
+                let port = self
+                    .port_ids
+                    .iter()
+                    .find(|(_, &nid)| nid == parent_id)
+                    .map(|(&p, _)| p);
+                match port {
+                    Some(p) => UpwardOutput::Parent(p),
+                    None => UpwardOutput::Root,
+                }
+            }
+        });
+    }
+}
+
+impl NodeAlgorithm for FloodNode {
+    type Msg = Knowledge;
+    type Output = UpwardOutput;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<Knowledge> {
+        // Initially a node knows only the weights of its incident edges, not
+        // who is behind them; it can still share (own id, weight) stubs only
+        // after learning neighbour ids, so round 1 exchanges ids (with the
+        // facts list still empty).
+        self.grew_last_round = true;
+        self.broadcast(view)
+    }
+
+    fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<Knowledge>) -> Outbox<Knowledge> {
+        let before = self.facts.len();
+        for (port, msg) in inbox {
+            self.port_ids.insert(*port, msg.sender);
+            // Incident edges become facts as soon as the neighbour's id is
+            // known.
+            let (a, b) = (view.id.min(msg.sender), view.id.max(msg.sender));
+            self.facts.insert(EdgeFact { a, b, w: view.weight_at(*port) });
+            for f in &msg.facts {
+                self.facts.insert(*f);
+            }
+        }
+        let grew = self.facts.len() > before;
+        if !grew && !self.grew_last_round {
+            // Knowledge is stable: nothing new arrived in two consecutive
+            // rounds, so the whole component has been collected.
+            self.conclude(view);
+            return Vec::new();
+        }
+        self.grew_last_round = grew;
+        self.broadcast(view)
+    }
+
+    fn is_done(&self) -> bool {
+        self.output.is_some()
+    }
+
+    fn output(&self) -> Option<UpwardOutput> {
+        self.output.is_some().then(|| self.output.unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{complete, connected_random, path, ring};
+    use lma_graph::weights::WeightStrategy;
+    use lma_mst::verify::verify_upward_outputs;
+
+    fn check(g: &WeightedGraph) -> RunStats {
+        let (outputs, stats) = FloodCollectMst.run(g, &RunConfig::default()).unwrap();
+        verify_upward_outputs(g, &outputs).unwrap();
+        stats
+    }
+
+    #[test]
+    fn correct_on_basic_families() {
+        check(&path(10, WeightStrategy::DistinctRandom { seed: 1 }));
+        check(&ring(11, WeightStrategy::DistinctRandom { seed: 2 }));
+        check(&complete(9, WeightStrategy::DistinctRandom { seed: 3 }));
+        check(&connected_random(20, 50, 4, WeightStrategy::DistinctRandom { seed: 4 }));
+    }
+
+    #[test]
+    fn correct_with_duplicate_weights() {
+        let g = connected_random(18, 40, 5, WeightStrategy::UniformRandom { seed: 5, max: 4 });
+        check(&g);
+    }
+
+    #[test]
+    fn rounds_track_diameter_not_n() {
+        // A complete graph of 30 nodes has diameter 1: flooding converges in
+        // a handful of rounds even though n is large.
+        let g = complete(30, WeightStrategy::DistinctRandom { seed: 6 });
+        let stats = check(&g);
+        assert!(stats.rounds <= 5);
+        // A path of 30 nodes needs ~diameter rounds.
+        let p = path(30, WeightStrategy::DistinctRandom { seed: 7 });
+        let stats = check(&p);
+        assert!(stats.rounds >= 29);
+    }
+
+    #[test]
+    fn messages_are_large_in_local_model() {
+        let g = complete(16, WeightStrategy::DistinctRandom { seed: 8 });
+        let stats = check(&g);
+        // Full-topology gossip: messages carry Θ(m) edge facts.
+        assert!(stats.max_message_bits > 16 * 15 / 2);
+    }
+}

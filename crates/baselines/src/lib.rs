@@ -1,0 +1,83 @@
+//! # `lma-baselines` — distributed MST **without** advice
+//!
+//! The paper's headline claim is a *comparison*: with O(1) bits of advice per
+//! node, MST can be computed in O(log n) rounds, whereas without advice the
+//! known algorithms (and the Peleg–Rubinovich lower bound) put the problem at
+//! Ω̃(√n) rounds in CONGEST and Θ(D) in LOCAL.  This crate provides the
+//! "without advice" side of that comparison, so that experiment E5 can
+//! measure the gap on the same simulator and the same graphs:
+//!
+//! * [`sync_boruvka`] — a synchronous, GHS-style distributed Borůvka: nodes
+//!   know only `n`, their identifier and their incident weights; fragments
+//!   coordinate through convergecasts and broadcasts over their own tree
+//!   edges, paying Θ(n) rounds per phase, Θ(n log n) in total (the classical
+//!   Gallager–Humblet–Spira regime cited in the paper's related work).
+//! * [`flood_collect`] — the LOCAL-model (0, D + O(1))-scheme mentioned in
+//!   §1: flood the entire topology for ~D rounds, then compute the MST
+//!   locally.  Fast in rounds but with Θ(m log n)-bit messages, which is
+//!   exactly why it is not a CONGEST algorithm (audited in experiment A3).
+//!
+//! Both baselines assume pairwise-distinct node identifiers (standard for
+//! symmetry breaking without advice; the paper makes the same assumption in
+//! its footnote 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flood_collect;
+pub mod sync_boruvka;
+
+pub use flood_collect::FloodCollectMst;
+pub use sync_boruvka::SyncBoruvkaMst;
+
+use lma_graph::WeightedGraph;
+use lma_mst::verify::UpwardOutput;
+use lma_sim::{RunConfig, RunStats};
+
+/// A distributed MST algorithm that needs no advice: just a factory of node
+/// programs plus a way to run them.  (The advising-scheme trait is not reused
+/// here because these algorithms have no oracle at all.)
+pub trait NoAdviceMst {
+    /// Short name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm on a graph and returns per-node outputs and
+    /// communication statistics.
+    fn run(
+        &self,
+        g: &WeightedGraph,
+        config: &RunConfig,
+    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{connected_random, grid};
+    use lma_graph::weights::WeightStrategy;
+    use lma_mst::verify::verify_upward_outputs;
+
+    #[test]
+    fn both_baselines_compute_msts_on_the_same_graph() {
+        let g = connected_random(24, 60, 2, WeightStrategy::DistinctRandom { seed: 2 });
+        for baseline in [
+            Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
+            Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
+        ] {
+            let (outputs, stats) = baseline.run(&g, &RunConfig::default()).unwrap();
+            verify_upward_outputs(&g, &outputs)
+                .unwrap_or_else(|e| panic!("{} produced a bad tree: {e}", baseline.name()));
+            assert!(stats.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn flood_collect_uses_about_diameter_rounds() {
+        let g = grid(4, 8, WeightStrategy::DistinctRandom { seed: 5 });
+        let (outputs, stats) = FloodCollectMst.run(&g, &RunConfig::default()).unwrap();
+        verify_upward_outputs(&g, &outputs).unwrap();
+        let d = g.diameter();
+        assert!(stats.rounds >= d);
+        assert!(stats.rounds <= d + 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion benches for the no-advice baselines, measuring the simulation
+//! cost of their (much larger) round counts next to the Theorem 3 scheme on
+//! the same graphs — the wall-clock companion of experiment E5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lma_advice::{evaluate_scheme, ConstantScheme};
+use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
+use lma_bench::experiments::experiment_graph;
+use lma_sim::RunConfig;
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("no_advice_baselines");
+    for n in [48usize, 96] {
+        let g = experiment_graph(n, 0xBB);
+        group.bench_with_input(BenchmarkId::new("sync_boruvka", n), &g, |b, g| {
+            b.iter(|| black_box(SyncBoruvkaMst.run(g, &RunConfig::default()).unwrap().1.rounds));
+        });
+        group.bench_with_input(BenchmarkId::new("flood_collect", n), &g, |b, g| {
+            b.iter(|| black_box(FloodCollectMst.run(g, &RunConfig::default()).unwrap().1.rounds));
+        });
+        group.bench_with_input(BenchmarkId::new("theorem3_for_reference", n), &g, |b, g| {
+            let scheme = ConstantScheme::default();
+            b.iter(|| {
+                black_box(evaluate_scheme(&scheme, g, &RunConfig::default()).unwrap().run.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = baseline_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baselines
+}
+criterion_main!(baseline_benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the verification layer (experiment A4's substrate):
+//! certificate construction (centroid decomposition + labels) and the
+//! one-round distributed verification, as a function of `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lma_bench::experiments::experiment_graph;
+use lma_labeling::{CentroidDecomposition, MstCertificate, SpanningProof};
+use lma_mst::kruskal_mst;
+use lma_mst::RootedTree;
+use lma_sim::RunConfig;
+use std::hint::black_box;
+
+fn bench_certificate_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certificate_construction");
+    for n in [256usize, 1024, 4096] {
+        let g = experiment_graph(n, 0x1AB);
+        let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
+        group.bench_with_input(BenchmarkId::new("centroid_decomposition", n), &g, |b, g| {
+            b.iter(|| black_box(CentroidDecomposition::build(g, &tree)));
+        });
+        group.bench_with_input(BenchmarkId::new("mst_certificate", n), &g, |b, g| {
+            b.iter(|| black_box(MstCertificate::certify(g, &tree)));
+        });
+        group.bench_with_input(BenchmarkId::new("spanning_labels", n), &g, |b, g| {
+            b.iter(|| black_box(SpanningProof::assign(g, &tree)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_verification");
+    for n in [256usize, 1024] {
+        let g = experiment_graph(n, 0x1AC);
+        let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        let labels = MstCertificate::certify(&g, &tree);
+        let spanning = SpanningProof::assign(&g, &tree);
+        group.bench_with_input(BenchmarkId::new("mst_certificate_round", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    MstCertificate::verify(g, &labels, &outputs, &RunConfig::default())
+                        .unwrap()
+                        .accepted,
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("spanning_proof_round", n), &g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    SpanningProof::verify(g, &spanning, &outputs, &RunConfig::default())
+                        .unwrap()
+                        .accepted,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = labeling_benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_certificate_construction, bench_distributed_verification
+}
+criterion_main!(labeling_benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the Theorem 1 machinery: building `G_n`, building
+//! the indistinguishable instance families, and running the adversary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lma_advice::lowerbound::{attack_scheme_at, certified_report, truncated_trivial};
+use lma_graph::generators::lowerbound::{lowerbound_family_at, lowerbound_gn, LowerBoundParams};
+use std::hint::black_box;
+
+fn bench_gn_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowerbound_gn");
+    for n in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| black_box(lowerbound_gn(&LowerBoundParams::new(n))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowerbound_family");
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("family_at_i2", n), &n, |b, &n| {
+            b.iter(|| black_box(lowerbound_family_at(n, 2).instances.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowerbound_adversary");
+    for n in [12usize, 24] {
+        group.bench_with_input(BenchmarkId::new("falsify_starved_trivial", n), &n, |b, &n| {
+            let scheme = truncated_trivial(1);
+            b.iter(|| black_box(attack_scheme_at(&scheme, n, 2).unwrap()));
+        });
+    }
+    group.bench_function("certified_report_4096", |b| {
+        b.iter(|| black_box(certified_report(4096).average_bits));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = lowerbound_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gn_generation, bench_family, bench_adversary
+}
+criterion_main!(lowerbound_benches);

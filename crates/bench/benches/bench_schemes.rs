@@ -1,0 +1,62 @@
+//! Criterion benches for the advising schemes (Theorems 2 and 3 plus the
+//! trivial scheme): oracle encoding cost and full decode-simulation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lma_advice::{AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme};
+use lma_bench::experiments::experiment_graph;
+use lma_sim::RunConfig;
+use std::hint::black_box;
+
+fn schemes() -> Vec<(&'static str, Box<dyn AdvisingScheme>)> {
+    vec![
+        ("trivial", Box::new(TrivialScheme::default())),
+        ("one_round", Box::new(OneRoundScheme::default())),
+        ("constant_index", Box::new(ConstantScheme::default())),
+        (
+            "constant_level",
+            Box::new(ConstantScheme { variant: ConstantVariant::Level, ..ConstantScheme::default() }),
+        ),
+    ]
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_encode");
+    for n in [128usize, 512] {
+        let g = experiment_graph(n, 0xBE);
+        for (name, scheme) in schemes() {
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| black_box(scheme.advise(g).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_simulation");
+    for n in [128usize, 512] {
+        let g = experiment_graph(n, 0xBF);
+        for (name, scheme) in schemes() {
+            let advice = scheme.advise(&g).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| {
+                    black_box(
+                        scheme
+                            .decode(g, &advice, &RunConfig::default())
+                            .unwrap()
+                            .stats
+                            .rounds,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = scheme_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_oracles, bench_decoders
+}
+criterion_main!(scheme_benches);

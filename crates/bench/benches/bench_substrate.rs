@@ -1,0 +1,115 @@
+//! Criterion benches for the substrates: graph generation, sequential MST
+//! algorithms, the Borůvka decomposition, and the raw simulator overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lma_graph::generators::{complete, connected_random, ring};
+use lma_graph::weights::WeightStrategy;
+use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
+use lma_mst::{kruskal_mst, prim_mst, UnionFind};
+use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use std::hint::black_box;
+
+fn bench_union_find(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_find");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("union_all", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut uf = UnionFind::new(n);
+                for i in 1..n {
+                    uf.union(i - 1, i);
+                }
+                black_box(uf.components())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for n in [128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("connected_random", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(connected_random(
+                    n,
+                    3 * n,
+                    7,
+                    WeightStrategy::DistinctRandom { seed: 7 },
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("complete", n), &n, |b, &n| {
+            b.iter(|| black_box(complete(n.min(256), WeightStrategy::DistinctRandom { seed: 3 })));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_mst");
+    for n in [256usize, 1024] {
+        let g = connected_random(n, 4 * n, 11, WeightStrategy::DistinctRandom { seed: 11 });
+        group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
+            b.iter(|| black_box(kruskal_mst(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("prim", n), &g, |b, g| {
+            b.iter(|| black_box(prim_mst(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("boruvka_decomposition", n), &g, |b, g| {
+            b.iter(|| black_box(run_boruvka(g, &BoruvkaConfig::default()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// A trivial flooding program used to measure the simulator's per-round cost.
+struct Ping {
+    rounds_left: usize,
+}
+
+impl NodeAlgorithm for Ping {
+    type Msg = u64;
+    type Output = ();
+
+    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+        (0..view.degree()).map(|p| (p, view.id)).collect()
+    }
+
+    fn round(&mut self, view: &LocalView, _round: usize, _inbox: &Inbox<u64>) -> Outbox<u64> {
+        if self.rounds_left == 0 {
+            return Vec::new();
+        }
+        self.rounds_left -= 1;
+        (0..view.degree()).map(|p| (p, view.id)).collect()
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self) -> Option<()> {
+        (self.rounds_left == 0).then_some(())
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [128usize, 512] {
+        let g = ring(n, WeightStrategy::Unit);
+        group.bench_with_input(BenchmarkId::new("ring_50_rounds", n), &g, |b, g| {
+            b.iter(|| {
+                let rt = Runtime::with_config(g, RunConfig::default());
+                let programs: Vec<Ping> = (0..g.node_count()).map(|_| Ping { rounds_left: 50 }).collect();
+                black_box(rt.run(programs).unwrap().stats.rounds)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(10);
+    targets = bench_union_find, bench_generators, bench_sequential_mst, bench_simulator
+}
+criterion_main!(substrate);

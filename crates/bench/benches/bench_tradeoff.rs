@@ -1,0 +1,67 @@
+//! Criterion benches for the advice-vs-time tradeoff scheme (experiment E6):
+//! oracle cost and decode-simulation cost at each end and at the middle of
+//! the frontier, against the two schemes it interpolates between.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lma_advice::constant::schedule::log_log_n;
+use lma_advice::{AdvisingScheme, ConstantScheme, TradeoffScheme, TrivialScheme};
+use lma_bench::experiments::experiment_graph;
+use lma_sim::RunConfig;
+use std::hint::black_box;
+
+fn cutoffs(n: usize) -> Vec<(String, Box<dyn AdvisingScheme>)> {
+    let k = log_log_n(n);
+    let mut v: Vec<(String, Box<dyn AdvisingScheme>)> = vec![
+        ("trivial".to_string(), Box::new(TrivialScheme::default())),
+        ("theorem3".to_string(), Box::new(ConstantScheme::default())),
+    ];
+    for p in 0..=k {
+        v.push((format!("cutoff_{p}"), Box::new(TradeoffScheme::with_cutoff(p))));
+    }
+    v
+}
+
+fn bench_tradeoff_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tradeoff_oracle_encode");
+    for n in [256usize, 1024] {
+        let g = experiment_graph(n, 0xE6);
+        for (name, scheme) in cutoffs(n) {
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| black_box(scheme.advise(g).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_tradeoff_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tradeoff_decode_simulation");
+    for n in [256usize, 1024] {
+        let g = experiment_graph(n, 0xE7);
+        for (name, scheme) in cutoffs(n) {
+            let advice = scheme.advise(&g).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| {
+                    black_box(
+                        scheme
+                            .decode(g, &advice, &RunConfig::default())
+                            .unwrap()
+                            .stats
+                            .rounds,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = tradeoff_benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_tradeoff_oracle, bench_tradeoff_decode
+}
+criterion_main!(tradeoff_benches);

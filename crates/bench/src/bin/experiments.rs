@@ -1,0 +1,39 @@
+//! Regenerates every experiment table of `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p lma-bench --release --bin experiments            # all tables
+//! cargo run -p lma-bench --release --bin experiments -- --table e3
+//! cargo run -p lma-bench --release --bin experiments -- --csv   # CSV output
+//! ```
+
+use lma_bench::{ExperimentId, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let selected: Vec<ExperimentId> = match args.iter().position(|a| a == "--table") {
+        Some(pos) => {
+            let id = args
+                .get(pos + 1)
+                .and_then(|s| ExperimentId::parse(s))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown table id; expected one of e1..e6, a1..a4");
+                    std::process::exit(2);
+                });
+            vec![id]
+        }
+        None => ExperimentId::ALL.to_vec(),
+    };
+
+    println!("# mst-advice experiment tables (seeded, deterministic)\n");
+    for id in selected {
+        let table: Table = id.run_default();
+        if csv {
+            println!("{}", table.to_csv());
+        } else {
+            println!("{}", table.to_text());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Regenerates the paper's figures and the figure data series.
+//!
+//! * `--figure gn` — the lower-bound graph `G_n` of Figure 1, as Graphviz DOT;
+//! * `--figure boruvka_phase` — one Borůvka phase (Figure 2), as Graphviz DOT
+//!   plus a textual summary;
+//! * `--figure rounds_vs_n` — the data series behind experiment E5;
+//! * `--figure advice_vs_n` — max/avg advice of every scheme as `n` grows.
+//!
+//! With no argument, all figures are emitted.
+
+use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme, OneRoundScheme, TrivialScheme};
+use lma_bench::experiments::{experiment_graph, run_e5_rounds_vs_n};
+use lma_graph::dot::to_dot_plain;
+use lma_graph::generators::lowerbound::{lowerbound_gn, LowerBoundParams};
+use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
+use lma_mst::render::{phase_summary, phase_to_dot};
+use lma_sim::RunConfig;
+
+fn figure_gn() {
+    println!("=== Figure 1 reproduction: the lower-bound graph G_n (n = 6) ===");
+    let g = lowerbound_gn(&LowerBoundParams::new(6));
+    println!("{}", to_dot_plain(&g, "G_6"));
+}
+
+fn figure_boruvka_phase() {
+    println!("=== Figure 2 reproduction: one phase of the Boruvka variant ===");
+    let g = experiment_graph(14, 0xF16);
+    let run = run_boruvka(&g, &BoruvkaConfig::default()).expect("boruvka succeeds");
+    let phase = 2.min(run.merge_phases());
+    println!("{}", phase_summary(&run, phase));
+    println!("{}", phase_to_dot(&g, &run, phase));
+}
+
+fn figure_rounds_vs_n() {
+    println!("=== Figure: rounds vs n (series behind experiment E5) ===");
+    println!("{}", run_e5_rounds_vs_n(&[32, 64, 128, 256]).to_csv());
+}
+
+fn figure_advice_vs_n() {
+    println!("=== Figure: advice size vs n for every scheme ===");
+    println!("scheme,n,max_bits,avg_bits");
+    let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
+        Box::new(TrivialScheme::default()),
+        Box::new(OneRoundScheme::default()),
+        Box::new(ConstantScheme::default()),
+        Box::new(ConstantScheme::paper_literal()),
+    ];
+    for n in [64usize, 128, 256, 512, 1024] {
+        let g = experiment_graph(n, 0xF1 + n as u64);
+        for scheme in &schemes {
+            let eval = evaluate_scheme(scheme.as_ref(), &g, &RunConfig::default())
+                .expect("scheme succeeds");
+            println!(
+                "{},{},{},{:.3}",
+                scheme.name(),
+                n,
+                eval.advice.max_bits,
+                eval.advice.avg_bits
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--figure")
+        .and_then(|p| args.get(p + 1))
+        .map(String::as_str);
+    match which {
+        Some("gn") => figure_gn(),
+        Some("boruvka_phase") => figure_boruvka_phase(),
+        Some("rounds_vs_n") => figure_rounds_vs_n(),
+        Some("advice_vs_n") => figure_advice_vs_n(),
+        Some(other) => {
+            eprintln!("unknown figure '{other}'; expected gn | boruvka_phase | rounds_vs_n | advice_vs_n");
+            std::process::exit(2);
+        }
+        None => {
+            figure_gn();
+            figure_boruvka_phase();
+            figure_rounds_vs_n();
+            figure_advice_vs_n();
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # `lma-bench` — the experiment harness
+//!
+//! The paper is a theory paper: its "results" are theorems, not measurement
+//! tables.  This crate turns every theorem (and both figures) into a
+//! regenerable experiment, as catalogued in `DESIGN.md` §6 and recorded in
+//! `EXPERIMENTS.md`:
+//!
+//! * `cargo run -p lma-bench --release --bin experiments` regenerates every
+//!   table (E1–E5, A1–A3), printing aligned text and machine-readable CSV;
+//! * `cargo run -p lma-bench --release --bin figures` regenerates the figure
+//!   data series (rounds vs `n`, advice vs `n`) and the DOT reproductions of
+//!   the paper's Figure 1 and Figure 2;
+//! * `cargo bench -p lma-bench` runs the Criterion benches measuring the cost
+//!   of the substrate and of each scheme's oracle and decoder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{
+    run_a1_capacity_sweep, run_a2_tie_break, run_a3_congest_audit, run_a4_fault_detection,
+    run_e1_lower_bound, run_e2_one_round, run_e3_constant, run_e4_scheme_comparison,
+    run_e5_rounds_vs_n, run_e6_tradeoff_frontier, ExperimentId,
+};
+pub use table::Table;

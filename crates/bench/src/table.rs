@@ -1,0 +1,106 @@
+//! Minimal table formatting (aligned text + CSV) for the experiment harness.
+
+/// One experiment table: a title, column headers and string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; every row must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    #[must_use]
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            columns: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the column count.
+    pub fn push_row<I: IntoIterator<Item = String>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().collect();
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.title);
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned monospace text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.columns));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (title as a comment line).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n{}\n", self.title, self.columns.join(","));
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with three significant decimals for table cells.
+#[must_use]
+pub fn fmt_f64(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_and_csv_render() {
+        let mut t = Table::new("T: demo", &["n", "value"]);
+        t.push_row(vec!["8".to_string(), "1.5".to_string()]);
+        t.push_row(vec!["16".to_string(), "2.25".to_string()]);
+        let text = t.to_text();
+        assert!(text.contains("## T: demo"));
+        assert!(text.contains("n   value"));
+        let csv = t.to_csv();
+        assert!(csv.contains("n,value"));
+        assert!(csv.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push_row(vec!["1".to_string()]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Elementary graph families: paths, rings, stars and caterpillars.
+
+use crate::builder::GraphBuilder;
+use crate::graph::WeightedGraph;
+use crate::weights::{WeightAssigner, WeightStrategy};
+
+/// The path `P_n` on `n ≥ 2` nodes: `0 — 1 — … — n-1`.
+#[must_use]
+pub fn path(n: usize, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 2, "a path needs at least two nodes");
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, n - 1);
+    for i in 0..n - 1 {
+        let e = b.add_edge(i, i + 1, 0);
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.build().expect("path construction is always valid")
+}
+
+/// The cycle `C_n` on `n ≥ 3` nodes.
+#[must_use]
+pub fn ring(n: usize, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, n);
+    for i in 0..n {
+        let e = b.add_edge(i, (i + 1) % n, 0);
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.build().expect("ring construction is always valid")
+}
+
+/// The star `K_{1,n-1}`: node 0 is the centre.
+#[must_use]
+pub fn star(n: usize, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 2, "a star needs at least two nodes");
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, n - 1);
+    for i in 1..n {
+        let e = b.add_edge(0, i, 0);
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.build().expect("star construction is always valid")
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs` leaf
+/// nodes.  Total node count is `spine * (1 + legs)`.
+#[must_use]
+pub fn caterpillar(spine: usize, legs: usize, weights: WeightStrategy) -> WeightedGraph {
+    assert!(spine >= 2, "a caterpillar needs a spine of at least two nodes");
+    let n = spine * (1 + legs);
+    let m = (spine - 1) + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, m);
+    for i in 0..spine - 1 {
+        let e = b.add_edge(i, i + 1, 0);
+        b.set_weight(e, w.weight_of(e));
+    }
+    // Leaves are numbered after the spine: spine + s*legs + l.
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            let e = b.add_edge(s, leaf, 0);
+            b.set_weight(e, w.weight_of(e));
+        }
+    }
+    b.build().expect("caterpillar construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_instance;
+
+    #[test]
+    fn path_shape() {
+        let g = path(6, WeightStrategy::ByEdgeId);
+        check_instance(&g).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(3), 2);
+        assert_eq!(g.diameter(), 5);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(7, WeightStrategy::Unit);
+        check_instance(&g).unwrap();
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9, WeightStrategy::DistinctRandom { seed: 1 });
+        check_instance(&g).unwrap();
+        assert_eq!(g.degree(0), 8);
+        assert!((1..9).all(|u| g.degree(u) == 1));
+        assert_eq!(g.diameter(), 2);
+        assert!(g.has_distinct_weights());
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3, WeightStrategy::ByEdgeId);
+        check_instance(&g).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 3 + 12);
+        // Spine interior nodes: 2 spine edges + 3 legs.
+        assert_eq!(g.degree(1), 5);
+        // Leaves have degree 1.
+        assert_eq!(g.degree(15), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn tiny_ring_rejected() {
+        let _ = ring(2, WeightStrategy::Unit);
+    }
+}

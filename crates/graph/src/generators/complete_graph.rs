@@ -1,0 +1,42 @@
+//! The complete graph `K_n`.
+
+use crate::builder::GraphBuilder;
+use crate::graph::WeightedGraph;
+use crate::weights::{WeightAssigner, WeightStrategy};
+
+/// The complete graph on `n ≥ 2` nodes.
+#[must_use]
+pub fn complete(n: usize, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 2, "a complete graph needs at least two nodes");
+    let m = n * (n - 1) / 2;
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, m);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let e = b.add_edge(u, v, 0);
+            b.set_weight(e, w.weight_of(e));
+        }
+    }
+    b.build().expect("complete-graph construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_instance;
+
+    #[test]
+    fn k5_shape() {
+        let g = complete(5, WeightStrategy::ByEdgeId);
+        check_instance(&g).unwrap();
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn distinct_weights_available_for_large_clique() {
+        let g = complete(12, WeightStrategy::DistinctRandom { seed: 3 });
+        assert!(g.has_distinct_weights());
+    }
+}

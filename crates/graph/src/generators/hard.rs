@@ -1,0 +1,103 @@
+//! Small-diameter / long-fragment families used to stress the no-advice
+//! baselines (experiment E5).
+//!
+//! The paper cites Peleg–Rubinovich-style lower bounds showing that without
+//! advice, distributed MST needs ~Ω̃(√n) rounds even on small-diameter graphs.
+//! Reproducing those exact constructions is unnecessary for the comparison the
+//! paper actually makes (advice vs no advice); what matters is a family where
+//! fragment diameters grow with `n`, so the GHS-style baseline pays
+//! Θ(n)-ish rounds while the advice schemes stay at `O(log n)`.  Lollipop and
+//! dumbbell graphs do exactly that.
+
+use crate::builder::GraphBuilder;
+use crate::graph::WeightedGraph;
+use crate::weights::{WeightAssigner, WeightStrategy};
+
+/// A lollipop: a clique on ⌈n/2⌉ nodes with a path of the remaining nodes
+/// attached to clique node 0.
+#[must_use]
+pub fn lollipop(n: usize, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 4, "lollipop needs at least four nodes");
+    let clique = n / 2;
+    let clique = clique.max(2);
+    let m = clique * (clique - 1) / 2 + (n - clique);
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, m);
+    for u in 0..clique {
+        for v in (u + 1)..clique {
+            let e = b.add_edge(u, v, 0);
+            b.set_weight(e, w.weight_of(e));
+        }
+    }
+    let mut prev = 0;
+    for tail in clique..n {
+        let e = b.add_edge(prev, tail, 0);
+        b.set_weight(e, w.weight_of(e));
+        prev = tail;
+    }
+    b.build().expect("lollipop construction is always valid")
+}
+
+/// A dumbbell: two cliques of ⌈n/3⌉ nodes joined by a path through the
+/// remaining nodes.
+#[must_use]
+pub fn dumbbell(n: usize, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 6, "dumbbell needs at least six nodes");
+    let clique = (n / 3).max(2);
+    let left: Vec<usize> = (0..clique).collect();
+    let right: Vec<usize> = (clique..2 * clique).collect();
+    let bridge: Vec<usize> = (2 * clique..n).collect();
+    let m = clique * (clique - 1) + bridge.len() + 1;
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, m);
+    for side in [&left, &right] {
+        for i in 0..side.len() {
+            for j in (i + 1)..side.len() {
+                let e = b.add_edge(side[i], side[j], 0);
+                b.set_weight(e, w.weight_of(e));
+            }
+        }
+    }
+    // Path: left[last] — bridge... — right[0].
+    let mut prev = *left.last().unwrap();
+    for &x in &bridge {
+        let e = b.add_edge(prev, x, 0);
+        b.set_weight(e, w.weight_of(e));
+        prev = x;
+    }
+    let e = b.add_edge(prev, right[0], 0);
+    b.set_weight(e, w.weight_of(e));
+    b.build().expect("dumbbell construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_instance;
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(12, WeightStrategy::DistinctRandom { seed: 1 });
+        check_instance(&g).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // 6-clique + 6-path tail.
+        assert_eq!(g.edge_count(), 15 + 6);
+        assert!(g.diameter() >= 6);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(14, WeightStrategy::DistinctRandom { seed: 2 });
+        check_instance(&g).unwrap();
+        assert_eq!(g.node_count(), 14);
+        assert!(g.is_connected());
+        // Two cliques of 4 plus a bridge path through the remaining 6 nodes.
+        assert_eq!(g.edge_count(), 2 * 6 + 6 + 1);
+    }
+
+    #[test]
+    fn small_instances_accepted() {
+        check_instance(&lollipop(4, WeightStrategy::Unit)).unwrap();
+        check_instance(&dumbbell(6, WeightStrategy::Unit)).unwrap();
+    }
+}

@@ -1,0 +1,464 @@
+//! The lower-bound family `G_n(ω)` of Theorem 1 (Figure 1 of the paper) and
+//! the indistinguishable-instance families used by the Theorem 1 adversary.
+//!
+//! `G_n` has `2n` nodes `u_1..u_n, v_1..v_n`: two copies `A_n`, `B_n` of the
+//! complete graph `K_n` with Hamiltonian *spines* `u_1, …, u_n` and
+//! `v_1, …, v_n`, joined by the bridge `{u_1, v_1}` of weight `0`.
+//!
+//! Weights are banded: with `a_i = ω² − (i+1)ω + 1` and `b_i = ω² − iω`,
+//!
+//! * the spine edge `{u_i, u_{i−1}}` (and `{v_i, v_{i−1}}`) gets a weight in
+//!   `[a_i, b_i]`, and
+//! * every chord `{u_i, u_j}` with `j ≥ i + 2` (and the mirrored `v` chord)
+//!   gets a weight in `[a_i, b_i]` as well.
+//!
+//! Bands are strictly decreasing (`b_{i+1} < a_i`), which forces the unique
+//! MST to be the spine path `u_n, …, u_1, v_1, …, v_n` regardless of how
+//! weights are chosen *within* each band — exactly the property the paper's
+//! proof exploits, and the property our adversary (in `lma-advice`) needs to
+//! hold across its whole instance family.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{EdgeId, NodeIdx, Port, Weight, WeightedGraph};
+use crate::prng::SplitMix64;
+
+/// How weights are chosen within each band `[a_i, b_i]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandAssignment {
+    /// Every band-`i` edge gets the minimum value `a_i` of its band.  Within a
+    /// band all weights are equal — the regime used by the adversary, where a
+    /// node cannot distinguish its band edges by weight.
+    Low,
+    /// Pairwise-distinct weights: band-`i` edges on the `u` side get
+    /// `a_i, a_i + 2, a_i + 4, …` and on the `v` side `a_i + 1, a_i + 3, …`
+    /// (requires `ω ≥ 2(n − i)`, guaranteed by the default `ω`).  This is the
+    /// "all edge-weights pairwise distinct" regime of Theorem 1's statement.
+    Distinct,
+    /// Uniformly random weights within each band.
+    Spread {
+        /// PRNG seed.
+        seed: u64,
+    },
+}
+
+/// Parameters of the `G_n(ω)` construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerBoundParams {
+    /// Half the node count: each clique has `n` nodes, the graph has `2n`.
+    pub n: usize,
+    /// The band width parameter ω.  Must satisfy `ω ≥ n + 1` so that every
+    /// band stays positive; the `Distinct` assignment needs `ω ≥ 2n`.
+    pub omega: u64,
+    /// Within-band weight assignment.
+    pub assignment: BandAssignment,
+}
+
+impl LowerBoundParams {
+    /// Default parameters: `ω = 2n + 2`, distinct weights.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            omega: 2 * n as u64 + 2,
+            assignment: BandAssignment::Distinct,
+        }
+    }
+
+    /// Same parameters but with the equal-within-band assignment used by the
+    /// adversary.
+    #[must_use]
+    pub fn adversarial(n: usize) -> Self {
+        Self {
+            assignment: BandAssignment::Low,
+            ..Self::new(n)
+        }
+    }
+}
+
+/// Node index of `u_i` (1-based `i`, as in the paper).
+#[must_use]
+pub fn node_u(i: usize) -> NodeIdx {
+    i - 1
+}
+
+/// Node index of `v_i` (1-based `i`), given the clique size `n`.
+#[must_use]
+pub fn node_v(n: usize, i: usize) -> NodeIdx {
+    n + i - 1
+}
+
+/// The band `[a_i, b_i]` for 1-based band index `i`.
+#[must_use]
+pub fn band_bounds(i: usize, omega: u64) -> (Weight, Weight) {
+    let i = i as u64;
+    let a = omega * omega - (i + 1) * omega + 1;
+    let b = omega * omega - i * omega;
+    (a, b)
+}
+
+/// The weight of the `pos`-th band-`i` edge on the given side under an
+/// assignment (`pos` counts edges of that band on that side, 0-based;
+/// `side` is 0 for the `u` clique and 1 for the `v` clique).
+fn band_weight(
+    assignment: BandAssignment,
+    rng: &mut SplitMix64,
+    i: usize,
+    omega: u64,
+    side: usize,
+    pos: usize,
+) -> Weight {
+    let (a, b) = band_bounds(i, omega);
+    match assignment {
+        BandAssignment::Low => a,
+        BandAssignment::Distinct => {
+            let w = a + 2 * pos as u64 + side as u64;
+            assert!(w <= b, "omega too small for distinct weights in band {i}");
+            w
+        }
+        BandAssignment::Spread { .. } => rng.next_in_range(a, b),
+    }
+}
+
+/// Builds `G_n(ω)` as in Figure 1 of the paper.
+///
+/// # Panics
+/// Panics if `n < 3` or `ω < n + 1` (the construction degenerates below
+/// those bounds).
+#[must_use]
+pub fn lowerbound_gn(params: &LowerBoundParams) -> WeightedGraph {
+    let LowerBoundParams { n, omega, assignment } = *params;
+    assert!(n >= 3, "the lower-bound family needs n >= 3");
+    assert!(omega > n as u64, "omega must be at least n + 1");
+    let seed = match assignment {
+        BandAssignment::Spread { seed } => seed,
+        _ => 0,
+    };
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(2 * n);
+
+    // Bridge {u_1, v_1} with weight 0.
+    b.add_edge(node_u(1), node_v(n, 1), 0);
+
+    // Both cliques.  For each side, band i owns the spine edge {x_i, x_{i-1}}
+    // (for i >= 2) and the chords {x_i, x_j}, j >= i + 2.
+    for side in 0..2usize {
+        let idx = |i: usize| if side == 0 { node_u(i) } else { node_v(n, i) };
+        for i in 1..=n {
+            let mut pos = 0;
+            if i >= 2 {
+                let w = band_weight(assignment, &mut rng, i, omega, side, pos);
+                b.add_edge(idx(i), idx(i - 1), w);
+                pos += 1;
+            }
+            for j in (i + 2)..=n {
+                let w = band_weight(assignment, &mut rng, i, omega, side, pos);
+                b.add_edge(idx(i), idx(j), w);
+                pos += 1;
+            }
+        }
+    }
+    b.build().expect("G_n construction is always valid")
+}
+
+/// The edges of the unique MST of `G_n`: the bridge plus both spines.
+/// Returned as unordered node pairs (useful for verification without
+/// depending on the MST crate).
+#[must_use]
+pub fn expected_mst_pairs(n: usize) -> Vec<(NodeIdx, NodeIdx)> {
+    let mut pairs = vec![(node_u(1), node_v(n, 1))];
+    for i in 2..=n {
+        pairs.push((node_u(i - 1), node_u(i)));
+        pairs.push((node_v(n, i - 1), node_v(n, i)));
+    }
+    pairs
+}
+
+/// One family of pairwise-indistinguishable instances used by the Theorem 1
+/// adversary, targeting node `u_i`.
+///
+/// All instances share the same node set, edge set and weights (the
+/// adversarial `Low` assignment, so all band-`i` edges at `u_i` have equal
+/// weight); they differ **only** in the port numbering of the target node, so
+/// the target's local view (port → weight) is literally identical across
+/// instances while the port of its MST parent edge (the spine edge
+/// `{u_i, u_{i−1}}`) differs.  Any 0-round algorithm therefore needs
+/// `⌈log₂(family size)⌉` bits of advice at the target to answer correctly on
+/// every instance.
+#[derive(Debug, Clone)]
+pub struct LowerBoundFamily {
+    /// The instances (one per possible position of the spine edge among the
+    /// target's band-`i` ports).
+    pub instances: Vec<WeightedGraph>,
+    /// The node whose advice the adversary is measuring (`u_i`).
+    pub target: NodeIdx,
+    /// For each instance, the port of the target's MST parent edge (the only
+    /// correct output of a scheme whose MST is rooted on the `v` side).
+    pub correct_ports: Vec<Port>,
+    /// The 1-based spine position `i` targeted.
+    pub target_i: usize,
+}
+
+/// Builds the adversary family for `G_n` at spine position `i`
+/// (`2 ≤ i ≤ n − 1`).  The family has `n − i` instances.
+///
+/// # Panics
+/// Panics if `i` is out of the valid range.
+#[must_use]
+pub fn lowerbound_family_at(n: usize, target_i: usize) -> LowerBoundFamily {
+    assert!(n >= 4, "need n >= 4 for a non-trivial family");
+    assert!(
+        (2..n).contains(&target_i),
+        "target_i must be in 2..n (got {target_i} for n = {n})"
+    );
+    let params = LowerBoundParams::adversarial(n);
+    let target = node_u(target_i);
+
+    // Build one canonical instance to learn the incident structure at the
+    // target, then rebuild with explicit port orders.
+    let base = lowerbound_gn(&params);
+    let (band_lo, band_hi) = band_bounds(target_i, params.omega);
+    let spine_edge = base
+        .find_edge(node_u(target_i), node_u(target_i - 1))
+        .expect("spine edge exists");
+
+    // Incident edges of the target in canonical port order.
+    let canonical: Vec<EdgeId> = base.incident(target).iter().map(|ie| ie.edge).collect();
+    // Positions (ports) whose edges lie in band i.  Their weights are all
+    // equal under the adversarial assignment.
+    let band_positions: Vec<usize> = base
+        .incident(target)
+        .iter()
+        .filter(|ie| ie.weight >= band_lo && ie.weight <= band_hi)
+        .map(|ie| ie.port)
+        .collect();
+    let band_edges: Vec<EdgeId> = band_positions
+        .iter()
+        .map(|&p| base.incident(target)[p].edge)
+        .collect();
+    assert_eq!(
+        band_edges.len(),
+        n - target_i,
+        "node u_i must have exactly n - i band-i edges"
+    );
+    assert!(band_edges.contains(&spine_edge));
+
+    let mut instances = Vec::with_capacity(band_edges.len());
+    let mut correct_ports = Vec::with_capacity(band_edges.len());
+    for k in 0..band_edges.len() {
+        // Variant k: the spine edge occupies the k-th band position; the other
+        // band edges fill the remaining band positions in canonical order.
+        let mut others: Vec<EdgeId> = band_edges
+            .iter()
+            .copied()
+            .filter(|&e| e != spine_edge)
+            .collect();
+        let mut order = canonical.clone();
+        for (slot, &port) in band_positions.iter().enumerate() {
+            order[port] = if slot == k {
+                spine_edge
+            } else {
+                let idx = if slot < k { slot } else { slot - 1 };
+                others[idx]
+            };
+        }
+        // Silence the "unused mut" while keeping `others` readable above.
+        others.clear();
+
+        let mut builder = rebuild_builder(&params);
+        builder.set_port_order(target, order);
+        let g = builder.build().expect("family instance is always valid");
+        let port = g.port_of_edge(target, spine_edge);
+        assert_eq!(port, band_positions[k]);
+        instances.push(g);
+        correct_ports.push(port);
+    }
+
+    LowerBoundFamily {
+        instances,
+        target,
+        correct_ports,
+        target_i,
+    }
+}
+
+/// Re-runs the `G_n` edge construction into a fresh builder (same edge ids and
+/// weights as [`lowerbound_gn`] with the same params) so callers can tweak
+/// port orders before building.
+fn rebuild_builder(params: &LowerBoundParams) -> GraphBuilder {
+    let LowerBoundParams { n, omega, assignment } = *params;
+    let seed = match assignment {
+        BandAssignment::Spread { seed } => seed,
+        _ => 0,
+    };
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(2 * n);
+    b.add_edge(node_u(1), node_v(n, 1), 0);
+    for side in 0..2usize {
+        let idx = |i: usize| if side == 0 { node_u(i) } else { node_v(n, i) };
+        for i in 1..=n {
+            let mut pos = 0;
+            if i >= 2 {
+                let w = band_weight(assignment, &mut rng, i, omega, side, pos);
+                b.add_edge(idx(i), idx(i - 1), w);
+                pos += 1;
+            }
+            for j in (i + 2)..=n {
+                let w = band_weight(assignment, &mut rng, i, omega, side, pos);
+                b.add_edge(idx(i), idx(j), w);
+                pos += 1;
+            }
+        }
+    }
+    b
+}
+
+/// The certified average-advice lower bound of Theorem 1 for `G_n`:
+/// `(1 / 2n) · Σ_{i=2}^{n−1} log₂(n − i)` bits.
+#[must_use]
+pub fn certified_average_bits(n: usize) -> f64 {
+    if n < 3 {
+        return 0.0;
+    }
+    let sum: f64 = (2..n).map(|i| ((n - i) as f64).max(1.0).log2()).sum();
+    sum / (2.0 * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_instance;
+
+    #[test]
+    fn gn_structure() {
+        let params = LowerBoundParams::new(6);
+        let g = lowerbound_gn(&params);
+        check_instance(&g).unwrap();
+        assert_eq!(g.node_count(), 12);
+        // Two K_6 cliques plus the bridge.
+        assert_eq!(g.edge_count(), 2 * 15 + 1);
+        // The bridge has weight 0 and is the unique weight-0 edge.
+        let bridge = g.find_edge(node_u(1), node_v(6, 1)).unwrap();
+        assert_eq!(g.weight(bridge), 0);
+        assert_eq!(g.edges().iter().filter(|e| e.weight == 0).count(), 1);
+    }
+
+    #[test]
+    fn bands_are_strictly_decreasing_and_positive() {
+        let omega = 20;
+        for i in 1..10 {
+            let (a_i, b_i) = band_bounds(i, omega);
+            let (a_next, b_next) = band_bounds(i + 1, omega);
+            assert!(a_i <= b_i);
+            assert!(b_next < a_i, "band {i} must dominate band {}", i + 1);
+            assert!(a_next >= 1);
+            let _ = b_next;
+        }
+    }
+
+    #[test]
+    fn spine_edges_dominate_crossing_chords() {
+        // Every chord {u_j, u_k} with k <= i-1 < j must be heavier than the
+        // spine edge {u_i, u_{i-1}} — the cut argument behind the unique MST.
+        let params = LowerBoundParams::new(8);
+        let g = lowerbound_gn(&params);
+        for i in 2..=8usize {
+            let spine = g.find_edge(node_u(i), node_u(i - 1)).unwrap();
+            let ws = g.weight(spine);
+            for j in i..=8 {
+                for k in 1..i {
+                    if (j, k) == (i, i - 1) {
+                        continue;
+                    }
+                    if let Some(e) = g.find_edge(node_u(j), node_u(k)) {
+                        assert!(
+                            g.weight(e) > ws,
+                            "chord ({j},{k}) weight {} must exceed spine {} weight {ws}",
+                            g.weight(e),
+                            i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_assignment_gives_distinct_weights() {
+        let params = LowerBoundParams::new(7);
+        let g = lowerbound_gn(&params);
+        assert!(g.has_distinct_weights());
+    }
+
+    #[test]
+    fn low_assignment_duplicates_within_band() {
+        let params = LowerBoundParams::adversarial(7);
+        let g = lowerbound_gn(&params);
+        assert!(!g.has_distinct_weights());
+        check_instance(&g).unwrap();
+    }
+
+    #[test]
+    fn expected_mst_pairs_all_exist() {
+        let params = LowerBoundParams::new(6);
+        let g = lowerbound_gn(&params);
+        let pairs = expected_mst_pairs(6);
+        assert_eq!(pairs.len(), 2 * 6 - 1);
+        for (a, b) in pairs {
+            assert!(g.find_edge(a, b).is_some(), "missing MST edge ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn family_instances_share_the_targets_view() {
+        let fam = lowerbound_family_at(8, 3);
+        assert_eq!(fam.instances.len(), 5);
+        let reference: Vec<(usize, Weight)> = fam.instances[0]
+            .incident(fam.target)
+            .iter()
+            .map(|ie| (ie.port, ie.weight))
+            .collect();
+        for inst in &fam.instances {
+            check_instance(inst).unwrap();
+            let view: Vec<(usize, Weight)> = inst
+                .incident(fam.target)
+                .iter()
+                .map(|ie| (ie.port, ie.weight))
+                .collect();
+            assert_eq!(view, reference, "target's local view must be identical");
+        }
+    }
+
+    #[test]
+    fn family_correct_ports_are_pairwise_distinct() {
+        let fam = lowerbound_family_at(9, 4);
+        let mut ports = fam.correct_ports.clone();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), fam.instances.len());
+        // And each correct port really is the spine edge in that instance.
+        for (inst, &p) in fam.instances.iter().zip(&fam.correct_ports) {
+            let e = inst.edge_via(fam.target, p);
+            let rec = inst.edge(e);
+            let expected_other = node_u(fam.target_i - 1);
+            assert_eq!(rec.other(fam.target), expected_other);
+        }
+    }
+
+    #[test]
+    fn certified_average_bound_grows_like_log_n() {
+        let b16 = certified_average_bits(16);
+        let b256 = certified_average_bits(256);
+        let b4096 = certified_average_bits(4096);
+        assert!(b16 > 0.5);
+        assert!(b256 > b16 + 1.0);
+        assert!(b4096 > b256 + 1.0);
+        // Should stay within a constant factor of (log2 n)/2.
+        assert!(b4096 < (4096f64).log2());
+    }
+
+    #[test]
+    #[should_panic(expected = "target_i must be in")]
+    fn family_rejects_bad_target() {
+        let _ = lowerbound_family_at(8, 8);
+    }
+}

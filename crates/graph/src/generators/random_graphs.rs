@@ -1,0 +1,160 @@
+//! Random connected graphs.
+//!
+//! Two flavours:
+//!
+//! * [`connected_random`] — a random spanning tree backbone plus extra random
+//!   edges until a target edge count is reached; always connected, so every
+//!   sample is usable by the experiments.
+//! * [`gnp_connected`] — classical `G(n, p)` conditioned on connectivity by
+//!   resampling (only suitable for `p` comfortably above the connectivity
+//!   threshold).
+
+use crate::builder::GraphBuilder;
+use crate::graph::WeightedGraph;
+use crate::prng::SplitMix64;
+use crate::weights::{WeightAssigner, WeightStrategy};
+
+/// A connected random graph with `n` nodes and (approximately) `target_m`
+/// edges: a random recursive tree backbone plus uniformly random extra edges.
+///
+/// `target_m` is clamped to `[n-1, n(n-1)/2]`.
+#[must_use]
+pub fn connected_random(
+    n: usize,
+    target_m: usize,
+    seed: u64,
+    weights: WeightStrategy,
+) -> WeightedGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let max_m = n * (n - 1) / 2;
+    let target_m = target_m.clamp(n - 1, max_m);
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut present = std::collections::HashSet::with_capacity(target_m);
+
+    // Spanning-tree backbone guarantees connectivity.
+    for i in 1..n {
+        let parent = rng.next_index(i);
+        b.add_edge(parent, i, 0);
+        present.insert((parent.min(i), parent.max(i)));
+    }
+
+    // Extra edges.  For dense targets fall back to enumerating the complement
+    // so the rejection loop cannot stall.
+    if target_m > n - 1 {
+        let extra = target_m - (n - 1);
+        if target_m * 2 > max_m {
+            let mut candidates: Vec<(usize, usize)> = Vec::with_capacity(max_m - (n - 1));
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if !present.contains(&(u, v)) {
+                        candidates.push((u, v));
+                    }
+                }
+            }
+            rng.shuffle(&mut candidates);
+            for &(u, v) in candidates.iter().take(extra) {
+                b.add_edge(u, v, 0);
+            }
+        } else {
+            let mut added = 0;
+            while added < extra {
+                let u = rng.next_index(n);
+                let v = rng.next_index(n);
+                if u == v {
+                    continue;
+                }
+                let key = (u.min(v), u.max(v));
+                if present.insert(key) {
+                    b.add_edge(key.0, key.1, 0);
+                    added += 1;
+                }
+            }
+        }
+    }
+
+    let m = b.edge_count();
+    let mut w = WeightAssigner::new(weights, m);
+    for e in 0..m {
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.randomize_ports(rng.next_u64());
+    b.build().expect("connected_random construction is always valid")
+}
+
+/// `G(n, p)` conditioned on connectivity (resamples up to 64 times, then falls
+/// back to [`connected_random`] with the expected edge count).
+#[must_use]
+pub fn gnp_connected(n: usize, p: f64, seed: u64, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = SplitMix64::new(seed);
+    for _attempt in 0..64 {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.next_bool(p) {
+                    b.add_edge(u, v, 0);
+                }
+            }
+        }
+        let m = b.edge_count();
+        if m < n - 1 {
+            continue;
+        }
+        let mut w = WeightAssigner::new(weights, m);
+        for e in 0..m {
+            b.set_weight(e, w.weight_of(e));
+        }
+        let g = b.build().expect("gnp construction is always valid");
+        if g.is_connected() {
+            return g;
+        }
+    }
+    let expected_m = ((n * (n - 1)) as f64 / 2.0 * p).round() as usize;
+    connected_random(n, expected_m.max(n - 1), rng.next_u64(), weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_instance;
+
+    #[test]
+    fn connected_random_is_connected_with_exact_edge_count() {
+        for seed in 0..4 {
+            let g = connected_random(30, 60, seed, WeightStrategy::DistinctRandom { seed });
+            check_instance(&g).unwrap();
+            assert_eq!(g.edge_count(), 60);
+        }
+    }
+
+    #[test]
+    fn connected_random_clamps_target() {
+        let g = connected_random(10, 3, 1, WeightStrategy::Unit);
+        assert_eq!(g.edge_count(), 9); // clamped up to a spanning tree
+        let g = connected_random(6, 1000, 1, WeightStrategy::Unit);
+        assert_eq!(g.edge_count(), 15); // clamped down to the clique
+    }
+
+    #[test]
+    fn connected_random_dense_path_uses_complement_enumeration() {
+        let g = connected_random(12, 60, 5, WeightStrategy::ByEdgeId);
+        check_instance(&g).unwrap();
+        assert_eq!(g.edge_count(), 60);
+    }
+
+    #[test]
+    fn gnp_connected_returns_connected_graph() {
+        for seed in 0..3 {
+            let g = gnp_connected(24, 0.3, seed, WeightStrategy::DistinctRandom { seed });
+            check_instance(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = connected_random(20, 40, 77, WeightStrategy::DistinctRandom { seed: 5 });
+        let b = connected_random(20, 40, 77, WeightStrategy::DistinctRandom { seed: 5 });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,75 @@
+//! Tree generators.
+
+use crate::builder::GraphBuilder;
+use crate::graph::WeightedGraph;
+use crate::prng::SplitMix64;
+use crate::weights::{WeightAssigner, WeightStrategy};
+
+/// A uniformly-ish random tree on `n ≥ 2` nodes: node `i ≥ 1` attaches to a
+/// uniformly random earlier node (a random recursive tree — not Prüfer-uniform
+/// but cheap and plenty varied for testing).
+#[must_use]
+pub fn random_tree(n: usize, seed: u64, weights: WeightStrategy) -> WeightedGraph {
+    assert!(n >= 2, "a tree needs at least two nodes");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, n - 1);
+    for i in 1..n {
+        let parent = rng.next_index(i);
+        let e = b.add_edge(parent, i, 0);
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.build().expect("random tree construction is always valid")
+}
+
+/// A complete binary tree of the given depth (depth 0 is a single edge pair
+/// root/child situation is avoided: depth ≥ 1 gives `2^(depth+1) - 1` nodes).
+#[must_use]
+pub fn balanced_binary_tree(depth: u32, weights: WeightStrategy) -> WeightedGraph {
+    assert!(depth >= 1, "depth must be at least 1");
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::new(n);
+    let mut w = WeightAssigner::new(weights, n - 1);
+    for i in 1..n {
+        let parent = (i - 1) / 2;
+        let e = b.add_edge(parent, i, 0);
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.build().expect("balanced tree construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_instance;
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for seed in 0..5 {
+            let g = random_tree(33, seed, WeightStrategy::DistinctRandom { seed });
+            check_instance(&g).unwrap();
+            assert_eq!(g.edge_count(), 32);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_tree_depends_on_seed() {
+        let a = random_tree(40, 1, WeightStrategy::Unit);
+        let b = random_tree(40, 2, WeightStrategy::Unit);
+        let deg_a: Vec<usize> = a.nodes().map(|u| a.degree(u)).collect();
+        let deg_b: Vec<usize> = b.nodes().map(|u| b.degree(u)).collect();
+        assert_ne!(deg_a, deg_b);
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let g = balanced_binary_tree(3, WeightStrategy::ByEdgeId);
+        check_instance(&g).unwrap();
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(14), 1);
+        assert_eq!(g.diameter(), 6);
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-node edge indexes, exactly as defined in the paper (§1):
+//!
+//! > "For an edge `e` incident to `u ∈ V(G)`, we define `index_u(e) =
+//! > (x_u(e), y_u(e))` where `x_u(e)` is the rank of the weight `w(e)` of `e`
+//! > among all the weights of the edges incident to `u`, and `y_u(e)` is the
+//! > rank of the port number of edge `e` among all the edges of weight `w(e)`
+//! > incident to `u`."
+//!
+//! The indexes serve two purposes in the reproduction:
+//!
+//! * the **trivial (⌈log n⌉, 0)-scheme** gives each node the rank `r_u(e)` of
+//!   its parent edge's index among all its incident edges;
+//! * the schemes of Theorems 2 and 3 give choosing nodes `index_u(e)` itself,
+//!   exploiting Lemma 2 (`x + y ≤ |F|`) to bound the number of bits needed.
+//!
+//! All ranks here are **1-based**, matching the paper.
+
+use crate::graph::{NodeIdx, Port, Weight, WeightedGraph};
+
+/// The pair `index_u(e) = (x, y)` for an edge `e` incident to a node `u`.
+///
+/// * `x` — 1-based rank of `w(e)` among the **distinct** weights of `u`'s
+///   incident edges,
+/// * `y` — 1-based rank of the port of `e` among `u`'s incident edges of the
+///   same weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeIndex {
+    /// Weight rank (1-based).
+    pub x: usize,
+    /// Port rank within the weight class (1-based).
+    pub y: usize,
+}
+
+impl EdgeIndex {
+    /// `x + y`, the quantity bounded by `|F|` in Lemma 2.
+    #[must_use]
+    pub fn sum(&self) -> usize {
+        self.x + self.y
+    }
+}
+
+/// Computes `index_u(e)` for the edge at port `p` of node `u`.
+///
+/// # Panics
+/// Panics if `p >= deg(u)`.
+#[must_use]
+pub fn index_of(g: &WeightedGraph, u: NodeIdx, p: Port) -> EdgeIndex {
+    let inc = g.incident(u);
+    let me = inc[p];
+    let mut distinct_smaller = std::collections::BTreeSet::new();
+    let mut same_weight_smaller_port = 0usize;
+    for ie in inc {
+        if ie.weight < me.weight {
+            distinct_smaller.insert(ie.weight);
+        } else if ie.weight == me.weight && ie.port < me.port {
+            same_weight_smaller_port += 1;
+        }
+    }
+    EdgeIndex {
+        x: distinct_smaller.len() + 1,
+        y: same_weight_smaller_port + 1,
+    }
+}
+
+/// Resolves an [`EdgeIndex`] back to the port it denotes at node `u`, if any.
+///
+/// This is the local computation a node performs when decoding advice that
+/// names an edge by its index.
+#[must_use]
+pub fn port_of_index(g: &WeightedGraph, u: NodeIdx, idx: EdgeIndex) -> Option<Port> {
+    // Weight with rank `idx.x` among distinct incident weights.
+    let mut weights: Vec<Weight> = g.incident(u).iter().map(|ie| ie.weight).collect();
+    weights.sort_unstable();
+    weights.dedup();
+    let target_weight = *weights.get(idx.x.checked_sub(1)?)?;
+    // `idx.y`-th smallest port among edges of that weight.
+    let mut ports: Vec<Port> = g
+        .incident(u)
+        .iter()
+        .filter(|ie| ie.weight == target_weight)
+        .map(|ie| ie.port)
+        .collect();
+    ports.sort_unstable();
+    ports.get(idx.y.checked_sub(1)?).copied()
+}
+
+/// The 1-based rank `r_u(e)` of `index_u(e)` among the indexes of all edges
+/// incident to `u` (equivalently: the rank of the edge at port `p` in the
+/// lexicographic `(weight, port)` order of `u`'s incident edges).
+///
+/// The trivial (⌈log n⌉, 0)-advising scheme hands each node exactly this rank
+/// for its MST parent edge.
+#[must_use]
+pub fn rank_of(g: &WeightedGraph, u: NodeIdx, p: Port) -> usize {
+    let inc = g.incident(u);
+    let me = inc[p];
+    1 + inc
+        .iter()
+        .filter(|ie| (ie.weight, ie.port) < (me.weight, me.port))
+        .count()
+}
+
+/// Resolves a 1-based rank back to a port at node `u`, if in range.
+#[must_use]
+pub fn port_of_rank(g: &WeightedGraph, u: NodeIdx, rank: usize) -> Option<Port> {
+    if rank == 0 {
+        return None;
+    }
+    let mut keyed: Vec<(Weight, Port)> = g
+        .incident(u)
+        .iter()
+        .map(|ie| (ie.weight, ie.port))
+        .collect();
+    keyed.sort_unstable();
+    keyed.get(rank - 1).map(|&(_, p)| p)
+}
+
+/// Number of bits needed to write a 1-based rank in `1..=deg(u)` (i.e.
+/// `⌈log2(deg(u))⌉`, at least 1 for any node with an incident edge).
+#[must_use]
+pub fn rank_bits(degree: usize) -> u32 {
+    if degree <= 1 {
+        1
+    } else {
+        crate::graph::ceil_log2(degree).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// A star centred at 0 with some duplicate weights to exercise both rank
+    /// components.
+    fn star_with_ties() -> WeightedGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 10); // port 0 at node 0
+        b.add_edge(0, 2, 5); // port 1
+        b.add_edge(0, 3, 10); // port 2
+        b.add_edge(0, 4, 7); // port 3
+        b.add_edge(0, 5, 5); // port 4
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn index_components() {
+        let g = star_with_ties();
+        // Distinct weights at node 0 sorted: 5, 7, 10.
+        assert_eq!(index_of(&g, 0, 1), EdgeIndex { x: 1, y: 1 }); // weight 5, port 1
+        assert_eq!(index_of(&g, 0, 4), EdgeIndex { x: 1, y: 2 }); // weight 5, port 4
+        assert_eq!(index_of(&g, 0, 3), EdgeIndex { x: 2, y: 1 }); // weight 7
+        assert_eq!(index_of(&g, 0, 0), EdgeIndex { x: 3, y: 1 }); // weight 10, port 0
+        assert_eq!(index_of(&g, 0, 2), EdgeIndex { x: 3, y: 2 }); // weight 10, port 2
+    }
+
+    #[test]
+    fn index_round_trips_to_port() {
+        let g = star_with_ties();
+        for p in 0..g.degree(0) {
+            let idx = index_of(&g, 0, p);
+            assert_eq!(port_of_index(&g, 0, idx), Some(p));
+        }
+        // Leaves have a single incident edge at index (1, 1).
+        for u in 1..6 {
+            assert_eq!(index_of(&g, u, 0), EdgeIndex { x: 1, y: 1 });
+            assert_eq!(port_of_index(&g, u, EdgeIndex { x: 1, y: 1 }), Some(0));
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_is_none() {
+        let g = star_with_ties();
+        assert_eq!(port_of_index(&g, 0, EdgeIndex { x: 4, y: 1 }), None);
+        assert_eq!(port_of_index(&g, 0, EdgeIndex { x: 1, y: 3 }), None);
+        assert_eq!(port_of_index(&g, 0, EdgeIndex { x: 0, y: 1 }), None);
+    }
+
+    #[test]
+    fn rank_orders_by_weight_then_port() {
+        let g = star_with_ties();
+        // (weight, port) sorted: (5,1) (5,4) (7,3) (10,0) (10,2).
+        assert_eq!(rank_of(&g, 0, 1), 1);
+        assert_eq!(rank_of(&g, 0, 4), 2);
+        assert_eq!(rank_of(&g, 0, 3), 3);
+        assert_eq!(rank_of(&g, 0, 0), 4);
+        assert_eq!(rank_of(&g, 0, 2), 5);
+    }
+
+    #[test]
+    fn rank_round_trips_to_port() {
+        let g = star_with_ties();
+        for p in 0..g.degree(0) {
+            let r = rank_of(&g, 0, p);
+            assert_eq!(port_of_rank(&g, 0, r), Some(p));
+        }
+        assert_eq!(port_of_rank(&g, 0, 0), None);
+        assert_eq!(port_of_rank(&g, 0, 6), None);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation_of_one_to_degree() {
+        let g = star_with_ties();
+        let mut ranks: Vec<usize> = (0..g.degree(0)).map(|p| rank_of(&g, 0, p)).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn rank_bits_bounds() {
+        assert_eq!(rank_bits(1), 1);
+        assert_eq!(rank_bits(2), 1);
+        assert_eq!(rank_bits(3), 2);
+        assert_eq!(rank_bits(4), 2);
+        assert_eq!(rank_bits(9), 4);
+    }
+
+    #[test]
+    fn index_sum_is_small_for_light_edges() {
+        // The lightest edge at a node always has index (1, 1): sum 2, the
+        // base case that Lemma 2 relies on.
+        let g = star_with_ties();
+        let min_port = (0..g.degree(0))
+            .min_by_key(|&p| (g.incident(0)[p].weight, p))
+            .unwrap();
+        let idx = index_of(&g, 0, min_port);
+        assert_eq!(idx, EdgeIndex { x: 1, y: 1 });
+        assert_eq!(idx.sum(), 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Structural validation of [`WeightedGraph`] values.
+//!
+//! The paper's model requires simple (no self-loops, no parallel edges),
+//! connected, port-numbered graphs.  Generators are expected to produce
+//! well-formed graphs, but the experiment harness validates every instance it
+//! runs so that a buggy generator can never silently corrupt a measurement.
+
+use crate::graph::{NodeIdx, WeightedGraph};
+
+/// A violation of the model's structural constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `adj[u][p].port != p` — ports must be the dense range `0..deg(u)`.
+    BadPortNumbering {
+        /// Offending node.
+        node: NodeIdx,
+    },
+    /// An incident entry disagrees with the corresponding edge record.
+    InconsistentIncidence {
+        /// Offending node.
+        node: NodeIdx,
+        /// Offending port.
+        port: usize,
+    },
+    /// An edge is a self-loop.
+    SelfLoop {
+        /// Offending edge id.
+        edge: usize,
+    },
+    /// Two edges join the same pair of nodes.
+    ParallelEdges {
+        /// First endpoint.
+        u: NodeIdx,
+        /// Second endpoint.
+        v: NodeIdx,
+    },
+    /// The graph is not connected (required by every experiment).
+    Disconnected,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadPortNumbering { node } => write!(f, "bad port numbering at node {node}"),
+            Self::InconsistentIncidence { node, port } => {
+                write!(f, "incidence list of node {node} disagrees with edge record at port {port}")
+            }
+            Self::SelfLoop { edge } => write!(f, "edge {edge} is a self-loop"),
+            Self::ParallelEdges { u, v } => write!(f, "parallel edges between {u} and {v}"),
+            Self::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks port-numbering consistency and simplicity (but not connectivity).
+pub fn check_well_formed(g: &WeightedGraph) -> Result<(), ValidationError> {
+    // Port numbering and incidence/edge-record agreement.
+    for u in g.nodes() {
+        for (p, ie) in g.incident(u).iter().enumerate() {
+            if ie.port != p {
+                return Err(ValidationError::BadPortNumbering { node: u });
+            }
+            let rec = g.edge(ie.edge);
+            let consistent = (rec.u == u && rec.port_u == p && rec.v == ie.neighbor
+                || rec.v == u && rec.port_v == p && rec.u == ie.neighbor)
+                && rec.weight == ie.weight;
+            if !consistent {
+                return Err(ValidationError::InconsistentIncidence { node: u, port: p });
+            }
+        }
+    }
+    // Simplicity.
+    let mut seen = std::collections::HashSet::with_capacity(g.edge_count());
+    for (e, rec) in g.edges().iter().enumerate() {
+        if rec.u == rec.v {
+            return Err(ValidationError::SelfLoop { edge: e });
+        }
+        let key = rec.endpoints_sorted();
+        if !seen.insert(key) {
+            return Err(ValidationError::ParallelEdges { u: key.0, v: key.1 });
+        }
+    }
+    Ok(())
+}
+
+/// Full validation: well-formedness plus connectivity.
+pub fn check_instance(g: &WeightedGraph) -> Result<(), ValidationError> {
+    check_well_formed(g)?;
+    if !g.is_connected() {
+        return Err(ValidationError::Disconnected);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn valid_graph_passes() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 2);
+        b.add_edge(2, 3, 3);
+        b.add_edge(3, 0, 4);
+        let g = b.build().unwrap();
+        check_instance(&g).unwrap();
+    }
+
+    #[test]
+    fn disconnected_graph_fails_full_check_only() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 2);
+        let g = b.build().unwrap();
+        check_well_formed(&g).unwrap();
+        assert_eq!(check_instance(&g).unwrap_err(), ValidationError::Disconnected);
+    }
+
+    #[test]
+    fn generators_produce_valid_instances() {
+        // Smoke-check a few generators through the validator.
+        let g = crate::generators::ring(16, crate::weights::WeightStrategy::DistinctRandom { seed: 3 });
+        check_instance(&g).unwrap();
+        let g = crate::generators::complete(9, crate::weights::WeightStrategy::Unit);
+        check_instance(&g).unwrap();
+    }
+}

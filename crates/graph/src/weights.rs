@@ -1,0 +1,129 @@
+//! Edge-weight assignment strategies.
+//!
+//! Generators take a [`WeightStrategy`] describing how weights are produced.
+//! The strategies cover the regimes the paper cares about:
+//!
+//! * pairwise-distinct weights (the classical "unique MST" setting),
+//! * heavily duplicated weights (exercising the paper's index-based
+//!   tie-breaking, Lemma 2),
+//! * unit weights (the fully symmetric extreme; together with distinct IDs
+//!   this is the footnote-2 setting), and
+//! * explicit weights chosen by a generator (used by the Theorem 1 family,
+//!   whose weights are structural).
+
+use crate::prng::SplitMix64;
+use crate::graph::Weight;
+
+/// How a generator assigns weights to the edges it creates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightStrategy {
+    /// All weights equal to 1.
+    Unit,
+    /// A random permutation of `1..=m` (pairwise distinct).
+    DistinctRandom {
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// Uniformly random weights in `1..=max`, duplicates likely when
+    /// `max << m`.
+    UniformRandom {
+        /// PRNG seed.
+        seed: u64,
+        /// Maximum weight (inclusive).
+        max: Weight,
+    },
+    /// Weight of edge `e` is `e + 1` (deterministic, distinct; useful in unit
+    /// tests because the MST is trivially predictable).
+    ByEdgeId,
+}
+
+/// A realized weight source for a known number of edges.
+#[derive(Debug)]
+pub struct WeightAssigner {
+    strategy: WeightStrategy,
+    permutation: Vec<Weight>,
+    rng: SplitMix64,
+}
+
+impl WeightAssigner {
+    /// Prepares an assigner able to weight `m` edges.
+    #[must_use]
+    pub fn new(strategy: WeightStrategy, m: usize) -> Self {
+        let (permutation, rng) = match strategy {
+            WeightStrategy::DistinctRandom { seed } => {
+                let mut rng = SplitMix64::new(seed);
+                let mut perm: Vec<Weight> = (1..=m as Weight).collect();
+                // Shuffle the weights so edge insertion order carries no
+                // information about weight order.
+                for i in (1..perm.len()).rev() {
+                    let j = rng.next_index(i + 1);
+                    perm.swap(i, j);
+                }
+                (perm, rng)
+            }
+            WeightStrategy::UniformRandom { seed, .. } => (Vec::new(), SplitMix64::new(seed)),
+            _ => (Vec::new(), SplitMix64::new(0)),
+        };
+        Self {
+            strategy,
+            permutation,
+            rng,
+        }
+    }
+
+    /// Weight of the `e`-th edge created by the generator.
+    pub fn weight_of(&mut self, e: usize) -> Weight {
+        match self.strategy {
+            WeightStrategy::Unit => 1,
+            WeightStrategy::ByEdgeId => e as Weight + 1,
+            WeightStrategy::DistinctRandom { .. } => self.permutation[e],
+            WeightStrategy::UniformRandom { max, .. } => self.rng.next_in_range(1, max.max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weights() {
+        let mut a = WeightAssigner::new(WeightStrategy::Unit, 5);
+        assert!((0..5).all(|e| a.weight_of(e) == 1));
+    }
+
+    #[test]
+    fn by_edge_id_weights() {
+        let mut a = WeightAssigner::new(WeightStrategy::ByEdgeId, 4);
+        assert_eq!(
+            (0..4).map(|e| a.weight_of(e)).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn distinct_random_is_a_permutation() {
+        let mut a = WeightAssigner::new(WeightStrategy::DistinctRandom { seed: 5 }, 64);
+        let mut ws: Vec<Weight> = (0..64).map(|e| a.weight_of(e)).collect();
+        ws.sort_unstable();
+        assert_eq!(ws, (1..=64).collect::<Vec<Weight>>());
+    }
+
+    #[test]
+    fn distinct_random_deterministic_per_seed() {
+        let mut a = WeightAssigner::new(WeightStrategy::DistinctRandom { seed: 5 }, 16);
+        let mut b = WeightAssigner::new(WeightStrategy::DistinctRandom { seed: 5 }, 16);
+        for e in 0..16 {
+            assert_eq!(a.weight_of(e), b.weight_of(e));
+        }
+    }
+
+    #[test]
+    fn uniform_random_respects_bounds() {
+        let mut a = WeightAssigner::new(WeightStrategy::UniformRandom { seed: 9, max: 7 }, 100);
+        for e in 0..100 {
+            let w = a.weight_of(e);
+            assert!((1..=7).contains(&w));
+        }
+    }
+}

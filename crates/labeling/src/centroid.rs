@@ -1,0 +1,321 @@
+//! Centroid decomposition of a spanning tree.
+//!
+//! The MST certificate of [`crate::mst_cert`] needs, for every *non-tree*
+//! edge `{u, v}`, the maximum edge weight on the tree path between `u` and
+//! `v`, computable from information stored at `u` and `v` alone.  The
+//! standard tool is a **centroid decomposition** of the tree:
+//!
+//! * recursively pick the centroid `c` of the current component (a node
+//!   whose removal leaves components of size ≤ half), record for every node
+//!   `x` of the component the pair *(c, max edge weight on the tree path
+//!   `x → c`)*, remove `c`, and recurse into the remaining components;
+//! * every node ends up with one entry per centroid *ancestor* — at most
+//!   `⌊log₂ n⌋ + 1` of them, because component sizes at least halve at every
+//!   level;
+//! * for any two nodes `u, v`, their deepest common centroid ancestor `c`
+//!   lies **on** the tree path between them (removing `c` separates them),
+//!   so `max-weight(path(u, v)) = max(maxw_u(c), maxw_v(c))` exactly.
+//!
+//! The decomposition is computed by the oracle (sequentially, `O(n log n)`),
+//! and only the per-node ancestor lists travel into the labels.
+
+use lma_graph::{NodeIdx, Weight, WeightedGraph};
+use lma_mst::RootedTree;
+
+/// One entry of a node's centroid-ancestor list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CentroidEntry {
+    /// The centroid node (identified by its node index; the oracle assigns
+    /// these, exactly as it assigns advice, so indices are legitimate here).
+    pub centroid: NodeIdx,
+    /// Depth of this centroid in the centroid tree (0 = the global centroid).
+    pub level: usize,
+    /// Maximum edge weight on the tree path from the owning node to
+    /// [`CentroidEntry::centroid`] (0 for the centroid itself).
+    pub max_weight: Weight,
+}
+
+/// The full centroid decomposition of one spanning tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CentroidDecomposition {
+    /// `ancestors[u]` — the centroid-ancestor chain of node `u`, ordered from
+    /// the global centroid (level 0) down to the centroid of the singleton
+    /// component containing `u` (which is `u` itself).
+    pub ancestors: Vec<Vec<CentroidEntry>>,
+    /// `level_of[u]` — the level at which `u` itself was chosen as a
+    /// centroid.
+    pub level_of: Vec<usize>,
+}
+
+impl CentroidDecomposition {
+    /// Builds the decomposition of the given spanning tree of `g`.
+    ///
+    /// The tree is taken from `tree.edges`; weights come from `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` does not span `g` (wrong edge count).
+    #[must_use]
+    pub fn build(g: &WeightedGraph, tree: &RootedTree) -> Self {
+        let n = g.node_count();
+        assert_eq!(tree.parent.len(), n, "tree must span the graph");
+
+        // Tree adjacency restricted to the tree edges.
+        let mut adj: Vec<Vec<(NodeIdx, Weight)>> = vec![Vec::new(); n];
+        for &e in &tree.edges {
+            let rec = g.edge(e);
+            let w = rec.weight;
+            adj[rec.u].push((rec.v, w));
+            adj[rec.v].push((rec.u, w));
+        }
+
+        let mut ancestors: Vec<Vec<CentroidEntry>> = vec![Vec::new(); n];
+        let mut level_of = vec![usize::MAX; n];
+        let mut removed = vec![false; n];
+        let mut subtree = vec![0usize; n];
+
+        // Iterative recursion over components: (some node of the component,
+        // centroid level to assign).
+        let mut stack: Vec<(NodeIdx, usize)> = Vec::new();
+        if n > 0 {
+            stack.push((0, 0));
+        }
+        // Scratch buffers reused across components.
+        let mut order: Vec<NodeIdx> = Vec::with_capacity(n);
+        let mut parent: Vec<NodeIdx> = vec![usize::MAX; n];
+
+        while let Some((start, level)) = stack.pop() {
+            // Collect the component of `start` in removal-free adjacency.
+            order.clear();
+            order.push(start);
+            parent[start] = start;
+            let mut head = 0;
+            while head < order.len() {
+                let x = order[head];
+                head += 1;
+                for &(y, _) in &adj[x] {
+                    if !removed[y] && parent[y] == usize::MAX {
+                        parent[y] = x;
+                        order.push(y);
+                    }
+                }
+            }
+            let size = order.len();
+
+            // Subtree sizes over the DFS/BFS order (children before parents
+            // when traversed in reverse).
+            for &x in &order {
+                subtree[x] = 1;
+            }
+            for &x in order.iter().rev() {
+                if parent[x] != x {
+                    subtree[parent[x]] += subtree[x];
+                }
+            }
+
+            // The centroid: a node whose largest hanging component has size
+            // ≤ size / 2.
+            let mut centroid = start;
+            'search: loop {
+                for &(y, _) in &adj[centroid] {
+                    if removed[y] {
+                        continue;
+                    }
+                    // Size of y's side when the tree is rooted at `start`.
+                    let side = if parent[y] == centroid { subtree[y] } else { size - subtree[centroid] };
+                    if 2 * side > size {
+                        centroid = y;
+                        continue 'search;
+                    }
+                }
+                break;
+            }
+
+            // Record (centroid, max weight to centroid) at every node of the
+            // component, by BFS from the centroid.
+            level_of[centroid] = level;
+            ancestors[centroid].push(CentroidEntry { centroid, level, max_weight: 0 });
+            let mut frontier = vec![centroid];
+            // Reuse `parent` as the visited marker for this BFS by a fresh
+            // sentinel pass.
+            for &x in &order {
+                parent[x] = usize::MAX;
+            }
+            parent[centroid] = centroid;
+            let mut maxw = vec![0 as Weight; 0];
+            maxw.resize(n, 0);
+            while let Some(x) = frontier.pop() {
+                for &(y, w) in &adj[x] {
+                    if removed[y] || parent[y] != usize::MAX {
+                        continue;
+                    }
+                    parent[y] = x;
+                    maxw[y] = maxw[x].max(w);
+                    ancestors[y].push(CentroidEntry { centroid, level, max_weight: maxw[y] });
+                    frontier.push(y);
+                }
+            }
+
+            // Remove the centroid and recurse on the remaining components.
+            removed[centroid] = true;
+            for &(y, _) in &adj[centroid] {
+                if !removed[y] {
+                    stack.push((y, level + 1));
+                }
+            }
+            // Reset `parent` for the nodes of this component so the next
+            // component collection starts clean.
+            for &x in &order {
+                parent[x] = usize::MAX;
+            }
+        }
+
+        Self { ancestors, level_of }
+    }
+
+    /// The maximum edge weight on the tree path between `u` and `v`, computed
+    /// from the two ancestor lists alone (exactly what the distributed
+    /// verifier does with the two labels it sees).
+    ///
+    /// Returns `None` when the lists share no common centroid — impossible
+    /// for two nodes of the same tree, and treated as a verification failure
+    /// by the caller.
+    #[must_use]
+    pub fn path_max_from_lists(a: &[CentroidEntry], b: &[CentroidEntry]) -> Option<Weight> {
+        // Common ancestors form a shared prefix of both chains; the deepest
+        // common entry is the centroid-tree LCA, which lies on the tree path.
+        let mut best: Option<Weight> = None;
+        for (ea, eb) in a.iter().zip(b.iter()) {
+            if ea.centroid != eb.centroid || ea.level != eb.level {
+                break;
+            }
+            best = Some(ea.max_weight.max(eb.max_weight));
+        }
+        best
+    }
+
+    /// The maximum edge weight on the tree path between `u` and `v`.
+    #[must_use]
+    pub fn path_max(&self, u: NodeIdx, v: NodeIdx) -> Option<Weight> {
+        Self::path_max_from_lists(&self.ancestors[u], &self.ancestors[v])
+    }
+
+    /// The largest ancestor-list length over all nodes (≤ ⌊log₂ n⌋ + 1).
+    #[must_use]
+    pub fn max_list_len(&self) -> usize {
+        self.ancestors.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{complete, connected_random, grid, path, random_tree, ring, star};
+    use lma_graph::weights::WeightStrategy;
+    use lma_graph::graph::ceil_log2;
+    use lma_mst::kruskal_mst;
+
+    fn mst_tree(g: &WeightedGraph) -> RootedTree {
+        let edges = kruskal_mst(g).expect("connected");
+        RootedTree::from_edges(g, 0, &edges).expect("spanning")
+    }
+
+    /// Reference: max weight on the tree path by explicit path walking.
+    fn path_max_reference(g: &WeightedGraph, tree: &RootedTree, u: NodeIdx, v: NodeIdx) -> Weight {
+        let mut du = u;
+        let mut dv = v;
+        let mut best = 0;
+        let mut depth_u = tree.depth[u];
+        let mut depth_v = tree.depth[v];
+        while depth_u > depth_v {
+            best = best.max(g.weight(tree.parent_edge[du].unwrap()));
+            du = tree.parent[du].unwrap();
+            depth_u -= 1;
+        }
+        while depth_v > depth_u {
+            best = best.max(g.weight(tree.parent_edge[dv].unwrap()));
+            dv = tree.parent[dv].unwrap();
+            depth_v -= 1;
+        }
+        while du != dv {
+            best = best.max(g.weight(tree.parent_edge[du].unwrap()));
+            best = best.max(g.weight(tree.parent_edge[dv].unwrap()));
+            du = tree.parent[du].unwrap();
+            dv = tree.parent[dv].unwrap();
+        }
+        best
+    }
+
+    #[test]
+    fn ancestor_lists_are_logarithmically_short() {
+        for n in [2usize, 3, 8, 17, 64, 200] {
+            let g = path(n, WeightStrategy::ByEdgeId);
+            let tree = mst_tree(&g);
+            let dec = CentroidDecomposition::build(&g, &tree);
+            assert!(
+                dec.max_list_len() <= ceil_log2(n) as usize + 1,
+                "n={n}: list length {} too long",
+                dec.max_list_len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_node_has_itself_as_deepest_entry() {
+        let g = random_tree(40, 3, WeightStrategy::DistinctRandom { seed: 3 });
+        let tree = mst_tree(&g);
+        let dec = CentroidDecomposition::build(&g, &tree);
+        for u in g.nodes() {
+            let last = dec.ancestors[u].last().unwrap();
+            assert_eq!(last.centroid, u, "node {u} missing its own singleton entry");
+            assert_eq!(last.max_weight, 0);
+            assert_eq!(dec.level_of[u], last.level);
+        }
+    }
+
+    #[test]
+    fn path_max_matches_explicit_walk_on_trees_and_graphs() {
+        let graphs = vec![
+            path(17, WeightStrategy::DistinctRandom { seed: 1 }),
+            ring(20, WeightStrategy::DistinctRandom { seed: 2 }),
+            star(15, WeightStrategy::DistinctRandom { seed: 3 }),
+            grid(4, 5, WeightStrategy::DistinctRandom { seed: 4 }),
+            complete(12, WeightStrategy::DistinctRandom { seed: 5 }),
+            connected_random(30, 80, 6, WeightStrategy::DistinctRandom { seed: 6 }),
+            random_tree(25, 7, WeightStrategy::UniformRandom { seed: 7, max: 5 }),
+        ];
+        for g in &graphs {
+            let tree = mst_tree(g);
+            let dec = CentroidDecomposition::build(g, &tree);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let got = dec.path_max(u, v).expect("same tree");
+                    let want = if u == v { 0 } else { path_max_reference(g, &tree, u, v) };
+                    assert_eq!(got, want, "path max mismatch for ({u}, {v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_strictly_increase_along_each_list() {
+        let g = connected_random(50, 130, 9, WeightStrategy::DistinctRandom { seed: 9 });
+        let tree = mst_tree(&g);
+        let dec = CentroidDecomposition::build(&g, &tree);
+        for u in g.nodes() {
+            let levels: Vec<usize> = dec.ancestors[u].iter().map(|e| e.level).collect();
+            for w in levels.windows(2) {
+                assert!(w[0] < w[1], "levels not strictly increasing at node {u}: {levels:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_and_two_node_trees() {
+        let g = path(2, WeightStrategy::Unit);
+        let tree = mst_tree(&g);
+        let dec = CentroidDecomposition::build(&g, &tree);
+        assert_eq!(dec.path_max(0, 1), Some(1));
+        assert_eq!(dec.path_max(0, 0), Some(0));
+    }
+}

@@ -1,0 +1,285 @@
+//! Fault injection: negative inputs for the verification layer and for the
+//! advising schemes' end-to-end checks.
+//!
+//! Positive tests ("a correct run is accepted") say nothing about whether a
+//! verifier actually *verifies*.  This module produces the negative inputs:
+//! corrupted decoded outputs, corrupted labels, corrupted advice strings,
+//! and deliberately non-minimum spanning trees, all generated
+//! deterministically from a seed so failures reproduce.
+
+use crate::labels::MstLabel;
+use lma_advice::{Advice, BitString};
+use lma_graph::{EdgeId, NodeIdx, SplitMix64, WeightedGraph};
+use lma_mst::kruskal_mst;
+use lma_mst::verify::UpwardOutput;
+use lma_mst::RootedTree;
+
+/// A single corruption applied to a vector of claimed outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFault {
+    /// Redirect one node's parent pointer to a different (existing) port.
+    ReroutedParent {
+        /// The corrupted node.
+        node: NodeIdx,
+        /// The port it now outputs.
+        new_port: usize,
+    },
+    /// Make one non-root node additionally claim to be the root.
+    ExtraRoot {
+        /// The corrupted node.
+        node: NodeIdx,
+    },
+    /// Erase one node's output entirely.
+    DroppedOutput {
+        /// The corrupted node.
+        node: NodeIdx,
+    },
+    /// Point the true root at one of its neighbours (creating either a
+    /// two-root-free cycle or a second tree, depending on the graph).
+    DemotedRoot {
+        /// The root node.
+        node: NodeIdx,
+        /// The port it now outputs.
+        new_port: usize,
+    },
+}
+
+impl OutputFault {
+    /// The node the fault touches.
+    #[must_use]
+    pub fn node(&self) -> NodeIdx {
+        match self {
+            OutputFault::ReroutedParent { node, .. }
+            | OutputFault::ExtraRoot { node }
+            | OutputFault::DroppedOutput { node }
+            | OutputFault::DemotedRoot { node, .. } => *node,
+        }
+    }
+}
+
+/// A reproducible plan of output corruptions.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The corruptions, in application order.
+    pub faults: Vec<OutputFault>,
+}
+
+impl FaultPlan {
+    /// Draws `count` random output corruptions for outputs over graph `g`,
+    /// relative to the correct rooted tree `tree`.
+    #[must_use]
+    pub fn random(g: &WeightedGraph, tree: &RootedTree, count: usize, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let n = g.node_count();
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            let node = rng.next_index(n);
+            let kind = rng.next_index(4);
+            let fault = match kind {
+                0 if tree.parent_port[node].is_some() && g.degree(node) > 1 => {
+                    let old = tree.parent_port[node].unwrap();
+                    let mut new_port = rng.next_index(g.degree(node));
+                    if new_port == old {
+                        new_port = (new_port + 1) % g.degree(node);
+                    }
+                    OutputFault::ReroutedParent { node, new_port }
+                }
+                1 if node != tree.root => OutputFault::ExtraRoot { node },
+                2 => OutputFault::DroppedOutput { node },
+                _ => OutputFault::DemotedRoot {
+                    node: tree.root,
+                    new_port: rng.next_index(g.degree(tree.root)),
+                },
+            };
+            faults.push(fault);
+        }
+        Self { faults }
+    }
+
+    /// Applies the plan to a copy of `outputs` and returns the corrupted
+    /// vector.
+    #[must_use]
+    pub fn apply(&self, outputs: &[Option<UpwardOutput>]) -> Vec<Option<UpwardOutput>> {
+        let mut out = outputs.to_vec();
+        for fault in &self.faults {
+            match *fault {
+                OutputFault::ReroutedParent { node, new_port }
+                | OutputFault::DemotedRoot { node, new_port } => {
+                    out[node] = Some(UpwardOutput::Parent(new_port));
+                }
+                OutputFault::ExtraRoot { node } => out[node] = Some(UpwardOutput::Root),
+                OutputFault::DroppedOutput { node } => out[node] = None,
+            }
+        }
+        out
+    }
+
+    /// True when the plan actually changes at least one output of `outputs`.
+    #[must_use]
+    pub fn changes(&self, outputs: &[Option<UpwardOutput>]) -> bool {
+        self.apply(outputs) != outputs
+    }
+}
+
+/// Flips `flips` uniformly random bits across the non-empty advice strings
+/// of `advice` (a model of a faulty oracle channel).  Returns the number of
+/// bits actually flipped (0 when every string is empty).
+pub fn flip_advice_bits(advice: &mut Advice, flips: usize, seed: u64) -> usize {
+    let mut rng = SplitMix64::new(seed);
+    let candidates: Vec<usize> = advice
+        .per_node
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return 0;
+    }
+    let mut flipped = 0;
+    for _ in 0..flips {
+        let node = candidates[rng.next_index(candidates.len())];
+        let s = &advice.per_node[node];
+        let pos = rng.next_index(s.len());
+        let mut bits: Vec<bool> = s.iter().collect();
+        bits[pos] = !bits[pos];
+        advice.per_node[node] = BitString::from_bits(bits);
+        flipped += 1;
+    }
+    flipped
+}
+
+/// Corrupts one node's certificate label: adds `delta` to its recorded
+/// depth and multiplies its recorded centroid maxima by `factor`.
+pub fn corrupt_label(labels: &mut [MstLabel], node: NodeIdx, delta: u64, factor: u64) {
+    let label = &mut labels[node];
+    label.spanning.depth = label.spanning.depth.wrapping_add(delta);
+    for e in &mut label.entries {
+        e.max_weight = e.max_weight.saturating_mul(factor.max(1));
+    }
+}
+
+/// Builds a spanning tree of `g` that is **strictly heavier** than the MST,
+/// if one exists: take the MST, pick a non-tree edge that is strictly
+/// heavier than some edge on the tree path between its endpoints, swap the
+/// two.  Returns `None` when `g` is a tree or when every spanning tree has
+/// the same weight (e.g. unit weights).
+#[must_use]
+pub fn non_minimum_spanning_tree(g: &WeightedGraph, root: NodeIdx, seed: u64) -> Option<RootedTree> {
+    let mst = kruskal_mst(g)?;
+    let tree = RootedTree::from_edges(g, root, &mst)?;
+    let mut rng = SplitMix64::new(seed);
+    let mut non_tree: Vec<EdgeId> = (0..g.edge_count())
+        .filter(|e| !tree.contains_edge(*e))
+        .collect();
+    rng.shuffle(&mut non_tree);
+    for e in non_tree {
+        let rec = g.edge(e);
+        // Heaviest edge on the tree path between the endpoints.
+        let (mut a, mut b) = (rec.u, rec.v);
+        let mut heaviest: Option<EdgeId> = None;
+        let mut best_w = 0;
+        let mut da = tree.depth[a];
+        let mut db = tree.depth[b];
+        let mut step = |x: &mut NodeIdx| {
+            let pe = tree.parent_edge[*x].expect("non-root");
+            if g.weight(pe) > best_w {
+                best_w = g.weight(pe);
+                heaviest = Some(pe);
+            }
+            *x = tree.parent[*x].expect("non-root");
+        };
+        while da > db {
+            step(&mut a);
+            da -= 1;
+        }
+        while db > da {
+            step(&mut b);
+            db -= 1;
+        }
+        while a != b {
+            step(&mut a);
+            step(&mut b);
+        }
+        let heavy = heaviest?;
+        if g.weight(e) > g.weight(heavy) {
+            // Swap: remove the path edge, add the non-tree edge.
+            let mut edges: Vec<EdgeId> = tree.edges.iter().copied().filter(|&x| x != heavy).collect();
+            edges.push(e);
+            return RootedTree::from_edges(g, root, &edges);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{complete, connected_random, ring};
+    use lma_graph::weights::WeightStrategy;
+    use lma_mst::verify::verify_upward_outputs;
+
+    #[test]
+    fn fault_plan_is_deterministic_and_changes_outputs() {
+        let g = connected_random(24, 60, 1, WeightStrategy::DistinctRandom { seed: 1 });
+        let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        let plan_a = FaultPlan::random(&g, &tree, 3, 99);
+        let plan_b = FaultPlan::random(&g, &tree, 3, 99);
+        assert_eq!(plan_a.faults, plan_b.faults, "same seed must give the same plan");
+        assert!(plan_a.changes(&outputs));
+        assert_ne!(plan_a.apply(&outputs), outputs);
+    }
+
+    #[test]
+    fn corrupted_outputs_fail_central_verification() {
+        let g = connected_random(30, 80, 2, WeightStrategy::DistinctRandom { seed: 2 });
+        let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        let mut rejected = 0;
+        for seed in 0..10u64 {
+            let plan = FaultPlan::random(&g, &tree, 2, seed);
+            let corrupted = plan.apply(&outputs);
+            if corrupted == outputs {
+                continue;
+            }
+            if verify_upward_outputs(&g, &corrupted).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 8, "most random corruptions must break the MST ({rejected}/10)");
+    }
+
+    #[test]
+    fn flip_advice_bits_flips_and_is_deterministic() {
+        let mut advice = Advice::empty(4);
+        advice.per_node[1].push_uint(0b1010, 4);
+        advice.per_node[3].push_uint(0b1, 1);
+        let mut copy = advice.clone();
+        let a = flip_advice_bits(&mut advice, 5, 7);
+        let b = flip_advice_bits(&mut copy, 5, 7);
+        assert_eq!(a, 5);
+        assert_eq!(b, 5);
+        assert_eq!(advice, copy);
+        let empty_flips = flip_advice_bits(&mut Advice::empty(3), 4, 1);
+        assert_eq!(empty_flips, 0);
+    }
+
+    #[test]
+    fn non_minimum_tree_is_spanning_but_heavier() {
+        let g = complete(10, WeightStrategy::DistinctRandom { seed: 3 });
+        let mst_weight = lma_mst::mst_weight(&g).unwrap();
+        let bad = non_minimum_spanning_tree(&g, 0, 4).expect("a complete graph has heavier trees");
+        assert_eq!(bad.edges.len(), g.node_count() - 1);
+        let bad_weight: u128 = g.weight_of(&bad.edges);
+        assert!(bad_weight > mst_weight);
+    }
+
+    #[test]
+    fn non_minimum_tree_absent_when_graph_is_a_tree_or_uniform() {
+        let star = lma_graph::generators::star(8, WeightStrategy::DistinctRandom { seed: 5 });
+        assert!(non_minimum_spanning_tree(&star, 0, 1).is_none());
+        let ring_unit = ring(6, WeightStrategy::Unit);
+        assert!(non_minimum_spanning_tree(&ring_unit, 0, 1).is_none());
+    }
+}

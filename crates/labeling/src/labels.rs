@@ -1,0 +1,183 @@
+//! Label types and size accounting.
+//!
+//! Verification labels play the same role for *checking* an MST that advice
+//! strings play for *computing* one, so their sizes are accounted the same
+//! way: in bits, per node, with maximum and average reported.  Labels travel
+//! inside verifier messages in structured form; [`SpanningLabel::encoded_bits`]
+//! and [`MstLabel::encoded_bits`] report the size of an honest binary
+//! encoding, and that is also what the simulator charges on the wire.
+
+use crate::centroid::CentroidEntry;
+use lma_advice::BitString;
+use lma_graph::graph::ceil_log2;
+use lma_graph::{Port, Weight};
+use lma_sim::message::{bits_for_value, BitSized};
+
+/// The spanning-tree part of a verification label: enough for a one-round
+/// verifier to accept exactly the rooted spanning trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanningLabel {
+    /// Identifier of the root of the tree the label certifies.
+    pub root_id: u64,
+    /// Hop distance of the labeled node from that root, in the tree.
+    pub depth: u64,
+}
+
+impl SpanningLabel {
+    /// Bits of an honest binary encoding of this label in an `n`-node
+    /// network: the root identifier plus a depth counter.
+    #[must_use]
+    pub fn encoded_bits(&self, n: usize) -> usize {
+        bits_for_value(self.root_id) + ceil_log2(n.max(2)) as usize
+    }
+
+    /// The label content as a bit string (used by the size accounting and by
+    /// the fault-injection helpers that flip raw bits).
+    #[must_use]
+    pub fn to_bits(&self, n: usize) -> BitString {
+        let mut s = BitString::new();
+        s.push_uint(self.root_id, bits_for_value(self.root_id).max(1));
+        s.push_uint(self.depth, ceil_log2(n.max(2)) as usize);
+        s
+    }
+}
+
+impl BitSized for SpanningLabel {
+    fn bit_size(&self) -> usize {
+        bits_for_value(self.root_id) + bits_for_value(self.depth)
+    }
+}
+
+/// The full MST-certificate label: the spanning part, the parent port the
+/// oracle assigned to this node (binding the certificate to one concrete
+/// tree), and the centroid-ancestor summary used for the cycle-property
+/// check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MstLabel {
+    /// The spanning-tree part.
+    pub spanning: SpanningLabel,
+    /// The parent port recorded by the oracle (`None` for the root).  The
+    /// verifier checks the node's claimed output against this field, so a
+    /// decoder that outputs a different tree than the certified one is
+    /// rejected even if that tree happens to be a spanning tree.
+    pub oracle_parent: Option<Port>,
+    /// The centroid-ancestor chain of this node (top-down).
+    pub entries: Vec<CentroidEntry>,
+}
+
+impl MstLabel {
+    /// Bits of an honest binary encoding in an `n`-node network with maximum
+    /// weight `max_w`: the spanning part, one port, and
+    /// `entries.len()` records of (node index, level, weight).
+    #[must_use]
+    pub fn encoded_bits(&self, n: usize, max_w: Weight) -> usize {
+        let logn = ceil_log2(n.max(2)) as usize;
+        let logw = bits_for_value(max_w.max(1));
+        let loglevels = ceil_log2(logn.max(2)) as usize;
+        self.spanning.encoded_bits(n)
+            + 1
+            + logn // the oracle parent port (or the root marker)
+            + bits_for_value(self.entries.len() as u64)
+            + self.entries.len() * (logn + loglevels + logw)
+    }
+
+    /// The number of centroid entries carried by this label.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl BitSized for MstLabel {
+    fn bit_size(&self) -> usize {
+        let entry_bits: usize = self
+            .entries
+            .iter()
+            .map(|e| {
+                bits_for_value(e.centroid as u64)
+                    + bits_for_value(e.level as u64)
+                    + bits_for_value(e.max_weight)
+            })
+            .sum();
+        self.spanning.bit_size()
+            + 1
+            + self.oracle_parent.map_or(0, |p| bits_for_value(p as u64))
+            + bits_for_value(self.entries.len() as u64)
+            + entry_bits
+    }
+}
+
+/// Size statistics of a label assignment, mirroring
+/// [`lma_advice::AdviceStats`] for advice strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelStats {
+    /// Number of labeled nodes.
+    pub nodes: usize,
+    /// Total label bits over all nodes.
+    pub total_bits: usize,
+    /// Largest label, in bits.
+    pub max_bits: usize,
+    /// Average label size, in bits per node.
+    pub avg_bits: f64,
+    /// Largest number of centroid entries on any label (0 for spanning-only
+    /// labelings).
+    pub max_entries: usize,
+}
+
+impl LabelStats {
+    /// Builds statistics from per-node encoded sizes and entry counts.
+    #[must_use]
+    pub fn from_sizes(sizes: &[usize], entries: &[usize]) -> Self {
+        let nodes = sizes.len();
+        let total_bits: usize = sizes.iter().sum();
+        let max_bits = sizes.iter().copied().max().unwrap_or(0);
+        let avg_bits = if nodes == 0 { 0.0 } else { total_bits as f64 / nodes as f64 };
+        let max_entries = entries.iter().copied().max().unwrap_or(0);
+        Self { nodes, total_bits, max_bits, avg_bits, max_entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanning_label_sizes_are_logarithmic() {
+        let l = SpanningLabel { root_id: 12, depth: 5 };
+        assert!(l.encoded_bits(1024) <= 64 + 10);
+        assert!(l.bit_size() >= 4 + 3);
+        assert!(!l.to_bits(1024).is_empty());
+    }
+
+    #[test]
+    fn mst_label_size_counts_entries() {
+        let base = MstLabel {
+            spanning: SpanningLabel { root_id: 1, depth: 0 },
+            oracle_parent: None,
+            entries: vec![],
+        };
+        let with_entries = MstLabel {
+            entries: vec![
+                CentroidEntry { centroid: 3, level: 0, max_weight: 9 },
+                CentroidEntry { centroid: 5, level: 1, max_weight: 2 },
+            ],
+            ..base.clone()
+        };
+        assert!(with_entries.encoded_bits(64, 9) > base.encoded_bits(64, 9));
+        assert!(with_entries.bit_size() > base.bit_size());
+        assert_eq!(with_entries.entry_count(), 2);
+    }
+
+    #[test]
+    fn label_stats_aggregate() {
+        let stats = LabelStats::from_sizes(&[4, 8, 12], &[1, 2, 3]);
+        assert_eq!(stats.nodes, 3);
+        assert_eq!(stats.total_bits, 24);
+        assert_eq!(stats.max_bits, 12);
+        assert!((stats.avg_bits - 8.0).abs() < 1e-9);
+        assert_eq!(stats.max_entries, 3);
+        let empty = LabelStats::from_sizes(&[], &[]);
+        assert_eq!(empty.max_bits, 0);
+        assert_eq!(empty.avg_bits, 0.0);
+    }
+}

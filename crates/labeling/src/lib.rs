@@ -1,0 +1,58 @@
+//! # `lma-labeling` — distributed verification of the schemes' outputs
+//!
+//! The advising-scheme framework of *"Local MST Computation with Short
+//! Advice"* measures the a-priori knowledge needed to **compute** an MST
+//! locally.  This crate provides the natural companion substrate: the
+//! knowledge needed to **verify** one locally.  It follows the
+//! proof-labeling / local-detection line of work the paper's related-work
+//! section points at (Afek–Kutten–Yung local detection, and the
+//! Korman–Kutten distributed MST verification that grew out of the same
+//! group), adapted to this workspace's simulator:
+//!
+//! * [`spanning`] — a **proof-labeling scheme for rooted spanning trees**:
+//!   the oracle hands every node `O(log n)` bits (the root identifier and the
+//!   node's depth), and a **one-round** distributed verifier accepts iff the
+//!   claimed per-node parent ports form a spanning tree of the network rooted
+//!   at a single root.  This part is *sound against arbitrary labels*: if the
+//!   claimed outputs are not a rooted spanning tree, no label assignment
+//!   makes every node accept.
+//! * [`mst_cert`] — a **distributed MST certificate**: on top of the
+//!   spanning-tree labels, every node carries a centroid-decomposition
+//!   summary of the tree (`O(log n)` entries of `O(log n + log W)` bits)
+//!   that lets the two endpoints of every *non-tree* edge recompute, in the
+//!   same single round, the maximum edge weight on the tree path joining
+//!   them — the cycle property.  Completeness is unconditional; minimality
+//!   soundness holds when the labels are computed by the trusted oracle
+//!   (certifying-algorithm style), and the [`faults`] module quantifies
+//!   empirically how label corruption is detected.  See `DESIGN.md` §8 for
+//!   the precise guarantee.
+//! * [`faults`] — fault injection: corrupt decoded outputs, corrupt labels,
+//!   corrupt advice strings, and build deliberately non-minimal spanning
+//!   trees, so the verification layer (and the schemes' own end-to-end
+//!   checks) can be exercised negatively, not just positively.
+//! * [`self_check`] — glue: run an advising scheme's decoder and then the
+//!   distributed verifier on its outputs, so a corrupted advice string is
+//!   *detected by the nodes themselves* instead of by the omniscient test
+//!   harness.
+//!
+//! Everything runs on the same [`lma_sim`] runtime as the schemes, so
+//! verification rounds and message sizes are measured, not asserted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centroid;
+pub mod faults;
+pub mod labels;
+pub mod mst_cert;
+pub mod report;
+pub mod self_check;
+pub mod spanning;
+
+pub use centroid::{CentroidDecomposition, CentroidEntry};
+pub use faults::{FaultPlan, OutputFault};
+pub use labels::{LabelStats, MstLabel, SpanningLabel};
+pub use mst_cert::MstCertificate;
+pub use report::{VerificationReport, Violation};
+pub use self_check::{certified_run, certify_outputs, CertifiedRun};
+pub use spanning::SpanningProof;

@@ -1,0 +1,372 @@
+//! A one-round distributed **MST certificate**.
+//!
+//! On top of the spanning-tree labels of [`crate::spanning`], every node
+//! carries (a) the parent port the oracle assigned to it, binding the
+//! certificate to one concrete tree, and (b) its centroid-ancestor summary
+//! of that tree ([`crate::centroid`]).  In a single round every node learns
+//! its neighbours' labels and checks:
+//!
+//! 1. the spanning-tree conditions (root id, depths) — as in
+//!    [`crate::spanning`];
+//! 2. that its own claimed output equals the parent port recorded in its
+//!    label;
+//! 3. the **cycle property** for every incident *non-tree* edge `{u, v}`:
+//!    `w(u, v)` must be at least the maximum edge weight on the tree path
+//!    between `u` and `v`, which the two centroid lists determine exactly.
+//!
+//! A spanning tree satisfies the cycle property for all non-tree edges iff
+//! it is a *minimum* spanning tree, so the three checks together certify
+//! "the claimed outputs are the rooted MST recorded by the oracle, and that
+//! tree is minimum".
+//!
+//! **Guarantee.**  Completeness is unconditional: for a correct rooted MST
+//! and honestly computed labels, every node accepts.  Soundness is that of a
+//! *certifying algorithm*: the label computation (depths, centroid maxima)
+//! is trusted arithmetic over whatever tree the oracle recorded, and the
+//! verifier then catches (i) any deviation of the claimed outputs from that
+//! tree and (ii) non-minimality of the recorded tree itself — so a buggy MST
+//! construction, a corrupted advice string, or a corrupted decode is
+//! detected by the nodes, in one round, without consulting the omniscient
+//! test harness.  Adversarially *crafted* label corruption is outside the
+//! formal guarantee (that would require the full Korman–Kutten machinery);
+//! the fault-injection suite measures how often random label corruption is
+//! nonetheless caught.
+
+use crate::centroid::{CentroidDecomposition, CentroidEntry};
+use crate::labels::{LabelStats, MstLabel, SpanningLabel};
+use crate::report::{VerificationReport, Violation};
+use crate::spanning::spanning_checks;
+use lma_graph::{Port, Weight, WeightedGraph};
+use lma_mst::verify::UpwardOutput;
+use lma_mst::RootedTree;
+use lma_sim::message::BitSized;
+use lma_sim::runtime::RunError;
+use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+
+/// The MST certificate: oracle-side label construction plus the one-round
+/// distributed verifier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MstCertificate;
+
+impl MstCertificate {
+    /// The oracle: computes certificate labels for `tree` (which is expected
+    /// to be — but not assumed to be — an MST of `g`; a non-minimum tree is
+    /// certified "faithfully" and then rejected by the verifier's cycle
+    /// check, which is exactly the property the fault-injection tests rely
+    /// on).
+    #[must_use]
+    pub fn certify(g: &WeightedGraph, tree: &RootedTree) -> Vec<MstLabel> {
+        let decomposition = CentroidDecomposition::build(g, tree);
+        let root_id = g.id(tree.root);
+        g.nodes()
+            .map(|u| MstLabel {
+                spanning: SpanningLabel { root_id, depth: tree.depth[u] as u64 },
+                oracle_parent: tree.parent_port[u],
+                entries: decomposition.ancestors[u].clone(),
+            })
+            .collect()
+    }
+
+    /// Runs the one-round distributed verifier on the claimed outputs.
+    pub fn verify(
+        g: &WeightedGraph,
+        labels: &[MstLabel],
+        outputs: &[Option<UpwardOutput>],
+        config: &RunConfig,
+    ) -> Result<VerificationReport, RunError> {
+        assert_eq!(labels.len(), g.node_count());
+        assert_eq!(outputs.len(), g.node_count());
+        let runtime = Runtime::with_config(g, *config);
+        let programs: Vec<MstVerifier> = g
+            .nodes()
+            .map(|u| MstVerifier {
+                label: labels[u].clone(),
+                claimed: outputs[u],
+                verdict: None,
+            })
+            .collect();
+        let result = runtime.run(programs)?;
+        let n = g.node_count();
+        let max_w = g.edges().iter().map(|e| e.weight).max().unwrap_or(1);
+        let sizes: Vec<usize> = labels.iter().map(|l| l.encoded_bits(n, max_w)).collect();
+        let entries: Vec<usize> = labels.iter().map(MstLabel::entry_count).collect();
+        Ok(VerificationReport::from_verdicts(
+            &result.outputs,
+            LabelStats::from_sizes(&sizes, &entries),
+            result.stats,
+        ))
+    }
+
+    /// Convenience: certify `tree` and immediately verify `outputs` against
+    /// it.
+    pub fn certify_and_verify(
+        g: &WeightedGraph,
+        tree: &RootedTree,
+        outputs: &[Option<UpwardOutput>],
+        config: &RunConfig,
+    ) -> Result<VerificationReport, RunError> {
+        let labels = Self::certify(g, tree);
+        Self::verify(g, &labels, outputs, config)
+    }
+}
+
+/// The message of the single verification round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertMsg {
+    /// The sender's spanning label.
+    pub spanning: SpanningLabel,
+    /// The sender's centroid-ancestor list.
+    pub entries: Vec<CentroidEntry>,
+    /// True when the edge this message travels on is the sender's claimed
+    /// parent edge.
+    pub parent_edge: bool,
+}
+
+impl BitSized for CertMsg {
+    fn bit_size(&self) -> usize {
+        let entry_bits: usize = self
+            .entries
+            .iter()
+            .map(|e| {
+                lma_sim::message::bits_for_value(e.centroid as u64)
+                    + lma_sim::message::bits_for_value(e.level as u64)
+                    + lma_sim::message::bits_for_value(e.max_weight)
+            })
+            .sum();
+        self.spanning.bit_size() + 1 + entry_bits
+    }
+}
+
+/// The per-node verifier program.
+struct MstVerifier {
+    label: MstLabel,
+    claimed: Option<UpwardOutput>,
+    verdict: Option<Vec<Violation>>,
+}
+
+impl MstVerifier {
+    fn claimed_parent_port(&self) -> Option<Port> {
+        match self.claimed {
+            Some(UpwardOutput::Parent(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    fn check(&self, view: &LocalView, inbox: &Inbox<CertMsg>) -> Vec<Violation> {
+        let node = view.node;
+        let mut violations = Vec::new();
+        let neighbor_labels: Vec<(Port, SpanningLabel)> =
+            inbox.iter().map(|(p, m)| (*p, m.spanning)).collect();
+        spanning_checks(
+            node,
+            view,
+            self.label.spanning,
+            self.claimed,
+            &neighbor_labels,
+            &mut violations,
+        );
+
+        // Binding: the claimed output must match the oracle's recorded
+        // parent port.
+        let claimed_port = self.claimed_parent_port();
+        if self.claimed.is_some() && claimed_port != self.label.oracle_parent {
+            violations.push(Violation::OutputDisagreesWithCertificate { node });
+        }
+
+        // Cycle property on incident non-tree edges.
+        for (port, msg) in inbox {
+            let is_tree_edge = claimed_port == Some(*port) || msg.parent_edge;
+            if is_tree_edge {
+                continue;
+            }
+            let w: Weight = view.weight_at(*port);
+            match CentroidDecomposition::path_max_from_lists(&self.label.entries, &msg.entries) {
+                None => violations.push(Violation::NoCommonCentroid { node, port: *port }),
+                Some(path_max) => {
+                    if w < path_max {
+                        violations.push(Violation::CycleProperty {
+                            node,
+                            port: *port,
+                            edge_weight: w,
+                            path_max,
+                        });
+                    }
+                }
+            }
+        }
+        violations
+    }
+}
+
+impl NodeAlgorithm for MstVerifier {
+    type Msg = CertMsg;
+    type Output = Vec<Violation>;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<CertMsg> {
+        let parent_port = self.claimed_parent_port();
+        (0..view.degree())
+            .map(|p| {
+                (
+                    p,
+                    CertMsg {
+                        spanning: self.label.spanning,
+                        entries: self.label.entries.clone(),
+                        parent_edge: parent_port == Some(p),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<CertMsg>) -> Outbox<CertMsg> {
+        self.verdict = Some(self.check(view, inbox));
+        Vec::new()
+    }
+
+    fn is_done(&self) -> bool {
+        self.verdict.is_some()
+    }
+
+    fn output(&self) -> Option<Vec<Violation>> {
+        self.verdict.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{complete, connected_random, grid, lollipop, path, ring};
+    use lma_graph::weights::WeightStrategy;
+    use lma_graph::graph::ceil_log2;
+    use lma_mst::kruskal_mst;
+
+    fn mst_tree(g: &WeightedGraph, root: usize) -> RootedTree {
+        RootedTree::from_edges(g, root, &kruskal_mst(g).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn completeness_on_standard_families() {
+        let graphs = vec![
+            path(11, WeightStrategy::DistinctRandom { seed: 1 }),
+            ring(14, WeightStrategy::DistinctRandom { seed: 2 }),
+            grid(4, 6, WeightStrategy::DistinctRandom { seed: 3 }),
+            complete(12, WeightStrategy::DistinctRandom { seed: 4 }),
+            lollipop(15, WeightStrategy::DistinctRandom { seed: 5 }),
+            connected_random(40, 110, 6, WeightStrategy::DistinctRandom { seed: 6 }),
+            connected_random(25, 60, 7, WeightStrategy::UniformRandom { seed: 7, max: 4 }),
+        ];
+        for g in &graphs {
+            let tree = mst_tree(g, 0);
+            let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+            let report =
+                MstCertificate::certify_and_verify(g, &tree, &outputs, &RunConfig::default())
+                    .unwrap();
+            assert!(report.accepted, "rejected a correct MST: {:?}", report.violations);
+            assert_eq!(report.run.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn rejects_a_non_minimum_spanning_tree_via_the_cycle_property() {
+        // Ring with one heavy edge: the MST drops the heavy edge; the
+        // spanning tree that *keeps* it (and drops a light one instead) is
+        // not minimum and must trip the cycle check.
+        let n = 10;
+        let mut builder = lma_graph::GraphBuilder::new(n);
+        for i in 0..n {
+            let w = if i == 0 { 1000 } else { i as u64 };
+            builder.add_edge(i, (i + 1) % n, w);
+        }
+        let g = builder.build().unwrap();
+        // Spanning tree keeping the heavy edge 0 and dropping edge n-1
+        // (the edge {n-1, 0} of weight n-1).
+        let bad_edges: Vec<_> = (0..n - 1).collect();
+        let bad_tree = RootedTree::from_edges(&g, 0, &bad_edges).unwrap();
+        let outputs: Vec<_> = bad_tree.upward_outputs().into_iter().map(Some).collect();
+        let report =
+            MstCertificate::certify_and_verify(&g, &bad_tree, &outputs, &RunConfig::default())
+                .unwrap();
+        assert!(!report.accepted);
+        assert!(report.has_cycle_violation(), "expected a cycle-property violation: {:?}", report.violations);
+    }
+
+    #[test]
+    fn rejects_outputs_that_deviate_from_the_certificate() {
+        let g = connected_random(30, 80, 9, WeightStrategy::DistinctRandom { seed: 9 });
+        let tree = mst_tree(&g, 0);
+        let labels = MstCertificate::certify(&g, &tree);
+        let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        // Node 3 claims a different (existing) port.
+        let old = match outputs[3].unwrap() {
+            UpwardOutput::Parent(p) => p,
+            UpwardOutput::Root => panic!("node 3 should not be the root"),
+        };
+        let other = (0..g.degree(3)).find(|&p| p != old).unwrap();
+        outputs[3] = Some(UpwardOutput::Parent(other));
+        let report = MstCertificate::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        assert!(!report.accepted);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutputDisagreesWithCertificate { node: 3 })));
+    }
+
+    #[test]
+    fn rejects_corrupted_centroid_entries_that_inflate_path_maxima() {
+        let g = ring(9, WeightStrategy::DistinctRandom { seed: 10 });
+        let tree = mst_tree(&g, 0);
+        let mut labels = MstCertificate::certify(&g, &tree);
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        // The ring has exactly one non-tree edge (the heaviest one Kruskal
+        // dropped).  Inflate the recorded maxima of one of its endpoints:
+        // both endpoints now compute a path maximum above the edge weight
+        // and the cycle check fires.
+        let non_tree_edge = (0..g.edge_count())
+            .find(|e| !tree.contains_edge(*e))
+            .expect("a ring has one non-tree edge");
+        let endpoint = g.edge(non_tree_edge).u;
+        for e in &mut labels[endpoint].entries {
+            e.max_weight = e.max_weight.saturating_mul(1000).max(1_000_000);
+        }
+        let report = MstCertificate::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        assert!(!report.accepted);
+        assert!(
+            report.has_cycle_violation(),
+            "inflated maxima should trip the cycle check: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn label_sizes_are_polylogarithmic() {
+        for n in [32usize, 128, 512] {
+            let g = connected_random(n, 3 * n, 11, WeightStrategy::DistinctRandom { seed: 11 });
+            let tree = mst_tree(&g, 0);
+            let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+            let report =
+                MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default())
+                    .unwrap();
+            let logn = ceil_log2(n) as usize;
+            let logw = ceil_log2(3 * n + 1) as usize + 1;
+            let bound = (logn + 1) * (2 * logn + logw + 8) + 64 + logn + 8;
+            assert!(
+                report.labels.max_bits <= bound,
+                "n={n}: max label {} bits exceeds O(log² n) budget {bound}",
+                report.labels.max_bits
+            );
+            assert!(report.labels.max_entries <= logn + 1);
+        }
+    }
+
+    #[test]
+    fn certificate_binds_the_root_as_well() {
+        let g = grid(3, 5, WeightStrategy::DistinctRandom { seed: 12 });
+        let tree = mst_tree(&g, 2);
+        let labels = MstCertificate::certify(&g, &tree);
+        let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        // The true root claims a parent instead.
+        outputs[2] = Some(UpwardOutput::Parent(0));
+        let report = MstCertificate::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        assert!(!report.accepted);
+    }
+}

@@ -1,0 +1,244 @@
+//! The outcome of one distributed verification run.
+
+use crate::labels::LabelStats;
+use lma_graph::{NodeIdx, Port, Weight};
+use lma_sim::RunStats;
+
+/// A reason one node rejected during verification.  Violations are local
+/// statements: each one names the node that raised it and is checkable from
+/// that node's own view, its label, and the labels it received from its
+/// neighbours in the single verification round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The node produced no output at all.
+    MissingOutput {
+        /// The silent node.
+        node: NodeIdx,
+    },
+    /// The node's claimed parent port does not exist.
+    InvalidPort {
+        /// The offending node.
+        node: NodeIdx,
+        /// The port it output.
+        port: Port,
+    },
+    /// A node claiming to be the root carries a non-zero depth label.
+    RootDepthNonZero {
+        /// The offending node.
+        node: NodeIdx,
+    },
+    /// A node claiming to be the root carries a root identifier different
+    /// from its own identifier.
+    RootIdNotSelf {
+        /// The offending node.
+        node: NodeIdx,
+    },
+    /// A non-root node carries depth 0.
+    NonRootDepthZero {
+        /// The offending node.
+        node: NodeIdx,
+    },
+    /// Two neighbours carry different root identifiers.
+    RootIdMismatch {
+        /// The node raising the violation.
+        node: NodeIdx,
+        /// The port behind which the disagreeing neighbour sits.
+        port: Port,
+    },
+    /// The depth across the claimed parent edge does not decrease by exactly
+    /// one.
+    DepthMismatch {
+        /// The child node raising the violation.
+        node: NodeIdx,
+        /// Its depth label.
+        own_depth: u64,
+        /// The depth label of the claimed parent.
+        parent_depth: u64,
+    },
+    /// The node's claimed output disagrees with the parent port recorded in
+    /// its certificate label.
+    OutputDisagreesWithCertificate {
+        /// The offending node.
+        node: NodeIdx,
+    },
+    /// The two endpoints of a non-tree edge could not find a common centroid
+    /// ancestor (corrupted or inconsistent centroid lists).
+    NoCommonCentroid {
+        /// The node raising the violation.
+        node: NodeIdx,
+        /// The port of the offending non-tree edge.
+        port: Port,
+    },
+    /// A non-tree edge is strictly lighter than the maximum edge weight on
+    /// the tree path joining its endpoints: the certified tree is not
+    /// minimum (cycle property violated).
+    CycleProperty {
+        /// The node raising the violation.
+        node: NodeIdx,
+        /// The port of the offending non-tree edge.
+        port: Port,
+        /// The weight of that edge.
+        edge_weight: Weight,
+        /// The maximum tree-path weight computed from the two labels.
+        path_max: Weight,
+    },
+}
+
+impl Violation {
+    /// The node that raised the violation.
+    #[must_use]
+    pub fn node(&self) -> NodeIdx {
+        match self {
+            Violation::MissingOutput { node }
+            | Violation::InvalidPort { node, .. }
+            | Violation::RootDepthNonZero { node }
+            | Violation::RootIdNotSelf { node }
+            | Violation::NonRootDepthZero { node }
+            | Violation::RootIdMismatch { node, .. }
+            | Violation::DepthMismatch { node, .. }
+            | Violation::OutputDisagreesWithCertificate { node }
+            | Violation::NoCommonCentroid { node, .. }
+            | Violation::CycleProperty { node, .. } => *node,
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MissingOutput { node } => write!(f, "node {node} produced no output"),
+            Violation::InvalidPort { node, port } => {
+                write!(f, "node {node} output nonexistent port {port}")
+            }
+            Violation::RootDepthNonZero { node } => {
+                write!(f, "root claimant {node} has non-zero depth label")
+            }
+            Violation::RootIdNotSelf { node } => {
+                write!(f, "root claimant {node} carries a foreign root identifier")
+            }
+            Violation::NonRootDepthZero { node } => {
+                write!(f, "non-root node {node} carries depth 0")
+            }
+            Violation::RootIdMismatch { node, port } => {
+                write!(f, "node {node} disagrees with its neighbour at port {port} on the root id")
+            }
+            Violation::DepthMismatch { node, own_depth, parent_depth } => write!(
+                f,
+                "node {node} has depth {own_depth} but its claimed parent has depth {parent_depth}"
+            ),
+            Violation::OutputDisagreesWithCertificate { node } => {
+                write!(f, "node {node} output a parent different from its certificate")
+            }
+            Violation::NoCommonCentroid { node, port } => {
+                write!(f, "node {node} shares no centroid ancestor with its neighbour at port {port}")
+            }
+            Violation::CycleProperty { node, port, edge_weight, path_max } => write!(
+                f,
+                "node {node}: non-tree edge at port {port} has weight {edge_weight} < path maximum {path_max}"
+            ),
+        }
+    }
+}
+
+/// The aggregate outcome of one distributed verification run.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// True when every node accepted.
+    pub accepted: bool,
+    /// Every violation raised, across all nodes.
+    pub violations: Vec<Violation>,
+    /// The nodes that rejected (deduplicated, ascending).
+    pub rejecting_nodes: Vec<NodeIdx>,
+    /// Size statistics of the labels used.
+    pub labels: LabelStats,
+    /// Communication statistics of the verification run (rounds should be
+    /// exactly 1).
+    pub run: RunStats,
+}
+
+impl VerificationReport {
+    /// Assembles a report from per-node verdicts.
+    #[must_use]
+    pub fn from_verdicts(
+        verdicts: &[Option<Vec<Violation>>],
+        labels: LabelStats,
+        run: RunStats,
+    ) -> Self {
+        let mut violations = Vec::new();
+        let mut rejecting = Vec::new();
+        for (node, verdict) in verdicts.iter().enumerate() {
+            match verdict {
+                None => {
+                    violations.push(Violation::MissingOutput { node });
+                    rejecting.push(node);
+                }
+                Some(list) if !list.is_empty() => {
+                    violations.extend(list.iter().cloned());
+                    rejecting.push(node);
+                }
+                Some(_) => {}
+            }
+        }
+        Self {
+            accepted: rejecting.is_empty(),
+            violations,
+            rejecting_nodes: rejecting,
+            labels,
+            run,
+        }
+    }
+
+    /// True when some node raised the given kind of violation.
+    #[must_use]
+    pub fn has_cycle_violation(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::CycleProperty { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::LabelStats;
+
+    #[test]
+    fn report_collects_rejecting_nodes() {
+        let verdicts = vec![
+            Some(vec![]),
+            Some(vec![Violation::NonRootDepthZero { node: 1 }]),
+            None,
+        ];
+        let report = VerificationReport::from_verdicts(
+            &verdicts,
+            LabelStats::from_sizes(&[1, 2, 3], &[0, 0, 0]),
+            RunStats::default(),
+        );
+        assert!(!report.accepted);
+        assert_eq!(report.rejecting_nodes, vec![1, 2]);
+        assert_eq!(report.violations.len(), 2);
+        assert!(!report.has_cycle_violation());
+    }
+
+    #[test]
+    fn all_accepting_report() {
+        let verdicts = vec![Some(vec![]), Some(vec![])];
+        let report = VerificationReport::from_verdicts(
+            &verdicts,
+            LabelStats::from_sizes(&[1, 1], &[0, 0]),
+            RunStats::default(),
+        );
+        assert!(report.accepted);
+        assert!(report.rejecting_nodes.is_empty());
+    }
+
+    #[test]
+    fn violation_display_and_node_accessor() {
+        let v = Violation::CycleProperty { node: 7, port: 2, edge_weight: 3, path_max: 9 };
+        assert_eq!(v.node(), 7);
+        assert!(v.to_string().contains("path maximum 9"));
+        let v = Violation::DepthMismatch { node: 4, own_depth: 2, parent_depth: 5 };
+        assert!(v.to_string().contains("depth 2"));
+        assert_eq!(v.node(), 4);
+    }
+}

@@ -1,0 +1,347 @@
+//! A proof-labeling scheme for **rooted spanning trees**, verified in one
+//! round.
+//!
+//! The oracle looks at the rooted tree it wants to certify and gives every
+//! node two numbers: the identifier of the root and the node's hop distance
+//! from it (≤ `⌈log n⌉ + log id` bits).  The distributed verifier exchanges
+//! labels with all neighbours once and accepts iff the claimed per-node
+//! outputs (`Root` / `Parent(port)`) form a spanning tree of the network
+//! rooted at a single node:
+//!
+//! * every node checks that all its neighbours carry the *same root
+//!   identifier* as itself — on a connected graph this forces a single,
+//!   global root value;
+//! * a node claiming `Root` checks that its depth label is 0 and that the
+//!   root identifier is its own identifier — with distinct identifiers this
+//!   forces at most one accepted root;
+//! * a node claiming `Parent(p)` checks that the neighbour behind port `p`
+//!   carries depth exactly one less than its own — depths strictly decrease
+//!   along parent pointers, so the pointers are acyclic and every node
+//!   reaches the root.
+//!
+//! If the claimed outputs are **not** a rooted spanning tree, then *no*
+//! label assignment makes every node accept (soundness); if they are, the
+//! labels produced by [`SpanningProof::assign`] make every node accept
+//! (completeness).  Both directions are exercised by the tests and by the
+//! fault-injection suite.
+
+use crate::labels::{LabelStats, SpanningLabel};
+use crate::report::{VerificationReport, Violation};
+use lma_graph::{Port, WeightedGraph};
+use lma_mst::verify::UpwardOutput;
+use lma_mst::RootedTree;
+use lma_sim::message::BitSized;
+use lma_sim::runtime::RunError;
+use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+
+/// The spanning-tree proof-labeling scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanningProof;
+
+impl SpanningProof {
+    /// The oracle: labels every node with the root identifier and its depth
+    /// in `tree`.
+    #[must_use]
+    pub fn assign(g: &WeightedGraph, tree: &RootedTree) -> Vec<SpanningLabel> {
+        let root_id = g.id(tree.root);
+        g.nodes()
+            .map(|u| SpanningLabel { root_id, depth: tree.depth[u] as u64 })
+            .collect()
+    }
+
+    /// Runs the one-round distributed verifier on the claimed outputs.
+    ///
+    /// `labels[u]` is node `u`'s label, `outputs[u]` its claimed output.
+    pub fn verify(
+        g: &WeightedGraph,
+        labels: &[SpanningLabel],
+        outputs: &[Option<UpwardOutput>],
+        config: &RunConfig,
+    ) -> Result<VerificationReport, RunError> {
+        assert_eq!(labels.len(), g.node_count());
+        assert_eq!(outputs.len(), g.node_count());
+        let runtime = Runtime::with_config(g, *config);
+        let programs: Vec<SpanningVerifier> = g
+            .nodes()
+            .map(|u| SpanningVerifier {
+                label: labels[u],
+                claimed: outputs[u],
+                verdict: None,
+            })
+            .collect();
+        let result = runtime.run(programs)?;
+        let n = g.node_count();
+        let sizes: Vec<usize> = labels.iter().map(|l| l.encoded_bits(n)).collect();
+        let entry_counts = vec![0usize; n];
+        Ok(VerificationReport::from_verdicts(
+            &result.outputs,
+            LabelStats::from_sizes(&sizes, &entry_counts),
+            result.stats,
+        ))
+    }
+}
+
+/// The message exchanged in the single verification round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanningMsg {
+    /// The sender's label.
+    pub label: SpanningLabel,
+    /// True when the edge this message travels on is the sender's claimed
+    /// parent edge.
+    pub parent_edge: bool,
+}
+
+impl BitSized for SpanningMsg {
+    fn bit_size(&self) -> usize {
+        self.label.bit_size() + 1
+    }
+}
+
+/// The per-node verifier program.
+struct SpanningVerifier {
+    label: SpanningLabel,
+    claimed: Option<UpwardOutput>,
+    verdict: Option<Vec<Violation>>,
+}
+
+/// The spanning-tree checks shared with the MST certificate verifier.
+pub(crate) fn spanning_checks(
+    node: usize,
+    view: &LocalView,
+    label: SpanningLabel,
+    claimed: Option<UpwardOutput>,
+    neighbor_labels: &[(Port, SpanningLabel)],
+    violations: &mut Vec<Violation>,
+) {
+    let Some(claimed) = claimed else {
+        violations.push(Violation::MissingOutput { node });
+        return;
+    };
+    match claimed {
+        UpwardOutput::Root => {
+            if label.depth != 0 {
+                violations.push(Violation::RootDepthNonZero { node });
+            }
+            if label.root_id != view.id {
+                violations.push(Violation::RootIdNotSelf { node });
+            }
+        }
+        UpwardOutput::Parent(p) => {
+            if p >= view.degree() {
+                violations.push(Violation::InvalidPort { node, port: p });
+                return;
+            }
+            if label.depth == 0 {
+                violations.push(Violation::NonRootDepthZero { node });
+            }
+            match neighbor_labels.iter().find(|(port, _)| *port == p) {
+                Some((_, parent_label)) => {
+                    if parent_label.depth + 1 != label.depth {
+                        violations.push(Violation::DepthMismatch {
+                            node,
+                            own_depth: label.depth,
+                            parent_depth: parent_label.depth,
+                        });
+                    }
+                }
+                None => {
+                    // Every neighbour sends in the verification round, so a
+                    // missing message is a runtime problem, reported as a
+                    // depth mismatch against an impossible value.
+                    violations.push(Violation::DepthMismatch {
+                        node,
+                        own_depth: label.depth,
+                        parent_depth: u64::MAX,
+                    });
+                }
+            }
+        }
+    }
+    for &(port, other) in neighbor_labels {
+        if other.root_id != label.root_id {
+            violations.push(Violation::RootIdMismatch { node, port });
+        }
+    }
+}
+
+impl NodeAlgorithm for SpanningVerifier {
+    type Msg = SpanningMsg;
+    type Output = Vec<Violation>;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<SpanningMsg> {
+        let parent_port = match self.claimed {
+            Some(UpwardOutput::Parent(p)) => Some(p),
+            _ => None,
+        };
+        (0..view.degree())
+            .map(|p| {
+                (
+                    p,
+                    SpanningMsg { label: self.label, parent_edge: parent_port == Some(p) },
+                )
+            })
+            .collect()
+    }
+
+    fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<SpanningMsg>) -> Outbox<SpanningMsg> {
+        let neighbor_labels: Vec<(Port, SpanningLabel)> =
+            inbox.iter().map(|(p, m)| (*p, m.label)).collect();
+        let mut violations = Vec::new();
+        spanning_checks(
+            view.node,
+            view,
+            self.label,
+            self.claimed,
+            &neighbor_labels,
+            &mut violations,
+        );
+        self.verdict = Some(violations);
+        Vec::new()
+    }
+
+    fn is_done(&self) -> bool {
+        self.verdict.is_some()
+    }
+
+    fn output(&self) -> Option<Vec<Violation>> {
+        self.verdict.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{connected_random, grid, path, ring, star};
+    use lma_graph::weights::WeightStrategy;
+    use lma_mst::kruskal_mst;
+
+    fn tree_of(g: &WeightedGraph, root: usize) -> RootedTree {
+        RootedTree::from_edges(g, root, &kruskal_mst(g).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn completeness_on_standard_families() {
+        let graphs = vec![
+            path(9, WeightStrategy::DistinctRandom { seed: 1 }),
+            ring(12, WeightStrategy::DistinctRandom { seed: 2 }),
+            star(10, WeightStrategy::DistinctRandom { seed: 3 }),
+            grid(4, 4, WeightStrategy::DistinctRandom { seed: 4 }),
+            connected_random(30, 70, 5, WeightStrategy::DistinctRandom { seed: 5 }),
+        ];
+        for g in &graphs {
+            for root in [0, g.node_count() / 2, g.node_count() - 1] {
+                let tree = tree_of(g, root);
+                let labels = SpanningProof::assign(g, &tree);
+                let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+                let report =
+                    SpanningProof::verify(g, &labels, &outputs, &RunConfig::default()).unwrap();
+                assert!(report.accepted, "rejected a correct tree: {:?}", report.violations);
+                assert_eq!(report.run.rounds, 1, "verification must take exactly one round");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_a_second_root() {
+        let g = connected_random(20, 50, 7, WeightStrategy::DistinctRandom { seed: 7 });
+        let tree = tree_of(&g, 0);
+        let labels = SpanningProof::assign(&g, &tree);
+        let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        outputs[5] = Some(UpwardOutput::Root);
+        let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        assert!(!report.accepted);
+        assert!(report.rejecting_nodes.contains(&5));
+    }
+
+    #[test]
+    fn rejects_a_depth_breaking_reroute_but_tolerates_tree_swaps() {
+        let g = grid(4, 5, WeightStrategy::DistinctRandom { seed: 8 });
+        let tree = tree_of(&g, 0);
+        let labels = SpanningProof::assign(&g, &tree);
+
+        // A reroute towards a neighbour whose depth is NOT one less breaks
+        // the depth invariant and must be rejected.  (A reroute towards a
+        // neighbour that *is* one level shallower yields a different but
+        // still valid spanning tree, which the scheme rightly accepts — that
+        // distinction is what makes this a spanning-tree proof, not an
+        // equality check; the MST certificate adds the equality binding.)
+        let mut found = false;
+        for u in g.nodes() {
+            let Some(parent_port) = tree.parent_port[u] else { continue };
+            for p in 0..g.degree(u) {
+                if p == parent_port {
+                    continue;
+                }
+                let neighbor = g.neighbor_via(u, p);
+                if tree.depth[neighbor] + 1 != tree.depth[u] {
+                    let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+                    outputs[u] = Some(UpwardOutput::Parent(p));
+                    let report =
+                        SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+                    assert!(!report.accepted, "depth-breaking reroute at node {u} accepted");
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                break;
+            }
+        }
+        assert!(found, "the grid should contain a depth-breaking reroute");
+    }
+
+    #[test]
+    fn rejects_missing_output_and_bad_port() {
+        let g = ring(8, WeightStrategy::DistinctRandom { seed: 9 });
+        let tree = tree_of(&g, 0);
+        let labels = SpanningProof::assign(&g, &tree);
+        let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        outputs[3] = None;
+        outputs[4] = Some(UpwardOutput::Parent(17));
+        let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        assert!(!report.accepted);
+        assert!(report.violations.iter().any(|v| matches!(v, Violation::MissingOutput { node: 3 })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::InvalidPort { node: 4, port: 17 })));
+    }
+
+    #[test]
+    fn soundness_no_labels_can_save_a_cyclic_claim() {
+        // A ring where every node points clockwise: the claim has no root at
+        // all and contains a cycle.  For *any* labels, some node must reject:
+        // depths along a directed cycle cannot strictly decrease everywhere.
+        let g = ring(6, WeightStrategy::DistinctRandom { seed: 10 });
+        let outputs: Vec<Option<UpwardOutput>> = g
+            .nodes()
+            .map(|u| {
+                // Port leading to the next node on the ring.
+                let next = (u + 1) % g.node_count();
+                let port = g.port_of_edge(u, g.find_edge(u, next).unwrap());
+                Some(UpwardOutput::Parent(port))
+            })
+            .collect();
+        // Try several adversarial labelings, including "all equal" and
+        // "strictly increasing".
+        let adversarial: Vec<Vec<SpanningLabel>> = vec![
+            g.nodes().map(|_| SpanningLabel { root_id: 42, depth: 3 }).collect(),
+            g.nodes().map(|u| SpanningLabel { root_id: 42, depth: u as u64 }).collect(),
+            g.nodes().map(|u| SpanningLabel { root_id: g.id(u), depth: u as u64 + 1 }).collect(),
+        ];
+        for labels in &adversarial {
+            let report = SpanningProof::verify(&g, labels, &outputs, &RunConfig::default()).unwrap();
+            assert!(!report.accepted, "an adversarial labeling was accepted for a cyclic claim");
+        }
+    }
+
+    #[test]
+    fn label_sizes_are_logarithmic() {
+        let g = connected_random(200, 500, 11, WeightStrategy::DistinctRandom { seed: 11 });
+        let tree = tree_of(&g, 0);
+        let labels = SpanningProof::assign(&g, &tree);
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        assert!(report.labels.max_bits <= 64 + 8, "max label {} bits", report.labels.max_bits);
+    }
+}

@@ -1,0 +1,187 @@
+//! The per-phase bookkeeping of the paper's Borůvka variant.
+//!
+//! The oracles of Theorems 2 and 3 do not just need *an* MST — they need the
+//! full history of how the paper's Borůvka construction produced it: which
+//! fragments existed at the start of each phase, which of them were *active*
+//! (`|F| < 2^i`), which node of each active fragment chose the fragment's
+//! outgoing edge, whether that edge points *up* or *down* relative to the
+//! chosen root, the *level* (depth parity) of each fragment in the
+//! phase-`i` tree of fragments `T_i`, and the BFS order of each fragment's
+//! subtree `T_F` (used to spread advice bits over the fragment's nodes).
+//! [`BoruvkaRun`] packages all of that.
+
+use crate::tree::RootedTree;
+use lma_graph::{EdgeId, EdgeIndex, NodeIdx};
+
+/// Identifier of a fragment within one phase (index into
+/// [`PhaseRecord::fragments`]).
+pub type FragId = usize;
+
+/// The outgoing edge selected by an active fragment in one phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// The selected (minimum-weight outgoing) edge.
+    pub edge: EdgeId,
+    /// The endpoint of [`Selection::edge`] inside the fragment — the paper's
+    /// *choosing node*.
+    pub choosing_node: NodeIdx,
+    /// True when the selected edge is *up* at the choosing node, i.e. it is
+    /// the first edge of the path from the choosing node to the root of the
+    /// final MST.
+    pub up: bool,
+    /// `index_{choosing\_node}(edge)` — the (weight-rank, port-rank) pair the
+    /// paper encodes in the advice (Lemma 2 bounds its magnitude).
+    pub index: EdgeIndex,
+    /// The 1-based position `j` of the choosing node in the fragment's BFS
+    /// order [`FragmentRecord::bfs_order`] (the paper encodes `bin(j)`).
+    pub bfs_position: usize,
+}
+
+/// One fragment as it exists at the *start* of a phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentRecord {
+    /// Identifier of the fragment within its phase.
+    pub id: FragId,
+    /// Member nodes, ascending.
+    pub nodes: Vec<NodeIdx>,
+    /// `r_F` — the member closest (in the final MST) to the chosen root.
+    pub root: NodeIdx,
+    /// BFS order of the fragment's subtree `T_F`, starting at `r_F`,
+    /// children visited in order of increasing edge index (lower
+    /// `(weight, port)` first), as prescribed by the paper.
+    pub bfs_order: Vec<NodeIdx>,
+    /// Depth of this fragment in the phase's tree of fragments `T_i`
+    /// (the fragment containing the MST root has depth 0).
+    pub depth_in_ti: usize,
+    /// The fragment's *level*: parity of [`FragmentRecord::depth_in_ti`]
+    /// (0 = even, 1 = odd).
+    pub level: u8,
+    /// The parent fragment in `T_i` (None for the fragment containing the
+    /// MST root).
+    pub parent_in_ti: Option<FragId>,
+    /// True when the fragment is active at this phase (`|F| < 2^i`).
+    pub active: bool,
+    /// The selection made by this fragment (present iff active and more than
+    /// one fragment remains).
+    pub selection: Option<Selection>,
+}
+
+impl FragmentRecord {
+    /// Number of member nodes `|F|`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// 1-based position of node `u` in the fragment's BFS order, if `u`
+    /// belongs to the fragment.
+    #[must_use]
+    pub fn bfs_position_of(&self, u: NodeIdx) -> Option<usize> {
+        self.bfs_order.iter().position(|&x| x == u).map(|p| p + 1)
+    }
+
+    /// True when `u` is a member.
+    #[must_use]
+    pub fn contains(&self, u: NodeIdx) -> bool {
+        self.nodes.binary_search(&u).is_ok()
+    }
+}
+
+/// The state of the construction at the start of one phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// 1-based phase number `i`.
+    pub phase: usize,
+    /// Every fragment present at the start of the phase.
+    pub fragments: Vec<FragmentRecord>,
+    /// `fragment_of[u]` — the fragment containing node `u`.
+    pub fragment_of: Vec<FragId>,
+}
+
+impl PhaseRecord {
+    /// The fragment containing node `u`.
+    #[must_use]
+    pub fn fragment_containing(&self, u: NodeIdx) -> &FragmentRecord {
+        &self.fragments[self.fragment_of[u]]
+    }
+
+    /// Iterator over the active fragments of the phase.
+    pub fn active_fragments(&self) -> impl Iterator<Item = &FragmentRecord> {
+        self.fragments.iter().filter(|f| f.active)
+    }
+
+    /// Number of fragments at the start of the phase.
+    #[must_use]
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+}
+
+/// The complete output of the paper's Borůvka variant on one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoruvkaRun {
+    /// The chosen root `r` of the MST.
+    pub root: NodeIdx,
+    /// The MST edge set (all selected edges; `n − 1` edges).
+    pub mst_edges: Vec<EdgeId>,
+    /// The MST rooted at [`BoruvkaRun::root`].
+    pub tree: RootedTree,
+    /// One record per phase, in phase order, **plus** a terminal record
+    /// describing the final single fragment.  Use [`BoruvkaRun::phase`] to
+    /// query the state at the start of an arbitrary phase number.
+    pub phases: Vec<PhaseRecord>,
+}
+
+impl BoruvkaRun {
+    /// Number of phases in which merging actually happened (the terminal
+    /// single-fragment record is not counted).
+    #[must_use]
+    pub fn merge_phases(&self) -> usize {
+        self.phases.len().saturating_sub(1)
+    }
+
+    /// The state at the start of phase `i` (1-based).  For `i` beyond the
+    /// last merge phase this is the terminal single-fragment state, which is
+    /// exactly what "the fragments at phase `i`" means once the construction
+    /// has converged.
+    #[must_use]
+    pub fn phase(&self, i: usize) -> &PhaseRecord {
+        assert!(i >= 1, "phases are 1-based");
+        let idx = (i - 1).min(self.phases.len() - 1);
+        &self.phases[idx]
+    }
+
+    /// Convenience: all selections of phase `i`.
+    pub fn selections_at(&self, i: usize) -> impl Iterator<Item = (&FragmentRecord, &Selection)> {
+        self.phase(i)
+            .fragments
+            .iter()
+            .filter_map(|f| f.selection.as_ref().map(|s| (f, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_record_helpers() {
+        let frag = FragmentRecord {
+            id: 0,
+            nodes: vec![2, 5, 7],
+            root: 5,
+            bfs_order: vec![5, 7, 2],
+            depth_in_ti: 3,
+            level: 1,
+            parent_in_ti: Some(4),
+            active: true,
+            selection: None,
+        };
+        assert_eq!(frag.size(), 3);
+        assert!(frag.contains(5));
+        assert!(!frag.contains(6));
+        assert_eq!(frag.bfs_position_of(5), Some(1));
+        assert_eq!(frag.bfs_position_of(2), Some(3));
+        assert_eq!(frag.bfs_position_of(9), None);
+    }
+}

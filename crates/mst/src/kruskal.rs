@@ -1,0 +1,136 @@
+//! Kruskal's algorithm — the reproduction's sequential ground truth.
+//!
+//! Edges are processed in the canonical order defined by
+//! [`lma_graph::WeightedGraph::edge_order_key`], so the returned MST is
+//! deterministic even in the presence of duplicate weights.
+
+use crate::union_find::UnionFind;
+use lma_graph::{EdgeId, WeightedGraph};
+
+/// Computes an MST edge set with Kruskal's algorithm.
+///
+/// Returns `None` when the graph is disconnected (no spanning tree exists).
+#[must_use]
+pub fn kruskal_mst(g: &WeightedGraph) -> Option<Vec<EdgeId>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut order: Vec<EdgeId> = (0..g.edge_count()).collect();
+    order.sort_by_key(|&e| g.edge_order_key(e));
+    let mut uf = UnionFind::new(n);
+    let mut mst = Vec::with_capacity(n.saturating_sub(1));
+    for e in order {
+        let rec = g.edge(e);
+        if uf.union(rec.u, rec.v) {
+            mst.push(e);
+            if mst.len() == n - 1 {
+                break;
+            }
+        }
+    }
+    (mst.len() == n - 1).then_some(mst)
+}
+
+/// Total weight of the MST, when one exists.
+#[must_use]
+pub fn mst_weight(g: &WeightedGraph) -> Option<u128> {
+    kruskal_mst(g).map(|edges| g.weight_of(&edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{complete, connected_random, lowerbound, path, ring};
+    use lma_graph::weights::WeightStrategy;
+    use lma_graph::GraphBuilder;
+
+    #[test]
+    fn path_mst_is_the_path() {
+        let g = path(6, WeightStrategy::ByEdgeId);
+        let mst = kruskal_mst(&g).unwrap();
+        assert_eq!(mst.len(), 5);
+        assert_eq!(g.weight_of(&mst), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn ring_mst_drops_heaviest_edge() {
+        let g = ring(5, WeightStrategy::ByEdgeId);
+        let mst = kruskal_mst(&g).unwrap();
+        assert_eq!(mst.len(), 4);
+        // Heaviest edge has weight 5; MST weight = (1+2+3+4+5) - 5.
+        assert_eq!(g.weight_of(&mst), 10);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // A small graph with a known MST.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 2);
+        b.add_edge(0, 3, 6);
+        b.add_edge(1, 2, 3);
+        b.add_edge(1, 3, 8);
+        b.add_edge(1, 4, 5);
+        b.add_edge(2, 4, 7);
+        b.add_edge(3, 4, 9);
+        let g = b.build().unwrap();
+        let mst = kruskal_mst(&g).unwrap();
+        assert_eq!(g.weight_of(&mst), 2 + 3 + 5 + 6);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_mst() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build().unwrap();
+        assert!(kruskal_mst(&g).is_none());
+        assert!(mst_weight(&g).is_none());
+    }
+
+    #[test]
+    fn matches_petgraph_on_random_graphs() {
+        use petgraph::algo::min_spanning_tree;
+        use petgraph::data::FromElements;
+        use petgraph::graph::UnGraph;
+
+        for seed in 0..6u64 {
+            let g = connected_random(40, 120, seed, WeightStrategy::UniformRandom { seed, max: 30 });
+            let mut pg = UnGraph::<(), u64>::new_undirected();
+            let nodes: Vec<_> = (0..g.node_count()).map(|_| pg.add_node(())).collect();
+            for rec in g.edges() {
+                pg.add_edge(nodes[rec.u], nodes[rec.v], rec.weight);
+            }
+            let pg_mst = UnGraph::<(), u64>::from_elements(min_spanning_tree(&pg));
+            let pg_weight: u128 = pg_mst.edge_weights().map(|&w| u128::from(w)).sum();
+            assert_eq!(mst_weight(&g).unwrap(), pg_weight, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_family_mst_is_the_spine() {
+        let params = lowerbound::LowerBoundParams::new(7);
+        let g = lowerbound::lowerbound_gn(&params);
+        let mst = kruskal_mst(&g).unwrap();
+        let expected: std::collections::HashSet<(usize, usize)> =
+            lowerbound::expected_mst_pairs(7).into_iter().collect();
+        assert_eq!(mst.len(), expected.len());
+        for e in &mst {
+            let rec = g.edge(*e);
+            assert!(
+                expected.contains(&rec.endpoints_sorted()),
+                "unexpected MST edge {:?}",
+                rec.endpoints_sorted()
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_distinct_weights_unique_mst() {
+        let g = complete(10, WeightStrategy::DistinctRandom { seed: 4 });
+        let mst = kruskal_mst(&g).unwrap();
+        assert_eq!(mst.len(), 9);
+        // With distinct weights the MST is unique: re-running gives the same.
+        assert_eq!(mst, kruskal_mst(&g).unwrap());
+    }
+}

@@ -1,0 +1,90 @@
+//! Prim's algorithm — an independent sequential MST used as a cross-check
+//! against Kruskal and Borůvka in tests and in the verification layer.
+
+use lma_graph::{EdgeId, WeightedGraph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes an MST edge set with Prim's algorithm starting from node 0.
+///
+/// Returns `None` when the graph is disconnected.
+#[must_use]
+pub fn prim_mst(g: &WeightedGraph) -> Option<Vec<EdgeId>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut in_tree = vec![false; n];
+    let mut mst = Vec::with_capacity(n - 1);
+    // Heap of (Reverse(canonical key), edge, node being reached).
+    let mut heap = BinaryHeap::new();
+    in_tree[0] = true;
+    for ie in g.incident(0) {
+        heap.push(Reverse((g.edge_order_key(ie.edge), ie.edge, ie.neighbor)));
+    }
+    while let Some(Reverse((_, edge, node))) = heap.pop() {
+        if in_tree[node] {
+            continue;
+        }
+        in_tree[node] = true;
+        mst.push(edge);
+        for ie in g.incident(node) {
+            if !in_tree[ie.neighbor] {
+                heap.push(Reverse((g.edge_order_key(ie.edge), ie.edge, ie.neighbor)));
+            }
+        }
+    }
+    (mst.len() == n - 1).then_some(mst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::{kruskal_mst, mst_weight};
+    use lma_graph::generators::{complete, connected_random, grid};
+    use lma_graph::weights::WeightStrategy;
+    use lma_graph::GraphBuilder;
+
+    #[test]
+    fn agrees_with_kruskal_on_weight() {
+        for seed in 0..5u64 {
+            let g = connected_random(35, 100, seed, WeightStrategy::DistinctRandom { seed });
+            let prim = prim_mst(&g).unwrap();
+            assert_eq!(g.weight_of(&prim), mst_weight(&g).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_kruskal_with_duplicate_weights() {
+        for seed in 0..5u64 {
+            let g = connected_random(30, 90, seed, WeightStrategy::UniformRandom { seed, max: 5 });
+            let prim = prim_mst(&g).unwrap();
+            let kruskal = kruskal_mst(&g).unwrap();
+            assert_eq!(g.weight_of(&prim), g.weight_of(&kruskal), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unique_mst_identical_edge_sets() {
+        let g = complete(9, WeightStrategy::DistinctRandom { seed: 11 });
+        let mut prim = prim_mst(&g).unwrap();
+        let mut kruskal = kruskal_mst(&g).unwrap();
+        prim.sort_unstable();
+        kruskal.sort_unstable();
+        assert_eq!(prim, kruskal);
+    }
+
+    #[test]
+    fn grid_mst_size() {
+        let g = grid(5, 5, WeightStrategy::DistinctRandom { seed: 2 });
+        assert_eq!(prim_mst(&g).unwrap().len(), 24);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        let g = b.build().unwrap();
+        assert!(prim_mst(&g).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Rendering of a Borůvka phase — the reproduction of the paper's Figure 2.
+//!
+//! Figure 2 of the paper shows one phase of the Borůvka variant: three
+//! fragments, their selected edges labelled *up* / *down*, and the choosing
+//! nodes drawn in black.  [`phase_to_dot`] renders exactly that for any phase
+//! of any run (fragments become Graphviz clusters, selected edges are bold
+//! and labelled, choosing nodes are filled), and [`phase_summary`] produces a
+//! compact textual version used by the experiment harness and the
+//! `boruvka_phases` example.
+
+use crate::decomposition::BoruvkaRun;
+use lma_graph::WeightedGraph;
+
+/// Renders the state of phase `i` as a Graphviz DOT document.
+#[must_use]
+pub fn phase_to_dot(g: &WeightedGraph, run: &BoruvkaRun, i: usize) -> String {
+    let rec = run.phase(i);
+    let mut out = String::new();
+    out.push_str(&format!("graph \"boruvka-phase-{i}\" {{\n"));
+    out.push_str("  node [shape=circle, fontsize=10];\n");
+
+    // Which nodes choose, and which edges are selected (with orientation).
+    let mut selected: std::collections::HashMap<usize, bool> = std::collections::HashMap::new();
+    let mut choosing: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for frag in &rec.fragments {
+        if let Some(sel) = &frag.selection {
+            selected.insert(sel.edge, sel.up);
+            choosing.insert(sel.choosing_node);
+        }
+    }
+
+    // One cluster per fragment.
+    for frag in &rec.fragments {
+        out.push_str(&format!("  subgraph cluster_f{} {{\n", frag.id));
+        out.push_str(&format!(
+            "    label=\"F{} (|F|={}, level={}{})\";\n",
+            frag.id,
+            frag.size(),
+            frag.level,
+            if frag.active { ", active" } else { "" }
+        ));
+        for &u in &frag.nodes {
+            let style = if choosing.contains(&u) {
+                ", style=filled, fillcolor=black, fontcolor=white"
+            } else {
+                ""
+            };
+            out.push_str(&format!("    n{u} [label=\"{u}\"{style}];\n"));
+        }
+        out.push_str("  }\n");
+    }
+
+    // Edges: selected edges bold and labelled up/down; MST edges solid;
+    // non-tree edges dashed (as in the paper's figure).
+    for (e, rec_e) in g.edges().iter().enumerate() {
+        let attrs = if let Some(&up) = selected.get(&e) {
+            format!(
+                "label=\"{} ({})\", penwidth=2.5",
+                rec_e.weight,
+                if up { "up" } else { "down" }
+            )
+        } else if run.tree.contains_edge(e) {
+            format!("label=\"{}\"", rec_e.weight)
+        } else {
+            format!("label=\"{}\", style=dashed", rec_e.weight)
+        };
+        out.push_str(&format!("  n{} -- n{} [{attrs}];\n", rec_e.u, rec_e.v));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A compact textual summary of phase `i`: one line per fragment.
+#[must_use]
+pub fn phase_summary(run: &BoruvkaRun, i: usize) -> String {
+    let rec = run.phase(i);
+    let mut out = format!(
+        "phase {i}: {} fragment(s), {} active\n",
+        rec.fragment_count(),
+        rec.active_fragments().count()
+    );
+    for frag in &rec.fragments {
+        out.push_str(&format!(
+            "  F{}: |F|={} root={} level={}{}",
+            frag.id,
+            frag.size(),
+            frag.root,
+            frag.level,
+            if frag.active { " active" } else { "" }
+        ));
+        if let Some(sel) = &frag.selection {
+            out.push_str(&format!(
+                " -> selects edge {} at node {} ({}, index=({},{}), j={})",
+                sel.edge,
+                sel.choosing_node,
+                if sel.up { "up" } else { "down" },
+                sel.index.x,
+                sel.index.y,
+                sel.bfs_position
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boruvka::{run_boruvka, BoruvkaConfig};
+    use lma_graph::generators::connected_random;
+    use lma_graph::weights::WeightStrategy;
+
+    #[test]
+    fn dot_mentions_every_fragment_and_selected_edges() {
+        let g = connected_random(12, 26, 3, WeightStrategy::DistinctRandom { seed: 3 });
+        let run = run_boruvka(&g, &BoruvkaConfig::default()).unwrap();
+        let dot = phase_to_dot(&g, &run, 1);
+        assert!(dot.starts_with("graph \"boruvka-phase-1\""));
+        for frag in &run.phase(1).fragments {
+            assert!(dot.contains(&format!("cluster_f{}", frag.id)));
+        }
+        assert!(dot.contains("(up)") || dot.contains("(down)"));
+        assert!(dot.contains("style=dashed") || g.edge_count() == g.node_count() - 1);
+    }
+
+    #[test]
+    fn summary_lists_all_fragments() {
+        let g = connected_random(10, 20, 5, WeightStrategy::DistinctRandom { seed: 5 });
+        let run = run_boruvka(&g, &BoruvkaConfig::default()).unwrap();
+        for i in 1..=run.merge_phases() {
+            let s = phase_summary(&run, i);
+            assert!(s.contains(&format!("phase {i}:")));
+            assert_eq!(s.lines().count(), 1 + run.phase(i).fragment_count());
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The node-program abstraction.
+//!
+//! A distributed algorithm is a *factory of node programs*: one
+//! [`NodeAlgorithm`] value per node, each seeing only its [`LocalView`].
+//! The runtime drives all node programs in lockstep rounds.
+
+use crate::message::BitSized;
+use lma_graph::{Port, Weight};
+
+/// What a node is allowed to know about the network a priori (the paper's
+/// model, §1): its identifier, the total number of nodes `n` (standard common
+/// knowledge, needed by the paper's round-padding argument), and the weight of
+/// each incident edge addressed by local port number.
+///
+/// Deliberately absent: neighbour identifiers, neighbour degrees, global edge
+/// ids, topology.  Anything else a node learns must arrive in messages (or in
+/// its advice string, which the `lma-advice` crate passes to the node program
+/// when constructing it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalView {
+    /// The simulator's dense index for this node.  Exposed so that outputs
+    /// can be collated; node programs must not base decisions on it (use
+    /// [`LocalView::id`] instead, which is the model's identifier).
+    pub node: usize,
+    /// The node's identifier (not necessarily distinct).
+    pub id: u64,
+    /// Common knowledge: the number of nodes in the network.
+    pub n: usize,
+    /// `(port, weight)` for each incident edge, indexed by port.
+    pub incident: Vec<(Port, Weight)>,
+}
+
+impl LocalView {
+    /// The node's degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.incident.len()
+    }
+
+    /// Weight of the incident edge at `port`.
+    #[must_use]
+    pub fn weight_at(&self, port: Port) -> Weight {
+        self.incident[port].1
+    }
+
+    /// Ports sorted by `(weight, port)` — the local tie-breaking order the
+    /// paper uses throughout.
+    #[must_use]
+    pub fn ports_by_weight(&self) -> Vec<Port> {
+        let mut ports: Vec<Port> = (0..self.degree()).collect();
+        ports.sort_by_key(|&p| (self.incident[p].1, p));
+        ports
+    }
+}
+
+/// Messages put on the wire by one node in one round: `(port, message)`
+/// pairs.  At most one message per port per round (the model's "sends through
+/// each of its incident edges a message").
+pub type Outbox<M> = Vec<(Port, M)>;
+
+/// Messages received by one node in one round: `(port, message)` pairs, where
+/// `port` is the *receiving* node's local port for the edge the message
+/// arrived on.
+pub type Inbox<M> = Vec<(Port, M)>;
+
+/// A per-node program executed by the runtime.
+///
+/// The life cycle is:
+///
+/// 1. [`NodeAlgorithm::init`] is called once; it may already produce output
+///    (0-round algorithms) and returns the messages to send in round 1.
+/// 2. For each round `r = 1, 2, …` the runtime delivers the messages and
+///    calls [`NodeAlgorithm::round`], which returns the messages for round
+///    `r + 1`.
+/// 3. The run stops when every node reports [`NodeAlgorithm::is_done`]
+///    (a node that is done should return an empty outbox).
+///
+/// The round complexity reported by the runtime is the number of times
+/// messages were exchanged, i.e. an algorithm that terminates inside `init`
+/// has round complexity 0.
+pub trait NodeAlgorithm: Send {
+    /// Message type exchanged by this algorithm.
+    type Msg: Clone + Send + Sync + BitSized;
+    /// Per-node output type.
+    type Output: Clone + Send;
+
+    /// One-time initialization; returns the messages to send in round 1.
+    fn init(&mut self, view: &LocalView) -> Outbox<Self::Msg>;
+
+    /// Executes one round: `inbox` holds the messages received this round;
+    /// the return value holds the messages to send next round.
+    fn round(&mut self, view: &LocalView, round: usize, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg>;
+
+    /// True when the node has produced its final output and will not send
+    /// further messages.
+    fn is_done(&self) -> bool;
+
+    /// The node's output, once done.
+    fn output(&self) -> Option<Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_view_helpers() {
+        let view = LocalView {
+            node: 3,
+            id: 30,
+            n: 8,
+            incident: vec![(0, 9), (1, 2), (2, 9), (3, 1)],
+        };
+        assert_eq!(view.degree(), 4);
+        assert_eq!(view.weight_at(2), 9);
+        assert_eq!(view.ports_by_weight(), vec![3, 1, 0, 2]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # `lma-sim` — a synchronous LOCAL / CONGEST round simulator
+//!
+//! This crate provides the distributed-computing substrate of the
+//! *mst-advice* reproduction: a synchronous, message-passing, port-numbered
+//! network simulator implementing the model of the paper (§1), which is the
+//! standard model of Peleg's *Distributed Computing: A Locality-Sensitive
+//! Approach*:
+//!
+//! * computation proceeds in **rounds**; in each round every node
+//!   (1) sends one message through each incident edge it chooses to use,
+//!   (2) receives the messages sent by its neighbours in the same round, and
+//!   (3) performs arbitrary local computation;
+//! * the complexity of an algorithm is its number of rounds;
+//! * in the **LOCAL** model message size is unbounded; in **CONGEST(B)** each
+//!   message carries at most `B` bits.  The paper's algorithms all fit in
+//!   CONGEST(`O(log n)`), and the simulator *audits* (and can enforce) this.
+//!
+//! Node code is written against [`algorithm::NodeAlgorithm`] and sees only a
+//! [`algorithm::LocalView`] — its identifier, `n`, and its incident
+//! `(port, weight)` pairs — so the locality restriction of the model is
+//! enforced by construction, not by convention.
+//!
+//! Rounds are natural synchronization barriers, so the runtime steps all
+//! nodes of a round in parallel with Rayon.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod message;
+pub mod model;
+pub mod runtime;
+pub mod stats;
+pub mod trace;
+
+pub use algorithm::{Inbox, LocalView, NodeAlgorithm, Outbox};
+pub use message::BitSized;
+pub use model::Model;
+pub use runtime::{RunConfig, RunError, RunResult, Runtime};
+pub use stats::RunStats;

@@ -1,0 +1,134 @@
+//! Bit-accounting for messages.
+//!
+//! The CONGEST model is defined in terms of the number of **bits** per
+//! message, so every message type used with the simulator implements
+//! [`BitSized`], reporting the size an honest binary encoding of the message
+//! would take.  The runtime aggregates these sizes into [`crate::RunStats`]
+//! and can enforce a CONGEST bound.
+
+/// Number of bits needed to write `x` in binary (at least 1, so that the
+/// value 0 still occupies a bit on the wire).
+#[must_use]
+pub fn bits_for_value(x: u64) -> usize {
+    if x == 0 {
+        1
+    } else {
+        (64 - x.leading_zeros()) as usize
+    }
+}
+
+/// Number of bits needed to address one of `n` distinct values
+/// (`⌈log₂ n⌉`, at least 1).
+#[must_use]
+pub fn bits_for_universe(n: usize) -> usize {
+    if n <= 2 {
+        1
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// Types whose on-the-wire size in bits is known.
+///
+/// Implementations should reflect a reasonable binary encoding of the
+/// *payload content* (not Rust's in-memory layout): e.g. a port number in a
+/// graph with maximum degree Δ costs `⌈log₂ Δ⌉` bits, a boolean costs 1 bit.
+pub trait BitSized {
+    /// The encoded size of the value in bits.
+    fn bit_size(&self) -> usize;
+}
+
+impl BitSized for () {
+    fn bit_size(&self) -> usize {
+        0
+    }
+}
+
+impl BitSized for bool {
+    fn bit_size(&self) -> usize {
+        1
+    }
+}
+
+impl BitSized for u64 {
+    fn bit_size(&self) -> usize {
+        bits_for_value(*self)
+    }
+}
+
+impl BitSized for u32 {
+    fn bit_size(&self) -> usize {
+        bits_for_value(u64::from(*self))
+    }
+}
+
+impl BitSized for usize {
+    fn bit_size(&self) -> usize {
+        bits_for_value(*self as u64)
+    }
+}
+
+impl<T: BitSized> BitSized for Option<T> {
+    fn bit_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, BitSized::bit_size)
+    }
+}
+
+impl<T: BitSized> BitSized for Vec<T> {
+    fn bit_size(&self) -> usize {
+        // Length prefix plus the payload.
+        bits_for_value(self.len() as u64) + self.iter().map(BitSized::bit_size).sum::<usize>()
+    }
+}
+
+impl<A: BitSized, B: BitSized> BitSized for (A, B) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+impl<A: BitSized, B: BitSized, C: BitSized> BitSized for (A, B, C) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size() + self.2.bit_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_for_value_edges() {
+        assert_eq!(bits_for_value(0), 1);
+        assert_eq!(bits_for_value(1), 1);
+        assert_eq!(bits_for_value(2), 2);
+        assert_eq!(bits_for_value(3), 2);
+        assert_eq!(bits_for_value(4), 3);
+        assert_eq!(bits_for_value(255), 8);
+        assert_eq!(bits_for_value(256), 9);
+        assert_eq!(bits_for_value(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bits_for_universe_edges() {
+        assert_eq!(bits_for_universe(0), 1);
+        assert_eq!(bits_for_universe(1), 1);
+        assert_eq!(bits_for_universe(2), 1);
+        assert_eq!(bits_for_universe(3), 2);
+        assert_eq!(bits_for_universe(4), 2);
+        assert_eq!(bits_for_universe(5), 3);
+        assert_eq!(bits_for_universe(1024), 10);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!(().bit_size(), 0);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!(7u64.bit_size(), 3);
+        assert_eq!(Some(7u64).bit_size(), 4);
+        assert_eq!(None::<u64>.bit_size(), 1);
+        assert_eq!((true, 4u64).bit_size(), 1 + 3);
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.bit_size(), 2 + 1 + 2 + 2);
+    }
+}

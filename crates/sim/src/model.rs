@@ -1,0 +1,54 @@
+//! Communication models.
+
+/// The communication model the simulator runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// The LOCAL model: unbounded message size per edge per round.
+    Local,
+    /// The CONGEST(B) model: at most `bits` bits per message.  The runtime
+    /// records violations and (optionally) aborts the run on the first one.
+    Congest {
+        /// The per-message bit budget `B`.
+        bits: usize,
+    },
+}
+
+impl Model {
+    /// The conventional CONGEST model with `B = Θ(log n)`: we use
+    /// `4·⌈log₂ n⌉ + 16` bits, enough for a constant number of node
+    /// identifiers / weights-ranks plus a small tag, which is what "messages
+    /// of size O(log n)" means in the paper.
+    #[must_use]
+    pub fn congest_for(n: usize) -> Self {
+        let log = crate::message::bits_for_universe(n.max(2));
+        Model::Congest { bits: 4 * log + 16 }
+    }
+
+    /// The per-message budget, if bounded.
+    #[must_use]
+    pub fn budget(&self) -> Option<usize> {
+        match self {
+            Model::Local => None,
+            Model::Congest { bits } => Some(*bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congest_budget_scales_with_log_n() {
+        let small = Model::congest_for(16).budget().unwrap();
+        let large = Model::congest_for(1 << 20).budget().unwrap();
+        assert!(small < large);
+        assert_eq!(small, 4 * 4 + 16);
+        assert_eq!(large, 4 * 20 + 16);
+    }
+
+    #[test]
+    fn local_has_no_budget() {
+        assert_eq!(Model::Local.budget(), None);
+    }
+}

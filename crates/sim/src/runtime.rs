@@ -1,0 +1,450 @@
+//! The synchronous round executor.
+
+use crate::algorithm::{Inbox, LocalView, NodeAlgorithm, Outbox};
+use crate::message::BitSized;
+use crate::model::Model;
+use crate::stats::RunStats;
+use crate::trace::{TraceEvent, TraceSink};
+use lma_graph::WeightedGraph;
+use rayon::prelude::*;
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Communication model (LOCAL or CONGEST(B)).
+    pub model: Model,
+    /// Hard cap on the number of rounds; exceeding it is an error (it almost
+    /// always means the algorithm under test failed to terminate).
+    pub max_rounds: usize,
+    /// When true, the first message exceeding the CONGEST budget aborts the
+    /// run with [`RunError::CongestViolation`]; when false, violations are
+    /// only counted in [`RunStats::congest_violations`].
+    pub enforce_congest: bool,
+    /// When true, every message delivery is recorded in the result's trace.
+    pub trace: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            model: Model::Local,
+            max_rounds: 100_000,
+            enforce_congest: false,
+            trace: false,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The algorithm did not terminate within `max_rounds` rounds.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A message exceeded the CONGEST budget while enforcement was on.
+    CongestViolation {
+        /// Round of the offending message.
+        round: usize,
+        /// Its size in bits.
+        bits: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A node emitted more than one message on the same port in one round, or
+    /// used a port out of range — a bug in the node program.
+    MalformedOutbox {
+        /// The offending node.
+        node: usize,
+        /// The offending port.
+        port: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RoundLimitExceeded { limit } => {
+                write!(f, "algorithm did not terminate within {limit} rounds")
+            }
+            Self::CongestViolation { round, bits, budget } => write!(
+                f,
+                "message of {bits} bits in round {round} exceeds CONGEST budget of {budget} bits"
+            ),
+            Self::MalformedOutbox { node, port } => {
+                write!(f, "node {node} produced a malformed outbox at port {port}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The outcome of a successful run.
+#[derive(Debug, Clone)]
+pub struct RunResult<O> {
+    /// Per-node outputs (indexed by node index); `None` for nodes that never
+    /// produced an output (which the callers treat as a failure of the
+    /// algorithm under test).
+    pub outputs: Vec<Option<O>>,
+    /// Aggregate communication statistics.
+    pub stats: RunStats,
+    /// Message-delivery trace, when requested in the config.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
+/// The synchronous round executor for one graph.
+#[derive(Debug, Clone)]
+pub struct Runtime<'g> {
+    graph: &'g WeightedGraph,
+    config: RunConfig,
+}
+
+impl<'g> Runtime<'g> {
+    /// A runtime with the default configuration (LOCAL model).
+    #[must_use]
+    pub fn new(graph: &'g WeightedGraph) -> Self {
+        Self {
+            graph,
+            config: RunConfig::default(),
+        }
+    }
+
+    /// A runtime with an explicit configuration.
+    #[must_use]
+    pub fn with_config(graph: &'g WeightedGraph, config: RunConfig) -> Self {
+        Self { graph, config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Builds the [`LocalView`] each node program is allowed to see.
+    #[must_use]
+    pub fn local_views(&self) -> Vec<LocalView> {
+        let g = self.graph;
+        g.nodes()
+            .map(|u| LocalView {
+                node: u,
+                id: g.id(u),
+                n: g.node_count(),
+                incident: g.incident(u).iter().map(|ie| (ie.port, ie.weight)).collect(),
+            })
+            .collect()
+    }
+
+    /// Runs one node program per node until every node is done.
+    ///
+    /// `programs[u]` is the program for node `u`; the caller typically builds
+    /// these from per-node advice strings.
+    pub fn run<A: NodeAlgorithm>(
+        &self,
+        mut programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        assert_eq!(
+            programs.len(),
+            self.graph.node_count(),
+            "one program per node is required"
+        );
+        let views = self.local_views();
+        let budget = self.config.model.budget();
+        let trace_sink = if self.config.trace { Some(TraceSink::new()) } else { None };
+
+        // Initialization: round-0 local computation producing round-1 traffic.
+        let mut outboxes: Vec<Outbox<A::Msg>> = programs
+            .par_iter_mut()
+            .zip(views.par_iter())
+            .map(|(p, view)| p.init(view))
+            .collect();
+
+        let mut stats = RunStats::default();
+        let mut round = 0usize;
+
+        while !programs.iter().all(NodeAlgorithm::is_done) {
+            if round >= self.config.max_rounds {
+                return Err(RunError::RoundLimitExceeded {
+                    limit: self.config.max_rounds,
+                });
+            }
+            round += 1;
+
+            // Validate outboxes and route messages into inboxes.
+            let mut inboxes: Vec<Inbox<A::Msg>> = vec![Vec::new(); self.graph.node_count()];
+            let mut messages = 0u64;
+            let mut bits = 0u64;
+            let mut max_bits = 0usize;
+            let mut violations = 0u64;
+            for (u, outbox) in outboxes.iter().enumerate() {
+                let mut used_ports = std::collections::HashSet::new();
+                for (port, msg) in outbox {
+                    if *port >= self.graph.degree(u) || !used_ports.insert(*port) {
+                        return Err(RunError::MalformedOutbox { node: u, port: *port });
+                    }
+                    let size = msg.bit_size();
+                    messages += 1;
+                    bits += size as u64;
+                    max_bits = max_bits.max(size);
+                    if let Some(b) = budget {
+                        if size > b {
+                            if self.config.enforce_congest {
+                                return Err(RunError::CongestViolation {
+                                    round,
+                                    bits: size,
+                                    budget: b,
+                                });
+                            }
+                            violations += 1;
+                        }
+                    }
+                    let edge = self.graph.edge(self.graph.edge_via(u, *port));
+                    let v = edge.other(u);
+                    let port_at_v = edge.port_at(v);
+                    if let Some(sink) = &trace_sink {
+                        sink.record(TraceEvent { round, from: u, to: v, bits: size });
+                    }
+                    inboxes[v].push((port_at_v, msg.clone()));
+                }
+            }
+            stats.record_round(messages, bits, max_bits, violations);
+
+            // Deterministic delivery order regardless of sender iteration.
+            inboxes.par_iter_mut().for_each(|inbox| inbox.sort_by_key(|(p, _)| *p));
+
+            // Step every node.
+            outboxes = programs
+                .par_iter_mut()
+                .zip(views.par_iter())
+                .zip(inboxes.par_iter())
+                .map(|((p, view), inbox)| {
+                    if p.is_done() {
+                        Vec::new()
+                    } else {
+                        p.round(view, round, inbox)
+                    }
+                })
+                .collect();
+        }
+
+        let outputs = programs.iter().map(NodeAlgorithm::output).collect();
+        Ok(RunResult {
+            outputs,
+            stats,
+            trace: trace_sink.map(TraceSink::into_events),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_graph::generators::{path, ring};
+    use lma_graph::weights::WeightStrategy;
+
+    /// Flood the maximum identifier: a classic LOCAL algorithm that needs
+    /// exactly `diameter` rounds on a path when every node starts flooding.
+    struct MaxIdFlood {
+        best: u64,
+        quiet_for: usize,
+        done: bool,
+    }
+
+    impl MaxIdFlood {
+        fn new() -> Self {
+            Self { best: 0, quiet_for: 0, done: false }
+        }
+    }
+
+    impl NodeAlgorithm for MaxIdFlood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+            self.best = view.id;
+            (0..view.degree()).map(|p| (p, self.best)).collect()
+        }
+
+        fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<u64>) -> Outbox<u64> {
+            let before = self.best;
+            for (_, id) in inbox {
+                self.best = self.best.max(*id);
+            }
+            if self.best == before {
+                self.quiet_for += 1;
+            } else {
+                self.quiet_for = 0;
+            }
+            // After n quiet rounds no new information can arrive.
+            if self.quiet_for >= view.n {
+                self.done = true;
+                return Vec::new();
+            }
+            (0..view.degree()).map(|p| (p, self.best)).collect()
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.done.then_some(self.best)
+        }
+    }
+
+    /// A 0-round program: outputs its own degree in `init`.
+    struct ZeroRound {
+        out: Option<usize>,
+    }
+
+    impl NodeAlgorithm for ZeroRound {
+        type Msg = ();
+        type Output = usize;
+
+        fn init(&mut self, view: &LocalView) -> Outbox<()> {
+            self.out = Some(view.degree());
+            Vec::new()
+        }
+
+        fn round(&mut self, _: &LocalView, _: usize, _: &Inbox<()>) -> Outbox<()> {
+            Vec::new()
+        }
+
+        fn is_done(&self) -> bool {
+            self.out.is_some()
+        }
+
+        fn output(&self) -> Option<usize> {
+            self.out
+        }
+    }
+
+    #[test]
+    fn zero_round_algorithm_uses_zero_rounds() {
+        let g = path(5, WeightStrategy::Unit);
+        let rt = Runtime::new(&g);
+        let programs = (0..5).map(|_| ZeroRound { out: None }).collect();
+        let result = rt.run(programs).unwrap();
+        assert_eq!(result.stats.rounds, 0);
+        assert_eq!(result.stats.total_messages, 0);
+        assert_eq!(result.outputs[0], Some(1));
+        assert_eq!(result.outputs[2], Some(2));
+    }
+
+    #[test]
+    fn flooding_converges_to_global_max() {
+        let g = ring(9, WeightStrategy::Unit);
+        let rt = Runtime::new(&g);
+        let programs = (0..9).map(|_| MaxIdFlood::new()).collect();
+        let result = rt.run(programs).unwrap();
+        for out in &result.outputs {
+            assert_eq!(*out, Some(8));
+        }
+        assert!(result.stats.rounds >= g.diameter());
+        assert!(result.stats.total_messages > 0);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = path(4, WeightStrategy::Unit);
+        let config = RunConfig { max_rounds: 2, ..RunConfig::default() };
+        let rt = Runtime::with_config(&g, config);
+        let programs = (0..4).map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
+        let err = rt.run(programs).unwrap_err();
+        assert_eq!(err, RunError::RoundLimitExceeded { limit: 2 });
+    }
+
+    #[test]
+    fn congest_violations_are_counted_but_not_fatal_by_default() {
+        let g = path(3, WeightStrategy::Unit);
+        let config = RunConfig {
+            model: Model::Congest { bits: 1 },
+            ..RunConfig::default()
+        };
+        let rt = Runtime::with_config(&g, config);
+        let programs = (0..3).map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
+        let result = rt.run(programs).unwrap();
+        assert!(result.stats.congest_violations > 0);
+    }
+
+    #[test]
+    fn congest_enforcement_aborts() {
+        let g = path(3, WeightStrategy::Unit);
+        let config = RunConfig {
+            model: Model::Congest { bits: 1 },
+            enforce_congest: true,
+            ..RunConfig::default()
+        };
+        let rt = Runtime::with_config(&g, config);
+        let programs = (0..3).map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
+        let err = rt.run(programs).unwrap_err();
+        assert!(matches!(err, RunError::CongestViolation { .. }));
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let g = path(3, WeightStrategy::Unit);
+        let config = RunConfig { trace: true, ..RunConfig::default() };
+        let rt = Runtime::with_config(&g, config);
+        let programs = (0..3).map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
+        let result = rt.run(programs).unwrap();
+        let trace = result.trace.unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[0].round <= w[1].round));
+    }
+
+    /// A program that sends two messages through the same port — must be
+    /// rejected as malformed.
+    struct Misbehaving {
+        done: bool,
+    }
+
+    impl NodeAlgorithm for Misbehaving {
+        type Msg = bool;
+        type Output = ();
+
+        fn init(&mut self, _view: &LocalView) -> Outbox<bool> {
+            vec![(0, true), (0, false)]
+        }
+
+        fn round(&mut self, _: &LocalView, _: usize, _: &Inbox<bool>) -> Outbox<bool> {
+            self.done = true;
+            Vec::new()
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+
+        fn output(&self) -> Option<()> {
+            self.done.then_some(())
+        }
+    }
+
+    #[test]
+    fn duplicate_port_use_is_malformed() {
+        let g = path(2, WeightStrategy::Unit);
+        let rt = Runtime::new(&g);
+        let programs = vec![Misbehaving { done: false }, Misbehaving { done: false }];
+        let err = rt.run(programs).unwrap_err();
+        assert!(matches!(err, RunError::MalformedOutbox { .. }));
+    }
+
+    #[test]
+    fn local_views_expose_only_local_information() {
+        let g = ring(5, WeightStrategy::ByEdgeId);
+        let rt = Runtime::new(&g);
+        let views = rt.local_views();
+        assert_eq!(views.len(), 5);
+        for (u, view) in views.iter().enumerate() {
+            assert_eq!(view.node, u);
+            assert_eq!(view.n, 5);
+            assert_eq!(view.degree(), 2);
+            for (p, w) in &view.incident {
+                assert_eq!(g.incident(u)[*p].weight, *w);
+            }
+        }
+    }
+}

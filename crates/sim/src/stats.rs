@@ -1,0 +1,65 @@
+//! Run statistics: the quantities every experiment reports.
+
+/// Aggregate statistics of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of communication rounds executed (message exchanges).
+    pub rounds: usize,
+    /// Total number of messages sent over the whole run.
+    pub total_messages: u64,
+    /// Total number of message bits sent over the whole run.
+    pub total_bits: u64,
+    /// The largest single message, in bits (the CONGEST-relevant quantity).
+    pub max_message_bits: usize,
+    /// Number of messages that exceeded the CONGEST budget (0 under LOCAL or
+    /// when the algorithm respects the budget).
+    pub congest_violations: u64,
+    /// Per-round maximum message size in bits (length = `rounds`).
+    pub per_round_max_bits: Vec<usize>,
+}
+
+impl RunStats {
+    /// Average message size in bits (0 when no messages were sent).
+    #[must_use]
+    pub fn avg_message_bits(&self) -> f64 {
+        if self.total_messages == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.total_messages as f64
+        }
+    }
+
+    /// Folds the per-round data of one round into the aggregate.
+    pub(crate) fn record_round(&mut self, messages: u64, bits: u64, max_bits: usize, violations: u64) {
+        self.rounds += 1;
+        self.total_messages += messages;
+        self.total_bits += bits;
+        self.max_message_bits = self.max_message_bits.max(max_bits);
+        self.congest_violations += violations;
+        self.per_round_max_bits.push(max_bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_accumulates() {
+        let mut s = RunStats::default();
+        s.record_round(4, 40, 12, 0);
+        s.record_round(2, 10, 30, 1);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.total_messages, 6);
+        assert_eq!(s.total_bits, 50);
+        assert_eq!(s.max_message_bits, 30);
+        assert_eq!(s.congest_violations, 1);
+        assert_eq!(s.per_round_max_bits, vec![12, 30]);
+        assert!((s.avg_message_bits() - 50.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_average_is_zero() {
+        assert_eq!(RunStats::default().avg_message_bits(), 0.0);
+    }
+}

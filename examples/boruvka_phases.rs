@@ -1,0 +1,29 @@
+//! Figure 2 of the paper: the fragments, choosing nodes and up/down selected
+//! edges of one phase of the Borůvka variant, rendered as text and as
+//! Graphviz DOT.
+//!
+//! ```text
+//! cargo run -p lma-advice --release --example boruvka_phases
+//! cargo run -p lma-advice --release --example boruvka_phases | dot -Tpng -o phase.png
+//! ```
+
+use lma_graph::generators::connected_random;
+use lma_graph::weights::WeightStrategy;
+use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
+use lma_mst::render::{phase_summary, phase_to_dot};
+
+fn main() {
+    let g = connected_random(15, 32, 0xF2, WeightStrategy::DistinctRandom { seed: 0xF2 });
+    let run = run_boruvka(&g, &BoruvkaConfig::default()).expect("connected graph");
+
+    eprintln!("Borůvka decomposition with {} merge phases:", run.merge_phases());
+    for i in 1..=run.merge_phases() {
+        eprintln!("{}", phase_summary(&run, i));
+    }
+
+    // Emit the DOT of the most interesting phase (the one with several
+    // multi-node fragments, as in the paper's figure) on stdout so it can be
+    // piped straight into Graphviz.
+    let phase = 2.min(run.merge_phases());
+    println!("{}", phase_to_dot(&g, &run, phase));
+}

@@ -1,0 +1,52 @@
+//! The advice-vs-time frontier (the paper's open problem, explored
+//! constructively): sweep the phase cutoff of the tradeoff scheme and print
+//! one frontier line per cutoff, from the trivial (⌈log n⌉, 0) scheme down
+//! to Theorem 3's (O(1), O(log n)) scheme.
+//!
+//! ```text
+//! cargo run -p lma-advice --release --example tradeoff_frontier
+//! ```
+
+use lma_advice::constant::schedule::{log_log_n, log_n};
+use lma_advice::tradeoff::frontier;
+use lma_advice::{AdvisingScheme, TradeoffScheme};
+use lma_graph::generators::connected_random;
+use lma_graph::weights::WeightStrategy;
+use lma_sim::RunConfig;
+
+fn main() {
+    for n in [256usize, 1024, 4096] {
+        let g = connected_random(n, 3 * n, 0xF0 + n as u64, WeightStrategy::DistinctRandom {
+            seed: 0xF0 + n as u64,
+        });
+        println!(
+            "\nn = {n}  (⌈log n⌉ = {}, ⌈log log n⌉ = {})",
+            log_n(n),
+            log_log_n(n)
+        );
+        println!(
+            "{:>8} {:>16} {:>16} {:>8} {:>16}",
+            "cutoff", "max advice [b]", "avg advice [b]", "rounds", "advice × rounds"
+        );
+        let points = frontier(&g, &RunConfig::default()).expect("frontier evaluation");
+        for p in &points {
+            println!(
+                "{:>8} {:>16} {:>16.2} {:>8} {:>16}",
+                p.cutoff, p.max_bits, p.avg_bits, p.rounds, p.product()
+            );
+        }
+        // The two ends of the sweep are exactly the schemes of §1 and §3 of
+        // the paper; everything in between is new territory the paper's
+        // conclusion asks about.
+        let ends = (
+            TradeoffScheme::with_cutoff(0),
+            TradeoffScheme::with_cutoff(points.last().map_or(0, |p| p.cutoff)),
+        );
+        println!(
+            "   ends: ({} bits, 0 rounds)  …  (≤ {} bits, ≤ {} rounds)",
+            ends.0.claimed_max_bits(n).unwrap_or(0),
+            ends.1.claimed_max_bits(n).unwrap_or(0),
+            ends.1.claimed_rounds(n).unwrap_or(0),
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration tests comparing the advice schemes against the no-advice
+//! baselines — the quantitative content of the paper's headline claim.
+
+use lma_advice::{evaluate_scheme, ConstantScheme};
+use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
+use lma_graph::generators::{connected_random, lollipop, Family};
+use lma_graph::weights::WeightStrategy;
+use lma_mst::kruskal::mst_weight;
+use lma_mst::verify::verify_upward_outputs;
+use lma_sim::RunConfig;
+
+#[test]
+fn all_algorithms_agree_on_the_mst_weight() {
+    let g = connected_random(40, 110, 4, WeightStrategy::DistinctRandom { seed: 4 });
+    let optimal = mst_weight(&g).unwrap();
+
+    let eval = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+    assert_eq!(g.weight_of(&eval.tree.edges), optimal);
+
+    for baseline in [
+        Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
+        Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
+    ] {
+        let (outputs, _) = baseline.run(&g, &RunConfig::default()).unwrap();
+        let tree = verify_upward_outputs(&g, &outputs).unwrap();
+        assert_eq!(g.weight_of(&tree.edges), optimal, "{}", baseline.name());
+    }
+}
+
+#[test]
+fn constant_advice_scheme_is_much_faster_than_the_no_advice_baseline() {
+    // The "exponential decrease of the distributed computation time" claim:
+    // O(log n) rounds with advice vs Θ(n log n) rounds without.
+    for n in [48usize, 96, 192] {
+        let g = connected_random(n, 3 * n, 6, WeightStrategy::DistinctRandom { seed: 6 });
+        let with_advice = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default())
+            .unwrap()
+            .run
+            .rounds;
+        let (outputs, stats) = SyncBoruvkaMst.run(&g, &RunConfig::default()).unwrap();
+        verify_upward_outputs(&g, &outputs).unwrap();
+        assert!(
+            stats.rounds > 4 * with_advice,
+            "n={n}: baseline {} rounds vs scheme {} rounds",
+            stats.rounds,
+            with_advice
+        );
+    }
+}
+
+#[test]
+fn the_gap_grows_with_n() {
+    let ratio = |n: usize| {
+        let g = connected_random(n, 3 * n, 8, WeightStrategy::DistinctRandom { seed: 8 });
+        let with_advice = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default())
+            .unwrap()
+            .run
+            .rounds as f64;
+        let (_, stats) = SyncBoruvkaMst.run(&g, &RunConfig::default()).unwrap();
+        stats.rounds as f64 / with_advice
+    };
+    let small = ratio(32);
+    let large = ratio(256);
+    assert!(
+        large > 2.0 * small,
+        "the advantage of advice must grow with n: ratio {small:.1} -> {large:.1}"
+    );
+}
+
+#[test]
+fn flood_collect_wins_on_rounds_but_loses_on_message_size() {
+    // The LOCAL-model (0, D+1) scheme is fast on low-diameter graphs but its
+    // messages carry the whole topology; the constant-advice scheme stays
+    // polylogarithmic on both axes.
+    let g = Family::DenseRandom.instantiate(96, WeightStrategy::DistinctRandom { seed: 10 }, 10);
+    let (outputs, flood_stats) = FloodCollectMst.run(&g, &RunConfig::default()).unwrap();
+    verify_upward_outputs(&g, &outputs).unwrap();
+    let scheme_eval = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+
+    assert!(flood_stats.rounds <= scheme_eval.run.rounds);
+    assert!(
+        flood_stats.max_message_bits > 20 * scheme_eval.run.max_message_bits,
+        "flooding messages ({} bits) must dwarf the scheme's ({} bits)",
+        flood_stats.max_message_bits,
+        scheme_eval.run.max_message_bits
+    );
+}
+
+#[test]
+fn baselines_handle_high_diameter_families() {
+    let g = lollipop(40, WeightStrategy::DistinctRandom { seed: 12 });
+    for baseline in [
+        Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
+        Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
+    ] {
+        let (outputs, stats) = baseline.run(&g, &RunConfig::default()).unwrap();
+        verify_upward_outputs(&g, &outputs).unwrap();
+        assert!(stats.rounds >= g.diameter(), "{}", baseline.name());
+    }
+}

@@ -1,0 +1,96 @@
+//! Integration tests for the communication-model accounting: message sizes,
+//! CONGEST budgets and violations, as claimed in §1 of the paper.
+
+use lma_advice::{AdvisingScheme, ConstantScheme, OneRoundScheme, TrivialScheme};
+use lma_baselines::{FloodCollectMst, NoAdviceMst};
+use lma_graph::generators::connected_random;
+use lma_graph::weights::WeightStrategy;
+use lma_mst::verify::verify_upward_outputs;
+use lma_sim::{Model, RunConfig};
+
+fn graph(n: usize) -> lma_graph::WeightedGraph {
+    connected_random(n, 4 * n, 0xC0 + n as u64, WeightStrategy::DistinctRandom { seed: 0xC0 })
+}
+
+#[test]
+fn trivial_scheme_sends_nothing() {
+    let g = graph(64);
+    let scheme = TrivialScheme::default();
+    let advice = scheme.advise(&g).unwrap();
+    let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+    assert_eq!(outcome.stats.total_messages, 0);
+    assert_eq!(outcome.stats.total_bits, 0);
+    assert_eq!(outcome.stats.max_message_bits, 0);
+}
+
+#[test]
+fn one_round_scheme_sends_single_bit_messages_under_enforced_congest() {
+    let g = graph(128);
+    let scheme = OneRoundScheme::default();
+    let config = RunConfig {
+        model: Model::congest_for(128),
+        enforce_congest: true,
+        ..RunConfig::default()
+    };
+    let advice = scheme.advise(&g).unwrap();
+    let outcome = scheme.decode(&g, &advice, &config).unwrap();
+    verify_upward_outputs(&g, &outcome.outputs).unwrap();
+    assert!(outcome.stats.max_message_bits <= 1);
+    assert_eq!(outcome.stats.congest_violations, 0);
+}
+
+#[test]
+fn constant_scheme_messages_are_polylogarithmic() {
+    // The structured convergecast reports of the Theorem 3 decoder hold
+    // O(log n) entries of O(1) bits plus a final-phase report of O(log n)
+    // single-bit entries: measure and bound by c·log²n.
+    for n in [128usize, 512] {
+        let g = graph(n);
+        let scheme = ConstantScheme::default();
+        let advice = scheme.advise(&g).unwrap();
+        let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+        verify_upward_outputs(&g, &outcome.outputs).unwrap();
+        let logn = lma_graph::graph::ceil_log2(n) as usize;
+        assert!(
+            outcome.stats.max_message_bits <= 40 * logn * logn,
+            "n={n}: {} bits",
+            outcome.stats.max_message_bits
+        );
+        // And they do NOT grow linearly with n.
+        assert!(outcome.stats.max_message_bits < n);
+    }
+}
+
+#[test]
+fn per_round_maxima_are_recorded_for_every_round() {
+    let g = graph(96);
+    let scheme = ConstantScheme::default();
+    let advice = scheme.advise(&g).unwrap();
+    let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+    assert_eq!(outcome.stats.per_round_max_bits.len(), outcome.stats.rounds);
+    assert_eq!(
+        outcome.stats.max_message_bits,
+        outcome.stats.per_round_max_bits.iter().copied().max().unwrap_or(0)
+    );
+}
+
+#[test]
+fn flooding_baseline_violates_congest_as_expected() {
+    let g = graph(96);
+    let config = RunConfig { model: Model::congest_for(96), ..RunConfig::default() };
+    let (outputs, stats) = FloodCollectMst.run(&g, &config).unwrap();
+    verify_upward_outputs(&g, &outputs).unwrap();
+    assert!(stats.congest_violations > 0);
+    assert!(stats.max_message_bits > Model::congest_for(96).budget().unwrap());
+}
+
+#[test]
+fn congest_enforcement_aborts_the_flooding_baseline() {
+    let g = graph(64);
+    let config = RunConfig {
+        model: Model::congest_for(64),
+        enforce_congest: true,
+        ..RunConfig::default()
+    };
+    assert!(FloodCollectMst.run(&g, &config).is_err());
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the extension layers: the advice-vs-time
+//! tradeoff scheme and the verification labels, on arbitrary random inputs.
+
+use lma_advice::constant::schedule::{log_log_n, log_n};
+use lma_advice::{evaluate_scheme, TradeoffScheme};
+use lma_graph::generators::{connected_random, random_tree};
+use lma_graph::weights::WeightStrategy;
+use lma_graph::WeightedGraph;
+use lma_labeling::faults::FaultPlan;
+use lma_labeling::{CentroidDecomposition, MstCertificate, SpanningProof};
+use lma_mst::kruskal_mst;
+use lma_mst::verify::verify_upward_outputs;
+use lma_mst::RootedTree;
+use lma_sim::RunConfig;
+use proptest::prelude::*;
+
+fn mst_tree(g: &WeightedGraph, root: usize) -> RootedTree {
+    RootedTree::from_edges(g, root, &kruskal_mst(g).unwrap()).unwrap()
+}
+
+/// Explicit path walk, used as the reference for the centroid summaries.
+fn path_max_reference(g: &WeightedGraph, tree: &RootedTree, u: usize, v: usize) -> u64 {
+    let (mut a, mut b) = (u, v);
+    let mut best = 0;
+    while tree.depth[a] > tree.depth[b] {
+        best = best.max(g.weight(tree.parent_edge[a].unwrap()));
+        a = tree.parent[a].unwrap();
+    }
+    while tree.depth[b] > tree.depth[a] {
+        best = best.max(g.weight(tree.parent_edge[b].unwrap()));
+        b = tree.parent[b].unwrap();
+    }
+    while a != b {
+        best = best.max(g.weight(tree.parent_edge[a].unwrap()));
+        best = best.max(g.weight(tree.parent_edge[b].unwrap()));
+        a = tree.parent[a].unwrap();
+        b = tree.parent[b].unwrap();
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The tradeoff scheme produces a verified MST within its claimed
+    /// (m, t) for every cutoff on arbitrary distinct-weight random graphs.
+    #[test]
+    fn tradeoff_scheme_holds_its_claims(n in 4usize..80, extra in 0usize..100, seed in 0u64..500) {
+        let g = connected_random(n, n - 1 + extra, seed, WeightStrategy::DistinctRandom { seed });
+        for cutoff in 0..=log_log_n(n) {
+            let scheme = TradeoffScheme::with_cutoff(cutoff);
+            let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+            prop_assert!(eval.within_claims(&scheme, n), "cutoff {} broke its claims", cutoff);
+            prop_assert_eq!(eval.tree.edges.len(), n - 1);
+        }
+    }
+
+    /// The frontier endpoints behave as designed: cutoff 0 is a zero-round
+    /// ⌈log n⌉-bit scheme, the full cutoff keeps the maximum advice constant.
+    #[test]
+    fn tradeoff_endpoints(n in 8usize..120, seed in 0u64..300) {
+        let g = connected_random(n, 3 * n, seed, WeightStrategy::DistinctRandom { seed });
+        let zero = evaluate_scheme(&TradeoffScheme::with_cutoff(0), &g, &RunConfig::default()).unwrap();
+        prop_assert_eq!(zero.run.rounds, 0);
+        prop_assert_eq!(zero.advice.max_bits, log_n(n));
+        let full = evaluate_scheme(&TradeoffScheme::default(), &g, &RunConfig::default()).unwrap();
+        prop_assert!(full.advice.max_bits <= 14);
+    }
+
+    /// The centroid decomposition reports the exact maximum edge weight on
+    /// the tree path between any two nodes, for arbitrary random trees with
+    /// arbitrary (possibly duplicated) weights.
+    #[test]
+    fn centroid_path_maxima_are_exact(n in 2usize..60, seed in 0u64..500, max_w in 1u64..30) {
+        let g = random_tree(n, seed, WeightStrategy::UniformRandom { seed, max: max_w });
+        let tree = mst_tree(&g, 0);
+        let dec = CentroidDecomposition::build(&g, &tree);
+        // Check a deterministic sample of pairs (all pairs is quadratic).
+        for u in 0..n {
+            let v = (u * 7 + seed as usize) % n;
+            let got = dec.path_max(u, v).unwrap();
+            let want = if u == v { 0 } else { path_max_reference(&g, &tree, u, v) };
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(dec.max_list_len() <= log_n(n) + 1);
+    }
+
+    /// Completeness of both verification layers on arbitrary graphs and
+    /// roots: honest labels plus honest outputs are always accepted.
+    #[test]
+    fn verification_completeness(n in 4usize..70, extra in 0usize..80, seed in 0u64..500) {
+        let g = connected_random(n, n - 1 + extra, seed, WeightStrategy::DistinctRandom { seed });
+        let root = seed as usize % n;
+        let tree = mst_tree(&g, root);
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        let spanning = SpanningProof::assign(&g, &tree);
+        let r1 = SpanningProof::verify(&g, &spanning, &outputs, &RunConfig::default()).unwrap();
+        prop_assert!(r1.accepted, "{:?}", r1.violations);
+        let r2 = MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default()).unwrap();
+        prop_assert!(r2.accepted, "{:?}", r2.violations);
+        prop_assert_eq!(r1.run.rounds, 1);
+        prop_assert_eq!(r2.run.rounds, 1);
+    }
+
+    /// Soundness in practice: whenever a random corruption makes the outputs
+    /// stop being the certified rooted MST, the distributed verifier rejects
+    /// — its verdict never contradicts the central verifier in the accepting
+    /// direction.
+    #[test]
+    fn verification_catches_random_corruption(n in 6usize..60, extra in 2usize..60, seed in 0u64..500, faults in 1usize..4) {
+        let g = connected_random(n, n - 1 + extra, seed, WeightStrategy::DistinctRandom { seed });
+        let tree = mst_tree(&g, 0);
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        let labels = MstCertificate::certify(&g, &tree);
+        let plan = FaultPlan::random(&g, &tree, faults, seed ^ 0x5EED);
+        let bad = plan.apply(&outputs);
+        let report = MstCertificate::verify(&g, &labels, &bad, &RunConfig::default()).unwrap();
+        if bad != outputs {
+            prop_assert!(!report.accepted, "corruption {:?} accepted", plan.faults);
+        } else {
+            prop_assert!(report.accepted);
+        }
+        // Agreement with the central verifier: anything the central check
+        // rejects, the distributed check rejects too.
+        if verify_upward_outputs(&g, &bad).is_err() {
+            prop_assert!(!report.accepted);
+        }
+    }
+}

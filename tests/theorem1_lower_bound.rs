@@ -1,0 +1,103 @@
+//! Integration tests for Theorem 1: the lower-bound family, the certified
+//! counting bound, and the adversary against under-budgeted zero-round
+//! schemes.
+
+use lma_advice::lowerbound::{
+    attack_scheme_at, certified_node_bits, certified_report, pigeonhole_witness, truncated_trivial,
+};
+use lma_advice::{evaluate_scheme, TrivialScheme};
+use lma_graph::generators::lowerbound::{
+    expected_mst_pairs, lowerbound_family_at, lowerbound_gn, LowerBoundParams,
+};
+use lma_mst::boruvka::{BoruvkaConfig, TieBreak};
+use lma_mst::kruskal::kruskal_mst;
+use lma_sim::RunConfig;
+
+#[test]
+fn gn_has_the_unique_spine_mst_for_all_band_assignments() {
+    for n in [4usize, 6, 10, 16] {
+        for params in [LowerBoundParams::new(n), LowerBoundParams::adversarial(n)] {
+            let g = lowerbound_gn(&params);
+            let mst = kruskal_mst(&g).unwrap();
+            let expected: std::collections::BTreeSet<(usize, usize)> =
+                expected_mst_pairs(n).into_iter().collect();
+            let got: std::collections::BTreeSet<(usize, usize)> = mst
+                .iter()
+                .map(|&e| g.edge(e).endpoints_sorted())
+                .collect();
+            assert_eq!(got, expected, "n={n}");
+        }
+    }
+}
+
+#[test]
+fn certified_average_grows_logarithmically() {
+    let values: Vec<f64> = [16usize, 64, 256, 1024]
+        .iter()
+        .map(|&n| certified_report(n).average_bits)
+        .collect();
+    // Roughly +1 bit every time n quadruples (the bound is ~log2(n)/2).
+    for w in values.windows(2) {
+        assert!(w[1] > w[0] + 0.7, "{values:?}");
+    }
+    // And the average never exceeds the trivial scheme's ceil(log(2n)) bits.
+    assert!(values[3] <= 11.0);
+}
+
+#[test]
+fn trivial_scheme_is_tight_against_the_adversary() {
+    // Theorem 1 says the trivial (ceil(log n), 0) scheme is optimal: with its
+    // full budget it survives every family; certified bounds say nothing
+    // smaller can.
+    for i in [2usize, 4, 8] {
+        let full = truncated_trivial(64);
+        assert!(attack_scheme_at(&full, 12, i).unwrap().is_none(), "i={i}");
+    }
+}
+
+#[test]
+fn every_starved_budget_is_falsified() {
+    let n = 18;
+    let i = 2;
+    let needed = certified_node_bits(n, i);
+    assert!(needed >= 4);
+    for m in 0..needed {
+        let starved = truncated_trivial(m);
+        let witness = attack_scheme_at(&starved, n, i).unwrap();
+        assert!(witness.is_some(), "budget {m} < {needed} must be falsified");
+    }
+}
+
+#[test]
+fn pigeonhole_pairs_exist_exactly_when_the_budget_is_too_small() {
+    let family = lowerbound_family_at(18, 2);
+    let needed = certified_node_bits(18, 2);
+    let starved = truncated_trivial(needed - 1);
+    assert!(pigeonhole_witness(&starved, &family).unwrap().is_some());
+    let full = truncated_trivial(64);
+    assert!(pigeonhole_witness(&full, &family).unwrap().is_none());
+}
+
+#[test]
+fn trivial_scheme_average_on_gn_is_close_to_log_n() {
+    // The certified lower bound and the trivial scheme's measured average
+    // bracket each other within a small factor on G_n: Theorem 1's claim that
+    // the trivial scheme is average-optimal at zero rounds.
+    for n in [16usize, 64, 256] {
+        let g = lowerbound_gn(&LowerBoundParams::new(n));
+        let scheme = TrivialScheme {
+            boruvka: BoruvkaConfig { root: None, tie_break: TieBreak::CanonicalGlobal },
+        };
+        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let lower = certified_report(n).average_bits;
+        let measured = eval.advice.avg_bits;
+        assert!(
+            measured + 1e-9 >= lower,
+            "n={n}: measured average {measured} below certified bound {lower}"
+        );
+        assert!(
+            measured <= 4.0 * lower + 4.0,
+            "n={n}: measured average {measured} unexpectedly far above the bound {lower}"
+        );
+    }
+}

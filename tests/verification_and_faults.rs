@@ -1,0 +1,211 @@
+//! Integration tests for the verification layer (`lma-labeling`) against the
+//! advising schemes: honest runs are accepted by the one-round distributed
+//! verifier, corrupted runs are rejected, and the rejection happens at the
+//! nodes rather than in the omniscient test harness.
+
+use lma_advice::{AdvisingScheme, ConstantScheme, OneRoundScheme, TradeoffScheme, TrivialScheme};
+use lma_graph::generators::{connected_random, geometric, grid, hypercube, Family};
+use lma_graph::weights::WeightStrategy;
+use lma_graph::WeightedGraph;
+use lma_labeling::faults::{non_minimum_spanning_tree, FaultPlan};
+use lma_labeling::{certified_run, certify_outputs, MstCertificate, SpanningProof, Violation};
+use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
+use lma_mst::kruskal_mst;
+use lma_mst::verify::verify_upward_outputs;
+use lma_mst::RootedTree;
+use lma_sim::{Model, RunConfig};
+
+fn all_schemes() -> Vec<Box<dyn AdvisingScheme>> {
+    vec![
+        Box::new(TrivialScheme::default()),
+        Box::new(OneRoundScheme::default()),
+        Box::new(ConstantScheme::default()),
+        Box::new(ConstantScheme::paper_literal()),
+        Box::new(TradeoffScheme::with_cutoff(1)),
+        Box::new(TradeoffScheme::with_cutoff(2)),
+        Box::new(TradeoffScheme::default()),
+    ]
+}
+
+#[test]
+fn every_scheme_passes_distributed_verification_on_every_family() {
+    for family in [Family::SparseRandom, Family::Grid, Family::Hypercube, Family::Lollipop] {
+        let g = family.instantiate(80, WeightStrategy::DistinctRandom { seed: 11 }, 11);
+        for scheme in all_schemes() {
+            let run = certified_run(
+                scheme.as_ref(),
+                &g,
+                &BoruvkaConfig::default(),
+                &RunConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", scheme.name(), family.name()));
+            assert!(
+                run.report.accepted,
+                "{} on {} rejected an honest run: {:?}",
+                scheme.name(),
+                family.name(),
+                run.report.violations
+            );
+            assert_eq!(run.report.run.rounds, 1, "verification must add exactly one round");
+        }
+    }
+}
+
+#[test]
+fn verification_stays_within_congest_on_sparse_graphs() {
+    // Certificate messages carry O(log^2 n) bits; on bounded-degree graphs
+    // they fit in a CONGEST(Θ(log² n)) budget, and the audit shows how far
+    // above plain CONGEST(Θ(log n)) they sit.
+    let n: usize = 256;
+    let g = grid(16, 16, WeightStrategy::DistinctRandom { seed: 5 });
+    let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
+    let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+    let report =
+        MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default()).unwrap();
+    assert!(report.accepted);
+    let logn = (usize::BITS - (n - 1).leading_zeros()) as usize;
+    assert!(
+        report.run.max_message_bits <= 4 * logn * logn,
+        "certificate messages too large: {} bits",
+        report.run.max_message_bits
+    );
+    // The spanning-tree-only proof fits in plain CONGEST.
+    let labels = SpanningProof::assign(&g, &tree);
+    let config = RunConfig { model: Model::congest_for(n), enforce_congest: true, ..RunConfig::default() };
+    let spanning_report = SpanningProof::verify(&g, &labels, &outputs, &config).unwrap();
+    assert!(spanning_report.accepted);
+    assert_eq!(spanning_report.run.congest_violations, 0);
+}
+
+#[test]
+fn random_output_corruption_is_never_silently_accepted() {
+    let g = connected_random(60, 160, 21, WeightStrategy::DistinctRandom { seed: 21 });
+    let run = run_boruvka(&g, &BoruvkaConfig::default()).unwrap();
+    let outputs: Vec<_> = run.tree.upward_outputs().into_iter().map(Some).collect();
+    let labels = MstCertificate::certify(&g, &run.tree);
+    let mut corrupted_runs = 0;
+    for seed in 0..25u64 {
+        let plan = FaultPlan::random(&g, &run.tree, 1 + (seed as usize % 3), seed);
+        let bad = plan.apply(&outputs);
+        if bad == outputs {
+            continue;
+        }
+        corrupted_runs += 1;
+        let report = MstCertificate::verify(&g, &labels, &bad, &RunConfig::default()).unwrap();
+        assert!(
+            !report.accepted,
+            "corruption {:?} was accepted by every node",
+            plan.faults
+        );
+        // The distributed verdict must agree with the central verifier.
+        assert!(verify_upward_outputs(&g, &bad).is_err() || !report.accepted);
+    }
+    assert!(corrupted_runs >= 20, "the fault plans must actually corrupt outputs");
+}
+
+#[test]
+fn non_minimum_spanning_trees_are_rejected_by_the_cycle_check() {
+    for (g, seed) in [
+        (connected_random(40, 140, 31, WeightStrategy::DistinctRandom { seed: 31 }), 1u64),
+        (hypercube(5, WeightStrategy::DistinctRandom { seed: 32 }), 2),
+        (geometric(50, 0.35, 33, WeightStrategy::DistinctRandom { seed: 33 }), 3),
+    ] {
+        let bad_tree = non_minimum_spanning_tree(&g, 0, seed)
+            .expect("these graphs have non-minimum spanning trees");
+        let outputs: Vec<_> = bad_tree.upward_outputs().into_iter().map(Some).collect();
+        // Certify the bad tree faithfully: the spanning checks pass, the
+        // binding check passes, but the cycle property fails somewhere.
+        let report =
+            MstCertificate::certify_and_verify(&g, &bad_tree, &outputs, &RunConfig::default())
+                .unwrap();
+        assert!(!report.accepted);
+        assert!(
+            report.has_cycle_violation(),
+            "expected a cycle-property violation, got {:?}",
+            report.violations
+        );
+        // The spanning-tree proof alone (which knows nothing about weights)
+        // accepts the same outputs: minimality is exactly what the MST
+        // certificate adds.
+        let labels = SpanningProof::assign(&g, &bad_tree);
+        let spanning =
+            SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        assert!(spanning.accepted);
+    }
+}
+
+#[test]
+fn certify_outputs_accepts_only_the_reference_rooted_mst() {
+    let g = connected_random(50, 150, 41, WeightStrategy::DistinctRandom { seed: 41 });
+    let reference = BoruvkaConfig::default();
+    // The reference tree itself is accepted.
+    let run = run_boruvka(&g, &reference).unwrap();
+    let honest: Vec<_> = run.tree.upward_outputs().into_iter().map(Some).collect();
+    assert!(certify_outputs(&g, &reference, &honest, &RunConfig::default()).unwrap().accepted);
+    // The same MST rooted elsewhere is rejected (binding), and a corrupted
+    // variant is rejected with a named violation.
+    let rerooted = run_boruvka(
+        &g,
+        &BoruvkaConfig { root: Some(g.node_count() / 2), ..BoruvkaConfig::default() },
+    )
+    .unwrap();
+    let foreign: Vec<_> = rerooted.tree.upward_outputs().into_iter().map(Some).collect();
+    let report = certify_outputs(&g, &reference, &foreign, &RunConfig::default()).unwrap();
+    assert!(!report.accepted);
+    let mut dropped = honest.clone();
+    dropped[7] = None;
+    let report = certify_outputs(&g, &reference, &dropped, &RunConfig::default()).unwrap();
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::MissingOutput { node: 7 })));
+}
+
+#[test]
+fn certificate_label_sizes_grow_polylogarithmically() {
+    let mut previous = 0usize;
+    for n in [64usize, 256, 1024] {
+        let g = connected_random(n, 3 * n, 51, WeightStrategy::DistinctRandom { seed: 51 });
+        let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
+        let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
+        let report =
+            MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default()).unwrap();
+        assert!(report.accepted);
+        let logn = (usize::BITS - (n - 1).leading_zeros()) as usize;
+        let logw = (u32::BITS - (3 * n as u32).leading_zeros()) as usize;
+        let bound = (logn + 1) * (2 * logn + logw + 8) + 64 + logn + 8;
+        assert!(
+            report.labels.max_bits <= bound,
+            "n={n}: labels of {} bits exceed the O(log² n) budget {bound}",
+            report.labels.max_bits
+        );
+        // Quadrupling n far less than quadruples the label size.
+        if previous > 0 {
+            assert!(report.labels.max_bits <= previous * 3);
+        }
+        previous = report.labels.max_bits;
+    }
+}
+
+fn graph_families_for_tradeoff() -> Vec<WeightedGraph> {
+    vec![
+        connected_random(100, 280, 61, WeightStrategy::DistinctRandom { seed: 61 }),
+        grid(10, 10, WeightStrategy::DistinctRandom { seed: 62 }),
+        hypercube(6, WeightStrategy::DistinctRandom { seed: 63 }),
+    ]
+}
+
+#[test]
+fn tradeoff_scheme_outputs_are_certified_at_every_cutoff() {
+    for g in graph_families_for_tradeoff() {
+        for cutoff in 0..=3usize {
+            let scheme = TradeoffScheme::with_cutoff(cutoff);
+            let run = certified_run(&scheme, &g, &BoruvkaConfig::default(), &RunConfig::default())
+                .unwrap();
+            assert!(run.report.accepted, "cutoff {cutoff}: {:?}", run.report.violations);
+            // The total pipeline stays within (decode claim + 1) rounds.
+            let claim = scheme.claimed_rounds(g.node_count()).unwrap();
+            assert!(run.total_rounds() <= claim + 1);
+        }
+    }
+}
