@@ -26,10 +26,23 @@ impl AdviceStats {
     #[must_use]
     pub fn from_advice(advice: &Advice) -> Self {
         let nodes = advice.per_node.len();
-        let total_bits: usize = advice.per_node.iter().map(crate::bits::BitString::len).sum();
-        let max_bits = advice.per_node.iter().map(crate::bits::BitString::len).max().unwrap_or(0);
+        let total_bits: usize = advice
+            .per_node
+            .iter()
+            .map(crate::bits::BitString::len)
+            .sum();
+        let max_bits = advice
+            .per_node
+            .iter()
+            .map(crate::bits::BitString::len)
+            .max()
+            .unwrap_or(0);
         let empty_nodes = advice.per_node.iter().filter(|s| s.is_empty()).count();
-        let avg_bits = if nodes == 0 { 0.0 } else { total_bits as f64 / nodes as f64 };
+        let avg_bits = if nodes == 0 {
+            0.0
+        } else {
+            total_bits as f64 / nodes as f64
+        };
         Self {
             nodes,
             total_bits,

@@ -89,26 +89,37 @@ impl BitString {
 
     /// Builds a string from an iterator of bits.
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        Self { bits: bits.into_iter().collect() }
+        Self {
+            bits: bits.into_iter().collect(),
+        }
     }
 
     /// A reader positioned at the start of the string.
     #[must_use]
     pub fn reader(&self) -> BitReader<'_> {
-        BitReader { bits: &self.bits, pos: 0 }
+        BitReader {
+            bits: &self.bits,
+            pos: 0,
+        }
     }
 
     /// A reader positioned at `pos`.
     #[must_use]
     pub fn reader_at(&self, pos: usize) -> BitReader<'_> {
-        BitReader { bits: &self.bits, pos: pos.min(self.bits.len()) }
+        BitReader {
+            bits: &self.bits,
+            pos: pos.min(self.bits.len()),
+        }
     }
 
     /// Renders the string as a sequence of `0`/`1` characters (for debugging
     /// and for golden tests).
     #[must_use]
     pub fn to_bit_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 }
 

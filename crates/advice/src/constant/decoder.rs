@@ -26,7 +26,7 @@ use super::ConstantVariant;
 use crate::bits::BitString;
 use lma_graph::Port;
 use lma_mst::verify::UpwardOutput;
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox};
 use std::collections::HashMap;
 
 /// The per-node program of the constant-advice scheme.
@@ -130,7 +130,11 @@ impl ConstantDecoder {
             .into_iter()
             .map(|p| self.child_reports[&p].clone())
             .collect();
-        Report { bits: self.unconsumed(), children }.truncate_bfs(limit.max(1))
+        Report {
+            bits: self.unconsumed(),
+            children,
+        }
+        .truncate_bfs(limit.max(1))
     }
 
     /// Builds this node's current report for the final phase.
@@ -140,7 +144,11 @@ impl ConstantDecoder {
             .into_iter()
             .map(|p| self.final_child_reports[&p].clone())
             .collect();
-        Report { bits: self.final_bits.clone(), children }.truncate_bfs(limit.max(1))
+        Report {
+            bits: self.final_bits.clone(),
+            children,
+        }
+        .truncate_bfs(limit.max(1))
     }
 
     /// Resolves the local rank `r` (1-based, in `(weight, port)` order) to a
@@ -176,7 +184,13 @@ impl ConstantDecoder {
             ConstantVariant::Index => {
                 let j = 1 + bits_to_uint(&a_f[1..1 + i]);
                 let rank = 1 + bits_to_uint(&a_f[1 + i..1 + 2 * i]);
-                (j, ChooserPayload::Index { up, rank: rank as usize })
+                (
+                    j,
+                    ChooserPayload::Index {
+                        up,
+                        rank: rank as usize,
+                    },
+                )
             }
         };
         // Greedy consumption along the BFS order.
@@ -235,7 +249,7 @@ impl ConstantDecoder {
     }
 
     /// Handles everything delivered in round `r`.
-    fn process(&mut self, view: &LocalView, r: usize, inbox: &Inbox<ConstMsg>) {
+    fn process(&mut self, view: &LocalView, r: usize, inbox: &[(Port, ConstMsg)]) {
         if let Some(window) = self.schedule.phase_of_round(r).copied() {
             for (port, msg) in inbox {
                 match msg {
@@ -253,10 +267,9 @@ impl ConstantDecoder {
                     {
                         self.apply_map(view, entry.clone());
                     }
-                    ConstMsg::Parent if r == window.notify_round
-                        && self.parent_port.is_none() => {
-                            self.parent_port = Some(*port);
-                        }
+                    ConstMsg::Parent if r == window.notify_round && self.parent_port.is_none() => {
+                        self.parent_port = Some(*port);
+                    }
                     _ => {}
                 }
             }
@@ -312,7 +325,10 @@ impl ConstantDecoder {
         } else if self.schedule.is_final_round(next) {
             if let Some(parent) = self.parent_port {
                 let limit = self.final_limit;
-                outbox.push((parent, ConstMsg::Report(self.build_final_report(view, limit))));
+                outbox.push((
+                    parent,
+                    ConstMsg::Report(self.build_final_report(view, limit)),
+                ));
             }
         }
         outbox
@@ -395,7 +411,12 @@ impl NodeAlgorithm for ConstantDecoder {
         self.emit(view, 1)
     }
 
-    fn round(&mut self, view: &LocalView, round: usize, inbox: &Inbox<ConstMsg>) -> Outbox<ConstMsg> {
+    fn round(
+        &mut self,
+        view: &LocalView,
+        round: usize,
+        inbox: &[(Port, ConstMsg)],
+    ) -> Outbox<ConstMsg> {
         self.process(view, round, inbox);
         if round >= self.schedule.total_rounds() {
             self.finalize(view);
@@ -432,7 +453,10 @@ mod tests {
             bits: vec![true, true],
             children: vec![
                 Report::leaf(vec![false]),
-                Report { bits: vec![true], children: vec![Report::leaf(vec![false, false])] },
+                Report {
+                    bits: vec![true],
+                    children: vec![Report::leaf(vec![false, false])],
+                },
             ],
         };
         let consume = vec![2, 1, 0, 0];

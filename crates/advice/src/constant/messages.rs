@@ -38,7 +38,10 @@ impl Report {
     /// A leaf report carrying only this node's bits.
     #[must_use]
     pub fn leaf(bits: Vec<bool>) -> Self {
-        Self { bits, children: Vec::new() }
+        Self {
+            bits,
+            children: Vec::new(),
+        }
     }
 
     /// Total number of nodes represented in the report.
@@ -66,7 +69,10 @@ impl Report {
     /// Concatenation of all payload bits in BFS order.
     #[must_use]
     pub fn bfs_bits(&self) -> Vec<bool> {
-        self.bfs_order().iter().flat_map(|r| r.bits.iter().copied()).collect()
+        self.bfs_order()
+            .iter()
+            .flat_map(|r| r.bits.iter().copied())
+            .collect()
     }
 
     /// Per-node payload lengths in BFS order.
@@ -106,7 +112,10 @@ fn truncate_exact(root: &Report, limit: usize) -> Report {
     // Rebuild the first `keep` nodes.
     let mut rebuilt: Vec<Report> = order[..keep]
         .iter()
-        .map(|(node, _)| Report { bits: node.bits.clone(), children: Vec::new() })
+        .map(|(node, _)| Report {
+            bits: node.bits.clone(),
+            children: Vec::new(),
+        })
         .collect();
     // Attach children to parents, deepest first so we can move them out.
     for idx in (1..keep).rev() {
@@ -190,13 +199,21 @@ impl MapEntry {
     /// An entry with no consumption, no chooser and no children.
     #[must_use]
     pub fn empty() -> Self {
-        Self { consume: 0, chooser: None, children: Vec::new() }
+        Self {
+            consume: 0,
+            chooser: None,
+            children: Vec::new(),
+        }
     }
 
     /// Total number of entries in the tree.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(MapEntry::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(MapEntry::node_count)
+            .sum::<usize>()
     }
 }
 
@@ -258,10 +275,7 @@ mod tests {
         assert_eq!(r.node_count(), 4);
         let lengths = r.bfs_lengths();
         assert_eq!(lengths, vec![1, 2, 0, 3]);
-        assert_eq!(
-            r.bfs_bits(),
-            vec![true, false, true, true, true, true]
-        );
+        assert_eq!(r.bfs_bits(), vec![true, false, true, true, true, true]);
     }
 
     #[test]
@@ -281,7 +295,10 @@ mod tests {
         // A chain of 6 nodes.
         let mut chain = Report::leaf(vec![true]);
         for k in 0..5 {
-            chain = Report { bits: vec![k % 2 == 0], children: vec![chain] };
+            chain = Report {
+                bits: vec![k % 2 == 0],
+                children: vec![chain],
+            };
         }
         assert_eq!(chain.node_count(), 6);
         let t = chain.truncate_bfs(4);

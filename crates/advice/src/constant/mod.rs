@@ -85,14 +85,20 @@ impl ConstantScheme {
     pub fn rooted_at(root: usize) -> Self {
         Self {
             variant: ConstantVariant::Index,
-            boruvka: BoruvkaConfig { root: Some(root), ..BoruvkaConfig::default() },
+            boruvka: BoruvkaConfig {
+                root: Some(root),
+                ..BoruvkaConfig::default()
+            },
         }
     }
 
     /// The paper-literal level variant.
     #[must_use]
     pub fn paper_literal() -> Self {
-        Self { variant: ConstantVariant::Level, ..Self::default() }
+        Self {
+            variant: ConstantVariant::Level,
+            ..Self::default()
+        }
     }
 
     /// The round schedule the decoder follows on an `n`-node graph.
@@ -141,7 +147,11 @@ impl AdvisingScheme for ConstantScheme {
                 let run = run_boruvka(g, &self.boruvka)?;
                 let k = schedule::log_log_n(n);
                 (0..n)
-                    .map(|u| (1..=k).map(|i| run.phase(i).fragment_containing(u).level).collect())
+                    .map(|u| {
+                        (1..=k)
+                            .map(|i| run.phase(i).fragment_containing(u).level)
+                            .collect()
+                    })
                     .collect()
             }
         };
@@ -158,7 +168,10 @@ impl AdvisingScheme for ConstantScheme {
             })
             .collect();
         let result = runtime.run(programs)?;
-        Ok(DecodeOutcome { outputs: result.outputs, stats: result.stats })
+        Ok(DecodeOutcome {
+            outputs: result.outputs,
+            stats: result.stats,
+        })
     }
 }
 
@@ -172,11 +185,11 @@ mod tests {
     use lma_graph::weights::WeightStrategy;
     use lma_sim::Model;
 
-    fn eval_with(
-        g: &WeightedGraph,
-        variant: ConstantVariant,
-    ) -> crate::scheme::SchemeEvaluation {
-        let scheme = ConstantScheme { variant, ..ConstantScheme::default() };
+    fn eval_with(g: &WeightedGraph, variant: ConstantVariant) -> crate::scheme::SchemeEvaluation {
+        let scheme = ConstantScheme {
+            variant,
+            ..ConstantScheme::default()
+        };
         let eval = evaluate_scheme(&scheme, g, &RunConfig::default())
             .unwrap_or_else(|e| panic!("variant {variant:?} failed: {e}"));
         assert!(
@@ -228,7 +241,12 @@ mod tests {
     #[test]
     fn random_graphs_across_sizes() {
         for n in [8usize, 16, 33, 64, 130, 256] {
-            let g = connected_random(n, 3 * n, n as u64, WeightStrategy::DistinctRandom { seed: n as u64 });
+            let g = connected_random(
+                n,
+                3 * n,
+                n as u64,
+                WeightStrategy::DistinctRandom { seed: n as u64 },
+            );
             let e = eval_with(&g, ConstantVariant::Index);
             assert!(e.advice.max_bits <= 14, "n={n}");
         }
@@ -252,7 +270,10 @@ mod tests {
         // Growing n by 16x should far less than 16x the rounds.
         let (n0, r0) = rounds[0];
         let (n1, r1) = rounds[2];
-        assert!(n1 / n0 == 16 && r1 < 4 * r0, "rounds {rounds:?} not logarithmic");
+        assert!(
+            n1 / n0 == 16 && r1 < 4 * r0,
+            "rounds {rounds:?} not logarithmic"
+        );
     }
 
     #[test]
@@ -260,7 +281,10 @@ mod tests {
         let n = 256;
         let g = connected_random(n, 1024, 31, WeightStrategy::DistinctRandom { seed: 31 });
         let scheme = ConstantScheme::default();
-        let config = RunConfig { model: Model::Congest { bits: 4096 }, ..RunConfig::default() };
+        let config = RunConfig {
+            model: Model::Congest { bits: 4096 },
+            ..RunConfig::default()
+        };
         let advice = scheme.advise(&g).unwrap();
         let outcome = scheme.decode(&g, &advice, &config).unwrap();
         lma_mst::verify::verify_upward_outputs(&g, &outcome.outputs).unwrap();
@@ -276,7 +300,12 @@ mod tests {
 
     #[test]
     fn duplicate_weights_handled_when_tie_break_succeeds() {
-        let g = connected_random(48, 120, 9, WeightStrategy::UniformRandom { seed: 9, max: 200 });
+        let g = connected_random(
+            48,
+            120,
+            9,
+            WeightStrategy::UniformRandom { seed: 9, max: 200 },
+        );
         // With a wide weight range duplicates are rare; the paper tie-break
         // almost surely applies.  If it ever reports a cycle the test would
         // surface it as an error rather than a wrong tree.
@@ -319,6 +348,9 @@ mod tests {
     fn variant_labels() {
         assert_eq!(ConstantVariant::Index.label(), "index");
         assert_eq!(ConstantVariant::Level.label(), "level");
-        assert_eq!(ConstantScheme::paper_literal().variant, ConstantVariant::Level);
+        assert_eq!(
+            ConstantScheme::paper_literal().variant,
+            ConstantVariant::Level
+        );
     }
 }

@@ -96,7 +96,12 @@ impl Schedule {
     /// segment (and vice versa); `phase_count = ⌈log log n⌉` and
     /// `final_len = ⌈log n⌉` recover the paper's Theorem 3 schedule.
     #[must_use]
-    pub fn custom(n: usize, phase_count: usize, final_len: usize, variant: ScheduleVariant) -> Self {
+    pub fn custom(
+        n: usize,
+        phase_count: usize,
+        final_len: usize,
+        variant: ScheduleVariant,
+    ) -> Self {
         let k = phase_count;
         let l = final_len;
         let mut phases = Vec::with_capacity(k);
@@ -128,7 +133,12 @@ impl Schedule {
         }
         let final_start = next + 1;
         let final_end = next + l;
-        Self { n, phases, final_start, final_end }
+        Self {
+            n,
+            phases,
+            final_start,
+            final_end,
+        }
     }
 
     /// Total number of rounds the decoder uses (it terminates right after the

@@ -39,6 +39,8 @@ pub use accounting::AdviceStats;
 pub use bits::{BitReader, BitString};
 pub use constant::{ConstantScheme, ConstantVariant};
 pub use one_round::OneRoundScheme;
-pub use scheme::{evaluate_scheme, Advice, AdvisingScheme, DecodeOutcome, SchemeError, SchemeEvaluation};
+pub use scheme::{
+    evaluate_scheme, Advice, AdvisingScheme, DecodeOutcome, SchemeError, SchemeEvaluation,
+};
 pub use tradeoff::{frontier, FrontierPoint, TradeoffScheme};
 pub use trivial::TrivialScheme;

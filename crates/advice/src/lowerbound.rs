@@ -248,7 +248,10 @@ mod tests {
     fn one_bit_is_not_enough_for_a_large_family() {
         let scheme = truncated_trivial(1);
         let witness = attack_scheme_at(&scheme, 12, 2).unwrap();
-        assert!(witness.is_some(), "1 bit cannot distinguish 10 different answers");
+        assert!(
+            witness.is_some(),
+            "1 bit cannot distinguish 10 different answers"
+        );
     }
 
     #[test]
@@ -273,7 +276,9 @@ mod tests {
         // family (duplicate weights) its oracle may also fail with a
         // tie-breaking cycle.  Either way, it must not be reported as
         // "surviving the adversary".
-        if let Ok(None) = falsify_zero_round_scheme(&one_round, &family) { panic!("a communicating scheme must not pass the zero-round adversary") }
+        if let Ok(None) = falsify_zero_round_scheme(&one_round, &family) {
+            panic!("a communicating scheme must not pass the zero-round adversary")
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ use lma_graph::graph::ceil_log2;
 use lma_graph::{index, Port, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::verify::UpwardOutput;
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
 
 /// The (O(log² n), 1)-advising scheme of Theorem 2.
 #[derive(Debug, Clone, Default)]
@@ -46,7 +46,10 @@ impl OneRoundScheme {
     #[must_use]
     pub fn rooted_at(root: usize) -> Self {
         Self {
-            boruvka: BoruvkaConfig { root: Some(root), ..BoruvkaConfig::default() },
+            boruvka: BoruvkaConfig {
+                root: Some(root),
+                ..BoruvkaConfig::default()
+            },
         }
     }
 }
@@ -128,7 +131,10 @@ impl AdvisingScheme for OneRoundScheme {
             })
             .collect();
         let result = runtime.run(programs)?;
-        Ok(DecodeOutcome { outputs: result.outputs, stats: result.stats })
+        Ok(DecodeOutcome {
+            outputs: result.outputs,
+            stats: result.stats,
+        })
     }
 }
 
@@ -168,7 +174,10 @@ fn parse_entries(advice: &BitString) -> Vec<Entry> {
         for &bit in &payload[start + 1..end] {
             rank_minus_one = (rank_minus_one << 1) | usize::from(bit);
         }
-        entries.push(Entry { up, rank: rank_minus_one + 1 });
+        entries.push(Entry {
+            up,
+            rank: rank_minus_one + 1,
+        });
     }
     entries
 }
@@ -200,7 +209,7 @@ impl NodeAlgorithm for OneRoundDecoder {
         outbox
     }
 
-    fn round(&mut self, _view: &LocalView, round: usize, inbox: &Inbox<bool>) -> Outbox<bool> {
+    fn round(&mut self, _view: &LocalView, round: usize, inbox: &[(Port, bool)]) -> Outbox<bool> {
         if round == 1 {
             let output = if let Some(p) = self.up_port {
                 UpwardOutput::Parent(p)

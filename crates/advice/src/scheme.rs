@@ -28,7 +28,9 @@ impl Advice {
     /// An all-empty assignment for `n` nodes.
     #[must_use]
     pub fn empty(n: usize) -> Self {
-        Self { per_node: vec![BitString::new(); n] }
+        Self {
+            per_node: vec![BitString::new(); n],
+        }
     }
 
     /// Size statistics of this assignment.

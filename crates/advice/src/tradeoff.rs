@@ -59,7 +59,10 @@ impl TradeoffScheme {
     /// A scheme with an explicit phase cutoff `P`.
     #[must_use]
     pub fn with_cutoff(cutoff: usize) -> Self {
-        Self { cutoff: Some(cutoff), ..Self::default() }
+        Self {
+            cutoff: Some(cutoff),
+            ..Self::default()
+        }
     }
 
     /// The cutoff actually used on an `n`-node graph (clamped to
@@ -148,7 +151,11 @@ impl AdvisingScheme for TradeoffScheme {
             ConstantVariant::Level => {
                 let run = run_boruvka(g, &self.boruvka)?;
                 (0..n)
-                    .map(|u| (1..=p).map(|i| run.phase(i).fragment_containing(u).level).collect())
+                    .map(|u| {
+                        (1..=p)
+                            .map(|i| run.phase(i).fragment_containing(u).level)
+                            .collect()
+                    })
                     .collect()
             }
         };
@@ -167,7 +174,10 @@ impl AdvisingScheme for TradeoffScheme {
             })
             .collect();
         let result = runtime.run(programs)?;
-        Ok(DecodeOutcome { outputs: result.outputs, stats: result.stats })
+        Ok(DecodeOutcome {
+            outputs: result.outputs,
+            stats: result.stats,
+        })
     }
 }
 
@@ -361,7 +371,12 @@ mod tests {
             grid(6, 6, WeightStrategy::DistinctRandom { seed: 3 }),
             torus(5, 5, WeightStrategy::DistinctRandom { seed: 4 }),
             complete(24, WeightStrategy::DistinctRandom { seed: 5 }),
-            connected_random(48, 120, 6, WeightStrategy::UniformRandom { seed: 6, max: 7 }),
+            connected_random(
+                48,
+                120,
+                6,
+                WeightStrategy::UniformRandom { seed: 6, max: 7 },
+            ),
         ];
         for g in &graphs {
             for p in 0..=log_log_n(g.node_count()) {
@@ -374,7 +389,8 @@ mod tests {
     fn cutoff_zero_matches_the_trivial_scheme() {
         let g = connected_random(96, 260, 7, WeightStrategy::DistinctRandom { seed: 7 });
         let zero = eval(&TradeoffScheme::with_cutoff(0), &g);
-        let trivial = evaluate_scheme(&TrivialScheme::default(), &g, &RunConfig::default()).unwrap();
+        let trivial =
+            evaluate_scheme(&TrivialScheme::default(), &g, &RunConfig::default()).unwrap();
         assert_eq!(zero.run.rounds, 0, "cutoff 0 must decode in zero rounds");
         assert_eq!(trivial.run.rounds, 0);
         // Both use ⌈log n⌉-ish bits at the most loaded node.
@@ -411,7 +427,10 @@ mod tests {
             // The per-node final segment shrinks with the cutoff.
             let width_lo = TradeoffScheme::with_cutoff(w[0].cutoff).final_width(n);
             let width_hi = TradeoffScheme::with_cutoff(w[1].cutoff).final_width(n);
-            assert!(width_hi <= width_lo, "final width must not grow with the cutoff");
+            assert!(
+                width_hi <= width_lo,
+                "final width must not grow with the cutoff"
+            );
         }
         // Every point respects its own claims, and the advice × time product
         // stays O(log n) across the whole frontier (the quantitative reading

@@ -19,10 +19,11 @@
 use crate::bits::BitString;
 use crate::scheme::{Advice, AdvisingScheme, DecodeOutcome, SchemeError};
 use lma_graph::graph::ceil_log2;
+use lma_graph::Port;
 use lma_graph::{index, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::verify::UpwardOutput;
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
 
 /// The trivial (⌈log n⌉, 0)-advising scheme.
 #[derive(Debug, Clone, Default)]
@@ -36,7 +37,10 @@ impl TrivialScheme {
     #[must_use]
     pub fn rooted_at(root: usize) -> Self {
         Self {
-            boruvka: BoruvkaConfig { root: Some(root), ..BoruvkaConfig::default() },
+            boruvka: BoruvkaConfig {
+                root: Some(root),
+                ..BoruvkaConfig::default()
+            },
         }
     }
 }
@@ -78,10 +82,16 @@ impl AdvisingScheme for TrivialScheme {
         let runtime = Runtime::with_config(g, *config);
         let programs: Vec<TrivialDecoder> = g
             .nodes()
-            .map(|u| TrivialDecoder { advice: advice.per_node[u].clone(), output: None })
+            .map(|u| TrivialDecoder {
+                advice: advice.per_node[u].clone(),
+                output: None,
+            })
             .collect();
         let result = runtime.run(programs)?;
-        Ok(DecodeOutcome { outputs: result.outputs, stats: result.stats })
+        Ok(DecodeOutcome {
+            outputs: result.outputs,
+            stats: result.stats,
+        })
     }
 }
 
@@ -120,7 +130,7 @@ impl NodeAlgorithm for TrivialDecoder {
         Vec::new()
     }
 
-    fn round(&mut self, _: &LocalView, _: usize, _: &Inbox<()>) -> Outbox<()> {
+    fn round(&mut self, _: &LocalView, _: usize, _: &[(Port, ())]) -> Outbox<()> {
         Vec::new()
     }
 

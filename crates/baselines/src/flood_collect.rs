@@ -14,7 +14,7 @@ use lma_mst::kruskal::kruskal_mst;
 use lma_mst::tree::RootedTree;
 use lma_mst::verify::UpwardOutput;
 use lma_sim::message::{bits_for_value, BitSized};
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One known edge, described by endpoint identifiers and weight.
@@ -157,14 +157,23 @@ impl NodeAlgorithm for FloodNode {
         self.broadcast(view)
     }
 
-    fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<Knowledge>) -> Outbox<Knowledge> {
+    fn round(
+        &mut self,
+        view: &LocalView,
+        _round: usize,
+        inbox: &[(Port, Knowledge)],
+    ) -> Outbox<Knowledge> {
         let before = self.facts.len();
         for (port, msg) in inbox {
             self.port_ids.insert(*port, msg.sender);
             // Incident edges become facts as soon as the neighbour's id is
             // known.
             let (a, b) = (view.id.min(msg.sender), view.id.max(msg.sender));
-            self.facts.insert(EdgeFact { a, b, w: view.weight_at(*port) });
+            self.facts.insert(EdgeFact {
+                a,
+                b,
+                w: view.weight_at(*port),
+            });
             for f in &msg.facts {
                 self.facts.insert(*f);
             }
@@ -207,7 +216,12 @@ mod tests {
         check(&path(10, WeightStrategy::DistinctRandom { seed: 1 }));
         check(&ring(11, WeightStrategy::DistinctRandom { seed: 2 }));
         check(&complete(9, WeightStrategy::DistinctRandom { seed: 3 }));
-        check(&connected_random(20, 50, 4, WeightStrategy::DistinctRandom { seed: 4 }));
+        check(&connected_random(
+            20,
+            50,
+            4,
+            WeightStrategy::DistinctRandom { seed: 4 },
+        ));
     }
 
     #[test]

@@ -31,7 +31,7 @@ use lma_graph::graph::ceil_log2;
 use lma_graph::{Port, WeightedGraph};
 use lma_mst::verify::UpwardOutput;
 use lma_sim::message::{bits_for_value, BitSized};
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The globally consistent comparison key of an edge: weight, then the two
@@ -107,7 +107,10 @@ struct PhasePlan {
 impl PhasePlan {
     fn for_n(n: usize) -> Self {
         let span = n.max(2);
-        Self { span, phases: ceil_log2(n.max(2)) as usize }
+        Self {
+            span,
+            phases: ceil_log2(n.max(2)) as usize,
+        }
     }
 
     /// Rounds per phase: identify + convergecast + broadcast + merge +
@@ -209,7 +212,11 @@ impl GhsNode {
                     return None; // internal edge
                 }
                 let w = view.weight_at(p);
-                let (a, b) = if view.id <= id { (view.id, id) } else { (id, view.id) };
+                let (a, b) = if view.id <= id {
+                    (view.id, id)
+                } else {
+                    (id, view.id)
+                };
                 Some(((w, a, b), p))
             })
             .min()
@@ -245,11 +252,24 @@ impl NodeAlgorithm for GhsNode {
         self.fragment = view.id;
         // Round 1 is the identify step of phase 0.
         (0..view.degree())
-            .map(|p| (p, GhsMsg::Fragment { fragment: self.fragment, id: view.id }))
+            .map(|p| {
+                (
+                    p,
+                    GhsMsg::Fragment {
+                        fragment: self.fragment,
+                        id: view.id,
+                    },
+                )
+            })
             .collect()
     }
 
-    fn round(&mut self, view: &LocalView, round: usize, inbox: &Inbox<GhsMsg>) -> Outbox<GhsMsg> {
+    fn round(
+        &mut self,
+        view: &LocalView,
+        round: usize,
+        inbox: &[(Port, GhsMsg)],
+    ) -> Outbox<GhsMsg> {
         let plan = PhasePlan::for_n(view.n);
         let Some((_phase, offset)) = plan.locate(round) else {
             self.conclude();
@@ -271,7 +291,9 @@ impl NodeAlgorithm for GhsNode {
                     // the origin.
                     match self.best {
                         Some((_, BestOrigin::Own(p))) => self.selected_port = Some(p),
-                        Some((_, BestOrigin::Child(p))) => self.pending_flood = Some((u64::MAX, vec![p])),
+                        Some((_, BestOrigin::Child(p))) => {
+                            self.pending_flood = Some((u64::MAX, vec![p]))
+                        }
                         None => {}
                     }
                 }
@@ -279,7 +301,11 @@ impl NodeAlgorithm for GhsNode {
                     self.done_wave = true;
                     self.pending_flood = Some((
                         u64::MAX - 1,
-                        self.tree_ports.iter().copied().filter(|p| Some(*p) != self.parent_port).collect(),
+                        self.tree_ports
+                            .iter()
+                            .copied()
+                            .filter(|p| Some(*p) != self.parent_port)
+                            .collect(),
                     ));
                 }
                 GhsMsg::Merge { sender } if offset == plan.merge_offset() => {
@@ -291,26 +317,25 @@ impl NodeAlgorithm for GhsNode {
                             self.parent_port = None;
                             self.fragment = view.id;
                             self.reoriented_this_phase = true;
-                            self.pending_flood = Some((
-                                view.id,
-                                self.tree_ports.iter().copied().collect(),
-                            ));
+                            self.pending_flood =
+                                Some((view.id, self.tree_ports.iter().copied().collect()));
                         }
                     }
                 }
-                GhsMsg::NewFragment(f) if plan.reorient_range().contains(&offset)
-                    && !self.reoriented_this_phase => {
-                        self.reoriented_this_phase = true;
-                        self.fragment = *f;
-                        self.parent_port = Some(*port);
-                        let forward: Vec<Port> = self
-                            .tree_ports
-                            .iter()
-                            .copied()
-                            .filter(|p| p != port)
-                            .collect();
-                        self.pending_flood = Some((*f, forward));
-                    }
+                GhsMsg::NewFragment(f)
+                    if plan.reorient_range().contains(&offset) && !self.reoriented_this_phase =>
+                {
+                    self.reoriented_this_phase = true;
+                    self.fragment = *f;
+                    self.parent_port = Some(*port);
+                    let forward: Vec<Port> = self
+                        .tree_ports
+                        .iter()
+                        .copied()
+                        .filter(|p| p != port)
+                        .collect();
+                    self.pending_flood = Some((*f, forward));
+                }
                 _ => {}
             }
         }
@@ -338,7 +363,13 @@ impl NodeAlgorithm for GhsNode {
             self.reoriented_this_phase = false;
             self.pending_flood = None;
             for p in 0..view.degree() {
-                outbox.push((p, GhsMsg::Fragment { fragment: self.fragment, id: view.id }));
+                outbox.push((
+                    p,
+                    GhsMsg::Fragment {
+                        fragment: self.fragment,
+                        id: view.id,
+                    },
+                ));
             }
         } else if plan.converge_range().contains(&noffset) {
             self.recompute_best(view);
@@ -370,7 +401,11 @@ impl NodeAlgorithm for GhsNode {
             } else if let Some((tag, ports)) = self.pending_flood.take() {
                 // Either a token forward (tag == u64::MAX) or a done wave.
                 for p in ports {
-                    let msg = if tag == u64::MAX { GhsMsg::Token } else { GhsMsg::Done };
+                    let msg = if tag == u64::MAX {
+                        GhsMsg::Token
+                    } else {
+                        GhsMsg::Done
+                    };
                     outbox.push((p, msg));
                 }
             }
@@ -459,8 +494,18 @@ mod tests {
 
     #[test]
     fn rounds_grow_roughly_linearly_with_n() {
-        let small = check(&connected_random(16, 40, 7, WeightStrategy::DistinctRandom { seed: 7 }));
-        let large = check(&connected_random(64, 160, 7, WeightStrategy::DistinctRandom { seed: 7 }));
+        let small = check(&connected_random(
+            16,
+            40,
+            7,
+            WeightStrategy::DistinctRandom { seed: 7 },
+        ));
+        let large = check(&connected_random(
+            64,
+            160,
+            7,
+            WeightStrategy::DistinctRandom { seed: 7 },
+        ));
         assert!(
             large.rounds > 3 * small.rounds,
             "expected ~linear growth, got {} -> {}",
@@ -473,6 +518,10 @@ mod tests {
     fn messages_stay_logarithmic() {
         let g = connected_random(48, 120, 9, WeightStrategy::DistinctRandom { seed: 9 });
         let stats = check(&g);
-        assert!(stats.max_message_bits <= 4 * 64, "max message {}", stats.max_message_bits);
+        assert!(
+            stats.max_message_bits <= 4 * 64,
+            "max message {}",
+            stats.max_message_bits
+        );
     }
 }

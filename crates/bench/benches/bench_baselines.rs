@@ -14,15 +14,36 @@ fn bench_baselines(c: &mut Criterion) {
     for n in [48usize, 96] {
         let g = experiment_graph(n, 0xBB);
         group.bench_with_input(BenchmarkId::new("sync_boruvka", n), &g, |b, g| {
-            b.iter(|| black_box(SyncBoruvkaMst.run(g, &RunConfig::default()).unwrap().1.rounds));
+            b.iter(|| {
+                black_box(
+                    SyncBoruvkaMst
+                        .run(g, &RunConfig::default())
+                        .unwrap()
+                        .1
+                        .rounds,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("flood_collect", n), &g, |b, g| {
-            b.iter(|| black_box(FloodCollectMst.run(g, &RunConfig::default()).unwrap().1.rounds));
+            b.iter(|| {
+                black_box(
+                    FloodCollectMst
+                        .run(g, &RunConfig::default())
+                        .unwrap()
+                        .1
+                        .rounds,
+                )
+            });
         });
         group.bench_with_input(BenchmarkId::new("theorem3_for_reference", n), &g, |b, g| {
             let scheme = ConstantScheme::default();
             b.iter(|| {
-                black_box(evaluate_scheme(&scheme, g, &RunConfig::default()).unwrap().run.rounds)
+                black_box(
+                    evaluate_scheme(&scheme, g, &RunConfig::default())
+                        .unwrap()
+                        .run
+                        .rounds,
+                )
             });
         });
     }

@@ -29,10 +29,14 @@ fn bench_family(c: &mut Criterion) {
 fn bench_adversary(c: &mut Criterion) {
     let mut group = c.benchmark_group("lowerbound_adversary");
     for n in [12usize, 24] {
-        group.bench_with_input(BenchmarkId::new("falsify_starved_trivial", n), &n, |b, &n| {
-            let scheme = truncated_trivial(1);
-            b.iter(|| black_box(attack_scheme_at(&scheme, n, 2).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("falsify_starved_trivial", n),
+            &n,
+            |b, &n| {
+                let scheme = truncated_trivial(1);
+                b.iter(|| black_box(attack_scheme_at(&scheme, n, 2).unwrap()));
+            },
+        );
     }
     group.bench_function("certified_report_4096", |b| {
         b.iter(|| black_box(certified_report(4096).average_bits));

@@ -14,7 +14,10 @@ fn schemes() -> Vec<(&'static str, Box<dyn AdvisingScheme>)> {
         ("constant_index", Box::new(ConstantScheme::default())),
         (
             "constant_level",
-            Box::new(ConstantScheme { variant: ConstantVariant::Level, ..ConstantScheme::default() }),
+            Box::new(ConstantScheme {
+                variant: ConstantVariant::Level,
+                ..ConstantScheme::default()
+            }),
         ),
     ]
 }

@@ -1,12 +1,22 @@
 //! Criterion benches for the substrates: graph generation, sequential MST
-//! algorithms, the Borůvka decomposition, and the raw simulator overhead.
+//! algorithms, the Borůvka decomposition, and — the headline of this file —
+//! the simulator's message-routing cost.
+//!
+//! The `routing_*` groups drive the same flooding program through the
+//! pull-based flat message plane (`Runtime::run`) and through the preserved
+//! push-based reference executor (`lma_sim::reference::run_push`) on ring,
+//! 2-D grid and G(n, p) graphs at 10⁴–10⁵ nodes, under both a LOCAL and a
+//! CONGEST-audit configuration, so the speedup of the plane refactor stays
+//! visible in the bench trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lma_graph::generators::{complete, connected_random, ring};
+use lma_graph::generators::{complete, connected_random, gnp_connected, grid, ring};
 use lma_graph::weights::WeightStrategy;
+use lma_graph::{Port, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::{kruskal_mst, prim_mst, UnionFind};
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::reference::run_push;
+use lma_sim::{LocalView, Model, NodeAlgorithm, Outbox, RunConfig, Runtime};
 use std::hint::black_box;
 
 fn bench_union_find(c: &mut Criterion) {
@@ -39,9 +49,29 @@ fn bench_generators(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("complete", n), &n, |b, &n| {
-            b.iter(|| black_box(complete(n.min(256), WeightStrategy::DistinctRandom { seed: 3 })));
+            b.iter(|| {
+                black_box(complete(
+                    n.min(256),
+                    WeightStrategy::DistinctRandom { seed: 3 },
+                ))
+            });
         });
     }
+    // The skip-sampling G(n, p) generator must stay usable at plane scale.
+    group.bench_with_input(
+        BenchmarkId::new("gnp_connected", 10_000),
+        &10_000usize,
+        |b, &n| {
+            b.iter(|| {
+                black_box(gnp_connected(
+                    n,
+                    3.0 * (n as f64).ln() / n as f64,
+                    5,
+                    WeightStrategy::DistinctRandom { seed: 5 },
+                ))
+            });
+        },
+    );
     group.finish();
 }
 
@@ -62,7 +92,8 @@ fn bench_sequential_mst(c: &mut Criterion) {
     group.finish();
 }
 
-/// A trivial flooding program used to measure the simulator's per-round cost.
+/// A trivial flooding program used to measure the simulator's per-round cost
+/// (every port carries one message every round: the worst case for routing).
 struct Ping {
     rounds_left: usize,
 }
@@ -75,7 +106,7 @@ impl NodeAlgorithm for Ping {
         (0..view.degree()).map(|p| (p, view.id)).collect()
     }
 
-    fn round(&mut self, view: &LocalView, _round: usize, _inbox: &Inbox<u64>) -> Outbox<u64> {
+    fn round(&mut self, view: &LocalView, _round: usize, _inbox: &[(Port, u64)]) -> Outbox<u64> {
         if self.rounds_left == 0 {
             return Vec::new();
         }
@@ -99,7 +130,9 @@ fn bench_simulator(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ring_50_rounds", n), &g, |b, g| {
             b.iter(|| {
                 let rt = Runtime::with_config(g, RunConfig::default());
-                let programs: Vec<Ping> = (0..g.node_count()).map(|_| Ping { rounds_left: 50 }).collect();
+                let programs: Vec<Ping> = (0..g.node_count())
+                    .map(|_| Ping { rounds_left: 50 })
+                    .collect();
                 black_box(rt.run(programs).unwrap().stats.rounds)
             });
         });
@@ -107,9 +140,91 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rounds driven per iteration in the scaling scenarios.
+const SCALE_ROUNDS: usize = 10;
+
+/// The scaling-scenario graph families at 10⁴ and 10⁵ nodes.
+fn scaling_graphs() -> Vec<(String, WeightedGraph)> {
+    let mut graphs = Vec::new();
+    for scale in [10_000usize, 100_000] {
+        graphs.push((format!("ring/{scale}"), ring(scale, WeightStrategy::Unit)));
+        let side = (scale as f64).sqrt() as usize;
+        graphs.push((
+            format!("grid/{scale}"),
+            grid(side, side, WeightStrategy::DistinctRandom { seed: 2 }),
+        ));
+        graphs.push((
+            format!("gnp/{scale}"),
+            gnp_connected(
+                scale,
+                2.0 * (scale as f64).ln() / scale as f64,
+                3,
+                WeightStrategy::DistinctRandom { seed: 3 },
+            ),
+        ));
+    }
+    graphs
+}
+
+/// The two configurations the scaling scenarios run under: plain LOCAL and a
+/// CONGEST(Θ(log n)) audit (budget checked and counted, not enforced).
+fn scaling_configs(n: usize) -> [(&'static str, RunConfig); 2] {
+    [
+        ("local", RunConfig::default()),
+        (
+            "congest-audit",
+            RunConfig {
+                model: Model::congest_for(n),
+                enforce_congest: false,
+                ..RunConfig::default()
+            },
+        ),
+    ]
+}
+
+fn bench_routing_scaling(c: &mut Criterion) {
+    let graphs = scaling_graphs();
+    let mut group = c.benchmark_group("routing");
+    for (name, g) in &graphs {
+        for (model, config) in scaling_configs(g.node_count()) {
+            group.bench_with_input(
+                BenchmarkId::new(format!("pull/{model}"), name),
+                g,
+                |b, g| {
+                    b.iter(|| {
+                        let rt = Runtime::with_config(g, config);
+                        let programs: Vec<Ping> = (0..g.node_count())
+                            .map(|_| Ping {
+                                rounds_left: SCALE_ROUNDS,
+                            })
+                            .collect();
+                        black_box(rt.run(programs).unwrap().stats.total_messages)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("push/{model}"), name),
+                g,
+                |b, g| {
+                    b.iter(|| {
+                        let programs: Vec<Ping> = (0..g.node_count())
+                            .map(|_| Ping {
+                                rounds_left: SCALE_ROUNDS,
+                            })
+                            .collect();
+                        black_box(run_push(g, config, programs).unwrap().stats.total_messages)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10);
-    targets = bench_union_find, bench_generators, bench_sequential_mst, bench_simulator
+    targets = bench_union_find, bench_generators, bench_sequential_mst, bench_simulator,
+        bench_routing_scaling
 }
 criterion_main!(substrate);

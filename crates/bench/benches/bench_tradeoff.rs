@@ -16,7 +16,10 @@ fn cutoffs(n: usize) -> Vec<(String, Box<dyn AdvisingScheme>)> {
         ("theorem3".to_string(), Box::new(ConstantScheme::default())),
     ];
     for p in 0..=k {
-        v.push((format!("cutoff_{p}"), Box::new(TradeoffScheme::with_cutoff(p))));
+        v.push((
+            format!("cutoff_{p}"),
+            Box::new(TradeoffScheme::with_cutoff(p)),
+        ));
     }
     v
 }

@@ -74,7 +74,9 @@ fn main() {
         Some("rounds_vs_n") => figure_rounds_vs_n(),
         Some("advice_vs_n") => figure_advice_vs_n(),
         Some(other) => {
-            eprintln!("unknown figure '{other}'; expected gn | boruvka_phase | rounds_vs_n | advice_vs_n");
+            eprintln!(
+                "unknown figure '{other}'; expected gn | boruvka_phase | rounds_vs_n | advice_vs_n"
+            );
             std::process::exit(2);
         }
         None => {

@@ -7,18 +7,18 @@
 use crate::table::{fmt_f64, Table};
 use lma_advice::constant::encoder;
 use lma_advice::constant::schedule::Schedule;
-use lma_advice::lowerbound::{
-    attack_scheme_at, certified_report, truncated_trivial,
-};
+use lma_advice::lowerbound::{attack_scheme_at, certified_report, truncated_trivial};
 use lma_advice::tradeoff::frontier;
-use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme};
+use lma_advice::{
+    evaluate_scheme, AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme,
+};
 use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
-use lma_labeling::faults::{flip_advice_bits, FaultPlan};
-use lma_labeling::MstCertificate;
-use lma_graph::generators::lowerbound::{lowerbound_gn, LowerBoundParams};
 use lma_graph::generators::connected_random;
+use lma_graph::generators::lowerbound::{lowerbound_gn, LowerBoundParams};
 use lma_graph::weights::WeightStrategy;
 use lma_graph::WeightedGraph;
+use lma_labeling::faults::{flip_advice_bits, FaultPlan};
+use lma_labeling::MstCertificate;
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig, BoruvkaError, TieBreak};
 use lma_mst::verify::verify_upward_outputs;
 use lma_sim::{Model, RunConfig};
@@ -103,10 +103,20 @@ impl ExperimentId {
 /// pairwise-distinct weights, seeded per `(n, seed)`.
 #[must_use]
 pub fn experiment_graph(n: usize, seed: u64) -> WeightedGraph {
-    connected_random(n, 3 * n, seed, WeightStrategy::DistinctRandom { seed: seed ^ 0xABCD })
+    connected_random(
+        n,
+        3 * n,
+        seed,
+        WeightStrategy::DistinctRandom {
+            seed: seed ^ 0xABCD,
+        },
+    )
 }
 
-fn eval_row<S: AdvisingScheme + ?Sized>(scheme: &S, g: &WeightedGraph) -> (usize, f64, usize, usize, bool) {
+fn eval_row<S: AdvisingScheme + ?Sized>(
+    scheme: &S,
+    g: &WeightedGraph,
+) -> (usize, f64, usize, usize, bool) {
     match evaluate_scheme(scheme, g, &RunConfig::default()) {
         Ok(eval) => (
             eval.advice.max_bits,
@@ -140,7 +150,10 @@ pub fn run_e1_lower_bound(clique_sizes: &[usize]) -> Table {
         let report = certified_report(n);
         let g = lowerbound_gn(&LowerBoundParams::new(n));
         let trivial = TrivialScheme {
-            boruvka: BoruvkaConfig { root: None, tie_break: TieBreak::CanonicalGlobal },
+            boruvka: BoruvkaConfig {
+                root: None,
+                tie_break: TieBreak::CanonicalGlobal,
+            },
         };
         let (max_bits, avg_bits, _rounds, _msg, ok) = eval_row(&trivial, &g);
         assert!(ok, "the trivial scheme must solve G_{n}");
@@ -156,7 +169,11 @@ pub fn run_e1_lower_bound(clique_sizes: &[usize]) -> Table {
             fmt_f64(avg_bits),
             max_bits.to_string(),
             bits_at_u2.to_string(),
-            if falsified { "yes".to_string() } else { "no".to_string() },
+            if falsified {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            },
         ]);
     }
     t
@@ -220,7 +237,10 @@ pub fn run_e3_constant(sizes: &[usize]) -> Table {
         ],
     );
     for variant in [ConstantVariant::Index, ConstantVariant::Level] {
-        let scheme = ConstantScheme { variant, ..ConstantScheme::default() };
+        let scheme = ConstantScheme {
+            variant,
+            ..ConstantScheme::default()
+        };
         for &n in sizes {
             let g = experiment_graph(n, 0xE3 + n as u64);
             let (max_bits, _avg, rounds, msg, ok) = eval_row(&scheme, &g);
@@ -314,9 +334,13 @@ pub fn run_e5_rounds_vs_n(sizes: &[usize]) -> Table {
     for &n in sizes {
         let g = experiment_graph(n, 0xE5 + n as u64);
         let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).expect("thm3 succeeds");
-        let (b_out, b_stats) = SyncBoruvkaMst.run(&g, &RunConfig::default()).expect("baseline");
+        let (b_out, b_stats) = SyncBoruvkaMst
+            .run(&g, &RunConfig::default())
+            .expect("baseline");
         verify_upward_outputs(&g, &b_out).expect("baseline MST");
-        let (f_out, f_stats) = FloodCollectMst.run(&g, &RunConfig::default()).expect("baseline");
+        let (f_out, f_stats) = FloodCollectMst
+            .run(&g, &RunConfig::default())
+            .expect("baseline");
         verify_upward_outputs(&g, &f_out).expect("baseline MST");
         t.push_row(vec![
             n.to_string(),
@@ -379,10 +403,22 @@ pub fn run_a2_tie_break(n: usize, trials: u64) -> Table {
             let mut ok = 0usize;
             let mut cycles = 0usize;
             for seed in 0..trials {
-                let g = connected_random(n, 3 * n, seed, WeightStrategy::UniformRandom { seed, max: max_w });
-                match run_boruvka(&g, &BoruvkaConfig { root: None, tie_break }) {
+                let g = connected_random(
+                    n,
+                    3 * n,
+                    seed,
+                    WeightStrategy::UniformRandom { seed, max: max_w },
+                );
+                match run_boruvka(
+                    &g,
+                    &BoruvkaConfig {
+                        root: None,
+                        tie_break,
+                    },
+                ) {
                     Ok(run) => {
-                        lma_mst::verify::verify_mst_edges(&g, &run.mst_edges).expect("must be an MST");
+                        lma_mst::verify::verify_mst_edges(&g, &run.mst_edges)
+                            .expect("must be an MST");
                         ok += 1;
                     }
                     Err(BoruvkaError::SelectionCycle { .. }) => cycles += 1,
@@ -418,7 +454,10 @@ pub fn run_a3_congest_audit(n: usize) -> Table {
     );
     let g = experiment_graph(n, 0xA3);
     let budget = Model::congest_for(n).budget().unwrap_or(usize::MAX);
-    let config = RunConfig { model: Model::congest_for(n), ..RunConfig::default() };
+    let config = RunConfig {
+        model: Model::congest_for(n),
+        ..RunConfig::default()
+    };
 
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
         Box::new(TrivialScheme::default()),
@@ -427,7 +466,9 @@ pub fn run_a3_congest_audit(n: usize) -> Table {
     ];
     for scheme in &schemes {
         let advice = scheme.advise(&g).expect("oracle succeeds");
-        let outcome = scheme.decode(&g, &advice, &config).expect("decode succeeds");
+        let outcome = scheme
+            .decode(&g, &advice, &config)
+            .expect("decode succeeds");
         t.push_row(vec![
             scheme.name().to_string(),
             n.to_string(),
@@ -547,8 +588,9 @@ pub fn run_a4_fault_detection(n: usize, trials: u64) -> Table {
                 continue;
             }
             output_changed += 1;
-            let report = MstCertificate::verify(&g, &labels, &outcome.outputs, &RunConfig::default())
-                .expect("verification run succeeds");
+            let report =
+                MstCertificate::verify(&g, &labels, &outcome.outputs, &RunConfig::default())
+                    .expect("verification run succeeds");
             if report.accepted {
                 silent += 1;
             } else {
@@ -601,7 +643,10 @@ pub fn run_a4_fault_detection(n: usize, trials: u64) -> Table {
 /// Runs every experiment with its default parameters.
 #[must_use]
 pub fn run_all_default() -> Vec<Table> {
-    ExperimentId::ALL.iter().map(|id| id.run_default()).collect()
+    ExperimentId::ALL
+        .iter()
+        .map(|id| id.run_default())
+        .collect()
 }
 
 #[cfg(test)]
@@ -643,9 +688,10 @@ mod tests {
         let t = run_a1_capacity_sweep(96);
         for variant in [ConstantVariant::Index, ConstantVariant::Level] {
             let c_default = encoder::capacity(variant).to_string();
-            let ok = t.rows.iter().any(|r| {
-                r[0] == variant.label() && r[2] == c_default && r[3] == "true"
-            });
+            let ok = t
+                .rows
+                .iter()
+                .any(|r| r[0] == variant.label() && r[2] == c_default && r[3] == "true");
             assert!(ok, "default capacity must pack for {variant:?}");
         }
     }

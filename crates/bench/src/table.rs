@@ -28,7 +28,12 @@ impl Table {
     /// Panics if the cell count does not match the column count.
     pub fn push_row<I: IntoIterator<Item = String>>(&mut self, row: I) {
         let row: Vec<String> = row.into_iter().collect();
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in {}", self.title);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.title
+        );
         self.rows.push(row);
     }
 

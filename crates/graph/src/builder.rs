@@ -199,7 +199,10 @@ impl GraphBuilder {
                 let entry = by_edge
                     .get(&e)
                     .unwrap_or_else(|| panic!("edge {e} is not incident to node {node}"));
-                assert!(used.insert(e), "edge {e} listed twice in port order for node {node}");
+                assert!(
+                    used.insert(e),
+                    "edge {e} listed twice in port order for node {node}"
+                );
                 reordered.push(*entry);
             }
             *inc = reordered;
@@ -348,10 +351,16 @@ mod tests {
         scrambled.randomize_ports(7);
         let a = plain.build().unwrap();
         let b = scrambled.build().unwrap();
-        let differs = a
-            .nodes()
-            .any(|u| a.incident(u).iter().map(|ie| ie.neighbor).collect::<Vec<_>>()
-                != b.incident(u).iter().map(|ie| ie.neighbor).collect::<Vec<_>>());
+        let differs = a.nodes().any(|u| {
+            a.incident(u)
+                .iter()
+                .map(|ie| ie.neighbor)
+                .collect::<Vec<_>>()
+                != b.incident(u)
+                    .iter()
+                    .map(|ie| ie.neighbor)
+                    .collect::<Vec<_>>()
+        });
         assert!(differs);
     }
 }

@@ -47,7 +47,10 @@ pub fn star(n: usize, weights: WeightStrategy) -> WeightedGraph {
 /// nodes.  Total node count is `spine * (1 + legs)`.
 #[must_use]
 pub fn caterpillar(spine: usize, legs: usize, weights: WeightStrategy) -> WeightedGraph {
-    assert!(spine >= 2, "a caterpillar needs a spine of at least two nodes");
+    assert!(
+        spine >= 2,
+        "a caterpillar needs a spine of at least two nodes"
+    );
     let n = spine * (1 + legs);
     let m = (spine - 1) + spine * legs;
     let mut b = GraphBuilder::new(n);

@@ -17,7 +17,8 @@ pub fn complete(n: usize, weights: WeightStrategy) -> WeightedGraph {
             b.set_weight(e, w.weight_of(e));
         }
     }
-    b.build().expect("complete-graph construction is always valid")
+    b.build()
+        .expect("complete-graph construction is always valid")
 }
 
 #[cfg(test)]

@@ -126,7 +126,11 @@ fn band_weight(
 /// those bounds).
 #[must_use]
 pub fn lowerbound_gn(params: &LowerBoundParams) -> WeightedGraph {
-    let LowerBoundParams { n, omega, assignment } = *params;
+    let LowerBoundParams {
+        n,
+        omega,
+        assignment,
+    } = *params;
     assert!(n >= 3, "the lower-bound family needs n >= 3");
     assert!(omega > n as u64, "omega must be at least n + 1");
     let seed = match assignment {
@@ -285,7 +289,11 @@ pub fn lowerbound_family_at(n: usize, target_i: usize) -> LowerBoundFamily {
 /// weights as [`lowerbound_gn`] with the same params) so callers can tweak
 /// port orders before building.
 fn rebuild_builder(params: &LowerBoundParams) -> GraphBuilder {
-    let LowerBoundParams { n, omega, assignment } = *params;
+    let LowerBoundParams {
+        n,
+        omega,
+        assignment,
+    } = *params;
     let seed = match assignment {
         BandAssignment::Spread { seed } => seed,
         _ => 0,

@@ -161,9 +161,8 @@ mod tests {
         for fam in Family::ALL {
             for n in [4usize, 9, 17, 32] {
                 let g = fam.instantiate(n, WeightStrategy::DistinctRandom { seed: 42 }, 7);
-                check_instance(&g).unwrap_or_else(|e| {
-                    panic!("family {} with n={n} invalid: {e}", fam.name())
-                });
+                check_instance(&g)
+                    .unwrap_or_else(|e| panic!("family {} with n={n} invalid: {e}", fam.name()));
                 assert!(g.node_count() >= 2, "family {}", fam.name());
             }
         }

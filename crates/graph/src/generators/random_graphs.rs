@@ -79,21 +79,51 @@ pub fn connected_random(
         b.set_weight(e, w.weight_of(e));
     }
     b.randomize_ports(rng.next_u64());
-    b.build().expect("connected_random construction is always valid")
+    b.build()
+        .expect("connected_random construction is always valid")
 }
 
 /// `G(n, p)` conditioned on connectivity (resamples up to 64 times, then falls
 /// back to [`connected_random`] with the expected edge count).
+///
+/// Candidate edges are drawn with the Batagelj–Brandes geometric-skip
+/// sampler, so each attempt costs O(n + m) expected time instead of the
+/// Θ(n²) coin flips of the naive double loop — which is what makes the
+/// 10⁴–10⁵-node G(n, p) scaling scenarios in `bench_substrate` feasible.
 #[must_use]
 pub fn gnp_connected(n: usize, p: f64, seed: u64, weights: WeightStrategy) -> WeightedGraph {
     assert!(n >= 2, "need at least two nodes");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let mut rng = SplitMix64::new(seed);
     for _attempt in 0..64 {
         let mut b = GraphBuilder::new(n);
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if rng.next_bool(p) {
+        if p >= 1.0 {
+            for u in 0..n {
+                for v in (u + 1)..n {
                     b.add_edge(u, v, 0);
+                }
+            }
+        } else if (1.0 - p).ln() < 0.0 {
+            // Walk the lower-triangular pair sequence (1,0), (2,0), (2,1),
+            // (3,0), … jumping geometrically-distributed gaps between
+            // successful coin flips.  The guard excludes p so small that
+            // ln(1 - p) rounds to -0.0, where the skip formula would divide
+            // by zero and degenerate into emitting *every* edge; such a p
+            // means "no edges at this scale", which is what it gets.
+            let lq = (1.0 - p).ln();
+            let mut u = 1usize;
+            let mut v: i64 = -1;
+            while u < n {
+                let r = rng.next_f64();
+                // Clamp before the cast: r ≈ 1 would otherwise overflow.
+                let skip = 1 + ((1.0 - r).ln() / lq).min(1e18) as i64;
+                v += skip.max(1);
+                while u < n && v >= u as i64 {
+                    v -= u as i64;
+                    u += 1;
+                }
+                if u < n {
+                    b.add_edge(u, v as usize, 0);
                 }
             }
         }
@@ -149,6 +179,30 @@ mod tests {
             let g = gnp_connected(24, 0.3, seed, WeightStrategy::DistinctRandom { seed });
             check_instance(&g).unwrap();
         }
+    }
+
+    #[test]
+    fn gnp_skip_sampler_edge_counts_track_expectation() {
+        // ~n ln n / 2 expected edges at p = ln n / n; the skip sampler must
+        // land in the right ballpark, not degenerate to empty or complete.
+        let n = 2_000usize;
+        let p = (n as f64).ln() / n as f64;
+        let g = gnp_connected(n, 2.0 * p, 7, WeightStrategy::Unit);
+        let expected = (n * (n - 1)) as f64 / 2.0 * 2.0 * p;
+        assert!((g.edge_count() as f64) > 0.7 * expected);
+        assert!((g.edge_count() as f64) < 1.3 * expected);
+    }
+
+    #[test]
+    fn gnp_degenerate_probabilities() {
+        // p so small that ln(1 - p) rounds to zero: must fall back to the
+        // connected_random spanning tree, not emit a complete graph.
+        let g = gnp_connected(50, 1e-18, 3, WeightStrategy::Unit);
+        assert_eq!(g.edge_count(), 49);
+        let g = gnp_connected(12, 1.0, 3, WeightStrategy::Unit);
+        assert_eq!(g.edge_count(), 66);
+        let g = gnp_connected(12, 0.0, 3, WeightStrategy::Unit);
+        assert_eq!(g.edge_count(), 11);
     }
 
     #[test]

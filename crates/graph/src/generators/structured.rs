@@ -20,7 +20,10 @@ use crate::weights::{WeightAssigner, WeightStrategy};
 /// Panics if `dim` is 0 or large enough to overflow the node count.
 #[must_use]
 pub fn hypercube(dim: u32, weights: WeightStrategy) -> WeightedGraph {
-    assert!((1..=24).contains(&dim), "hypercube dimension must be in 1..=24");
+    assert!(
+        (1..=24).contains(&dim),
+        "hypercube dimension must be in 1..=24"
+    );
     let n = 1usize << dim;
     let m = n / 2 * dim as usize;
     let mut b = GraphBuilder::new(n);
@@ -51,9 +54,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64, weights: WeightStrategy) ->
     let mut rng = SplitMix64::new(seed);
     // If n·d is odd a d-regular graph cannot exist; drop to d-1 for one node
     // by simply using the fallback below.
-    if (n * d) % 2 == 0 {
+    if (n * d).is_multiple_of(2) {
         'attempt: for _ in 0..100 {
-            let mut stubs: Vec<usize> = (0..n).flat_map(|u| std::iter::repeat(u).take(d)).collect();
+            let mut stubs: Vec<usize> = (0..n).flat_map(|u| std::iter::repeat_n(u, d)).collect();
             rng.shuffle(&mut stubs);
             let mut b = GraphBuilder::new(n);
             let mut present = std::collections::HashSet::new();
@@ -108,7 +111,7 @@ pub fn geometric(n: usize, radius: f64, seed: u64, weights: WeightStrategy) -> W
     let connected = {
         // Cheap union-find connectivity check on the builder's edges.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -156,7 +159,8 @@ pub fn complete_bipartite(a: usize, bsize: usize, weights: WeightStrategy) -> We
             b.set_weight(e, w.weight_of(e));
         }
     }
-    b.build().expect("complete bipartite construction is always valid")
+    b.build()
+        .expect("complete bipartite construction is always valid")
 }
 
 #[cfg(test)]
@@ -197,7 +201,12 @@ mod tests {
 
     #[test]
     fn geometric_is_connected_for_any_radius() {
-        for (n, radius, seed) in [(30usize, 0.05, 1u64), (30, 0.4, 2), (80, 0.15, 3), (10, 0.01, 4)] {
+        for (n, radius, seed) in [
+            (30usize, 0.05, 1u64),
+            (30, 0.4, 2),
+            (80, 0.15, 3),
+            (10, 0.01, 4),
+        ] {
             let g = geometric(n, radius, seed, WeightStrategy::DistinctRandom { seed });
             check_instance(&g).unwrap();
             assert!(g.is_connected());

@@ -35,7 +35,8 @@ pub fn balanced_binary_tree(depth: u32, weights: WeightStrategy) -> WeightedGrap
         let e = b.add_edge(parent, i, 0);
         b.set_weight(e, w.weight_of(e));
     }
-    b.build().expect("balanced tree construction is always valid")
+    b.build()
+        .expect("balanced tree construction is always valid")
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! sequential MST algorithms — works in terms of `(node, port)` pairs, so the
 //! port structure is first-class here rather than an afterthought.
 
-use serde::{Deserialize, Serialize};
+use crate::csr::CsrAdjacency;
 
 /// Dense node index in `0..n`.  This is the *simulator's* handle for a node;
 /// the (possibly non-distinct) application-level identifier is
@@ -33,7 +33,7 @@ pub type Weight = u64;
 
 /// One undirected edge with its two endpoints and the port it occupies at
 /// each endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EdgeRecord {
     /// First endpoint (the one with the smaller node index by convention of
     /// [`crate::builder::GraphBuilder`], though this is not load-bearing).
@@ -60,7 +60,10 @@ impl EdgeRecord {
         } else if x == self.v {
             self.u
         } else {
-            panic!("node {x} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+            panic!(
+                "node {x} is not an endpoint of edge {{{}, {}}}",
+                self.u, self.v
+            )
         }
     }
 
@@ -75,7 +78,10 @@ impl EdgeRecord {
         } else if x == self.v {
             self.port_v
         } else {
-            panic!("node {x} is not an endpoint of edge {{{}, {}}}", self.u, self.v)
+            panic!(
+                "node {x} is not an endpoint of edge {{{}, {}}}",
+                self.u, self.v
+            )
         }
     }
 
@@ -95,7 +101,7 @@ impl EdgeRecord {
 /// edge id is *not* part of a node's local knowledge in the distributed
 /// model — distributed algorithms must only rely on `port` and `weight`;
 /// oracles and sequential code may use `edge`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IncidentEdge {
     /// Local port number at the owning node.
     pub port: Port,
@@ -112,10 +118,18 @@ pub struct IncidentEdge {
 /// Construction goes through [`crate::builder::GraphBuilder`] (or the
 /// generators in [`crate::generators`]); after construction the structure is
 /// immutable and freely shareable across threads.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The adjacency is held in **two** synchronized representations: nested
+/// per-node lists (`Vec<Vec<IncidentEdge>>`, convenient for oracles and
+/// sequential algorithms) and a flat CSR layout ([`CsrAdjacency`], the
+/// cache-friendly form the simulator's message plane is built on).  Port-
+/// addressed accessors ([`WeightedGraph::incident`],
+/// [`WeightedGraph::incident_at`], …) are served from the CSR side.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightedGraph {
     ids: Vec<u64>,
     adj: Vec<Vec<IncidentEdge>>,
+    csr: CsrAdjacency,
     edges: Vec<EdgeRecord>,
 }
 
@@ -131,7 +145,13 @@ impl WeightedGraph {
         edges: Vec<EdgeRecord>,
     ) -> Self {
         debug_assert_eq!(ids.len(), adj.len());
-        let g = Self { ids, adj, edges };
+        let csr = CsrAdjacency::from_lists(&adj, &edges);
+        let g = Self {
+            ids,
+            adj,
+            csr,
+            edges,
+        };
         debug_assert!(crate::validate::check_well_formed(&g).is_ok());
         g
     }
@@ -162,22 +182,37 @@ impl WeightedGraph {
     /// Degree of node `u`.
     #[must_use]
     pub fn degree(&self, u: NodeIdx) -> usize {
-        self.adj[u].len()
+        self.csr.degree(u)
     }
 
     /// The incident edges of `u`, indexed by port: `incident(u)[p].port == p`.
+    /// Served from the CSR layout (a contiguous slice of the flat array).
     #[must_use]
     pub fn incident(&self, u: NodeIdx) -> &[IncidentEdge] {
-        &self.adj[u]
+        self.csr.incident(u)
     }
 
-    /// The incident edge of `u` at port `p`.
+    /// The incident edge of `u` at port `p`, in O(1).
     ///
     /// # Panics
     /// Panics if `p >= deg(u)`.
     #[must_use]
     pub fn incident_at(&self, u: NodeIdx, p: Port) -> IncidentEdge {
-        self.adj[u][p]
+        self.csr.at(u, p)
+    }
+
+    /// The flat CSR adjacency (offsets, dense `(node, port)` slots, mirror
+    /// table) — the representation the simulator's message plane indexes by.
+    #[must_use]
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
+    }
+
+    /// The nested per-node adjacency lists (the second, pointer-per-node
+    /// representation; kept for sequential code that wants owned `Vec`s).
+    #[must_use]
+    pub fn adj_lists(&self) -> &[Vec<IncidentEdge>] {
+        &self.adj
     }
 
     /// All edge records.
@@ -201,13 +236,13 @@ impl WeightedGraph {
     /// The neighbour reached from `u` through port `p`.
     #[must_use]
     pub fn neighbor_via(&self, u: NodeIdx, p: Port) -> NodeIdx {
-        self.adj[u][p].neighbor
+        self.csr.at(u, p).neighbor
     }
 
     /// The global edge id of the edge at `(u, p)`.
     #[must_use]
     pub fn edge_via(&self, u: NodeIdx, p: Port) -> EdgeId {
-        self.adj[u][p].edge
+        self.csr.at(u, p).edge
     }
 
     /// The port at which edge `e` appears at node `u`.
@@ -237,7 +272,10 @@ impl WeightedGraph {
     /// Sum of the weights of a set of edges (used to compare spanning trees).
     #[must_use]
     pub fn weight_of(&self, edge_set: &[EdgeId]) -> u128 {
-        edge_set.iter().map(|&e| u128::from(self.edges[e].weight)).sum()
+        edge_set
+            .iter()
+            .map(|&e| u128::from(self.edges[e].weight))
+            .sum()
     }
 
     /// Maximum degree Δ.
@@ -345,8 +383,7 @@ impl WeightedGraph {
 #[must_use]
 pub fn ceil_log2(x: usize) -> u32 {
     assert!(x >= 1, "ceil_log2 undefined for 0");
-    (usize::BITS - (x - 1).leading_zeros()).min(usize::BITS)
-        * u32::from(x > 1)
+    (usize::BITS - (x - 1).leading_zeros()).min(usize::BITS) * u32::from(x > 1)
 }
 
 #[cfg(test)]

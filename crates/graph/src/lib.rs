@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod csr;
 pub mod dot;
 pub mod generators;
 pub mod graph;
@@ -37,6 +38,7 @@ pub mod validate;
 pub mod weights;
 
 pub use builder::GraphBuilder;
-pub use graph::{EdgeId, EdgeRecord, IncidentEdge, NodeIdx, Port, WeightedGraph, Weight};
+pub use csr::CsrAdjacency;
+pub use graph::{EdgeId, EdgeRecord, IncidentEdge, NodeIdx, Port, Weight, WeightedGraph};
 pub use index::EdgeIndex;
 pub use prng::SplitMix64;

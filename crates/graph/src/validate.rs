@@ -43,7 +43,10 @@ impl std::fmt::Display for ValidationError {
         match self {
             Self::BadPortNumbering { node } => write!(f, "bad port numbering at node {node}"),
             Self::InconsistentIncidence { node, port } => {
-                write!(f, "incidence list of node {node} disagrees with edge record at port {port}")
+                write!(
+                    f,
+                    "incidence list of node {node} disagrees with edge record at port {port}"
+                )
             }
             Self::SelfLoop { edge } => write!(f, "edge {edge} is a self-loop"),
             Self::ParallelEdges { u, v } => write!(f, "parallel edges between {u} and {v}"),
@@ -117,13 +120,19 @@ mod tests {
         b.add_edge(2, 3, 2);
         let g = b.build().unwrap();
         check_well_formed(&g).unwrap();
-        assert_eq!(check_instance(&g).unwrap_err(), ValidationError::Disconnected);
+        assert_eq!(
+            check_instance(&g).unwrap_err(),
+            ValidationError::Disconnected
+        );
     }
 
     #[test]
     fn generators_produce_valid_instances() {
         // Smoke-check a few generators through the validator.
-        let g = crate::generators::ring(16, crate::weights::WeightStrategy::DistinctRandom { seed: 3 });
+        let g = crate::generators::ring(
+            16,
+            crate::weights::WeightStrategy::DistinctRandom { seed: 3 },
+        );
         check_instance(&g).unwrap();
         let g = crate::generators::complete(9, crate::weights::WeightStrategy::Unit);
         check_instance(&g).unwrap();

@@ -11,8 +11,8 @@
 //! * explicit weights chosen by a generator (used by the Theorem 1 family,
 //!   whose weights are structural).
 
-use crate::prng::SplitMix64;
 use crate::graph::Weight;
+use crate::prng::SplitMix64;
 
 /// How a generator assigns weights to the edges it creates.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -122,7 +122,11 @@ impl CentroidDecomposition {
                         continue;
                     }
                     // Size of y's side when the tree is rooted at `start`.
-                    let side = if parent[y] == centroid { subtree[y] } else { size - subtree[centroid] };
+                    let side = if parent[y] == centroid {
+                        subtree[y]
+                    } else {
+                        size - subtree[centroid]
+                    };
                     if 2 * side > size {
                         centroid = y;
                         continue 'search;
@@ -134,7 +138,11 @@ impl CentroidDecomposition {
             // Record (centroid, max weight to centroid) at every node of the
             // component, by BFS from the centroid.
             level_of[centroid] = level;
-            ancestors[centroid].push(CentroidEntry { centroid, level, max_weight: 0 });
+            ancestors[centroid].push(CentroidEntry {
+                centroid,
+                level,
+                max_weight: 0,
+            });
             let mut frontier = vec![centroid];
             // Reuse `parent` as the visited marker for this BFS by a fresh
             // sentinel pass.
@@ -151,7 +159,11 @@ impl CentroidDecomposition {
                     }
                     parent[y] = x;
                     maxw[y] = maxw[x].max(w);
-                    ancestors[y].push(CentroidEntry { centroid, level, max_weight: maxw[y] });
+                    ancestors[y].push(CentroidEntry {
+                        centroid,
+                        level,
+                        max_weight: maxw[y],
+                    });
                     frontier.push(y);
                 }
             }
@@ -170,7 +182,10 @@ impl CentroidDecomposition {
             }
         }
 
-        Self { ancestors, level_of }
+        Self {
+            ancestors,
+            level_of,
+        }
     }
 
     /// The maximum edge weight on the tree path between `u` and `v`, computed
@@ -211,8 +226,8 @@ impl CentroidDecomposition {
 mod tests {
     use super::*;
     use lma_graph::generators::{complete, connected_random, grid, path, random_tree, ring, star};
-    use lma_graph::weights::WeightStrategy;
     use lma_graph::graph::ceil_log2;
+    use lma_graph::weights::WeightStrategy;
     use lma_mst::kruskal_mst;
 
     fn mst_tree(g: &WeightedGraph) -> RootedTree {
@@ -290,7 +305,11 @@ mod tests {
             for u in g.nodes() {
                 for v in g.nodes() {
                     let got = dec.path_max(u, v).expect("same tree");
-                    let want = if u == v { 0 } else { path_max_reference(g, &tree, u, v) };
+                    let want = if u == v {
+                        0
+                    } else {
+                        path_max_reference(g, &tree, u, v)
+                    };
                     assert_eq!(got, want, "path max mismatch for ({u}, {v})");
                 }
             }
@@ -305,7 +324,10 @@ mod tests {
         for u in g.nodes() {
             let levels: Vec<usize> = dec.ancestors[u].iter().map(|e| e.level).collect();
             for w in levels.windows(2) {
-                assert!(w[0] < w[1], "levels not strictly increasing at node {u}: {levels:?}");
+                assert!(
+                    w[0] < w[1],
+                    "levels not strictly increasing at node {u}: {levels:?}"
+                );
             }
         }
     }

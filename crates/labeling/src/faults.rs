@@ -165,7 +165,11 @@ pub fn corrupt_label(labels: &mut [MstLabel], node: NodeIdx, delta: u64, factor:
 /// two.  Returns `None` when `g` is a tree or when every spanning tree has
 /// the same weight (e.g. unit weights).
 #[must_use]
-pub fn non_minimum_spanning_tree(g: &WeightedGraph, root: NodeIdx, seed: u64) -> Option<RootedTree> {
+pub fn non_minimum_spanning_tree(
+    g: &WeightedGraph,
+    root: NodeIdx,
+    seed: u64,
+) -> Option<RootedTree> {
     let mst = kruskal_mst(g)?;
     let tree = RootedTree::from_edges(g, root, &mst)?;
     let mut rng = SplitMix64::new(seed);
@@ -204,7 +208,8 @@ pub fn non_minimum_spanning_tree(g: &WeightedGraph, root: NodeIdx, seed: u64) ->
         let heavy = heaviest?;
         if g.weight(e) > g.weight(heavy) {
             // Swap: remove the path edge, add the non-tree edge.
-            let mut edges: Vec<EdgeId> = tree.edges.iter().copied().filter(|&x| x != heavy).collect();
+            let mut edges: Vec<EdgeId> =
+                tree.edges.iter().copied().filter(|&x| x != heavy).collect();
             edges.push(e);
             return RootedTree::from_edges(g, root, &edges);
         }
@@ -226,7 +231,10 @@ mod tests {
         let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
         let plan_a = FaultPlan::random(&g, &tree, 3, 99);
         let plan_b = FaultPlan::random(&g, &tree, 3, 99);
-        assert_eq!(plan_a.faults, plan_b.faults, "same seed must give the same plan");
+        assert_eq!(
+            plan_a.faults, plan_b.faults,
+            "same seed must give the same plan"
+        );
         assert!(plan_a.changes(&outputs));
         assert_ne!(plan_a.apply(&outputs), outputs);
     }
@@ -247,7 +255,10 @@ mod tests {
                 rejected += 1;
             }
         }
-        assert!(rejected >= 8, "most random corruptions must break the MST ({rejected}/10)");
+        assert!(
+            rejected >= 8,
+            "most random corruptions must break the MST ({rejected}/10)"
+        );
     }
 
     #[test]

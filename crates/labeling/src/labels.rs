@@ -131,9 +131,19 @@ impl LabelStats {
         let nodes = sizes.len();
         let total_bits: usize = sizes.iter().sum();
         let max_bits = sizes.iter().copied().max().unwrap_or(0);
-        let avg_bits = if nodes == 0 { 0.0 } else { total_bits as f64 / nodes as f64 };
+        let avg_bits = if nodes == 0 {
+            0.0
+        } else {
+            total_bits as f64 / nodes as f64
+        };
         let max_entries = entries.iter().copied().max().unwrap_or(0);
-        Self { nodes, total_bits, max_bits, avg_bits, max_entries }
+        Self {
+            nodes,
+            total_bits,
+            max_bits,
+            avg_bits,
+            max_entries,
+        }
     }
 }
 
@@ -143,7 +153,10 @@ mod tests {
 
     #[test]
     fn spanning_label_sizes_are_logarithmic() {
-        let l = SpanningLabel { root_id: 12, depth: 5 };
+        let l = SpanningLabel {
+            root_id: 12,
+            depth: 5,
+        };
         assert!(l.encoded_bits(1024) <= 64 + 10);
         assert!(l.bit_size() >= 4 + 3);
         assert!(!l.to_bits(1024).is_empty());
@@ -152,14 +165,25 @@ mod tests {
     #[test]
     fn mst_label_size_counts_entries() {
         let base = MstLabel {
-            spanning: SpanningLabel { root_id: 1, depth: 0 },
+            spanning: SpanningLabel {
+                root_id: 1,
+                depth: 0,
+            },
             oracle_parent: None,
             entries: vec![],
         };
         let with_entries = MstLabel {
             entries: vec![
-                CentroidEntry { centroid: 3, level: 0, max_weight: 9 },
-                CentroidEntry { centroid: 5, level: 1, max_weight: 2 },
+                CentroidEntry {
+                    centroid: 3,
+                    level: 0,
+                    max_weight: 9,
+                },
+                CentroidEntry {
+                    centroid: 5,
+                    level: 1,
+                    max_weight: 2,
+                },
             ],
             ..base.clone()
         };

@@ -41,7 +41,7 @@ use lma_mst::verify::UpwardOutput;
 use lma_mst::RootedTree;
 use lma_sim::message::BitSized;
 use lma_sim::runtime::RunError;
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
 
 /// The MST certificate: oracle-side label construction plus the one-round
 /// distributed verifier.
@@ -60,7 +60,10 @@ impl MstCertificate {
         let root_id = g.id(tree.root);
         g.nodes()
             .map(|u| MstLabel {
-                spanning: SpanningLabel { root_id, depth: tree.depth[u] as u64 },
+                spanning: SpanningLabel {
+                    root_id,
+                    depth: tree.depth[u] as u64,
+                },
                 oracle_parent: tree.parent_port[u],
                 entries: decomposition.ancestors[u].clone(),
             })
@@ -152,7 +155,7 @@ impl MstVerifier {
         }
     }
 
-    fn check(&self, view: &LocalView, inbox: &Inbox<CertMsg>) -> Vec<Violation> {
+    fn check(&self, view: &LocalView, inbox: &[(Port, CertMsg)]) -> Vec<Violation> {
         let node = view.node;
         let mut violations = Vec::new();
         let neighbor_labels: Vec<(Port, SpanningLabel)> =
@@ -218,7 +221,12 @@ impl NodeAlgorithm for MstVerifier {
             .collect()
     }
 
-    fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<CertMsg>) -> Outbox<CertMsg> {
+    fn round(
+        &mut self,
+        view: &LocalView,
+        _round: usize,
+        inbox: &[(Port, CertMsg)],
+    ) -> Outbox<CertMsg> {
         self.verdict = Some(self.check(view, inbox));
         Vec::new()
     }
@@ -236,8 +244,8 @@ impl NodeAlgorithm for MstVerifier {
 mod tests {
     use super::*;
     use lma_graph::generators::{complete, connected_random, grid, lollipop, path, ring};
-    use lma_graph::weights::WeightStrategy;
     use lma_graph::graph::ceil_log2;
+    use lma_graph::weights::WeightStrategy;
     use lma_mst::kruskal_mst;
 
     fn mst_tree(g: &WeightedGraph, root: usize) -> RootedTree {
@@ -261,7 +269,11 @@ mod tests {
             let report =
                 MstCertificate::certify_and_verify(g, &tree, &outputs, &RunConfig::default())
                     .unwrap();
-            assert!(report.accepted, "rejected a correct MST: {:?}", report.violations);
+            assert!(
+                report.accepted,
+                "rejected a correct MST: {:?}",
+                report.violations
+            );
             assert_eq!(report.run.rounds, 1);
         }
     }
@@ -287,7 +299,11 @@ mod tests {
             MstCertificate::certify_and_verify(&g, &bad_tree, &outputs, &RunConfig::default())
                 .unwrap();
         assert!(!report.accepted);
-        assert!(report.has_cycle_violation(), "expected a cycle-property violation: {:?}", report.violations);
+        assert!(
+            report.has_cycle_violation(),
+            "expected a cycle-property violation: {:?}",
+            report.violations
+        );
     }
 
     #[test]

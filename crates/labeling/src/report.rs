@@ -234,10 +234,19 @@ mod tests {
 
     #[test]
     fn violation_display_and_node_accessor() {
-        let v = Violation::CycleProperty { node: 7, port: 2, edge_weight: 3, path_max: 9 };
+        let v = Violation::CycleProperty {
+            node: 7,
+            port: 2,
+            edge_weight: 3,
+            path_max: 9,
+        };
         assert_eq!(v.node(), 7);
         assert!(v.to_string().contains("path maximum 9"));
-        let v = Violation::DepthMismatch { node: 4, own_depth: 2, parent_depth: 5 };
+        let v = Violation::DepthMismatch {
+            node: 4,
+            own_depth: 2,
+            parent_depth: 5,
+        };
         assert!(v.to_string().contains("depth 2"));
         assert_eq!(v.node(), 4);
     }

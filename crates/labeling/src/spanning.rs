@@ -32,7 +32,7 @@ use lma_mst::verify::UpwardOutput;
 use lma_mst::RootedTree;
 use lma_sim::message::BitSized;
 use lma_sim::runtime::RunError;
-use lma_sim::{Inbox, LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
 
 /// The spanning-tree proof-labeling scheme.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,7 +45,10 @@ impl SpanningProof {
     pub fn assign(g: &WeightedGraph, tree: &RootedTree) -> Vec<SpanningLabel> {
         let root_id = g.id(tree.root);
         g.nodes()
-            .map(|u| SpanningLabel { root_id, depth: tree.depth[u] as u64 })
+            .map(|u| SpanningLabel {
+                root_id,
+                depth: tree.depth[u] as u64,
+            })
             .collect()
     }
 
@@ -177,13 +180,21 @@ impl NodeAlgorithm for SpanningVerifier {
             .map(|p| {
                 (
                     p,
-                    SpanningMsg { label: self.label, parent_edge: parent_port == Some(p) },
+                    SpanningMsg {
+                        label: self.label,
+                        parent_edge: parent_port == Some(p),
+                    },
                 )
             })
             .collect()
     }
 
-    fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<SpanningMsg>) -> Outbox<SpanningMsg> {
+    fn round(
+        &mut self,
+        view: &LocalView,
+        _round: usize,
+        inbox: &[(Port, SpanningMsg)],
+    ) -> Outbox<SpanningMsg> {
         let neighbor_labels: Vec<(Port, SpanningLabel)> =
             inbox.iter().map(|(p, m)| (*p, m.label)).collect();
         let mut violations = Vec::new();
@@ -235,8 +246,15 @@ mod tests {
                 let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
                 let report =
                     SpanningProof::verify(g, &labels, &outputs, &RunConfig::default()).unwrap();
-                assert!(report.accepted, "rejected a correct tree: {:?}", report.violations);
-                assert_eq!(report.run.rounds, 1, "verification must take exactly one round");
+                assert!(
+                    report.accepted,
+                    "rejected a correct tree: {:?}",
+                    report.violations
+                );
+                assert_eq!(
+                    report.run.rounds, 1,
+                    "verification must take exactly one round"
+                );
             }
         }
     }
@@ -267,7 +285,9 @@ mod tests {
         // equality check; the MST certificate adds the equality binding.)
         let mut found = false;
         for u in g.nodes() {
-            let Some(parent_port) = tree.parent_port[u] else { continue };
+            let Some(parent_port) = tree.parent_port[u] else {
+                continue;
+            };
             for p in 0..g.degree(u) {
                 if p == parent_port {
                     continue;
@@ -277,8 +297,12 @@ mod tests {
                     let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
                     outputs[u] = Some(UpwardOutput::Parent(p));
                     let report =
-                        SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
-                    assert!(!report.accepted, "depth-breaking reroute at node {u} accepted");
+                        SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default())
+                            .unwrap();
+                    assert!(
+                        !report.accepted,
+                        "depth-breaking reroute at node {u} accepted"
+                    );
                     found = true;
                     break;
                 }
@@ -300,7 +324,10 @@ mod tests {
         outputs[4] = Some(UpwardOutput::Parent(17));
         let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
         assert!(!report.accepted);
-        assert!(report.violations.iter().any(|v| matches!(v, Violation::MissingOutput { node: 3 })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingOutput { node: 3 })));
         assert!(report
             .violations
             .iter()
@@ -325,13 +352,32 @@ mod tests {
         // Try several adversarial labelings, including "all equal" and
         // "strictly increasing".
         let adversarial: Vec<Vec<SpanningLabel>> = vec![
-            g.nodes().map(|_| SpanningLabel { root_id: 42, depth: 3 }).collect(),
-            g.nodes().map(|u| SpanningLabel { root_id: 42, depth: u as u64 }).collect(),
-            g.nodes().map(|u| SpanningLabel { root_id: g.id(u), depth: u as u64 + 1 }).collect(),
+            g.nodes()
+                .map(|_| SpanningLabel {
+                    root_id: 42,
+                    depth: 3,
+                })
+                .collect(),
+            g.nodes()
+                .map(|u| SpanningLabel {
+                    root_id: 42,
+                    depth: u as u64,
+                })
+                .collect(),
+            g.nodes()
+                .map(|u| SpanningLabel {
+                    root_id: g.id(u),
+                    depth: u as u64 + 1,
+                })
+                .collect(),
         ];
         for labels in &adversarial {
-            let report = SpanningProof::verify(&g, labels, &outputs, &RunConfig::default()).unwrap();
-            assert!(!report.accepted, "an adversarial labeling was accepted for a cyclic claim");
+            let report =
+                SpanningProof::verify(&g, labels, &outputs, &RunConfig::default()).unwrap();
+            assert!(
+                !report.accepted,
+                "an adversarial labeling was accepted for a cyclic claim"
+            );
         }
     }
 
@@ -342,6 +388,10 @@ mod tests {
         let labels = SpanningProof::assign(&g, &tree);
         let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
         let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
-        assert!(report.labels.max_bits <= 64 + 8, "max label {} bits", report.labels.max_bits);
+        assert!(
+            report.labels.max_bits <= 64 + 8,
+            "max label {} bits",
+            report.labels.max_bits
+        );
     }
 }

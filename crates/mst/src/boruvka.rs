@@ -303,7 +303,12 @@ fn finish_phase(
 }
 
 /// The terminal record: a single fragment covering the whole graph.
-fn terminal_phase(g: &WeightedGraph, tree: &RootedTree, root: NodeIdx, phase: usize) -> PhaseRecord {
+fn terminal_phase(
+    g: &WeightedGraph,
+    tree: &RootedTree,
+    root: NodeIdx,
+    phase: usize,
+) -> PhaseRecord {
     let nodes: Vec<NodeIdx> = g.nodes().collect();
     let bfs_order = fragment_bfs(g, tree, &nodes, root);
     PhaseRecord {
@@ -360,7 +365,11 @@ fn fragment_bfs(
             }
         }
     }
-    debug_assert_eq!(order.len(), nodes.len(), "fragment must induce a connected subtree");
+    debug_assert_eq!(
+        order.len(),
+        nodes.len(),
+        "fragment must induce a connected subtree"
+    );
     order
 }
 
@@ -420,10 +429,7 @@ mod tests {
                     // The up flag matches the rooted tree.
                     assert_eq!(sel.up, run.tree.is_up_at(sel.choosing_node, sel.edge));
                     // bfs_position is consistent.
-                    assert_eq!(
-                        frag.bfs_order[sel.bfs_position - 1],
-                        sel.choosing_node
-                    );
+                    assert_eq!(frag.bfs_order[sel.bfs_position - 1], sel.choosing_node);
                 }
             }
             // fragment_of is consistent with memberships.
@@ -468,7 +474,14 @@ mod tests {
         for seed in 0..4u64 {
             let g = connected_random(48, 140, seed, WeightStrategy::DistinctRandom { seed });
             for tb in [TieBreak::PaperPortOrder, TieBreak::CanonicalGlobal] {
-                let run = run_boruvka(&g, &BoruvkaConfig { root: Some(5), tie_break: tb }).unwrap();
+                let run = run_boruvka(
+                    &g,
+                    &BoruvkaConfig {
+                        root: Some(5),
+                        tie_break: tb,
+                    },
+                )
+                .unwrap();
                 check_run(&g, &run);
                 assert_eq!(run.root, 5);
             }
@@ -481,7 +494,10 @@ mod tests {
             let g = connected_random(30, 80, seed, WeightStrategy::UniformRandom { seed, max: 4 });
             let run = run_boruvka(
                 &g,
-                &BoruvkaConfig { root: None, tie_break: TieBreak::CanonicalGlobal },
+                &BoruvkaConfig {
+                    root: None,
+                    tie_break: TieBreak::CanonicalGlobal,
+                },
             )
             .unwrap();
             verify_mst_edges(&g, &run.mst_edges).unwrap();
@@ -516,7 +532,10 @@ mod tests {
         // The canonical tie-break handles the same graph fine.
         let run = run_boruvka(
             &g,
-            &BoruvkaConfig { root: None, tie_break: TieBreak::CanonicalGlobal },
+            &BoruvkaConfig {
+                root: None,
+                tie_break: TieBreak::CanonicalGlobal,
+            },
         )
         .unwrap();
         verify_mst_edges(&g, &run.mst_edges).unwrap();

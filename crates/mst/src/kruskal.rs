@@ -88,22 +88,41 @@ mod tests {
         assert!(mst_weight(&g).is_none());
     }
 
-    #[test]
-    fn matches_petgraph_on_random_graphs() {
-        use petgraph::algo::min_spanning_tree;
-        use petgraph::data::FromElements;
-        use petgraph::graph::UnGraph;
+    /// A deliberately naive reference: grow the tree one cheapest crossing
+    /// edge at a time, scanning all edges every step (O(n·m)).  Independent
+    /// of the union-find and of the canonical edge order, so it cross-checks
+    /// both Kruskal and (transitively) every algorithm validated against it.
+    fn naive_mst_weight(g: &lma_graph::WeightedGraph) -> u128 {
+        let n = g.node_count();
+        let mut in_tree = vec![false; n];
+        in_tree[0] = true;
+        let mut total: u128 = 0;
+        for _ in 1..n {
+            let best = (0..g.edge_count())
+                .filter(|&e| {
+                    let rec = g.edge(e);
+                    in_tree[rec.u] != in_tree[rec.v]
+                })
+                .min_by_key(|&e| g.weight(e))
+                .expect("graph must be connected");
+            let rec = g.edge(best);
+            in_tree[rec.u] = true;
+            in_tree[rec.v] = true;
+            total += u128::from(rec.weight);
+        }
+        total
+    }
 
+    #[test]
+    fn matches_naive_prim_on_random_graphs() {
         for seed in 0..6u64 {
-            let g = connected_random(40, 120, seed, WeightStrategy::UniformRandom { seed, max: 30 });
-            let mut pg = UnGraph::<(), u64>::new_undirected();
-            let nodes: Vec<_> = (0..g.node_count()).map(|_| pg.add_node(())).collect();
-            for rec in g.edges() {
-                pg.add_edge(nodes[rec.u], nodes[rec.v], rec.weight);
-            }
-            let pg_mst = UnGraph::<(), u64>::from_elements(min_spanning_tree(&pg));
-            let pg_weight: u128 = pg_mst.edge_weights().map(|&w| u128::from(w)).sum();
-            assert_eq!(mst_weight(&g).unwrap(), pg_weight, "seed {seed}");
+            let g = connected_random(
+                40,
+                120,
+                seed,
+                WeightStrategy::UniformRandom { seed, max: 30 },
+            );
+            assert_eq!(mst_weight(&g).unwrap(), naive_mst_weight(&g), "seed {seed}");
         }
     }
 

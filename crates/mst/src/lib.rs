@@ -42,4 +42,6 @@ pub use kruskal::{kruskal_mst, mst_weight};
 pub use prim::prim_mst;
 pub use tree::RootedTree;
 pub use union_find::UnionFind;
-pub use verify::{tree_from_outputs, verify_mst_edges, verify_upward_outputs, MstError, UpwardOutput};
+pub use verify::{
+    tree_from_outputs, verify_mst_edges, verify_upward_outputs, MstError, UpwardOutput,
+};

@@ -94,7 +94,8 @@ impl UnionFind {
     /// within each group.  Representative order is ascending as well.
     pub fn groups(&mut self) -> Vec<Vec<usize>> {
         let n = self.len();
-        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
         for x in 0..n {
             let r = self.find(x);
             by_root.entry(r).or_default().push(x);

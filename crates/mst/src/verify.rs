@@ -89,7 +89,10 @@ pub fn verify_mst_edges(g: &WeightedGraph, edges: &[EdgeId]) -> Result<(), MstEr
     let n = g.node_count();
     let optimal = kruskal_mst(g).ok_or(MstError::Disconnected)?;
     if edges.len() != n - 1 {
-        return Err(MstError::WrongEdgeCount { got: edges.len(), expected: n - 1 });
+        return Err(MstError::WrongEdgeCount {
+            got: edges.len(),
+            expected: n - 1,
+        });
     }
     let mut uf = crate::union_find::UnionFind::new(n);
     for &e in edges {
@@ -151,7 +154,10 @@ pub fn tree_from_outputs(
     dedup.sort_unstable();
     dedup.dedup();
     if dedup.len() != n - 1 {
-        return Err(MstError::WrongEdgeCount { got: dedup.len(), expected: n - 1 });
+        return Err(MstError::WrongEdgeCount {
+            got: dedup.len(),
+            expected: n - 1,
+        });
     }
     RootedTree::from_edges(g, root, &dedup).ok_or(MstError::ParentCycle)
 }
@@ -187,7 +193,10 @@ mod tests {
         let g = ring(5, WeightStrategy::ByEdgeId);
         assert!(matches!(
             verify_mst_edges(&g, &[0, 1]),
-            Err(MstError::WrongEdgeCount { got: 2, expected: 4 })
+            Err(MstError::WrongEdgeCount {
+                got: 2,
+                expected: 4
+            })
         ));
     }
 
@@ -203,7 +212,7 @@ mod tests {
     #[test]
     fn non_minimum_tree_detected() {
         let g = ring(4, WeightStrategy::ByEdgeId); // weights 1,2,3,4
-        // Spanning tree that keeps the heaviest edge: {2,3,4} vs optimal {1,2,3}.
+                                                   // Spanning tree that keeps the heaviest edge: {2,3,4} vs optimal {1,2,3}.
         let err = verify_mst_edges(&g, &[1, 2, 3]).unwrap_err();
         assert!(matches!(err, MstError::NotMinimum { got: 9, optimal: 6 }));
     }

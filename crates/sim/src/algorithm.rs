@@ -58,11 +58,6 @@ impl LocalView {
 /// each of its incident edges a message").
 pub type Outbox<M> = Vec<(Port, M)>;
 
-/// Messages received by one node in one round: `(port, message)` pairs, where
-/// `port` is the *receiving* node's local port for the edge the message
-/// arrived on.
-pub type Inbox<M> = Vec<(Port, M)>;
-
 /// A per-node program executed by the runtime.
 ///
 /// The life cycle is:
@@ -87,9 +82,16 @@ pub trait NodeAlgorithm: Send {
     /// One-time initialization; returns the messages to send in round 1.
     fn init(&mut self, view: &LocalView) -> Outbox<Self::Msg>;
 
-    /// Executes one round: `inbox` holds the messages received this round;
-    /// the return value holds the messages to send next round.
-    fn round(&mut self, view: &LocalView, round: usize, inbox: &Inbox<Self::Msg>) -> Outbox<Self::Msg>;
+    /// Executes one round: `inbox` holds the messages received this round as
+    /// `(receiving port, message)` pairs sorted by port — a borrowed slice of
+    /// the runtime's flat gather buffer, valid only for the duration of the
+    /// call.  The return value holds the messages to send next round.
+    fn round(
+        &mut self,
+        view: &LocalView,
+        round: usize,
+        inbox: &[(Port, Self::Msg)],
+    ) -> Outbox<Self::Msg>;
 
     /// True when the node has produced its final output and will not send
     /// further messages.

@@ -20,21 +20,30 @@
 //! `(port, weight)` pairs — so the locality restriction of the model is
 //! enforced by construction, not by convention.
 //!
-//! Rounds are natural synchronization barriers, so the runtime steps all
-//! nodes of a round in parallel with Rayon.
+//! Message routing runs on a **pull-based, double-buffered flat message
+//! plane** over the graph's CSR slot space (see [`plane`] and [`runtime`]):
+//! all buffers are preallocated, delivery moves messages instead of cloning
+//! them, and the steady-state round loop allocates nothing.  The original
+//! push-based executor survives in [`reference`] as a differential-testing
+//! oracle and benchmark baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod bitset;
 pub mod message;
 pub mod model;
+pub mod plane;
+pub mod reference;
 pub mod runtime;
 pub mod stats;
 pub mod trace;
 
-pub use algorithm::{Inbox, LocalView, NodeAlgorithm, Outbox};
+pub use algorithm::{LocalView, NodeAlgorithm, Outbox};
+pub use bitset::FixedBitSet;
 pub use message::BitSized;
 pub use model::Model;
+pub use plane::MessagePlane;
 pub use runtime::{RunConfig, RunError, RunResult, Runtime};
 pub use stats::RunStats;

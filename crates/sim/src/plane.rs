@@ -1,0 +1,106 @@
+//! The flat message plane: preallocated per-`(node, port)` message slots.
+//!
+//! A [`MessagePlane`] owns one slot per edge endpoint (the graph's dense CSR
+//! slot space, see `lma_graph::CsrAdjacency`).  Senders *scatter* into their
+//! own slots; receivers *gather* by reading the mirror slot of each of their
+//! ports.  The runtime keeps two planes and swaps them every round
+//! (double-buffering), so the steady-state loop performs **no** per-round
+//! allocation: slots are `Option<M>` storage reused across rounds, and the
+//! occupancy [`FixedBitSet`] replaces the seed's per-node `HashSet`
+//! port-dedup.
+
+use crate::bitset::FixedBitSet;
+
+/// A preallocated, reusable buffer of message slots indexed by the graph's
+/// dense `(node, port)` slot space.
+#[derive(Debug)]
+pub struct MessagePlane<M> {
+    slots: Vec<Option<M>>,
+    occupied: FixedBitSet,
+}
+
+impl<M> MessagePlane<M> {
+    /// A plane with `len` empty slots (`len = 2m` for a graph with `m`
+    /// edges).
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            slots: (0..len).map(|_| None).collect(),
+            occupied: FixedBitSet::new(len),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the plane has no slots at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Writes `msg` into `slot`.  Returns `false` (dropping the message)
+    /// when the slot was already written since the last
+    /// [`MessagePlane::clear_occupancy`] — i.e. a duplicate port use.
+    pub fn put(&mut self, slot: usize, msg: M) -> bool {
+        if !self.occupied.insert(slot) {
+            return false;
+        }
+        self.slots[slot] = Some(msg);
+        true
+    }
+
+    /// Moves the message out of `slot`, if any (no clone: delivery transfers
+    /// ownership from the sender's slot to the receiver's inbox).
+    pub fn take(&mut self, slot: usize) -> Option<M> {
+        self.slots[slot].take()
+    }
+
+    /// Resets the occupancy tracking for the next round of scattering.
+    ///
+    /// The caller is responsible for the slots themselves having been
+    /// drained (every slot is gathered by exactly one receiver each round,
+    /// so after a full gather pass the `Option`s are all `None`).
+    pub fn clear_occupancy(&mut self) {
+        self.occupied.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_take_round_trip() {
+        let mut p: MessagePlane<u32> = MessagePlane::new(4);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert!(p.put(2, 77));
+        assert_eq!(p.take(2), Some(77));
+        assert_eq!(p.take(2), None);
+    }
+
+    #[test]
+    fn duplicate_put_is_rejected_until_occupancy_reset() {
+        let mut p: MessagePlane<u32> = MessagePlane::new(2);
+        assert!(p.put(0, 1));
+        assert!(
+            !p.put(0, 2),
+            "second write to the same slot must be rejected"
+        );
+        assert_eq!(p.take(0), Some(1), "the first message must be preserved");
+        p.clear_occupancy();
+        assert!(p.put(0, 3));
+        assert_eq!(p.take(0), Some(3));
+    }
+
+    #[test]
+    fn empty_plane() {
+        let mut p: MessagePlane<()> = MessagePlane::new(0);
+        assert!(p.is_empty());
+        p.clear_occupancy();
+    }
+}

@@ -1,12 +1,33 @@
 //! The synchronous round executor.
+//!
+//! The executor routes messages over a **pull-based, double-buffered flat
+//! message plane** (see [`crate::plane::MessagePlane`]):
+//!
+//! * every `(node, port)` pair owns one preallocated slot in a flat buffer
+//!   indexed by the graph's CSR slot space — senders scatter into their own
+//!   slots, receivers gather through the CSR *mirror table*, so delivery
+//!   moves each message exactly once and never clones it;
+//! * two planes are swapped each round (current ↔ next), so the steady-state
+//!   loop performs **no** per-round inbox-vector or hash-set allocations:
+//!   the gather buffer, both planes, and the occupancy bitset are all
+//!   allocated once before round 1 and reused;
+//! * duplicate-port detection uses the plane's occupancy bitset (the seed
+//!   implementation allocated a `HashSet<Port>` per node per round);
+//! * termination uses a running done-counter instead of an O(n) scan of
+//!   every program at every round.
+//!
+//! The observable semantics (outputs, [`RunStats`], trace, error cases) are
+//! identical to the original push-based executor, which is preserved in
+//! [`crate::reference`] as a differential-testing oracle; the equivalence is
+//! asserted by the `runtime_equivalence` integration suite.
 
-use crate::algorithm::{Inbox, LocalView, NodeAlgorithm, Outbox};
+use crate::algorithm::{LocalView, NodeAlgorithm, Outbox};
 use crate::message::BitSized;
 use crate::model::Model;
+use crate::plane::MessagePlane;
 use crate::stats::RunStats;
-use crate::trace::{TraceEvent, TraceSink};
-use lma_graph::WeightedGraph;
-use rayon::prelude::*;
+use crate::trace::TraceEvent;
+use lma_graph::{Port, WeightedGraph};
 
 /// Configuration of one simulated run.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +89,11 @@ impl std::fmt::Display for RunError {
             Self::RoundLimitExceeded { limit } => {
                 write!(f, "algorithm did not terminate within {limit} rounds")
             }
-            Self::CongestViolation { round, bits, budget } => write!(
+            Self::CongestViolation {
+                round,
+                bits,
+                budget,
+            } => write!(
                 f,
                 "message of {bits} bits in round {round} exceeds CONGEST budget of {budget} bits"
             ),
@@ -92,6 +117,44 @@ pub struct RunResult<O> {
     pub stats: RunStats,
     /// Message-delivery trace, when requested in the config.
     pub trace: Option<Vec<TraceEvent>>,
+}
+
+/// The first fatal event observed while scattering a round's outboxes.
+///
+/// Errors surface one half-step later than they are detected: messages are
+/// validated as the senders produce them, but — matching the original
+/// executor, which validated at delivery time — the error is returned when
+/// the offending messages would have been *delivered*.  In particular,
+/// messages produced in the very step in which every node finished are
+/// never delivered, never counted, and never raise errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingError {
+    Malformed { node: usize, port: usize },
+    Congest { bits: usize },
+}
+
+/// Per-round accounting accumulated at scatter time and committed when the
+/// round the messages are delivered in actually begins.
+#[derive(Debug, Default)]
+struct PendingRound {
+    messages: u64,
+    bits: u64,
+    max_bits: usize,
+    violations: u64,
+    error: Option<PendingError>,
+    /// Trace events for the upcoming delivery round (reused buffer).
+    events: Vec<TraceEvent>,
+}
+
+impl PendingRound {
+    fn reset(&mut self) {
+        self.messages = 0;
+        self.bits = 0;
+        self.max_bits = 0;
+        self.violations = 0;
+        self.error = None;
+        self.events.clear();
+    }
 }
 
 /// The synchronous round executor for one graph.
@@ -123,6 +186,12 @@ impl<'g> Runtime<'g> {
         &self.config
     }
 
+    /// The graph the runtime executes on.
+    #[must_use]
+    pub fn graph(&self) -> &WeightedGraph {
+        self.graph
+    }
+
     /// Builds the [`LocalView`] each node program is allowed to see.
     #[must_use]
     pub fn local_views(&self) -> Vec<LocalView> {
@@ -132,7 +201,11 @@ impl<'g> Runtime<'g> {
                 node: u,
                 id: g.id(u),
                 n: g.node_count(),
-                incident: g.incident(u).iter().map(|ie| (ie.port, ie.weight)).collect(),
+                incident: g
+                    .incident(u)
+                    .iter()
+                    .map(|ie| (ie.port, ie.weight))
+                    .collect(),
             })
             .collect()
     }
@@ -145,26 +218,44 @@ impl<'g> Runtime<'g> {
         &self,
         mut programs: Vec<A>,
     ) -> Result<RunResult<A::Output>, RunError> {
-        assert_eq!(
-            programs.len(),
-            self.graph.node_count(),
-            "one program per node is required"
-        );
+        let n = self.graph.node_count();
+        assert_eq!(programs.len(), n, "one program per node is required");
         let views = self.local_views();
         let budget = self.config.model.budget();
-        let trace_sink = if self.config.trace { Some(TraceSink::new()) } else { None };
+        let csr = self.graph.csr();
+        let offsets = csr.offsets();
+        let mirror = csr.mirror_table();
+        let incident = csr.incident_flat();
+
+        // All steady-state storage is allocated once, before round 1.
+        let mut cur: MessagePlane<A::Msg> = MessagePlane::new(csr.slot_count());
+        let mut next: MessagePlane<A::Msg> = MessagePlane::new(csr.slot_count());
+        let mut inbox: Vec<(Port, A::Msg)> = Vec::new();
+        let mut pending = PendingRound::default();
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut stats = RunStats::default();
+        let mut done_count = 0usize;
 
         // Initialization: round-0 local computation producing round-1 traffic.
-        let mut outboxes: Vec<Outbox<A::Msg>> = programs
-            .par_iter_mut()
-            .zip(views.par_iter())
-            .map(|(p, view)| p.init(view))
-            .collect();
+        for u in 0..n {
+            let outbox = programs[u].init(&views[u]);
+            if programs[u].is_done() {
+                done_count += 1;
+            }
+            self.scatter(
+                u,
+                outbox,
+                1,
+                &mut cur,
+                &mut pending,
+                offsets,
+                incident,
+                budget,
+            );
+        }
 
-        let mut stats = RunStats::default();
         let mut round = 0usize;
-
-        while !programs.iter().all(NodeAlgorithm::is_done) {
+        while done_count < n {
             if round >= self.config.max_rounds {
                 return Err(RunError::RoundLimitExceeded {
                     limit: self.config.max_rounds,
@@ -172,69 +263,134 @@ impl<'g> Runtime<'g> {
             }
             round += 1;
 
-            // Validate outboxes and route messages into inboxes.
-            let mut inboxes: Vec<Inbox<A::Msg>> = vec![Vec::new(); self.graph.node_count()];
-            let mut messages = 0u64;
-            let mut bits = 0u64;
-            let mut max_bits = 0usize;
-            let mut violations = 0u64;
-            for (u, outbox) in outboxes.iter().enumerate() {
-                let mut used_ports = std::collections::HashSet::new();
-                for (port, msg) in outbox {
-                    if *port >= self.graph.degree(u) || !used_ports.insert(*port) {
-                        return Err(RunError::MalformedOutbox { node: u, port: *port });
-                    }
-                    let size = msg.bit_size();
-                    messages += 1;
-                    bits += size as u64;
-                    max_bits = max_bits.max(size);
-                    if let Some(b) = budget {
-                        if size > b {
-                            if self.config.enforce_congest {
-                                return Err(RunError::CongestViolation {
-                                    round,
-                                    bits: size,
-                                    budget: b,
-                                });
-                            }
-                            violations += 1;
-                        }
-                    }
-                    let edge = self.graph.edge(self.graph.edge_via(u, *port));
-                    let v = edge.other(u);
-                    let port_at_v = edge.port_at(v);
-                    if let Some(sink) = &trace_sink {
-                        sink.record(TraceEvent { round, from: u, to: v, bits: size });
-                    }
-                    inboxes[v].push((port_at_v, msg.clone()));
+            // Commit the traffic scattered for this round: errors first (in
+            // scatter order), then the statistics and the trace.
+            match pending.error {
+                Some(PendingError::Malformed { node, port }) => {
+                    return Err(RunError::MalformedOutbox { node, port });
                 }
+                Some(PendingError::Congest { bits }) => {
+                    return Err(RunError::CongestViolation {
+                        round,
+                        bits,
+                        budget: budget.expect("congest error implies a budget"),
+                    });
+                }
+                None => {}
             }
-            stats.record_round(messages, bits, max_bits, violations);
+            stats.record_round(
+                pending.messages,
+                pending.bits,
+                pending.max_bits,
+                pending.violations,
+            );
+            if self.config.trace {
+                events.append(&mut pending.events);
+            }
+            pending.reset();
 
-            // Deterministic delivery order regardless of sender iteration.
-            inboxes.par_iter_mut().for_each(|inbox| inbox.sort_by_key(|(p, _)| *p));
-
-            // Step every node.
-            outboxes = programs
-                .par_iter_mut()
-                .zip(views.par_iter())
-                .zip(inboxes.par_iter())
-                .map(|((p, view), inbox)| {
-                    if p.is_done() {
-                        Vec::new()
-                    } else {
-                        p.round(view, round, inbox)
+            // Deliver and step.  Each receiver gathers its traffic by
+            // pulling from the mirror slot of each of its ports: delivery
+            // order is port-ascending by construction (no sort needed), and
+            // each message is *moved* out of the sender's slot (no clone).
+            // Gathering is unconditional — done nodes still drain their
+            // slots so the plane is empty when the buffers swap.
+            for v in 0..n {
+                inbox.clear();
+                let base = offsets[v];
+                for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
+                    if let Some(msg) = cur.take(sender_slot) {
+                        inbox.push((p, msg));
                     }
-                })
-                .collect();
+                }
+                if programs[v].is_done() {
+                    continue;
+                }
+                let outbox = programs[v].round(&views[v], round, &inbox);
+                if programs[v].is_done() {
+                    done_count += 1;
+                }
+                self.scatter(
+                    v,
+                    outbox,
+                    round + 1,
+                    &mut next,
+                    &mut pending,
+                    offsets,
+                    incident,
+                    budget,
+                );
+            }
+
+            // The current plane was fully drained by the gather pass; it
+            // becomes the (empty) scatter target of the next round.
+            std::mem::swap(&mut cur, &mut next);
+            next.clear_occupancy();
         }
 
         let outputs = programs.iter().map(NodeAlgorithm::output).collect();
         Ok(RunResult {
             outputs,
             stats,
-            trace: trace_sink.map(TraceSink::into_events),
+            trace: self.config.trace.then(|| {
+                events.sort_by_key(|e| (e.round, e.from, e.to));
+                events
+            }),
         })
+    }
+
+    /// Validates `outbox` and scatters it into `plane`, accumulating the
+    /// accounting for the round the messages will be delivered in
+    /// (`delivery_round`).
+    #[allow(clippy::too_many_arguments)]
+    fn scatter<M: BitSized>(
+        &self,
+        u: usize,
+        outbox: Outbox<M>,
+        delivery_round: usize,
+        plane: &mut MessagePlane<M>,
+        pending: &mut PendingRound,
+        offsets: &[usize],
+        incident: &[lma_graph::IncidentEdge],
+        budget: Option<usize>,
+    ) {
+        if pending.error.is_some() {
+            return;
+        }
+        let base = offsets[u];
+        let degree = offsets[u + 1] - base;
+        for (port, msg) in outbox {
+            if port >= degree {
+                pending.error = Some(PendingError::Malformed { node: u, port });
+                return;
+            }
+            let slot = base + port;
+            let size = msg.bit_size();
+            if !plane.put(slot, msg) {
+                pending.error = Some(PendingError::Malformed { node: u, port });
+                return;
+            }
+            pending.messages += 1;
+            pending.bits += size as u64;
+            pending.max_bits = pending.max_bits.max(size);
+            if let Some(b) = budget {
+                if size > b {
+                    if self.config.enforce_congest {
+                        pending.error = Some(PendingError::Congest { bits: size });
+                        return;
+                    }
+                    pending.violations += 1;
+                }
+            }
+            if self.config.trace {
+                pending.events.push(TraceEvent {
+                    round: delivery_round,
+                    from: u,
+                    to: incident[slot].neighbor,
+                    bits: size,
+                });
+            }
+        }
     }
 }
 
@@ -246,15 +402,19 @@ mod tests {
 
     /// Flood the maximum identifier: a classic LOCAL algorithm that needs
     /// exactly `diameter` rounds on a path when every node starts flooding.
-    struct MaxIdFlood {
+    pub(crate) struct MaxIdFlood {
         best: u64,
         quiet_for: usize,
         done: bool,
     }
 
     impl MaxIdFlood {
-        fn new() -> Self {
-            Self { best: 0, quiet_for: 0, done: false }
+        pub(crate) fn new() -> Self {
+            Self {
+                best: 0,
+                quiet_for: 0,
+                done: false,
+            }
         }
     }
 
@@ -267,7 +427,7 @@ mod tests {
             (0..view.degree()).map(|p| (p, self.best)).collect()
         }
 
-        fn round(&mut self, view: &LocalView, _round: usize, inbox: &Inbox<u64>) -> Outbox<u64> {
+        fn round(&mut self, view: &LocalView, _round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
             let before = self.best;
             for (_, id) in inbox {
                 self.best = self.best.max(*id);
@@ -308,7 +468,7 @@ mod tests {
             Vec::new()
         }
 
-        fn round(&mut self, _: &LocalView, _: usize, _: &Inbox<()>) -> Outbox<()> {
+        fn round(&mut self, _: &LocalView, _: usize, _: &[(Port, ())]) -> Outbox<()> {
             Vec::new()
         }
 
@@ -349,7 +509,10 @@ mod tests {
     #[test]
     fn round_limit_is_enforced() {
         let g = path(4, WeightStrategy::Unit);
-        let config = RunConfig { max_rounds: 2, ..RunConfig::default() };
+        let config = RunConfig {
+            max_rounds: 2,
+            ..RunConfig::default()
+        };
         let rt = Runtime::with_config(&g, config);
         let programs = (0..4).map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
         let err = rt.run(programs).unwrap_err();
@@ -386,7 +549,10 @@ mod tests {
     #[test]
     fn trace_records_deliveries() {
         let g = path(3, WeightStrategy::Unit);
-        let config = RunConfig { trace: true, ..RunConfig::default() };
+        let config = RunConfig {
+            trace: true,
+            ..RunConfig::default()
+        };
         let rt = Runtime::with_config(&g, config);
         let programs = (0..3).map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
         let result = rt.run(programs).unwrap();
@@ -409,7 +575,7 @@ mod tests {
             vec![(0, true), (0, false)]
         }
 
-        fn round(&mut self, _: &LocalView, _: usize, _: &Inbox<bool>) -> Outbox<bool> {
+        fn round(&mut self, _: &LocalView, _: usize, _: &[(Port, bool)]) -> Outbox<bool> {
             self.done = true;
             Vec::new()
         }
@@ -446,5 +612,50 @@ mod tests {
                 assert_eq!(g.incident(u)[*p].weight, *w);
             }
         }
+    }
+
+    /// Messages produced in the step in which every node finishes are
+    /// dropped, not counted — the contract inherited from the original
+    /// executor (its round loop exited before routing them).
+    struct FinalShout {
+        sent: bool,
+    }
+
+    impl NodeAlgorithm for FinalShout {
+        type Msg = u64;
+        type Output = ();
+
+        fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+            self.sent = true;
+            (0..view.degree()).map(|p| (p, 9)).collect()
+        }
+
+        fn round(&mut self, view: &LocalView, _: usize, _: &[(Port, u64)]) -> Outbox<u64> {
+            // Done as of this round, but still shouting: these messages must
+            // never be delivered or counted.
+            (0..view.degree()).map(|p| (p, 9)).collect()
+        }
+
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+
+        fn output(&self) -> Option<()> {
+            Some(())
+        }
+    }
+
+    #[test]
+    fn final_step_messages_are_dropped() {
+        let g = path(3, WeightStrategy::Unit);
+        let rt = Runtime::new(&g);
+        // All nodes are done right after init, so the init traffic is
+        // dropped and the run reports zero rounds and zero messages.
+        let programs = (0..3)
+            .map(|_| FinalShout { sent: false })
+            .collect::<Vec<_>>();
+        let result = rt.run(programs).unwrap();
+        assert_eq!(result.stats.rounds, 0);
+        assert_eq!(result.stats.total_messages, 0);
     }
 }

@@ -30,7 +30,13 @@ impl RunStats {
     }
 
     /// Folds the per-round data of one round into the aggregate.
-    pub(crate) fn record_round(&mut self, messages: u64, bits: u64, max_bits: usize, violations: u64) {
+    pub(crate) fn record_round(
+        &mut self,
+        messages: u64,
+        bits: u64,
+        max_bits: usize,
+        violations: u64,
+    ) {
         self.rounds += 1;
         self.total_messages += messages;
         self.total_bits += bits;

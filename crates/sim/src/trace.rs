@@ -2,8 +2,9 @@
 //!
 //! Tracing is used by tests and by the figure generator to inspect *what*
 //! happened round by round without touching the hot path when disabled.
-
-use parking_lot::Mutex;
+//! The executors accumulate [`TraceEvent`]s in a plain buffer and sort them
+//! by `(round, from, to)` before returning, so traces are deterministic and
+//! directly comparable across executors and runs.
 
 /// One traced event: a message delivery.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,62 +17,4 @@ pub struct TraceEvent {
     pub to: usize,
     /// Size of the message in bits.
     pub bits: usize,
-}
-
-/// A thread-safe sink for trace events.  Cloning shares the underlying
-/// buffer.
-#[derive(Debug, Default)]
-pub struct TraceSink {
-    events: Mutex<Vec<TraceEvent>>,
-}
-
-impl TraceSink {
-    /// Creates an empty sink.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Appends an event (called concurrently from the round executor).
-    pub fn record(&self, event: TraceEvent) {
-        self.events.lock().push(event);
-    }
-
-    /// Consumes the sink and returns the events sorted by (round, from, to)
-    /// so the output is deterministic regardless of thread scheduling.
-    #[must_use]
-    pub fn into_events(self) -> Vec<TraceEvent> {
-        let mut events = self.events.into_inner();
-        events.sort_by_key(|e| (e.round, e.from, e.to));
-        events
-    }
-
-    /// Number of events recorded so far.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.events.lock().len()
-    }
-
-    /// True when no events have been recorded.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn records_and_sorts() {
-        let sink = TraceSink::new();
-        sink.record(TraceEvent { round: 2, from: 1, to: 0, bits: 8 });
-        sink.record(TraceEvent { round: 1, from: 0, to: 1, bits: 4 });
-        assert_eq!(sink.len(), 2);
-        assert!(!sink.is_empty());
-        let events = sink.into_events();
-        assert_eq!(events[0].round, 1);
-        assert_eq!(events[1].round, 2);
-    }
 }

@@ -17,16 +17,28 @@ fn main() {
         Box::new(TrivialScheme::default()),
         Box::new(OneRoundScheme::default()),
         Box::new(ConstantScheme::default()),
-        Box::new(ConstantScheme { variant: ConstantVariant::Level, ..ConstantScheme::default() }),
+        Box::new(ConstantScheme {
+            variant: ConstantVariant::Level,
+            ..ConstantScheme::default()
+        }),
     ];
 
     println!(
         "{:<42} {:>14} {:>6} {:>10} {:>10} {:>8}",
         "scheme", "family", "n", "max bits", "avg bits", "rounds"
     );
-    for family in [Family::SparseRandom, Family::Complete, Family::Grid, Family::Ring] {
+    for family in [
+        Family::SparseRandom,
+        Family::Complete,
+        Family::Grid,
+        Family::Ring,
+    ] {
         for n in [64usize, 256, 1024] {
-            let n = if family == Family::Complete { n.min(256) } else { n };
+            let n = if family == Family::Complete {
+                n.min(256)
+            } else {
+                n
+            };
             let g = family.instantiate(n, WeightStrategy::DistinctRandom { seed: 9 }, 9);
             for scheme in &schemes {
                 let eval = evaluate_scheme(scheme.as_ref(), &g, &RunConfig::default())

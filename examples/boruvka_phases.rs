@@ -16,7 +16,10 @@ fn main() {
     let g = connected_random(15, 32, 0xF2, WeightStrategy::DistinctRandom { seed: 0xF2 });
     let run = run_boruvka(&g, &BoruvkaConfig::default()).expect("connected graph");
 
-    eprintln!("Borůvka decomposition with {} merge phases:", run.merge_phases());
+    eprintln!(
+        "Borůvka decomposition with {} merge phases:",
+        run.merge_phases()
+    );
     for i in 1..=run.merge_phases() {
         eprintln!("{}", phase_summary(&run, i));
     }

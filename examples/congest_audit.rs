@@ -15,16 +15,27 @@ use lma_sim::{Model, RunConfig};
 
 fn main() {
     let n = 300;
-    let g = connected_random(n, 4 * n, 0xCA, WeightStrategy::DistinctRandom { seed: 0xCA });
+    let g = connected_random(
+        n,
+        4 * n,
+        0xCA,
+        WeightStrategy::DistinctRandom { seed: 0xCA },
+    );
     let model = Model::congest_for(n);
     let budget = model.budget().unwrap();
-    let config = RunConfig { model, ..RunConfig::default() };
+    let config = RunConfig {
+        model,
+        ..RunConfig::default()
+    };
 
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
         Box::new(TrivialScheme::default()),
         Box::new(OneRoundScheme::default()),
         Box::new(ConstantScheme::default()),
-        Box::new(ConstantScheme { variant: ConstantVariant::Level, ..ConstantScheme::default() }),
+        Box::new(ConstantScheme {
+            variant: ConstantVariant::Level,
+            ..ConstantScheme::default()
+        }),
     ];
 
     println!("CONGEST budget for n = {n}: {budget} bits per message\n");
@@ -34,7 +45,9 @@ fn main() {
     );
     for scheme in &schemes {
         let advice = scheme.advise(&g).expect("oracle succeeds");
-        let outcome = scheme.decode(&g, &advice, &config).expect("decode succeeds");
+        let outcome = scheme
+            .decode(&g, &advice, &config)
+            .expect("decode succeeds");
         verify_upward_outputs(&g, &outcome.outputs).expect("verified MST");
         println!(
             "{:<42} {:>8} {:>14} {:>14.1} {:>12}",

@@ -16,16 +16,26 @@ fn main() {
     // Figure 1: the two-clique construction with its weight bands.
     let n = 8;
     let g = lowerbound_gn(&LowerBoundParams::new(n));
-    println!("=== G_{n} (Figure 1): {} nodes, {} edges ===", g.node_count(), g.edge_count());
+    println!(
+        "=== G_{n} (Figure 1): {} nodes, {} edges ===",
+        g.node_count(),
+        g.edge_count()
+    );
     println!("{}", to_dot_plain(&g, "G_8"));
 
     // The certified lower bound: how many bits a zero-round scheme needs on
     // average, and at each spine node.
     let report = certified_report(64);
     println!("=== certified Theorem 1 bounds for n = 64 (128 nodes) ===");
-    println!("average advice of any (m, 0)-scheme  >= {:.2} bits/node", report.average_bits);
+    println!(
+        "average advice of any (m, 0)-scheme  >= {:.2} bits/node",
+        report.average_bits
+    );
     for i in [2usize, 16, 32, 62] {
-        println!("advice needed at u_{i:<2}               >= {} bits", certified_node_bits(64, i));
+        println!(
+            "advice needed at u_{i:<2}               >= {} bits",
+            certified_node_bits(64, i)
+        );
     }
 
     // A concrete attack: the trivial scheme truncated below the certified

@@ -33,9 +33,17 @@ fn main() {
         .expect("the scheme must produce a verified MST");
 
     println!("scheme            : {}", scheme.name());
-    println!("max advice        : {} bits (claimed {:?})", eval.advice.max_bits, scheme.claimed_max_bits(n));
+    println!(
+        "max advice        : {} bits (claimed {:?})",
+        eval.advice.max_bits,
+        scheme.claimed_max_bits(n)
+    );
     println!("average advice    : {:.2} bits/node", eval.advice.avg_bits);
-    println!("rounds            : {} (claimed {:?})", eval.run.rounds, scheme.claimed_rounds(n));
+    println!(
+        "rounds            : {} (claimed {:?})",
+        eval.run.rounds,
+        scheme.claimed_rounds(n)
+    );
     println!("largest message   : {} bits", eval.run.max_message_bits);
     println!("MST root          : node {}", eval.tree.root);
     println!("MST weight        : {}", graph.weight_of(&eval.tree.edges));

@@ -26,8 +26,14 @@ fn main() {
     println!("honest run ({}):", scheme.name());
     println!("  max advice        : {} bits", honest.advice.max_bits);
     println!("  decode rounds     : {}", honest.decode.rounds);
-    println!("  verification round: {} (accepted = {})", honest.report.run.rounds, honest.report.accepted);
-    println!("  max label         : {} bits", honest.report.labels.max_bits);
+    println!(
+        "  verification round: {} (accepted = {})",
+        honest.report.run.rounds, honest.report.accepted
+    );
+    println!(
+        "  max label         : {} bits",
+        honest.report.labels.max_bits
+    );
     println!("  total rounds      : {}", honest.total_rounds());
 
     // 2. Faulty advice channel: flip a few bits and decode again.  Either the
@@ -45,7 +51,10 @@ fn main() {
             Err(_) | Ok(Err(_)) => outcomes[0] += 1,
             Ok(Ok(run)) if !run.report.accepted => outcomes[1] += 1,
             Ok(Ok(run)) => {
-                assert_eq!(run.outputs, honest.outputs, "a silent wrong answer slipped through");
+                assert_eq!(
+                    run.outputs, honest.outputs,
+                    "a silent wrong answer slipped through"
+                );
                 outcomes[2] += 1;
             }
         }

@@ -16,9 +16,14 @@ use lma_sim::RunConfig;
 
 fn main() {
     for n in [256usize, 1024, 4096] {
-        let g = connected_random(n, 3 * n, 0xF0 + n as u64, WeightStrategy::DistinctRandom {
-            seed: 0xF0 + n as u64,
-        });
+        let g = connected_random(
+            n,
+            3 * n,
+            0xF0 + n as u64,
+            WeightStrategy::DistinctRandom {
+                seed: 0xF0 + n as u64,
+            },
+        );
         println!(
             "\nn = {n}  (⌈log n⌉ = {}, ⌈log log n⌉ = {})",
             log_n(n),
@@ -32,7 +37,11 @@ fn main() {
         for p in &points {
             println!(
                 "{:>8} {:>16} {:>16.2} {:>8} {:>16}",
-                p.cutoff, p.max_bits, p.avg_bits, p.rounds, p.product()
+                p.cutoff,
+                p.max_bits,
+                p.avg_bits,
+                p.rounds,
+                p.product()
             );
         }
         // The two ends of the sweep are exactly the schemes of §1 and §3 of

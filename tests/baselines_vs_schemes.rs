@@ -75,7 +75,8 @@ fn flood_collect_wins_on_rounds_but_loses_on_message_size() {
     let g = Family::DenseRandom.instantiate(96, WeightStrategy::DistinctRandom { seed: 10 }, 10);
     let (outputs, flood_stats) = FloodCollectMst.run(&g, &RunConfig::default()).unwrap();
     verify_upward_outputs(&g, &outputs).unwrap();
-    let scheme_eval = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+    let scheme_eval =
+        evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
 
     assert!(flood_stats.rounds <= scheme_eval.run.rounds);
     assert!(

@@ -9,7 +9,12 @@ use lma_mst::verify::verify_upward_outputs;
 use lma_sim::{Model, RunConfig};
 
 fn graph(n: usize) -> lma_graph::WeightedGraph {
-    connected_random(n, 4 * n, 0xC0 + n as u64, WeightStrategy::DistinctRandom { seed: 0xC0 })
+    connected_random(
+        n,
+        4 * n,
+        0xC0 + n as u64,
+        WeightStrategy::DistinctRandom { seed: 0xC0 },
+    )
 }
 
 #[test]
@@ -70,14 +75,23 @@ fn per_round_maxima_are_recorded_for_every_round() {
     assert_eq!(outcome.stats.per_round_max_bits.len(), outcome.stats.rounds);
     assert_eq!(
         outcome.stats.max_message_bits,
-        outcome.stats.per_round_max_bits.iter().copied().max().unwrap_or(0)
+        outcome
+            .stats
+            .per_round_max_bits
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     );
 }
 
 #[test]
 fn flooding_baseline_violates_congest_as_expected() {
     let g = graph(96);
-    let config = RunConfig { model: Model::congest_for(96), ..RunConfig::default() };
+    let config = RunConfig {
+        model: Model::congest_for(96),
+        ..RunConfig::default()
+    };
     let (outputs, stats) = FloodCollectMst.run(&g, &config).unwrap();
     verify_upward_outputs(&g, &outputs).unwrap();
     assert!(stats.congest_violations > 0);

@@ -14,7 +14,10 @@ fn all_schemes() -> Vec<Box<dyn AdvisingScheme>> {
         Box::new(TrivialScheme::default()),
         Box::new(OneRoundScheme::default()),
         Box::new(ConstantScheme::default()),
-        Box::new(ConstantScheme { variant: ConstantVariant::Level, ..ConstantScheme::default() }),
+        Box::new(ConstantScheme {
+            variant: ConstantVariant::Level,
+            ..ConstantScheme::default()
+        }),
     ]
 }
 
@@ -91,14 +94,25 @@ fn advice_size_ordering_matches_the_paper() {
     let mut constant_max = Vec::new();
     for n in [48usize, 192] {
         let g = Family::DenseRandom.instantiate(n, WeightStrategy::DistinctRandom { seed: 8 }, 8);
-        let trivial = evaluate_scheme(&TrivialScheme::default(), &g, &RunConfig::default()).unwrap();
-        let constant = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+        let trivial =
+            evaluate_scheme(&TrivialScheme::default(), &g, &RunConfig::default()).unwrap();
+        let constant =
+            evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
         assert_eq!(trivial.run.rounds, 0);
         assert!(constant.run.rounds > 1);
         trivial_max.push(trivial.advice.max_bits);
         constant_max.push(constant.advice.max_bits);
     }
-    assert!(trivial_max[1] > trivial_max[0], "trivial max must grow with n: {trivial_max:?}");
-    assert!(constant_max.iter().all(|&m| m <= 14), "constant max must stay constant: {constant_max:?}");
-    assert!(constant_max[1] <= constant_max[0] + 1, "constant max must not grow with n: {constant_max:?}");
+    assert!(
+        trivial_max[1] > trivial_max[0],
+        "trivial max must grow with n: {trivial_max:?}"
+    );
+    assert!(
+        constant_max.iter().all(|&m| m <= 14),
+        "constant max must stay constant: {constant_max:?}"
+    );
+    assert!(
+        constant_max[1] <= constant_max[0] + 1,
+        "constant max must not grow with n: {constant_max:?}"
+    );
 }

@@ -4,8 +4,8 @@
 
 use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme, OneRoundScheme, TrivialScheme};
 use lma_graph::generators::connected_random;
-use lma_graph::weights::WeightStrategy;
 use lma_graph::validate::check_instance;
+use lma_graph::weights::WeightStrategy;
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig, TieBreak};
 use lma_mst::kruskal::{kruskal_mst, mst_weight};
 use lma_mst::prim_mst;

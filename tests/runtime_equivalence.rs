@@ -1,0 +1,250 @@
+//! Refactor-equivalence suite for the pull-based message plane.
+//!
+//! The round executor was rewritten from push-based routing (per-round inbox
+//! vectors, per-node hash sets, clone-on-delivery) to a pull-based,
+//! double-buffered flat message plane.  These tests pin the contract of that
+//! rewrite:
+//!
+//! 1. **determinism** — running the same program set on the same seeded
+//!    graph twice produces bit-identical outputs, [`RunStats`] and traces;
+//! 2. **equivalence** — the new executor and the preserved push-based
+//!    reference executor ([`lma_sim::reference`]) agree exactly, under both
+//!    LOCAL and CONGEST-audit configurations;
+//! 3. the `sync_boruvka` baseline (the most protocol-heavy consumer of the
+//!    simulator) reproduces identical results across runs and models.
+
+use lma_baselines::{NoAdviceMst, SyncBoruvkaMst};
+use lma_graph::generators::{connected_random, grid, ring};
+use lma_graph::weights::WeightStrategy;
+use lma_graph::{Port, WeightedGraph};
+use lma_sim::reference::run_push;
+use lma_sim::{LocalView, Model, NodeAlgorithm, Outbox, RunConfig, RunResult, Runtime};
+
+/// Flood the maximum identifier (the canonical LOCAL warm-up algorithm).
+struct MaxIdFlood {
+    best: u64,
+    quiet_for: usize,
+    done: bool,
+}
+
+impl MaxIdFlood {
+    fn new() -> Self {
+        Self {
+            best: 0,
+            quiet_for: 0,
+            done: false,
+        }
+    }
+}
+
+impl NodeAlgorithm for MaxIdFlood {
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+        self.best = view.id;
+        (0..view.degree()).map(|p| (p, self.best)).collect()
+    }
+
+    fn round(&mut self, view: &LocalView, _round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+        let before = self.best;
+        for (_, id) in inbox {
+            self.best = self.best.max(*id);
+        }
+        if self.best == before {
+            self.quiet_for += 1;
+        } else {
+            self.quiet_for = 0;
+        }
+        if self.quiet_for >= view.n {
+            self.done = true;
+            return Vec::new();
+        }
+        (0..view.degree()).map(|p| (p, self.best)).collect()
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.done.then_some(self.best)
+    }
+}
+
+/// A sparser, stateful program: forwards the running minimum over the
+/// cheapest port only, so most slots stay empty most rounds (exercises the
+/// plane's partial-occupancy path, unlike all-port flooding).
+struct MinForward {
+    best: u64,
+    rounds_left: usize,
+}
+
+impl NodeAlgorithm for MinForward {
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+        self.best = view.id;
+        let cheapest = view.ports_by_weight()[0];
+        vec![(cheapest, self.best)]
+    }
+
+    fn round(&mut self, view: &LocalView, _round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+        for (_, v) in inbox {
+            self.best = self.best.min(*v);
+        }
+        self.rounds_left = self.rounds_left.saturating_sub(1);
+        if self.rounds_left == 0 {
+            return Vec::new();
+        }
+        let cheapest = view.ports_by_weight()[0];
+        vec![(cheapest, self.best)]
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self) -> Option<u64> {
+        (self.rounds_left == 0).then_some(self.best)
+    }
+}
+
+fn configs(n: usize) -> Vec<RunConfig> {
+    vec![
+        RunConfig {
+            trace: true,
+            ..RunConfig::default()
+        },
+        RunConfig {
+            model: Model::congest_for(n),
+            enforce_congest: false,
+            trace: true,
+            ..RunConfig::default()
+        },
+    ]
+}
+
+fn assert_identical<O: PartialEq + std::fmt::Debug>(
+    a: &RunResult<O>,
+    b: &RunResult<O>,
+    what: &str,
+) {
+    assert_eq!(a.outputs, b.outputs, "{what}: outputs diverged");
+    assert_eq!(a.stats, b.stats, "{what}: stats diverged");
+    assert_eq!(a.trace, b.trace, "{what}: trace diverged");
+}
+
+fn graphs() -> Vec<(&'static str, WeightedGraph)> {
+    vec![
+        (
+            "ring",
+            ring(31, WeightStrategy::DistinctRandom { seed: 11 }),
+        ),
+        (
+            "grid",
+            grid(6, 7, WeightStrategy::DistinctRandom { seed: 12 }),
+        ),
+        (
+            "sparse-random",
+            connected_random(48, 120, 13, WeightStrategy::DistinctRandom { seed: 13 }),
+        ),
+    ]
+}
+
+#[test]
+fn max_id_flood_is_deterministic_across_runs() {
+    for (name, g) in graphs() {
+        for config in configs(g.node_count()) {
+            let rt = Runtime::with_config(&g, config);
+            let a = rt
+                .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+                .unwrap();
+            let b = rt
+                .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+                .unwrap();
+            assert_identical(&a, &b, name);
+            let want = g.nodes().map(|u| g.id(u)).max();
+            assert!(
+                a.outputs.iter().all(|o| *o == want),
+                "{name}: wrong flood result"
+            );
+        }
+    }
+}
+
+#[test]
+fn pull_plane_matches_push_reference_exactly() {
+    for (name, g) in graphs() {
+        for config in configs(g.node_count()) {
+            let pull = Runtime::with_config(&g, config)
+                .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+                .unwrap();
+            let push = run_push(
+                &g,
+                config,
+                g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            assert_identical(&pull, &push, name);
+        }
+    }
+}
+
+#[test]
+fn sparse_traffic_matches_push_reference_exactly() {
+    for (name, g) in graphs() {
+        for config in configs(g.node_count()) {
+            let mk = || {
+                g.nodes()
+                    .map(|_| MinForward {
+                        best: 0,
+                        rounds_left: 40,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let pull = Runtime::with_config(&g, config).run(mk()).unwrap();
+            let push = run_push(&g, config, mk()).unwrap();
+            assert_identical(&pull, &push, name);
+        }
+    }
+}
+
+#[test]
+fn sync_boruvka_reproduces_identical_runs_under_both_models() {
+    let g = connected_random(40, 100, 21, WeightStrategy::DistinctRandom { seed: 21 });
+    for config in [
+        RunConfig::default(),
+        RunConfig {
+            model: Model::congest_for(g.node_count()),
+            ..RunConfig::default()
+        },
+    ] {
+        let (out_a, stats_a) = SyncBoruvkaMst.run(&g, &config).unwrap();
+        let (out_b, stats_b) = SyncBoruvkaMst.run(&g, &config).unwrap();
+        assert_eq!(out_a, out_b, "sync-boruvka outputs must be reproducible");
+        assert_eq!(stats_a, stats_b, "sync-boruvka stats must be reproducible");
+        lma_mst::verify::verify_upward_outputs(&g, &out_a).unwrap();
+    }
+}
+
+#[test]
+fn trace_round_numbers_and_totals_are_consistent() {
+    let g = ring(12, WeightStrategy::DistinctRandom { seed: 5 });
+    let config = RunConfig {
+        trace: true,
+        ..RunConfig::default()
+    };
+    let result = Runtime::with_config(&g, config)
+        .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+        .unwrap();
+    let trace = result.trace.unwrap();
+    assert_eq!(trace.len() as u64, result.stats.total_messages);
+    assert!(trace
+        .iter()
+        .all(|e| e.round >= 1 && e.round <= result.stats.rounds));
+    assert!(trace
+        .windows(2)
+        .all(|w| (w[0].round, w[0].from, w[0].to) <= (w[1].round, w[1].from, w[1].to)));
+}

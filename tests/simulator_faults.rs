@@ -5,9 +5,10 @@
 
 use lma_graph::generators::{connected_random, ring};
 use lma_graph::weights::WeightStrategy;
+use lma_graph::Port;
 use lma_sim::message::{bits_for_universe, BitSized};
 use lma_sim::runtime::RunError;
-use lma_sim::{Inbox, LocalView, Model, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
+use lma_sim::{LocalView, Model, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
 
 /// A program that keeps chattering forever on every port.
 struct Chatterbox;
@@ -20,7 +21,7 @@ impl NodeAlgorithm for Chatterbox {
         (0..view.degree()).map(|p| (p, 1u64)).collect()
     }
 
-    fn round(&mut self, view: &LocalView, _round: usize, _inbox: &Inbox<u64>) -> Outbox<u64> {
+    fn round(&mut self, view: &LocalView, _round: usize, _inbox: &[(Port, u64)]) -> Outbox<u64> {
         (0..view.degree()).map(|p| (p, 1u64)).collect()
     }
 
@@ -46,7 +47,7 @@ impl NodeAlgorithm for PortAbuser {
         vec![(0, 1), (0, 2)]
     }
 
-    fn round(&mut self, _view: &LocalView, _round: usize, _inbox: &Inbox<u64>) -> Outbox<u64> {
+    fn round(&mut self, _view: &LocalView, _round: usize, _inbox: &[(Port, u64)]) -> Outbox<u64> {
         self.done = true;
         Vec::new()
     }
@@ -87,7 +88,12 @@ impl NodeAlgorithm for Megaphone {
         }
     }
 
-    fn round(&mut self, _view: &LocalView, _round: usize, _inbox: &Inbox<BigMsg>) -> Outbox<BigMsg> {
+    fn round(
+        &mut self,
+        _view: &LocalView,
+        _round: usize,
+        _inbox: &[(Port, BigMsg)],
+    ) -> Outbox<BigMsg> {
         self.done = true;
         Vec::new()
     }
@@ -115,7 +121,7 @@ impl NodeAlgorithm for Echo {
         (0..view.degree()).map(|p| (p, p as u32)).collect()
     }
 
-    fn round(&mut self, _view: &LocalView, _round: usize, inbox: &Inbox<u32>) -> Outbox<u32> {
+    fn round(&mut self, _view: &LocalView, _round: usize, inbox: &[(Port, u32)]) -> Outbox<u32> {
         self.heard = inbox.len();
         self.done = true;
         Vec::new()
@@ -133,7 +139,13 @@ impl NodeAlgorithm for Echo {
 #[test]
 fn round_limit_is_enforced() {
     let g = ring(8, WeightStrategy::Unit);
-    let runtime = Runtime::with_config(&g, RunConfig { max_rounds: 25, ..RunConfig::default() });
+    let runtime = Runtime::with_config(
+        &g,
+        RunConfig {
+            max_rounds: 25,
+            ..RunConfig::default()
+        },
+    );
     let programs: Vec<Chatterbox> = g.nodes().map(|_| Chatterbox).collect();
     let err = runtime.run(programs).unwrap_err();
     assert_eq!(err, RunError::RoundLimitExceeded { limit: 25 });
@@ -161,10 +173,17 @@ fn congest_enforcement_aborts_on_the_oversized_message() {
     let runtime = Runtime::with_config(&g, config);
     let programs: Vec<Megaphone> = g
         .nodes()
-        .map(|_| Megaphone { payload: vec![7; 64], done: false })
+        .map(|_| Megaphone {
+            payload: vec![7; 64],
+            done: false,
+        })
         .collect();
     match runtime.run(programs) {
-        Err(RunError::CongestViolation { round: 1, bits, budget: 128 }) => {
+        Err(RunError::CongestViolation {
+            round: 1,
+            bits,
+            budget: 128,
+        }) => {
             assert_eq!(bits, 64 * 64);
         }
         other => panic!("expected a CONGEST violation, got {other:?}"),
@@ -182,7 +201,10 @@ fn congest_auditing_counts_instead_of_aborting() {
     let runtime = Runtime::with_config(&g, config);
     let programs: Vec<Megaphone> = g
         .nodes()
-        .map(|_| Megaphone { payload: vec![7; 64], done: false })
+        .map(|_| Megaphone {
+            payload: vec![7; 64],
+            done: false,
+        })
         .collect();
     let result = runtime.run(programs).unwrap();
     assert_eq!(result.stats.congest_violations, 1);
@@ -193,7 +215,13 @@ fn congest_auditing_counts_instead_of_aborting() {
 fn message_accounting_matches_hand_counts() {
     let g = ring(10, WeightStrategy::Unit);
     let runtime = Runtime::new(&g);
-    let programs: Vec<Echo> = g.nodes().map(|_| Echo { heard: 0, done: false }).collect();
+    let programs: Vec<Echo> = g
+        .nodes()
+        .map(|_| Echo {
+            heard: 0,
+            done: false,
+        })
+        .collect();
     let result = runtime.run(programs).unwrap();
     let stats: &RunStats = &result.stats;
     // Every node sends one message per port in round 1: 2 · n messages on a
@@ -210,8 +238,20 @@ fn message_accounting_matches_hand_counts() {
 #[test]
 fn trace_records_every_delivery_when_enabled() {
     let g = ring(6, WeightStrategy::Unit);
-    let runtime = Runtime::with_config(&g, RunConfig { trace: true, ..RunConfig::default() });
-    let programs: Vec<Echo> = g.nodes().map(|_| Echo { heard: 0, done: false }).collect();
+    let runtime = Runtime::with_config(
+        &g,
+        RunConfig {
+            trace: true,
+            ..RunConfig::default()
+        },
+    );
+    let programs: Vec<Echo> = g
+        .nodes()
+        .map(|_| Echo {
+            heard: 0,
+            done: false,
+        })
+        .collect();
     let result = runtime.run(programs).unwrap();
     let trace = result.trace.expect("tracing was requested");
     assert_eq!(trace.len() as u64, result.stats.total_messages);
@@ -219,7 +259,9 @@ fn trace_records_every_delivery_when_enabled() {
 
 #[test]
 fn congest_budget_helper_scales_with_n() {
-    assert!(Model::congest_for(16).budget().unwrap() < Model::congest_for(1 << 20).budget().unwrap());
+    assert!(
+        Model::congest_for(16).budget().unwrap() < Model::congest_for(1 << 20).budget().unwrap()
+    );
     assert_eq!(Model::Local.budget(), None);
     assert_eq!(bits_for_universe(2), 1);
     assert_eq!(bits_for_universe(1024), 10);

@@ -21,10 +21,8 @@ fn gn_has_the_unique_spine_mst_for_all_band_assignments() {
             let mst = kruskal_mst(&g).unwrap();
             let expected: std::collections::BTreeSet<(usize, usize)> =
                 expected_mst_pairs(n).into_iter().collect();
-            let got: std::collections::BTreeSet<(usize, usize)> = mst
-                .iter()
-                .map(|&e| g.edge(e).endpoints_sorted())
-                .collect();
+            let got: std::collections::BTreeSet<(usize, usize)> =
+                mst.iter().map(|&e| g.edge(e).endpoints_sorted()).collect();
             assert_eq!(got, expected, "n={n}");
         }
     }
@@ -86,7 +84,10 @@ fn trivial_scheme_average_on_gn_is_close_to_log_n() {
     for n in [16usize, 64, 256] {
         let g = lowerbound_gn(&LowerBoundParams::new(n));
         let scheme = TrivialScheme {
-            boruvka: BoruvkaConfig { root: None, tie_break: TieBreak::CanonicalGlobal },
+            boruvka: BoruvkaConfig {
+                root: None,
+                tie_break: TieBreak::CanonicalGlobal,
+            },
         };
         let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
         let lower = certified_report(n).average_bits;

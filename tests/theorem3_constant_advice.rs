@@ -10,7 +10,10 @@ use lma_sim::RunConfig;
 #[test]
 fn max_advice_is_a_constant_independent_of_n() {
     for variant in [ConstantVariant::Index, ConstantVariant::Level] {
-        let scheme = ConstantScheme { variant, ..ConstantScheme::default() };
+        let scheme = ConstantScheme {
+            variant,
+            ..ConstantScheme::default()
+        };
         let cap = scheme.claimed_max_bits(0).unwrap();
         let mut maxima = Vec::new();
         for n in [32usize, 128, 512, 2048] {
@@ -62,7 +65,10 @@ fn rounds_scale_logarithmically_in_n() {
         .iter()
         .map(|&n| {
             let g = connected_random(n, 3 * n, 23, WeightStrategy::DistinctRandom { seed: 23 });
-            evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap().run.rounds
+            evaluate_scheme(&scheme, &g, &RunConfig::default())
+                .unwrap()
+                .run
+                .rounds
         })
         .collect();
     // n grew by 16x; O(log n) rounds should grow by well under 3x.
@@ -72,12 +78,14 @@ fn rounds_scale_logarithmically_in_n() {
 #[test]
 fn every_family_is_solved_by_both_variants() {
     for variant in [ConstantVariant::Index, ConstantVariant::Level] {
-        let scheme = ConstantScheme { variant, ..ConstantScheme::default() };
+        let scheme = ConstantScheme {
+            variant,
+            ..ConstantScheme::default()
+        };
         for family in Family::ALL {
             let g = family.instantiate(30, WeightStrategy::DistinctRandom { seed: 29 }, 29);
-            let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap_or_else(|e| {
-                panic!("variant {variant:?} failed on {}: {e}", family.name())
-            });
+            let eval = evaluate_scheme(&scheme, &g, &RunConfig::default())
+                .unwrap_or_else(|e| panic!("variant {variant:?} failed on {}: {e}", family.name()));
             assert!(eval.within_claims(&scheme, g.node_count()));
         }
     }
@@ -87,7 +95,10 @@ fn every_family_is_solved_by_both_variants() {
 fn index_variant_needs_no_idealization_and_level_variant_is_flagged() {
     // Documentation-level contract: the index variant is the default.
     assert_eq!(ConstantScheme::default().variant, ConstantVariant::Index);
-    assert_eq!(ConstantScheme::paper_literal().variant, ConstantVariant::Level);
+    assert_eq!(
+        ConstantScheme::paper_literal().variant,
+        ConstantVariant::Level
+    );
 }
 
 #[test]
@@ -102,9 +113,7 @@ fn advice_can_be_serialized_and_restored_bitwise() {
         per_node: advice
             .per_node
             .iter()
-            .map(|s| {
-                lma_advice::BitString::from_bits(s.to_bit_string().chars().map(|c| c == '1'))
-            })
+            .map(|s| lma_advice::BitString::from_bits(s.to_bit_string().chars().map(|c| c == '1')))
             .collect(),
     };
     assert_eq!(advice, restored);

@@ -29,7 +29,12 @@ fn all_schemes() -> Vec<Box<dyn AdvisingScheme>> {
 
 #[test]
 fn every_scheme_passes_distributed_verification_on_every_family() {
-    for family in [Family::SparseRandom, Family::Grid, Family::Hypercube, Family::Lollipop] {
+    for family in [
+        Family::SparseRandom,
+        Family::Grid,
+        Family::Hypercube,
+        Family::Lollipop,
+    ] {
         let g = family.instantiate(80, WeightStrategy::DistinctRandom { seed: 11 }, 11);
         for scheme in all_schemes() {
             let run = certified_run(
@@ -46,7 +51,10 @@ fn every_scheme_passes_distributed_verification_on_every_family() {
                 family.name(),
                 run.report.violations
             );
-            assert_eq!(run.report.run.rounds, 1, "verification must add exactly one round");
+            assert_eq!(
+                run.report.run.rounds, 1,
+                "verification must add exactly one round"
+            );
         }
     }
 }
@@ -71,7 +79,11 @@ fn verification_stays_within_congest_on_sparse_graphs() {
     );
     // The spanning-tree-only proof fits in plain CONGEST.
     let labels = SpanningProof::assign(&g, &tree);
-    let config = RunConfig { model: Model::congest_for(n), enforce_congest: true, ..RunConfig::default() };
+    let config = RunConfig {
+        model: Model::congest_for(n),
+        enforce_congest: true,
+        ..RunConfig::default()
+    };
     let spanning_report = SpanningProof::verify(&g, &labels, &outputs, &config).unwrap();
     assert!(spanning_report.accepted);
     assert_eq!(spanning_report.run.congest_violations, 0);
@@ -100,15 +112,24 @@ fn random_output_corruption_is_never_silently_accepted() {
         // The distributed verdict must agree with the central verifier.
         assert!(verify_upward_outputs(&g, &bad).is_err() || !report.accepted);
     }
-    assert!(corrupted_runs >= 20, "the fault plans must actually corrupt outputs");
+    assert!(
+        corrupted_runs >= 20,
+        "the fault plans must actually corrupt outputs"
+    );
 }
 
 #[test]
 fn non_minimum_spanning_trees_are_rejected_by_the_cycle_check() {
     for (g, seed) in [
-        (connected_random(40, 140, 31, WeightStrategy::DistinctRandom { seed: 31 }), 1u64),
+        (
+            connected_random(40, 140, 31, WeightStrategy::DistinctRandom { seed: 31 }),
+            1u64,
+        ),
         (hypercube(5, WeightStrategy::DistinctRandom { seed: 32 }), 2),
-        (geometric(50, 0.35, 33, WeightStrategy::DistinctRandom { seed: 33 }), 3),
+        (
+            geometric(50, 0.35, 33, WeightStrategy::DistinctRandom { seed: 33 }),
+            3,
+        ),
     ] {
         let bad_tree = non_minimum_spanning_tree(&g, 0, seed)
             .expect("these graphs have non-minimum spanning trees");
@@ -128,8 +149,7 @@ fn non_minimum_spanning_trees_are_rejected_by_the_cycle_check() {
         // accepts the same outputs: minimality is exactly what the MST
         // certificate adds.
         let labels = SpanningProof::assign(&g, &bad_tree);
-        let spanning =
-            SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let spanning = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
         assert!(spanning.accepted);
     }
 }
@@ -141,15 +161,27 @@ fn certify_outputs_accepts_only_the_reference_rooted_mst() {
     // The reference tree itself is accepted.
     let run = run_boruvka(&g, &reference).unwrap();
     let honest: Vec<_> = run.tree.upward_outputs().into_iter().map(Some).collect();
-    assert!(certify_outputs(&g, &reference, &honest, &RunConfig::default()).unwrap().accepted);
+    assert!(
+        certify_outputs(&g, &reference, &honest, &RunConfig::default())
+            .unwrap()
+            .accepted
+    );
     // The same MST rooted elsewhere is rejected (binding), and a corrupted
     // variant is rejected with a named violation.
     let rerooted = run_boruvka(
         &g,
-        &BoruvkaConfig { root: Some(g.node_count() / 2), ..BoruvkaConfig::default() },
+        &BoruvkaConfig {
+            root: Some(g.node_count() / 2),
+            ..BoruvkaConfig::default()
+        },
     )
     .unwrap();
-    let foreign: Vec<_> = rerooted.tree.upward_outputs().into_iter().map(Some).collect();
+    let foreign: Vec<_> = rerooted
+        .tree
+        .upward_outputs()
+        .into_iter()
+        .map(Some)
+        .collect();
     let report = certify_outputs(&g, &reference, &foreign, &RunConfig::default()).unwrap();
     assert!(!report.accepted);
     let mut dropped = honest.clone();
@@ -200,9 +232,18 @@ fn tradeoff_scheme_outputs_are_certified_at_every_cutoff() {
     for g in graph_families_for_tradeoff() {
         for cutoff in 0..=3usize {
             let scheme = TradeoffScheme::with_cutoff(cutoff);
-            let run = certified_run(&scheme, &g, &BoruvkaConfig::default(), &RunConfig::default())
-                .unwrap();
-            assert!(run.report.accepted, "cutoff {cutoff}: {:?}", run.report.violations);
+            let run = certified_run(
+                &scheme,
+                &g,
+                &BoruvkaConfig::default(),
+                &RunConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                run.report.accepted,
+                "cutoff {cutoff}: {:?}",
+                run.report.violations
+            );
             // The total pipeline stays within (decode claim + 1) rounds.
             let claim = scheme.claimed_rounds(g.node_count()).unwrap();
             assert!(run.total_rounds() <= claim + 1);

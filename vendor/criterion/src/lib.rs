@@ -1,0 +1,278 @@
+//! Offline, in-tree stand-in for the crates.io `criterion` bench harness.
+//!
+//! The container this workspace builds in has no registry access, so the
+//! subset of the criterion API the benches use is reimplemented here on top
+//! of `std::time::Instant`:
+//!
+//! * [`Criterion`] with `sample_size`, `warm_up_time`, `measurement_time`
+//!   and `benchmark_group`;
+//! * [`BenchmarkGroup`] with `bench_function`, `bench_with_input` and
+//!   `finish`;
+//! * [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//!   [`criterion_group!`] / [`criterion_main!`] macros (both the plain and
+//!   the `name = …; config = …; targets = …` forms).
+//!
+//! Timing model: each benchmark is warmed up for `warm_up_time`, then up to
+//! `sample_size` samples are collected (each sample times one closure call)
+//! within a `measurement_time` budget.  The median, minimum and maximum are
+//! printed in a criterion-like one-line format.  There is no statistical
+//! analysis, no output directory, and no comparison to previous runs — the
+//! numbers go to stdout and to the bench trajectory only.
+//!
+//! Swap this crate for the real `criterion` in the workspace manifest once
+//! the build environment has network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark inside a group: a function name plus an
+/// optional parameter, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// `(median, min, max)` of the collected samples, filled by `iter`.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`: warm-up, then up to `sample_size` timed calls within
+    /// the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        loop {
+            black_box(routine());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        // Measurement.
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        let budget = Instant::now() + self.config.measurement_time;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed());
+            if Instant::now() >= budget && !samples.is_empty() {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        self.result = Some((median, samples[0], *samples.last().unwrap()));
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The top-level bench context (a small subset of criterion's).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Overrides the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Overrides the measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: &self.config,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    config: &'a Config,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark identified by `id`.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher<'_>)>(&mut self, id: S, mut f: F) {
+        let mut b = Bencher {
+            config: self.config,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.result);
+    }
+
+    /// Runs one benchmark that receives a shared input value.
+    pub fn bench_with_input<S: Display, I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher {
+            config: self.config,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.result);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<(Duration, Duration, Duration)>) {
+        match result {
+            Some((median, min, max)) => println!(
+                "{}/{:<40} time: [{} {} {}]",
+                self.name,
+                id,
+                fmt_duration(min),
+                fmt_duration(median),
+                fmt_duration(max)
+            ),
+            None => println!("{}/{:<40} time: [no samples]", self.name, id),
+        }
+    }
+}
+
+/// Renders a duration in criterion's adaptive unit style.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a bench group: both the plain form
+/// `criterion_group!(name, target_a, target_b)` and the configured form
+/// `criterion_group! { name = n; config = expr; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        trivial(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(999)), "999 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.000 s");
+    }
+}
