@@ -97,7 +97,11 @@ impl From<MstError> for SchemeError {
 
 /// An advising scheme for MST: oracle + distributed decoder + declared
 /// bounds.
-pub trait AdvisingScheme {
+///
+/// Schemes are `Send + Sync` configuration values: the sweep harness in
+/// `lma-bench` fans independent (seed, scheme) cells out across threads,
+/// each evaluating a shared scheme reference.
+pub trait AdvisingScheme: Send + Sync {
     /// A short, stable name used in experiment tables.
     fn name(&self) -> &'static str;
 

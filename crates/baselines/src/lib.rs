@@ -37,7 +37,7 @@ use lma_sim::{RunConfig, RunStats};
 /// A distributed MST algorithm that needs no advice: just a factory of node
 /// programs plus a way to run them.  (The advising-scheme trait is not reused
 /// here because these algorithms have no oracle at all.)
-pub trait NoAdviceMst {
+pub trait NoAdviceMst: Send + Sync {
     /// Short name used in experiment tables.
     fn name(&self) -> &'static str;
 

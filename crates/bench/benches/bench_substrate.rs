@@ -2,22 +2,33 @@
 //! algorithms, the Borůvka decomposition, and — the headline of this file —
 //! the simulator's message-routing cost.
 //!
-//! The `routing_*` groups drive the same flooding program through the
-//! pull-based flat message plane (`Runtime::run`) and through the preserved
-//! push-based reference executor (`lma_sim::reference::run_push`) on ring,
-//! 2-D grid and G(n, p) graphs at 10⁴–10⁵ nodes, under both a LOCAL and a
-//! CONGEST-audit configuration, so the speedup of the plane refactor stays
-//! visible in the bench trajectory.
+//! The `routing` group drives the same flooding program through every
+//! executor — the sequential pull-based message plane (`Runtime::run`), the
+//! sharded parallel executor at 2 and 4 worker threads
+//! (`lma_sim::ShardedExecutor`), and the preserved push-based reference
+//! executor (`lma_sim::reference::run_push`) — on ring, 2-D grid and
+//! G(n, p) graphs at 10⁴–10⁵ nodes, under both a LOCAL and a CONGEST-audit
+//! configuration, so the executor trajectory (push → pull → sharded) stays
+//! visible in `BENCH_bench_substrate.json` per PR.  The sharded entries are
+//! only meaningful relative to `pull` on multi-core hosts — the JSON records
+//! `host_cpus` so single-core CI numbers are not misread as regressions.
+//!
+//! `-- --smoke` shrinks the scaling graphs to 10³–10⁴ nodes and clamps the
+//! sample counts (see the vendored criterion shim), which is what the CI
+//! smoke job runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lma_graph::generators::{complete, connected_random, gnp_connected, grid, ring};
 use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::{kruskal_mst, prim_mst, UnionFind};
 use lma_sim::reference::run_push;
-use lma_sim::{LocalView, Model, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{
+    Executor, LocalView, Model, NodeAlgorithm, Outbox, RunConfig, Runtime, ShardedExecutor,
+};
 use std::hint::black_box;
+use std::num::NonZeroUsize;
 
 fn bench_union_find(c: &mut Criterion) {
     let mut group = c.benchmark_group("union_find");
@@ -143,10 +154,19 @@ fn bench_simulator(c: &mut Criterion) {
 /// Rounds driven per iteration in the scaling scenarios.
 const SCALE_ROUNDS: usize = 10;
 
-/// The scaling-scenario graph families at 10⁴ and 10⁵ nodes.
+/// Sharded-executor worker counts measured in the scaling scenarios.
+const SHARD_THREADS: [usize; 2] = [2, 4];
+
+/// The scaling-scenario graph families at 10⁴ and 10⁵ nodes (10³ and 10⁴ in
+/// smoke mode, so CI does not pay 10⁵-node graph generation).
 fn scaling_graphs() -> Vec<(String, WeightedGraph)> {
+    let scales: [usize; 2] = if criterion::is_smoke() {
+        [1_000, 10_000]
+    } else {
+        [10_000, 100_000]
+    };
     let mut graphs = Vec::new();
-    for scale in [10_000usize, 100_000] {
+    for scale in scales {
         graphs.push((format!("ring/{scale}"), ring(scale, WeightStrategy::Unit)));
         let side = (scale as f64).sqrt() as usize;
         graphs.push((
@@ -185,6 +205,14 @@ fn scaling_configs(n: usize) -> [(&'static str, RunConfig); 2] {
 fn bench_routing_scaling(c: &mut Criterion) {
     let graphs = scaling_graphs();
     let mut group = c.benchmark_group("routing");
+    group.throughput(Throughput::Elements(SCALE_ROUNDS as u64));
+    let ping_fleet = |g: &WeightedGraph| -> Vec<Ping> {
+        (0..g.node_count())
+            .map(|_| Ping {
+                rounds_left: SCALE_ROUNDS,
+            })
+            .collect()
+    };
     for (name, g) in &graphs {
         for (model, config) in scaling_configs(g.node_count()) {
             group.bench_with_input(
@@ -193,26 +221,40 @@ fn bench_routing_scaling(c: &mut Criterion) {
                 |b, g| {
                     b.iter(|| {
                         let rt = Runtime::with_config(g, config);
-                        let programs: Vec<Ping> = (0..g.node_count())
-                            .map(|_| Ping {
-                                rounds_left: SCALE_ROUNDS,
-                            })
-                            .collect();
-                        black_box(rt.run(programs).unwrap().stats.total_messages)
+                        black_box(rt.run(ping_fleet(g)).unwrap().stats.total_messages)
                     });
                 },
             );
+            // The multi-run harness path: the executor (and its partition)
+            // is built once per scenario and reused by every iteration.
+            for threads in SHARD_THREADS {
+                let exec = ShardedExecutor::for_graph(g, NonZeroUsize::new(threads).unwrap());
+                group.bench_with_input(
+                    BenchmarkId::new(format!("sharded{threads}/{model}"), name),
+                    g,
+                    |b, g| {
+                        b.iter(|| {
+                            black_box(
+                                exec.run(g, config, ping_fleet(g))
+                                    .unwrap()
+                                    .stats
+                                    .total_messages,
+                            )
+                        });
+                    },
+                );
+            }
             group.bench_with_input(
                 BenchmarkId::new(format!("push/{model}"), name),
                 g,
                 |b, g| {
                     b.iter(|| {
-                        let programs: Vec<Ping> = (0..g.node_count())
-                            .map(|_| Ping {
-                                rounds_left: SCALE_ROUNDS,
-                            })
-                            .collect();
-                        black_box(run_push(g, config, programs).unwrap().stats.total_messages)
+                        black_box(
+                            run_push(g, config, ping_fleet(g))
+                                .unwrap()
+                                .stats
+                                .total_messages,
+                        )
                     });
                 },
             );

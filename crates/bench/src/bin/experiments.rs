@@ -6,13 +6,41 @@
 //! cargo run -p lma-bench --release --bin experiments            # all tables
 //! cargo run -p lma-bench --release --bin experiments -- --table e3
 //! cargo run -p lma-bench --release --bin experiments -- --csv   # CSV output
+//! cargo run -p lma-bench --release --bin experiments -- --threads 4
+//! cargo run -p lma-bench --release --bin experiments -- --cell-threads 8
 //! ```
+//!
+//! `--threads N` routes every simulated run through the sharded executor on
+//! `N` worker threads; `--cell-threads N` fans the independent cells of each
+//! sweep (seeds, schemes, fault trials) out across `N` threads.  Both knobs
+//! change only wall-clock: the printed tables are bit-identical to the
+//! sequential run.
 
-use lma_bench::{ExperimentId, Table};
+use lma_bench::{ExperimentId, RunOpts, Table};
+use std::num::NonZeroUsize;
+
+fn parse_threads(args: &[String], flag: &str) -> Option<NonZeroUsize> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let value = args.get(pos + 1).unwrap_or_else(|| {
+        eprintln!("{flag} requires a positive integer argument");
+        std::process::exit(2);
+    });
+    match value.parse::<usize>().ok().and_then(NonZeroUsize::new) {
+        Some(threads) => Some(threads),
+        None => {
+            eprintln!("{flag} requires a positive integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
+    let opts = RunOpts {
+        threads: parse_threads(&args, "--threads"),
+        cell_threads: parse_threads(&args, "--cell-threads"),
+    };
     let selected: Vec<ExperimentId> = match args.iter().position(|a| a == "--table") {
         Some(pos) => {
             let id = args
@@ -29,7 +57,7 @@ fn main() {
 
     println!("# mst-advice experiment tables (seeded, deterministic)\n");
     for id in selected {
-        let table: Table = id.run_default();
+        let table: Table = id.run_with(opts);
         if csv {
             println!("{}", table.to_csv());
         } else {

@@ -9,7 +9,7 @@
 //! With no argument, all figures are emitted.
 
 use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme, OneRoundScheme, TrivialScheme};
-use lma_bench::experiments::{experiment_graph, run_e5_rounds_vs_n};
+use lma_bench::experiments::{experiment_graph, run_e5_rounds_vs_n, RunOpts};
 use lma_graph::dot::to_dot_plain;
 use lma_graph::generators::lowerbound::{lowerbound_gn, LowerBoundParams};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
@@ -33,7 +33,10 @@ fn figure_boruvka_phase() {
 
 fn figure_rounds_vs_n() {
     println!("=== Figure: rounds vs n (series behind experiment E5) ===");
-    println!("{}", run_e5_rounds_vs_n(&[32, 64, 128, 256]).to_csv());
+    println!(
+        "{}",
+        run_e5_rounds_vs_n(&[32, 64, 128, 256], RunOpts::default()).to_csv()
+    );
 }
 
 fn figure_advice_vs_n() {

@@ -2,16 +2,19 @@
 //!
 //! Every function returns a [`Table`]; the `experiments` binary prints them
 //! and `EXPERIMENTS.md` records a snapshot together with the paper's claims.
-//! All randomness is seeded, so tables are exactly reproducible.
+//! All randomness is seeded, so tables are exactly reproducible — including
+//! under parallelism: every sweep goes through the [`RunHarness`] (per-graph
+//! state reuse) and [`fan_out`] (deterministic, index-ordered cell
+//! parallelism), and every run dispatches on [`RunOpts::threads`], so the
+//! tables are bit-identical whether a sweep runs on one thread or many.
 
+use crate::harness::{fan_out, RunHarness};
 use crate::table::{fmt_f64, Table};
 use lma_advice::constant::encoder;
 use lma_advice::constant::schedule::Schedule;
 use lma_advice::lowerbound::{attack_scheme_at, certified_report, truncated_trivial};
 use lma_advice::tradeoff::frontier;
-use lma_advice::{
-    evaluate_scheme, AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme,
-};
+use lma_advice::{AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme};
 use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
 use lma_graph::generators::connected_random;
 use lma_graph::generators::lowerbound::{lowerbound_gn, LowerBoundParams};
@@ -22,6 +25,40 @@ use lma_labeling::MstCertificate;
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig, BoruvkaError, TieBreak};
 use lma_mst::verify::verify_upward_outputs;
 use lma_sim::{Model, RunConfig};
+use std::num::NonZeroUsize;
+
+/// Parallelism knobs for an experiment sweep (both default to sequential,
+/// which reproduces the historical tables bit for bit).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOpts {
+    /// Per-run sharding: forwarded to [`RunConfig::threads`], so every
+    /// simulated run inside the sweep uses the sharded executor.  Best for
+    /// few, large runs.
+    pub threads: Option<NonZeroUsize>,
+    /// Cross-cell fan-out: independent (seed, scheme) cells of a sweep run
+    /// on this many scoped threads (see [`fan_out`]).  Best for many small
+    /// runs.
+    pub cell_threads: Option<NonZeroUsize>,
+}
+
+impl RunOpts {
+    /// The base simulator config for this sweep (LOCAL; the per-run
+    /// parallelism knob applied).
+    #[must_use]
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            threads: self.threads,
+            ..RunConfig::default()
+        }
+    }
+
+    /// The cell-level worker count (1 = plain sequential map).
+    #[must_use]
+    pub fn cells(&self) -> NonZeroUsize {
+        self.cell_threads
+            .unwrap_or(NonZeroUsize::new(1).expect("1 is nonzero"))
+    }
+}
 
 /// Identifier of one experiment, as used by `--table <id>`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,20 +118,29 @@ impl ExperimentId {
         }
     }
 
-    /// Runs the experiment with its default parameters (sized for a laptop).
+    /// Runs the experiment with its default parameters (sized for a laptop)
+    /// on one thread.
     #[must_use]
     pub fn run_default(self) -> Table {
+        self.run_with(RunOpts::default())
+    }
+
+    /// Runs the experiment with its default parameters under the given
+    /// parallelism knobs; the resulting table is identical to
+    /// [`ExperimentId::run_default`] regardless of `opts`.
+    #[must_use]
+    pub fn run_with(self, opts: RunOpts) -> Table {
         match self {
-            Self::E1 => run_e1_lower_bound(&[8, 16, 32, 64, 128]),
-            Self::E2 => run_e2_one_round(&[64, 128, 256, 512, 1024]),
-            Self::E3 => run_e3_constant(&[64, 128, 256, 512, 1024]),
-            Self::E4 => run_e4_scheme_comparison(256),
-            Self::E5 => run_e5_rounds_vs_n(&[32, 64, 128, 256]),
-            Self::E6 => run_e6_tradeoff_frontier(&[256, 1024, 4096]),
+            Self::E1 => run_e1_lower_bound(&[8, 16, 32, 64, 128], opts),
+            Self::E2 => run_e2_one_round(&[64, 128, 256, 512, 1024], opts),
+            Self::E3 => run_e3_constant(&[64, 128, 256, 512, 1024], opts),
+            Self::E4 => run_e4_scheme_comparison(256, opts),
+            Self::E5 => run_e5_rounds_vs_n(&[32, 64, 128, 256], opts),
+            Self::E6 => run_e6_tradeoff_frontier(&[256, 1024, 4096], opts),
             Self::A1 => run_a1_capacity_sweep(512),
-            Self::A2 => run_a2_tie_break(64, 12),
-            Self::A3 => run_a3_congest_audit(256),
-            Self::A4 => run_a4_fault_detection(96, 24),
+            Self::A2 => run_a2_tie_break(64, 12, opts),
+            Self::A3 => run_a3_congest_audit(256, opts),
+            Self::A4 => run_a4_fault_detection(96, 24, opts),
         }
     }
 }
@@ -115,9 +161,9 @@ pub fn experiment_graph(n: usize, seed: u64) -> WeightedGraph {
 
 fn eval_row<S: AdvisingScheme + ?Sized>(
     scheme: &S,
-    g: &WeightedGraph,
+    harness: &RunHarness<'_>,
 ) -> (usize, f64, usize, usize, bool) {
-    match evaluate_scheme(scheme, g, &RunConfig::default()) {
+    match harness.evaluate(scheme) {
         Ok(eval) => (
             eval.advice.max_bits,
             eval.advice.avg_bits,
@@ -133,7 +179,7 @@ fn eval_row<S: AdvisingScheme + ?Sized>(
 /// `G_n` at zero rounds, next to what the trivial zero-round scheme actually
 /// uses, and a falsification of an under-budgeted zero-round scheme.
 #[must_use]
-pub fn run_e1_lower_bound(clique_sizes: &[usize]) -> Table {
+pub fn run_e1_lower_bound(clique_sizes: &[usize], opts: RunOpts) -> Table {
     let mut t = Table::new(
         "E1 (Theorem 1): zero-round schemes need Omega(log n) average advice on G_n",
         &[
@@ -155,7 +201,8 @@ pub fn run_e1_lower_bound(clique_sizes: &[usize]) -> Table {
                 tie_break: TieBreak::CanonicalGlobal,
             },
         };
-        let (max_bits, avg_bits, _rounds, _msg, ok) = eval_row(&trivial, &g);
+        let harness = RunHarness::new(&g, opts.run_config());
+        let (max_bits, avg_bits, _rounds, _msg, ok) = eval_row(&trivial, &harness);
         assert!(ok, "the trivial scheme must solve G_{n}");
         let bits_at_u2 = lma_advice::lowerbound::certified_node_bits(n, 2);
         let starved = truncated_trivial(bits_at_u2.saturating_sub(1));
@@ -181,7 +228,7 @@ pub fn run_e1_lower_bound(clique_sizes: &[usize]) -> Table {
 
 /// **E2** (Theorem 2): one-round decoding with constant average advice.
 #[must_use]
-pub fn run_e2_one_round(sizes: &[usize]) -> Table {
+pub fn run_e2_one_round(sizes: &[usize], opts: RunOpts) -> Table {
     let mut t = Table::new(
         "E2 (Theorem 2): (O(log^2 n), 1)-scheme with constant average advice",
         &[
@@ -204,7 +251,8 @@ pub fn run_e2_one_round(sizes: &[usize]) -> Table {
             ));
         }
         for (label, g) in instances {
-            let (max_bits, avg_bits, rounds, _msg, ok) = eval_row(&scheme, &g);
+            let harness = RunHarness::new(&g, opts.run_config());
+            let (max_bits, avg_bits, rounds, _msg, ok) = eval_row(&scheme, &harness);
             t.push_row(vec![
                 label.to_string(),
                 g.node_count().to_string(),
@@ -222,7 +270,7 @@ pub fn run_e2_one_round(sizes: &[usize]) -> Table {
 /// **E3** (Theorem 3): constant maximum advice, `O(log n)` rounds, for both
 /// decoder variants.
 #[must_use]
-pub fn run_e3_constant(sizes: &[usize]) -> Table {
+pub fn run_e3_constant(sizes: &[usize], opts: RunOpts) -> Table {
     let mut t = Table::new(
         "E3 (Theorem 3): (O(1), O(log n))-scheme, both variants",
         &[
@@ -243,7 +291,8 @@ pub fn run_e3_constant(sizes: &[usize]) -> Table {
         };
         for &n in sizes {
             let g = experiment_graph(n, 0xE3 + n as u64);
-            let (max_bits, _avg, rounds, msg, ok) = eval_row(&scheme, &g);
+            let harness = RunHarness::new(&g, opts.run_config());
+            let (max_bits, _avg, rounds, msg, ok) = eval_row(&scheme, &harness);
             t.push_row(vec![
                 variant.label().to_string(),
                 n.to_string(),
@@ -260,9 +309,10 @@ pub fn run_e3_constant(sizes: &[usize]) -> Table {
 }
 
 /// **E4**: the headline tradeoff — every scheme and baseline on the same
-/// graph.
+/// graph.  All cells share one harness (one graph, pooled planes) and fan
+/// out across `opts.cell_threads`.
 #[must_use]
-pub fn run_e4_scheme_comparison(n: usize) -> Table {
+pub fn run_e4_scheme_comparison(n: usize, opts: RunOpts) -> Table {
     let mut t = Table::new(
         "E4: scheme comparison (single sparse random graph)",
         &[
@@ -276,15 +326,16 @@ pub fn run_e4_scheme_comparison(n: usize) -> Table {
         ],
     );
     let g = experiment_graph(n, 0xE4);
+    let harness = RunHarness::new(&g, opts.run_config());
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
         Box::new(TrivialScheme::default()),
         Box::new(OneRoundScheme::default()),
         Box::new(ConstantScheme::default()),
         Box::new(ConstantScheme::paper_literal()),
     ];
-    for scheme in &schemes {
-        let (max_bits, avg_bits, rounds, msg, ok) = eval_row(scheme.as_ref(), &g);
-        t.push_row(vec![
+    for row in fan_out(&schemes, opts.cells(), |_, scheme| {
+        let (max_bits, avg_bits, rounds, msg, ok) = eval_row(scheme.as_ref(), &harness);
+        vec![
             scheme.name().to_string(),
             n.to_string(),
             max_bits.to_string(),
@@ -292,17 +343,20 @@ pub fn run_e4_scheme_comparison(n: usize) -> Table {
             rounds.to_string(),
             msg.to_string(),
             ok.to_string(),
-        ]);
+        ]
+    }) {
+        t.push_row(row);
     }
-    for baseline in [
+    let baselines = [
         Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
         Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
-    ] {
+    ];
+    for row in fan_out(&baselines, opts.cells(), |_, baseline| {
         let (outputs, stats) = baseline
-            .run(&g, &RunConfig::default())
+            .run(&g, &harness.config())
             .expect("baseline run succeeds");
         let ok = verify_upward_outputs(&g, &outputs).is_ok();
-        t.push_row(vec![
+        vec![
             baseline.name().to_string(),
             n.to_string(),
             "0".to_string(),
@@ -310,7 +364,9 @@ pub fn run_e4_scheme_comparison(n: usize) -> Table {
             stats.rounds.to_string(),
             stats.max_message_bits.to_string(),
             ok.to_string(),
-        ]);
+        ]
+    }) {
+        t.push_row(row);
     }
     t
 }
@@ -318,7 +374,7 @@ pub fn run_e4_scheme_comparison(n: usize) -> Table {
 /// **E5**: rounds as a function of `n` — the "exponential decrease of the
 /// computation time" claim.
 #[must_use]
-pub fn run_e5_rounds_vs_n(sizes: &[usize]) -> Table {
+pub fn run_e5_rounds_vs_n(sizes: &[usize], opts: RunOpts) -> Table {
     let mut t = Table::new(
         "E5: rounds vs n — Theorem 3 scheme against the no-advice baselines",
         &[
@@ -333,13 +389,12 @@ pub fn run_e5_rounds_vs_n(sizes: &[usize]) -> Table {
     let scheme = ConstantScheme::default();
     for &n in sizes {
         let g = experiment_graph(n, 0xE5 + n as u64);
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).expect("thm3 succeeds");
-        let (b_out, b_stats) = SyncBoruvkaMst
-            .run(&g, &RunConfig::default())
-            .expect("baseline");
+        let harness = RunHarness::new(&g, opts.run_config());
+        let eval = harness.evaluate(&scheme).expect("thm3 succeeds");
+        let (b_out, b_stats) = SyncBoruvkaMst.run(&g, &harness.config()).expect("baseline");
         verify_upward_outputs(&g, &b_out).expect("baseline MST");
         let (f_out, f_stats) = FloodCollectMst
-            .run(&g, &RunConfig::default())
+            .run(&g, &harness.config())
             .expect("baseline");
         verify_upward_outputs(&g, &f_out).expect("baseline MST");
         t.push_row(vec![
@@ -384,9 +439,11 @@ pub fn run_a1_capacity_sweep(n: usize) -> Table {
 }
 
 /// **A2**: tie-breaking ablation — the paper's port-order rule versus the
-/// canonical global order on duplicate-weight graphs.
+/// canonical global order on duplicate-weight graphs.  The
+/// `(tie-break, max_w, seed)` cells are fully independent, so they fan out
+/// across `opts.cell_threads` and are re-aggregated in cell order.
 #[must_use]
-pub fn run_a2_tie_break(n: usize, trials: u64) -> Table {
+pub fn run_a2_tie_break(n: usize, trials: u64, opts: RunOpts) -> Table {
     let mut t = Table::new(
         "A2: tie-breaking ablation on duplicate-weight random graphs",
         &[
@@ -398,33 +455,45 @@ pub fn run_a2_tie_break(n: usize, trials: u64) -> Table {
             "selection cycles detected",
         ],
     );
+    let mut cells = Vec::new();
     for tie_break in [TieBreak::PaperPortOrder, TieBreak::CanonicalGlobal] {
         for max_w in [2u64, 4, 16] {
-            let mut ok = 0usize;
-            let mut cycles = 0usize;
             for seed in 0..trials {
-                let g = connected_random(
-                    n,
-                    3 * n,
-                    seed,
-                    WeightStrategy::UniformRandom { seed, max: max_w },
-                );
-                match run_boruvka(
-                    &g,
-                    &BoruvkaConfig {
-                        root: None,
-                        tie_break,
-                    },
-                ) {
-                    Ok(run) => {
-                        lma_mst::verify::verify_mst_edges(&g, &run.mst_edges)
-                            .expect("must be an MST");
-                        ok += 1;
-                    }
-                    Err(BoruvkaError::SelectionCycle { .. }) => cycles += 1,
-                    Err(e) => panic!("unexpected error {e}"),
-                }
+                cells.push((tie_break, max_w, seed));
             }
+        }
+    }
+    let outcomes = fan_out(&cells, opts.cells(), |_, &(tie_break, max_w, seed)| {
+        let g = connected_random(
+            n,
+            3 * n,
+            seed,
+            WeightStrategy::UniformRandom { seed, max: max_w },
+        );
+        match run_boruvka(
+            &g,
+            &BoruvkaConfig {
+                root: None,
+                tie_break,
+            },
+        ) {
+            Ok(run) => {
+                lma_mst::verify::verify_mst_edges(&g, &run.mst_edges).expect("must be an MST");
+                true
+            }
+            Err(BoruvkaError::SelectionCycle { .. }) => false,
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    });
+    // Re-aggregate per (tie-break, max_w) row, in cell order (rows exist —
+    // with zero counts — even when `trials` is 0).
+    let mut offset = 0usize;
+    for tie_break in [TieBreak::PaperPortOrder, TieBreak::CanonicalGlobal] {
+        for max_w in [2u64, 4, 16] {
+            let slice = &outcomes[offset..offset + trials as usize];
+            offset += trials as usize;
+            let ok = slice.iter().filter(|&&mst| mst).count();
+            let cycles = slice.len() - ok;
             t.push_row(vec![
                 format!("{tie_break:?}"),
                 n.to_string(),
@@ -441,7 +510,7 @@ pub fn run_a2_tie_break(n: usize, trials: u64) -> Table {
 /// **A3**: CONGEST audit — maximum message size of every algorithm against
 /// the `O(log n)` budget.
 #[must_use]
-pub fn run_a3_congest_audit(n: usize) -> Table {
+pub fn run_a3_congest_audit(n: usize, opts: RunOpts) -> Table {
     let mut t = Table::new(
         "A3: CONGEST message-size audit",
         &[
@@ -454,41 +523,47 @@ pub fn run_a3_congest_audit(n: usize) -> Table {
     );
     let g = experiment_graph(n, 0xA3);
     let budget = Model::congest_for(n).budget().unwrap_or(usize::MAX);
-    let config = RunConfig {
+    let harness = RunHarness::new(&g, opts.run_config()).with_model_config(RunConfig {
         model: Model::congest_for(n),
         ..RunConfig::default()
-    };
+    });
+    let config = harness.config();
 
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
         Box::new(TrivialScheme::default()),
         Box::new(OneRoundScheme::default()),
         Box::new(ConstantScheme::default()),
     ];
-    for scheme in &schemes {
+    for row in fan_out(&schemes, opts.cells(), |_, scheme| {
         let advice = scheme.advise(&g).expect("oracle succeeds");
         let outcome = scheme
             .decode(&g, &advice, &config)
             .expect("decode succeeds");
-        t.push_row(vec![
+        vec![
             scheme.name().to_string(),
             n.to_string(),
             outcome.stats.max_message_bits.to_string(),
             budget.to_string(),
             (outcome.stats.congest_violations == 0).to_string(),
-        ]);
+        ]
+    }) {
+        t.push_row(row);
     }
-    for baseline in [
+    let baselines = [
         Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
         Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
-    ] {
+    ];
+    for row in fan_out(&baselines, opts.cells(), |_, baseline| {
         let (_outputs, stats) = baseline.run(&g, &config).expect("baseline run succeeds");
-        t.push_row(vec![
+        vec![
             baseline.name().to_string(),
             n.to_string(),
             stats.max_message_bits.to_string(),
             budget.to_string(),
             (stats.congest_violations == 0).to_string(),
-        ]);
+        ]
+    }) {
+        t.push_row(row);
     }
     t
 }
@@ -498,7 +573,7 @@ pub fn run_a3_congest_audit(n: usize) -> Table {
 /// open problem.  One row per `(n, cutoff)`: measured maximum/average advice,
 /// measured rounds, the claimed bounds, and the advice × time product.
 #[must_use]
-pub fn run_e6_tradeoff_frontier(sizes: &[usize]) -> Table {
+pub fn run_e6_tradeoff_frontier(sizes: &[usize], opts: RunOpts) -> Table {
     let mut t = Table::new(
         "E6: advice-vs-time tradeoff frontier (truncated Theorem 3 construction)",
         &[
@@ -514,7 +589,7 @@ pub fn run_e6_tradeoff_frontier(sizes: &[usize]) -> Table {
     );
     for &n in sizes {
         let g = experiment_graph(n, 0xE6);
-        let points = frontier(&g, &RunConfig::default()).expect("frontier evaluation succeeds");
+        let points = frontier(&g, &opts.run_config()).expect("frontier evaluation succeeds");
         for p in points {
             t.push_row(vec![
                 n.to_string(),
@@ -538,7 +613,7 @@ pub fn run_e6_tradeoff_frontier(sizes: &[usize]) -> Table {
 /// many of those the one-round distributed verifier caught, and how many were
 /// silently accepted (the column that must read 0).
 #[must_use]
-pub fn run_a4_fault_detection(n: usize, trials: u64) -> Table {
+pub fn run_a4_fault_detection(n: usize, trials: u64, opts: RunOpts) -> Table {
     let mut t = Table::new(
         "A4: fault injection vs distributed verification (one extra round)",
         &[
@@ -563,71 +638,80 @@ pub fn run_a4_fault_detection(n: usize, trials: u64) -> Table {
         Box::new(ConstantScheme::default()),
     ];
 
+    /// Outcome of one fault-injection trial.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    enum Trial {
+        NoFault,
+        DecoderRejected,
+        OutputUnchanged,
+        Caught,
+        Silent,
+    }
+
+    let config = opts.run_config();
+    let trial_cells: Vec<u64> = (0..trials).collect();
+
     // Fault model 1: flipped advice bits, decoded by the scheme itself.
+    // Trials are independent, so they fan out across `opts.cell_threads`;
+    // the per-trial decoder panics are caught inside each cell (the sharded
+    // executor re-raises program panics with the original payload, so the
+    // catch works identically under both executors).
     for scheme in &schemes {
-        let mut decoder_rejected = 0u64;
-        let mut output_changed = 0u64;
-        let mut caught = 0u64;
-        let mut silent = 0u64;
-        for trial in 0..trials {
+        let outcomes = fan_out(&trial_cells, opts.cells(), |_, &trial| {
             let mut advice = scheme.advise(&g).expect("oracle succeeds");
             if flip_advice_bits(&mut advice, 3, 0xA400 + trial) == 0 {
-                continue;
+                return Trial::NoFault;
             }
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                scheme.decode(&g, &advice, &RunConfig::default())
+                scheme.decode(&g, &advice, &config)
             }));
             let outcome = match attempt {
-                Err(_) | Ok(Err(_)) => {
-                    decoder_rejected += 1;
-                    continue;
-                }
+                Err(_) | Ok(Err(_)) => return Trial::DecoderRejected,
                 Ok(Ok(outcome)) => outcome,
             };
             if outcome.outputs == honest {
-                continue;
+                return Trial::OutputUnchanged;
             }
-            output_changed += 1;
-            let report =
-                MstCertificate::verify(&g, &labels, &outcome.outputs, &RunConfig::default())
-                    .expect("verification run succeeds");
+            let report = MstCertificate::verify(&g, &labels, &outcome.outputs, &config)
+                .expect("verification run succeeds");
             if report.accepted {
-                silent += 1;
+                Trial::Silent
             } else {
-                caught += 1;
+                Trial::Caught
             }
-        }
+        });
+        let count = |what: Trial| outcomes.iter().filter(|&&o| o == what).count();
         t.push_row(vec![
             scheme.name().to_string(),
             "advice bit flips (3)".to_string(),
             trials.to_string(),
-            decoder_rejected.to_string(),
-            output_changed.to_string(),
-            caught.to_string(),
-            silent.to_string(),
+            count(Trial::DecoderRejected).to_string(),
+            (count(Trial::Caught) + count(Trial::Silent)).to_string(),
+            count(Trial::Caught).to_string(),
+            count(Trial::Silent).to_string(),
         ]);
     }
 
     // Fault model 2: direct output corruption (a faulty decoder), verified by
     // the nodes.
-    let mut output_changed = 0u64;
-    let mut caught = 0u64;
-    let mut silent = 0u64;
-    for trial in 0..trials {
+    let outcomes = fan_out(&trial_cells, opts.cells(), |_, &trial| {
         let plan = FaultPlan::random(&g, &oracle.tree, 1 + (trial as usize % 3), 0xA401 + trial);
         let bad = plan.apply(&honest);
         if bad == honest {
-            continue;
+            return Trial::NoFault;
         }
-        output_changed += 1;
-        let report = MstCertificate::verify(&g, &labels, &bad, &RunConfig::default())
-            .expect("verification run succeeds");
+        let report =
+            MstCertificate::verify(&g, &labels, &bad, &config).expect("verification run succeeds");
         if report.accepted {
-            silent += 1;
+            Trial::Silent
         } else {
-            caught += 1;
+            Trial::Caught
         }
-    }
+    });
+    let count = |what: Trial| outcomes.iter().filter(|&&o| o == what).count();
+    let caught = count(Trial::Caught) as u64;
+    let silent = count(Trial::Silent) as u64;
+    let output_changed = caught + silent;
     t.push_row(vec![
         "(any scheme)".to_string(),
         "output corruption".to_string(),
@@ -662,21 +746,21 @@ mod tests {
 
     #[test]
     fn small_e1_table_has_one_row_per_size() {
-        let t = run_e1_lower_bound(&[8, 16]);
+        let t = run_e1_lower_bound(&[8, 16], RunOpts::default());
         assert_eq!(t.rows.len(), 2);
         assert!(t.rows.iter().all(|r| r.last().unwrap() == "yes"));
     }
 
     #[test]
     fn small_e4_table_covers_all_algorithms() {
-        let t = run_e4_scheme_comparison(48);
+        let t = run_e4_scheme_comparison(48, RunOpts::default());
         assert_eq!(t.rows.len(), 6);
         assert!(t.rows.iter().all(|r| r.last().unwrap() == "true"));
     }
 
     #[test]
     fn small_e5_shows_the_gap() {
-        let t = run_e5_rounds_vs_n(&[48]);
+        let t = run_e5_rounds_vs_n(&[48], RunOpts::default());
         let row = &t.rows[0];
         let thm3: usize = row[2].parse().unwrap();
         let baseline: usize = row[4].parse().unwrap();
@@ -698,7 +782,7 @@ mod tests {
 
     #[test]
     fn small_a3_schemes_fit_congest() {
-        let t = run_a3_congest_audit(64);
+        let t = run_a3_congest_audit(64, RunOpts::default());
         // The trivial and one-round schemes must be within budget; the
         // flood-collect baseline must not be.
         let by_name = |name: &str| {

@@ -1,0 +1,212 @@
+//! The reusable multi-run harness behind every experiment sweep.
+//!
+//! Experiments evaluate many *cells* — (graph, seed, scheme, model)
+//! configurations — and before this module each cell rebuilt every piece of
+//! per-graph state from scratch and ran strictly sequentially.  The harness
+//! exploits the two structural facts of a sweep:
+//!
+//! * **runs on the same graph share state** — a [`RunHarness`] pins one
+//!   graph and one base [`RunConfig`]; every evaluation through it reuses
+//!   the per-thread plane pool of `lma-sim` (one plane allocation for the
+//!   whole sweep), and when the config enables sharding, direct
+//!   [`RunHarness::run`] calls go through one precomputed
+//!   `Partition`-backed [`ShardedExecutor`] (scheme evaluations run inside
+//!   the schemes' own decoders, which dispatch via [`RunConfig::threads`]
+//!   and re-partition per run — O(n + m), small next to the run itself);
+//! * **cells are independent** — [`fan_out`] maps a function over a cell
+//!   list on scoped threads with deterministic, index-ordered collection,
+//!   so tables come out bit-identical to the sequential sweep no matter how
+//!   many threads run it.
+//!
+//! The two axes compose: many small runs parallelize best across cells
+//! (`fan_out`), single runs on huge graphs parallelize best inside the run
+//! ([`RunConfig::threads`] → the sharded executor); both knobs surface on
+//! the `experiments` binary's CLI.
+
+use lma_advice::{evaluate_scheme, AdvisingScheme, SchemeError, SchemeEvaluation};
+use lma_graph::WeightedGraph;
+use lma_sim::{Executor, NodeAlgorithm, RunConfig, RunError, RunResult, Runtime, ShardedExecutor};
+use std::num::NonZeroUsize;
+
+/// A pinned (graph, base config) pair that every run of a sweep goes
+/// through, so per-graph state is built once and reused.
+#[derive(Debug, Clone)]
+pub struct RunHarness<'g> {
+    graph: &'g WeightedGraph,
+    config: RunConfig,
+    /// Built once per harness when the config asks for ≥ 2 threads; direct
+    /// runs then reuse its partition instead of re-partitioning per run.
+    sharded: Option<ShardedExecutor<'g>>,
+}
+
+impl<'g> RunHarness<'g> {
+    /// A harness for `graph` running everything under `config`.
+    #[must_use]
+    pub fn new(graph: &'g WeightedGraph, config: RunConfig) -> Self {
+        let sharded = config
+            .threads
+            .filter(|t| t.get() > 1 && graph.node_count() > 1)
+            .map(|t| ShardedExecutor::for_graph(graph, t));
+        Self {
+            graph,
+            config,
+            sharded,
+        }
+    }
+
+    /// The pinned graph.
+    #[must_use]
+    pub fn graph(&self) -> &'g WeightedGraph {
+        self.graph
+    }
+
+    /// The base config every run uses (model overrides go through
+    /// [`RunHarness::with_model_config`]).
+    #[must_use]
+    pub fn config(&self) -> RunConfig {
+        self.config
+    }
+
+    /// A copy of this harness running under `config`, but keeping this
+    /// harness's executor choice (`threads`): sweeps override the model or
+    /// trace flags per cell without losing the parallelism knob.
+    #[must_use]
+    pub fn with_model_config(&self, config: RunConfig) -> Self {
+        Self::new(
+            self.graph,
+            RunConfig {
+                threads: self.config.threads,
+                ..config
+            },
+        )
+    }
+
+    /// Evaluates a scheme end to end (oracle → decode → MST verification)
+    /// on the pinned graph under the pinned config.
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`evaluate_scheme`].
+    pub fn evaluate<S: AdvisingScheme + ?Sized>(
+        &self,
+        scheme: &S,
+    ) -> Result<SchemeEvaluation, SchemeError> {
+        evaluate_scheme(scheme, self.graph, &self.config)
+    }
+
+    /// Runs one program set on the pinned graph under the pinned config,
+    /// reusing the harness's precomputed sharded executor when one exists.
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Runtime::run`].
+    pub fn run<A: NodeAlgorithm>(
+        &self,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        match &self.sharded {
+            Some(exec) => exec.run(self.graph, self.config, programs),
+            None => Runtime::with_config(self.graph, self.config).run(programs),
+        }
+    }
+}
+
+/// Maps `f` over `cells` on up to `threads` scoped worker threads and
+/// returns the results **in cell order** (deterministic regardless of the
+/// thread count: thread scheduling can only change wall-clock, never the
+/// output).  `f` receives the cell's index alongside the cell so sweeps can
+/// derive per-cell seeds.
+///
+/// With `threads == 1` (the default everywhere) this is a plain map — no
+/// threads are spawned at all.
+pub fn fan_out<C, T, F>(cells: &[C], threads: NonZeroUsize, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(usize, &C) -> T + Sync,
+{
+    let workers = threads.get().min(cells.len().max(1));
+    if workers <= 1 {
+        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let chunk = cells.len().div_ceil(workers);
+    let mut results: Vec<Option<T>> = (0..cells.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (chunk_idx, (out_chunk, cell_chunk)) in results
+            .chunks_mut(chunk)
+            .zip(cells.chunks(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, cell) in cell_chunk.iter().enumerate() {
+                    out_chunk[j] = Some(f(chunk_idx * chunk + j, cell));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every cell is filled by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_advice::TrivialScheme;
+    use lma_graph::generators::connected_random;
+    use lma_graph::weights::WeightStrategy;
+    use lma_sim::pool;
+
+    #[test]
+    fn fan_out_is_deterministic_and_index_ordered() {
+        let cells: Vec<usize> = (0..37).collect();
+        let sequential = fan_out(&cells, NonZeroUsize::new(1).unwrap(), |i, &c| i * 1000 + c);
+        for threads in [2usize, 3, 8, 64] {
+            let parallel = fan_out(&cells, NonZeroUsize::new(threads).unwrap(), |i, &c| {
+                i * 1000 + c
+            });
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fan_out_handles_empty_cell_lists() {
+        let out: Vec<u32> = fan_out(&[], NonZeroUsize::new(4).unwrap(), |_, c: &u32| *c);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn harness_reuses_planes_across_runs_on_the_same_graph() {
+        let g = connected_random(40, 100, 17, WeightStrategy::DistinctRandom { seed: 17 });
+        let harness = RunHarness::new(&g, RunConfig::default());
+        let scheme = TrivialScheme::default();
+        harness.evaluate(&scheme).expect("first evaluation");
+        let before = pool::stats();
+        harness.evaluate(&scheme).expect("second evaluation");
+        let after = pool::stats();
+        assert!(
+            after.hits > before.hits,
+            "the second run must reuse pooled planes ({before:?} -> {after:?})"
+        );
+    }
+
+    #[test]
+    fn sharded_harness_matches_sequential_harness() {
+        let g = connected_random(48, 130, 23, WeightStrategy::DistinctRandom { seed: 23 });
+        let scheme = TrivialScheme::default();
+        let seq = RunHarness::new(&g, RunConfig::default())
+            .evaluate(&scheme)
+            .unwrap();
+        let par = RunHarness::new(
+            &g,
+            RunConfig {
+                threads: NonZeroUsize::new(3),
+                ..RunConfig::default()
+            },
+        )
+        .evaluate(&scheme)
+        .unwrap();
+        assert_eq!(seq.run, par.run, "stats diverged across executors");
+        assert_eq!(seq.tree.edges, par.tree.edges, "trees diverged");
+    }
+}

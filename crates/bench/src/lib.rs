@@ -6,22 +6,29 @@
 //! `EXPERIMENTS.md`:
 //!
 //! * `cargo run -p lma-bench --release --bin experiments` regenerates every
-//!   table (E1–E5, A1–A3), printing aligned text and machine-readable CSV;
+//!   table (E1–E6, A1–A4), printing aligned text and machine-readable CSV;
+//!   `--threads N` runs every simulated run on the sharded executor and
+//!   `--cell-threads N` fans independent sweep cells out across threads —
+//!   the tables are bit-identical under any knob setting (see [`harness`]);
 //! * `cargo run -p lma-bench --release --bin figures` regenerates the figure
 //!   data series (rounds vs `n`, advice vs `n`) and the DOT reproductions of
 //!   the paper's Figure 1 and Figure 2;
 //! * `cargo bench -p lma-bench` runs the Criterion benches measuring the cost
-//!   of the substrate and of each scheme's oracle and decoder.
+//!   of the substrate and of each scheme's oracle and decoder; each bench
+//!   binary writes a `BENCH_<name>.json` trajectory file at the workspace
+//!   root, and `-- --smoke` runs a clamped configuration for CI.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use experiments::{
     run_a1_capacity_sweep, run_a2_tie_break, run_a3_congest_audit, run_a4_fault_detection,
     run_e1_lower_bound, run_e2_one_round, run_e3_constant, run_e4_scheme_comparison,
-    run_e5_rounds_vs_n, run_e6_tradeoff_frontier, ExperimentId,
+    run_e5_rounds_vs_n, run_e6_tradeoff_frontier, ExperimentId, RunOpts,
 };
+pub use harness::{fan_out, RunHarness};
 pub use table::Table;

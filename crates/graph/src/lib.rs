@@ -15,6 +15,9 @@
 //!   experiments use: paths, rings, stars, trees, grids/tori, complete graphs,
 //!   Erdős–Rényi-style random connected graphs, the lower-bound family `G_n`
 //!   from Theorem 1 / Figure 1, and a small-diameter "hard" family.
+//! * [`partition`] — contiguous, slot-balanced node shards over the CSR slot
+//!   space with precomputed boundary-slot maps, the substrate of the sharded
+//!   parallel executor in `lma-sim`.
 //! * [`prng`] — a tiny, dependency-free, seedable PRNG so that every
 //!   experiment is exactly reproducible from its seed.
 //! * [`dot`] — Graphviz DOT rendering (used to regenerate the paper's figures).
@@ -33,6 +36,7 @@ pub mod dot;
 pub mod generators;
 pub mod graph;
 pub mod index;
+pub mod partition;
 pub mod prng;
 pub mod validate;
 pub mod weights;
@@ -41,4 +45,5 @@ pub use builder::GraphBuilder;
 pub use csr::CsrAdjacency;
 pub use graph::{EdgeId, EdgeRecord, IncidentEdge, NodeIdx, Port, Weight, WeightedGraph};
 pub use index::EdgeIndex;
+pub use partition::Partition;
 pub use prng::SplitMix64;

@@ -74,8 +74,9 @@ pub type Outbox<M> = Vec<(Port, M)>;
 /// messages were exchanged, i.e. an algorithm that terminates inside `init`
 /// has round complexity 0.
 pub trait NodeAlgorithm: Send {
-    /// Message type exchanged by this algorithm.
-    type Msg: Clone + Send + Sync + BitSized;
+    /// Message type exchanged by this algorithm (`'static` so executors can
+    /// pool and exchange message buffers across threads and runs).
+    type Msg: Clone + Send + Sync + BitSized + 'static;
     /// Per-node output type.
     type Output: Clone + Send;
 

@@ -1,0 +1,281 @@
+//! The executor abstraction: one interface, three interchangeable engines.
+//!
+//! | implementation | engine | use it for |
+//! |---|---|---|
+//! | [`SequentialExecutor`] | pull-based message plane, one thread | the default: small graphs, debugging, bit-exact reference |
+//! | [`ShardedExecutor`] | per-shard planes + boundary exchange on scoped threads | large graphs (≳10⁴ nodes) on multi-core hosts |
+//! | [`ReferenceExecutor`] | the seed's push-based loop (allocating, cloning) | differential testing and benchmark baselines only |
+//!
+//! All three produce **bit-identical** outputs, [`crate::RunStats`] and
+//! traces for the same `(graph, config, programs)` — the
+//! `runtime_equivalence` integration suite pins this — so callers choose
+//! purely on performance grounds.  Most code should not name an executor at
+//! all: set [`RunConfig::threads`] and let [`crate::Runtime::run`] dispatch.
+//! The trait exists for harnesses (benches, sweep drivers) that want to hold
+//! the engine choice as a value and reuse per-graph precomputation such as
+//! the [`Partition`] held by [`ShardedExecutor::for_graph`].
+
+use crate::algorithm::NodeAlgorithm;
+use crate::runtime::{RunConfig, RunError, RunResult, Runtime};
+use lma_graph::{Partition, WeightedGraph};
+use std::num::NonZeroUsize;
+
+/// A strategy for executing one synchronous run end to end.
+///
+/// The method is generic over the node program, so the trait is not object
+/// safe; harnesses hold a concrete executor (or an enum of them) instead of
+/// a `dyn` value.
+pub trait Executor {
+    /// A short, stable name used in bench scenario labels.
+    fn name(&self) -> &'static str;
+
+    /// Runs `programs` on `graph` under `config`.
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Runtime::run`].
+    fn run<A: NodeAlgorithm>(
+        &self,
+        graph: &WeightedGraph,
+        config: RunConfig,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError>;
+}
+
+/// The sequential plane executor (ignores [`RunConfig::threads`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialExecutor;
+
+impl Executor for SequentialExecutor {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run<A: NodeAlgorithm>(
+        &self,
+        graph: &WeightedGraph,
+        config: RunConfig,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        Runtime::with_config(graph, config).run_sequential(programs)
+    }
+}
+
+/// The preserved push-based oracle (see [`crate::reference`]); deliberately
+/// the slow path — differential testing and baselines only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceExecutor;
+
+impl Executor for ReferenceExecutor {
+    fn name(&self) -> &'static str {
+        "reference-push"
+    }
+
+    fn run<A: NodeAlgorithm>(
+        &self,
+        graph: &WeightedGraph,
+        config: RunConfig,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        crate::reference::run_push(graph, config, programs)
+    }
+}
+
+/// The shard-parallel executor (see [`crate::sharded`]): one worker thread
+/// per shard, a barrier per round, deterministic shard-order merges.
+///
+/// Build it with [`ShardedExecutor::for_graph`] to precompute the
+/// [`Partition`] once and reuse it (borrowed, never copied) across every run
+/// on that graph — the multi-run harness path.  The cached partition is tied
+/// to the *identity* of the graph it was built from (not just its size):
+/// runs on any other graph, including a different graph with the same node
+/// and edge counts, partition on the fly instead.
+/// [`ShardedExecutor::new`] always partitions lazily per run.
+#[derive(Debug, Clone)]
+pub struct ShardedExecutor<'g> {
+    threads: NonZeroUsize,
+    partition: Option<(&'g WeightedGraph, Partition)>,
+}
+
+impl<'g> ShardedExecutor<'g> {
+    /// An executor that partitions each graph at run time.
+    #[must_use]
+    pub fn new(threads: NonZeroUsize) -> Self {
+        Self {
+            threads,
+            partition: None,
+        }
+    }
+
+    /// An executor with a precomputed partition for `graph`, reused by every
+    /// run on that exact graph (runs on other graphs fall back to
+    /// partitioning on the fly).
+    #[must_use]
+    pub fn for_graph(graph: &'g WeightedGraph, threads: NonZeroUsize) -> Self {
+        Self {
+            threads,
+            partition: Some((graph, Partition::new(graph.csr(), threads.get()))),
+        }
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> NonZeroUsize {
+        self.threads
+    }
+
+    /// The cached partition when `graph` is the exact graph this executor
+    /// was built for (pointer identity — two distinct graphs of equal size
+    /// must not share a partition: boundary maps depend on the edges).
+    fn cached_partition(&self, graph: &WeightedGraph) -> Option<&Partition> {
+        match &self.partition {
+            Some((cached_graph, partition)) if std::ptr::eq(*cached_graph, graph) => {
+                Some(partition)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Executor for ShardedExecutor<'_> {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn run<A: NodeAlgorithm>(
+        &self,
+        graph: &WeightedGraph,
+        config: RunConfig,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        if self.threads.get() <= 1 || graph.node_count() <= 1 {
+            return Runtime::with_config(graph, config).run_sequential(programs);
+        }
+        let runtime = Runtime::with_config(graph, config);
+        let views = runtime.local_views();
+        match self.cached_partition(graph) {
+            Some(partition) => {
+                crate::sharded::run_sharded(graph, config, partition, &views, programs)
+            }
+            None => {
+                let partition = Partition::new(graph.csr(), self.threads.get());
+                crate::sharded::run_sharded(graph, config, &partition, &views, programs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{LocalView, Outbox};
+    use lma_graph::generators::ring;
+    use lma_graph::weights::WeightStrategy;
+    use lma_graph::Port;
+
+    struct CountDown {
+        rounds_left: usize,
+    }
+
+    impl NodeAlgorithm for CountDown {
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+            (0..view.degree()).map(|p| (p, view.id)).collect()
+        }
+
+        fn round(&mut self, _: &LocalView, _: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+            self.rounds_left = self.rounds_left.saturating_sub(1);
+            if self.rounds_left == 0 {
+                return Vec::new();
+            }
+            inbox.iter().map(|&(p, m)| (p, m + 1)).collect()
+        }
+
+        fn is_done(&self) -> bool {
+            self.rounds_left == 0
+        }
+
+        fn output(&self) -> Option<u64> {
+            (self.rounds_left == 0).then_some(self.rounds_left as u64)
+        }
+    }
+
+    #[test]
+    fn all_three_executors_agree() {
+        let g = ring(24, WeightStrategy::DistinctRandom { seed: 4 });
+        let config = RunConfig {
+            trace: true,
+            ..RunConfig::default()
+        };
+        let mk = || {
+            (0..24)
+                .map(|_| CountDown { rounds_left: 6 })
+                .collect::<Vec<_>>()
+        };
+        let seq = SequentialExecutor.run(&g, config, mk()).unwrap();
+        let push = ReferenceExecutor.run(&g, config, mk()).unwrap();
+        let sharded = ShardedExecutor::for_graph(&g, NonZeroUsize::new(3).unwrap())
+            .run(&g, config, mk())
+            .unwrap();
+        assert_eq!(seq.outputs, push.outputs);
+        assert_eq!(seq.stats, push.stats);
+        assert_eq!(seq.trace, push.trace);
+        assert_eq!(seq.outputs, sharded.outputs);
+        assert_eq!(seq.stats, sharded.stats);
+        assert_eq!(seq.trace, sharded.trace);
+    }
+
+    #[test]
+    fn sharded_with_one_thread_falls_back_to_sequential() {
+        let g = ring(8, WeightStrategy::Unit);
+        let result = ShardedExecutor::new(NonZeroUsize::new(1).unwrap())
+            .run(
+                &g,
+                RunConfig::default(),
+                (0..8).map(|_| CountDown { rounds_left: 2 }).collect(),
+            )
+            .unwrap();
+        assert_eq!(result.outputs.len(), 8);
+    }
+
+    #[test]
+    fn cached_partition_is_not_reused_for_a_different_graph_of_equal_size() {
+        // Two graphs with identical node/slot counts but different edges:
+        // the partition cache must key on graph identity, not size, or the
+        // cross-shard routing tables of one graph would route the other.
+        let a = ring(24, WeightStrategy::DistinctRandom { seed: 1 });
+        let b = lma_graph::generators::connected_random(
+            24,
+            24,
+            7,
+            WeightStrategy::DistinctRandom { seed: 7 },
+        );
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.csr().slot_count(), b.csr().slot_count());
+        let exec = ShardedExecutor::for_graph(&a, NonZeroUsize::new(3).unwrap());
+        for g in [&a, &b] {
+            let mk = || {
+                (0..24)
+                    .map(|_| CountDown { rounds_left: 5 })
+                    .collect::<Vec<_>>()
+            };
+            let seq = SequentialExecutor
+                .run(g, RunConfig::default(), mk())
+                .unwrap();
+            let par = exec.run(g, RunConfig::default(), mk()).unwrap();
+            assert_eq!(seq.outputs, par.outputs);
+            assert_eq!(seq.stats, par.stats);
+        }
+    }
+
+    #[test]
+    fn executor_names_are_stable() {
+        assert_eq!(SequentialExecutor.name(), "sequential");
+        assert_eq!(ReferenceExecutor.name(), "reference-push");
+        assert_eq!(
+            ShardedExecutor::new(NonZeroUsize::new(2).unwrap()).name(),
+            "sharded"
+        );
+    }
+}

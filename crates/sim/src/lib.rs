@@ -23,27 +23,40 @@
 //! Message routing runs on a **pull-based, double-buffered flat message
 //! plane** over the graph's CSR slot space (see [`plane`] and [`runtime`]):
 //! all buffers are preallocated, delivery moves messages instead of cloning
-//! them, and the steady-state round loop allocates nothing.  The original
-//! push-based executor survives in [`reference`] as a differential-testing
-//! oracle and benchmark baseline.
+//! them, and the steady-state round loop allocates nothing.  The plane pair
+//! is checked out of a per-thread [`pool`], so repeated runs on the same
+//! graph reuse one allocation.  The original push-based executor survives in
+//! [`reference`] as a differential-testing oracle and benchmark baseline.
+//!
+//! Execution engines are pluggable behind the [`executor::Executor`] trait:
+//! the sequential plane loop, the push-based reference, and a deterministic
+//! **sharded parallel executor** ([`sharded`]) that partitions the slot
+//! space into contiguous shards (see `lma_graph::Partition`) and runs each
+//! shard's gather → step → scatter on its own scoped thread with one barrier
+//! per round.  All engines produce bit-identical results; select one via
+//! [`RunConfig::threads`] or an explicit executor value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithm;
 pub mod bitset;
+pub mod executor;
 pub mod message;
 pub mod model;
 pub mod plane;
+pub mod pool;
 pub mod reference;
 pub mod runtime;
+pub mod sharded;
 pub mod stats;
 pub mod trace;
 
 pub use algorithm::{LocalView, NodeAlgorithm, Outbox};
 pub use bitset::FixedBitSet;
+pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
 pub use message::BitSized;
 pub use model::Model;
-pub use plane::MessagePlane;
+pub use plane::{MessagePlane, SlotOccupied};
 pub use runtime::{RunConfig, RunError, RunResult, Runtime};
 pub use stats::RunStats;

@@ -8,8 +8,30 @@
 //! allocation: slots are `Option<M>` storage reused across rounds, and the
 //! occupancy [`FixedBitSet`] replaces the seed's per-node `HashSet`
 //! port-dedup.
+//!
+//! Planes are also reused *across* runs: the sequential executor checks its
+//! plane pair out of a per-thread pool (see [`crate::pool`]), and the sharded
+//! executor sizes one plane per shard over the shard's contiguous slot range.
 
 use crate::bitset::FixedBitSet;
+
+/// Error returned by [`MessagePlane::put`]: the slot was already written
+/// since the last occupancy reset (a duplicate port use).  Carries the
+/// offending slot so the runtime can report the exact port in
+/// `RunError::MalformedOutbox` instead of silently dropping the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotOccupied {
+    /// The slot (in this plane's index space) that was already occupied.
+    pub slot: usize,
+}
+
+impl std::fmt::Display for SlotOccupied {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "message slot {} already occupied this round", self.slot)
+    }
+}
+
+impl std::error::Error for SlotOccupied {}
 
 /// A preallocated, reusable buffer of message slots indexed by the graph's
 /// dense `(node, port)` slot space.
@@ -42,15 +64,19 @@ impl<M> MessagePlane<M> {
         self.slots.is_empty()
     }
 
-    /// Writes `msg` into `slot`.  Returns `false` (dropping the message)
-    /// when the slot was already written since the last
-    /// [`MessagePlane::clear_occupancy`] — i.e. a duplicate port use.
-    pub fn put(&mut self, slot: usize, msg: M) -> bool {
+    /// Writes `msg` into `slot`.  Fails — dropping the message and surfacing
+    /// the offending slot — when the slot was already written since the last
+    /// [`MessagePlane::clear_occupancy`], i.e. on a duplicate port use.
+    ///
+    /// # Errors
+    /// Returns [`SlotOccupied`] naming the duplicate slot; the first message
+    /// written to the slot is preserved.
+    pub fn put(&mut self, slot: usize, msg: M) -> Result<(), SlotOccupied> {
         if !self.occupied.insert(slot) {
-            return false;
+            return Err(SlotOccupied { slot });
         }
         self.slots[slot] = Some(msg);
-        true
+        Ok(())
     }
 
     /// Moves the message out of `slot`, if any (no clone: delivery transfers
@@ -67,6 +93,23 @@ impl<M> MessagePlane<M> {
     pub fn clear_occupancy(&mut self) {
         self.occupied.clear();
     }
+
+    /// Resizes the plane to `len` slots and clears every slot and the
+    /// occupancy set, making the plane indistinguishable from a freshly
+    /// built one while reusing its allocations (the pool checkout path:
+    /// an aborted run may have left messages behind).
+    pub fn prepare(&mut self, len: usize) {
+        if self.slots.len() != len {
+            self.slots.truncate(len);
+            self.slots.resize_with(len, || None);
+            self.occupied = FixedBitSet::new(len);
+        } else {
+            for slot in &mut self.slots {
+                *slot = None;
+            }
+            self.occupied.clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -78,22 +121,23 @@ mod tests {
         let mut p: MessagePlane<u32> = MessagePlane::new(4);
         assert_eq!(p.len(), 4);
         assert!(!p.is_empty());
-        assert!(p.put(2, 77));
+        assert!(p.put(2, 77).is_ok());
         assert_eq!(p.take(2), Some(77));
         assert_eq!(p.take(2), None);
     }
 
     #[test]
-    fn duplicate_put_is_rejected_until_occupancy_reset() {
+    fn duplicate_put_surfaces_the_slot_until_occupancy_reset() {
         let mut p: MessagePlane<u32> = MessagePlane::new(2);
-        assert!(p.put(0, 1));
-        assert!(
-            !p.put(0, 2),
-            "second write to the same slot must be rejected"
+        assert!(p.put(0, 1).is_ok());
+        assert_eq!(
+            p.put(0, 2),
+            Err(SlotOccupied { slot: 0 }),
+            "second write to the same slot must be rejected with the slot"
         );
         assert_eq!(p.take(0), Some(1), "the first message must be preserved");
         p.clear_occupancy();
-        assert!(p.put(0, 3));
+        assert!(p.put(0, 3).is_ok());
         assert_eq!(p.take(0), Some(3));
     }
 
@@ -102,5 +146,19 @@ mod tests {
         let mut p: MessagePlane<()> = MessagePlane::new(0);
         assert!(p.is_empty());
         p.clear_occupancy();
+    }
+
+    #[test]
+    fn prepare_clears_stale_messages_and_resizes() {
+        let mut p: MessagePlane<u32> = MessagePlane::new(3);
+        assert!(p.put(1, 9).is_ok());
+        p.prepare(3);
+        assert_eq!(p.take(1), None, "prepare must drop stale messages");
+        assert!(p.put(1, 4).is_ok(), "prepare must reset occupancy");
+        p.prepare(5);
+        assert_eq!(p.len(), 5);
+        assert!(p.put(4, 1).is_ok());
+        p.prepare(2);
+        assert_eq!(p.len(), 2);
     }
 }

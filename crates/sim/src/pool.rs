@@ -1,0 +1,125 @@
+//! Per-thread reuse of run buffers across runs.
+//!
+//! Experiment sweeps execute many runs on the same graph (seed sweeps, fault
+//! trials, scheme comparisons).  Each run needs two message planes of `2m`
+//! slots plus a gather buffer; allocating and freeing them per run is pure
+//! overhead.  This module keeps one [`PlaneSet`] per message type in a
+//! thread-local pool: [`Runtime::run`](crate::Runtime::run) checks the set
+//! out at the start of a sequential run (resizing and clearing it — an
+//! aborted run may have left messages behind) and returns it at the end, so
+//! back-to-back runs on the same graph perform **zero** plane allocations
+//! after the first.
+//!
+//! The pool is deliberately invisible in the API: it changes no observable
+//! semantics, only the allocation profile.  [`stats`] exposes hit/miss
+//! counters so tests and benches can assert the reuse actually happens.
+
+use crate::plane::MessagePlane;
+use lma_graph::Port;
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// The reusable per-run buffers of the sequential executor: the two
+/// double-buffered planes and the flat gather buffer.
+pub(crate) struct PlaneSet<M> {
+    /// Gather source (delivery) plane.
+    pub cur: MessagePlane<M>,
+    /// Scatter target plane for the next round.
+    pub next: MessagePlane<M>,
+    /// The per-node gather buffer handed to `NodeAlgorithm::round`.
+    pub inbox: Vec<(Port, M)>,
+}
+
+impl<M> PlaneSet<M> {
+    fn new(len: usize) -> Self {
+        Self {
+            cur: MessagePlane::new(len),
+            next: MessagePlane::new(len),
+            inbox: Vec::new(),
+        }
+    }
+
+    fn prepare(&mut self, len: usize) {
+        self.cur.prepare(len);
+        self.next.prepare(len);
+        self.inbox.clear();
+    }
+}
+
+/// Cumulative pool counters for the current thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from the pool (no allocation).
+    pub hits: u64,
+    /// Checkouts that had to allocate a fresh plane set.
+    pub misses: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+    static STATS: Cell<PoolStats> = const { Cell::new(PoolStats { hits: 0, misses: 0 }) };
+}
+
+/// Checks a plane set for message type `M` out of this thread's pool,
+/// resized and cleared for `len` slots.
+pub(crate) fn checkout<M: 'static>(len: usize) -> PlaneSet<M> {
+    let reused = POOL.with(|pool| pool.borrow_mut().remove(&TypeId::of::<PlaneSet<M>>()));
+    let mut stats = STATS.get();
+    match reused.and_then(|boxed| boxed.downcast::<PlaneSet<M>>().ok()) {
+        Some(mut set) => {
+            stats.hits += 1;
+            STATS.set(stats);
+            set.prepare(len);
+            *set
+        }
+        None => {
+            stats.misses += 1;
+            STATS.set(stats);
+            PlaneSet::new(len)
+        }
+    }
+}
+
+/// Returns a plane set to this thread's pool for the next run to reuse.
+pub(crate) fn give_back<M: 'static>(set: PlaneSet<M>) {
+    POOL.with(|pool| {
+        pool.borrow_mut()
+            .insert(TypeId::of::<PlaneSet<M>>(), Box::new(set))
+    });
+}
+
+/// This thread's cumulative pool counters.
+#[must_use]
+pub fn stats() -> PoolStats {
+    STATS.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_previously_returned_sets() {
+        let before = stats();
+        let set: PlaneSet<u128> = checkout(8);
+        give_back(set);
+        let set: PlaneSet<u128> = checkout(16);
+        assert_eq!(set.cur.len(), 16, "checkout must resize the reused set");
+        give_back(set);
+        let after = stats();
+        assert!(after.hits > before.hits, "second checkout must be a hit");
+        assert!(after.misses > before.misses, "first checkout must miss");
+    }
+
+    #[test]
+    fn pool_is_keyed_by_message_type() {
+        let a: PlaneSet<u16> = checkout(4);
+        give_back(a);
+        let b: PlaneSet<i16> = checkout(4);
+        let a2: PlaneSet<u16> = checkout(4);
+        assert_eq!(a2.cur.len(), 4);
+        give_back(b);
+        give_back(a2);
+    }
+}

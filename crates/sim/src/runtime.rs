@@ -25,9 +25,11 @@ use crate::algorithm::{LocalView, NodeAlgorithm, Outbox};
 use crate::message::BitSized;
 use crate::model::Model;
 use crate::plane::MessagePlane;
+use crate::pool;
 use crate::stats::RunStats;
 use crate::trace::TraceEvent;
-use lma_graph::{Port, WeightedGraph};
+use lma_graph::{IncidentEdge, Partition, WeightedGraph};
+use std::num::NonZeroUsize;
 
 /// Configuration of one simulated run.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +45,12 @@ pub struct RunConfig {
     pub enforce_congest: bool,
     /// When true, every message delivery is recorded in the result's trace.
     pub trace: bool,
+    /// Executor parallelism: `None` or `Some(1)` runs the sequential plane
+    /// executor; `Some(t)` with `t >= 2` runs the deterministic sharded
+    /// executor on `t` scoped threads (see [`crate::executor`]).  Outputs,
+    /// stats and traces are bit-identical either way; only wall-clock
+    /// changes, so the knob is safe to flip per deployment.
+    pub threads: Option<NonZeroUsize>,
 }
 
 impl Default for RunConfig {
@@ -52,6 +60,7 @@ impl Default for RunConfig {
             max_rounds: 100_000,
             enforce_congest: false,
             trace: false,
+            threads: None,
         }
     }
 }
@@ -128,7 +137,7 @@ pub struct RunResult<O> {
 /// messages produced in the very step in which every node finished are
 /// never delivered, never counted, and never raise errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PendingError {
+pub(crate) enum PendingError {
     Malformed { node: usize, port: usize },
     Congest { bits: usize },
 }
@@ -136,24 +145,90 @@ enum PendingError {
 /// Per-round accounting accumulated at scatter time and committed when the
 /// round the messages are delivered in actually begins.
 #[derive(Debug, Default)]
-struct PendingRound {
-    messages: u64,
-    bits: u64,
-    max_bits: usize,
-    violations: u64,
-    error: Option<PendingError>,
+pub(crate) struct PendingRound {
+    pub(crate) messages: u64,
+    pub(crate) bits: u64,
+    pub(crate) max_bits: usize,
+    pub(crate) violations: u64,
+    pub(crate) error: Option<PendingError>,
     /// Trace events for the upcoming delivery round (reused buffer).
-    events: Vec<TraceEvent>,
+    pub(crate) events: Vec<TraceEvent>,
 }
 
 impl PendingRound {
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.messages = 0;
         self.bits = 0;
         self.max_bits = 0;
         self.violations = 0;
         self.error = None;
         self.events.clear();
+    }
+}
+
+/// Validates node `u`'s `outbox` and scatters it into `plane`, accumulating
+/// the accounting for the round the messages will be delivered in
+/// (`delivery_round`).  Shared by the sequential and sharded executors.
+///
+/// `plane` may cover only a suffix-aligned window of the global slot space
+/// (a shard's contiguous slot range): `plane_offset` is the global index of
+/// the plane's slot 0, so the sequential executor passes 0 and a sharded
+/// worker passes its shard's first slot.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scatter_outbox<M: BitSized>(
+    u: usize,
+    outbox: Outbox<M>,
+    delivery_round: usize,
+    plane: &mut MessagePlane<M>,
+    plane_offset: usize,
+    pending: &mut PendingRound,
+    offsets: &[usize],
+    incident: &[IncidentEdge],
+    budget: Option<usize>,
+    enforce_congest: bool,
+    trace: bool,
+) {
+    if pending.error.is_some() {
+        return;
+    }
+    let base = offsets[u];
+    let degree = offsets[u + 1] - base;
+    for (port, msg) in outbox {
+        if port >= degree {
+            pending.error = Some(PendingError::Malformed { node: u, port });
+            return;
+        }
+        let slot = base + port;
+        let size = msg.bit_size();
+        if let Err(occupied) = plane.put(slot - plane_offset, msg) {
+            // The plane surfaces the duplicate slot; report the exact port
+            // it corresponds to (never a silent drop).
+            pending.error = Some(PendingError::Malformed {
+                node: u,
+                port: occupied.slot + plane_offset - base,
+            });
+            return;
+        }
+        pending.messages += 1;
+        pending.bits += size as u64;
+        pending.max_bits = pending.max_bits.max(size);
+        if let Some(b) = budget {
+            if size > b {
+                if enforce_congest {
+                    pending.error = Some(PendingError::Congest { bits: size });
+                    return;
+                }
+                pending.violations += 1;
+            }
+        }
+        if trace {
+            pending.events.push(TraceEvent {
+                round: delivery_round,
+                from: u,
+                to: incident[slot].neighbor,
+                bits: size,
+            });
+        }
     }
 }
 
@@ -214,8 +289,48 @@ impl<'g> Runtime<'g> {
     ///
     /// `programs[u]` is the program for node `u`; the caller typically builds
     /// these from per-node advice strings.
+    ///
+    /// Dispatches on [`RunConfig::threads`]: the default (`None` / `Some(1)`)
+    /// executes the sequential plane loop; `Some(t >= 2)` executes the
+    /// deterministic sharded executor (see [`crate::sharded`]) on `t` scoped
+    /// threads.  Both paths produce bit-identical outputs, stats and traces.
     pub fn run<A: NodeAlgorithm>(
         &self,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        if let Some(threads) = self.config.threads {
+            if threads.get() > 1 && self.graph.node_count() > 1 {
+                let views = self.local_views();
+                let partition = Partition::new(self.graph.csr(), threads.get());
+                return crate::sharded::run_sharded(
+                    self.graph,
+                    self.config,
+                    &partition,
+                    &views,
+                    programs,
+                );
+            }
+        }
+        self.run_sequential(programs)
+    }
+
+    /// The sequential plane executor (the deterministic reference the
+    /// sharded executor is pinned against).
+    pub(crate) fn run_sequential<A: NodeAlgorithm>(
+        &self,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        // All steady-state storage comes from the per-thread pool: allocated
+        // at most once, then reused by every later run on this thread.
+        let mut set = pool::checkout::<A::Msg>(self.graph.csr().slot_count());
+        let result = self.sequential_loop(&mut set, programs);
+        pool::give_back(set);
+        result
+    }
+
+    fn sequential_loop<A: NodeAlgorithm>(
+        &self,
+        set: &mut pool::PlaneSet<A::Msg>,
         mut programs: Vec<A>,
     ) -> Result<RunResult<A::Output>, RunError> {
         let n = self.graph.node_count();
@@ -227,10 +342,7 @@ impl<'g> Runtime<'g> {
         let mirror = csr.mirror_table();
         let incident = csr.incident_flat();
 
-        // All steady-state storage is allocated once, before round 1.
-        let mut cur: MessagePlane<A::Msg> = MessagePlane::new(csr.slot_count());
-        let mut next: MessagePlane<A::Msg> = MessagePlane::new(csr.slot_count());
-        let mut inbox: Vec<(Port, A::Msg)> = Vec::new();
+        let pool::PlaneSet { cur, next, inbox } = set;
         let mut pending = PendingRound::default();
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut stats = RunStats::default();
@@ -242,15 +354,18 @@ impl<'g> Runtime<'g> {
             if programs[u].is_done() {
                 done_count += 1;
             }
-            self.scatter(
+            scatter_outbox(
                 u,
                 outbox,
                 1,
-                &mut cur,
+                cur,
+                0,
                 &mut pending,
                 offsets,
                 incident,
                 budget,
+                self.config.enforce_congest,
+                self.config.trace,
             );
         }
 
@@ -306,25 +421,28 @@ impl<'g> Runtime<'g> {
                 if programs[v].is_done() {
                     continue;
                 }
-                let outbox = programs[v].round(&views[v], round, &inbox);
+                let outbox = programs[v].round(&views[v], round, inbox);
                 if programs[v].is_done() {
                     done_count += 1;
                 }
-                self.scatter(
+                scatter_outbox(
                     v,
                     outbox,
                     round + 1,
-                    &mut next,
+                    next,
+                    0,
                     &mut pending,
                     offsets,
                     incident,
                     budget,
+                    self.config.enforce_congest,
+                    self.config.trace,
                 );
             }
 
             // The current plane was fully drained by the gather pass; it
             // becomes the (empty) scatter target of the next round.
-            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(cur, next);
             next.clear_occupancy();
         }
 
@@ -338,60 +456,6 @@ impl<'g> Runtime<'g> {
             }),
         })
     }
-
-    /// Validates `outbox` and scatters it into `plane`, accumulating the
-    /// accounting for the round the messages will be delivered in
-    /// (`delivery_round`).
-    #[allow(clippy::too_many_arguments)]
-    fn scatter<M: BitSized>(
-        &self,
-        u: usize,
-        outbox: Outbox<M>,
-        delivery_round: usize,
-        plane: &mut MessagePlane<M>,
-        pending: &mut PendingRound,
-        offsets: &[usize],
-        incident: &[lma_graph::IncidentEdge],
-        budget: Option<usize>,
-    ) {
-        if pending.error.is_some() {
-            return;
-        }
-        let base = offsets[u];
-        let degree = offsets[u + 1] - base;
-        for (port, msg) in outbox {
-            if port >= degree {
-                pending.error = Some(PendingError::Malformed { node: u, port });
-                return;
-            }
-            let slot = base + port;
-            let size = msg.bit_size();
-            if !plane.put(slot, msg) {
-                pending.error = Some(PendingError::Malformed { node: u, port });
-                return;
-            }
-            pending.messages += 1;
-            pending.bits += size as u64;
-            pending.max_bits = pending.max_bits.max(size);
-            if let Some(b) = budget {
-                if size > b {
-                    if self.config.enforce_congest {
-                        pending.error = Some(PendingError::Congest { bits: size });
-                        return;
-                    }
-                    pending.violations += 1;
-                }
-            }
-            if self.config.trace {
-                pending.events.push(TraceEvent {
-                    round: delivery_round,
-                    from: u,
-                    to: incident[slot].neighbor,
-                    bits: size,
-                });
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -399,6 +463,7 @@ mod tests {
     use super::*;
     use lma_graph::generators::{path, ring};
     use lma_graph::weights::WeightStrategy;
+    use lma_graph::Port;
 
     /// Flood the maximum identifier: a classic LOCAL algorithm that needs
     /// exactly `diameter` rounds on a path when every node starts flooding.

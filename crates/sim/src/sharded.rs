@@ -1,0 +1,486 @@
+//! The deterministic sharded executor: shard-parallel rounds over the
+//! message plane.
+//!
+//! The graph's nodes are split into contiguous, slot-balanced shards by
+//! [`lma_graph::Partition`].  Each shard is driven by one worker thread that
+//! owns the shard's programs and a **private** pair of double-buffered
+//! message planes covering only the shard's contiguous slot range, so the
+//! scatter and gather of different shards touch disjoint memory by
+//! construction — there is no shared mutable plane and no unsafe code.
+//!
+//! Cross-shard traffic travels through dense, preallocated **exchange
+//! buffers**: one buffer per ordered shard pair `(s, t)` and round parity,
+//! sized by the partition's boundary-slot list.  At the end of its round, a
+//! worker drains the boundary slots of its freshly scattered plane into its
+//! outgoing buffers; at the start of the next round the receiving worker
+//! takes the buffers whole and gathers from them by the partition's
+//! precomputed cross-reference positions.  Parity alternation makes the
+//! buffer a single-producer/single-consumer hand-off separated by a barrier,
+//! so the per-buffer `Mutex` is never contended.
+//!
+//! Each round costs exactly one barrier cycle (two `Barrier::wait`s): after
+//! every worker has published its per-shard report, the barrier leader
+//! merges the reports **in shard order** — sums and maxima for
+//! [`RunStats`], the first pending error in node order, trace events in
+//! shard order — and decides whether to continue, so outputs, stats, traces
+//! and error cases are bit-identical to the sequential executor.  The
+//! `runtime_equivalence` integration suite pins this.
+//!
+//! A panic inside a node program is caught by the owning worker, reported
+//! through the same channel, and re-raised on the calling thread with the
+//! original payload — exactly the observable behavior of the sequential
+//! executor, and the other workers shut down cleanly instead of deadlocking
+//! at the barrier.
+
+use crate::algorithm::{LocalView, NodeAlgorithm};
+use crate::plane::MessagePlane;
+use crate::runtime::{scatter_outbox, PendingError, PendingRound, RunConfig, RunError, RunResult};
+use crate::stats::RunStats;
+use crate::trace::TraceEvent;
+use lma_graph::{Partition, Port, WeightedGraph};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Barrier, Mutex};
+
+/// What the barrier leader tells every worker to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    /// Execute communication round `round` (gather, step, scatter, drain).
+    Work { round: usize },
+    /// The run is over (success, failure or panic); exit the worker loop.
+    Stop,
+}
+
+/// One shard's contribution to the round about to be committed.
+#[derive(Default)]
+struct ShardReport {
+    messages: u64,
+    bits: u64,
+    max_bits: usize,
+    violations: u64,
+    error: Option<PendingError>,
+    events: Vec<TraceEvent>,
+    done_delta: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+/// Leader-owned global state, read by the caller after the scope joins.
+struct Control {
+    /// Committed rounds so far.
+    round: usize,
+    done_count: usize,
+    stats: RunStats,
+    events: Vec<TraceEvent>,
+    command: Command,
+    failure: Option<RunError>,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct Shared<M> {
+    barrier: Barrier,
+    /// `pair_bufs[parity][s * k + t]`: the exchange buffer carrying shard
+    /// `s`'s boundary traffic to shard `t` for rounds of that parity, dense
+    /// over `partition.boundary(s, t)` positions.
+    pair_bufs: [Vec<Mutex<Vec<Option<M>>>>; 2],
+    reports: Vec<Mutex<ShardReport>>,
+    control: Mutex<Control>,
+}
+
+/// Runs `programs` with one worker thread per shard of `partition`.
+///
+/// Semantics match [`crate::Runtime::run`] exactly; only the schedule (and
+/// the wall-clock) differ.  The caller provides the per-node `views` so a
+/// harness can reuse them across runs.
+pub(crate) fn run_sharded<A: NodeAlgorithm>(
+    graph: &WeightedGraph,
+    config: RunConfig,
+    partition: &Partition,
+    views: &[LocalView],
+    mut programs: Vec<A>,
+) -> Result<RunResult<A::Output>, RunError> {
+    let n = graph.node_count();
+    assert_eq!(programs.len(), n, "one program per node is required");
+    assert_eq!(
+        partition.node_count(),
+        n,
+        "partition covers a different graph"
+    );
+    assert_eq!(
+        partition.slot_count(),
+        graph.csr().slot_count(),
+        "partition covers a different slot space"
+    );
+    let k = partition.shard_count();
+    if k <= 1 {
+        return crate::Runtime::with_config(graph, config).run_sequential(programs);
+    }
+    let budget = config.model.budget();
+
+    // Split the programs into per-shard chunks (node order is preserved:
+    // shard s owns the contiguous node range partition.node_range(s)).
+    let mut per_shard: Vec<Vec<A>> = Vec::with_capacity(k);
+    {
+        let mut drain = programs.drain(..);
+        for s in 0..k {
+            per_shard.push(drain.by_ref().take(partition.node_range(s).len()).collect());
+        }
+    }
+
+    let make_bufs = || {
+        let mut bufs = Vec::with_capacity(k * k);
+        for s in 0..k {
+            for t in 0..k {
+                let len = partition.boundary(s, t).len();
+                bufs.push(Mutex::new((0..len).map(|_| None).collect::<Vec<_>>()));
+            }
+        }
+        bufs
+    };
+    let shared: Shared<A::Msg> = Shared {
+        barrier: Barrier::new(k),
+        pair_bufs: [make_bufs(), make_bufs()],
+        reports: (0..k).map(|_| Mutex::new(ShardReport::default())).collect(),
+        control: Mutex::new(Control {
+            round: 0,
+            done_count: 0,
+            stats: RunStats::default(),
+            events: Vec::new(),
+            command: Command::Stop,
+            failure: None,
+            panic: None,
+        }),
+    };
+
+    let mut shard_programs: Vec<Vec<A>> = Vec::with_capacity(k);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_shard
+            .into_iter()
+            .enumerate()
+            .map(|(s, progs)| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    worker(s, progs, graph, config, partition, views, shared, budget)
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(progs) => shard_programs.push(progs),
+                // A panic that escaped the worker's own catch (an executor
+                // bug, not a program bug): re-raise it here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let control = shared.control.into_inner().unwrap();
+    if let Some(payload) = control.panic {
+        std::panic::resume_unwind(payload);
+    }
+    if let Some(err) = control.failure {
+        return Err(err);
+    }
+    let outputs = shard_programs
+        .iter()
+        .flat_map(|progs| progs.iter().map(NodeAlgorithm::output))
+        .collect();
+    let mut events = control.events;
+    Ok(RunResult {
+        outputs,
+        stats: control.stats,
+        trace: config.trace.then(|| {
+            events.sort_by_key(|e| (e.round, e.from, e.to));
+            events
+        }),
+    })
+}
+
+/// The per-shard worker: init, then one barrier cycle per round until the
+/// leader commands a stop.  Returns the shard's programs so the caller can
+/// collate outputs.
+#[allow(clippy::too_many_arguments)]
+fn worker<A: NodeAlgorithm>(
+    s: usize,
+    mut programs: Vec<A>,
+    graph: &WeightedGraph,
+    config: RunConfig,
+    partition: &Partition,
+    views: &[LocalView],
+    shared: &Shared<A::Msg>,
+    budget: Option<usize>,
+) -> Vec<A> {
+    let k = partition.shard_count();
+    let csr = graph.csr();
+    let offsets = csr.offsets();
+    let mirror = csr.mirror_table();
+    let incident = csr.incident_flat();
+    let nodes = partition.node_range(s);
+    let slots = partition.slot_range(s);
+    let slot_base = slots.start;
+
+    let mut cur: MessagePlane<A::Msg> = MessagePlane::new(slots.len());
+    let mut next: MessagePlane<A::Msg> = MessagePlane::new(slots.len());
+    let mut inbox: Vec<(Port, A::Msg)> = Vec::new();
+    let mut pending = PendingRound::default();
+    let mut incoming: Vec<Vec<Option<A::Msg>>> = vec![Vec::new(); k];
+
+    // Initialization: round-0 local computation producing round-1 traffic,
+    // scattered into `cur` and drained into the parity-1 exchange buffers.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let mut done_delta = 0usize;
+        for (i, u) in nodes.clone().enumerate() {
+            let outbox = programs[i].init(&views[u]);
+            if programs[i].is_done() {
+                done_delta += 1;
+            }
+            scatter_outbox(
+                u,
+                outbox,
+                1,
+                &mut cur,
+                slot_base,
+                &mut pending,
+                offsets,
+                incident,
+                budget,
+                config.enforce_congest,
+                config.trace,
+            );
+        }
+        done_delta
+    }));
+    publish(
+        s,
+        shared,
+        partition,
+        &mut cur,
+        slot_base,
+        1,
+        &mut pending,
+        caught,
+    );
+
+    loop {
+        let leader = shared.barrier.wait().is_leader();
+        if leader {
+            coordinate(shared, &config, n_of(partition), budget);
+        }
+        shared.barrier.wait();
+        let round = match shared.control.lock().unwrap().command {
+            Command::Stop => break,
+            Command::Work { round } => round,
+        };
+        let read_parity = round & 1;
+
+        // Take this round's incoming exchange buffers whole; they are put
+        // back (fully drained) after the gather pass.
+        for (src, buf) in incoming.iter_mut().enumerate() {
+            if src != s && !partition.boundary(src, s).is_empty() {
+                *buf = std::mem::take(
+                    &mut *shared.pair_bufs[read_parity][src * k + s].lock().unwrap(),
+                );
+            }
+        }
+
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut done_delta = 0usize;
+            for (i, v) in nodes.clone().enumerate() {
+                inbox.clear();
+                let base = offsets[v];
+                // Gather in port order: intra-shard mirrors from the private
+                // plane, cross-shard mirrors from the exchange buffers.
+                // Unconditional (done nodes too), so every slot and buffer
+                // position is drained each round.
+                for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
+                    let msg = if slots.contains(&sender_slot) {
+                        cur.take(sender_slot - slot_base)
+                    } else {
+                        let (src, pos) = partition
+                            .cross_ref(sender_slot)
+                            .expect("out-of-shard mirror slot must be a boundary slot");
+                        incoming[src][pos].take()
+                    };
+                    if let Some(msg) = msg {
+                        inbox.push((p, msg));
+                    }
+                }
+                if programs[i].is_done() {
+                    continue;
+                }
+                let outbox = programs[i].round(&views[v], round, &inbox);
+                if programs[i].is_done() {
+                    done_delta += 1;
+                }
+                scatter_outbox(
+                    v,
+                    outbox,
+                    round + 1,
+                    &mut next,
+                    slot_base,
+                    &mut pending,
+                    offsets,
+                    incident,
+                    budget,
+                    config.enforce_congest,
+                    config.trace,
+                );
+            }
+            done_delta
+        }));
+
+        // Return the (drained) incoming buffers for their producers to
+        // refill two phases from now.
+        for (src, buf) in incoming.iter_mut().enumerate() {
+            if src != s && !partition.boundary(src, s).is_empty() {
+                *shared.pair_bufs[read_parity][src * k + s].lock().unwrap() = std::mem::take(buf);
+            }
+        }
+
+        // The private plane pair swaps exactly like the sequential
+        // executor's; the freshly scattered plane then has its boundary
+        // slots drained into the next parity's exchange buffers.
+        std::mem::swap(&mut cur, &mut next);
+        next.clear_occupancy();
+        publish(
+            s,
+            shared,
+            partition,
+            &mut cur,
+            slot_base,
+            (round + 1) & 1,
+            &mut pending,
+            caught,
+        );
+    }
+    programs
+}
+
+fn n_of(partition: &Partition) -> usize {
+    partition.node_count()
+}
+
+/// Drains the boundary slots of `plane` into this shard's outgoing exchange
+/// buffers for `parity`, then publishes the shard's report for the round.
+#[allow(clippy::too_many_arguments)]
+fn publish<M>(
+    s: usize,
+    shared: &Shared<M>,
+    partition: &Partition,
+    plane: &mut MessagePlane<M>,
+    slot_base: usize,
+    parity: usize,
+    pending: &mut PendingRound,
+    caught: Result<usize, Box<dyn Any + Send>>,
+) {
+    let k = partition.shard_count();
+    if caught.is_ok() {
+        for t in 0..k {
+            let boundary = partition.boundary(s, t);
+            if boundary.is_empty() {
+                continue;
+            }
+            let mut buf = shared.pair_bufs[parity][s * k + t].lock().unwrap();
+            for (pos, &slot) in boundary.iter().enumerate() {
+                buf[pos] = plane.take(slot - slot_base);
+            }
+        }
+    }
+    let mut report = shared.reports[s].lock().unwrap();
+    report.messages = pending.messages;
+    report.bits = pending.bits;
+    report.max_bits = pending.max_bits;
+    report.violations = pending.violations;
+    report.error = pending.error.take();
+    report.events = std::mem::take(&mut pending.events);
+    match caught {
+        Ok(done_delta) => report.done_delta = done_delta,
+        Err(payload) => report.panic = Some(payload),
+    }
+    pending.reset();
+}
+
+/// The barrier leader's merge step, run between the two barrier waits while
+/// every other worker is parked: fold the per-shard reports **in shard
+/// order** into the global state and decide the next command.  The ordering
+/// reproduces the sequential executor exactly: done-check, round-limit
+/// check, then the round commit (first pending error in node order wins;
+/// stats and trace only on a clean commit).
+fn coordinate<M>(shared: &Shared<M>, config: &RunConfig, n: usize, budget: Option<usize>) {
+    let mut ctl = shared.control.lock().unwrap();
+    let mut messages = 0u64;
+    let mut bits = 0u64;
+    let mut max_bits = 0usize;
+    let mut violations = 0u64;
+    let mut error: Option<PendingError> = None;
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    let mut round_events: Vec<TraceEvent> = Vec::new();
+    for slot in shared.reports.iter() {
+        let mut report = slot.lock().unwrap();
+        ctl.done_count += report.done_delta;
+        report.done_delta = 0;
+        messages += report.messages;
+        bits += report.bits;
+        max_bits = max_bits.max(report.max_bits);
+        violations += report.violations;
+        report.messages = 0;
+        report.bits = 0;
+        report.max_bits = 0;
+        report.violations = 0;
+        if error.is_none() {
+            error = report.error.take();
+        } else {
+            report.error = None;
+        }
+        if panic.is_none() {
+            panic = report.panic.take();
+        } else {
+            report.panic = None;
+        }
+        if config.trace {
+            round_events.append(&mut report.events);
+        } else {
+            report.events.clear();
+        }
+    }
+
+    // A program panic preempts everything, exactly as it would have unwound
+    // out of the sequential round loop.
+    if let Some(payload) = panic {
+        ctl.panic = Some(payload);
+        ctl.command = Command::Stop;
+        return;
+    }
+    if ctl.done_count >= n {
+        ctl.command = Command::Stop;
+        return;
+    }
+    if ctl.round >= config.max_rounds {
+        ctl.failure = Some(RunError::RoundLimitExceeded {
+            limit: config.max_rounds,
+        });
+        ctl.command = Command::Stop;
+        return;
+    }
+    ctl.round += 1;
+    match error {
+        Some(PendingError::Malformed { node, port }) => {
+            ctl.failure = Some(RunError::MalformedOutbox { node, port });
+            ctl.command = Command::Stop;
+        }
+        Some(PendingError::Congest { bits }) => {
+            ctl.failure = Some(RunError::CongestViolation {
+                round: ctl.round,
+                bits,
+                budget: budget.expect("congest error implies a budget"),
+            });
+            ctl.command = Command::Stop;
+        }
+        None => {
+            ctl.stats.record_round(messages, bits, max_bits, violations);
+            if config.trace {
+                ctl.events.append(&mut round_events);
+            }
+            ctl.command = Command::Work { round: ctl.round };
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for `lma_graph::Partition` (vendored proptest).
+//!
+//! The sharded executor's safety argument rests on two structural facts:
+//!
+//! 1. **exact cover** — every node (and therefore every CSR slot) belongs to
+//!    exactly one contiguous shard, so per-shard planes touch disjoint
+//!    memory;
+//! 2. **boundary symmetry** — the boundary-slot lists are mirror-symmetric
+//!    across shard pairs: `mirror` maps `boundary(s, t)` bijectively onto
+//!    `boundary(t, s)`, and the cross-reference table agrees with the lists,
+//!    so every cross-shard message has exactly one producer position and one
+//!    consumer position in the exchange buffers.
+//!
+//! These are checked here on random connected graphs over random shard
+//! counts (including counts exceeding the node count).
+
+use lma_graph::generators::connected_random;
+use lma_graph::weights::WeightStrategy;
+use lma_graph::Partition;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partition_covers_every_node_exactly_once(
+        n in 2usize..120,
+        extra in 0usize..120,
+        seed in 0u64..1_000,
+        shards in 1usize..12,
+    ) {
+        let g = connected_random(n, n - 1 + extra, seed, WeightStrategy::DistinctRandom { seed });
+        let csr = g.csr();
+        let p = Partition::new(csr, shards);
+        let k = p.shard_count();
+        prop_assert!(k >= 1 && k <= shards.min(n));
+
+        // Contiguous cover of the node range, each node owned exactly once.
+        let mut owners = vec![0usize; n];
+        let mut covered = 0usize;
+        for s in 0..k {
+            let range = p.node_range(s);
+            prop_assert!(!range.is_empty(), "shard {} owns no node", s);
+            prop_assert_eq!(range.start, covered, "shards must be contiguous");
+            for u in range.clone() {
+                owners[u] = s;
+                prop_assert_eq!(p.shard_of_node(u), s);
+            }
+            covered = range.end;
+            // The slot range is exactly the union of the owned nodes' slots.
+            prop_assert_eq!(p.slot_range(s).start, csr.offsets()[range.start]);
+            prop_assert_eq!(p.slot_range(s).end, csr.offsets()[range.end]);
+        }
+        prop_assert_eq!(covered, n, "shards must cover every node");
+
+        // Slot ownership follows node ownership.
+        for (u, &owner) in owners.iter().enumerate() {
+            for port in 0..csr.degree(u) {
+                prop_assert_eq!(p.shard_of_slot(csr.slot(u, port)), owner);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_slot_maps_are_symmetric_across_shards(
+        n in 2usize..100,
+        extra in 0usize..150,
+        seed in 0u64..1_000,
+        shards in 2usize..10,
+    ) {
+        let g = connected_random(n, n - 1 + extra, seed, WeightStrategy::DistinctRandom { seed });
+        let csr = g.csr();
+        let p = Partition::new(csr, shards);
+        let k = p.shard_count();
+
+        let mut cross_slots_seen = 0usize;
+        for s in 0..k {
+            for t in 0..k {
+                let fwd = p.boundary(s, t);
+                if s == t {
+                    prop_assert!(fwd.is_empty(), "diagonal boundary must be empty");
+                    continue;
+                }
+                let rev = p.boundary(t, s);
+                prop_assert_eq!(
+                    fwd.len(), rev.len(),
+                    "boundary({}, {}) and boundary({}, {}) differ in size", s, t, t, s
+                );
+                prop_assert!(fwd.windows(2).all(|w| w[0] < w[1]), "boundary list not ascending");
+                for (pos, &slot) in fwd.iter().enumerate() {
+                    cross_slots_seen += 1;
+                    // Each boundary slot is owned by s, received in t, and
+                    // its mirror sits in the reverse list.
+                    prop_assert_eq!(p.shard_of_slot(slot), s);
+                    let mirror = csr.mirror(slot);
+                    prop_assert_eq!(p.shard_of_slot(mirror), t);
+                    prop_assert!(
+                        rev.binary_search(&mirror).is_ok(),
+                        "mirror of boundary slot {} missing from boundary({}, {})", slot, t, s
+                    );
+                    // The cross-reference round-trips onto the list.
+                    prop_assert_eq!(p.cross_ref(slot), Some((s, pos)));
+                }
+            }
+        }
+        prop_assert_eq!(cross_slots_seen, p.cross_slot_count());
+
+        // Intra-shard slots carry no cross-reference; cross-shard slots do.
+        for slot in 0..csr.slot_count() {
+            let intra = p.shard_of_slot(slot) == p.shard_of_slot(csr.mirror(slot));
+            prop_assert_eq!(p.cross_ref(slot).is_none(), intra);
+        }
+    }
+}

@@ -1,24 +1,33 @@
-//! Refactor-equivalence suite for the pull-based message plane.
+//! Refactor-equivalence suite for the message-plane executors.
 //!
 //! The round executor was rewritten from push-based routing (per-round inbox
 //! vectors, per-node hash sets, clone-on-delivery) to a pull-based,
-//! double-buffered flat message plane.  These tests pin the contract of that
-//! rewrite:
+//! double-buffered flat message plane, and then extended with a
+//! shard-parallel engine ([`lma_sim::ShardedExecutor`]).  These tests pin
+//! the contract of those rewrites:
 //!
 //! 1. **determinism** — running the same program set on the same seeded
 //!    graph twice produces bit-identical outputs, [`RunStats`] and traces;
-//! 2. **equivalence** — the new executor and the preserved push-based
+//! 2. **equivalence** — the plane executor and the preserved push-based
 //!    reference executor ([`lma_sim::reference`]) agree exactly, under both
 //!    LOCAL and CONGEST-audit configurations;
-//! 3. the `sync_boruvka` baseline (the most protocol-heavy consumer of the
+//! 3. **sharded equivalence** — the sharded executor produces bit-identical
+//!    outputs, stats and traces to the sequential executor on ring, grid,
+//!    G(n, p) and sparse random graphs at several shard counts, including
+//!    every error path (malformed outbox, round limit, CONGEST enforcement);
+//! 4. the `sync_boruvka` baseline (the most protocol-heavy consumer of the
 //!    simulator) reproduces identical results across runs and models.
 
 use lma_baselines::{NoAdviceMst, SyncBoruvkaMst};
-use lma_graph::generators::{connected_random, grid, ring};
+use lma_graph::generators::{connected_random, gnp_connected, grid, ring};
 use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
 use lma_sim::reference::run_push;
-use lma_sim::{LocalView, Model, NodeAlgorithm, Outbox, RunConfig, RunResult, Runtime};
+use lma_sim::{
+    Executor, LocalView, Model, NodeAlgorithm, Outbox, RunConfig, RunError, RunResult, Runtime,
+    ShardedExecutor,
+};
+use std::num::NonZeroUsize;
 
 /// Flood the maximum identifier (the canonical LOCAL warm-up algorithm).
 struct MaxIdFlood {
@@ -147,11 +156,19 @@ fn graphs() -> Vec<(&'static str, WeightedGraph)> {
             grid(6, 7, WeightStrategy::DistinctRandom { seed: 12 }),
         ),
         (
+            "gnp",
+            gnp_connected(64, 0.12, 14, WeightStrategy::DistinctRandom { seed: 14 }),
+        ),
+        (
             "sparse-random",
             connected_random(48, 120, 13, WeightStrategy::DistinctRandom { seed: 13 }),
         ),
     ]
 }
+
+/// The shard counts every sharded-equivalence test sweeps (≥ 2 shards each;
+/// 5 does not divide any of the test graphs evenly, 8 forces tiny shards).
+const SHARD_COUNTS: [usize; 3] = [2, 5, 8];
 
 #[test]
 fn max_id_flood_is_deterministic_across_runs() {
@@ -247,4 +264,194 @@ fn trace_round_numbers_and_totals_are_consistent() {
     assert!(trace
         .windows(2)
         .all(|w| (w[0].round, w[0].from, w[0].to) <= (w[1].round, w[1].from, w[1].to)));
+}
+
+/// A program with a planted bug: node `culprit` sends twice through port 0
+/// in round `at_round` (round 0 = init).
+struct DuplicatePort {
+    me: usize,
+    culprit: usize,
+    at_round: usize,
+    done: bool,
+}
+
+impl NodeAlgorithm for DuplicatePort {
+    type Msg = u64;
+    type Output = ();
+
+    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+        self.me = view.node;
+        if self.me == self.culprit && self.at_round == 0 {
+            return vec![(0, 1), (0, 2)];
+        }
+        (0..view.degree()).map(|p| (p, 0)).collect()
+    }
+
+    fn round(&mut self, view: &LocalView, round: usize, _: &[(Port, u64)]) -> Outbox<u64> {
+        if self.me == self.culprit && round == self.at_round {
+            return vec![(0, 1), (0, 2)];
+        }
+        if round > self.at_round + 2 {
+            self.done = true;
+            return Vec::new();
+        }
+        (0..view.degree()).map(|p| (p, 0)).collect()
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> Option<()> {
+        self.done.then_some(())
+    }
+}
+
+fn sharded(threads: usize) -> ShardedExecutor<'static> {
+    ShardedExecutor::new(NonZeroUsize::new(threads).unwrap())
+}
+
+#[test]
+fn sharded_matches_sequential_exactly_on_all_graph_families() {
+    for (name, g) in graphs() {
+        for config in configs(g.node_count()) {
+            let seq = Runtime::with_config(&g, config)
+                .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+                .unwrap();
+            for shards in SHARD_COUNTS {
+                let par = sharded(shards)
+                    .run(
+                        &g,
+                        config,
+                        g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>(),
+                    )
+                    .unwrap();
+                assert_identical(&seq, &par, &format!("{name}/shards={shards}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_sequential_on_sparse_traffic() {
+    for (name, g) in graphs() {
+        for config in configs(g.node_count()) {
+            let mk = || {
+                g.nodes()
+                    .map(|_| MinForward {
+                        best: 0,
+                        rounds_left: 40,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let seq = Runtime::with_config(&g, config).run(mk()).unwrap();
+            for shards in SHARD_COUNTS {
+                let par = sharded(shards).run(&g, config, mk()).unwrap();
+                assert_identical(&seq, &par, &format!("{name}/shards={shards}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn run_config_threads_knob_dispatches_to_the_sharded_executor() {
+    let g = grid(8, 8, WeightStrategy::DistinctRandom { seed: 3 });
+    let base = RunConfig {
+        trace: true,
+        ..RunConfig::default()
+    };
+    let seq = Runtime::with_config(&g, base)
+        .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+        .unwrap();
+    for threads in [1usize, 2, 4] {
+        let config = RunConfig {
+            threads: NonZeroUsize::new(threads),
+            ..base
+        };
+        let via_knob = Runtime::with_config(&g, config)
+            .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+            .unwrap();
+        assert_identical(&seq, &via_knob, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn sharded_reports_the_same_malformed_outbox_error() {
+    let g = ring(24, WeightStrategy::Unit);
+    // The culprit in the middle of the node range lands in an interior
+    // shard; plant the bug both at init and mid-run.
+    for (culprit, at_round) in [(13usize, 0usize), (13, 2), (0, 1), (23, 3)] {
+        let mk = || {
+            g.nodes()
+                .map(|_| DuplicatePort {
+                    me: 0,
+                    culprit,
+                    at_round,
+                    done: false,
+                })
+                .collect::<Vec<_>>()
+        };
+        let seq = Runtime::new(&g).run(mk()).unwrap_err();
+        assert!(matches!(seq, RunError::MalformedOutbox { .. }));
+        for shards in SHARD_COUNTS {
+            let par = sharded(shards)
+                .run(&g, RunConfig::default(), mk())
+                .unwrap_err();
+            assert_eq!(
+                seq, par,
+                "culprit {culprit} round {at_round} shards {shards}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_reports_the_same_round_limit_error() {
+    let g = ring(20, WeightStrategy::Unit);
+    let config = RunConfig {
+        max_rounds: 3,
+        ..RunConfig::default()
+    };
+    let mk = || g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
+    let seq = Runtime::with_config(&g, config).run(mk()).unwrap_err();
+    for shards in SHARD_COUNTS {
+        let par = sharded(shards).run(&g, config, mk()).unwrap_err();
+        assert_eq!(seq, par, "shards {shards}");
+    }
+}
+
+#[test]
+fn sharded_reports_the_same_congest_violation_error() {
+    let g = ring(20, WeightStrategy::Unit);
+    let config = RunConfig {
+        model: Model::Congest { bits: 1 },
+        enforce_congest: true,
+        ..RunConfig::default()
+    };
+    let mk = || g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
+    let seq = Runtime::with_config(&g, config).run(mk()).unwrap_err();
+    assert!(matches!(seq, RunError::CongestViolation { .. }));
+    for shards in SHARD_COUNTS {
+        let par = sharded(shards).run(&g, config, mk()).unwrap_err();
+        assert_eq!(seq, par, "shards {shards}");
+    }
+}
+
+#[test]
+fn sharded_sync_boruvka_matches_sequential() {
+    let g = connected_random(60, 150, 31, WeightStrategy::DistinctRandom { seed: 31 });
+    for threads in [2usize, 4] {
+        let seq = SyncBoruvkaMst.run(&g, &RunConfig::default()).unwrap();
+        let par = SyncBoruvkaMst
+            .run(
+                &g,
+                &RunConfig {
+                    threads: NonZeroUsize::new(threads),
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(seq.0, par.0, "sync-boruvka outputs diverged");
+        assert_eq!(seq.1, par.1, "sync-boruvka stats diverged");
+    }
 }

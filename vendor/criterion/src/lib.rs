@@ -16,16 +16,71 @@
 //! `sample_size` samples are collected (each sample times one closure call)
 //! within a `measurement_time` budget.  The median, minimum and maximum are
 //! printed in a criterion-like one-line format.  There is no statistical
-//! analysis, no output directory, and no comparison to previous runs — the
-//! numbers go to stdout and to the bench trajectory only.
+//! analysis and no comparison to previous runs, but every result is also
+//! recorded in a process-global registry that [`criterion_main!`] writes out
+//! as `BENCH_<bench-name>.json` at the workspace root when the bench binary
+//! exits — the machine-readable perf trajectory the repo commits per PR.
+//!
+//! Two extensions beyond the crates.io API subset:
+//!
+//! * **smoke mode** — running a bench binary with `-- --smoke` clamps every
+//!   benchmark to 2 samples, a 5 ms warm-up and a 100 ms budget, and
+//!   [`is_smoke`] lets bench files shrink their inputs; CI uses this to
+//!   catch executor regressions without paying full bench time (the smoke
+//!   run skips the JSON export so trajectory files always hold full runs);
+//! * **throughput** — [`BenchmarkGroup::throughput`] with
+//!   [`Throughput::Elements`] records a per-element time (e.g. ns/round)
+//!   next to the absolute sample times in the JSON.
 //!
 //! Swap this crate for the real `criterion` in the workspace manifest once
 //! the build environment has network access.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// One recorded benchmark result, queued for the JSON trajectory.
+struct RecordedResult {
+    scenario: String,
+    median_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+    elements: Option<u64>,
+}
+
+fn registry() -> &'static Mutex<Vec<RecordedResult>> {
+    static REGISTRY: OnceLock<Mutex<Vec<RecordedResult>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// True when the bench binary was invoked with `-- --smoke`.
+#[must_use]
+pub fn is_smoke() -> bool {
+    SMOKE.load(Ordering::Relaxed)
+}
+
+/// Parses the bench binary's CLI (called by [`criterion_main!`] before any
+/// group runs).  Only `--smoke` is interpreted; everything else cargo
+/// forwards (`--bench`, filters) is ignored, like the real criterion would.
+#[doc(hidden)]
+pub fn init_from_args() {
+    if std::env::args().any(|a| a == "--smoke") {
+        SMOKE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Per-iteration work declared for a benchmark, à la criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per call (e.g.
+    /// simulated rounds); the JSON trajectory reports time divided by it.
+    Elements(u64),
+}
 
 /// Identifier of one benchmark inside a group: a function name plus an
 /// optional parameter, rendered as `function/parameter`.
@@ -65,10 +120,23 @@ pub struct Bencher<'a> {
 
 impl Bencher<'_> {
     /// Times `routine`: warm-up, then up to `sample_size` timed calls within
-    /// the measurement budget.
+    /// the measurement budget.  In smoke mode the configuration is clamped
+    /// to 2 samples / 5 ms warm-up / 100 ms budget regardless of what the
+    /// bench file configured.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let smoke_config;
+        let config = if is_smoke() {
+            smoke_config = Config {
+                sample_size: self.config.sample_size.min(2),
+                warm_up_time: self.config.warm_up_time.min(Duration::from_millis(5)),
+                measurement_time: self.config.measurement_time.min(Duration::from_millis(100)),
+            };
+            &smoke_config
+        } else {
+            self.config
+        };
         // Warm-up.
-        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let warm_deadline = Instant::now() + config.warm_up_time;
         loop {
             black_box(routine());
             if Instant::now() >= warm_deadline {
@@ -76,9 +144,9 @@ impl Bencher<'_> {
             }
         }
         // Measurement.
-        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
-        let budget = Instant::now() + self.config.measurement_time;
-        for _ in 0..self.config.sample_size {
+        let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+        let budget = Instant::now() + config.measurement_time;
+        for _ in 0..config.sample_size {
             let start = Instant::now();
             black_box(routine());
             samples.push(start.elapsed());
@@ -142,6 +210,7 @@ impl Criterion {
         BenchmarkGroup {
             config: &self.config,
             name: name.into(),
+            throughput: None,
         }
     }
 }
@@ -150,9 +219,16 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     config: &'a Config,
     name: String,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of the following benchmarks in this
+    /// group; the JSON trajectory then reports a per-element time.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
     /// Runs one benchmark identified by `id`.
     pub fn bench_function<S: Display, F: FnMut(&mut Bencher<'_>)>(&mut self, id: S, mut f: F) {
         let mut b = Bencher {
@@ -183,17 +259,119 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &str, result: Option<(Duration, Duration, Duration)>) {
         match result {
-            Some((median, min, max)) => println!(
-                "{}/{:<40} time: [{} {} {}]",
-                self.name,
-                id,
-                fmt_duration(min),
-                fmt_duration(median),
-                fmt_duration(max)
-            ),
+            Some((median, min, max)) => {
+                println!(
+                    "{}/{:<40} time: [{} {} {}]",
+                    self.name,
+                    id,
+                    fmt_duration(min),
+                    fmt_duration(median),
+                    fmt_duration(max)
+                );
+                registry().lock().unwrap().push(RecordedResult {
+                    scenario: format!("{}/{}", self.name, id),
+                    median_ns: median.as_nanos(),
+                    min_ns: min.as_nanos(),
+                    max_ns: max.as_nanos(),
+                    elements: self.throughput.map(|Throughput::Elements(e)| e),
+                });
+            }
             None => println!("{}/{:<40} time: [no samples]", self.name, id),
         }
     }
+}
+
+/// Writes the recorded results as `BENCH_<bench-name>.json` (called by
+/// [`criterion_main!`] after every group ran).  Skipped in smoke mode so the
+/// committed trajectory only ever holds full measurements.  The file lands
+/// in `$BENCH_JSON_DIR` when set, else at the workspace root (the nearest
+/// ancestor of the running crate's manifest directory holding a
+/// `Cargo.lock`), else in the current directory.
+#[doc(hidden)]
+pub fn finalize() {
+    if is_smoke() {
+        return;
+    }
+    let results = registry().lock().unwrap();
+    if results.is_empty() {
+        return;
+    }
+    let name = std::env::args()
+        .next()
+        .map(|argv0| bench_name_from_argv0(&argv0))
+        .unwrap_or_else(|| "bench".to_string());
+    let dir = output_dir();
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"{}\",\n", escape(&name)));
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let per_element = match r.elements {
+            Some(e) if e > 0 => format!(
+                ", \"elements\": {e}, \"per_element_ns\": {:.1}",
+                r.median_ns as f64 / e as f64
+            ),
+            _ => String::new(),
+        };
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}{}}}{}\n",
+            escape(&r.scenario),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            per_element,
+            sep
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote bench trajectory to {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write bench trajectory {}: {e}", path.display()),
+    }
+}
+
+/// `target/release/deps/bench_substrate-0f3a…` → `bench_substrate`.
+fn bench_name_from_argv0(argv0: &str) -> String {
+    let stem = std::path::Path::new(argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    match stem.rsplit_once('-') {
+        Some((name, suffix))
+            if !name.is_empty() && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            name.to_string()
+        }
+        _ => stem.to_string(),
+    }
+}
+
+fn output_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_JSON_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let mut dir = std::path::PathBuf::from(manifest);
+        loop {
+            if dir.join("Cargo.lock").is_file() {
+                return dir;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    std::path::PathBuf::from(".")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// Renders a duration in criterion's adaptive unit style.
@@ -230,12 +408,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, invoking each group in order.
+/// Declares the bench binary's `main`: parses the CLI (`--smoke`), invokes
+/// each group in order, then writes the JSON bench trajectory.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_args();
             $( $group(); )+
+            $crate::finalize();
         }
     };
 }
