@@ -21,6 +21,7 @@
 //! the paper's CONGEST claim.
 
 use lma_sim::message::{bits_for_value, BitSized};
+use lma_sim::wire::{Wire, WireReader};
 
 /// A structured convergecast report: one node's unconsumed advice bits plus
 /// the reports of its fragment-tree children, ordered by the `(weight, port)`
@@ -147,6 +148,11 @@ impl BitSized for Report {
     }
 }
 
+// The wire form of a report is its recursive structure verbatim: payload
+// bits (one byte each — reports are `O(log n)` bits, so bit-packing would
+// save nothing measurable) followed by the child list.
+lma_sim::wire_struct!(Report { bits, children });
+
 /// What the choosing node must do, as decoded by the fragment root from
 /// `A(F)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +182,37 @@ impl BitSized for ChooserPayload {
         match self {
             ChooserPayload::Index { rank, .. } => 1 + bits_for_value(*rank as u64),
             ChooserPayload::Level { .. } => 2,
+        }
+    }
+}
+
+impl Wire for ChooserPayload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ChooserPayload::Index { up, rank } => {
+                out.push(0);
+                up.encode(out);
+                rank.encode(out);
+            }
+            ChooserPayload::Level { up, target_level } => {
+                out.push(1);
+                up.encode(out);
+                target_level.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.byte() {
+            0 => ChooserPayload::Index {
+                up: bool::decode(r),
+                rank: usize::decode(r),
+            },
+            1 => ChooserPayload::Level {
+                up: bool::decode(r),
+                target_level: u8::decode(r),
+            },
+            tag => unreachable!("invalid ChooserPayload wire tag {tag}"),
         }
     }
 }
@@ -226,6 +263,12 @@ impl BitSized for MapEntry {
     }
 }
 
+lma_sim::wire_struct!(MapEntry {
+    consume,
+    chooser,
+    children
+});
+
 /// The messages exchanged by the Theorem 3 decoder.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConstMsg {
@@ -246,6 +289,36 @@ impl BitSized for ConstMsg {
             ConstMsg::Map(m) => m.bit_size(),
             ConstMsg::Parent => 0,
             ConstMsg::Level(_) => 1,
+        }
+    }
+}
+
+impl Wire for ConstMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ConstMsg::Report(r) => {
+                out.push(0);
+                r.encode(out);
+            }
+            ConstMsg::Map(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+            ConstMsg::Parent => out.push(2),
+            ConstMsg::Level(level) => {
+                out.push(3);
+                level.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.byte() {
+            0 => ConstMsg::Report(Report::decode(r)),
+            1 => ConstMsg::Map(MapEntry::decode(r)),
+            2 => ConstMsg::Parent,
+            3 => ConstMsg::Level(u8::decode(r)),
+            tag => unreachable!("invalid ConstMsg wire tag {tag}"),
         }
     }
 }

@@ -14,7 +14,10 @@ use lma_mst::kruskal::kruskal_mst;
 use lma_mst::tree::RootedTree;
 use lma_mst::verify::UpwardOutput;
 use lma_sim::message::{bits_for_value, BitSized};
-use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
+use lma_sim::{
+    collect_outbox, Executor, LocalView, MsgSink, NodeAlgorithm, Outbox, RunConfig, RunStats,
+    Runtime,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One known edge, described by endpoint identifiers and weight.
@@ -34,8 +37,46 @@ impl BitSized for EdgeFact {
     }
 }
 
+/// Encoded footprint of one fact: three fixed-width little-endian `u64`s.
+///
+/// Fixed width rather than varints because gossip messages carry thousands
+/// of facts, making this the hottest codec in the arena plane: a whole fact
+/// moves as one 24-byte block with no data-dependent branches (a varint
+/// branches per byte).  The size trade is irrelevant — the arena is reset
+/// every round.  `bit_size` stays the honest varying-width accounting; 24
+/// bytes on the wire can only over-cover it (`bit_size <= 192 = 8 * 24`,
+/// pinned by the `wire_roundtrip` suite).
+const FACT_BYTES: usize = 24;
+
+fn encode_fact(f: &EdgeFact, out: &mut Vec<u8>) {
+    let mut block = [0u8; FACT_BYTES];
+    block[0..8].copy_from_slice(&f.a.to_le_bytes());
+    block[8..16].copy_from_slice(&f.b.to_le_bytes());
+    block[16..24].copy_from_slice(&f.w.to_le_bytes());
+    out.extend_from_slice(&block);
+}
+
+fn decode_fact(block: &[u8]) -> EdgeFact {
+    let word = |i: usize| u64::from_le_bytes(block[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+    EdgeFact {
+        a: word(0),
+        b: word(1),
+        w: word(2),
+    }
+}
+
+impl lma_sim::Wire for EdgeFact {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_fact(self, out);
+    }
+
+    fn decode(r: &mut lma_sim::WireReader<'_>) -> Self {
+        decode_fact(r.bytes(FACT_BYTES))
+    }
+}
+
 /// The message: the sender's identifier plus every edge fact it knows.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Knowledge {
     /// Sender identifier (lets the receiver map ports to identifiers).
     pub sender: u64,
@@ -46,6 +87,38 @@ pub struct Knowledge {
 impl BitSized for Knowledge {
     fn bit_size(&self) -> usize {
         bits_for_value(self.sender) + self.facts.iter().map(BitSized::bit_size).sum::<usize>()
+    }
+}
+
+// Hand-written for the two hot-path properties the derived codec cannot
+// give: the facts decode as one bounds-checked block (fixed 24-byte stride,
+// see `FACT_BYTES`), and `decode_into` reuses the `facts` allocation of a
+// revived message — the per-message allocation the arena plane eliminates
+// from every steady-state gossip round.
+impl lma_sim::Wire for Knowledge {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sender.encode(out);
+        lma_sim::wire::write_varint(out, self.facts.len() as u64);
+        out.reserve(self.facts.len() * FACT_BYTES);
+        for f in &self.facts {
+            encode_fact(f, out);
+        }
+    }
+
+    fn decode(r: &mut lma_sim::WireReader<'_>) -> Self {
+        let mut msg = Knowledge::default();
+        msg.decode_into(r);
+        msg
+    }
+
+    fn decode_into(&mut self, r: &mut lma_sim::WireReader<'_>) {
+        self.sender = u64::decode(r);
+        let len = usize::try_from(r.varint()).expect("length varint out of range");
+        let block = r.bytes(len * FACT_BYTES);
+        self.facts.clear();
+        self.facts.reserve(len);
+        self.facts
+            .extend(block.chunks_exact(FACT_BYTES).map(decode_fact));
     }
 }
 
@@ -68,6 +141,106 @@ impl NoAdviceMst for FloodCollectMst {
         let result = runtime.run(programs)?;
         Ok((result.outputs, result.stats))
     }
+
+    fn run_with<E: Executor>(
+        &self,
+        g: &WeightedGraph,
+        config: &RunConfig,
+        executor: &E,
+    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError> {
+        let programs: Vec<FloodNode> = g.nodes().map(|_| FloodNode::default()).collect();
+        let result = executor.run(g, *config, programs)?;
+        Ok((result.outputs, result.stats))
+    }
+}
+
+/// A steady-payload gossip program for benchmarks and allocation oracles:
+/// every round it broadcasts one fixed [`Knowledge`] payload *by reference*
+/// through every port and folds whatever it hears into a checksum, for a
+/// fixed number of rounds.  The payload is synthesized up front, so after
+/// construction the program itself allocates nothing — and on the arena
+/// plane backing neither does the executor, which is exactly what the
+/// `arena_alloc` integration test pins with a counting allocator and what
+/// the `gossip` group of `bench_substrate` measures against the inline
+/// backing and the push reference.
+#[derive(Debug)]
+pub struct FixedGossip {
+    payload: Knowledge,
+    rounds_left: usize,
+    heard: u64,
+}
+
+impl FixedGossip {
+    /// A gossip node for `sender` carrying `facts` synthetic edge facts,
+    /// exchanging for `rounds` rounds.
+    #[must_use]
+    pub fn new(sender: u64, facts: usize, rounds: usize) -> Self {
+        Self {
+            payload: Knowledge {
+                sender,
+                facts: (0..facts as u64)
+                    .map(|i| EdgeFact {
+                        a: sender + i,
+                        b: sender + i + 1,
+                        w: 1_000 + i,
+                    })
+                    .collect(),
+            },
+            rounds_left: rounds,
+            heard: 0,
+        }
+    }
+}
+
+impl NodeAlgorithm for FixedGossip {
+    type Msg = Knowledge;
+    type Output = u64;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<Knowledge> {
+        collect_outbox(|out| self.init_into(view, out))
+    }
+
+    fn round(
+        &mut self,
+        view: &LocalView,
+        round: usize,
+        inbox: &[(Port, Knowledge)],
+    ) -> Outbox<Knowledge> {
+        collect_outbox(|out| self.round_into(view, round, inbox, out))
+    }
+
+    fn init_into(&mut self, view: &LocalView, out: &mut MsgSink<'_, Knowledge>) {
+        for p in 0..view.degree() {
+            out.send_ref(p, &self.payload);
+        }
+    }
+
+    fn round_into(
+        &mut self,
+        view: &LocalView,
+        _round: usize,
+        inbox: &[(Port, Knowledge)],
+        out: &mut MsgSink<'_, Knowledge>,
+    ) {
+        for (_, msg) in inbox {
+            self.heard = self.heard.wrapping_add(msg.sender + msg.facts.len() as u64);
+        }
+        self.rounds_left -= 1;
+        if self.rounds_left == 0 {
+            return;
+        }
+        for p in 0..view.degree() {
+            out.send_ref(p, &self.payload);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self) -> Option<u64> {
+        (self.rounds_left == 0).then_some(self.heard)
+    }
 }
 
 /// Per-node program state.
@@ -78,15 +251,27 @@ struct FloodNode {
     port_ids: BTreeMap<Port, u64>,
     grew_last_round: bool,
     output: Option<UpwardOutput>,
+    /// The reusable broadcast message: rebuilt in place whenever `facts`
+    /// changes and then sent *by reference* through every port
+    /// ([`MsgSink::send_ref`]), so on the arena plane a steady-state gossip
+    /// round performs zero allocations — no per-port clone, no per-message
+    /// facts vector.
+    outgoing: Knowledge,
 }
 
 impl FloodNode {
-    fn broadcast(&self, view: &LocalView) -> Outbox<Knowledge> {
-        let msg = Knowledge {
-            sender: view.id,
-            facts: self.facts.iter().copied().collect(),
-        };
-        (0..view.degree()).map(|p| (p, msg.clone())).collect()
+    /// Rebuilds the broadcast message in place (allocation-free once the
+    /// facts vector has reached its high-water capacity).
+    fn refresh_outgoing(&mut self, view: &LocalView) {
+        self.outgoing.sender = view.id;
+        self.outgoing.facts.clear();
+        self.outgoing.facts.extend(self.facts.iter().copied());
+    }
+
+    fn broadcast_into(&self, view: &LocalView, out: &mut MsgSink<'_, Knowledge>) {
+        for p in 0..view.degree() {
+            out.send_ref(p, &self.outgoing);
+        }
     }
 
     /// Computes the final output once the node's knowledge is complete.
@@ -148,21 +333,40 @@ impl NodeAlgorithm for FloodNode {
     type Msg = Knowledge;
     type Output = UpwardOutput;
 
+    // The sink-based forms are primary (they broadcast one reusable message
+    // by reference); the vector forms delegate so the push-based reference
+    // oracle sees the identical traffic.
+
     fn init(&mut self, view: &LocalView) -> Outbox<Knowledge> {
-        // Initially a node knows only the weights of its incident edges, not
-        // who is behind them; it can still share (own id, weight) stubs only
-        // after learning neighbour ids, so round 1 exchanges ids (with the
-        // facts list still empty).
-        self.grew_last_round = true;
-        self.broadcast(view)
+        collect_outbox(|out| self.init_into(view, out))
     }
 
     fn round(
         &mut self,
         view: &LocalView,
-        _round: usize,
+        round: usize,
         inbox: &[(Port, Knowledge)],
     ) -> Outbox<Knowledge> {
+        collect_outbox(|out| self.round_into(view, round, inbox, out))
+    }
+
+    fn init_into(&mut self, view: &LocalView, out: &mut MsgSink<'_, Knowledge>) {
+        // Initially a node knows only the weights of its incident edges, not
+        // who is behind them; it can still share (own id, weight) stubs only
+        // after learning neighbour ids, so round 1 exchanges ids (with the
+        // facts list still empty).
+        self.grew_last_round = true;
+        self.refresh_outgoing(view);
+        self.broadcast_into(view, out);
+    }
+
+    fn round_into(
+        &mut self,
+        view: &LocalView,
+        _round: usize,
+        inbox: &[(Port, Knowledge)],
+        out: &mut MsgSink<'_, Knowledge>,
+    ) {
         let before = self.facts.len();
         for (port, msg) in inbox {
             self.port_ids.insert(*port, msg.sender);
@@ -183,10 +387,13 @@ impl NodeAlgorithm for FloodNode {
             // Knowledge is stable: nothing new arrived in two consecutive
             // rounds, so the whole component has been collected.
             self.conclude(view);
-            return Vec::new();
+            return;
         }
         self.grew_last_round = grew;
-        self.broadcast(view)
+        if grew {
+            self.refresh_outgoing(view);
+        }
+        self.broadcast_into(view, out);
     }
 
     fn is_done(&self) -> bool {

@@ -48,6 +48,21 @@ pub trait NoAdviceMst: Send + Sync {
         g: &WeightedGraph,
         config: &RunConfig,
     ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError>;
+
+    /// Like [`NoAdviceMst::run`], but on an explicit execution engine
+    /// instead of [`lma_sim::Runtime::run`]'s config-driven dispatch — the
+    /// differential-testing hook: the `runtime_equivalence` suite drives
+    /// both baselines through the sequential, sharded and push-reference
+    /// executors (and both plane backings) and pins the results
+    /// bit-identical.  Not object-safe; call it on a concrete baseline.
+    fn run_with<E: lma_sim::Executor>(
+        &self,
+        g: &WeightedGraph,
+        config: &RunConfig,
+        executor: &E,
+    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError>
+    where
+        Self: Sized;
 }
 
 #[cfg(test)]

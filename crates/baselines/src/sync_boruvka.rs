@@ -31,7 +31,11 @@ use lma_graph::graph::ceil_log2;
 use lma_graph::{Port, WeightedGraph};
 use lma_mst::verify::UpwardOutput;
 use lma_sim::message::{bits_for_value, BitSized};
-use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
+use lma_sim::wire::{Wire, WireReader};
+use lma_sim::{
+    collect_outbox, Executor, LocalView, MsgSink, NodeAlgorithm, Outbox, RunConfig, RunStats,
+    Runtime,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The globally consistent comparison key of an edge: weight, then the two
@@ -84,6 +88,53 @@ impl BitSized for GhsMsg {
                 }) + bits_for_value(*size)
             }
             GhsMsg::Token | GhsMsg::Done => 0,
+        }
+    }
+}
+
+impl Wire for GhsMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GhsMsg::Fragment { fragment, id } => {
+                out.push(0);
+                fragment.encode(out);
+                id.encode(out);
+            }
+            GhsMsg::Best { key, size } => {
+                out.push(1);
+                key.encode(out);
+                size.encode(out);
+            }
+            GhsMsg::Token => out.push(2),
+            GhsMsg::Done => out.push(3),
+            GhsMsg::Merge { sender } => {
+                out.push(4);
+                sender.encode(out);
+            }
+            GhsMsg::NewFragment(id) => {
+                out.push(5);
+                id.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        match r.byte() {
+            0 => GhsMsg::Fragment {
+                fragment: u64::decode(r),
+                id: u64::decode(r),
+            },
+            1 => GhsMsg::Best {
+                key: Option::decode(r),
+                size: u64::decode(r),
+            },
+            2 => GhsMsg::Token,
+            3 => GhsMsg::Done,
+            4 => GhsMsg::Merge {
+                sender: u64::decode(r),
+            },
+            5 => GhsMsg::NewFragment(u64::decode(r)),
+            tag => unreachable!("invalid GhsMsg wire tag {tag}"),
         }
     }
 }
@@ -173,6 +224,17 @@ impl NoAdviceMst for SyncBoruvkaMst {
         let result = runtime.run(programs)?;
         Ok((result.outputs, result.stats))
     }
+
+    fn run_with<E: Executor>(
+        &self,
+        g: &WeightedGraph,
+        config: &RunConfig,
+        executor: &E,
+    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError> {
+        let programs: Vec<GhsNode> = g.nodes().map(|_| GhsNode::default()).collect();
+        let result = executor.run(g, *config, programs)?;
+        Ok((result.outputs, result.stats))
+    }
 }
 
 /// Per-node state.
@@ -248,20 +310,14 @@ impl NodeAlgorithm for GhsNode {
     type Msg = GhsMsg;
     type Output = UpwardOutput;
 
+    // The sink-based forms are primary (messages are emitted straight into
+    // the plane, with no per-round outbox vector — `GhsMsg` itself is flat,
+    // so this makes the whole protocol allocation-free outside of merge and
+    // reorient events); the vector forms delegate so the push-based
+    // reference oracle sees the identical traffic.
+
     fn init(&mut self, view: &LocalView) -> Outbox<GhsMsg> {
-        self.fragment = view.id;
-        // Round 1 is the identify step of phase 0.
-        (0..view.degree())
-            .map(|p| {
-                (
-                    p,
-                    GhsMsg::Fragment {
-                        fragment: self.fragment,
-                        id: view.id,
-                    },
-                )
-            })
-            .collect()
+        collect_outbox(|out| self.init_into(view, out))
     }
 
     fn round(
@@ -270,10 +326,34 @@ impl NodeAlgorithm for GhsNode {
         round: usize,
         inbox: &[(Port, GhsMsg)],
     ) -> Outbox<GhsMsg> {
+        collect_outbox(|out| self.round_into(view, round, inbox, out))
+    }
+
+    fn init_into(&mut self, view: &LocalView, out: &mut MsgSink<'_, GhsMsg>) {
+        self.fragment = view.id;
+        // Round 1 is the identify step of phase 0.
+        for p in 0..view.degree() {
+            out.send(
+                p,
+                GhsMsg::Fragment {
+                    fragment: self.fragment,
+                    id: view.id,
+                },
+            );
+        }
+    }
+
+    fn round_into(
+        &mut self,
+        view: &LocalView,
+        round: usize,
+        inbox: &[(Port, GhsMsg)],
+        out: &mut MsgSink<'_, GhsMsg>,
+    ) {
         let plan = PhasePlan::for_n(view.n);
         let Some((_phase, offset)) = plan.locate(round) else {
             self.conclude();
-            return Vec::new();
+            return;
         };
 
         // ---- process what arrived this round ----
@@ -342,7 +422,7 @@ impl NodeAlgorithm for GhsNode {
 
         if self.finished {
             self.conclude();
-            return Vec::new();
+            return;
         }
 
         // ---- emit for the next round ----
@@ -350,9 +430,8 @@ impl NodeAlgorithm for GhsNode {
         let Some((_nphase, noffset)) = plan.locate(next) else {
             // The schedule is over after this exchange.
             self.conclude();
-            return Vec::new();
+            return;
         };
-        let mut outbox: Outbox<GhsMsg> = Vec::new();
 
         if noffset == plan.identify_offset() {
             // A new phase begins: reset the per-phase state.
@@ -363,24 +442,24 @@ impl NodeAlgorithm for GhsNode {
             self.reoriented_this_phase = false;
             self.pending_flood = None;
             for p in 0..view.degree() {
-                outbox.push((
+                out.send(
                     p,
                     GhsMsg::Fragment {
                         fragment: self.fragment,
                         id: view.id,
                     },
-                ));
+                );
             }
         } else if plan.converge_range().contains(&noffset) {
             self.recompute_best(view);
             if let Some(parent) = self.parent_port {
-                outbox.push((
+                out.send(
                     parent,
                     GhsMsg::Best {
                         key: self.best.map(|(k, _)| k),
                         size: self.subtree_size(),
                     },
-                ));
+                );
             }
         } else if plan.broadcast_range().contains(&noffset) {
             if noffset == plan.broadcast_range().start && self.parent_port.is_none() {
@@ -389,12 +468,12 @@ impl NodeAlgorithm for GhsNode {
                 if self.subtree_size() as usize == view.n || self.best.is_none() {
                     self.done_wave = true;
                     for p in &self.tree_ports {
-                        outbox.push((*p, GhsMsg::Done));
+                        out.send(*p, GhsMsg::Done);
                     }
                 } else {
                     match self.best {
                         Some((_, BestOrigin::Own(p))) => self.selected_port = Some(p),
-                        Some((_, BestOrigin::Child(p))) => outbox.push((p, GhsMsg::Token)),
+                        Some((_, BestOrigin::Child(p))) => out.send(p, GhsMsg::Token),
                         None => {}
                     }
                 }
@@ -406,7 +485,7 @@ impl NodeAlgorithm for GhsNode {
                     } else {
                         GhsMsg::Done
                     };
-                    outbox.push((p, msg));
+                    out.send(p, msg);
                 }
             }
         } else if noffset == plan.merge_offset() {
@@ -416,22 +495,21 @@ impl NodeAlgorithm for GhsNode {
             if let Some(p) = self.selected_port {
                 self.merge_sent = Some(p);
                 self.tree_ports.insert(p);
-                outbox.push((p, GhsMsg::Merge { sender: view.id }));
+                out.send(p, GhsMsg::Merge { sender: view.id });
             }
         } else if plan.reorient_range().contains(&noffset) {
             if let Some((frag, ports)) = self.pending_flood.take() {
                 if frag != u64::MAX && frag != u64::MAX - 1 {
                     for p in ports {
-                        outbox.push((p, GhsMsg::NewFragment(frag)));
+                        out.send(p, GhsMsg::NewFragment(frag));
                     }
                 }
             }
         }
 
-        if self.finished && outbox.is_empty() {
+        if self.finished && out.sent() == 0 {
             self.conclude();
         }
-        outbox
     }
 
     fn is_done(&self) -> bool {

@@ -13,11 +13,19 @@
 //! only meaningful relative to `pull` on multi-core hosts — the JSON records
 //! `host_cpus` so single-core CI numbers are not misread as regressions.
 //!
-//! `-- --smoke` shrinks the scaling graphs to 10³–10⁴ nodes and clamps the
-//! sample counts (see the vendored criterion shim), which is what the CI
-//! smoke job runs.
+//! The `gossip` group drives a variable-size-payload broadcast (a
+//! `Knowledge` message carrying an edge-fact vector, the LOCAL baselines'
+//! message shape) through the inline plane backing, the arena plane backing
+//! and the push reference on ring and G(n, p) graphs, so the
+//! arena-vs-inline allocation win lands in the committed trajectory next to
+//! the push → pull → sharded one.
+//!
+//! `-- --smoke` shrinks the scaling graphs to 10³–10⁴ nodes (gossip to
+//! 256–1024) and clamps the sample counts (see the vendored criterion
+//! shim), which is what the CI smoke job runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lma_baselines::flood_collect::FixedGossip;
 use lma_graph::generators::{complete, connected_random, gnp_connected, grid, ring};
 use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
@@ -25,7 +33,7 @@ use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::{kruskal_mst, prim_mst, UnionFind};
 use lma_sim::reference::run_push;
 use lma_sim::{
-    Executor, LocalView, Model, NodeAlgorithm, Outbox, RunConfig, Runtime, ShardedExecutor,
+    Backing, Executor, LocalView, Model, NodeAlgorithm, Outbox, RunConfig, Runtime, ShardedExecutor,
 };
 use std::hint::black_box;
 use std::num::NonZeroUsize;
@@ -263,10 +271,80 @@ fn bench_routing_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Rounds driven per iteration in the gossip scenarios.
+const GOSSIP_ROUNDS: usize = 10;
+
+/// Edge facts carried by every gossip message (≈ the knowledge of a node
+/// midway through a flood-collect run on these graphs).
+const GOSSIP_FACTS: usize = 96;
+
+/// Gossip-scenario graph families (ring and G(n, p), per the LOCAL
+/// baselines' natural habitats).  Gossip traffic is Θ(messages × payload),
+/// so the scales sit below the routing scenarios'.
+fn gossip_graphs() -> Vec<(String, WeightedGraph)> {
+    let scales: [usize; 2] = if criterion::is_smoke() {
+        [256, 1_024]
+    } else {
+        [1_024, 4_096]
+    };
+    let mut graphs = Vec::new();
+    for scale in scales {
+        graphs.push((format!("ring/{scale}"), ring(scale, WeightStrategy::Unit)));
+        graphs.push((
+            format!("gnp/{scale}"),
+            gnp_connected(
+                scale,
+                2.0 * (scale as f64).ln() / scale as f64,
+                9,
+                WeightStrategy::DistinctRandom { seed: 9 },
+            ),
+        ));
+    }
+    graphs
+}
+
+fn bench_gossip_backings(c: &mut Criterion) {
+    let graphs = gossip_graphs();
+    let mut group = c.benchmark_group("gossip");
+    group.throughput(Throughput::Elements(GOSSIP_ROUNDS as u64));
+    let fleet = |g: &WeightedGraph| -> Vec<FixedGossip> {
+        g.nodes()
+            .map(|u| FixedGossip::new(u as u64, GOSSIP_FACTS, GOSSIP_ROUNDS))
+            .collect()
+    };
+    for (name, g) in &graphs {
+        for (backing_name, backing) in [("inline", Backing::Inline), ("arena", Backing::Arena)] {
+            let config = RunConfig {
+                backing,
+                ..RunConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(backing_name, name), g, |b, g| {
+                b.iter(|| {
+                    let rt = Runtime::with_config(g, config);
+                    black_box(rt.run(fleet(g)).unwrap().stats.total_bits)
+                });
+            });
+        }
+        // The push oracle clones every message twice over (outbox + inbox):
+        // the historical worst case, kept for scale.
+        group.bench_with_input(BenchmarkId::new("push", name), g, |b, g| {
+            b.iter(|| {
+                black_box(
+                    run_push(g, RunConfig::default(), fleet(g))
+                        .unwrap()
+                        .stats
+                        .total_bits,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10);
     targets = bench_union_find, bench_generators, bench_sequential_mst, bench_simulator,
-        bench_routing_scaling
+        bench_routing_scaling, bench_gossip_backings
 }
 criterion_main!(substrate);

@@ -16,7 +16,9 @@
 //! * **cells are independent** — [`fan_out`] maps a function over a cell
 //!   list on scoped threads with deterministic, index-ordered collection,
 //!   so tables come out bit-identical to the sequential sweep no matter how
-//!   many threads run it.
+//!   many threads run it.  Workers *steal* cells from a shared atomic
+//!   counter rather than taking static chunks, so one expensive cell no
+//!   longer leaves the other threads idle.
 //!
 //! The two axes compose: many small runs parallelize best across cells
 //! (`fan_out`), single runs on huge graphs parallelize best inside the run
@@ -27,6 +29,8 @@ use lma_advice::{evaluate_scheme, AdvisingScheme, SchemeError, SchemeEvaluation}
 use lma_graph::WeightedGraph;
 use lma_sim::{Executor, NodeAlgorithm, RunConfig, RunError, RunResult, Runtime, ShardedExecutor};
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A pinned (graph, base config) pair that every run of a sweep goes
 /// through, so per-graph state is built once and reused.
@@ -115,8 +119,22 @@ impl<'g> RunHarness<'g> {
 /// output).  `f` receives the cell's index alongside the cell so sweeps can
 /// derive per-cell seeds.
 ///
+/// Scheduling is **work-stealing**: workers claim cells one at a time from a
+/// shared atomic next-index counter, so wildly uneven cells (one slow
+/// decode, one huge graph) no longer idle the other threads the way static
+/// chunking did — the slowest worker finishes at most one cell after the
+/// rest.  Each worker accumulates `(index, result)` pairs privately and the
+/// caller reassembles them by index, which is what keeps the output
+/// bit-identical to the sequential sweep.
+///
 /// With `threads == 1` (the default everywhere) this is a plain map — no
 /// threads are spawned at all.
+///
+/// # Panics
+/// A panic inside `f` stops the sweep fast and is propagated to the caller
+/// with its original payload: a shared stop flag keeps the other workers
+/// from claiming further cells, so they finish at most the one cell they
+/// are already executing.
 pub fn fan_out<C, T, F>(cells: &[C], threads: NonZeroUsize, f: F) -> Vec<T>
 where
     C: Sync,
@@ -127,25 +145,48 @@ where
     if workers <= 1 {
         return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
     }
-    let chunk = cells.len().div_ceil(workers);
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let mut results: Vec<Option<T>> = (0..cells.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (chunk_idx, (out_chunk, cell_chunk)) in results
-            .chunks_mut(chunk)
-            .zip(cells.chunks(chunk))
-            .enumerate()
-        {
-            let f = &f;
-            scope.spawn(move || {
-                for (j, cell) in cell_chunk.iter().enumerate() {
-                    out_chunk[j] = Some(f(chunk_idx * chunk + j, cell));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, stop, f) = (&next, &stop, &f);
+                scope.spawn(move || {
+                    let mut claimed: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            return claimed;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            return claimed;
+                        }
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &cells[i]))) {
+                            Ok(value) => claimed.push((i, value)),
+                            Err(payload) => {
+                                stop.store(true, Ordering::Relaxed);
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(claimed) => {
+                    for (i, value) in claimed {
+                        results[i] = Some(value);
+                    }
                 }
-            });
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     results
         .into_iter()
-        .map(|slot| slot.expect("every cell is filled by exactly one worker"))
+        .map(|slot| slot.expect("every cell is claimed by exactly one worker"))
         .collect()
 }
 
@@ -173,6 +214,65 @@ mod tests {
     fn fan_out_handles_empty_cell_lists() {
         let out: Vec<u32> = fan_out(&[], NonZeroUsize::new(4).unwrap(), |_, c: &u32| *c);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fan_out_claims_every_cell_exactly_once_even_with_excess_workers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cells: Vec<usize> = (0..11).collect();
+        let calls = AtomicUsize::new(0);
+        let out = fan_out(&cells, NonZeroUsize::new(64).unwrap(), |i, &c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, c);
+            c * 2
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), cells.len());
+        assert_eq!(out, (0..11).map(|c| c * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fan_out_propagates_a_cell_panic_without_draining_the_sweep() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cells: Vec<usize> = (0..512).collect();
+        let executed = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fan_out(&cells, NonZeroUsize::new(2).unwrap(), |_, &c| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                // Give the sibling worker time to observe the stop flag.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                assert!(c != 3, "planted failure");
+                c
+            })
+        }));
+        assert!(outcome.is_err(), "the cell panic must propagate");
+        assert!(
+            executed.load(Ordering::Relaxed) < cells.len() / 2,
+            "the stop flag must keep the surviving worker from draining \
+             the whole cell list ({} cells ran)",
+            executed.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn fan_out_balances_uneven_cells_across_workers() {
+        // One pathological cell (index 0) sleeps; with work stealing the
+        // other worker must pick up ALL remaining cells meanwhile, so the
+        // wall-clock is ~one sleep, not cells/2 sleeps as under static
+        // chunking.  Asserted structurally (every cell done, order kept),
+        // with a generous time bound to stay robust on loaded CI machines.
+        let cells: Vec<u64> = (0..16).collect();
+        let start = std::time::Instant::now();
+        let out = fan_out(&cells, NonZeroUsize::new(2).unwrap(), |_, &c| {
+            if c == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(120));
+            }
+            c + 1
+        });
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(1_500),
+            "uneven cells must not serialize the sweep"
+        );
     }
 
     #[test]

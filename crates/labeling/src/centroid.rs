@@ -35,6 +35,20 @@ pub struct CentroidEntry {
     pub max_weight: Weight,
 }
 
+impl lma_sim::message::BitSized for CentroidEntry {
+    fn bit_size(&self) -> usize {
+        lma_sim::message::bits_for_value(self.centroid as u64)
+            + lma_sim::message::bits_for_value(self.level as u64)
+            + lma_sim::message::bits_for_value(self.max_weight)
+    }
+}
+
+lma_sim::wire_struct!(CentroidEntry {
+    centroid,
+    level,
+    max_weight
+});
+
 /// The full centroid decomposition of one spanning tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CentroidDecomposition {

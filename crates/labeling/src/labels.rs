@@ -48,6 +48,8 @@ impl BitSized for SpanningLabel {
     }
 }
 
+lma_sim::wire_struct!(SpanningLabel { root_id, depth });
+
 /// The full MST-certificate label: the spanning part, the parent port the
 /// oracle assigned to this node (binding the certificate to one concrete
 /// tree), and the centroid-ancestor summary used for the cycle-property

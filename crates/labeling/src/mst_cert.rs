@@ -127,18 +127,16 @@ pub struct CertMsg {
 
 impl BitSized for CertMsg {
     fn bit_size(&self) -> usize {
-        let entry_bits: usize = self
-            .entries
-            .iter()
-            .map(|e| {
-                lma_sim::message::bits_for_value(e.centroid as u64)
-                    + lma_sim::message::bits_for_value(e.level as u64)
-                    + lma_sim::message::bits_for_value(e.max_weight)
-            })
-            .sum();
+        let entry_bits: usize = self.entries.iter().map(BitSized::bit_size).sum();
         self.spanning.bit_size() + 1 + entry_bits
     }
 }
+
+lma_sim::wire_struct!(CertMsg {
+    spanning,
+    entries,
+    parent_edge
+});
 
 /// The per-node verifier program.
 struct MstVerifier {

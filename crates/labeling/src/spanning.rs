@@ -100,6 +100,8 @@ impl BitSized for SpanningMsg {
     }
 }
 
+lma_sim::wire_struct!(SpanningMsg { label, parent_edge });
+
 /// The per-node verifier program.
 struct SpanningVerifier {
     label: SpanningLabel,

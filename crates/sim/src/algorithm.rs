@@ -5,6 +5,7 @@
 //! The runtime drives all node programs in lockstep rounds.
 
 use crate::message::BitSized;
+use crate::wire::Wire;
 use lma_graph::{Port, Weight};
 
 /// What a node is allowed to know about the network a priori (the paper's
@@ -58,6 +59,85 @@ impl LocalView {
 /// each of its incident edges a message").
 pub type Outbox<M> = Vec<(Port, M)>;
 
+/// Where one node's outgoing messages go — a send target handed to
+/// [`NodeAlgorithm::init_into`] / [`NodeAlgorithm::round_into`].
+///
+/// The executors back a sink directly with the message plane, so a message
+/// sent through it is validated, accounted and stored (or, on the arena
+/// backing, *encoded*) immediately, with no intermediate outbox vector.
+/// [`MsgSink::send_ref`] is the broadcast fast path: the same message can go
+/// out of every port without being cloned per port — the arena backing
+/// encodes straight from the reference, which is what makes gossip-style
+/// algorithms allocation-free in steady state.
+///
+/// Sends after a node's first malformed message (bad port, duplicate port,
+/// enforced CONGEST violation) are ignored; the run reports the first
+/// offense exactly as it always has.
+pub struct MsgSink<'a, M> {
+    target: &'a mut dyn SendSlot<M>,
+    sent: usize,
+}
+
+impl<'a, M> MsgSink<'a, M> {
+    /// A sink over a raw send target (executor-internal).
+    pub(crate) fn new(target: &'a mut dyn SendSlot<M>) -> Self {
+        Self { target, sent: 0 }
+    }
+
+    /// Sends `msg` through local port `port`, consuming it.
+    pub fn send(&mut self, port: Port, msg: M) {
+        self.sent += 1;
+        self.target.send(port, msg);
+    }
+
+    /// Sends a copy of `msg` through local port `port` without consuming
+    /// it — use this to broadcast one value through many ports.  The inline
+    /// plane backing clones; the arena backing encodes from the reference
+    /// and allocates nothing.
+    pub fn send_ref(&mut self, port: Port, msg: &M) {
+        self.sent += 1;
+        self.target.send_ref(port, msg);
+    }
+
+    /// How many messages have been sent through this sink (one sink spans
+    /// exactly one `init`/`round` call, so this is "did I send anything
+    /// this round").
+    #[must_use]
+    pub fn sent(&self) -> usize {
+        self.sent
+    }
+}
+
+/// The executor-facing half of [`MsgSink`]: implemented by the live scatter
+/// path of each executor and by plain vectors (outbox collection).
+pub(crate) trait SendSlot<M> {
+    fn send(&mut self, port: Port, msg: M);
+    fn send_ref(&mut self, port: Port, msg: &M);
+}
+
+impl<M: Clone> SendSlot<M> for Vec<(Port, M)> {
+    fn send(&mut self, port: Port, msg: M) {
+        self.push((port, msg));
+    }
+
+    fn send_ref(&mut self, port: Port, msg: &M) {
+        self.push((port, msg.clone()));
+    }
+}
+
+/// Runs `fill` against a vector-backed sink and returns the collected
+/// outbox.  This is the bridge for algorithms that implement the sink-based
+/// [`NodeAlgorithm::round_into`] as their primary form: their
+/// [`NodeAlgorithm::round`] can simply delegate here, so the push-based
+/// reference executor (which consumes outbox vectors) sees the exact same
+/// messages.
+pub fn collect_outbox<M: Clone>(fill: impl FnOnce(&mut MsgSink<'_, M>)) -> Outbox<M> {
+    let mut out: Outbox<M> = Vec::new();
+    let mut sink = MsgSink::new(&mut out);
+    fill(&mut sink);
+    out
+}
+
 /// A per-node program executed by the runtime.
 ///
 /// The life cycle is:
@@ -75,8 +155,9 @@ pub type Outbox<M> = Vec<(Port, M)>;
 /// has round complexity 0.
 pub trait NodeAlgorithm: Send {
     /// Message type exchanged by this algorithm (`'static` so executors can
-    /// pool and exchange message buffers across threads and runs).
-    type Msg: Clone + Send + Sync + BitSized + 'static;
+    /// pool and exchange message buffers across threads and runs; [`Wire`]
+    /// so any program can run on the arena plane backing).
+    type Msg: Clone + Send + Sync + BitSized + Wire + 'static;
     /// Per-node output type.
     type Output: Clone + Send;
 
@@ -93,6 +174,39 @@ pub trait NodeAlgorithm: Send {
         round: usize,
         inbox: &[(Port, Self::Msg)],
     ) -> Outbox<Self::Msg>;
+
+    /// Sink-based form of [`NodeAlgorithm::init`]: emit the round-1 messages
+    /// directly into `out` instead of materializing an outbox vector.
+    ///
+    /// This is what the plane executors actually call.  The default bridges
+    /// to [`NodeAlgorithm::init`], so ordinary algorithms implement only the
+    /// vector form; allocation-sensitive algorithms (gossip with `Vec`
+    /// payloads) override this and [`NodeAlgorithm::round_into`] as their
+    /// primary form — typically broadcasting a reusable message with
+    /// [`MsgSink::send_ref`] — and delegate the vector form through
+    /// [`collect_outbox`].  **Override both or neither of each pair**: the
+    /// two forms must emit the same messages in the same order (the
+    /// `runtime_equivalence` suite compares executors that call different
+    /// forms).
+    fn init_into(&mut self, view: &LocalView, out: &mut MsgSink<'_, Self::Msg>) {
+        for (port, msg) in self.init(view) {
+            out.send(port, msg);
+        }
+    }
+
+    /// Sink-based form of [`NodeAlgorithm::round`]; see
+    /// [`NodeAlgorithm::init_into`] for the contract.
+    fn round_into(
+        &mut self,
+        view: &LocalView,
+        round: usize,
+        inbox: &[(Port, Self::Msg)],
+        out: &mut MsgSink<'_, Self::Msg>,
+    ) {
+        for (port, msg) in self.round(view, round, inbox) {
+            out.send(port, msg);
+        }
+    }
 
     /// True when the node has produced its final output and will not send
     /// further messages.

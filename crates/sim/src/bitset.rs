@@ -13,6 +13,13 @@ pub struct FixedBitSet {
     len: usize,
 }
 
+impl Default for FixedBitSet {
+    /// An empty set over an empty key space (every query is false).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
 impl FixedBitSet {
     /// An empty set over the key space `0..len`.
     #[must_use]
@@ -50,6 +57,23 @@ impl FixedBitSet {
     #[must_use]
     pub fn contains(&self, key: usize) -> bool {
         key < self.len && self.words[key / 64] & (1 << (key % 64)) != 0
+    }
+
+    /// Removes `key`; returns `true` when the key was present (the arena
+    /// plane uses this as its "take" on the slot-filled set).
+    ///
+    /// # Panics
+    /// Panics if `key >= capacity()`.
+    pub fn remove(&mut self, key: usize) -> bool {
+        assert!(
+            key < self.len,
+            "key {key} out of range for bitset of {}",
+            self.len
+        );
+        let (word, bit) = (key / 64, 1u64 << (key % 64));
+        let present = self.words[word] & bit != 0;
+        self.words[word] &= !bit;
+        present
     }
 
     /// Removes every key (word-parallel; no allocation).
@@ -92,6 +116,16 @@ mod tests {
         assert!(!s.contains(0));
         assert_eq!(s.capacity(), 200);
         assert!(s.insert(0));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut s = FixedBitSet::new(70);
+        s.insert(69);
+        assert!(s.remove(69));
+        assert!(!s.remove(69));
+        assert!(!s.contains(69));
+        assert!(s.insert(69), "removal must make the key insertable again");
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! The trait exists for harnesses (benches, sweep drivers) that want to hold
 //! the engine choice as a value and reuse per-graph precomputation such as
 //! the [`Partition`] held by [`ShardedExecutor::for_graph`].
+//!
+//! Orthogonally to the engine, [`RunConfig::backing`] selects the plane's
+//! slot-storage backend (inline `Option<M>` slots vs the byte arena of
+//! [`crate::plane::ArenaPlane`]); the sequential and sharded engines honor
+//! it, while the reference oracle has no plane at all and ignores it.
 
 use crate::algorithm::NodeAlgorithm;
 use crate::runtime::{RunConfig, RunError, RunResult, Runtime};

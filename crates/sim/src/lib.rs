@@ -28,12 +28,33 @@
 //! graph reuse one allocation.  The original push-based executor survives in
 //! [`reference`] as a differential-testing oracle and benchmark baseline.
 //!
+//! The plane is generic over its **slot-storage backend**
+//! ([`plane::PlaneStore`], selected by [`plane::Backing`] on [`RunConfig`]):
+//!
+//! * **inline** (`Backing::Inline`, the default) — slots hold `Option<M>`
+//!   and delivery moves the value.  Pick it for small, flat message types
+//!   (`u64`, small enums): there is no codec work at all.
+//! * **arena** (`Backing::Arena`) — slots are `(offset, len)` spans into a
+//!   per-round byte bump buffer, written through the [`wire::Wire`] codec
+//!   and reset (never freed) each round.  Pick it for messages that own
+//!   heap memory (`Vec`-carrying gossip payloads such as the LOCAL-model
+//!   baselines'): encoding from a reference plus decode-into-recycled-value
+//!   delivery makes steady-state rounds **allocation-free** even for
+//!   variable-size payloads.  Algorithms opt into the by-reference
+//!   broadcast fast path by overriding
+//!   [`NodeAlgorithm::init_into`] / [`NodeAlgorithm::round_into`] and
+//!   sending with [`algorithm::MsgSink::send_ref`].
+//!
+//! Both backings produce bit-identical outputs, stats, traces and errors.
+//!
 //! Execution engines are pluggable behind the [`executor::Executor`] trait:
 //! the sequential plane loop, the push-based reference, and a deterministic
 //! **sharded parallel executor** ([`sharded`]) that partitions the slot
 //! space into contiguous shards (see `lma_graph::Partition`) and runs each
 //! shard's gather → step → scatter on its own scoped thread with one barrier
-//! per round.  All engines produce bit-identical results; select one via
+//! per round (cross-shard traffic moves through backend-specific exchange
+//! buffers: owned values inline, copied byte spans on the arena).  All
+//! engines produce bit-identical results; select one via
 //! [`RunConfig::threads`] or an explicit executor value.
 
 #![forbid(unsafe_code)]
@@ -51,12 +72,14 @@ pub mod runtime;
 pub mod sharded;
 pub mod stats;
 pub mod trace;
+pub mod wire;
 
-pub use algorithm::{LocalView, NodeAlgorithm, Outbox};
+pub use algorithm::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox};
 pub use bitset::FixedBitSet;
 pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
 pub use message::BitSized;
 pub use model::Model;
-pub use plane::{MessagePlane, SlotOccupied};
+pub use plane::{ArenaPlane, Backing, MessagePlane, PlaneStore, SlotOccupied};
 pub use runtime::{RunConfig, RunError, RunResult, Runtime};
 pub use stats::RunStats;
+pub use wire::{Wire, WireReader};

@@ -2,48 +2,62 @@
 //!
 //! Experiment sweeps execute many runs on the same graph (seed sweeps, fault
 //! trials, scheme comparisons).  Each run needs two message planes of `2m`
-//! slots plus a gather buffer; allocating and freeing them per run is pure
-//! overhead.  This module keeps one [`PlaneSet`] per message type in a
-//! thread-local pool: [`Runtime::run`](crate::Runtime::run) checks the set
-//! out at the start of a sequential run (resizing and clearing it — an
-//! aborted run may have left messages behind) and returns it at the end, so
-//! back-to-back runs on the same graph perform **zero** plane allocations
-//! after the first.
+//! slots plus a gather buffer — and, on the arena backing, the byte arenas
+//! and the spare-message recycling pool, both of which take a few rounds to
+//! grow to their high-water mark.  Allocating and freeing all of that per
+//! run is pure overhead.  This module keeps one [`PlaneSet`] per
+//! `(message type, plane backing)` pair in a thread-local pool:
+//! [`Runtime::run`](crate::Runtime::run) checks the set out at the start of
+//! a sequential run (resizing and clearing it — an aborted run may have left
+//! messages behind) and returns it at the end, so back-to-back runs on the
+//! same graph perform **zero** plane (and, for the arena, zero codec-side)
+//! allocations after the first.
 //!
 //! The pool is deliberately invisible in the API: it changes no observable
 //! semantics, only the allocation profile.  [`stats`] exposes hit/miss
 //! counters so tests and benches can assert the reuse actually happens.
 
-use crate::plane::MessagePlane;
+use crate::plane::PlaneStore;
 use lma_graph::Port;
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 /// The reusable per-run buffers of the sequential executor: the two
-/// double-buffered planes and the flat gather buffer.
-pub(crate) struct PlaneSet<M> {
+/// double-buffered planes, the flat gather buffer, and the spare-message
+/// pool serializing backends recycle through.
+pub(crate) struct PlaneSet<M, S> {
     /// Gather source (delivery) plane.
-    pub cur: MessagePlane<M>,
+    pub cur: S,
     /// Scatter target plane for the next round.
-    pub next: MessagePlane<M>,
+    pub next: S,
     /// The per-node gather buffer handed to `NodeAlgorithm::round`.
     pub inbox: Vec<(Port, M)>,
+    /// Spent message values awaiting revival by `Wire::decode_into` (unused
+    /// — always empty — on non-recycling backends).
+    pub spare: Vec<M>,
 }
 
-impl<M> PlaneSet<M> {
+impl<M, S: PlaneStore<M>> PlaneSet<M, S> {
     fn new(len: usize) -> Self {
         Self {
-            cur: MessagePlane::new(len),
-            next: MessagePlane::new(len),
+            cur: S::with_len(len),
+            next: S::with_len(len),
             inbox: Vec::new(),
+            spare: Vec::new(),
         }
     }
 
     fn prepare(&mut self, len: usize) {
         self.cur.prepare(len);
         self.next.prepare(len);
-        self.inbox.clear();
+        if S::RECYCLES {
+            // Stale gathered messages are still good capacity donors.
+            self.spare.extend(self.inbox.drain(..).map(|(_, m)| m));
+        } else {
+            self.inbox.clear();
+            self.spare.clear();
+        }
     }
 }
 
@@ -61,12 +75,12 @@ thread_local! {
     static STATS: Cell<PoolStats> = const { Cell::new(PoolStats { hits: 0, misses: 0 }) };
 }
 
-/// Checks a plane set for message type `M` out of this thread's pool,
-/// resized and cleared for `len` slots.
-pub(crate) fn checkout<M: 'static>(len: usize) -> PlaneSet<M> {
-    let reused = POOL.with(|pool| pool.borrow_mut().remove(&TypeId::of::<PlaneSet<M>>()));
+/// Checks a plane set for message type `M` on backend `S` out of this
+/// thread's pool, resized and cleared for `len` slots.
+pub(crate) fn checkout<M: 'static, S: PlaneStore<M>>(len: usize) -> PlaneSet<M, S> {
+    let reused = POOL.with(|pool| pool.borrow_mut().remove(&TypeId::of::<PlaneSet<M, S>>()));
     let mut stats = STATS.get();
-    match reused.and_then(|boxed| boxed.downcast::<PlaneSet<M>>().ok()) {
+    match reused.and_then(|boxed| boxed.downcast::<PlaneSet<M, S>>().ok()) {
         Some(mut set) => {
             stats.hits += 1;
             STATS.set(stats);
@@ -82,10 +96,10 @@ pub(crate) fn checkout<M: 'static>(len: usize) -> PlaneSet<M> {
 }
 
 /// Returns a plane set to this thread's pool for the next run to reuse.
-pub(crate) fn give_back<M: 'static>(set: PlaneSet<M>) {
+pub(crate) fn give_back<M: 'static, S: PlaneStore<M>>(set: PlaneSet<M, S>) {
     POOL.with(|pool| {
         pool.borrow_mut()
-            .insert(TypeId::of::<PlaneSet<M>>(), Box::new(set))
+            .insert(TypeId::of::<PlaneSet<M, S>>(), Box::new(set))
     });
 }
 
@@ -98,13 +112,14 @@ pub fn stats() -> PoolStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plane::{ArenaPlane, MessagePlane};
 
     #[test]
     fn checkout_reuses_previously_returned_sets() {
         let before = stats();
-        let set: PlaneSet<u128> = checkout(8);
+        let set: PlaneSet<u128, MessagePlane<u128>> = checkout(8);
         give_back(set);
-        let set: PlaneSet<u128> = checkout(16);
+        let set: PlaneSet<u128, MessagePlane<u128>> = checkout(16);
         assert_eq!(set.cur.len(), 16, "checkout must resize the reused set");
         give_back(set);
         let after = stats();
@@ -114,12 +129,38 @@ mod tests {
 
     #[test]
     fn pool_is_keyed_by_message_type() {
-        let a: PlaneSet<u16> = checkout(4);
+        let a: PlaneSet<u16, MessagePlane<u16>> = checkout(4);
         give_back(a);
-        let b: PlaneSet<i16> = checkout(4);
-        let a2: PlaneSet<u16> = checkout(4);
+        let b: PlaneSet<i16, MessagePlane<i16>> = checkout(4);
+        let a2: PlaneSet<u16, MessagePlane<u16>> = checkout(4);
         assert_eq!(a2.cur.len(), 4);
         give_back(b);
         give_back(a2);
+    }
+
+    #[test]
+    fn pool_is_keyed_by_backing_and_arena_sets_keep_their_spares() {
+        let mut inline: PlaneSet<u64, MessagePlane<u64>> = checkout(4);
+        inbox_fill(&mut inline.inbox);
+        give_back(inline);
+        let mut arena: PlaneSet<u64, ArenaPlane<u64>> = checkout(4);
+        inbox_fill(&mut arena.inbox);
+        arena.spare.push(7);
+        give_back(arena);
+
+        // Re-checkout: the inline set drops stale state, the arena set
+        // converts stale inbox entries into spares.
+        let inline: PlaneSet<u64, MessagePlane<u64>> = checkout(4);
+        assert!(inline.inbox.is_empty() && inline.spare.is_empty());
+        let arena: PlaneSet<u64, ArenaPlane<u64>> = checkout(4);
+        assert!(arena.inbox.is_empty());
+        assert_eq!(arena.spare.len(), 3, "spare + 2 recycled inbox messages");
+        give_back(inline);
+        give_back(arena);
+    }
+
+    fn inbox_fill(inbox: &mut Vec<(Port, u64)>) {
+        inbox.push((0, 1));
+        inbox.push((1, 2));
     }
 }

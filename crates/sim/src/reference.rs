@@ -13,6 +13,15 @@
 //!    so the routing speedup stays visible in the bench trajectory.
 //!
 //! Do not use it for experiments; it is deliberately the slow path.
+//!
+//! The oracle is *backend-free*: it ignores `RunConfig::backing` (messages
+//! never touch a plane — they are cloned straight into per-round inbox
+//! vectors), and it drives programs through the vector-returning
+//! `NodeAlgorithm::init` / `round` rather than the sink-based `*_into`
+//! forms.  That asymmetry is deliberate: comparing it against the plane
+//! executors therefore also pins that a program's two emission forms agree,
+//! and that the `Wire` codec round-trips every message (the arena-backed
+//! plane executor decodes what it delivers).
 
 use crate::algorithm::NodeAlgorithm;
 use crate::message::BitSized;

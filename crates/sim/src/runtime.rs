@@ -21,14 +21,14 @@
 //! [`crate::reference`] as a differential-testing oracle; the equivalence is
 //! asserted by the `runtime_equivalence` integration suite.
 
-use crate::algorithm::{LocalView, NodeAlgorithm, Outbox};
+use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm, SendSlot};
 use crate::message::BitSized;
 use crate::model::Model;
-use crate::plane::MessagePlane;
+use crate::plane::{ArenaPlane, Backing, MessagePlane, PlaneStore};
 use crate::pool;
 use crate::stats::RunStats;
 use crate::trace::TraceEvent;
-use lma_graph::{IncidentEdge, Partition, WeightedGraph};
+use lma_graph::{IncidentEdge, Partition, Port, WeightedGraph};
 use std::num::NonZeroUsize;
 
 /// Configuration of one simulated run.
@@ -51,6 +51,12 @@ pub struct RunConfig {
     /// stats and traces are bit-identical either way; only wall-clock
     /// changes, so the knob is safe to flip per deployment.
     pub threads: Option<NonZeroUsize>,
+    /// Slot-storage backend of the message plane (see [`Backing`]): inline
+    /// `Option<M>` slots (the default; best for small flat messages) or the
+    /// byte arena (best for `Vec`-carrying variable-size payloads).
+    /// Bit-identical results either way; only the allocation profile
+    /// changes.
+    pub backing: Backing,
 }
 
 impl Default for RunConfig {
@@ -61,6 +67,7 @@ impl Default for RunConfig {
             enforce_congest: false,
             trace: false,
             threads: None,
+            backing: Backing::Inline,
         }
     }
 }
@@ -166,68 +173,108 @@ impl PendingRound {
     }
 }
 
-/// Validates node `u`'s `outbox` and scatters it into `plane`, accumulating
-/// the accounting for the round the messages will be delivered in
-/// (`delivery_round`).  Shared by the sequential and sharded executors.
+/// The live scatter path behind every [`MsgSink`] the plane executors hand
+/// to node programs: validates each sent message, stores it into the plane
+/// backend, and accumulates the accounting for the round the messages will
+/// be delivered in (`delivery_round`).  Shared by the sequential and sharded
+/// executors; constructed fresh per node per round (it is only borrows).
 ///
 /// `plane` may cover only a suffix-aligned window of the global slot space
 /// (a shard's contiguous slot range): `plane_offset` is the global index of
 /// the plane's slot 0, so the sequential executor passes 0 and a sharded
 /// worker passes its shard's first slot.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn scatter_outbox<M: BitSized>(
-    u: usize,
-    outbox: Outbox<M>,
-    delivery_round: usize,
-    plane: &mut MessagePlane<M>,
-    plane_offset: usize,
-    pending: &mut PendingRound,
-    offsets: &[usize],
-    incident: &[IncidentEdge],
-    budget: Option<usize>,
-    enforce_congest: bool,
-    trace: bool,
-) {
-    if pending.error.is_some() {
-        return;
-    }
-    let base = offsets[u];
-    let degree = offsets[u + 1] - base;
-    for (port, msg) in outbox {
-        if port >= degree {
-            pending.error = Some(PendingError::Malformed { node: u, port });
-            return;
+///
+/// Error semantics match the historical outbox validation exactly: the
+/// first fatal event wins (in send order within a node, in node order
+/// across nodes), later sends are ignored, and the error surfaces when the
+/// offending message would have been *delivered* (see [`PendingError`]).
+pub(crate) struct Scatter<'a, M, S: PlaneStore<M>> {
+    pub node: usize,
+    /// First slot of `node` in the global slot space (`offsets[node]`).
+    pub base: usize,
+    pub degree: usize,
+    pub delivery_round: usize,
+    pub plane: &'a mut S,
+    pub plane_offset: usize,
+    pub spare: &'a mut Vec<M>,
+    pub pending: &'a mut PendingRound,
+    pub incident: &'a [IncidentEdge],
+    pub budget: Option<usize>,
+    pub enforce_congest: bool,
+    pub trace: bool,
+}
+
+impl<M: BitSized, S: PlaneStore<M>> Scatter<'_, M, S> {
+    /// Pre-store validation; returns the message's global slot when the
+    /// send should proceed.
+    fn accept(&mut self, port: Port) -> Option<usize> {
+        if self.pending.error.is_some() {
+            return None;
         }
-        let slot = base + port;
-        let size = msg.bit_size();
-        if let Err(occupied) = plane.put(slot - plane_offset, msg) {
-            // The plane surfaces the duplicate slot; report the exact port
-            // it corresponds to (never a silent drop).
-            pending.error = Some(PendingError::Malformed {
-                node: u,
-                port: occupied.slot + plane_offset - base,
+        if port >= self.degree {
+            self.pending.error = Some(PendingError::Malformed {
+                node: self.node,
+                port,
             });
-            return;
+            return None;
         }
-        pending.messages += 1;
-        pending.bits += size as u64;
-        pending.max_bits = pending.max_bits.max(size);
-        if let Some(b) = budget {
+        Some(self.base + port)
+    }
+
+    /// Maps a store rejection back to the duplicated port (never a silent
+    /// drop).
+    fn reject(&mut self, occupied: crate::plane::SlotOccupied) {
+        self.pending.error = Some(PendingError::Malformed {
+            node: self.node,
+            port: occupied.slot + self.plane_offset - self.base,
+        });
+    }
+
+    /// Post-store accounting: stats, CONGEST audit, trace.
+    fn account(&mut self, slot: usize, size: usize) {
+        self.pending.messages += 1;
+        self.pending.bits += size as u64;
+        self.pending.max_bits = self.pending.max_bits.max(size);
+        if let Some(b) = self.budget {
             if size > b {
-                if enforce_congest {
-                    pending.error = Some(PendingError::Congest { bits: size });
+                if self.enforce_congest {
+                    self.pending.error = Some(PendingError::Congest { bits: size });
                     return;
                 }
-                pending.violations += 1;
+                self.pending.violations += 1;
             }
         }
-        if trace {
-            pending.events.push(TraceEvent {
-                round: delivery_round,
-                from: u,
-                to: incident[slot].neighbor,
+        if self.trace {
+            self.pending.events.push(TraceEvent {
+                round: self.delivery_round,
+                from: self.node,
+                to: self.incident[slot].neighbor,
                 bits: size,
             });
+        }
+    }
+}
+
+impl<M: BitSized, S: PlaneStore<M>> SendSlot<M> for Scatter<'_, M, S> {
+    fn send(&mut self, port: Port, msg: M) {
+        let Some(slot) = self.accept(port) else {
+            return;
+        };
+        let size = msg.bit_size();
+        match self.plane.store(slot - self.plane_offset, msg, self.spare) {
+            Ok(()) => self.account(slot, size),
+            Err(occupied) => self.reject(occupied),
+        }
+    }
+
+    fn send_ref(&mut self, port: Port, msg: &M) {
+        let Some(slot) = self.accept(port) else {
+            return;
+        };
+        let size = msg.bit_size();
+        match self.plane.store_ref(slot - self.plane_offset, msg) {
+            Ok(()) => self.account(slot, size),
+            Err(occupied) => self.reject(occupied),
         }
     }
 }
@@ -315,22 +362,33 @@ impl<'g> Runtime<'g> {
     }
 
     /// The sequential plane executor (the deterministic reference the
-    /// sharded executor is pinned against).
+    /// sharded executor is pinned against), dispatched on
+    /// [`RunConfig::backing`].
     pub(crate) fn run_sequential<A: NodeAlgorithm>(
+        &self,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        match self.config.backing {
+            Backing::Inline => self.run_sequential_on::<MessagePlane<A::Msg>, A>(programs),
+            Backing::Arena => self.run_sequential_on::<ArenaPlane<A::Msg>, A>(programs),
+        }
+    }
+
+    fn run_sequential_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         &self,
         programs: Vec<A>,
     ) -> Result<RunResult<A::Output>, RunError> {
         // All steady-state storage comes from the per-thread pool: allocated
         // at most once, then reused by every later run on this thread.
-        let mut set = pool::checkout::<A::Msg>(self.graph.csr().slot_count());
+        let mut set = pool::checkout::<A::Msg, S>(self.graph.csr().slot_count());
         let result = self.sequential_loop(&mut set, programs);
         pool::give_back(set);
         result
     }
 
-    fn sequential_loop<A: NodeAlgorithm>(
+    fn sequential_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         &self,
-        set: &mut pool::PlaneSet<A::Msg>,
+        set: &mut pool::PlaneSet<A::Msg, S>,
         mut programs: Vec<A>,
     ) -> Result<RunResult<A::Output>, RunError> {
         let n = self.graph.node_count();
@@ -342,31 +400,38 @@ impl<'g> Runtime<'g> {
         let mirror = csr.mirror_table();
         let incident = csr.incident_flat();
 
-        let pool::PlaneSet { cur, next, inbox } = set;
+        let pool::PlaneSet {
+            cur,
+            next,
+            inbox,
+            spare,
+        } = set;
         let mut pending = PendingRound::default();
         let mut events: Vec<TraceEvent> = Vec::new();
         let mut stats = RunStats::default();
         let mut done_count = 0usize;
 
-        // Initialization: round-0 local computation producing round-1 traffic.
+        // Initialization: round-0 local computation producing round-1
+        // traffic, emitted straight into the plane.
         for u in 0..n {
-            let outbox = programs[u].init(&views[u]);
+            let mut scatter = Scatter {
+                node: u,
+                base: offsets[u],
+                degree: offsets[u + 1] - offsets[u],
+                delivery_round: 1,
+                plane: &mut *cur,
+                plane_offset: 0,
+                spare: &mut *spare,
+                pending: &mut pending,
+                incident,
+                budget,
+                enforce_congest: self.config.enforce_congest,
+                trace: self.config.trace,
+            };
+            programs[u].init_into(&views[u], &mut MsgSink::new(&mut scatter));
             if programs[u].is_done() {
                 done_count += 1;
             }
-            scatter_outbox(
-                u,
-                outbox,
-                1,
-                cur,
-                0,
-                &mut pending,
-                offsets,
-                incident,
-                budget,
-                self.config.enforce_congest,
-                self.config.trace,
-            );
         }
 
         let mut round = 0usize;
@@ -407,43 +472,49 @@ impl<'g> Runtime<'g> {
             // Deliver and step.  Each receiver gathers its traffic by
             // pulling from the mirror slot of each of its ports: delivery
             // order is port-ascending by construction (no sort needed), and
-            // each message is *moved* out of the sender's slot (no clone).
-            // Gathering is unconditional — done nodes still drain their
-            // slots so the plane is empty when the buffers swap.
+            // each message is *moved* (inline) or decoded into a recycled
+            // value (arena) out of the sender's slot.  Gathering is
+            // unconditional — done nodes still drain their slots so the
+            // plane is empty when the buffers swap.
             for v in 0..n {
-                inbox.clear();
+                if S::RECYCLES {
+                    spare.extend(inbox.drain(..).map(|(_, m)| m));
+                } else {
+                    inbox.clear();
+                }
                 let base = offsets[v];
                 for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
-                    if let Some(msg) = cur.take(sender_slot) {
+                    if let Some(msg) = cur.fetch(sender_slot, spare) {
                         inbox.push((p, msg));
                     }
                 }
                 if programs[v].is_done() {
                     continue;
                 }
-                let outbox = programs[v].round(&views[v], round, inbox);
+                let mut scatter = Scatter {
+                    node: v,
+                    base,
+                    degree: offsets[v + 1] - base,
+                    delivery_round: round + 1,
+                    plane: &mut *next,
+                    plane_offset: 0,
+                    spare: &mut *spare,
+                    pending: &mut pending,
+                    incident,
+                    budget,
+                    enforce_congest: self.config.enforce_congest,
+                    trace: self.config.trace,
+                };
+                programs[v].round_into(&views[v], round, inbox, &mut MsgSink::new(&mut scatter));
                 if programs[v].is_done() {
                     done_count += 1;
                 }
-                scatter_outbox(
-                    v,
-                    outbox,
-                    round + 1,
-                    next,
-                    0,
-                    &mut pending,
-                    offsets,
-                    incident,
-                    budget,
-                    self.config.enforce_congest,
-                    self.config.trace,
-                );
             }
 
             // The current plane was fully drained by the gather pass; it
             // becomes the (empty) scatter target of the next round.
             std::mem::swap(cur, next);
-            next.clear_occupancy();
+            next.reset_round();
         }
 
         let outputs = programs.iter().map(NodeAlgorithm::output).collect();
@@ -461,6 +532,7 @@ impl<'g> Runtime<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algorithm::Outbox;
     use lma_graph::generators::{path, ring};
     use lma_graph::weights::WeightStrategy;
     use lma_graph::Port;

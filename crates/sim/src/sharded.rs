@@ -6,17 +6,24 @@
 //! owns the shard's programs and a **private** pair of double-buffered
 //! message planes covering only the shard's contiguous slot range, so the
 //! scatter and gather of different shards touch disjoint memory by
-//! construction — there is no shared mutable plane and no unsafe code.
+//! construction — there is no shared mutable plane and no unsafe code.  The
+//! planes are generic over the slot backend ([`crate::plane::PlaneStore`]):
+//! inline `Option<M>` slots or per-shard byte arenas, selected by
+//! [`RunConfig::backing`].
 //!
 //! Cross-shard traffic travels through dense, preallocated **exchange
 //! buffers**: one buffer per ordered shard pair `(s, t)` and round parity,
-//! sized by the partition's boundary-slot list.  At the end of its round, a
-//! worker drains the boundary slots of its freshly scattered plane into its
-//! outgoing buffers; at the start of the next round the receiving worker
-//! takes the buffers whole and gathers from them by the partition's
-//! precomputed cross-reference positions.  Parity alternation makes the
-//! buffer a single-producer/single-consumer hand-off separated by a barrier,
-//! so the per-buffer `Mutex` is never contended.
+//! sized by the partition's boundary-slot list.  The buffer type comes from
+//! the backend ([`PlaneStore::Boundary`]): owned `Option<M>` values for the
+//! inline backing, *copied encoded byte spans* for the arena backing (the
+//! consumer decodes them into its own recycled messages, so no shard ever
+//! reads another shard's arena).  At the end of its round, a worker drains
+//! the boundary slots of its freshly scattered plane into its outgoing
+//! buffers; at the start of the next round the receiving worker takes the
+//! buffers whole and gathers from them by the partition's precomputed
+//! cross-reference positions.  Parity alternation makes the buffer a
+//! single-producer/single-consumer hand-off separated by a barrier, so the
+//! per-buffer `Mutex` is never contended.
 //!
 //! Each round costs exactly one barrier cycle (two `Barrier::wait`s): after
 //! every worker has published its per-shard report, the barrier leader
@@ -32,9 +39,9 @@
 //! executor, and the other workers shut down cleanly instead of deadlocking
 //! at the barrier.
 
-use crate::algorithm::{LocalView, NodeAlgorithm};
-use crate::plane::MessagePlane;
-use crate::runtime::{scatter_outbox, PendingError, PendingRound, RunConfig, RunError, RunResult};
+use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm};
+use crate::plane::{ArenaPlane, Backing, MessagePlane, PlaneStore};
+use crate::runtime::{PendingError, PendingRound, RunConfig, RunError, RunResult, Scatter};
 use crate::stats::RunStats;
 use crate::trace::TraceEvent;
 use lma_graph::{Partition, Port, WeightedGraph};
@@ -76,22 +83,40 @@ struct Control {
     panic: Option<Box<dyn Any + Send>>,
 }
 
-struct Shared<M> {
+struct Shared<M, S: PlaneStore<M>> {
     barrier: Barrier,
     /// `pair_bufs[parity][s * k + t]`: the exchange buffer carrying shard
     /// `s`'s boundary traffic to shard `t` for rounds of that parity, dense
     /// over `partition.boundary(s, t)` positions.
-    pair_bufs: [Vec<Mutex<Vec<Option<M>>>>; 2],
+    pair_bufs: [Vec<Mutex<S::Boundary>>; 2],
     reports: Vec<Mutex<ShardReport>>,
     control: Mutex<Control>,
 }
 
-/// Runs `programs` with one worker thread per shard of `partition`.
+/// Runs `programs` with one worker thread per shard of `partition`,
+/// dispatching the plane backend on [`RunConfig::backing`].
 ///
 /// Semantics match [`crate::Runtime::run`] exactly; only the schedule (and
 /// the wall-clock) differ.  The caller provides the per-node `views` so a
 /// harness can reuse them across runs.
 pub(crate) fn run_sharded<A: NodeAlgorithm>(
+    graph: &WeightedGraph,
+    config: RunConfig,
+    partition: &Partition,
+    views: &[LocalView],
+    programs: Vec<A>,
+) -> Result<RunResult<A::Output>, RunError> {
+    match config.backing {
+        Backing::Inline => {
+            run_sharded_on::<MessagePlane<A::Msg>, A>(graph, config, partition, views, programs)
+        }
+        Backing::Arena => {
+            run_sharded_on::<ArenaPlane<A::Msg>, A>(graph, config, partition, views, programs)
+        }
+    }
+}
+
+fn run_sharded_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
     graph: &WeightedGraph,
     config: RunConfig,
     partition: &Partition,
@@ -130,13 +155,12 @@ pub(crate) fn run_sharded<A: NodeAlgorithm>(
         let mut bufs = Vec::with_capacity(k * k);
         for s in 0..k {
             for t in 0..k {
-                let len = partition.boundary(s, t).len();
-                bufs.push(Mutex::new((0..len).map(|_| None).collect::<Vec<_>>()));
+                bufs.push(Mutex::new(S::new_boundary(partition.boundary(s, t).len())));
             }
         }
         bufs
     };
-    let shared: Shared<A::Msg> = Shared {
+    let shared: Shared<A::Msg, S> = Shared {
         barrier: Barrier::new(k),
         pair_bufs: [make_bufs(), make_bufs()],
         reports: (0..k).map(|_| Mutex::new(ShardReport::default())).collect(),
@@ -199,14 +223,14 @@ pub(crate) fn run_sharded<A: NodeAlgorithm>(
 /// leader commands a stop.  Returns the shard's programs so the caller can
 /// collate outputs.
 #[allow(clippy::too_many_arguments)]
-fn worker<A: NodeAlgorithm>(
+fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
     s: usize,
     mut programs: Vec<A>,
     graph: &WeightedGraph,
     config: RunConfig,
     partition: &Partition,
     views: &[LocalView],
-    shared: &Shared<A::Msg>,
+    shared: &Shared<A::Msg, S>,
     budget: Option<usize>,
 ) -> Vec<A> {
     let k = partition.shard_count();
@@ -218,34 +242,36 @@ fn worker<A: NodeAlgorithm>(
     let slots = partition.slot_range(s);
     let slot_base = slots.start;
 
-    let mut cur: MessagePlane<A::Msg> = MessagePlane::new(slots.len());
-    let mut next: MessagePlane<A::Msg> = MessagePlane::new(slots.len());
+    let mut cur: S = S::with_len(slots.len());
+    let mut next: S = S::with_len(slots.len());
     let mut inbox: Vec<(Port, A::Msg)> = Vec::new();
+    let mut spare: Vec<A::Msg> = Vec::new();
     let mut pending = PendingRound::default();
-    let mut incoming: Vec<Vec<Option<A::Msg>>> = vec![Vec::new(); k];
+    let mut incoming: Vec<S::Boundary> = (0..k).map(|_| S::Boundary::default()).collect();
 
     // Initialization: round-0 local computation producing round-1 traffic,
     // scattered into `cur` and drained into the parity-1 exchange buffers.
     let caught = catch_unwind(AssertUnwindSafe(|| {
         let mut done_delta = 0usize;
         for (i, u) in nodes.clone().enumerate() {
-            let outbox = programs[i].init(&views[u]);
+            let mut scatter = Scatter {
+                node: u,
+                base: offsets[u],
+                degree: offsets[u + 1] - offsets[u],
+                delivery_round: 1,
+                plane: &mut cur,
+                plane_offset: slot_base,
+                spare: &mut spare,
+                pending: &mut pending,
+                incident,
+                budget,
+                enforce_congest: config.enforce_congest,
+                trace: config.trace,
+            };
+            programs[i].init_into(&views[u], &mut MsgSink::new(&mut scatter));
             if programs[i].is_done() {
                 done_delta += 1;
             }
-            scatter_outbox(
-                u,
-                outbox,
-                1,
-                &mut cur,
-                slot_base,
-                &mut pending,
-                offsets,
-                incident,
-                budget,
-                config.enforce_congest,
-                config.trace,
-            );
         }
         done_delta
     }));
@@ -285,7 +311,11 @@ fn worker<A: NodeAlgorithm>(
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let mut done_delta = 0usize;
             for (i, v) in nodes.clone().enumerate() {
-                inbox.clear();
+                if S::RECYCLES {
+                    spare.extend(inbox.drain(..).map(|(_, m)| m));
+                } else {
+                    inbox.clear();
+                }
                 let base = offsets[v];
                 // Gather in port order: intra-shard mirrors from the private
                 // plane, cross-shard mirrors from the exchange buffers.
@@ -293,12 +323,12 @@ fn worker<A: NodeAlgorithm>(
                 // position is drained each round.
                 for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
                     let msg = if slots.contains(&sender_slot) {
-                        cur.take(sender_slot - slot_base)
+                        cur.fetch(sender_slot - slot_base, &mut spare)
                     } else {
                         let (src, pos) = partition
                             .cross_ref(sender_slot)
                             .expect("out-of-shard mirror slot must be a boundary slot");
-                        incoming[src][pos].take()
+                        S::fetch_boundary(&mut incoming[src], pos, &mut spare)
                     };
                     if let Some(msg) = msg {
                         inbox.push((p, msg));
@@ -307,23 +337,24 @@ fn worker<A: NodeAlgorithm>(
                 if programs[i].is_done() {
                     continue;
                 }
-                let outbox = programs[i].round(&views[v], round, &inbox);
+                let mut scatter = Scatter {
+                    node: v,
+                    base,
+                    degree: offsets[v + 1] - base,
+                    delivery_round: round + 1,
+                    plane: &mut next,
+                    plane_offset: slot_base,
+                    spare: &mut spare,
+                    pending: &mut pending,
+                    incident,
+                    budget,
+                    enforce_congest: config.enforce_congest,
+                    trace: config.trace,
+                };
+                programs[i].round_into(&views[v], round, &inbox, &mut MsgSink::new(&mut scatter));
                 if programs[i].is_done() {
                     done_delta += 1;
                 }
-                scatter_outbox(
-                    v,
-                    outbox,
-                    round + 1,
-                    &mut next,
-                    slot_base,
-                    &mut pending,
-                    offsets,
-                    incident,
-                    budget,
-                    config.enforce_congest,
-                    config.trace,
-                );
             }
             done_delta
         }));
@@ -340,7 +371,7 @@ fn worker<A: NodeAlgorithm>(
         // executor's; the freshly scattered plane then has its boundary
         // slots drained into the next parity's exchange buffers.
         std::mem::swap(&mut cur, &mut next);
-        next.clear_occupancy();
+        next.reset_round();
         publish(
             s,
             shared,
@@ -362,11 +393,11 @@ fn n_of(partition: &Partition) -> usize {
 /// Drains the boundary slots of `plane` into this shard's outgoing exchange
 /// buffers for `parity`, then publishes the shard's report for the round.
 #[allow(clippy::too_many_arguments)]
-fn publish<M>(
+fn publish<M, S: PlaneStore<M>>(
     s: usize,
-    shared: &Shared<M>,
+    shared: &Shared<M, S>,
     partition: &Partition,
-    plane: &mut MessagePlane<M>,
+    plane: &mut S,
     slot_base: usize,
     parity: usize,
     pending: &mut PendingRound,
@@ -380,9 +411,8 @@ fn publish<M>(
                 continue;
             }
             let mut buf = shared.pair_bufs[parity][s * k + t].lock().unwrap();
-            for (pos, &slot) in boundary.iter().enumerate() {
-                buf[pos] = plane.take(slot - slot_base);
-            }
+            plane.export_boundary(boundary, slot_base, &mut buf);
+            drop(buf);
         }
     }
     let mut report = shared.reports[s].lock().unwrap();
@@ -405,7 +435,12 @@ fn publish<M>(
 /// reproduces the sequential executor exactly: done-check, round-limit
 /// check, then the round commit (first pending error in node order wins;
 /// stats and trace only on a clean commit).
-fn coordinate<M>(shared: &Shared<M>, config: &RunConfig, n: usize, budget: Option<usize>) {
+fn coordinate<M, S: PlaneStore<M>>(
+    shared: &Shared<M, S>,
+    config: &RunConfig,
+    n: usize,
+    budget: Option<usize>,
+) {
     let mut ctl = shared.control.lock().unwrap();
     let mut messages = 0u64;
     let mut bits = 0u64;

@@ -1,0 +1,108 @@
+//! Allocation oracle for the arena-backed message plane: a **steady-state
+//! gossip round must allocate nothing**, even though every message carries a
+//! variable-size `Vec` payload.
+//!
+//! Method: this test binary installs a global *counting* allocator (the
+//! whole file is test-only code, the satellite form of "a counting allocator
+//! behind `#[cfg(test)]`") and runs the same `Knowledge`-gossip program for
+//! two different round counts, everything else identical and pool-warmed.
+//! The gossip program is the shared `FixedGossip` fixture of
+//! `lma_baselines::flood_collect` (also driven by the `gossip` bench
+//! group), whose payload is built at construction time.
+//! The per-run fixed costs (local views, program construction, outputs)
+//! cancel in the difference, so
+//!
+//! > `allocs(run of 64 rounds) - allocs(run of 40 rounds) = 24 × (per-round
+//! > allocations)`
+//!
+//! and the arena backing must make that difference **exactly zero**.  The
+//! two round counts are chosen inside one power-of-two bracket (33..=64) so
+//! the `RunStats::per_round_max_bits` vector reaches the same doubled
+//! capacity in both runs.  As a control, the inline backing — which clones
+//! the facts vector per port per round — must show a strictly positive
+//! difference, so the test cannot silently pass by measuring nothing.
+
+use lma_baselines::flood_collect::FixedGossip;
+use lma_graph::generators::ring;
+use lma_graph::weights::WeightStrategy;
+use lma_sim::{Backing, RunConfig, Runtime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation served to this test binary.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const FACTS: usize = 48;
+/// Both round counts live in the 33..=64 capacity bracket of a doubling
+/// `Vec`, so `RunStats::per_round_max_bits` grows identically in both runs.
+const ROUNDS_SHORT: usize = 40;
+const ROUNDS_LONG: usize = 64;
+
+fn gossip_allocations(g: &lma_graph::WeightedGraph, backing: Backing, rounds: usize) -> u64 {
+    let config = RunConfig {
+        backing,
+        ..RunConfig::default()
+    };
+    let programs: Vec<FixedGossip> = g
+        .nodes()
+        .map(|u| FixedGossip::new(u as u64, FACTS, rounds))
+        .collect();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = Runtime::with_config(g, config).run(programs).unwrap();
+    assert_eq!(result.stats.rounds, rounds);
+    assert!(result.outputs.iter().all(Option::is_some));
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn arena_gossip_steady_state_allocates_nothing_per_round() {
+    let g = ring(24, WeightStrategy::Unit);
+
+    // Warm-up: prime the per-thread plane pool, the arenas and the spare
+    // messages to their high-water marks for BOTH backings.
+    for backing in [Backing::Arena, Backing::Inline] {
+        gossip_allocations(&g, backing, ROUNDS_LONG);
+    }
+
+    let arena_short = gossip_allocations(&g, Backing::Arena, ROUNDS_SHORT);
+    let arena_long = gossip_allocations(&g, Backing::Arena, ROUNDS_LONG);
+    assert_eq!(
+        arena_long, arena_short,
+        "arena-backed gossip must not allocate per round \
+         ({ROUNDS_LONG}-round run: {arena_long} allocations, \
+         {ROUNDS_SHORT}-round run: {arena_short})"
+    );
+
+    // Control: the inline backing clones the facts vector per message, so
+    // the extra rounds must show up — proving the measurement has teeth.
+    let inline_short = gossip_allocations(&g, Backing::Inline, ROUNDS_SHORT);
+    let inline_long = gossip_allocations(&g, Backing::Inline, ROUNDS_LONG);
+    assert!(
+        inline_long > inline_short,
+        "inline-backed gossip was expected to allocate per round \
+         (got {inline_short} vs {inline_long}) — is the control broken?"
+    );
+}

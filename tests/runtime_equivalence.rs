@@ -18,14 +18,14 @@
 //! 4. the `sync_boruvka` baseline (the most protocol-heavy consumer of the
 //!    simulator) reproduces identical results across runs and models.
 
-use lma_baselines::{NoAdviceMst, SyncBoruvkaMst};
+use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
 use lma_graph::generators::{connected_random, gnp_connected, grid, ring};
 use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
 use lma_sim::reference::run_push;
 use lma_sim::{
-    Executor, LocalView, Model, NodeAlgorithm, Outbox, RunConfig, RunError, RunResult, Runtime,
-    ShardedExecutor,
+    Backing, Executor, LocalView, Model, NodeAlgorithm, Outbox, ReferenceExecutor, RunConfig,
+    RunError, RunResult, Runtime, SequentialExecutor, ShardedExecutor,
 };
 use std::num::NonZeroUsize;
 
@@ -120,19 +120,26 @@ impl NodeAlgorithm for MinForward {
     }
 }
 
+/// LOCAL and CONGEST-audit, each on both plane backings — every equivalence
+/// test below therefore sweeps the arena plane against the push oracle and
+/// the sequential executor for free.
 fn configs(n: usize) -> Vec<RunConfig> {
-    vec![
-        RunConfig {
+    let mut configs = Vec::new();
+    for backing in [Backing::Inline, Backing::Arena] {
+        configs.push(RunConfig {
             trace: true,
+            backing,
             ..RunConfig::default()
-        },
-        RunConfig {
+        });
+        configs.push(RunConfig {
             model: Model::congest_for(n),
             enforce_congest: false,
             trace: true,
+            backing,
             ..RunConfig::default()
-        },
-    ]
+        });
+    }
+    configs
 }
 
 fn assert_identical<O: PartialEq + std::fmt::Debug>(
@@ -379,7 +386,9 @@ fn run_config_threads_knob_dispatches_to_the_sharded_executor() {
 fn sharded_reports_the_same_malformed_outbox_error() {
     let g = ring(24, WeightStrategy::Unit);
     // The culprit in the middle of the node range lands in an interior
-    // shard; plant the bug both at init and mid-run.
+    // shard; plant the bug both at init and mid-run, and check it on both
+    // plane backings (the arena detects duplicates through its own
+    // occupancy set, so the error path is genuinely different code).
     for (culprit, at_round) in [(13usize, 0usize), (13, 2), (0, 1), (23, 3)] {
         let mk = || {
             g.nodes()
@@ -393,14 +402,23 @@ fn sharded_reports_the_same_malformed_outbox_error() {
         };
         let seq = Runtime::new(&g).run(mk()).unwrap_err();
         assert!(matches!(seq, RunError::MalformedOutbox { .. }));
-        for shards in SHARD_COUNTS {
-            let par = sharded(shards)
-                .run(&g, RunConfig::default(), mk())
-                .unwrap_err();
+        for backing in [Backing::Inline, Backing::Arena] {
+            let config = RunConfig {
+                backing,
+                ..RunConfig::default()
+            };
+            let seq_backed = Runtime::with_config(&g, config).run(mk()).unwrap_err();
             assert_eq!(
-                seq, par,
-                "culprit {culprit} round {at_round} shards {shards}"
+                seq, seq_backed,
+                "culprit {culprit} round {at_round} backing {backing:?}"
             );
+            for shards in SHARD_COUNTS {
+                let par = sharded(shards).run(&g, config, mk()).unwrap_err();
+                assert_eq!(
+                    seq, par,
+                    "culprit {culprit} round {at_round} shards {shards} backing {backing:?}"
+                );
+            }
         }
     }
 }
@@ -435,6 +453,68 @@ fn sharded_reports_the_same_congest_violation_error() {
         let par = sharded(shards).run(&g, config, mk()).unwrap_err();
         assert_eq!(seq, par, "shards {shards}");
     }
+}
+
+/// The tentpole oracle of the arena refactor: for each LOCAL baseline, the
+/// inline-backed plane, the arena-backed plane (sequential and sharded at
+/// every shard count) and the push-based reference executor must produce
+/// bit-identical outputs and stats.  `FloodCollectMst` is the variable-size
+/// payload case the arena exists for; `SyncBoruvkaMst` is the most
+/// protocol-heavy consumer of the simulator.
+fn assert_baseline_backing_equivalence<B: NoAdviceMst>(baseline: B, g: &WeightedGraph) {
+    let reference = baseline
+        .run_with(g, &RunConfig::default(), &ReferenceExecutor)
+        .unwrap_or_else(|e| panic!("{}: push reference failed: {e}", baseline.name()));
+    for backing in [Backing::Inline, Backing::Arena] {
+        let config = RunConfig {
+            backing,
+            ..RunConfig::default()
+        };
+        let seq = baseline
+            .run_with(g, &config, &SequentialExecutor)
+            .unwrap_or_else(|e| panic!("{}: sequential failed: {e}", baseline.name()));
+        assert_eq!(
+            reference.0,
+            seq.0,
+            "{}: outputs diverged from push reference on {backing:?}",
+            baseline.name()
+        );
+        assert_eq!(
+            reference.1,
+            seq.1,
+            "{}: stats diverged from push reference on {backing:?}",
+            baseline.name()
+        );
+        for shards in SHARD_COUNTS {
+            let par = baseline
+                .run_with(g, &config, &sharded(shards))
+                .unwrap_or_else(|e| panic!("{}: sharded({shards}) failed: {e}", baseline.name()));
+            assert_eq!(
+                reference.0,
+                par.0,
+                "{}: outputs diverged on {backing:?} with {shards} shards",
+                baseline.name()
+            );
+            assert_eq!(
+                reference.1,
+                par.1,
+                "{}: stats diverged on {backing:?} with {shards} shards",
+                baseline.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn flood_collect_is_bit_identical_across_backings_shards_and_push() {
+    let g = connected_random(26, 64, 41, WeightStrategy::DistinctRandom { seed: 41 });
+    assert_baseline_backing_equivalence(FloodCollectMst, &g);
+}
+
+#[test]
+fn sync_boruvka_is_bit_identical_across_backings_shards_and_push() {
+    let g = connected_random(30, 75, 43, WeightStrategy::DistinctRandom { seed: 43 });
+    assert_baseline_backing_equivalence(SyncBoruvkaMst, &g);
 }
 
 #[test]

@@ -76,6 +76,16 @@ impl BitSized for BigMsg {
     }
 }
 
+impl lma_sim::Wire for BigMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut lma_sim::WireReader<'_>) -> Self {
+        BigMsg(Vec::decode(r))
+    }
+}
+
 impl NodeAlgorithm for Megaphone {
     type Msg = BigMsg;
     type Output = ();
