@@ -1,0 +1,349 @@
+//! The scenario-registry CLI: list, run, verify and update the golden
+//! digests in `SCENARIOS.lock`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p lma-bench --bin scenarios -- list [--filter S]
+//! cargo run --release -p lma-bench --bin scenarios -- run [--filter S] [--smoke]
+//! cargo run --release -p lma-bench --bin scenarios -- verify [--filter S] [--smoke]
+//! cargo run --release -p lma-bench --bin scenarios -- update
+//! ```
+//!
+//! * `list` prints every registered cell (scenario id × engine/backing);
+//! * `run` executes the selected cells and prints their digests;
+//! * `verify` executes the selected cells and compares each against the
+//!   committed golden: any drift prints the expected vs actual digest and
+//!   the **first diverging round**, and the process exits nonzero.  With no
+//!   filter, stale lock entries (scenarios no longer registered) also fail;
+//! * `update` re-runs the full registry and rewrites `SCENARIOS.lock` —
+//!   run it only after an *intentional* behavior change, and review the
+//!   diff it produces.
+//!
+//! `--smoke` restricts `run`/`verify` to the smoke subset (what CI runs on
+//! every push); `--filter S` keeps the **scenarios** whose id — or any of
+//! whose cell ids (`id#engine/backing`) — contains the substring `S`; a
+//! selected scenario always runs *all* of its cells, because cross-cell
+//! digest invariance is part of what is being checked.  `--lock PATH`
+//! overrides the default lock location (the workspace root).  `update`
+//! always re-runs the full registry and rejects both flags.
+
+use lma_bench::scenarios::{registry, LockFile, Scenario, ScenarioOutcome, Variant};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn default_lock_path() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../SCENARIOS.lock"))
+}
+
+struct Args {
+    command: String,
+    filter: Option<String>,
+    smoke: bool,
+    lock: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenarios <list|run|verify|update> [--filter SUBSTRING] [--smoke] [--lock PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut filter = None;
+    let mut smoke = false;
+    let mut lock = default_lock_path();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--filter" => match it.next() {
+                Some(value) => filter = Some(value),
+                None => usage(),
+            },
+            "--lock" => match it.next() {
+                Some(value) => lock = PathBuf::from(value),
+                None => usage(),
+            },
+            "--smoke" => smoke = true,
+            "list" | "run" | "verify" | "update" if command.is_none() => {
+                command = Some(arg);
+            }
+            _ => usage(),
+        }
+    }
+    let Some(command) = command else { usage() };
+    Args {
+        command,
+        filter,
+        smoke,
+        lock,
+    }
+}
+
+/// The scenarios selected by `--smoke` / `--filter`.  Filtering is
+/// scenario-granular: a filter matches when the scenario id, or any of its
+/// cell ids, contains the substring — and a matched scenario contributes
+/// **all** of its cells (the cross-cell invariance check needs them).
+fn select(scenarios: &[Scenario], args: &Args) -> Vec<Scenario> {
+    scenarios
+        .iter()
+        .filter(|s| !args.smoke || s.smoke)
+        .filter(|s| match &args.filter {
+            None => true,
+            Some(f) => {
+                let id = s.id();
+                id.contains(f.as_str())
+                    || s.variants()
+                        .iter()
+                        .any(|v| format!("{id}#{}", v.label()).contains(f.as_str()))
+            }
+        })
+        .copied()
+        .collect()
+}
+
+/// Runs every cell of a scenario, converting a panicking cell into an error
+/// message instead of aborting the whole sweep.
+fn run_checked(scenario: &Scenario) -> Result<ScenarioOutcome, String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        lma_bench::scenarios::run_scenario(scenario)
+    }))
+    .map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(ToString::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("panicked: {msg}")
+    })
+}
+
+fn cmd_list(scenarios: &[Scenario]) {
+    for scenario in scenarios {
+        let marker = if scenario.smoke { " [smoke]" } else { "" };
+        println!("{}{marker}", scenario.id());
+        for variant in scenario.variants() {
+            println!("  {}#{}", scenario.id(), variant.label());
+        }
+    }
+    println!(
+        "\n{} scenarios, {} cells",
+        scenarios.len(),
+        lma_bench::scenarios::cell_count(scenarios)
+    );
+}
+
+fn cmd_run(scenarios: &[Scenario]) -> i32 {
+    let mut failures = 0;
+    for scenario in scenarios {
+        match run_checked(scenario) {
+            Ok(outcome) => {
+                let canonical = outcome.canonical();
+                println!(
+                    "{}  rounds={} messages={} bits={}",
+                    scenario.id(),
+                    canonical.summary.rounds,
+                    canonical.summary.total_messages,
+                    canonical.summary.total_bits
+                );
+                println!("  digest {}", canonical.digest);
+                for (variant, cell) in outcome.divergent() {
+                    failures += 1;
+                    println!(
+                        "  DIVERGED {}#{} digest {}",
+                        scenario.id(),
+                        variant.label(),
+                        cell.digest
+                    );
+                }
+            }
+            Err(msg) => {
+                failures += 1;
+                println!("FAILED {}: {msg}", scenario.id());
+            }
+        }
+    }
+    i32::from(failures > 0)
+}
+
+/// Prints the drift diagnosis for one cell: expected vs actual digest,
+/// traffic deltas, and the first diverging round from the checksum chains.
+fn print_drift(
+    scenario: &Scenario,
+    variant: Variant,
+    golden: &lma_bench::scenarios::Golden,
+    actual: &lma_bench::scenarios::CellOutcome,
+) {
+    println!("DRIFT {}#{}", scenario.id(), variant.label());
+    println!("  expected digest {}", golden.digest);
+    println!("  actual   digest {}", actual.digest);
+    println!(
+        "  expected rounds={} messages={} bits={}",
+        golden.rounds, golden.messages, golden.bits
+    );
+    println!(
+        "  actual   rounds={} messages={} bits={}",
+        actual.summary.rounds, actual.summary.total_messages, actual.summary.total_bits
+    );
+    let chain = &actual.summary.round_chain;
+    match golden
+        .chain
+        .iter()
+        .zip(chain)
+        .position(|(expected, got)| expected != got)
+    {
+        Some(round) => println!(
+            "  first diverging round: {} (of {} expected / {} actual)",
+            round + 1,
+            golden.chain.len(),
+            chain.len()
+        ),
+        None if golden.chain.len() != chain.len() => println!(
+            "  rounds diverge after round {} (expected {}, actual {})",
+            golden.chain.len().min(chain.len()),
+            golden.chain.len(),
+            chain.len()
+        ),
+        None => println!(
+            "  per-round traffic identical — outputs, labels, trace or error \
+             payload diverged"
+        ),
+    }
+}
+
+fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
+    let text = match std::fs::read_to_string(&args.lock) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "cannot read {}: {e}\nrun `scenarios update` to create it",
+                args.lock.display()
+            );
+            return 1;
+        }
+    };
+    let lock = match LockFile::parse(&text) {
+        Ok(lock) => lock,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let mut failures = 0usize;
+    let mut cells_checked = 0usize;
+    for scenario in scenarios {
+        let id = scenario.id();
+        let Some(golden) = lock.get(&id) else {
+            println!("UNLOCKED {id} — run `scenarios update` to pin it");
+            failures += 1;
+            continue;
+        };
+        match run_checked(scenario) {
+            Ok(outcome) => {
+                for (variant, cell) in &outcome.outcomes {
+                    cells_checked += 1;
+                    if cell.digest != golden.digest {
+                        failures += 1;
+                        print_drift(scenario, *variant, golden, cell);
+                    }
+                }
+            }
+            Err(msg) => {
+                failures += 1;
+                println!("FAILED {id}: {msg}");
+            }
+        }
+    }
+    // A full verify also flags stale lock entries (only a full sweep can
+    // tell "stale" from "filtered out").
+    if args.filter.is_none() && !args.smoke {
+        let ids: std::collections::BTreeSet<String> = scenarios.iter().map(Scenario::id).collect();
+        for golden in &lock.scenarios {
+            if !ids.contains(&golden.id) {
+                failures += 1;
+                println!(
+                    "STALE {} — in the lock but not in the registry; run `scenarios update`",
+                    golden.id
+                );
+            }
+        }
+    }
+    if failures == 0 {
+        println!(
+            "ok: {} scenarios, {cells_checked} cells verified against {}",
+            scenarios.len(),
+            args.lock.display()
+        );
+        0
+    } else {
+        println!("{failures} failure(s)");
+        1
+    }
+}
+
+fn cmd_update(args: &Args) -> i32 {
+    // The lock is all-or-nothing: a partial re-pin would mix digests from
+    // two behaviors, so the flags that narrow the sweep are rejected loudly
+    // instead of silently ignored.
+    if args.smoke || args.filter.is_some() {
+        eprintln!("update re-runs the full registry; --smoke/--filter are not supported");
+        return 2;
+    }
+    let scenarios = registry();
+    let mut lock = LockFile::default();
+    for scenario in &scenarios {
+        match run_checked(scenario) {
+            Ok(outcome) => {
+                let divergent = outcome.divergent();
+                if !divergent.is_empty() {
+                    eprintln!(
+                        "refusing to pin {}: cells diverge across executors/backings ({})",
+                        scenario.id(),
+                        divergent
+                            .iter()
+                            .map(|(v, _)| v.label())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return 1;
+                }
+                println!("pinned {}  {}", scenario.id(), outcome.canonical().digest);
+                lock.scenarios.push(outcome.golden(scenario));
+            }
+            Err(msg) => {
+                eprintln!("refusing to pin {}: {msg}", scenario.id());
+                return 1;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.lock, lock.render()) {
+        eprintln!("cannot write {}: {e}", args.lock.display());
+        return 1;
+    }
+    println!(
+        "wrote {} ({} scenarios, {} cells)",
+        args.lock.display(),
+        scenarios.len(),
+        lma_bench::scenarios::cell_count(&scenarios)
+    );
+    0
+}
+
+fn main() {
+    let args = parse_args();
+    let selected = select(&registry(), &args);
+    let code = match args.command.as_str() {
+        "list" => {
+            cmd_list(&selected);
+            0
+        }
+        "run" => cmd_run(&selected),
+        "verify" => cmd_verify(&selected, &args),
+        "update" => cmd_update(&args),
+        _ => unreachable!("parse_args validated the command"),
+    };
+    std::process::exit(code);
+}

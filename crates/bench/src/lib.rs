@@ -23,6 +23,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod scenarios;
 pub mod table;
 
 pub use experiments::{

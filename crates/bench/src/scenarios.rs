@@ -1,0 +1,1139 @@
+//! The scenario registry and golden-digest regression guard.
+//!
+//! PRs 1–3 grew a three-engine executor stack (sequential / sharded /
+//! push-reference) over two plane backings whose only cross-cutting guard
+//! was the `runtime_equivalence` suite plus a hand-curated bench smoke job.
+//! This module turns the full (graph family × workload × executor ×
+//! backing) matrix into **first-class, CI-verified regression scenarios**:
+//!
+//! * a [`Scenario`] is a deterministic workload pinned to a graph family,
+//!   size and seed — flooding, variable-payload gossip, the GHS-style
+//!   Borůvka and flood-collect baselines, the paper's advising schemes
+//!   (Theorems 2–3 plus the trivial baseline), the labeling crate's
+//!   certified (decode + distributed verification) pipeline, and two
+//!   deliberate error paths (round-limit, malformed outbox);
+//! * each scenario expands into cells over every applicable
+//!   (executor × plane backing) [`Variant`]; running a cell folds the run's
+//!   full observable output — per-round message counts and bit volumes,
+//!   congestion-audit stats, advice-bit accounting, final node
+//!   states/labels/trees, verification verdicts, error payloads — into a
+//!   stable 64-byte [`Digest`] (see [`lma_sim::digest`]);
+//! * the committed goldens live in `SCENARIOS.lock` at the workspace root,
+//!   one record per scenario (cells of one scenario must be bit-identical —
+//!   that invariance is exactly what the executor stack promises, so the
+//!   lock stores a single digest plus the cell labels required to match it);
+//! * the `scenarios` binary (`cargo run -p lma-bench --bin scenarios`)
+//!   supports `list`, `run`, `verify` and `update`; CI runs
+//!   `verify --smoke` on every push.
+//!
+//! Digests deliberately exclude the executor and backing (cells differing
+//! only in those knobs must collide) and include the scenario parameters
+//! (two scenarios must not collide).  Drift is localized via the per-round
+//! checksum chain of [`RunSummary`]: the first diverging round is reported
+//! next to the expected/actual digests.
+
+use lma_advice::{
+    evaluate_scheme, AdviceStats, AdvisingScheme, ConstantScheme, OneRoundScheme, SchemeEvaluation,
+    TrivialScheme,
+};
+use lma_baselines::flood_collect::FixedGossip;
+use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
+use lma_graph::generators::Family;
+use lma_graph::weights::WeightStrategy;
+use lma_graph::{Port, WeightedGraph};
+use lma_labeling::{certified_run, CertifiedRun};
+use lma_mst::boruvka::BoruvkaConfig;
+use lma_mst::verify::UpwardOutput;
+use lma_sim::digest::{fold_error, fold_result, fold_stats, Digest, DigestWriter, RunSummary};
+use lma_sim::{
+    Backing, Executor, LocalView, Model, NodeAlgorithm, Outbox, ReferenceExecutor, RunConfig,
+    RunError, RunResult, RunStats, SequentialExecutor, ShardedExecutor,
+};
+use std::num::NonZeroUsize;
+
+/// The execution engines a cell can run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The sequential plane executor.
+    Seq,
+    /// The sharded parallel executor on the given worker count.
+    Sharded(usize),
+    /// The push-based reference oracle (plane-free; inline cells only).
+    Push,
+}
+
+impl Engine {
+    /// Stable label used in cell ids and lock files.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Engine::Seq => "seq".to_string(),
+            Engine::Sharded(t) => format!("sharded{t}"),
+            Engine::Push => "push".to_string(),
+        }
+    }
+}
+
+/// One (executor × plane backing) combination of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Variant {
+    /// The execution engine.
+    pub engine: Engine,
+    /// The plane's slot-storage backend.
+    pub backing: Backing,
+}
+
+impl Variant {
+    /// Stable `engine/backing` label, e.g. `sharded2/arena`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let backing = match self.backing {
+            Backing::Inline => "inline",
+            Backing::Arena => "arena",
+        };
+        format!("{}/{}", self.engine.label(), backing)
+    }
+}
+
+/// The deterministic workloads the registry covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Max-identifier flooding for exactly `n` rounds, LOCAL model with the
+    /// delivery trace folded into the digest.
+    Flood,
+    /// Fixed-payload [`FixedGossip`] broadcast under a CONGEST(Θ(log n))
+    /// audit (violations counted, not enforced) — the variable-size-payload
+    /// path of the arena backing.
+    Gossip,
+    /// The GHS-style synchronous Borůvka baseline ([`SyncBoruvkaMst`]).
+    GhsBoruvka,
+    /// The LOCAL flood-and-compute baseline ([`FloodCollectMst`]).
+    FloodCollect,
+    /// The trivial (⌈log n⌉, 0) advising scheme.
+    SchemeTrivial,
+    /// The Theorem 2 one-round scheme.
+    SchemeOneRound,
+    /// The Theorem 3 constant-advice scheme (the paper's main result).
+    SchemeConstant,
+    /// Theorem 3 decode followed by the distributed verification round of
+    /// `lma-labeling` (certified pipeline; folds labels + verdicts).
+    CertifiedConstant,
+    /// Error path: flooding against an impossibly small round limit.
+    ErrRoundLimit,
+    /// Error path: a node emitting two messages through one port.
+    ErrMalformed,
+}
+
+impl Workload {
+    /// Stable name used in scenario ids.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Flood => "flood",
+            Workload::Gossip => "gossip",
+            Workload::GhsBoruvka => "ghs-boruvka",
+            Workload::FloodCollect => "flood-collect",
+            Workload::SchemeTrivial => "scheme-trivial",
+            Workload::SchemeOneRound => "scheme-one-round",
+            Workload::SchemeConstant => "scheme-constant",
+            Workload::CertifiedConstant => "certified-constant",
+            Workload::ErrRoundLimit => "err-round-limit",
+            Workload::ErrMalformed => "err-malformed",
+        }
+    }
+
+    /// Whether the workload can run on an explicit executor value, or only
+    /// through [`lma_sim::Runtime::run`]'s config dispatch (the advising
+    /// schemes and the certified pipeline drive the simulator from inside
+    /// their decoders, which see a [`RunConfig`], not an executor — so the
+    /// push oracle is unreachable for them).
+    #[must_use]
+    pub fn config_dispatch_only(self) -> bool {
+        matches!(
+            self,
+            Workload::SchemeTrivial
+                | Workload::SchemeOneRound
+                | Workload::SchemeConstant
+                | Workload::CertifiedConstant
+        )
+    }
+}
+
+/// One registered scenario: a workload pinned to a graph instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// The workload.
+    pub workload: Workload,
+    /// The graph family.
+    pub family: Family,
+    /// Approximate node count handed to [`Family::instantiate`].
+    pub n: usize,
+    /// Seed for the generator and the weight strategy.
+    pub seed: u64,
+    /// Whether the scenario is part of the CI smoke subset.
+    pub smoke: bool,
+}
+
+/// Sharded worker counts every full-matrix scenario is pinned on.
+pub const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+impl Scenario {
+    /// Stable scenario id, e.g. `flood/ring/n48/s11`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/n{}/s{}",
+            self.workload.name(),
+            self.family.name(),
+            self.n,
+            self.seed
+        )
+    }
+
+    /// Every (executor × backing) cell of this scenario: sequential and
+    /// sharded engines on both backings, plus the push oracle (inline only —
+    /// it has no plane, so a second backing cell would be the same run twice)
+    /// when the workload supports explicit executors.
+    #[must_use]
+    pub fn variants(&self) -> Vec<Variant> {
+        let mut variants = Vec::new();
+        for backing in [Backing::Inline, Backing::Arena] {
+            variants.push(Variant {
+                engine: Engine::Seq,
+                backing,
+            });
+            for t in SHARD_COUNTS {
+                variants.push(Variant {
+                    engine: Engine::Sharded(t),
+                    backing,
+                });
+            }
+        }
+        if !self.workload.config_dispatch_only() {
+            variants.push(Variant {
+                engine: Engine::Push,
+                backing: Backing::Inline,
+            });
+        }
+        variants
+    }
+
+    /// The graph instance of this scenario (deterministic per seed).
+    #[must_use]
+    pub fn graph(&self) -> WeightedGraph {
+        self.family.instantiate(
+            self.n,
+            WeightStrategy::DistinctRandom { seed: self.seed },
+            self.seed,
+        )
+    }
+
+    /// Runs one cell and produces its digest + per-round summary.
+    #[must_use]
+    pub fn run(&self, variant: Variant) -> CellOutcome {
+        self.run_on(&self.graph(), variant)
+    }
+
+    /// Like [`Scenario::run`], on a caller-built graph instance —
+    /// [`run_scenario`] builds the graph once and reuses it across all 6–7
+    /// cells instead of regenerating it per cell.  `graph` must be
+    /// [`Scenario::graph`]'s instance, or the digest is meaningless.
+    #[must_use]
+    pub fn run_on(&self, graph: &WeightedGraph, variant: Variant) -> CellOutcome {
+        let config = self.base_config(graph, variant);
+        let mut w = DigestWriter::new();
+        // Domain separation: the scenario identity (but never the variant —
+        // cells of one scenario must collide bit-for-bit).
+        w.str("scenario");
+        w.str(self.workload.name());
+        w.str(self.family.name());
+        w.usize(self.n);
+        w.u64(self.seed);
+        let summary = match self.workload {
+            Workload::Flood => {
+                let programs = flood_fleet(graph);
+                fold_run(
+                    &mut w,
+                    run_programs(graph, config, variant.engine, programs),
+                )
+            }
+            Workload::Gossip => {
+                let programs: Vec<FixedGossip> = graph
+                    .nodes()
+                    .map(|u| FixedGossip::new(u as u64, GOSSIP_FACTS, GOSSIP_ROUNDS))
+                    .collect();
+                fold_run(
+                    &mut w,
+                    run_programs(graph, config, variant.engine, programs),
+                )
+            }
+            Workload::GhsBoruvka => fold_baseline(
+                &mut w,
+                run_baseline(&SyncBoruvkaMst, graph, &config, variant.engine),
+            ),
+            Workload::FloodCollect => fold_baseline(
+                &mut w,
+                run_baseline(&FloodCollectMst, graph, &config, variant.engine),
+            ),
+            Workload::SchemeTrivial => {
+                fold_scheme(&mut w, &evaluate(&TrivialScheme::default(), graph, &config))
+            }
+            Workload::SchemeOneRound => fold_scheme(
+                &mut w,
+                &evaluate(&OneRoundScheme::default(), graph, &config),
+            ),
+            Workload::SchemeConstant => fold_scheme(
+                &mut w,
+                &evaluate(&ConstantScheme::default(), graph, &config),
+            ),
+            Workload::CertifiedConstant => {
+                let run = certified_run(
+                    &ConstantScheme::default(),
+                    graph,
+                    &BoruvkaConfig::default(),
+                    &config,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("scenario {} certified pipeline failed: {e}", self.id())
+                });
+                fold_certified(&mut w, &run)
+            }
+            Workload::ErrRoundLimit => {
+                let config = RunConfig {
+                    max_rounds: ERR_ROUND_LIMIT,
+                    ..config
+                };
+                let programs = flood_fleet(graph);
+                fold_run(
+                    &mut w,
+                    run_programs(graph, config, variant.engine, programs),
+                )
+            }
+            Workload::ErrMalformed => {
+                let programs: Vec<DoublePort> =
+                    graph.nodes().map(|_| DoublePort::default()).collect();
+                fold_run(
+                    &mut w,
+                    run_programs(graph, config, variant.engine, programs),
+                )
+            }
+        };
+        CellOutcome {
+            digest: w.finish(),
+            summary,
+        }
+    }
+
+    /// The base config of a cell: the variant's backing and thread count,
+    /// plus the workload's model/trace knobs.
+    fn base_config(&self, graph: &WeightedGraph, variant: Variant) -> RunConfig {
+        let threads = match variant.engine {
+            Engine::Sharded(t) => NonZeroUsize::new(t),
+            Engine::Seq | Engine::Push => None,
+        };
+        let (model, trace) = match self.workload {
+            // Flooding folds the full delivery trace; gossip runs under a
+            // CONGEST(Θ(log n)) audit so violation accounting is guarded too.
+            Workload::Flood => (Model::Local, true),
+            Workload::Gossip => (Model::congest_for(graph.node_count()), false),
+            _ => (Model::Local, false),
+        };
+        RunConfig {
+            model,
+            trace,
+            threads,
+            backing: variant.backing,
+            ..RunConfig::default()
+        }
+    }
+}
+
+/// Facts per gossip payload (sized so arena spans stay multi-word).
+const GOSSIP_FACTS: usize = 24;
+/// Gossip rounds per run.
+const GOSSIP_ROUNDS: usize = 8;
+/// Round limit of the [`Workload::ErrRoundLimit`] cells.
+const ERR_ROUND_LIMIT: usize = 5;
+
+/// The outcome of one cell: its digest and the drift-localization summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// The 64-byte golden digest.
+    pub digest: Digest,
+    /// Aggregate + per-round summary (empty chain for error cells).
+    pub summary: RunSummary,
+}
+
+/// The committed scenario registry.  Append-only by convention: changing an
+/// existing entry's parameters re-keys its golden digest, which `verify`
+/// reports as a stale lock until `update` is run.
+#[must_use]
+pub fn registry() -> Vec<Scenario> {
+    use Family as F;
+    use Workload as W;
+    let s = |workload, family, n, seed, smoke| Scenario {
+        workload,
+        family,
+        n,
+        seed,
+        smoke,
+    };
+    vec![
+        // Flooding: LOCAL, trace-folded; ring (worst-case diameter), the
+        // scale-free hubs, and the torus lattice.
+        s(W::Flood, F::Ring, 48, 11, true),
+        s(W::Flood, F::PreferentialAttachment, 64, 12, true),
+        s(W::Flood, F::Torus, 49, 13, false),
+        // Gossip: variable-size payloads under a CONGEST audit; the
+        // small-world shortcuts and a sparse random control.
+        s(W::Gossip, F::SmallWorld, 48, 21, true),
+        s(W::Gossip, F::SparseRandom, 40, 22, false),
+        // The no-advice baselines (full distributed MST pipelines).
+        s(W::GhsBoruvka, F::Ring, 16, 31, true),
+        s(W::GhsBoruvka, F::PreferentialAttachment, 24, 32, false),
+        s(W::FloodCollect, F::SmallWorld, 32, 41, true),
+        // The paper's advising schemes (oracle → decode → verified MST,
+        // advice-bit accounting folded).
+        s(W::SchemeConstant, F::PreferentialAttachment, 48, 51, true),
+        s(W::SchemeConstant, F::Geometric, 40, 52, false),
+        s(W::SchemeOneRound, F::Torus, 36, 53, true),
+        s(W::SchemeTrivial, F::Ring, 32, 54, false),
+        // The certified pipeline: decode + distributed verification labels.
+        s(W::CertifiedConstant, F::SmallWorld, 40, 55, true),
+        // Error paths: failing the same way is part of the contract.
+        s(W::ErrRoundLimit, F::Ring, 24, 61, true),
+        s(W::ErrMalformed, F::Star, 12, 62, true),
+    ]
+}
+
+/// Total cell count of the registry (every scenario × its variants).
+#[must_use]
+pub fn cell_count(scenarios: &[Scenario]) -> usize {
+    scenarios.iter().map(|s| s.variants().len()).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Workload programs and runners
+// ---------------------------------------------------------------------------
+
+/// Max-identifier flooding for exactly `n` rounds: every node broadcasts the
+/// largest identifier it has seen; traffic shape (bit sizes) changes as the
+/// maximum propagates, so the per-round chain is informative.
+struct FloodMax {
+    best: u64,
+    rounds_left: usize,
+}
+
+impl NodeAlgorithm for FloodMax {
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+        self.best = view.id;
+        self.rounds_left = view.n;
+        (0..view.degree()).map(|p| (p, self.best)).collect()
+    }
+
+    fn round(&mut self, view: &LocalView, _round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+        for (_, id) in inbox {
+            self.best = self.best.max(*id);
+        }
+        self.rounds_left -= 1;
+        if self.rounds_left == 0 {
+            return Vec::new();
+        }
+        (0..view.degree()).map(|p| (p, self.best)).collect()
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self) -> Option<u64> {
+        (self.rounds_left == 0).then_some(self.best)
+    }
+}
+
+fn flood_fleet(graph: &WeightedGraph) -> Vec<FloodMax> {
+    graph
+        .nodes()
+        .map(|_| FloodMax {
+            best: 0,
+            rounds_left: usize::MAX,
+        })
+        .collect()
+}
+
+/// A deliberately malformed program: sends two messages through port 0 in
+/// `init`, so every executor must report `MalformedOutbox { node: 0, port: 0 }`.
+#[derive(Default)]
+struct DoublePort {
+    done: bool,
+}
+
+impl NodeAlgorithm for DoublePort {
+    type Msg = bool;
+    type Output = ();
+
+    fn init(&mut self, _view: &LocalView) -> Outbox<bool> {
+        vec![(0, true), (0, false)]
+    }
+
+    fn round(&mut self, _: &LocalView, _: usize, _: &[(Port, bool)]) -> Outbox<bool> {
+        self.done = true;
+        Vec::new()
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> Option<()> {
+        self.done.then_some(())
+    }
+}
+
+/// Runs a program fleet on the requested engine.
+fn run_programs<A: NodeAlgorithm>(
+    graph: &WeightedGraph,
+    config: RunConfig,
+    engine: Engine,
+    programs: Vec<A>,
+) -> Result<RunResult<A::Output>, RunError> {
+    match engine {
+        Engine::Seq => SequentialExecutor.run(graph, config, programs),
+        Engine::Sharded(t) => {
+            ShardedExecutor::new(NonZeroUsize::new(t).expect("t >= 2")).run(graph, config, programs)
+        }
+        Engine::Push => ReferenceExecutor.run(graph, config, programs),
+    }
+}
+
+/// Runs a no-advice baseline on the requested engine.
+fn run_baseline<B: NoAdviceMst>(
+    baseline: &B,
+    graph: &WeightedGraph,
+    config: &RunConfig,
+    engine: Engine,
+) -> Result<(Vec<Option<UpwardOutput>>, RunStats), RunError> {
+    match engine {
+        Engine::Seq => baseline.run_with(graph, config, &SequentialExecutor),
+        Engine::Sharded(t) => baseline.run_with(
+            graph,
+            config,
+            &ShardedExecutor::new(NonZeroUsize::new(t).expect("t >= 2")),
+        ),
+        Engine::Push => baseline.run_with(graph, config, &ReferenceExecutor),
+    }
+}
+
+fn evaluate<S: AdvisingScheme>(
+    scheme: &S,
+    graph: &WeightedGraph,
+    config: &RunConfig,
+) -> SchemeEvaluation {
+    evaluate_scheme(scheme, graph, config).unwrap_or_else(|e| {
+        panic!(
+            "scheme {} failed on a registered scenario: {e}",
+            scheme.name()
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Digest folds per outcome shape
+// ---------------------------------------------------------------------------
+
+/// Folds a `Result<RunResult, RunError>` whose outputs digest as `u64`-like
+/// values, returning the drift summary.
+fn fold_run<O: FoldOutput>(
+    w: &mut DigestWriter,
+    result: Result<RunResult<O>, RunError>,
+) -> RunSummary {
+    match result {
+        Ok(result) => {
+            fold_result(w, &result, |w, o| o.fold(w));
+            RunSummary::of_stats(&result.stats)
+        }
+        Err(error) => {
+            fold_error(w, &error);
+            RunSummary::of_error()
+        }
+    }
+}
+
+fn fold_baseline(
+    w: &mut DigestWriter,
+    result: Result<(Vec<Option<UpwardOutput>>, RunStats), RunError>,
+) -> RunSummary {
+    match result {
+        Ok((outputs, stats)) => {
+            fold_stats(w, &stats);
+            fold_upward_outputs(w, &outputs);
+            RunSummary::of_stats(&stats)
+        }
+        Err(error) => {
+            fold_error(w, &error);
+            RunSummary::of_error()
+        }
+    }
+}
+
+fn fold_upward_outputs(w: &mut DigestWriter, outputs: &[Option<UpwardOutput>]) {
+    w.str("outputs");
+    w.usize(outputs.len());
+    for output in outputs {
+        match output {
+            None => w.u64(0),
+            Some(UpwardOutput::Root) => w.u64(1),
+            Some(UpwardOutput::Parent(port)) => {
+                w.u64(2);
+                w.usize(*port);
+            }
+        }
+    }
+}
+
+fn fold_advice(w: &mut DigestWriter, advice: &AdviceStats) {
+    w.str("advice");
+    w.usize(advice.nodes);
+    w.usize(advice.total_bits);
+    w.usize(advice.max_bits);
+    w.usize(advice.empty_nodes);
+}
+
+fn fold_scheme(w: &mut DigestWriter, eval: &SchemeEvaluation) -> RunSummary {
+    fold_advice(w, &eval.advice);
+    fold_stats(w, &eval.run);
+    w.str("tree");
+    w.usize(eval.tree.root);
+    w.usize(eval.tree.edges.len());
+    for &edge in &eval.tree.edges {
+        w.usize(edge);
+    }
+    for port in &eval.tree.parent_port {
+        w.opt_u64(port.map(|p| p as u64));
+    }
+    RunSummary::of_stats(&eval.run)
+}
+
+/// Folds one verification violation field by field (a pinned encoding —
+/// never via derived `Debug`/`Display`, whose text would re-key every
+/// certified golden on a pure rename refactor).
+fn fold_violation(w: &mut DigestWriter, violation: &lma_labeling::Violation) {
+    use lma_labeling::Violation as V;
+    match violation {
+        V::MissingOutput { node } => {
+            w.u64(1);
+            w.usize(*node);
+        }
+        V::InvalidPort { node, port } => {
+            w.u64(2);
+            w.usize(*node);
+            w.usize(*port);
+        }
+        V::RootDepthNonZero { node } => {
+            w.u64(3);
+            w.usize(*node);
+        }
+        V::RootIdNotSelf { node } => {
+            w.u64(4);
+            w.usize(*node);
+        }
+        V::NonRootDepthZero { node } => {
+            w.u64(5);
+            w.usize(*node);
+        }
+        V::RootIdMismatch { node, port } => {
+            w.u64(6);
+            w.usize(*node);
+            w.usize(*port);
+        }
+        V::DepthMismatch {
+            node,
+            own_depth,
+            parent_depth,
+        } => {
+            w.u64(7);
+            w.usize(*node);
+            w.u64(*own_depth);
+            w.u64(*parent_depth);
+        }
+        V::OutputDisagreesWithCertificate { node } => {
+            w.u64(8);
+            w.usize(*node);
+        }
+        V::NoCommonCentroid { node, port } => {
+            w.u64(9);
+            w.usize(*node);
+            w.usize(*port);
+        }
+        V::CycleProperty {
+            node,
+            port,
+            edge_weight,
+            path_max,
+        } => {
+            w.u64(10);
+            w.usize(*node);
+            w.usize(*port);
+            w.u64(*edge_weight);
+            w.u64(*path_max);
+        }
+    }
+}
+
+fn fold_certified(w: &mut DigestWriter, run: &CertifiedRun) -> RunSummary {
+    fold_advice(w, &run.advice);
+    fold_stats(w, &run.decode);
+    fold_upward_outputs(w, &run.outputs);
+    w.str("report");
+    w.u64(u64::from(run.report.accepted));
+    w.usize(run.report.violations.len());
+    for violation in &run.report.violations {
+        fold_violation(w, violation);
+    }
+    w.usize(run.report.rejecting_nodes.len());
+    for &node in &run.report.rejecting_nodes {
+        w.usize(node);
+    }
+    w.str("labels");
+    w.usize(run.report.labels.nodes);
+    w.usize(run.report.labels.total_bits);
+    w.usize(run.report.labels.max_bits);
+    w.usize(run.report.labels.max_entries);
+    fold_stats(w, &run.report.run);
+    RunSummary::of_stats(&run.decode)
+}
+
+// ---------------------------------------------------------------------------
+// Output folding helper trait
+// ---------------------------------------------------------------------------
+
+/// Per-node outputs that know how to fold themselves into a digest.
+trait FoldOutput {
+    fn fold(&self, w: &mut DigestWriter);
+}
+
+impl FoldOutput for u64 {
+    fn fold(&self, w: &mut DigestWriter) {
+        w.u64(*self);
+    }
+}
+
+impl FoldOutput for () {
+    fn fold(&self, w: &mut DigestWriter) {
+        w.u64(0x75);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lock file
+// ---------------------------------------------------------------------------
+
+/// The golden record of one scenario in `SCENARIOS.lock`: a single digest
+/// (every cell of the scenario must produce it bit-for-bit) plus the drift
+/// summary and the cell labels the registry expands to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Golden {
+    /// The scenario id (see [`Scenario::id`]).
+    pub id: String,
+    /// Whether the scenario belongs to the smoke subset.
+    pub smoke: bool,
+    /// The golden digest.
+    pub digest: Digest,
+    /// Rounds of the golden run (0 for error scenarios).
+    pub rounds: usize,
+    /// Total messages of the golden run.
+    pub messages: u64,
+    /// Total message bits of the golden run.
+    pub bits: u64,
+    /// Per-round checksum chain (empty for error scenarios).
+    pub chain: Vec<u16>,
+    /// The `engine/backing` labels that must all reproduce `digest`.
+    pub cells: Vec<String>,
+}
+
+impl Golden {
+    fn chain_hex(&self) -> String {
+        if self.chain.is_empty() {
+            return "-".to_string();
+        }
+        self.chain.iter().map(|c| format!("{c:04x}")).collect()
+    }
+
+    fn parse_chain(s: &str) -> Result<Vec<u16>, String> {
+        if s == "-" {
+            return Ok(Vec::new());
+        }
+        if !s.len().is_multiple_of(4) {
+            return Err(format!("chain length {} is not a multiple of 4", s.len()));
+        }
+        (0..s.len() / 4)
+            .map(|i| {
+                u16::from_str_radix(&s[4 * i..4 * i + 4], 16)
+                    .map_err(|e| format!("bad chain entry at {i}: {e}"))
+            })
+            .collect()
+    }
+}
+
+/// The parsed `SCENARIOS.lock` manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockFile {
+    /// Golden records, in registry order.
+    pub scenarios: Vec<Golden>,
+}
+
+impl LockFile {
+    /// Looks up a scenario's golden record by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&Golden> {
+        self.scenarios.iter().find(|g| g.id == id)
+    }
+
+    /// Renders the manifest in the committed line format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# SCENARIOS.lock — golden digests of the scenario registry.\n\
+             #\n\
+             # One record per scenario; every listed cell (executor/backing\n\
+             # combination) must reproduce the digest bit-for-bit.  Verify with\n\
+             #   cargo run --release -p lma-bench --bin scenarios -- verify\n\
+             # and, after an *intentional* behavior change, regenerate with\n\
+             #   cargo run --release -p lma-bench --bin scenarios -- update\n\
+             # (then review the diff: every changed digest is a behavior change\n\
+             # you are signing off on).\n",
+        );
+        for g in &self.scenarios {
+            out.push_str(&format!(
+                "scenario {} smoke={} rounds={} messages={} bits={}\n",
+                g.id, g.smoke, g.rounds, g.messages, g.bits
+            ));
+            out.push_str(&format!("  digest {}\n", g.digest));
+            out.push_str(&format!("  chain {}\n", g.chain_hex()));
+            out.push_str(&format!("  cells {}\n", g.cells.join(" ")));
+        }
+        out
+    }
+
+    /// Parses the committed line format.
+    ///
+    /// # Errors
+    /// A human-readable description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut scenarios: Vec<Golden> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: String| format!("SCENARIOS.lock line {}: {msg}", lineno + 1);
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("scenario") => {
+                    let id = parts.next().ok_or_else(|| err("missing id".into()))?;
+                    let mut golden = Golden {
+                        id: id.to_string(),
+                        smoke: false,
+                        digest: Digest([0; 8]),
+                        rounds: 0,
+                        messages: 0,
+                        bits: 0,
+                        chain: Vec::new(),
+                        cells: Vec::new(),
+                    };
+                    for kv in parts {
+                        let (key, value) = kv
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("bad field {kv:?}")))?;
+                        match key {
+                            "smoke" => {
+                                golden.smoke = value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad smoke {value:?}")))?;
+                            }
+                            "rounds" => {
+                                golden.rounds = value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad rounds {value:?}")))?;
+                            }
+                            "messages" => {
+                                golden.messages = value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad messages {value:?}")))?;
+                            }
+                            "bits" => {
+                                golden.bits = value
+                                    .parse()
+                                    .map_err(|_| err(format!("bad bits {value:?}")))?;
+                            }
+                            _ => return Err(err(format!("unknown field {key:?}"))),
+                        }
+                    }
+                    scenarios.push(golden);
+                }
+                Some(field @ ("digest" | "chain" | "cells")) => {
+                    let golden = scenarios
+                        .last_mut()
+                        .ok_or_else(|| err(format!("{field} before any scenario")))?;
+                    match field {
+                        "digest" => {
+                            let hex = parts.next().ok_or_else(|| err("missing digest".into()))?;
+                            golden.digest = Digest::parse(hex)
+                                .ok_or_else(|| err(format!("bad digest {hex:?}")))?;
+                        }
+                        "chain" => {
+                            let hex = parts.next().ok_or_else(|| err("missing chain".into()))?;
+                            golden.chain = Golden::parse_chain(hex).map_err(err)?;
+                        }
+                        "cells" => {
+                            golden.cells = parts.map(str::to_string).collect();
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                Some(other) => return Err(err(format!("unknown directive {other:?}"))),
+                None => {}
+            }
+        }
+        Ok(Self { scenarios })
+    }
+}
+
+/// Runs every variant of `scenario` and checks the cross-variant invariance,
+/// returning the (single) outcome and the variant outcomes that disagreed
+/// with the first one, if any.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let graph = scenario.graph();
+    let variants = scenario.variants();
+    let mut outcomes: Vec<(Variant, CellOutcome)> = Vec::with_capacity(variants.len());
+    for variant in variants {
+        outcomes.push((variant, scenario.run_on(&graph, variant)));
+    }
+    ScenarioOutcome { outcomes }
+}
+
+/// Every cell outcome of one scenario.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// `(variant, outcome)` in registry variant order.
+    pub outcomes: Vec<(Variant, CellOutcome)>,
+}
+
+impl ScenarioOutcome {
+    /// The first cell's outcome (the canonical one: `seq/inline`).
+    #[must_use]
+    pub fn canonical(&self) -> &CellOutcome {
+        &self.outcomes[0].1
+    }
+
+    /// Variants whose digest differs from the canonical cell's.
+    #[must_use]
+    pub fn divergent(&self) -> Vec<&(Variant, CellOutcome)> {
+        let canonical = self.canonical().digest;
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.digest != canonical)
+            .collect()
+    }
+
+    /// Builds the golden record for this scenario.
+    #[must_use]
+    pub fn golden(&self, scenario: &Scenario) -> Golden {
+        let canonical = self.canonical();
+        Golden {
+            id: scenario.id(),
+            smoke: scenario.smoke,
+            digest: canonical.digest,
+            rounds: canonical.summary.rounds,
+            messages: canonical.summary.total_messages,
+            bits: canonical.summary.total_bits,
+            chain: canonical.summary.round_chain.clone(),
+            cells: scenario.variants().iter().map(Variant::label).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_meets_the_coverage_floor() {
+        let scenarios = registry();
+        assert!(
+            cell_count(&scenarios) >= 30,
+            "the lock must cover at least 30 cells, got {}",
+            cell_count(&scenarios)
+        );
+        // All three engines, both backings.
+        let mut engines = std::collections::BTreeSet::new();
+        let mut backings = std::collections::BTreeSet::new();
+        for s in &scenarios {
+            for v in s.variants() {
+                engines.insert(v.engine.label());
+                backings.insert(format!("{:?}", v.backing));
+            }
+        }
+        assert!(engines.contains("seq"));
+        assert!(engines.contains("sharded2"));
+        assert!(engines.contains("sharded4"));
+        assert!(engines.contains("push"));
+        assert_eq!(backings.len(), 2);
+        // At least one advice-scheme workload and two of the new families.
+        assert!(scenarios.iter().any(|s| s.workload.config_dispatch_only()));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.family == Family::PreferentialAttachment));
+        assert!(scenarios.iter().any(|s| s.family == Family::SmallWorld));
+        // The smoke subset is non-trivial but not everything.
+        let smoke = scenarios.iter().filter(|s| s.smoke).count();
+        assert!(smoke >= 5 && smoke < scenarios.len());
+    }
+
+    #[test]
+    fn scenario_ids_are_unique() {
+        let mut ids: Vec<String> = registry().iter().map(Scenario::id).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn cells_of_one_scenario_are_bit_identical_across_engines_and_backings() {
+        // One cheap full-matrix scenario and one config-dispatch scenario:
+        // every variant must produce the canonical digest.
+        for scenario in [
+            Scenario {
+                workload: Workload::Flood,
+                family: Family::Ring,
+                n: 16,
+                seed: 7,
+                smoke: false,
+            },
+            Scenario {
+                workload: Workload::SchemeConstant,
+                family: Family::SmallWorld,
+                n: 24,
+                seed: 9,
+                smoke: false,
+            },
+        ] {
+            let outcome = run_scenario(&scenario);
+            let divergent = outcome.divergent();
+            assert!(
+                divergent.is_empty(),
+                "scenario {} diverged on {:?}",
+                scenario.id(),
+                divergent.iter().map(|(v, _)| v.label()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn error_cells_agree_across_engines_and_fold_the_payload() {
+        let scenario = Scenario {
+            workload: Workload::ErrMalformed,
+            family: Family::Star,
+            n: 8,
+            seed: 3,
+            smoke: false,
+        };
+        let outcome = run_scenario(&scenario);
+        assert!(outcome.divergent().is_empty());
+        assert_eq!(outcome.canonical().summary.rounds, 0);
+    }
+
+    #[test]
+    fn perturbing_the_seed_changes_the_digest() {
+        let base = Scenario {
+            workload: Workload::Flood,
+            family: Family::PreferentialAttachment,
+            n: 20,
+            seed: 1,
+            smoke: false,
+        };
+        let perturbed = Scenario { seed: 2, ..base };
+        let a = base.run(base.variants()[0]);
+        let b = perturbed.run(perturbed.variants()[0]);
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn lock_file_roundtrips_through_render_and_parse() {
+        let golden = Golden {
+            id: "flood/ring/n48/s11".to_string(),
+            smoke: true,
+            digest: Digest([1, 2, 3, 4, 5, 6, 7, 8]),
+            rounds: 3,
+            messages: 42,
+            bits: 640,
+            chain: vec![0xabcd, 0x0001, 0xffff],
+            cells: vec!["seq/inline".to_string(), "push/inline".to_string()],
+        };
+        let error = Golden {
+            id: "err-malformed/star/n12/s62".to_string(),
+            smoke: true,
+            digest: Digest([9; 8]),
+            rounds: 0,
+            messages: 0,
+            bits: 0,
+            chain: Vec::new(),
+            cells: vec!["seq/inline".to_string()],
+        };
+        let lock = LockFile {
+            scenarios: vec![golden, error],
+        };
+        let parsed = LockFile::parse(&lock.render()).unwrap();
+        assert_eq!(parsed, lock);
+        assert!(parsed.get("flood/ring/n48/s11").is_some());
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn lock_file_parse_rejects_malformed_input() {
+        assert!(LockFile::parse("digest abc\n").is_err());
+        assert!(LockFile::parse("scenario a bogus=1\n").is_err());
+        assert!(LockFile::parse("scenario a\n  digest zz\n").is_err());
+        assert!(LockFile::parse("what is this\n").is_err());
+    }
+
+    #[test]
+    fn committed_lock_matches_the_registry_structure() {
+        // Cheap structural guard (no cells are run): the committed lock must
+        // list exactly the registry's scenarios and cell labels, so editing
+        // the registry without running `scenarios update` fails fast in
+        // `cargo test` too, not only in the CI verify job.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../SCENARIOS.lock");
+        let text = std::fs::read_to_string(path)
+            .expect("SCENARIOS.lock must be committed at the workspace root");
+        let lock = LockFile::parse(&text).expect("committed lock must parse");
+        let scenarios = registry();
+        assert_eq!(
+            lock.scenarios.len(),
+            scenarios.len(),
+            "lock and registry disagree on scenario count — run `scenarios update`"
+        );
+        for scenario in &scenarios {
+            let golden = lock
+                .get(&scenario.id())
+                .unwrap_or_else(|| panic!("scenario {} missing from lock", scenario.id()));
+            assert_eq!(golden.smoke, scenario.smoke, "{}", scenario.id());
+            assert_eq!(
+                golden.cells,
+                scenario
+                    .variants()
+                    .iter()
+                    .map(Variant::label)
+                    .collect::<Vec<_>>(),
+                "cell list drifted for {} — run `scenarios update`",
+                scenario.id()
+            );
+        }
+    }
+}

@@ -18,7 +18,7 @@ use crate::graph::{EdgeRecord, IncidentEdge, NodeIdx, Port};
 
 /// Compressed-sparse-row adjacency with a precomputed mirror-slot table.
 ///
-/// Built once per graph by [`crate::WeightedGraph::from_parts`]; immutable
+/// Built once per graph by `WeightedGraph::from_parts`; immutable
 /// afterwards, like the graph itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrAdjacency {

@@ -14,12 +14,14 @@
 //! | Theorem 1 family `G_n(ω)` | [`lowerbound::lowerbound_gn`] | E1, Figure 1 |
 //! | small-diameter "hard" family | [`lollipop`], [`dumbbell`] | E5 baselines |
 //! | hypercube / random regular / geometric / complete bipartite | [`hypercube`], [`random_regular`], [`geometric`], [`complete_bipartite`] | E2–E6 sweeps, property tests |
+//! | preferential attachment / small world | [`barabasi_albert`], [`watts_strogatz`] | scenario registry, E2–E4 sweeps |
 
 mod basic;
 mod complete_graph;
 mod grid2d;
 mod hard;
 pub mod lowerbound;
+mod preferential;
 mod random_graphs;
 mod structured;
 mod trees;
@@ -29,6 +31,7 @@ pub use complete_graph::complete;
 pub use grid2d::{grid, torus};
 pub use hard::{dumbbell, lollipop};
 pub use lowerbound::{lowerbound_family_at, lowerbound_gn, LowerBoundParams};
+pub use preferential::{barabasi_albert, watts_strogatz};
 pub use random_graphs::{connected_random, gnp_connected};
 pub use structured::{complete_bipartite, geometric, hypercube, random_regular};
 pub use trees::{balanced_binary_tree, random_tree};
@@ -68,11 +71,15 @@ pub enum Family {
     Geometric,
     /// Complete bipartite graph `K_{n/2, n - n/2}`.
     CompleteBipartite,
+    /// Barabási–Albert preferential attachment (scale-free hubs).
+    PreferentialAttachment,
+    /// Watts–Strogatz rewired ring lattice (small world).
+    SmallWorld,
 }
 
 impl Family {
     /// All families swept by the experiment harness.
-    pub const ALL: [Family; 14] = [
+    pub const ALL: [Family; 16] = [
         Family::Path,
         Family::Ring,
         Family::Star,
@@ -87,6 +94,8 @@ impl Family {
         Family::RandomRegular,
         Family::Geometric,
         Family::CompleteBipartite,
+        Family::PreferentialAttachment,
+        Family::SmallWorld,
     ];
 
     /// Human-readable name used in tables.
@@ -107,6 +116,8 @@ impl Family {
             Family::RandomRegular => "random-regular",
             Family::Geometric => "geometric",
             Family::CompleteBipartite => "complete-bipartite",
+            Family::PreferentialAttachment => "preferential-attachment",
+            Family::SmallWorld => "small-world",
         }
     }
 
@@ -147,6 +158,14 @@ impl Family {
                 geometric(n, radius, seed, weights)
             }
             Family::CompleteBipartite => complete_bipartite(n / 2, n - n / 2, weights),
+            Family::PreferentialAttachment => {
+                let n = n.max(4);
+                barabasi_albert(n, 2.min(n - 2), seed, weights)
+            }
+            Family::SmallWorld => {
+                let n = n.max(7);
+                watts_strogatz(n, 2, 0.2, seed, weights)
+            }
         }
     }
 }

@@ -1,0 +1,233 @@
+//! Scale-free and small-world families for the scenario registry.
+//!
+//! Two generators that widen the diversity of the regression scenarios
+//! beyond the lattice/random/expander families already in the sweep:
+//!
+//! * [`barabasi_albert`] — preferential attachment: heavy-tailed degree
+//!   distributions with a few hubs, the shape of real-world overlay and
+//!   citation networks.  Hubs stress the simulator's per-node gather loops
+//!   and the partitioner's slot balancing (one node can own a large
+//!   contiguous slot range).
+//! * [`watts_strogatz`] — a rewired ring lattice: high clustering with a
+//!   few long-range shortcuts, the classic small-world regime.  Shortcuts
+//!   collapse the diameter, which exercises flooding workloads at round
+//!   counts far below ring scale on the same node count.
+//!
+//! Both are deterministic per seed (pinned by the `property_generators`
+//! suite) and connected by construction, so every sampled instance is
+//! usable by the experiments and by the golden-digest scenarios.
+
+use crate::builder::GraphBuilder;
+use crate::graph::WeightedGraph;
+use crate::prng::SplitMix64;
+use crate::weights::{WeightAssigner, WeightStrategy};
+
+/// A Barabási–Albert preferential-attachment graph: starts from a star on
+/// `attach + 1` nodes, then every new node attaches to `attach` **distinct**
+/// existing nodes, each chosen with probability proportional to its current
+/// degree (implemented with the classical repeated-endpoints urn, which
+/// needs no per-step degree recomputation).
+///
+/// Connected by construction (every node links to the existing component),
+/// with exactly `attach + (n - attach - 1) * attach` edges.
+///
+/// # Panics
+/// Panics when `n < attach + 2` or `attach == 0`.
+#[must_use]
+pub fn barabasi_albert(
+    n: usize,
+    attach: usize,
+    seed: u64,
+    weights: WeightStrategy,
+) -> WeightedGraph {
+    assert!(attach >= 1, "attachment count must be positive");
+    assert!(
+        n >= attach + 2,
+        "need at least attach + 2 nodes (got n={n}, attach={attach})"
+    );
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    // The urn holds one entry per edge endpoint, so drawing uniformly from
+    // it is drawing a node proportionally to its degree.
+    let mut urn: Vec<usize> = Vec::with_capacity(2 * n * attach);
+    // Seed component: a star on nodes 0..=attach (node 0 is the hub), which
+    // gives every seed node nonzero degree so the urn can represent it.
+    for v in 1..=attach {
+        b.add_edge(0, v, 0);
+        urn.push(0);
+        urn.push(v);
+    }
+    let mut picked: Vec<usize> = Vec::with_capacity(attach);
+    for u in (attach + 1)..n {
+        picked.clear();
+        // Draw `attach` distinct targets; rejection over the urn terminates
+        // quickly because attach is tiny next to the urn population.
+        while picked.len() < attach {
+            let target = urn[rng.next_index(urn.len())];
+            if !picked.contains(&target) {
+                picked.push(target);
+            }
+        }
+        for &target in &picked {
+            b.add_edge(target, u, 0);
+            urn.push(target);
+            urn.push(u);
+        }
+    }
+    let m = b.edge_count();
+    let mut w = WeightAssigner::new(weights, m);
+    for e in 0..m {
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.randomize_ports(rng.next_u64());
+    b.build()
+        .expect("preferential-attachment construction is always valid")
+}
+
+/// A Watts–Strogatz small-world graph: a ring lattice where every node links
+/// to its `k` nearest neighbours on each side, with every lattice edge of
+/// offset ≥ 2 rewired to a uniformly random non-adjacent endpoint with
+/// probability `beta`.
+///
+/// The offset-1 ring is **never** rewired, so the graph stays connected for
+/// every `beta` (the standard connectivity-preserving WS variant); `beta = 0`
+/// is the pure lattice, `beta = 1` rewires every long-range edge.
+///
+/// # Panics
+/// Panics when `k < 1`, `2k >= n`, or `beta` is outside `[0, 1]`.
+#[must_use]
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    beta: f64,
+    seed: u64,
+    weights: WeightStrategy,
+) -> WeightedGraph {
+    assert!(k >= 1, "each side needs at least one lattice neighbour");
+    assert!(2 * k < n, "2k must be below n for a simple ring lattice");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = SplitMix64::new(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut present = std::collections::HashSet::with_capacity(n * k);
+    let add = |present: &mut std::collections::HashSet<(usize, usize)>,
+               b: &mut GraphBuilder,
+               u: usize,
+               v: usize|
+     -> bool {
+        let key = (u.min(v), u.max(v));
+        if u != v && present.insert(key) {
+            b.add_edge(key.0, key.1, 0);
+            true
+        } else {
+            false
+        }
+    };
+    // The connectivity backbone: the offset-1 ring, kept as-is.
+    for u in 0..n {
+        add(&mut present, &mut b, u, (u + 1) % n);
+    }
+    // Long-range lattice edges, each rewired with probability beta.
+    for offset in 2..=k {
+        for u in 0..n {
+            let v = (u + offset) % n;
+            if rng.next_bool(beta) {
+                // Rewire: keep u, draw a fresh endpoint avoiding self-loops
+                // and duplicates; fall back to the lattice edge if the node
+                // is saturated (only possible on very dense parameters).
+                let mut rewired = false;
+                for _ in 0..32 {
+                    let t = rng.next_index(n);
+                    if add(&mut present, &mut b, u, t) {
+                        rewired = true;
+                        break;
+                    }
+                }
+                if !rewired {
+                    add(&mut present, &mut b, u, v);
+                }
+            } else {
+                add(&mut present, &mut b, u, v);
+            }
+        }
+    }
+    let m = b.edge_count();
+    let mut w = WeightAssigner::new(weights, m);
+    for e in 0..m {
+        b.set_weight(e, w.weight_of(e));
+    }
+    b.randomize_ports(rng.next_u64());
+    b.build().expect("small-world construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::check_instance;
+
+    #[test]
+    fn barabasi_albert_shape_and_determinism() {
+        for (n, attach, seed) in [(10usize, 1usize, 1u64), (40, 2, 2), (80, 3, 3)] {
+            let g = barabasi_albert(n, attach, seed, WeightStrategy::DistinctRandom { seed });
+            check_instance(&g).unwrap();
+            assert!(g.is_connected());
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), attach + (n - attach - 1) * attach);
+            let h = barabasi_albert(n, attach, seed, WeightStrategy::DistinctRandom { seed });
+            assert_eq!(g, h, "same seed must reproduce the same graph");
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_grows_hubs() {
+        let g = barabasi_albert(300, 2, 9, WeightStrategy::Unit);
+        let max_degree = g.nodes().map(|u| g.degree(u)).max().unwrap();
+        // Preferential attachment concentrates degree: the largest hub must
+        // be far above the mean degree (≈ 4).
+        assert!(
+            max_degree >= 12,
+            "expected a hub, got max degree {max_degree}"
+        );
+    }
+
+    #[test]
+    fn watts_strogatz_is_connected_at_every_beta() {
+        for beta in [0.0, 0.1, 0.5, 1.0] {
+            let g = watts_strogatz(60, 3, beta, 5, WeightStrategy::DistinctRandom { seed: 5 });
+            check_instance(&g).unwrap();
+            assert!(g.is_connected(), "beta={beta}");
+            assert_eq!(g.node_count(), 60);
+            // Never loses edges, only rewires (up to duplicate collisions).
+            assert!(g.edge_count() <= 60 * 3);
+            assert!(g.edge_count() >= 60 * 2);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_the_pure_lattice() {
+        let g = watts_strogatz(24, 2, 0.0, 7, WeightStrategy::Unit);
+        assert_eq!(g.edge_count(), 24 * 2);
+        assert!(g.nodes().all(|u| g.degree(u) == 4));
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_shrinks_the_diameter() {
+        let lattice = watts_strogatz(200, 2, 0.0, 11, WeightStrategy::Unit);
+        let small_world = watts_strogatz(200, 2, 0.3, 11, WeightStrategy::Unit);
+        assert!(small_world.diameter() < lattice.diameter());
+    }
+
+    #[test]
+    fn watts_strogatz_is_deterministic_per_seed() {
+        let a = watts_strogatz(50, 3, 0.4, 13, WeightStrategy::DistinctRandom { seed: 13 });
+        let b = watts_strogatz(50, 3, 0.4, 13, WeightStrategy::DistinctRandom { seed: 13 });
+        assert_eq!(a, b);
+        let c = watts_strogatz(50, 3, 0.4, 14, WeightStrategy::DistinctRandom { seed: 13 });
+        assert_ne!(a, c, "a different seed must change the sample");
+    }
+
+    #[test]
+    #[should_panic(expected = "2k must be below n")]
+    fn watts_strogatz_rejects_overfull_lattice() {
+        let _ = watts_strogatz(6, 3, 0.5, 1, WeightStrategy::Unit);
+    }
+}

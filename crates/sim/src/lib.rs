@@ -26,7 +26,8 @@
 //! them, and the steady-state round loop allocates nothing.  The plane pair
 //! is checked out of a per-thread [`pool`], so repeated runs on the same
 //! graph reuse one allocation.  The original push-based executor survives in
-//! [`reference`] as a differential-testing oracle and benchmark baseline.
+//! [`crate::reference`] as a differential-testing oracle and benchmark
+//! baseline.
 //!
 //! The plane is generic over its **slot-storage backend**
 //! ([`plane::PlaneStore`], selected by [`plane::Backing`] on [`RunConfig`]):
@@ -62,6 +63,7 @@
 
 pub mod algorithm;
 pub mod bitset;
+pub mod digest;
 pub mod executor;
 pub mod message;
 pub mod model;
@@ -76,6 +78,7 @@ pub mod wire;
 
 pub use algorithm::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox};
 pub use bitset::FixedBitSet;
+pub use digest::{Digest, DigestWriter, RunSummary};
 pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
 pub use message::BitSized;
 pub use model::Model;

@@ -5,7 +5,7 @@
 //! slots plus a gather buffer — and, on the arena backing, the byte arenas
 //! and the spare-message recycling pool, both of which take a few rounds to
 //! grow to their high-water mark.  Allocating and freeing all of that per
-//! run is pure overhead.  This module keeps one [`PlaneSet`] per
+//! run is pure overhead.  This module keeps one `PlaneSet` per
 //! `(message type, plane backing)` pair in a thread-local pool:
 //! [`Runtime::run`](crate::Runtime::run) checks the set out at the start of
 //! a sequential run (resizing and clearing it — an aborted run may have left

@@ -7,7 +7,7 @@
 //! every round.  It exists for two reasons:
 //!
 //! 1. the `runtime_equivalence` integration suite runs it side by side with
-//!    [`crate::Runtime`] and asserts identical outputs, [`RunStats`] and
+//!    [`crate::Runtime`] and asserts identical outputs, [`crate::RunStats`] and
 //!    traces, and
 //! 2. `bench_substrate` measures the pull-based message plane against it,
 //!    so the routing speedup stays visible in the bench trajectory.

@@ -16,6 +16,17 @@ pub struct RunStats {
     pub congest_violations: u64,
     /// Per-round maximum message size in bits (length = `rounds`).
     pub per_round_max_bits: Vec<usize>,
+    /// Per-round message counts (length = `rounds`).  Together with
+    /// [`RunStats::per_round_bits`] and
+    /// [`RunStats::per_round_violations`] this is the per-round transcript
+    /// the scenario regression guard folds into its round chain (see
+    /// [`crate::digest::RunSummary`]), so digest drift can be localized to
+    /// the first diverging round.
+    pub per_round_messages: Vec<u64>,
+    /// Per-round message-bit volumes (length = `rounds`).
+    pub per_round_bits: Vec<u64>,
+    /// Per-round CONGEST-audit violation counts (length = `rounds`).
+    pub per_round_violations: Vec<u64>,
 }
 
 impl RunStats {
@@ -43,6 +54,9 @@ impl RunStats {
         self.max_message_bits = self.max_message_bits.max(max_bits);
         self.congest_violations += violations;
         self.per_round_max_bits.push(max_bits);
+        self.per_round_messages.push(messages);
+        self.per_round_bits.push(bits);
+        self.per_round_violations.push(violations);
     }
 }
 
@@ -61,6 +75,9 @@ mod tests {
         assert_eq!(s.max_message_bits, 30);
         assert_eq!(s.congest_violations, 1);
         assert_eq!(s.per_round_max_bits, vec![12, 30]);
+        assert_eq!(s.per_round_messages, vec![4, 2]);
+        assert_eq!(s.per_round_bits, vec![40, 10]);
+        assert_eq!(s.per_round_violations, vec![0, 1]);
         assert!((s.avg_message_bits() - 50.0 / 6.0).abs() < 1e-9);
     }
 

@@ -1,0 +1,91 @@
+//! Property tests for the scenario-registry graph generators (vendored
+//! proptest).
+//!
+//! The golden-digest guard assumes three things of every generator it
+//! sweeps: **determinism per seed** (otherwise digests are not reproducible
+//! at all), **connectivity where promised** (every registered workload
+//! needs a connected instance), and the family's **structural invariants**
+//! (node/edge counts and degree bounds — drift here would silently change
+//! every digest built on the family).  The two families added with the
+//! registry (Barabási–Albert preferential attachment, Watts–Strogatz small
+//! world) are pinned over randomized parameter ranges; [`Family`]
+//! instantiation is pinned as a whole because it is the registry's entry
+//! point.
+
+use lma_graph::generators::{barabasi_albert, watts_strogatz, Family};
+use lma_graph::validate::check_instance;
+use lma_graph::weights::WeightStrategy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn barabasi_albert_holds_its_invariants(
+        n in 6usize..150,
+        attach in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let g = barabasi_albert(n, attach, seed, WeightStrategy::DistinctRandom { seed });
+        check_instance(&g).unwrap_or_else(|e| panic!("invalid instance: {e}"));
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.node_count(), n);
+        // The seed star contributes `attach` edges, every later node exactly
+        // `attach` more (distinct targets, so nothing collapses).
+        prop_assert_eq!(g.edge_count(), attach + (n - attach - 1) * attach);
+        // Degree bounds: every node has an edge; every post-seed node
+        // attaches to `attach` distinct targets.
+        prop_assert!(g.nodes().all(|u| g.degree(u) >= 1));
+        prop_assert!(g.nodes().skip(attach + 1).all(|u| g.degree(u) >= attach));
+
+        // Determinism: the same seed reproduces the instance bit-for-bit, a
+        // different seed must not (the registry's digest-vs-seed axiom).
+        let same = barabasi_albert(n, attach, seed, WeightStrategy::DistinctRandom { seed });
+        prop_assert_eq!(&g, &same);
+        let other = barabasi_albert(n, attach, seed + 1, WeightStrategy::DistinctRandom { seed });
+        prop_assert_ne!(&g, &other);
+    }
+
+    #[test]
+    fn watts_strogatz_holds_its_invariants(
+        n in 8usize..150,
+        k_raw in 1usize..4,
+        beta_milli in 0usize..1_001,
+        seed in 0u64..1_000,
+    ) {
+        // A simple ring lattice needs 2k < n.
+        let k = k_raw.min((n - 1) / 2);
+        let beta = beta_milli as f64 / 1_000.0;
+        let g = watts_strogatz(n, k, beta, seed, WeightStrategy::DistinctRandom { seed });
+        check_instance(&g).unwrap_or_else(|e| panic!("invalid instance: {e}"));
+        // Connected at every beta: the offset-1 ring is never rewired.
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.node_count(), n);
+        // Rewiring never adds edges beyond the lattice count and only
+        // duplicate collisions can remove long-range edges — never the ring.
+        prop_assert!(g.edge_count() <= n * k);
+        prop_assert!(g.edge_count() >= n);
+        // Every node keeps its two ring edges.
+        prop_assert!(g.nodes().all(|u| g.degree(u) >= 2));
+
+        let same = watts_strogatz(n, k, beta, seed, WeightStrategy::DistinctRandom { seed });
+        prop_assert_eq!(&g, &same);
+    }
+
+    #[test]
+    fn every_family_instantiates_deterministically_and_connected(
+        n in 4usize..64,
+        seed in 0u64..500,
+    ) {
+        for family in Family::ALL {
+            let weights = WeightStrategy::DistinctRandom { seed };
+            let g = family.instantiate(n, weights, seed);
+            check_instance(&g)
+                .unwrap_or_else(|e| panic!("{} n={n} invalid: {e}", family.name()));
+            prop_assert!(g.is_connected(), "{} must be connected", family.name());
+            prop_assert!(g.node_count() >= 2);
+            let same = family.instantiate(n, weights, seed);
+            prop_assert_eq!(&g, &same, "{} must be deterministic", family.name());
+        }
+    }
+}

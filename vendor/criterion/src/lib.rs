@@ -58,6 +58,31 @@ fn registry() -> &'static Mutex<Vec<RecordedResult>> {
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+/// Benchmarks that failed: panicked inside their closure (e.g. a scenario
+/// cell whose setup or run `unwrap`s an error) or produced no samples.
+/// [`finalize`] turns a non-empty list into a nonzero exit, so a broken
+/// cell can no longer scroll past and leave the smoke job green.
+fn failures() -> &'static Mutex<Vec<String>> {
+    static FAILURES: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    FAILURES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn record_failure(scenario: &str, reason: &str) {
+    eprintln!("FAILED {scenario}: {reason}");
+    failures()
+        .lock()
+        .unwrap()
+        .push(format!("{scenario}: {reason}"));
+}
+
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(ToString::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
 /// True when the bench binary was invoked with `-- --smoke`.
 #[must_use]
 pub fn is_smoke() -> bool {
@@ -229,17 +254,21 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(throughput);
     }
 
-    /// Runs one benchmark identified by `id`.
+    /// Runs one benchmark identified by `id`.  A panic inside the closure is
+    /// caught, reported as a failed benchmark, and turned into a nonzero
+    /// process exit by [`finalize`] — the remaining benchmarks still run, so
+    /// one broken cell neither aborts the sweep nor lets it exit green.
     pub fn bench_function<S: Display, F: FnMut(&mut Bencher<'_>)>(&mut self, id: S, mut f: F) {
         let mut b = Bencher {
             config: self.config,
             result: None,
         };
-        f(&mut b);
-        self.report(&id.to_string(), b.result);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut b)));
+        self.conclude(&id.to_string(), outcome, b.result);
     }
 
-    /// Runs one benchmark that receives a shared input value.
+    /// Runs one benchmark that receives a shared input value (same failure
+    /// handling as [`BenchmarkGroup::bench_function`]).
     pub fn bench_with_input<S: Display, I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
         &mut self,
         id: S,
@@ -250,8 +279,29 @@ impl BenchmarkGroup<'_> {
             config: self.config,
             result: None,
         };
-        f(&mut b, input);
-        self.report(&id.to_string(), b.result);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut b, input)));
+        self.conclude(&id.to_string(), outcome, b.result);
+    }
+
+    /// Routes a finished (or crashed) benchmark to reporting: panics and
+    /// sample-less runs are recorded as failures, successes are reported.
+    fn conclude(
+        &self,
+        id: &str,
+        outcome: std::thread::Result<()>,
+        result: Option<(Duration, Duration, Duration)>,
+    ) {
+        let scenario = format!("{}/{}", self.name, id);
+        match outcome {
+            Err(payload) => record_failure(&scenario, &panic_payload_message(payload.as_ref())),
+            Ok(()) if result.is_none() => {
+                record_failure(
+                    &scenario,
+                    "no samples collected (closure never called iter)",
+                );
+            }
+            Ok(()) => self.report(id, result),
+        }
     }
 
     /// Ends the group (kept for API compatibility; reporting is per-bench).
@@ -289,6 +339,20 @@ impl BenchmarkGroup<'_> {
 /// `Cargo.lock`), else in the current directory.
 #[doc(hidden)]
 pub fn finalize() {
+    // Failed benchmarks (panicking closures, sample-less cells) make the
+    // process exit nonzero in *both* modes — the smoke CI job exists to
+    // catch exactly these, and before this check a broken cell's output
+    // could scroll past while the job stayed green.
+    {
+        let failures = failures().lock().unwrap();
+        if !failures.is_empty() {
+            eprintln!("\n{} benchmark(s) failed:", failures.len());
+            for failure in failures.iter() {
+                eprintln!("  {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
     if is_smoke() {
         return;
     }
@@ -441,6 +505,27 @@ mod tests {
             .warm_up_time(Duration::from_millis(1))
             .measurement_time(Duration::from_millis(10));
         trivial(&mut c);
+    }
+
+    #[test]
+    fn panicking_and_sample_less_benchmarks_are_recorded_as_failures() {
+        let before = failures().lock().unwrap().len();
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("failing");
+        group.bench_function("panics", |_b| panic!("planted failure"));
+        group.bench_function("no_samples", |_b| {
+            // Never calls iter: must be recorded, not silently reported.
+        });
+        group.bench_function("fine", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        let failures = failures().lock().unwrap();
+        let new: Vec<&String> = failures.iter().skip(before).collect();
+        assert_eq!(new.len(), 2, "exactly the two broken benches fail: {new:?}");
+        assert!(new[0].contains("failing/panics") && new[0].contains("planted failure"));
+        assert!(new[1].contains("failing/no_samples"));
     }
 
     #[test]

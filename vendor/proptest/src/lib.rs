@@ -176,7 +176,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// The strategy produced by [`vec`].
+    /// The strategy produced by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
