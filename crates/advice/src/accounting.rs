@@ -22,6 +22,18 @@ pub struct AdviceStats {
 }
 
 impl AdviceStats {
+    /// Folds the accounting into a digest writer under an `"advice"` tag:
+    /// node count, total bits, maximum bits, empty-advice count (the float
+    /// average is derived, so it is excluded).  A pinned encoding — golden
+    /// digests depend on it.
+    pub fn fold_into(&self, w: &mut lma_sim::DigestWriter) {
+        w.str("advice");
+        w.usize(self.nodes);
+        w.usize(self.total_bits);
+        w.usize(self.max_bits);
+        w.usize(self.empty_nodes);
+    }
+
     /// Computes statistics for an advice assignment.
     #[must_use]
     pub fn from_advice(advice: &Advice) -> Self {

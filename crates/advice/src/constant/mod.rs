@@ -37,7 +37,7 @@ use crate::scheme::{Advice, AdvisingScheme, DecodeOutcome, SchemeError};
 use decoder::ConstantDecoder;
 use lma_graph::WeightedGraph;
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
-use lma_sim::{RunConfig, Runtime};
+use lma_sim::Sim;
 use schedule::{Schedule, ScheduleVariant};
 
 /// Which decoder/encoder variant of Theorem 3 to use.
@@ -129,12 +129,8 @@ impl AdvisingScheme for ConstantScheme {
         encoder::encode(g, &run, self.variant)
     }
 
-    fn decode(
-        &self,
-        g: &WeightedGraph,
-        advice: &Advice,
-        config: &RunConfig,
-    ) -> Result<DecodeOutcome, SchemeError> {
+    fn decode(&self, sim: &Sim<'_>, advice: &Advice) -> Result<DecodeOutcome, SchemeError> {
+        let g = sim.graph();
         let n = g.node_count();
         let schedule = self.schedule_for(n);
         // The paper-literal level variant needs every node to know its own
@@ -155,7 +151,6 @@ impl AdvisingScheme for ConstantScheme {
                     .collect()
             }
         };
-        let runtime = Runtime::with_config(g, *config);
         let programs: Vec<ConstantDecoder> = g
             .nodes()
             .map(|u| {
@@ -167,7 +162,7 @@ impl AdvisingScheme for ConstantScheme {
                 )
             })
             .collect();
-        let result = runtime.run(programs)?;
+        let result = sim.run(programs)?;
         Ok(DecodeOutcome {
             outputs: result.outputs,
             stats: result.stats,
@@ -190,7 +185,7 @@ mod tests {
             variant,
             ..ConstantScheme::default()
         };
-        let eval = evaluate_scheme(&scheme, g, &RunConfig::default())
+        let eval = evaluate_scheme(&scheme, &Sim::on(g))
             .unwrap_or_else(|e| panic!("variant {variant:?} failed: {e}"));
         assert!(
             eval.within_claims(&scheme, g.node_count()),
@@ -281,12 +276,9 @@ mod tests {
         let n = 256;
         let g = connected_random(n, 1024, 31, WeightStrategy::DistinctRandom { seed: 31 });
         let scheme = ConstantScheme::default();
-        let config = RunConfig {
-            model: Model::Congest { bits: 4096 },
-            ..RunConfig::default()
-        };
+        let sim = Sim::on(&g).model(Model::Congest { bits: 4096 });
         let advice = scheme.advise(&g).unwrap();
-        let outcome = scheme.decode(&g, &advice, &config).unwrap();
+        let outcome = scheme.decode(&sim, &advice).unwrap();
         lma_mst::verify::verify_upward_outputs(&g, &outcome.outputs).unwrap();
         // Messages are structured reports of at most O(log n) entries of a
         // few bits each; assert a generous polylog bound.
@@ -326,7 +318,7 @@ mod tests {
     fn respects_requested_root() {
         let g = grid(5, 5, WeightStrategy::DistinctRandom { seed: 41 });
         let scheme = ConstantScheme::rooted_at(12);
-        let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let e = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         assert_eq!(e.tree.root, 12);
     }
 
@@ -335,7 +327,7 @@ mod tests {
         let g = connected_random(90, 270, 55, WeightStrategy::DistinctRandom { seed: 55 });
         let scheme = ConstantScheme::default();
         let run = run_boruvka(&g, &scheme.boruvka).unwrap();
-        let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let e = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         let mut a = e.tree.edges.clone();
         let mut b = run.mst_edges.clone();
         a.sort_unstable();

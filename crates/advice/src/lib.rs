@@ -40,7 +40,8 @@ pub use bits::{BitReader, BitString};
 pub use constant::{ConstantScheme, ConstantVariant};
 pub use one_round::OneRoundScheme;
 pub use scheme::{
-    evaluate_scheme, Advice, AdvisingScheme, DecodeOutcome, SchemeError, SchemeEvaluation,
+    evaluate_scheme, evaluate_scheme_with_advice, Advice, AdvisingScheme, DecodeOutcome,
+    SchemeError, SchemeEvaluation, SchemeWorkload,
 };
 pub use tradeoff::{frontier, FrontierPoint, TradeoffScheme};
 pub use trivial::TrivialScheme;

@@ -30,7 +30,7 @@ use lma_graph::generators::lowerbound::{
 use lma_graph::graph::ceil_log2;
 use lma_graph::{NodeIdx, Port, WeightedGraph};
 use lma_mst::verify::UpwardOutput;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 /// The certified per-node and average advice requirements on `G_n`.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,13 +99,8 @@ impl<S: AdvisingScheme> AdvisingScheme for TruncateAdvice<S> {
         Ok(Advice { per_node })
     }
 
-    fn decode(
-        &self,
-        g: &WeightedGraph,
-        advice: &Advice,
-        config: &RunConfig,
-    ) -> Result<DecodeOutcome, SchemeError> {
-        self.inner.decode(g, advice, config)
+    fn decode(&self, sim: &Sim<'_>, advice: &Advice) -> Result<DecodeOutcome, SchemeError> {
+        self.inner.decode(sim, advice)
     }
 }
 
@@ -149,7 +144,7 @@ pub fn falsify_zero_round_scheme<S: AdvisingScheme>(
 ) -> Result<Option<FalsificationWitness>, SchemeError> {
     for (k, instance) in family.instances.iter().enumerate() {
         let advice = scheme.advise(instance)?;
-        let outcome = scheme.decode(instance, &advice, &RunConfig::default())?;
+        let outcome = scheme.decode(&Sim::on(instance), &advice)?;
         if outcome.stats.rounds > 0 {
             return Err(SchemeError::Encoding(format!(
                 "scheme {} used {} rounds; the Theorem 1 adversary applies to zero-round schemes",
@@ -288,7 +283,7 @@ mod tests {
         let family = lowerbound_family_at(9, 4);
         for instance in &family.instances {
             let scheme = truncated_trivial(64);
-            let eval = evaluate_scheme(&scheme, instance, &RunConfig::default()).unwrap();
+            let eval = evaluate_scheme(&scheme, &Sim::on(instance)).unwrap();
             assert_eq!(eval.run.rounds, 0);
         }
     }

@@ -28,7 +28,7 @@ use lma_graph::graph::ceil_log2;
 use lma_graph::{index, Port, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::verify::UpwardOutput;
-use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, Sim};
 
 /// The (O(log² n), 1)-advising scheme of Theorem 2.
 #[derive(Debug, Clone, Default)]
@@ -115,13 +115,8 @@ impl AdvisingScheme for OneRoundScheme {
         Ok(Advice { per_node })
     }
 
-    fn decode(
-        &self,
-        g: &WeightedGraph,
-        advice: &Advice,
-        config: &RunConfig,
-    ) -> Result<DecodeOutcome, SchemeError> {
-        let runtime = Runtime::with_config(g, *config);
+    fn decode(&self, sim: &Sim<'_>, advice: &Advice) -> Result<DecodeOutcome, SchemeError> {
+        let g = sim.graph();
         let programs: Vec<OneRoundDecoder> = g
             .nodes()
             .map(|u| OneRoundDecoder {
@@ -130,7 +125,7 @@ impl AdvisingScheme for OneRoundScheme {
                 output: None,
             })
             .collect();
-        let result = runtime.run(programs)?;
+        let result = sim.run(programs)?;
         Ok(DecodeOutcome {
             outputs: result.outputs,
             stats: result.stats,
@@ -241,7 +236,7 @@ mod tests {
 
     fn eval(g: &WeightedGraph) -> crate::scheme::SchemeEvaluation {
         let scheme = OneRoundScheme::default();
-        let eval = evaluate_scheme(&scheme, g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(g)).unwrap();
         assert!(
             eval.within_claims(&scheme, g.node_count()),
             "claims violated: advice {:?} rounds {}",
@@ -290,7 +285,7 @@ mod tests {
             let g = connected_random(n, n * n / 8, 5, WeightStrategy::DistinctRandom { seed: 5 });
             one_round_avgs.push(eval(&g).advice.avg_bits);
             let trivial = crate::trivial::TrivialScheme::default();
-            let te = evaluate_scheme(&trivial, &g, &RunConfig::default()).unwrap();
+            let te = evaluate_scheme(&trivial, &Sim::on(&g)).unwrap();
             trivial_avgs.push(te.advice.avg_bits);
         }
         assert!(one_round_avgs.iter().all(|&a| a <= 12.0));
@@ -320,7 +315,7 @@ mod tests {
     fn respects_requested_root() {
         let g = complete(12, WeightStrategy::DistinctRandom { seed: 21 });
         let scheme = OneRoundScheme::rooted_at(9);
-        let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let e = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         assert_eq!(e.tree.root, 9);
     }
 
@@ -365,7 +360,7 @@ mod tests {
         let mut advice = scheme.advise(&g).unwrap();
         let victim = (0..16).find(|&u| !advice.per_node[u].is_empty()).unwrap();
         advice.per_node[victim] = BitString::new();
-        let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+        let outcome = scheme.decode(&Sim::on(&g), &advice).unwrap();
         assert!(lma_mst::verify::verify_upward_outputs(&g, &outcome.outputs).is_err());
     }
 }

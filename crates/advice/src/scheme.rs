@@ -2,11 +2,16 @@
 //!
 //! A scheme consists of an **oracle** ([`AdvisingScheme::advise`]) that maps a
 //! whole graph to per-node advice strings, and a **decoder**
-//! ([`AdvisingScheme::decode`]) that runs a distributed algorithm on the
-//! simulator, with each node seeing only its local view plus its advice, and
-//! outputs the upward MST representation.  [`evaluate_scheme`] glues the two
-//! together and verifies the result against an independently computed MST, so
-//! every number the experiments report comes from a verified run.
+//! ([`AdvisingScheme::decode`]) that runs a distributed algorithm on a
+//! configured [`Sim`], with each node seeing only its local view plus its
+//! advice, and outputs the upward MST representation.  [`evaluate_scheme`]
+//! glues the two together and verifies the result against an independently
+//! computed MST, so every number the experiments report comes from a
+//! verified run.  [`SchemeWorkload`] packages the same pipeline as a
+//! [`Workload`] — the oracle is its `prepare` phase, and the advice-bit
+//! accounting lands in the typed [`SchemeEvaluation`] outcome — so the
+//! scenario registry of `lma-bench` runs and fingerprints schemes exactly
+//! like any other workload.
 
 use crate::accounting::AdviceStats;
 use crate::bits::BitString;
@@ -14,8 +19,10 @@ use lma_graph::WeightedGraph;
 use lma_mst::boruvka::BoruvkaError;
 use lma_mst::verify::{verify_upward_outputs, MstError, UpwardOutput};
 use lma_mst::RootedTree;
+use lma_sim::digest::{fold_stats, DigestWriter};
+use lma_sim::driver::{Sim, Workload, WorkloadError};
 use lma_sim::runtime::RunError;
-use lma_sim::{RunConfig, RunStats};
+use lma_sim::{RunStats, RunSummary};
 
 /// Per-node advice strings, indexed by node index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,14 +123,11 @@ pub trait AdvisingScheme: Send + Sync {
     /// The oracle: computes per-node advice for a concrete graph.
     fn advise(&self, g: &WeightedGraph) -> Result<Advice, SchemeError>;
 
-    /// The decoder: runs the scheme's distributed algorithm under the given
-    /// simulator configuration and returns the per-node outputs.
-    fn decode(
-        &self,
-        g: &WeightedGraph,
-        advice: &Advice,
-        config: &RunConfig,
-    ) -> Result<DecodeOutcome, SchemeError>;
+    /// The decoder: runs the scheme's distributed algorithm on the
+    /// configured simulation and returns the per-node outputs.  The graph
+    /// is `sim.graph()`; the advice assignment must cover exactly its
+    /// nodes.
+    fn decode(&self, sim: &Sim<'_>, advice: &Advice) -> Result<DecodeOutcome, SchemeError>;
 }
 
 /// The verified result of a full oracle-then-decode run of a scheme.
@@ -160,34 +164,133 @@ impl SchemeEvaluation {
 /// use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme};
 /// use lma_graph::generators::connected_random;
 /// use lma_graph::weights::WeightStrategy;
-/// use lma_sim::RunConfig;
+/// use lma_sim::Sim;
 ///
 /// let graph = connected_random(64, 200, 1, WeightStrategy::DistinctRandom { seed: 1 });
 /// let scheme = ConstantScheme::default();           // Theorem 3
-/// let eval = evaluate_scheme(&scheme, &graph, &RunConfig::default()).unwrap();
+/// let eval = evaluate_scheme(&scheme, &Sim::on(&graph)).unwrap();
 /// assert!(eval.advice.max_bits <= scheme.claimed_max_bits(64).unwrap());
 /// assert!(eval.run.rounds <= scheme.claimed_rounds(64).unwrap());
 /// assert_eq!(eval.tree.edges.len(), 63);            // a spanning tree, verified minimal
 /// ```
 pub fn evaluate_scheme<S: AdvisingScheme + ?Sized>(
     scheme: &S,
-    g: &WeightedGraph,
-    config: &RunConfig,
+    sim: &Sim<'_>,
 ) -> Result<SchemeEvaluation, SchemeError> {
-    let advice = scheme.advise(g)?;
+    let advice = scheme.advise(sim.graph())?;
+    evaluate_scheme_with_advice(scheme, sim, &advice)
+}
+
+/// Like [`evaluate_scheme`], but decoding a caller-supplied advice
+/// assignment — the hook shared by [`SchemeWorkload::execute`] (which
+/// computed the advice in its `prepare` phase) and fault-injection
+/// harnesses (which corrupt it first).
+pub fn evaluate_scheme_with_advice<S: AdvisingScheme + ?Sized>(
+    scheme: &S,
+    sim: &Sim<'_>,
+    advice: &Advice,
+) -> Result<SchemeEvaluation, SchemeError> {
+    let g = sim.graph();
     assert_eq!(
         advice.per_node.len(),
         g.node_count(),
         "oracle must produce advice for every node"
     );
     let advice_stats = advice.stats();
-    let outcome = scheme.decode(g, &advice, config)?;
+    let outcome = scheme.decode(sim, advice)?;
     let tree = verify_upward_outputs(g, &outcome.outputs)?;
     Ok(SchemeEvaluation {
         advice: advice_stats,
         run: outcome.stats,
         tree,
     })
+}
+
+/// Maps a [`SchemeError`] onto the driver's [`WorkloadError`], preserving
+/// simulator errors structurally (their payload folds into golden digests).
+#[must_use]
+pub fn to_workload_error(e: SchemeError) -> WorkloadError {
+    match e {
+        SchemeError::Run(e) => WorkloadError::Run(e),
+        SchemeError::Invalid(e) => WorkloadError::Invalid(e.to_string()),
+        oracle => WorkloadError::Prepare(oracle.to_string()),
+    }
+}
+
+impl SchemeEvaluation {
+    /// Folds the evaluation into a digest writer: advice accounting, run
+    /// statistics, then the verified tree (root, edge ids, parent ports).
+    /// A pinned encoding — golden digests depend on it.
+    pub fn fold_into(&self, w: &mut DigestWriter) {
+        self.advice.fold_into(w);
+        fold_stats(w, &self.run);
+        w.str("tree");
+        w.usize(self.tree.root);
+        w.usize(self.tree.edges.len());
+        for &edge in &self.tree.edges {
+            w.usize(edge);
+        }
+        for port in &self.tree.parent_port {
+            w.opt_u64(port.map(|p| p as u64));
+        }
+    }
+}
+
+/// An advising scheme packaged as a [`Workload`]: `prepare` is the oracle,
+/// `execute` decodes on the given [`Sim`] and verifies the tree, and the
+/// advice-bit accounting lands in the typed [`SchemeEvaluation`] outcome.
+#[derive(Debug, Clone)]
+pub struct SchemeWorkload<S> {
+    name: &'static str,
+    scheme: S,
+}
+
+impl<S: AdvisingScheme> SchemeWorkload<S> {
+    /// Wraps `scheme` under a stable workload `name` (scenario ids and the
+    /// `--workload` filter match on it, so it is chosen by the registry,
+    /// not derived from the scheme's own display name).
+    #[must_use]
+    pub fn new(name: &'static str, scheme: S) -> Self {
+        Self { name, scheme }
+    }
+
+    /// The wrapped scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+}
+
+impl<S: AdvisingScheme> Workload for SchemeWorkload<S> {
+    type Prep = Advice;
+    type Outcome = SchemeEvaluation;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn supports_reference(&self) -> bool {
+        // Scheme cells were pinned in SCENARIOS.lock before the decoders
+        // could run on an explicit engine; the committed matrix keeps the
+        // original (no push-oracle) cell lists.
+        false
+    }
+
+    fn prepare(&self, graph: &WeightedGraph) -> Result<Advice, WorkloadError> {
+        self.scheme.advise(graph).map_err(to_workload_error)
+    }
+
+    fn execute(&self, sim: &Sim<'_>, advice: Advice) -> Result<SchemeEvaluation, WorkloadError> {
+        evaluate_scheme_with_advice(&self.scheme, sim, &advice).map_err(to_workload_error)
+    }
+
+    fn fold(&self, w: &mut DigestWriter, outcome: &SchemeEvaluation) {
+        outcome.fold_into(w);
+    }
+
+    fn summary(&self, outcome: &SchemeEvaluation) -> RunSummary {
+        RunSummary::of_stats(&outcome.run)
+    }
 }
 
 #[cfg(test)]

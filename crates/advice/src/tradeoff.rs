@@ -40,7 +40,7 @@ use crate::scheme::{evaluate_scheme, Advice, AdvisingScheme, DecodeOutcome, Sche
 use lma_graph::{index, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::decomposition::BoruvkaRun;
-use lma_sim::{RunConfig, Runtime};
+use lma_sim::Sim;
 
 /// The budgeted advising scheme interpolating between the trivial scheme
 /// (`cutoff = 0`) and Theorem 3 (`cutoff = ⌈log log n⌉`, the default).
@@ -136,12 +136,8 @@ impl AdvisingScheme for TradeoffScheme {
         )
     }
 
-    fn decode(
-        &self,
-        g: &WeightedGraph,
-        advice: &Advice,
-        config: &RunConfig,
-    ) -> Result<DecodeOutcome, SchemeError> {
+    fn decode(&self, sim: &Sim<'_>, advice: &Advice) -> Result<DecodeOutcome, SchemeError> {
+        let g = sim.graph();
         let n = g.node_count();
         let schedule = self.schedule_for(n);
         let p = self.effective_cutoff(n);
@@ -159,7 +155,6 @@ impl AdvisingScheme for TradeoffScheme {
                     .collect()
             }
         };
-        let runtime = Runtime::with_config(g, *config);
         let empty = BitString::new();
         let programs: Vec<ConstantDecoder> = g
             .nodes()
@@ -173,7 +168,7 @@ impl AdvisingScheme for TradeoffScheme {
                 )
             })
             .collect();
-        let result = runtime.run(programs)?;
+        let result = sim.run(programs)?;
         Ok(DecodeOutcome {
             outputs: result.outputs,
             stats: result.stats,
@@ -309,13 +304,13 @@ impl FrontierPoint {
 
 /// Evaluates the tradeoff scheme for every cutoff `0 ‥ ⌈log log n⌉` on one
 /// graph and returns the measured frontier (experiment E6).
-pub fn frontier(g: &WeightedGraph, config: &RunConfig) -> Result<Vec<FrontierPoint>, SchemeError> {
-    let n = g.node_count();
+pub fn frontier(sim: &Sim<'_>) -> Result<Vec<FrontierPoint>, SchemeError> {
+    let n = sim.graph().node_count();
     let k = log_log_n(n);
     let mut points = Vec::with_capacity(k + 1);
     for p in 0..=k {
         let scheme = TradeoffScheme::with_cutoff(p);
-        let eval = evaluate_scheme(&scheme, g, config)?;
+        let eval = evaluate_scheme(&scheme, sim)?;
         points.push(FrontierPoint {
             cutoff: p,
             max_bits: eval.advice.max_bits,
@@ -337,7 +332,7 @@ mod tests {
     use lma_graph::weights::WeightStrategy;
 
     fn eval(scheme: &TradeoffScheme, g: &WeightedGraph) -> crate::scheme::SchemeEvaluation {
-        let eval = evaluate_scheme(scheme, g, &RunConfig::default())
+        let eval = evaluate_scheme(scheme, &Sim::on(g))
             .unwrap_or_else(|e| panic!("cutoff {:?} failed: {e}", scheme.cutoff));
         assert!(
             eval.within_claims(scheme, g.node_count()),
@@ -389,8 +384,7 @@ mod tests {
     fn cutoff_zero_matches_the_trivial_scheme() {
         let g = connected_random(96, 260, 7, WeightStrategy::DistinctRandom { seed: 7 });
         let zero = eval(&TradeoffScheme::with_cutoff(0), &g);
-        let trivial =
-            evaluate_scheme(&TrivialScheme::default(), &g, &RunConfig::default()).unwrap();
+        let trivial = evaluate_scheme(&TrivialScheme::default(), &Sim::on(&g)).unwrap();
         assert_eq!(zero.run.rounds, 0, "cutoff 0 must decode in zero rounds");
         assert_eq!(trivial.run.rounds, 0);
         // Both use ⌈log n⌉-ish bits at the most loaded node.
@@ -404,7 +398,7 @@ mod tests {
         let g = connected_random(128, 380, 8, WeightStrategy::DistinctRandom { seed: 8 });
         let n = g.node_count();
         let full = eval(&TradeoffScheme::default(), &g);
-        let t3 = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+        let t3 = evaluate_scheme(&ConstantScheme::default(), &Sim::on(&g)).unwrap();
         assert_eq!(full.advice.max_bits, t3.advice.max_bits);
         assert_eq!(full.run.rounds, t3.run.rounds);
         assert_eq!(full.tree.edges, t3.tree.edges);
@@ -416,7 +410,7 @@ mod tests {
     fn the_frontier_trades_rounds_for_final_segment_width() {
         let g = connected_random(256, 700, 9, WeightStrategy::DistinctRandom { seed: 9 });
         let n = g.node_count();
-        let points = frontier(&g, &RunConfig::default()).unwrap();
+        let points = frontier(&Sim::on(&g)).unwrap();
         assert_eq!(points.len(), log_log_n(256) + 1);
         for w in points.windows(2) {
             // Rounds grow with the cutoff (each added phase adds its window).
@@ -466,7 +460,7 @@ mod tests {
             let g = path(n, WeightStrategy::ByEdgeId);
             for p in [0usize, 1, 5] {
                 let scheme = TradeoffScheme::with_cutoff(p);
-                let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+                let e = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
                 assert_eq!(e.tree.edges.len(), n - 1);
             }
         }

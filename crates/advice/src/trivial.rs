@@ -23,7 +23,7 @@ use lma_graph::Port;
 use lma_graph::{index, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::verify::UpwardOutput;
-use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, Sim};
 
 /// The trivial (⌈log n⌉, 0)-advising scheme.
 #[derive(Debug, Clone, Default)]
@@ -73,13 +73,8 @@ impl AdvisingScheme for TrivialScheme {
         Ok(Advice { per_node })
     }
 
-    fn decode(
-        &self,
-        g: &WeightedGraph,
-        advice: &Advice,
-        config: &RunConfig,
-    ) -> Result<DecodeOutcome, SchemeError> {
-        let runtime = Runtime::with_config(g, *config);
+    fn decode(&self, sim: &Sim<'_>, advice: &Advice) -> Result<DecodeOutcome, SchemeError> {
+        let g = sim.graph();
         let programs: Vec<TrivialDecoder> = g
             .nodes()
             .map(|u| TrivialDecoder {
@@ -87,7 +82,7 @@ impl AdvisingScheme for TrivialScheme {
                 output: None,
             })
             .collect();
-        let result = runtime.run(programs)?;
+        let result = sim.run(programs)?;
         Ok(DecodeOutcome {
             outputs: result.outputs,
             stats: result.stats,
@@ -152,7 +147,7 @@ mod tests {
 
     fn eval(g: &WeightedGraph) -> crate::scheme::SchemeEvaluation {
         let scheme = TrivialScheme::default();
-        let eval = evaluate_scheme(&scheme, g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(g)).unwrap();
         assert!(eval.within_claims(&scheme, g.node_count()));
         eval
     }
@@ -187,7 +182,7 @@ mod tests {
     fn respects_requested_root() {
         let g = grid(4, 4, WeightStrategy::DistinctRandom { seed: 9 });
         let scheme = TrivialScheme::rooted_at(7);
-        let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let e = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         assert_eq!(e.tree.root, 7);
     }
 
@@ -203,7 +198,7 @@ mod tests {
                 tie_break: lma_mst::boruvka::TieBreak::CanonicalGlobal,
             },
         };
-        let e = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let e = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         assert_eq!(e.run.rounds, 0);
     }
 
@@ -215,7 +210,7 @@ mod tests {
         // Clear a non-root node's advice: it will wrongly claim to be a root.
         let victim = (0..8).find(|&u| !advice.per_node[u].is_empty()).unwrap();
         advice.per_node[victim] = BitString::new();
-        let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+        let outcome = scheme.decode(&Sim::on(&g), &advice).unwrap();
         assert!(lma_mst::verify::verify_upward_outputs(&g, &outcome.outputs).is_err());
     }
 }

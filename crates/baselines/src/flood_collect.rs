@@ -9,15 +9,12 @@
 //! Θ(m log n) bits, which is why it says nothing about the CONGEST model.
 
 use crate::NoAdviceMst;
-use lma_graph::{GraphBuilder, Port, WeightedGraph};
+use lma_graph::{GraphBuilder, Port};
 use lma_mst::kruskal::kruskal_mst;
 use lma_mst::tree::RootedTree;
 use lma_mst::verify::UpwardOutput;
 use lma_sim::message::{bits_for_value, BitSized};
-use lma_sim::{
-    collect_outbox, Executor, LocalView, MsgSink, NodeAlgorithm, Outbox, RunConfig, RunStats,
-    Runtime,
-};
+use lma_sim::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox, RunStats, Sim};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One known edge, described by endpoint identifiers and weight.
@@ -133,23 +130,10 @@ impl NoAdviceMst for FloodCollectMst {
 
     fn run(
         &self,
-        g: &WeightedGraph,
-        config: &RunConfig,
+        sim: &Sim<'_>,
     ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError> {
-        let runtime = Runtime::with_config(g, *config);
-        let programs: Vec<FloodNode> = g.nodes().map(|_| FloodNode::default()).collect();
-        let result = runtime.run(programs)?;
-        Ok((result.outputs, result.stats))
-    }
-
-    fn run_with<E: Executor>(
-        &self,
-        g: &WeightedGraph,
-        config: &RunConfig,
-        executor: &E,
-    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError> {
-        let programs: Vec<FloodNode> = g.nodes().map(|_| FloodNode::default()).collect();
-        let result = executor.run(g, *config, programs)?;
+        let programs: Vec<FloodNode> = sim.graph().nodes().map(|_| FloodNode::default()).collect();
+        let result = sim.run(programs)?;
         Ok((result.outputs, result.stats))
     }
 }
@@ -410,10 +394,11 @@ mod tests {
     use super::*;
     use lma_graph::generators::{complete, connected_random, path, ring};
     use lma_graph::weights::WeightStrategy;
+    use lma_graph::WeightedGraph;
     use lma_mst::verify::verify_upward_outputs;
 
     fn check(g: &WeightedGraph) -> RunStats {
-        let (outputs, stats) = FloodCollectMst.run(g, &RunConfig::default()).unwrap();
+        let (outputs, stats) = FloodCollectMst.run(&Sim::on(g)).unwrap();
         verify_upward_outputs(g, &outputs).unwrap();
         stats
     }

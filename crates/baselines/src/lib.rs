@@ -26,43 +26,38 @@
 
 pub mod flood_collect;
 pub mod sync_boruvka;
+pub mod workloads;
 
 pub use flood_collect::FloodCollectMst;
 pub use sync_boruvka::SyncBoruvkaMst;
+pub use workloads::{
+    FloodCollectWorkload, FloodWorkload, GhsWorkload, GossipWorkload, MaxFlood, MstOutcome,
+};
 
-use lma_graph::WeightedGraph;
 use lma_mst::verify::UpwardOutput;
-use lma_sim::{RunConfig, RunStats};
+use lma_sim::{RunStats, Sim};
 
 /// A distributed MST algorithm that needs no advice: just a factory of node
 /// programs plus a way to run them.  (The advising-scheme trait is not reused
 /// here because these algorithms have no oracle at all.)
+///
+/// The whole run configuration — graph, model, plane backing, execution
+/// engine — arrives as one [`Sim`] value, so the `runtime_equivalence`
+/// suite drives both baselines through every executor and backing simply by
+/// varying the builder (`Sim::on(g).executor(..).backing(..)`).
 pub trait NoAdviceMst: Send + Sync {
     /// Short name used in experiment tables.
     fn name(&self) -> &'static str;
 
-    /// Runs the algorithm on a graph and returns per-node outputs and
-    /// communication statistics.
+    /// Runs the algorithm on the configured simulation and returns per-node
+    /// outputs and communication statistics.
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Sim::run`].
     fn run(
         &self,
-        g: &WeightedGraph,
-        config: &RunConfig,
+        sim: &Sim<'_>,
     ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError>;
-
-    /// Like [`NoAdviceMst::run`], but on an explicit execution engine
-    /// instead of [`lma_sim::Runtime::run`]'s config-driven dispatch — the
-    /// differential-testing hook: the `runtime_equivalence` suite drives
-    /// both baselines through the sequential, sharded and push-reference
-    /// executors (and both plane backings) and pins the results
-    /// bit-identical.  Not object-safe; call it on a concrete baseline.
-    fn run_with<E: lma_sim::Executor>(
-        &self,
-        g: &WeightedGraph,
-        config: &RunConfig,
-        executor: &E,
-    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError>
-    where
-        Self: Sized;
 }
 
 #[cfg(test)]
@@ -79,7 +74,7 @@ mod tests {
             Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
             Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
         ] {
-            let (outputs, stats) = baseline.run(&g, &RunConfig::default()).unwrap();
+            let (outputs, stats) = baseline.run(&Sim::on(&g)).unwrap();
             verify_upward_outputs(&g, &outputs)
                 .unwrap_or_else(|e| panic!("{} produced a bad tree: {e}", baseline.name()));
             assert!(stats.rounds > 0);
@@ -89,7 +84,7 @@ mod tests {
     #[test]
     fn flood_collect_uses_about_diameter_rounds() {
         let g = grid(4, 8, WeightStrategy::DistinctRandom { seed: 5 });
-        let (outputs, stats) = FloodCollectMst.run(&g, &RunConfig::default()).unwrap();
+        let (outputs, stats) = FloodCollectMst.run(&Sim::on(&g)).unwrap();
         verify_upward_outputs(&g, &outputs).unwrap();
         let d = g.diameter();
         assert!(stats.rounds >= d);

@@ -28,14 +28,11 @@
 
 use crate::NoAdviceMst;
 use lma_graph::graph::ceil_log2;
-use lma_graph::{Port, WeightedGraph};
+use lma_graph::Port;
 use lma_mst::verify::UpwardOutput;
 use lma_sim::message::{bits_for_value, BitSized};
 use lma_sim::wire::{Wire, WireReader};
-use lma_sim::{
-    collect_outbox, Executor, LocalView, MsgSink, NodeAlgorithm, Outbox, RunConfig, RunStats,
-    Runtime,
-};
+use lma_sim::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox, RunStats, Sim};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The globally consistent comparison key of an edge: weight, then the two
@@ -216,23 +213,10 @@ impl NoAdviceMst for SyncBoruvkaMst {
 
     fn run(
         &self,
-        g: &WeightedGraph,
-        config: &RunConfig,
+        sim: &Sim<'_>,
     ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError> {
-        let runtime = Runtime::with_config(g, *config);
-        let programs: Vec<GhsNode> = g.nodes().map(|_| GhsNode::default()).collect();
-        let result = runtime.run(programs)?;
-        Ok((result.outputs, result.stats))
-    }
-
-    fn run_with<E: Executor>(
-        &self,
-        g: &WeightedGraph,
-        config: &RunConfig,
-        executor: &E,
-    ) -> Result<(Vec<Option<UpwardOutput>>, RunStats), lma_sim::runtime::RunError> {
-        let programs: Vec<GhsNode> = g.nodes().map(|_| GhsNode::default()).collect();
-        let result = executor.run(g, *config, programs)?;
+        let programs: Vec<GhsNode> = sim.graph().nodes().map(|_| GhsNode::default()).collect();
+        let result = sim.run(programs)?;
         Ok((result.outputs, result.stats))
     }
 }
@@ -535,10 +519,11 @@ mod tests {
     use super::*;
     use lma_graph::generators::{complete, connected_random, grid, lollipop, path, ring, star};
     use lma_graph::weights::WeightStrategy;
+    use lma_graph::WeightedGraph;
     use lma_mst::verify::verify_upward_outputs;
 
     fn check(g: &WeightedGraph) -> RunStats {
-        let (outputs, stats) = SyncBoruvkaMst.run(g, &RunConfig::default()).unwrap();
+        let (outputs, stats) = SyncBoruvkaMst.run(&Sim::on(g)).unwrap();
         verify_upward_outputs(g, &outputs)
             .unwrap_or_else(|e| panic!("sync-boruvka produced a bad tree: {e}"));
         stats

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_advice::{evaluate_scheme, ConstantScheme};
 use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
 use lma_bench::experiments::experiment_graph;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 use std::hint::black_box;
 
 fn bench_baselines(c: &mut Criterion) {
@@ -14,37 +14,14 @@ fn bench_baselines(c: &mut Criterion) {
     for n in [48usize, 96] {
         let g = experiment_graph(n, 0xBB);
         group.bench_with_input(BenchmarkId::new("sync_boruvka", n), &g, |b, g| {
-            b.iter(|| {
-                black_box(
-                    SyncBoruvkaMst
-                        .run(g, &RunConfig::default())
-                        .unwrap()
-                        .1
-                        .rounds,
-                )
-            });
+            b.iter(|| black_box(SyncBoruvkaMst.run(&Sim::on(g)).unwrap().1.rounds));
         });
         group.bench_with_input(BenchmarkId::new("flood_collect", n), &g, |b, g| {
-            b.iter(|| {
-                black_box(
-                    FloodCollectMst
-                        .run(g, &RunConfig::default())
-                        .unwrap()
-                        .1
-                        .rounds,
-                )
-            });
+            b.iter(|| black_box(FloodCollectMst.run(&Sim::on(g)).unwrap().1.rounds));
         });
         group.bench_with_input(BenchmarkId::new("theorem3_for_reference", n), &g, |b, g| {
             let scheme = ConstantScheme::default();
-            b.iter(|| {
-                black_box(
-                    evaluate_scheme(&scheme, g, &RunConfig::default())
-                        .unwrap()
-                        .run
-                        .rounds,
-                )
-            });
+            b.iter(|| black_box(evaluate_scheme(&scheme, &Sim::on(g)).unwrap().run.rounds));
         });
     }
     group.finish();

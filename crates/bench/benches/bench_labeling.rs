@@ -7,7 +7,7 @@ use lma_bench::experiments::experiment_graph;
 use lma_labeling::{CentroidDecomposition, MstCertificate, SpanningProof};
 use lma_mst::kruskal_mst;
 use lma_mst::RootedTree;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 use std::hint::black_box;
 
 fn bench_certificate_construction(c: &mut Criterion) {
@@ -39,7 +39,7 @@ fn bench_distributed_verification(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("mst_certificate_round", n), &g, |b, g| {
             b.iter(|| {
                 black_box(
-                    MstCertificate::verify(g, &labels, &outputs, &RunConfig::default())
+                    MstCertificate::verify(&Sim::on(g), &labels, &outputs)
                         .unwrap()
                         .accepted,
                 )
@@ -48,7 +48,7 @@ fn bench_distributed_verification(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("spanning_proof_round", n), &g, |b, g| {
             b.iter(|| {
                 black_box(
-                    SpanningProof::verify(g, &spanning, &outputs, &RunConfig::default())
+                    SpanningProof::verify(&Sim::on(g), &spanning, &outputs)
                         .unwrap()
                         .accepted,
                 )

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_advice::{AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme};
 use lma_bench::experiments::experiment_graph;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 use std::hint::black_box;
 
 fn schemes() -> Vec<(&'static str, Box<dyn AdvisingScheme>)> {
@@ -42,15 +42,7 @@ fn bench_decoders(c: &mut Criterion) {
         for (name, scheme) in schemes() {
             let advice = scheme.advise(&g).unwrap();
             group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
-                b.iter(|| {
-                    black_box(
-                        scheme
-                            .decode(g, &advice, &RunConfig::default())
-                            .unwrap()
-                            .stats
-                            .rounds,
-                    )
-                });
+                b.iter(|| black_box(scheme.decode(&Sim::on(g), &advice).unwrap().stats.rounds));
             });
         }
     }

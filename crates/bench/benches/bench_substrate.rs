@@ -31,12 +31,43 @@ use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::{kruskal_mst, prim_mst, UnionFind};
-use lma_sim::reference::run_push;
 use lma_sim::{
-    Backing, Executor, LocalView, Model, NodeAlgorithm, Outbox, RunConfig, Runtime, ShardedExecutor,
+    Backing, Engine, LocalView, Model, NodeAlgorithm, Outbox, Runtime, ShardedExecutor, Sim,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation served to this bench binary, so the `driver`
+/// group can pin that the `Sim` builder adds **zero** per-run allocations
+/// over a direct `Runtime::run` with a pre-built config.  The counter is a
+/// single relaxed atomic increment — noise, not signal, for the timed
+/// groups.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
 
 fn bench_union_find(c: &mut Criterion) {
     let mut group = c.benchmark_group("union_find");
@@ -148,11 +179,10 @@ fn bench_simulator(c: &mut Criterion) {
         let g = ring(n, WeightStrategy::Unit);
         group.bench_with_input(BenchmarkId::new("ring_50_rounds", n), &g, |b, g| {
             b.iter(|| {
-                let rt = Runtime::with_config(g, RunConfig::default());
                 let programs: Vec<Ping> = (0..g.node_count())
                     .map(|_| Ping { rounds_left: 50 })
                     .collect();
-                black_box(rt.run(programs).unwrap().stats.rounds)
+                black_box(Sim::on(g).run(programs).unwrap().stats.rounds)
             });
         });
     }
@@ -196,16 +226,14 @@ fn scaling_graphs() -> Vec<(String, WeightedGraph)> {
 
 /// The two configurations the scaling scenarios run under: plain LOCAL and a
 /// CONGEST(Θ(log n)) audit (budget checked and counted, not enforced).
-fn scaling_configs(n: usize) -> [(&'static str, RunConfig); 2] {
+fn scaling_sims<'g>(g: &'g WeightedGraph) -> [(&'static str, Sim<'g>); 2] {
     [
-        ("local", RunConfig::default()),
+        ("local", Sim::on(g)),
         (
             "congest-audit",
-            RunConfig {
-                model: Model::congest_for(n),
-                enforce_congest: false,
-                ..RunConfig::default()
-            },
+            Sim::on(g)
+                .model(Model::congest_for(g.node_count()))
+                .enforce_congest(false),
         ),
     ]
 }
@@ -222,15 +250,12 @@ fn bench_routing_scaling(c: &mut Criterion) {
             .collect()
     };
     for (name, g) in &graphs {
-        for (model, config) in scaling_configs(g.node_count()) {
+        for (model, sim) in scaling_sims(g) {
             group.bench_with_input(
                 BenchmarkId::new(format!("pull/{model}"), name),
                 g,
                 |b, g| {
-                    b.iter(|| {
-                        let rt = Runtime::with_config(g, config);
-                        black_box(rt.run(ping_fleet(g)).unwrap().stats.total_messages)
-                    });
+                    b.iter(|| black_box(sim.run(ping_fleet(g)).unwrap().stats.total_messages));
                 },
             );
             // The multi-run harness path: the executor (and its partition)
@@ -243,7 +268,7 @@ fn bench_routing_scaling(c: &mut Criterion) {
                     |b, g| {
                         b.iter(|| {
                             black_box(
-                                exec.run(g, config, ping_fleet(g))
+                                sim.run_on(&exec, ping_fleet(g))
                                     .unwrap()
                                     .stats
                                     .total_messages,
@@ -252,18 +277,12 @@ fn bench_routing_scaling(c: &mut Criterion) {
                     },
                 );
             }
+            let push = sim.executor(Engine::Reference);
             group.bench_with_input(
                 BenchmarkId::new(format!("push/{model}"), name),
                 g,
                 |b, g| {
-                    b.iter(|| {
-                        black_box(
-                            run_push(g, config, ping_fleet(g))
-                                .unwrap()
-                                .stats
-                                .total_messages,
-                        )
-                    });
+                    b.iter(|| black_box(push.run(ping_fleet(g)).unwrap().stats.total_messages));
                 },
             );
         }
@@ -314,30 +333,85 @@ fn bench_gossip_backings(c: &mut Criterion) {
     };
     for (name, g) in &graphs {
         for (backing_name, backing) in [("inline", Backing::Inline), ("arena", Backing::Arena)] {
-            let config = RunConfig {
-                backing,
-                ..RunConfig::default()
-            };
+            let sim = Sim::on(g).backing(backing);
             group.bench_with_input(BenchmarkId::new(backing_name, name), g, |b, g| {
-                b.iter(|| {
-                    let rt = Runtime::with_config(g, config);
-                    black_box(rt.run(fleet(g)).unwrap().stats.total_bits)
-                });
+                b.iter(|| black_box(sim.run(fleet(g)).unwrap().stats.total_bits));
             });
         }
         // The push oracle clones every message twice over (outbox + inbox):
         // the historical worst case, kept for scale.
+        let push = Sim::on(g).executor(Engine::Reference);
         group.bench_with_input(BenchmarkId::new("push", name), g, |b, g| {
-            b.iter(|| {
-                black_box(
-                    run_push(g, RunConfig::default(), fleet(g))
-                        .unwrap()
-                        .stats
-                        .total_bits,
-                )
-            });
+            b.iter(|| black_box(push.run(fleet(g)).unwrap().stats.total_bits));
         });
     }
+    group.finish();
+}
+
+/// Rounds driven per iteration in the driver-overhead scenario.
+const DRIVER_ROUNDS: usize = 10;
+
+/// Allocation count of one `f()` call.
+fn allocations_of(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// The `driver` group: the [`Sim`] builder against a direct `Runtime::run`
+/// with a pre-built `RunConfig`, on the same pool-warmed graph.  Beyond the
+/// timing comparison, the group **asserts** (via the counting global
+/// allocator) that the builder path performs exactly as many allocations
+/// per run as the direct path — i.e. the unified driver is zero-cost.  A
+/// violated assertion panics, which the bench harness reports as a failed
+/// cell and exits nonzero.
+fn bench_driver_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("driver");
+    group.throughput(Throughput::Elements(DRIVER_ROUNDS as u64));
+    let n = if criterion::is_smoke() { 256 } else { 1_024 };
+    let g = ring(n, WeightStrategy::Unit);
+    let fleet = |g: &WeightedGraph| -> Vec<Ping> {
+        (0..g.node_count())
+            .map(|_| Ping {
+                rounds_left: DRIVER_ROUNDS,
+            })
+            .collect()
+    };
+    let config = Sim::on(&g).config();
+
+    // Warm the per-thread plane pool, then pin allocation parity.
+    Runtime::with_config(&g, config).run(fleet(&g)).unwrap();
+    Sim::on(&g).run(fleet(&g)).unwrap();
+    let direct = allocations_of(|| {
+        black_box(Runtime::with_config(&g, config).run(fleet(&g)).unwrap());
+    });
+    let built = allocations_of(|| {
+        black_box(Sim::on(&g).run(fleet(&g)).unwrap());
+    });
+    assert_eq!(
+        built, direct,
+        "a Sim-built run must allocate exactly as much as a direct \
+         Runtime::run with a pre-built RunConfig ({built} vs {direct})"
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("runtime-prebuilt-config", n),
+        &g,
+        |b, g| {
+            b.iter(|| {
+                black_box(
+                    Runtime::with_config(g, config)
+                        .run(fleet(g))
+                        .unwrap()
+                        .stats
+                        .total_messages,
+                )
+            });
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("sim-builder", n), &g, |b, g| {
+        b.iter(|| black_box(Sim::on(g).run(fleet(g)).unwrap().stats.total_messages));
+    });
     group.finish();
 }
 
@@ -345,6 +419,6 @@ criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(10);
     targets = bench_union_find, bench_generators, bench_sequential_mst, bench_simulator,
-        bench_routing_scaling, bench_gossip_backings
+        bench_routing_scaling, bench_gossip_backings, bench_driver_overhead
 }
 criterion_main!(substrate);

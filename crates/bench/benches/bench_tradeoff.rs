@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_advice::constant::schedule::log_log_n;
 use lma_advice::{AdvisingScheme, ConstantScheme, TradeoffScheme, TrivialScheme};
 use lma_bench::experiments::experiment_graph;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 use std::hint::black_box;
 
 fn cutoffs(n: usize) -> Vec<(String, Box<dyn AdvisingScheme>)> {
@@ -44,15 +44,7 @@ fn bench_tradeoff_decode(c: &mut Criterion) {
         for (name, scheme) in cutoffs(n) {
             let advice = scheme.advise(&g).unwrap();
             group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
-                b.iter(|| {
-                    black_box(
-                        scheme
-                            .decode(g, &advice, &RunConfig::default())
-                            .unwrap()
-                            .stats
-                            .rounds,
-                    )
-                });
+                b.iter(|| black_box(scheme.decode(&Sim::on(g), &advice).unwrap().stats.rounds));
             });
         }
     }

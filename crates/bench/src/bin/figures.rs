@@ -14,7 +14,7 @@ use lma_graph::dot::to_dot_plain;
 use lma_graph::generators::lowerbound::{lowerbound_gn, LowerBoundParams};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::render::{phase_summary, phase_to_dot};
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 fn figure_gn() {
     println!("=== Figure 1 reproduction: the lower-bound graph G_n (n = 6) ===");
@@ -51,8 +51,7 @@ fn figure_advice_vs_n() {
     for n in [64usize, 128, 256, 512, 1024] {
         let g = experiment_graph(n, 0xF1 + n as u64);
         for scheme in &schemes {
-            let eval = evaluate_scheme(scheme.as_ref(), &g, &RunConfig::default())
-                .expect("scheme succeeds");
+            let eval = evaluate_scheme(scheme.as_ref(), &Sim::on(&g)).expect("scheme succeeds");
             println!(
                 "{},{},{},{:.3}",
                 scheme.name(),

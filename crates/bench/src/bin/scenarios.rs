@@ -4,10 +4,10 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p lma-bench --bin scenarios -- list [--filter S]
-//! cargo run --release -p lma-bench --bin scenarios -- run [--filter S] [--smoke]
-//! cargo run --release -p lma-bench --bin scenarios -- verify [--filter S] [--smoke]
-//! cargo run --release -p lma-bench --bin scenarios -- update
+//! cargo run --release -p lma-bench --bin scenarios -- list [--filter S] [--workload W]
+//! cargo run --release -p lma-bench --bin scenarios -- run [--filter S] [--workload W] [--smoke]
+//! cargo run --release -p lma-bench --bin scenarios -- verify [--filter S] [--workload W] [--smoke]
+//! cargo run --release -p lma-bench --bin scenarios -- update [--missing]
 //! ```
 //!
 //! * `list` prints every registered cell (scenario id × engine/backing);
@@ -18,15 +18,20 @@
 //!   filter, stale lock entries (scenarios no longer registered) also fail;
 //! * `update` re-runs the full registry and rewrites `SCENARIOS.lock` —
 //!   run it only after an *intentional* behavior change, and review the
-//!   diff it produces.
+//!   diff it produces.  `update --missing` instead runs **only** the
+//!   registry entries that have no lock record yet and appends them, in
+//!   registry order, preserving every existing record byte for byte — the
+//!   mode for extending the matrix without re-signing old digests.
 //!
 //! `--smoke` restricts `run`/`verify` to the smoke subset (what CI runs on
 //! every push); `--filter S` keeps the **scenarios** whose id — or any of
-//! whose cell ids (`id#engine/backing`) — contains the substring `S`; a
-//! selected scenario always runs *all* of its cells, because cross-cell
-//! digest invariance is part of what is being checked.  `--lock PATH`
-//! overrides the default lock location (the workspace root).  `update`
-//! always re-runs the full registry and rejects both flags.
+//! whose cell ids (`id#engine/backing`) — contains the substring `S`;
+//! `--workload W` is the same, matched against the workload names only
+//! (`flood`, `scheme-constant`, …).  A selected scenario always runs *all*
+//! of its cells, because cross-cell digest invariance is part of what is
+//! being checked.  `--lock PATH` overrides the default lock location (the
+//! workspace root).  `update` always re-runs scenarios unfiltered and
+//! rejects the selection flags.
 
 use lma_bench::scenarios::{registry, LockFile, Scenario, ScenarioOutcome, Variant};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -39,13 +44,16 @@ fn default_lock_path() -> PathBuf {
 struct Args {
     command: String,
     filter: Option<String>,
+    workload: Option<String>,
     smoke: bool,
+    missing: bool,
     lock: PathBuf,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scenarios <list|run|verify|update> [--filter SUBSTRING] [--smoke] [--lock PATH]"
+        "usage: scenarios <list|run|verify|update> [--filter SUBSTRING] [--workload NAME] \
+         [--smoke] [--missing] [--lock PATH]"
     );
     std::process::exit(2);
 }
@@ -54,7 +62,9 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut filter = None;
+    let mut workload = None;
     let mut smoke = false;
+    let mut missing = false;
     let mut lock = default_lock_path();
     let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
@@ -63,11 +73,16 @@ fn parse_args() -> Args {
                 Some(value) => filter = Some(value),
                 None => usage(),
             },
+            "--workload" => match it.next() {
+                Some(value) => workload = Some(value),
+                None => usage(),
+            },
             "--lock" => match it.next() {
                 Some(value) => lock = PathBuf::from(value),
                 None => usage(),
             },
             "--smoke" => smoke = true,
+            "--missing" => missing = true,
             "list" | "run" | "verify" | "update" if command.is_none() => {
                 command = Some(arg);
             }
@@ -78,19 +93,26 @@ fn parse_args() -> Args {
     Args {
         command,
         filter,
+        workload,
         smoke,
+        missing,
         lock,
     }
 }
 
-/// The scenarios selected by `--smoke` / `--filter`.  Filtering is
-/// scenario-granular: a filter matches when the scenario id, or any of its
-/// cell ids, contains the substring — and a matched scenario contributes
-/// **all** of its cells (the cross-cell invariance check needs them).
+/// The scenarios selected by `--smoke` / `--filter` / `--workload`.
+/// Filtering is scenario-granular: a filter matches when the scenario id,
+/// or any of its cell ids, contains the substring (`--workload` matches
+/// the workload name only) — and a matched scenario contributes **all** of
+/// its cells (the cross-cell invariance check needs them).
 fn select(scenarios: &[Scenario], args: &Args) -> Vec<Scenario> {
     scenarios
         .iter()
         .filter(|s| !args.smoke || s.smoke)
+        .filter(|s| match &args.workload {
+            None => true,
+            Some(w) => s.workload.name().contains(w.as_str()),
+        })
         .filter(|s| match &args.filter {
             None => true,
             Some(f) => {
@@ -259,7 +281,7 @@ fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
     }
     // A full verify also flags stale lock entries (only a full sweep can
     // tell "stale" from "filtered out").
-    if args.filter.is_none() && !args.smoke {
+    if args.filter.is_none() && args.workload.is_none() && !args.smoke {
         let ids: std::collections::BTreeSet<String> = scenarios.iter().map(Scenario::id).collect();
         for golden in &lock.scenarios {
             if !ids.contains(&golden.id) {
@@ -285,16 +307,59 @@ fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
 }
 
 fn cmd_update(args: &Args) -> i32 {
-    // The lock is all-or-nothing: a partial re-pin would mix digests from
-    // two behaviors, so the flags that narrow the sweep are rejected loudly
-    // instead of silently ignored.
-    if args.smoke || args.filter.is_some() {
-        eprintln!("update re-runs the full registry; --smoke/--filter are not supported");
+    // A re-pin is either all-or-nothing (default) or strictly append-only
+    // (`--missing`): the flags that would narrow it arbitrarily are
+    // rejected loudly instead of silently ignored, because a partial
+    // re-pin would mix digests from two behaviors.
+    if args.smoke || args.filter.is_some() || args.workload.is_some() {
+        eprintln!(
+            "update re-runs scenarios unfiltered; --smoke/--filter/--workload are not supported"
+        );
         return 2;
     }
     let scenarios = registry();
+    // `--missing` preserves every existing record byte for byte and only
+    // runs (and appends, in registry order) scenarios without one.
+    let existing = if args.missing {
+        let text = match std::fs::read_to_string(&args.lock) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!(
+                    "cannot read {} (required by --missing): {e}",
+                    args.lock.display()
+                );
+                return 1;
+            }
+        };
+        match LockFile::parse(&text) {
+            Ok(lock) => lock,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    } else {
+        LockFile::default()
+    };
+    if args.missing {
+        let ids: std::collections::BTreeSet<String> = scenarios.iter().map(Scenario::id).collect();
+        for golden in &existing.scenarios {
+            if !ids.contains(&golden.id) {
+                eprintln!(
+                    "stale lock entry {} — not in the registry; run a full `scenarios update`",
+                    golden.id
+                );
+                return 1;
+            }
+        }
+    }
     let mut lock = LockFile::default();
+    let mut appended = 0usize;
     for scenario in &scenarios {
+        if let Some(golden) = existing.get(&scenario.id()) {
+            lock.scenarios.push(golden.clone());
+            continue;
+        }
         match run_checked(scenario) {
             Ok(outcome) => {
                 let divergent = outcome.divergent();
@@ -312,6 +377,7 @@ fn cmd_update(args: &Args) -> i32 {
                 }
                 println!("pinned {}  {}", scenario.id(), outcome.canonical().digest);
                 lock.scenarios.push(outcome.golden(scenario));
+                appended += 1;
             }
             Err(msg) => {
                 eprintln!("refusing to pin {}: {msg}", scenario.id());
@@ -322,6 +388,12 @@ fn cmd_update(args: &Args) -> i32 {
     if let Err(e) = std::fs::write(&args.lock, lock.render()) {
         eprintln!("cannot write {}: {e}", args.lock.display());
         return 1;
+    }
+    if args.missing {
+        println!(
+            "appended {appended} new scenario(s); kept {} existing record(s) verbatim",
+            existing.scenarios.len()
+        );
     }
     println!(
         "wrote {} ({} scenarios, {} cells)",

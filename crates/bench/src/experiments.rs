@@ -24,16 +24,16 @@ use lma_labeling::faults::{flip_advice_bits, FaultPlan};
 use lma_labeling::MstCertificate;
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig, BoruvkaError, TieBreak};
 use lma_mst::verify::verify_upward_outputs;
-use lma_sim::{Model, RunConfig};
+use lma_sim::{Model, Sim};
 use std::num::NonZeroUsize;
 
 /// Parallelism knobs for an experiment sweep (both default to sequential,
 /// which reproduces the historical tables bit for bit).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RunOpts {
-    /// Per-run sharding: forwarded to [`RunConfig::threads`], so every
-    /// simulated run inside the sweep uses the sharded executor.  Best for
-    /// few, large runs.
+    /// Per-run sharding: forwarded to [`Sim::threads`], so every simulated
+    /// run inside the sweep uses the sharded executor.  Best for few,
+    /// large runs.
     pub threads: Option<NonZeroUsize>,
     /// Cross-cell fan-out: independent (seed, scheme) cells of a sweep run
     /// on this many scoped threads (see [`fan_out`]).  Best for many small
@@ -42,14 +42,11 @@ pub struct RunOpts {
 }
 
 impl RunOpts {
-    /// The base simulator config for this sweep (LOCAL; the per-run
+    /// The base simulation for a sweep on `graph` (LOCAL; the per-run
     /// parallelism knob applied).
     #[must_use]
-    pub fn run_config(&self) -> RunConfig {
-        RunConfig {
-            threads: self.threads,
-            ..RunConfig::default()
-        }
+    pub fn sim<'g>(&self, graph: &'g WeightedGraph) -> Sim<'g> {
+        Sim::on(graph).threads(self.threads.map_or(0, NonZeroUsize::get))
     }
 
     /// The cell-level worker count (1 = plain sequential map).
@@ -201,7 +198,7 @@ pub fn run_e1_lower_bound(clique_sizes: &[usize], opts: RunOpts) -> Table {
                 tie_break: TieBreak::CanonicalGlobal,
             },
         };
-        let harness = RunHarness::new(&g, opts.run_config());
+        let harness = RunHarness::new(opts.sim(&g));
         let (max_bits, avg_bits, _rounds, _msg, ok) = eval_row(&trivial, &harness);
         assert!(ok, "the trivial scheme must solve G_{n}");
         let bits_at_u2 = lma_advice::lowerbound::certified_node_bits(n, 2);
@@ -251,7 +248,7 @@ pub fn run_e2_one_round(sizes: &[usize], opts: RunOpts) -> Table {
             ));
         }
         for (label, g) in instances {
-            let harness = RunHarness::new(&g, opts.run_config());
+            let harness = RunHarness::new(opts.sim(&g));
             let (max_bits, avg_bits, rounds, _msg, ok) = eval_row(&scheme, &harness);
             t.push_row(vec![
                 label.to_string(),
@@ -291,7 +288,7 @@ pub fn run_e3_constant(sizes: &[usize], opts: RunOpts) -> Table {
         };
         for &n in sizes {
             let g = experiment_graph(n, 0xE3 + n as u64);
-            let harness = RunHarness::new(&g, opts.run_config());
+            let harness = RunHarness::new(opts.sim(&g));
             let (max_bits, _avg, rounds, msg, ok) = eval_row(&scheme, &harness);
             t.push_row(vec![
                 variant.label().to_string(),
@@ -326,7 +323,7 @@ pub fn run_e4_scheme_comparison(n: usize, opts: RunOpts) -> Table {
         ],
     );
     let g = experiment_graph(n, 0xE4);
-    let harness = RunHarness::new(&g, opts.run_config());
+    let harness = RunHarness::new(opts.sim(&g));
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
         Box::new(TrivialScheme::default()),
         Box::new(OneRoundScheme::default()),
@@ -352,9 +349,7 @@ pub fn run_e4_scheme_comparison(n: usize, opts: RunOpts) -> Table {
         Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
     ];
     for row in fan_out(&baselines, opts.cells(), |_, baseline| {
-        let (outputs, stats) = baseline
-            .run(&g, &harness.config())
-            .expect("baseline run succeeds");
+        let (outputs, stats) = baseline.run(&harness.sim()).expect("baseline run succeeds");
         let ok = verify_upward_outputs(&g, &outputs).is_ok();
         vec![
             baseline.name().to_string(),
@@ -389,13 +384,11 @@ pub fn run_e5_rounds_vs_n(sizes: &[usize], opts: RunOpts) -> Table {
     let scheme = ConstantScheme::default();
     for &n in sizes {
         let g = experiment_graph(n, 0xE5 + n as u64);
-        let harness = RunHarness::new(&g, opts.run_config());
+        let harness = RunHarness::new(opts.sim(&g));
         let eval = harness.evaluate(&scheme).expect("thm3 succeeds");
-        let (b_out, b_stats) = SyncBoruvkaMst.run(&g, &harness.config()).expect("baseline");
+        let (b_out, b_stats) = SyncBoruvkaMst.run(&harness.sim()).expect("baseline");
         verify_upward_outputs(&g, &b_out).expect("baseline MST");
-        let (f_out, f_stats) = FloodCollectMst
-            .run(&g, &harness.config())
-            .expect("baseline");
+        let (f_out, f_stats) = FloodCollectMst.run(&harness.sim()).expect("baseline");
         verify_upward_outputs(&g, &f_out).expect("baseline MST");
         t.push_row(vec![
             n.to_string(),
@@ -523,11 +516,8 @@ pub fn run_a3_congest_audit(n: usize, opts: RunOpts) -> Table {
     );
     let g = experiment_graph(n, 0xA3);
     let budget = Model::congest_for(n).budget().unwrap_or(usize::MAX);
-    let harness = RunHarness::new(&g, opts.run_config()).with_model_config(RunConfig {
-        model: Model::congest_for(n),
-        ..RunConfig::default()
-    });
-    let config = harness.config();
+    let harness = RunHarness::new(opts.sim(&g).model(Model::congest_for(n)));
+    let sim = harness.sim();
 
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
         Box::new(TrivialScheme::default()),
@@ -536,9 +526,7 @@ pub fn run_a3_congest_audit(n: usize, opts: RunOpts) -> Table {
     ];
     for row in fan_out(&schemes, opts.cells(), |_, scheme| {
         let advice = scheme.advise(&g).expect("oracle succeeds");
-        let outcome = scheme
-            .decode(&g, &advice, &config)
-            .expect("decode succeeds");
+        let outcome = scheme.decode(&sim, &advice).expect("decode succeeds");
         vec![
             scheme.name().to_string(),
             n.to_string(),
@@ -554,7 +542,7 @@ pub fn run_a3_congest_audit(n: usize, opts: RunOpts) -> Table {
         Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
     ];
     for row in fan_out(&baselines, opts.cells(), |_, baseline| {
-        let (_outputs, stats) = baseline.run(&g, &config).expect("baseline run succeeds");
+        let (_outputs, stats) = baseline.run(&sim).expect("baseline run succeeds");
         vec![
             baseline.name().to_string(),
             n.to_string(),
@@ -589,7 +577,7 @@ pub fn run_e6_tradeoff_frontier(sizes: &[usize], opts: RunOpts) -> Table {
     );
     for &n in sizes {
         let g = experiment_graph(n, 0xE6);
-        let points = frontier(&g, &opts.run_config()).expect("frontier evaluation succeeds");
+        let points = frontier(&opts.sim(&g)).expect("frontier evaluation succeeds");
         for p in points {
             t.push_row(vec![
                 n.to_string(),
@@ -648,7 +636,7 @@ pub fn run_a4_fault_detection(n: usize, trials: u64, opts: RunOpts) -> Table {
         Silent,
     }
 
-    let config = opts.run_config();
+    let sim = opts.sim(&g);
     let trial_cells: Vec<u64> = (0..trials).collect();
 
     // Fault model 1: flipped advice bits, decoded by the scheme itself.
@@ -663,7 +651,7 @@ pub fn run_a4_fault_detection(n: usize, trials: u64, opts: RunOpts) -> Table {
                 return Trial::NoFault;
             }
             let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                scheme.decode(&g, &advice, &config)
+                scheme.decode(&sim, &advice)
             }));
             let outcome = match attempt {
                 Err(_) | Ok(Err(_)) => return Trial::DecoderRejected,
@@ -672,7 +660,7 @@ pub fn run_a4_fault_detection(n: usize, trials: u64, opts: RunOpts) -> Table {
             if outcome.outputs == honest {
                 return Trial::OutputUnchanged;
             }
-            let report = MstCertificate::verify(&g, &labels, &outcome.outputs, &config)
+            let report = MstCertificate::verify(&sim, &labels, &outcome.outputs)
                 .expect("verification run succeeds");
             if report.accepted {
                 Trial::Silent
@@ -701,7 +689,7 @@ pub fn run_a4_fault_detection(n: usize, trials: u64, opts: RunOpts) -> Table {
             return Trial::NoFault;
         }
         let report =
-            MstCertificate::verify(&g, &labels, &bad, &config).expect("verification run succeeds");
+            MstCertificate::verify(&sim, &labels, &bad).expect("verification run succeeds");
         if report.accepted {
             Trial::Silent
         } else {

@@ -6,13 +6,13 @@
 //! exploits the two structural facts of a sweep:
 //!
 //! * **runs on the same graph share state** — a [`RunHarness`] pins one
-//!   graph and one base [`RunConfig`]; every evaluation through it reuses
-//!   the per-thread plane pool of `lma-sim` (one plane allocation for the
-//!   whole sweep), and when the config enables sharding, direct
-//!   [`RunHarness::run`] calls go through one precomputed
-//!   `Partition`-backed [`ShardedExecutor`] (scheme evaluations run inside
-//!   the schemes' own decoders, which dispatch via [`RunConfig::threads`]
-//!   and re-partition per run — O(n + m), small next to the run itself);
+//!   [`Sim`]; every evaluation through it reuses the per-thread plane pool
+//!   of `lma-sim` (one plane allocation for the whole sweep), and when the
+//!   sim asks for sharding, direct [`RunHarness::run`] calls go through
+//!   one precomputed `Partition`-backed [`ShardedExecutor`] (scheme
+//!   evaluations run inside the schemes' own decoders, which dispatch on
+//!   the sim's thread knob and re-partition per run — O(n + m), small next
+//!   to the run itself);
 //! * **cells are independent** — [`fan_out`] maps a function over a cell
 //!   list on scoped threads with deterministic, index-ordered collection,
 //!   so tables come out bit-identical to the sequential sweep no matter how
@@ -22,71 +22,52 @@
 //!
 //! The two axes compose: many small runs parallelize best across cells
 //! (`fan_out`), single runs on huge graphs parallelize best inside the run
-//! ([`RunConfig::threads`] → the sharded executor); both knobs surface on
-//! the `experiments` binary's CLI.
+//! ([`Sim::threads`] → the sharded executor); both knobs surface on the
+//! `experiments` binary's CLI.
 
 use lma_advice::{evaluate_scheme, AdvisingScheme, SchemeError, SchemeEvaluation};
 use lma_graph::WeightedGraph;
-use lma_sim::{Executor, NodeAlgorithm, RunConfig, RunError, RunResult, Runtime, ShardedExecutor};
+use lma_sim::{NodeAlgorithm, RunError, RunResult, ShardedExecutor, Sim};
 use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-/// A pinned (graph, base config) pair that every run of a sweep goes
-/// through, so per-graph state is built once and reused.
+/// A pinned [`Sim`] that every run of a sweep goes through, so per-graph
+/// state is built once and reused.
 #[derive(Debug, Clone)]
 pub struct RunHarness<'g> {
-    graph: &'g WeightedGraph,
-    config: RunConfig,
-    /// Built once per harness when the config asks for ≥ 2 threads; direct
+    sim: Sim<'g>,
+    /// Built once per harness when the sim asks for ≥ 2 threads; direct
     /// runs then reuse its partition instead of re-partitioning per run.
     sharded: Option<ShardedExecutor<'g>>,
 }
 
 impl<'g> RunHarness<'g> {
-    /// A harness for `graph` running everything under `config`.
+    /// A harness running everything on the given simulation.
     #[must_use]
-    pub fn new(graph: &'g WeightedGraph, config: RunConfig) -> Self {
-        let sharded = config
+    pub fn new(sim: Sim<'g>) -> Self {
+        let sharded = sim
+            .config()
             .threads
-            .filter(|t| t.get() > 1 && graph.node_count() > 1)
-            .map(|t| ShardedExecutor::for_graph(graph, t));
-        Self {
-            graph,
-            config,
-            sharded,
-        }
+            .filter(|t| t.get() > 1 && sim.graph().node_count() > 1)
+            .map(|t| ShardedExecutor::for_graph(sim.graph(), t));
+        Self { sim, sharded }
     }
 
     /// The pinned graph.
     #[must_use]
     pub fn graph(&self) -> &'g WeightedGraph {
-        self.graph
+        self.sim.graph()
     }
 
-    /// The base config every run uses (model overrides go through
-    /// [`RunHarness::with_model_config`]).
+    /// The pinned simulation (copy it to derive per-cell variants).
     #[must_use]
-    pub fn config(&self) -> RunConfig {
-        self.config
-    }
-
-    /// A copy of this harness running under `config`, but keeping this
-    /// harness's executor choice (`threads`): sweeps override the model or
-    /// trace flags per cell without losing the parallelism knob.
-    #[must_use]
-    pub fn with_model_config(&self, config: RunConfig) -> Self {
-        Self::new(
-            self.graph,
-            RunConfig {
-                threads: self.config.threads,
-                ..config
-            },
-        )
+    pub fn sim(&self) -> Sim<'g> {
+        self.sim
     }
 
     /// Evaluates a scheme end to end (oracle → decode → MST verification)
-    /// on the pinned graph under the pinned config.
+    /// on the pinned simulation.
     ///
     /// # Errors
     /// Exactly the error cases of [`evaluate_scheme`].
@@ -94,21 +75,21 @@ impl<'g> RunHarness<'g> {
         &self,
         scheme: &S,
     ) -> Result<SchemeEvaluation, SchemeError> {
-        evaluate_scheme(scheme, self.graph, &self.config)
+        evaluate_scheme(scheme, &self.sim)
     }
 
-    /// Runs one program set on the pinned graph under the pinned config,
-    /// reusing the harness's precomputed sharded executor when one exists.
+    /// Runs one program set on the pinned simulation, reusing the
+    /// harness's precomputed sharded executor when one exists.
     ///
     /// # Errors
-    /// Exactly the error cases of [`Runtime::run`].
+    /// Exactly the error cases of [`Sim::run`].
     pub fn run<A: NodeAlgorithm>(
         &self,
         programs: Vec<A>,
     ) -> Result<RunResult<A::Output>, RunError> {
         match &self.sharded {
-            Some(exec) => exec.run(self.graph, self.config, programs),
-            None => Runtime::with_config(self.graph, self.config).run(programs),
+            Some(exec) => self.sim.run_on(exec, programs),
+            None => self.sim.run(programs),
         }
     }
 }
@@ -197,6 +178,7 @@ mod tests {
     use lma_graph::generators::connected_random;
     use lma_graph::weights::WeightStrategy;
     use lma_sim::pool;
+    use lma_sim::Sim;
 
     #[test]
     fn fan_out_is_deterministic_and_index_ordered() {
@@ -278,7 +260,7 @@ mod tests {
     #[test]
     fn harness_reuses_planes_across_runs_on_the_same_graph() {
         let g = connected_random(40, 100, 17, WeightStrategy::DistinctRandom { seed: 17 });
-        let harness = RunHarness::new(&g, RunConfig::default());
+        let harness = RunHarness::new(Sim::on(&g));
         let scheme = TrivialScheme::default();
         harness.evaluate(&scheme).expect("first evaluation");
         let before = pool::stats();
@@ -294,18 +276,10 @@ mod tests {
     fn sharded_harness_matches_sequential_harness() {
         let g = connected_random(48, 130, 23, WeightStrategy::DistinctRandom { seed: 23 });
         let scheme = TrivialScheme::default();
-        let seq = RunHarness::new(&g, RunConfig::default())
+        let seq = RunHarness::new(Sim::on(&g)).evaluate(&scheme).unwrap();
+        let par = RunHarness::new(Sim::on(&g).threads(3))
             .evaluate(&scheme)
             .unwrap();
-        let par = RunHarness::new(
-            &g,
-            RunConfig {
-                threads: NonZeroUsize::new(3),
-                ..RunConfig::default()
-            },
-        )
-        .evaluate(&scheme)
-        .unwrap();
         assert_eq!(seq.run, par.run, "stats diverged across executors");
         assert_eq!(seq.tree.edges, par.tree.edges, "trees diverged");
     }

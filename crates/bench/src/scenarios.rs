@@ -1,83 +1,54 @@
 //! The scenario registry and golden-digest regression guard.
 //!
-//! PRs 1–3 grew a three-engine executor stack (sequential / sharded /
-//! push-reference) over two plane backings whose only cross-cutting guard
-//! was the `runtime_equivalence` suite plus a hand-curated bench smoke job.
-//! This module turns the full (graph family × workload × executor ×
-//! backing) matrix into **first-class, CI-verified regression scenarios**:
+//! A [`Scenario`] is a deterministic workload pinned to a graph family,
+//! size and seed; each one expands into cells over every applicable
+//! (executor × plane backing) [`Variant`].  Since the unified run-pipeline
+//! redesign, the registry is fully **declarative**: a scenario names a
+//! [`WorkloadKind`], and everything about running a cell — the oracle
+//! phase, the node programs, model/trace tuning, output verification, and
+//! the digest fold — comes from that workload's [`Workload`]
+//! implementation ([`lma_baselines::workloads`], [`lma_advice::SchemeWorkload`],
+//! [`lma_labeling::CertifiedWorkload`]).  Adding a workload to the matrix
+//! is one registry entry, not a new glue layer.
 //!
-//! * a [`Scenario`] is a deterministic workload pinned to a graph family,
-//!   size and seed — flooding, variable-payload gossip, the GHS-style
-//!   Borůvka and flood-collect baselines, the paper's advising schemes
-//!   (Theorems 2–3 plus the trivial baseline), the labeling crate's
-//!   certified (decode + distributed verification) pipeline, and two
-//!   deliberate error paths (round-limit, malformed outbox);
-//! * each scenario expands into cells over every applicable
-//!   (executor × plane backing) [`Variant`]; running a cell folds the run's
-//!   full observable output — per-round message counts and bit volumes,
-//!   congestion-audit stats, advice-bit accounting, final node
-//!   states/labels/trees, verification verdicts, error payloads — into a
-//!   stable 64-byte [`Digest`] (see [`lma_sim::digest`]);
-//! * the committed goldens live in `SCENARIOS.lock` at the workspace root,
-//!   one record per scenario (cells of one scenario must be bit-identical —
-//!   that invariance is exactly what the executor stack promises, so the
-//!   lock stores a single digest plus the cell labels required to match it);
-//! * the `scenarios` binary (`cargo run -p lma-bench --bin scenarios`)
-//!   supports `list`, `run`, `verify` and `update`; CI runs
-//!   `verify --smoke` on every push.
+//! Running a cell folds the run's full observable output — per-round
+//! message counts and bit volumes, congestion-audit stats, advice-bit
+//! accounting, final node states/labels/trees, verification verdicts,
+//! error payloads — into a stable 64-byte [`Digest`] (see
+//! [`lma_sim::digest`]).  The committed goldens live in `SCENARIOS.lock`
+//! at the workspace root, one record per scenario: cells of one scenario
+//! must be bit-identical — that invariance is exactly what the executor
+//! stack promises, so the lock stores a single digest plus the cell labels
+//! required to match it.  The `scenarios` binary
+//! (`cargo run -p lma-bench --bin scenarios`) supports `list`, `run`,
+//! `verify` and `update` (plus `update --missing` to append newly
+//! registered scenarios without re-pinning the rest); CI runs
+//! `verify --smoke` on every push.
 //!
 //! Digests deliberately exclude the executor and backing (cells differing
 //! only in those knobs must collide) and include the scenario parameters
 //! (two scenarios must not collide).  Drift is localized via the per-round
 //! checksum chain of [`RunSummary`]: the first diverging round is reported
 //! next to the expected/actual digests.
+//!
+//! [`Workload`]: lma_sim::driver::Workload
 
-use lma_advice::{
-    evaluate_scheme, AdviceStats, AdvisingScheme, ConstantScheme, OneRoundScheme, SchemeEvaluation,
-    TrivialScheme,
-};
-use lma_baselines::flood_collect::FixedGossip;
-use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
+use lma_advice::{ConstantScheme, OneRoundScheme, SchemeWorkload, TrivialScheme};
+use lma_baselines::{FloodCollectWorkload, FloodWorkload, GhsWorkload, GossipWorkload};
 use lma_graph::generators::Family;
 use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
-use lma_labeling::{certified_run, CertifiedRun};
-use lma_mst::boruvka::BoruvkaConfig;
-use lma_mst::verify::UpwardOutput;
-use lma_sim::digest::{fold_error, fold_result, fold_stats, Digest, DigestWriter, RunSummary};
-use lma_sim::{
-    Backing, Executor, LocalView, Model, NodeAlgorithm, Outbox, ReferenceExecutor, RunConfig,
-    RunError, RunResult, RunStats, SequentialExecutor, ShardedExecutor,
-};
+use lma_labeling::CertifiedWorkload;
+use lma_sim::digest::{Digest, DigestWriter, RunSummary};
+use lma_sim::driver::{DynWorkload, Engine, FleetWorkload, Sim, WorkloadError};
+use lma_sim::{Backing, LocalView, NodeAlgorithm, Outbox, RunResult};
 use std::num::NonZeroUsize;
-
-/// The execution engines a cell can run on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Engine {
-    /// The sequential plane executor.
-    Seq,
-    /// The sharded parallel executor on the given worker count.
-    Sharded(usize),
-    /// The push-based reference oracle (plane-free; inline cells only).
-    Push,
-}
-
-impl Engine {
-    /// Stable label used in cell ids and lock files.
-    #[must_use]
-    pub fn label(self) -> String {
-        match self {
-            Engine::Seq => "seq".to_string(),
-            Engine::Sharded(t) => format!("sharded{t}"),
-            Engine::Push => "push".to_string(),
-        }
-    }
-}
 
 /// One (executor × plane backing) combination of a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Variant {
-    /// The execution engine.
+    /// The execution engine (never [`Engine::Auto`] — registry cells pin
+    /// the engine explicitly).
     pub engine: Engine,
     /// The plane's slot-storage backend.
     pub backing: Backing,
@@ -95,19 +66,24 @@ impl Variant {
     }
 }
 
-/// The deterministic workloads the registry covers.
+/// The deterministic workload families the registry covers.  Each kind
+/// resolves to a [`Workload`] value via [`WorkloadKind::workload`]; the
+/// kind itself stays a tiny `Copy` enum so registry entries remain
+/// declarative data.
+///
+/// [`Workload`]: lma_sim::driver::Workload
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Workload {
+pub enum WorkloadKind {
     /// Max-identifier flooding for exactly `n` rounds, LOCAL model with the
     /// delivery trace folded into the digest.
     Flood,
-    /// Fixed-payload [`FixedGossip`] broadcast under a CONGEST(Θ(log n))
-    /// audit (violations counted, not enforced) — the variable-size-payload
-    /// path of the arena backing.
+    /// Fixed-payload gossip broadcast under a CONGEST(Θ(log n)) audit
+    /// (violations counted, not enforced) — the variable-size-payload path
+    /// of the arena backing.
     Gossip,
-    /// The GHS-style synchronous Borůvka baseline ([`SyncBoruvkaMst`]).
+    /// The GHS-style synchronous Borůvka baseline.
     GhsBoruvka,
-    /// The LOCAL flood-and-compute baseline ([`FloodCollectMst`]).
+    /// The LOCAL flood-and-compute baseline.
     FloodCollect,
     /// The trivial (⌈log n⌉, 0) advising scheme.
     SchemeTrivial,
@@ -124,38 +100,75 @@ pub enum Workload {
     ErrMalformed,
 }
 
-impl Workload {
-    /// Stable name used in scenario ids.
+/// Facts per gossip payload (sized so arena spans stay multi-word).
+const GOSSIP_FACTS: usize = 24;
+/// Gossip rounds per run.
+const GOSSIP_ROUNDS: usize = 8;
+/// Round limit of the [`WorkloadKind::ErrRoundLimit`] cells.
+const ERR_ROUND_LIMIT: usize = 5;
+
+impl WorkloadKind {
+    /// Stable name used in scenario ids (always equal to the resolved
+    /// workload's [`DynWorkload::name`] — pinned by a test).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
-            Workload::Flood => "flood",
-            Workload::Gossip => "gossip",
-            Workload::GhsBoruvka => "ghs-boruvka",
-            Workload::FloodCollect => "flood-collect",
-            Workload::SchemeTrivial => "scheme-trivial",
-            Workload::SchemeOneRound => "scheme-one-round",
-            Workload::SchemeConstant => "scheme-constant",
-            Workload::CertifiedConstant => "certified-constant",
-            Workload::ErrRoundLimit => "err-round-limit",
-            Workload::ErrMalformed => "err-malformed",
+            WorkloadKind::Flood => "flood",
+            WorkloadKind::Gossip => "gossip",
+            WorkloadKind::GhsBoruvka => "ghs-boruvka",
+            WorkloadKind::FloodCollect => "flood-collect",
+            WorkloadKind::SchemeTrivial => "scheme-trivial",
+            WorkloadKind::SchemeOneRound => "scheme-one-round",
+            WorkloadKind::SchemeConstant => "scheme-constant",
+            WorkloadKind::CertifiedConstant => "certified-constant",
+            WorkloadKind::ErrRoundLimit => "err-round-limit",
+            WorkloadKind::ErrMalformed => "err-malformed",
         }
     }
 
-    /// Whether the workload can run on an explicit executor value, or only
-    /// through [`lma_sim::Runtime::run`]'s config dispatch (the advising
-    /// schemes and the certified pipeline drive the simulator from inside
-    /// their decoders, which see a [`RunConfig`], not an executor — so the
-    /// push oracle is unreachable for them).
+    /// Whether the kind's cells include the push-based reference engine
+    /// (kept in sync with the resolved workload's
+    /// [`DynWorkload::supports_reference`] — pinned by a test — so
+    /// [`Scenario::variants`] never has to construct a workload just to
+    /// read this static flag).
     #[must_use]
-    pub fn config_dispatch_only(self) -> bool {
-        matches!(
+    pub fn supports_reference(self) -> bool {
+        !matches!(
             self,
-            Workload::SchemeTrivial
-                | Workload::SchemeOneRound
-                | Workload::SchemeConstant
-                | Workload::CertifiedConstant
+            WorkloadKind::SchemeTrivial
+                | WorkloadKind::SchemeOneRound
+                | WorkloadKind::SchemeConstant
+                | WorkloadKind::CertifiedConstant
         )
+    }
+
+    /// Resolves the kind to its workload implementation.
+    #[must_use]
+    pub fn workload(self) -> Box<dyn DynWorkload> {
+        match self {
+            WorkloadKind::Flood => Box::new(FloodWorkload::traced()),
+            WorkloadKind::Gossip => Box::new(GossipWorkload::new(GOSSIP_FACTS, GOSSIP_ROUNDS)),
+            WorkloadKind::GhsBoruvka => Box::new(GhsWorkload),
+            WorkloadKind::FloodCollect => Box::new(FloodCollectWorkload),
+            WorkloadKind::SchemeTrivial => Box::new(SchemeWorkload::new(
+                "scheme-trivial",
+                TrivialScheme::default(),
+            )),
+            WorkloadKind::SchemeOneRound => Box::new(SchemeWorkload::new(
+                "scheme-one-round",
+                OneRoundScheme::default(),
+            )),
+            WorkloadKind::SchemeConstant => Box::new(SchemeWorkload::new(
+                "scheme-constant",
+                ConstantScheme::default(),
+            )),
+            WorkloadKind::CertifiedConstant => Box::new(CertifiedWorkload::new(
+                "certified-constant",
+                ConstantScheme::default(),
+            )),
+            WorkloadKind::ErrRoundLimit => Box::new(FloodWorkload::round_limited(ERR_ROUND_LIMIT)),
+            WorkloadKind::ErrMalformed => Box::new(DoublePortWorkload),
+        }
     }
 }
 
@@ -163,7 +176,7 @@ impl Workload {
 #[derive(Debug, Clone, Copy)]
 pub struct Scenario {
     /// The workload.
-    pub workload: Workload,
+    pub workload: WorkloadKind,
     /// The graph family.
     pub family: Family,
     /// Approximate node count handed to [`Family::instantiate`].
@@ -192,26 +205,26 @@ impl Scenario {
 
     /// Every (executor × backing) cell of this scenario: sequential and
     /// sharded engines on both backings, plus the push oracle (inline only —
-    /// it has no plane, so a second backing cell would be the same run twice)
-    /// when the workload supports explicit executors.
+    /// it has no plane, so a second backing cell would be the same run
+    /// twice) when the workload supports the reference engine.
     #[must_use]
     pub fn variants(&self) -> Vec<Variant> {
         let mut variants = Vec::new();
         for backing in [Backing::Inline, Backing::Arena] {
             variants.push(Variant {
-                engine: Engine::Seq,
+                engine: Engine::Sequential,
                 backing,
             });
             for t in SHARD_COUNTS {
                 variants.push(Variant {
-                    engine: Engine::Sharded(t),
+                    engine: Engine::Sharded(NonZeroUsize::new(t).expect("t >= 2")),
                     backing,
                 });
             }
         }
-        if !self.workload.config_dispatch_only() {
+        if self.workload.supports_reference() {
             variants.push(Variant {
-                engine: Engine::Push,
+                engine: Engine::Reference,
                 backing: Backing::Inline,
             });
         }
@@ -240,7 +253,11 @@ impl Scenario {
     /// [`Scenario::graph`]'s instance, or the digest is meaningless.
     #[must_use]
     pub fn run_on(&self, graph: &WeightedGraph, variant: Variant) -> CellOutcome {
-        let config = self.base_config(graph, variant);
+        let workload = self.workload.workload();
+        let sim = workload
+            .tune(Sim::on(graph))
+            .executor(variant.engine)
+            .backing(variant.backing);
         let mut w = DigestWriter::new();
         // Domain separation: the scenario identity (but never the variant —
         // cells of one scenario must collide bit-for-bit).
@@ -249,128 +266,103 @@ impl Scenario {
         w.str(self.family.name());
         w.usize(self.n);
         w.u64(self.seed);
-        let summary = match self.workload {
-            Workload::Flood => {
-                let programs = flood_fleet(graph);
-                fold_run(
-                    &mut w,
-                    run_programs(graph, config, variant.engine, programs),
-                )
-            }
-            Workload::Gossip => {
-                let programs: Vec<FixedGossip> = graph
-                    .nodes()
-                    .map(|u| FixedGossip::new(u as u64, GOSSIP_FACTS, GOSSIP_ROUNDS))
-                    .collect();
-                fold_run(
-                    &mut w,
-                    run_programs(graph, config, variant.engine, programs),
-                )
-            }
-            Workload::GhsBoruvka => fold_baseline(
-                &mut w,
-                run_baseline(&SyncBoruvkaMst, graph, &config, variant.engine),
-            ),
-            Workload::FloodCollect => fold_baseline(
-                &mut w,
-                run_baseline(&FloodCollectMst, graph, &config, variant.engine),
-            ),
-            Workload::SchemeTrivial => {
-                fold_scheme(&mut w, &evaluate(&TrivialScheme::default(), graph, &config))
-            }
-            Workload::SchemeOneRound => fold_scheme(
-                &mut w,
-                &evaluate(&OneRoundScheme::default(), graph, &config),
-            ),
-            Workload::SchemeConstant => fold_scheme(
-                &mut w,
-                &evaluate(&ConstantScheme::default(), graph, &config),
-            ),
-            Workload::CertifiedConstant => {
-                let run = certified_run(
-                    &ConstantScheme::default(),
-                    graph,
-                    &BoruvkaConfig::default(),
-                    &config,
-                )
-                .unwrap_or_else(|e| {
-                    panic!("scenario {} certified pipeline failed: {e}", self.id())
-                });
-                fold_certified(&mut w, &run)
-            }
-            Workload::ErrRoundLimit => {
-                let config = RunConfig {
-                    max_rounds: ERR_ROUND_LIMIT,
-                    ..config
-                };
-                let programs = flood_fleet(graph);
-                fold_run(
-                    &mut w,
-                    run_programs(graph, config, variant.engine, programs),
-                )
-            }
-            Workload::ErrMalformed => {
-                let programs: Vec<DoublePort> =
-                    graph.nodes().map(|_| DoublePort::default()).collect();
-                fold_run(
-                    &mut w,
-                    run_programs(graph, config, variant.engine, programs),
-                )
-            }
-        };
+        let summary = workload
+            .run_fold(&sim, &mut w)
+            .unwrap_or_else(|e| panic!("scenario {} failed: {e}", self.id()));
         CellOutcome {
             digest: w.finish(),
             summary,
         }
     }
+}
 
-    /// The base config of a cell: the variant's backing and thread count,
-    /// plus the workload's model/trace knobs.
-    fn base_config(&self, graph: &WeightedGraph, variant: Variant) -> RunConfig {
-        let threads = match variant.engine {
-            Engine::Sharded(t) => NonZeroUsize::new(t),
-            Engine::Seq | Engine::Push => None,
-        };
-        let (model, trace) = match self.workload {
-            // Flooding folds the full delivery trace; gossip runs under a
-            // CONGEST(Θ(log n)) audit so violation accounting is guarded too.
-            Workload::Flood => (Model::Local, true),
-            Workload::Gossip => (Model::congest_for(graph.node_count()), false),
-            _ => (Model::Local, false),
-        };
-        RunConfig {
-            model,
-            trace,
-            threads,
-            backing: variant.backing,
-            ..RunConfig::default()
-        }
+// ---------------------------------------------------------------------------
+// The malformed-outbox workload (registry-local: it exists to pin an error
+// path of the simulator itself, not a distributed algorithm)
+// ---------------------------------------------------------------------------
+
+/// A deliberately malformed program: sends two messages through port 0 in
+/// `init`, so every executor must report `MalformedOutbox { node: 0, port: 0 }`.
+#[derive(Default)]
+struct DoublePort {
+    done: bool,
+}
+
+impl NodeAlgorithm for DoublePort {
+    type Msg = bool;
+    type Output = ();
+
+    fn init(&mut self, _view: &LocalView) -> Outbox<bool> {
+        vec![(0, true), (0, false)]
+    }
+
+    fn round(&mut self, _: &LocalView, _: usize, _: &[(Port, bool)]) -> Outbox<bool> {
+        self.done = true;
+        Vec::new()
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> Option<()> {
+        self.done.then_some(())
     }
 }
 
-/// Facts per gossip payload (sized so arena spans stay multi-word).
-const GOSSIP_FACTS: usize = 24;
-/// Gossip rounds per run.
-const GOSSIP_ROUNDS: usize = 8;
-/// Round limit of the [`Workload::ErrRoundLimit`] cells.
-const ERR_ROUND_LIMIT: usize = 5;
+/// The malformed-outbox error-path workload: failing the same way is part
+/// of the pinned contract, so the folded "outcome" is the error payload.
+struct DoublePortWorkload;
 
-/// The outcome of one cell: its digest and the drift-localization summary.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CellOutcome {
-    /// The 64-byte golden digest.
-    pub digest: Digest,
-    /// Aggregate + per-round summary (empty chain for error cells).
-    pub summary: RunSummary,
+impl FleetWorkload for DoublePortWorkload {
+    type Prep = ();
+    type Program = DoublePort;
+    type Outcome = RunResult<()>;
+
+    fn name(&self) -> &'static str {
+        "err-malformed"
+    }
+
+    fn prepare(&self, _graph: &WeightedGraph) -> Result<(), WorkloadError> {
+        Ok(())
+    }
+
+    fn programs(&self, graph: &WeightedGraph, (): &()) -> Vec<DoublePort> {
+        graph.nodes().map(|_| DoublePort::default()).collect()
+    }
+
+    fn collate(
+        &self,
+        _graph: &WeightedGraph,
+        (): (),
+        result: RunResult<()>,
+    ) -> Result<RunResult<()>, WorkloadError> {
+        Ok(result)
+    }
+
+    fn fold(&self, w: &mut DigestWriter, outcome: &RunResult<()>) {
+        fold_result_unit(w, outcome);
+    }
+
+    fn summary(&self, outcome: &RunResult<()>) -> RunSummary {
+        RunSummary::of_stats(&outcome.stats)
+    }
+}
+
+/// Folds a unit-output run result (the historical `()` output encoding:
+/// presence marker + the `0x75` unit tag).
+fn fold_result_unit(w: &mut DigestWriter, result: &RunResult<()>) {
+    lma_sim::digest::fold_result(w, result, |w, ()| w.u64(0x75));
 }
 
 /// The committed scenario registry.  Append-only by convention: changing an
 /// existing entry's parameters re-keys its golden digest, which `verify`
-/// reports as a stale lock until `update` is run.
+/// reports as a stale lock until `update` is run; *new* entries are pinned
+/// in place with `update --missing`.
 #[must_use]
 pub fn registry() -> Vec<Scenario> {
     use Family as F;
-    use Workload as W;
+    use WorkloadKind as W;
     let s = |workload, family, n, seed, smoke| Scenario {
         workload,
         family,
@@ -403,6 +395,10 @@ pub fn registry() -> Vec<Scenario> {
         // Error paths: failing the same way is part of the contract.
         s(W::ErrRoundLimit, F::Ring, 24, 61, true),
         s(W::ErrMalformed, F::Star, 12, 62, true),
+        // Cells unlocked by the unified Workload API (PR 5): advising
+        // schemes on the Barabási–Albert and Watts–Strogatz families.
+        s(W::SchemeOneRound, F::PreferentialAttachment, 40, 56, false),
+        s(W::SchemeTrivial, F::SmallWorld, 36, 57, true),
     ]
 }
 
@@ -412,319 +408,13 @@ pub fn cell_count(scenarios: &[Scenario]) -> usize {
     scenarios.iter().map(|s| s.variants().len()).sum()
 }
 
-// ---------------------------------------------------------------------------
-// Workload programs and runners
-// ---------------------------------------------------------------------------
-
-/// Max-identifier flooding for exactly `n` rounds: every node broadcasts the
-/// largest identifier it has seen; traffic shape (bit sizes) changes as the
-/// maximum propagates, so the per-round chain is informative.
-struct FloodMax {
-    best: u64,
-    rounds_left: usize,
-}
-
-impl NodeAlgorithm for FloodMax {
-    type Msg = u64;
-    type Output = u64;
-
-    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
-        self.best = view.id;
-        self.rounds_left = view.n;
-        (0..view.degree()).map(|p| (p, self.best)).collect()
-    }
-
-    fn round(&mut self, view: &LocalView, _round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
-        for (_, id) in inbox {
-            self.best = self.best.max(*id);
-        }
-        self.rounds_left -= 1;
-        if self.rounds_left == 0 {
-            return Vec::new();
-        }
-        (0..view.degree()).map(|p| (p, self.best)).collect()
-    }
-
-    fn is_done(&self) -> bool {
-        self.rounds_left == 0
-    }
-
-    fn output(&self) -> Option<u64> {
-        (self.rounds_left == 0).then_some(self.best)
-    }
-}
-
-fn flood_fleet(graph: &WeightedGraph) -> Vec<FloodMax> {
-    graph
-        .nodes()
-        .map(|_| FloodMax {
-            best: 0,
-            rounds_left: usize::MAX,
-        })
-        .collect()
-}
-
-/// A deliberately malformed program: sends two messages through port 0 in
-/// `init`, so every executor must report `MalformedOutbox { node: 0, port: 0 }`.
-#[derive(Default)]
-struct DoublePort {
-    done: bool,
-}
-
-impl NodeAlgorithm for DoublePort {
-    type Msg = bool;
-    type Output = ();
-
-    fn init(&mut self, _view: &LocalView) -> Outbox<bool> {
-        vec![(0, true), (0, false)]
-    }
-
-    fn round(&mut self, _: &LocalView, _: usize, _: &[(Port, bool)]) -> Outbox<bool> {
-        self.done = true;
-        Vec::new()
-    }
-
-    fn is_done(&self) -> bool {
-        self.done
-    }
-
-    fn output(&self) -> Option<()> {
-        self.done.then_some(())
-    }
-}
-
-/// Runs a program fleet on the requested engine.
-fn run_programs<A: NodeAlgorithm>(
-    graph: &WeightedGraph,
-    config: RunConfig,
-    engine: Engine,
-    programs: Vec<A>,
-) -> Result<RunResult<A::Output>, RunError> {
-    match engine {
-        Engine::Seq => SequentialExecutor.run(graph, config, programs),
-        Engine::Sharded(t) => {
-            ShardedExecutor::new(NonZeroUsize::new(t).expect("t >= 2")).run(graph, config, programs)
-        }
-        Engine::Push => ReferenceExecutor.run(graph, config, programs),
-    }
-}
-
-/// Runs a no-advice baseline on the requested engine.
-fn run_baseline<B: NoAdviceMst>(
-    baseline: &B,
-    graph: &WeightedGraph,
-    config: &RunConfig,
-    engine: Engine,
-) -> Result<(Vec<Option<UpwardOutput>>, RunStats), RunError> {
-    match engine {
-        Engine::Seq => baseline.run_with(graph, config, &SequentialExecutor),
-        Engine::Sharded(t) => baseline.run_with(
-            graph,
-            config,
-            &ShardedExecutor::new(NonZeroUsize::new(t).expect("t >= 2")),
-        ),
-        Engine::Push => baseline.run_with(graph, config, &ReferenceExecutor),
-    }
-}
-
-fn evaluate<S: AdvisingScheme>(
-    scheme: &S,
-    graph: &WeightedGraph,
-    config: &RunConfig,
-) -> SchemeEvaluation {
-    evaluate_scheme(scheme, graph, config).unwrap_or_else(|e| {
-        panic!(
-            "scheme {} failed on a registered scenario: {e}",
-            scheme.name()
-        )
-    })
-}
-
-// ---------------------------------------------------------------------------
-// Digest folds per outcome shape
-// ---------------------------------------------------------------------------
-
-/// Folds a `Result<RunResult, RunError>` whose outputs digest as `u64`-like
-/// values, returning the drift summary.
-fn fold_run<O: FoldOutput>(
-    w: &mut DigestWriter,
-    result: Result<RunResult<O>, RunError>,
-) -> RunSummary {
-    match result {
-        Ok(result) => {
-            fold_result(w, &result, |w, o| o.fold(w));
-            RunSummary::of_stats(&result.stats)
-        }
-        Err(error) => {
-            fold_error(w, &error);
-            RunSummary::of_error()
-        }
-    }
-}
-
-fn fold_baseline(
-    w: &mut DigestWriter,
-    result: Result<(Vec<Option<UpwardOutput>>, RunStats), RunError>,
-) -> RunSummary {
-    match result {
-        Ok((outputs, stats)) => {
-            fold_stats(w, &stats);
-            fold_upward_outputs(w, &outputs);
-            RunSummary::of_stats(&stats)
-        }
-        Err(error) => {
-            fold_error(w, &error);
-            RunSummary::of_error()
-        }
-    }
-}
-
-fn fold_upward_outputs(w: &mut DigestWriter, outputs: &[Option<UpwardOutput>]) {
-    w.str("outputs");
-    w.usize(outputs.len());
-    for output in outputs {
-        match output {
-            None => w.u64(0),
-            Some(UpwardOutput::Root) => w.u64(1),
-            Some(UpwardOutput::Parent(port)) => {
-                w.u64(2);
-                w.usize(*port);
-            }
-        }
-    }
-}
-
-fn fold_advice(w: &mut DigestWriter, advice: &AdviceStats) {
-    w.str("advice");
-    w.usize(advice.nodes);
-    w.usize(advice.total_bits);
-    w.usize(advice.max_bits);
-    w.usize(advice.empty_nodes);
-}
-
-fn fold_scheme(w: &mut DigestWriter, eval: &SchemeEvaluation) -> RunSummary {
-    fold_advice(w, &eval.advice);
-    fold_stats(w, &eval.run);
-    w.str("tree");
-    w.usize(eval.tree.root);
-    w.usize(eval.tree.edges.len());
-    for &edge in &eval.tree.edges {
-        w.usize(edge);
-    }
-    for port in &eval.tree.parent_port {
-        w.opt_u64(port.map(|p| p as u64));
-    }
-    RunSummary::of_stats(&eval.run)
-}
-
-/// Folds one verification violation field by field (a pinned encoding —
-/// never via derived `Debug`/`Display`, whose text would re-key every
-/// certified golden on a pure rename refactor).
-fn fold_violation(w: &mut DigestWriter, violation: &lma_labeling::Violation) {
-    use lma_labeling::Violation as V;
-    match violation {
-        V::MissingOutput { node } => {
-            w.u64(1);
-            w.usize(*node);
-        }
-        V::InvalidPort { node, port } => {
-            w.u64(2);
-            w.usize(*node);
-            w.usize(*port);
-        }
-        V::RootDepthNonZero { node } => {
-            w.u64(3);
-            w.usize(*node);
-        }
-        V::RootIdNotSelf { node } => {
-            w.u64(4);
-            w.usize(*node);
-        }
-        V::NonRootDepthZero { node } => {
-            w.u64(5);
-            w.usize(*node);
-        }
-        V::RootIdMismatch { node, port } => {
-            w.u64(6);
-            w.usize(*node);
-            w.usize(*port);
-        }
-        V::DepthMismatch {
-            node,
-            own_depth,
-            parent_depth,
-        } => {
-            w.u64(7);
-            w.usize(*node);
-            w.u64(*own_depth);
-            w.u64(*parent_depth);
-        }
-        V::OutputDisagreesWithCertificate { node } => {
-            w.u64(8);
-            w.usize(*node);
-        }
-        V::NoCommonCentroid { node, port } => {
-            w.u64(9);
-            w.usize(*node);
-            w.usize(*port);
-        }
-        V::CycleProperty {
-            node,
-            port,
-            edge_weight,
-            path_max,
-        } => {
-            w.u64(10);
-            w.usize(*node);
-            w.usize(*port);
-            w.u64(*edge_weight);
-            w.u64(*path_max);
-        }
-    }
-}
-
-fn fold_certified(w: &mut DigestWriter, run: &CertifiedRun) -> RunSummary {
-    fold_advice(w, &run.advice);
-    fold_stats(w, &run.decode);
-    fold_upward_outputs(w, &run.outputs);
-    w.str("report");
-    w.u64(u64::from(run.report.accepted));
-    w.usize(run.report.violations.len());
-    for violation in &run.report.violations {
-        fold_violation(w, violation);
-    }
-    w.usize(run.report.rejecting_nodes.len());
-    for &node in &run.report.rejecting_nodes {
-        w.usize(node);
-    }
-    w.str("labels");
-    w.usize(run.report.labels.nodes);
-    w.usize(run.report.labels.total_bits);
-    w.usize(run.report.labels.max_bits);
-    w.usize(run.report.labels.max_entries);
-    fold_stats(w, &run.report.run);
-    RunSummary::of_stats(&run.decode)
-}
-
-// ---------------------------------------------------------------------------
-// Output folding helper trait
-// ---------------------------------------------------------------------------
-
-/// Per-node outputs that know how to fold themselves into a digest.
-trait FoldOutput {
-    fn fold(&self, w: &mut DigestWriter);
-}
-
-impl FoldOutput for u64 {
-    fn fold(&self, w: &mut DigestWriter) {
-        w.u64(*self);
-    }
-}
-
-impl FoldOutput for () {
-    fn fold(&self, w: &mut DigestWriter) {
-        w.u64(0x75);
-    }
+/// The outcome of one cell: its digest and the drift-localization summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// The 64-byte golden digest.
+    pub digest: Digest,
+    /// Aggregate + per-round summary (empty chain for error cells).
+    pub summary: RunSummary,
 }
 
 // ---------------------------------------------------------------------------
@@ -985,7 +675,7 @@ mod tests {
         assert!(engines.contains("push"));
         assert_eq!(backings.len(), 2);
         // At least one advice-scheme workload and two of the new families.
-        assert!(scenarios.iter().any(|s| s.workload.config_dispatch_only()));
+        assert!(scenarios.iter().any(|s| !s.workload.supports_reference()));
         assert!(scenarios
             .iter()
             .any(|s| s.family == Family::PreferentialAttachment));
@@ -993,6 +683,30 @@ mod tests {
         // The smoke subset is non-trivial but not everything.
         let smoke = scenarios.iter().filter(|s| s.smoke).count();
         assert!(smoke >= 5 && smoke < scenarios.len());
+    }
+
+    #[test]
+    fn kind_names_match_their_workload_names() {
+        use WorkloadKind as W;
+        for kind in [
+            W::Flood,
+            W::Gossip,
+            W::GhsBoruvka,
+            W::FloodCollect,
+            W::SchemeTrivial,
+            W::SchemeOneRound,
+            W::SchemeConstant,
+            W::CertifiedConstant,
+            W::ErrRoundLimit,
+            W::ErrMalformed,
+        ] {
+            assert_eq!(kind.name(), kind.workload().name(), "{kind:?}");
+            assert_eq!(
+                kind.supports_reference(),
+                kind.workload().supports_reference(),
+                "{kind:?}"
+            );
+        }
     }
 
     #[test]
@@ -1010,14 +724,14 @@ mod tests {
         // every variant must produce the canonical digest.
         for scenario in [
             Scenario {
-                workload: Workload::Flood,
+                workload: WorkloadKind::Flood,
                 family: Family::Ring,
                 n: 16,
                 seed: 7,
                 smoke: false,
             },
             Scenario {
-                workload: Workload::SchemeConstant,
+                workload: WorkloadKind::SchemeConstant,
                 family: Family::SmallWorld,
                 n: 24,
                 seed: 9,
@@ -1038,7 +752,7 @@ mod tests {
     #[test]
     fn error_cells_agree_across_engines_and_fold_the_payload() {
         let scenario = Scenario {
-            workload: Workload::ErrMalformed,
+            workload: WorkloadKind::ErrMalformed,
             family: Family::Star,
             n: 8,
             seed: 3,
@@ -1052,7 +766,7 @@ mod tests {
     #[test]
     fn perturbing_the_seed_changes_the_digest() {
         let base = Scenario {
-            workload: Workload::Flood,
+            workload: WorkloadKind::Flood,
             family: Family::PreferentialAttachment,
             n: 20,
             seed: 1,

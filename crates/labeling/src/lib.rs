@@ -54,5 +54,5 @@ pub use faults::{FaultPlan, OutputFault};
 pub use labels::{LabelStats, MstLabel, SpanningLabel};
 pub use mst_cert::MstCertificate;
 pub use report::{VerificationReport, Violation};
-pub use self_check::{certified_run, certify_outputs, CertifiedRun};
+pub use self_check::{certified_run, certify_outputs, CertifiedRun, CertifiedWorkload};
 pub use spanning::SpanningProof;

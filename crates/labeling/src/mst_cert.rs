@@ -41,7 +41,7 @@ use lma_mst::verify::UpwardOutput;
 use lma_mst::RootedTree;
 use lma_sim::message::BitSized;
 use lma_sim::runtime::RunError;
-use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, Sim};
 
 /// The MST certificate: oracle-side label construction plus the one-round
 /// distributed verifier.
@@ -71,15 +71,17 @@ impl MstCertificate {
     }
 
     /// Runs the one-round distributed verifier on the claimed outputs.
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Sim::run`].
     pub fn verify(
-        g: &WeightedGraph,
+        sim: &Sim<'_>,
         labels: &[MstLabel],
         outputs: &[Option<UpwardOutput>],
-        config: &RunConfig,
     ) -> Result<VerificationReport, RunError> {
+        let g = sim.graph();
         assert_eq!(labels.len(), g.node_count());
         assert_eq!(outputs.len(), g.node_count());
-        let runtime = Runtime::with_config(g, *config);
         let programs: Vec<MstVerifier> = g
             .nodes()
             .map(|u| MstVerifier {
@@ -88,7 +90,7 @@ impl MstCertificate {
                 verdict: None,
             })
             .collect();
-        let result = runtime.run(programs)?;
+        let result = sim.run(programs)?;
         let n = g.node_count();
         let max_w = g.edges().iter().map(|e| e.weight).max().unwrap_or(1);
         let sizes: Vec<usize> = labels.iter().map(|l| l.encoded_bits(n, max_w)).collect();
@@ -102,14 +104,16 @@ impl MstCertificate {
 
     /// Convenience: certify `tree` and immediately verify `outputs` against
     /// it.
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Sim::run`].
     pub fn certify_and_verify(
-        g: &WeightedGraph,
+        sim: &Sim<'_>,
         tree: &RootedTree,
         outputs: &[Option<UpwardOutput>],
-        config: &RunConfig,
     ) -> Result<VerificationReport, RunError> {
-        let labels = Self::certify(g, tree);
-        Self::verify(g, &labels, outputs, config)
+        let labels = Self::certify(sim.graph(), tree);
+        Self::verify(sim, &labels, outputs)
     }
 }
 
@@ -264,9 +268,7 @@ mod tests {
         for g in &graphs {
             let tree = mst_tree(g, 0);
             let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
-            let report =
-                MstCertificate::certify_and_verify(g, &tree, &outputs, &RunConfig::default())
-                    .unwrap();
+            let report = MstCertificate::certify_and_verify(&Sim::on(g), &tree, &outputs).unwrap();
             assert!(
                 report.accepted,
                 "rejected a correct MST: {:?}",
@@ -293,9 +295,7 @@ mod tests {
         let bad_edges: Vec<_> = (0..n - 1).collect();
         let bad_tree = RootedTree::from_edges(&g, 0, &bad_edges).unwrap();
         let outputs: Vec<_> = bad_tree.upward_outputs().into_iter().map(Some).collect();
-        let report =
-            MstCertificate::certify_and_verify(&g, &bad_tree, &outputs, &RunConfig::default())
-                .unwrap();
+        let report = MstCertificate::certify_and_verify(&Sim::on(&g), &bad_tree, &outputs).unwrap();
         assert!(!report.accepted);
         assert!(
             report.has_cycle_violation(),
@@ -317,7 +317,7 @@ mod tests {
         };
         let other = (0..g.degree(3)).find(|&p| p != old).unwrap();
         outputs[3] = Some(UpwardOutput::Parent(other));
-        let report = MstCertificate::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let report = MstCertificate::verify(&Sim::on(&g), &labels, &outputs).unwrap();
         assert!(!report.accepted);
         assert!(report
             .violations
@@ -342,7 +342,7 @@ mod tests {
         for e in &mut labels[endpoint].entries {
             e.max_weight = e.max_weight.saturating_mul(1000).max(1_000_000);
         }
-        let report = MstCertificate::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let report = MstCertificate::verify(&Sim::on(&g), &labels, &outputs).unwrap();
         assert!(!report.accepted);
         assert!(
             report.has_cycle_violation(),
@@ -357,9 +357,7 @@ mod tests {
             let g = connected_random(n, 3 * n, 11, WeightStrategy::DistinctRandom { seed: 11 });
             let tree = mst_tree(&g, 0);
             let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
-            let report =
-                MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default())
-                    .unwrap();
+            let report = MstCertificate::certify_and_verify(&Sim::on(&g), &tree, &outputs).unwrap();
             let logn = ceil_log2(n) as usize;
             let logw = ceil_log2(3 * n + 1) as usize + 1;
             let bound = (logn + 1) * (2 * logn + logw + 8) + 64 + logn + 8;
@@ -380,7 +378,7 @@ mod tests {
         let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
         // The true root claims a parent instead.
         outputs[2] = Some(UpwardOutput::Parent(0));
-        let report = MstCertificate::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let report = MstCertificate::verify(&Sim::on(&g), &labels, &outputs).unwrap();
         assert!(!report.accepted);
     }
 }

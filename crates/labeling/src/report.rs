@@ -2,6 +2,7 @@
 
 use crate::labels::LabelStats;
 use lma_graph::{NodeIdx, Port, Weight};
+use lma_sim::digest::{fold_stats, DigestWriter};
 use lma_sim::RunStats;
 
 /// A reason one node rejected during verification.  Violations are local
@@ -101,6 +102,72 @@ impl Violation {
             | Violation::CycleProperty { node, .. } => *node,
         }
     }
+
+    /// Folds the violation field by field into a digest writer: a numeric
+    /// discriminant, then every payload field.  A pinned encoding — never
+    /// derived `Debug`/`Display`, whose text would re-key every certified
+    /// golden on a pure rename refactor.
+    pub fn fold_into(&self, w: &mut DigestWriter) {
+        match self {
+            Violation::MissingOutput { node } => {
+                w.u64(1);
+                w.usize(*node);
+            }
+            Violation::InvalidPort { node, port } => {
+                w.u64(2);
+                w.usize(*node);
+                w.usize(*port);
+            }
+            Violation::RootDepthNonZero { node } => {
+                w.u64(3);
+                w.usize(*node);
+            }
+            Violation::RootIdNotSelf { node } => {
+                w.u64(4);
+                w.usize(*node);
+            }
+            Violation::NonRootDepthZero { node } => {
+                w.u64(5);
+                w.usize(*node);
+            }
+            Violation::RootIdMismatch { node, port } => {
+                w.u64(6);
+                w.usize(*node);
+                w.usize(*port);
+            }
+            Violation::DepthMismatch {
+                node,
+                own_depth,
+                parent_depth,
+            } => {
+                w.u64(7);
+                w.usize(*node);
+                w.u64(*own_depth);
+                w.u64(*parent_depth);
+            }
+            Violation::OutputDisagreesWithCertificate { node } => {
+                w.u64(8);
+                w.usize(*node);
+            }
+            Violation::NoCommonCentroid { node, port } => {
+                w.u64(9);
+                w.usize(*node);
+                w.usize(*port);
+            }
+            Violation::CycleProperty {
+                node,
+                port,
+                edge_weight,
+                path_max,
+            } => {
+                w.u64(10);
+                w.usize(*node);
+                w.usize(*port);
+                w.u64(*edge_weight);
+                w.u64(*path_max);
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for Violation {
@@ -194,6 +261,28 @@ impl VerificationReport {
         self.violations
             .iter()
             .any(|v| matches!(v, Violation::CycleProperty { .. }))
+    }
+
+    /// Folds the report into a digest writer: verdict, violations,
+    /// rejecting nodes, label statistics, and the verification run's
+    /// statistics.  A pinned encoding — golden digests depend on it.
+    pub fn fold_into(&self, w: &mut DigestWriter) {
+        w.str("report");
+        w.u64(u64::from(self.accepted));
+        w.usize(self.violations.len());
+        for violation in &self.violations {
+            violation.fold_into(w);
+        }
+        w.usize(self.rejecting_nodes.len());
+        for &node in &self.rejecting_nodes {
+            w.usize(node);
+        }
+        w.str("labels");
+        w.usize(self.labels.nodes);
+        w.usize(self.labels.total_bits);
+        w.usize(self.labels.max_bits);
+        w.usize(self.labels.max_entries);
+        fold_stats(w, &self.run);
     }
 }
 

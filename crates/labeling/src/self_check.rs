@@ -12,13 +12,16 @@
 
 use crate::mst_cert::MstCertificate;
 use crate::report::VerificationReport;
-use lma_advice::scheme::{Advice, AdvisingScheme, SchemeError};
+use lma_advice::scheme::{to_workload_error, Advice, AdvisingScheme, SchemeError};
 use lma_advice::AdviceStats;
 use lma_graph::WeightedGraph;
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
+use lma_mst::digest::fold_upward_outputs;
 use lma_mst::verify::UpwardOutput;
 use lma_mst::RootedTree;
-use lma_sim::{RunConfig, RunStats};
+use lma_sim::digest::{fold_stats, DigestWriter};
+use lma_sim::driver::{Sim, Workload, WorkloadError};
+use lma_sim::{RunStats, RunSummary};
 
 /// The result of a full advise → decode → distributed-verify pipeline.
 #[derive(Debug, Clone)]
@@ -39,29 +42,41 @@ impl CertifiedRun {
     pub fn total_rounds(&self) -> usize {
         self.decode.rounds + self.report.run.rounds
     }
+
+    /// Folds the full pipeline outcome into a digest writer: advice
+    /// accounting, decode statistics, decoded outputs, then the
+    /// verification report.  A pinned encoding — golden digests depend on
+    /// it.
+    pub fn fold_into(&self, w: &mut DigestWriter) {
+        self.advice.fold_into(w);
+        fold_stats(w, &self.decode);
+        fold_upward_outputs(w, &self.outputs);
+        self.report.fold_into(w);
+    }
 }
 
 /// Certifies an arbitrary output vector against the MST that the paper's
 /// Borůvka variant produces under `reference` (root and tie-breaking), by
 /// running the one-round distributed verifier.
 pub fn certify_outputs(
-    g: &WeightedGraph,
+    sim: &Sim<'_>,
     reference: &BoruvkaConfig,
     outputs: &[Option<UpwardOutput>],
-    config: &RunConfig,
 ) -> Result<VerificationReport, SchemeError> {
-    let run = run_boruvka(g, reference)?;
-    certify_against_tree(g, &run.tree, outputs, config)
+    let run = run_boruvka(sim.graph(), reference)?;
+    certify_against_tree(sim, &run.tree, outputs)
 }
 
 /// Certifies an output vector against an explicit reference tree.
+///
+/// # Errors
+/// Exactly the error cases of [`MstCertificate::certify_and_verify`].
 pub fn certify_against_tree(
-    g: &WeightedGraph,
+    sim: &Sim<'_>,
     tree: &RootedTree,
     outputs: &[Option<UpwardOutput>],
-    config: &RunConfig,
 ) -> Result<VerificationReport, SchemeError> {
-    MstCertificate::certify_and_verify(g, tree, outputs, config).map_err(SchemeError::Run)
+    MstCertificate::certify_and_verify(sim, tree, outputs).map_err(SchemeError::Run)
 }
 
 /// Runs a scheme end to end — oracle, decoder, then the **distributed**
@@ -73,12 +88,11 @@ pub fn certify_against_tree(
 /// output.
 pub fn certified_run<S: AdvisingScheme + ?Sized>(
     scheme: &S,
-    g: &WeightedGraph,
+    sim: &Sim<'_>,
     reference: &BoruvkaConfig,
-    config: &RunConfig,
 ) -> Result<CertifiedRun, SchemeError> {
-    let advice = scheme.advise(g)?;
-    certified_run_with_advice(scheme, g, &advice, reference, config)
+    let advice = scheme.advise(sim.graph())?;
+    certified_run_with_advice(scheme, sim, &advice, reference)
 }
 
 /// Like [`certified_run`], but decoding a caller-supplied (possibly
@@ -87,23 +101,84 @@ pub fn certified_run<S: AdvisingScheme + ?Sized>(
 /// the *nodes* notice.
 pub fn certified_run_with_advice<S: AdvisingScheme + ?Sized>(
     scheme: &S,
-    g: &WeightedGraph,
+    sim: &Sim<'_>,
     advice: &Advice,
     reference: &BoruvkaConfig,
-    config: &RunConfig,
 ) -> Result<CertifiedRun, SchemeError> {
     let advice_stats = advice.stats();
-    let outcome = scheme.decode(g, advice, config)?;
-    let reference_run = run_boruvka(g, reference)?;
-    let report =
-        MstCertificate::certify_and_verify(g, &reference_run.tree, &outcome.outputs, config)
-            .map_err(SchemeError::Run)?;
+    let outcome = scheme.decode(sim, advice)?;
+    let reference_run = run_boruvka(sim.graph(), reference)?;
+    let report = MstCertificate::certify_and_verify(sim, &reference_run.tree, &outcome.outputs)
+        .map_err(SchemeError::Run)?;
     Ok(CertifiedRun {
         advice: advice_stats,
         decode: outcome.stats,
         outputs: outcome.outputs,
         report,
     })
+}
+
+/// An advising scheme's certified pipeline — oracle, decode, then the
+/// **distributed** verification round — packaged as a [`Workload`]: the
+/// oracle is `prepare`, and the typed [`CertifiedRun`] outcome carries the
+/// advice accounting, the decoded tree, and the nodes' verdict.
+#[derive(Debug, Clone)]
+pub struct CertifiedWorkload<S> {
+    name: &'static str,
+    scheme: S,
+    reference: BoruvkaConfig,
+}
+
+impl<S: AdvisingScheme> CertifiedWorkload<S> {
+    /// Wraps `scheme` under a stable workload `name`, certifying against
+    /// the default Borůvka reference (which every shipped scheme's oracle
+    /// uses).
+    #[must_use]
+    pub fn new(name: &'static str, scheme: S) -> Self {
+        Self {
+            name,
+            scheme,
+            reference: BoruvkaConfig::default(),
+        }
+    }
+
+    /// The wrapped scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+}
+
+impl<S: AdvisingScheme> Workload for CertifiedWorkload<S> {
+    type Prep = Advice;
+    type Outcome = CertifiedRun;
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn supports_reference(&self) -> bool {
+        // Pinned in SCENARIOS.lock without push-oracle cells; the committed
+        // matrix keeps the original cell lists.
+        false
+    }
+
+    fn prepare(&self, graph: &WeightedGraph) -> Result<Advice, WorkloadError> {
+        self.scheme.advise(graph).map_err(to_workload_error)
+    }
+
+    fn execute(&self, sim: &Sim<'_>, advice: Advice) -> Result<CertifiedRun, WorkloadError> {
+        certified_run_with_advice(&self.scheme, sim, &advice, &self.reference)
+            .map_err(to_workload_error)
+    }
+
+    fn fold(&self, w: &mut DigestWriter, outcome: &CertifiedRun) {
+        outcome.fold_into(w);
+    }
+
+    fn summary(&self, outcome: &CertifiedRun) -> RunSummary {
+        RunSummary::of_stats(&outcome.decode)
+    }
 }
 
 #[cfg(test)]
@@ -127,13 +202,8 @@ mod tests {
     fn honest_runs_are_accepted_by_the_distributed_verifier() {
         let g = connected_random(48, 130, 1, WeightStrategy::DistinctRandom { seed: 1 });
         for scheme in schemes() {
-            let run = certified_run(
-                scheme.as_ref(),
-                &g,
-                &BoruvkaConfig::default(),
-                &RunConfig::default(),
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+            let run = certified_run(scheme.as_ref(), &Sim::on(&g), &BoruvkaConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
             assert!(
                 run.report.accepted,
                 "{}: honest run rejected: {:?}",
@@ -157,7 +227,7 @@ mod tests {
         let g = grid(5, 6, WeightStrategy::DistinctRandom { seed: 2 });
         let reference = BoruvkaConfig::default();
         for scheme in schemes() {
-            let honest = certified_run(scheme.as_ref(), &g, &reference, &RunConfig::default())
+            let honest = certified_run(scheme.as_ref(), &Sim::on(&g), &reference)
                 .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
             let mut silent_failures = 0;
             for seed in 0..12u64 {
@@ -166,13 +236,7 @@ mod tests {
                     continue;
                 }
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    certified_run_with_advice(
-                        scheme.as_ref(),
-                        &g,
-                        &advice,
-                        &reference,
-                        &RunConfig::default(),
-                    )
+                    certified_run_with_advice(scheme.as_ref(), &Sim::on(&g), &advice, &reference)
                 }));
                 match attempt {
                     // A decoder panic or error on malformed advice counts as
@@ -210,13 +274,7 @@ mod tests {
         )
         .unwrap();
         let outputs: Vec<_> = other.tree.upward_outputs().into_iter().map(Some).collect();
-        let report = certify_outputs(
-            &g,
-            &BoruvkaConfig::default(),
-            &outputs,
-            &RunConfig::default(),
-        )
-        .unwrap();
+        let report = certify_outputs(&Sim::on(&g), &BoruvkaConfig::default(), &outputs).unwrap();
         assert!(!report.accepted);
     }
 }

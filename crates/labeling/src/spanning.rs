@@ -32,7 +32,7 @@ use lma_mst::verify::UpwardOutput;
 use lma_mst::RootedTree;
 use lma_sim::message::BitSized;
 use lma_sim::runtime::RunError;
-use lma_sim::{LocalView, NodeAlgorithm, Outbox, RunConfig, Runtime};
+use lma_sim::{LocalView, NodeAlgorithm, Outbox, Sim};
 
 /// The spanning-tree proof-labeling scheme.
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,15 +55,17 @@ impl SpanningProof {
     /// Runs the one-round distributed verifier on the claimed outputs.
     ///
     /// `labels[u]` is node `u`'s label, `outputs[u]` its claimed output.
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Sim::run`].
     pub fn verify(
-        g: &WeightedGraph,
+        sim: &Sim<'_>,
         labels: &[SpanningLabel],
         outputs: &[Option<UpwardOutput>],
-        config: &RunConfig,
     ) -> Result<VerificationReport, RunError> {
+        let g = sim.graph();
         assert_eq!(labels.len(), g.node_count());
         assert_eq!(outputs.len(), g.node_count());
-        let runtime = Runtime::with_config(g, *config);
         let programs: Vec<SpanningVerifier> = g
             .nodes()
             .map(|u| SpanningVerifier {
@@ -72,7 +74,7 @@ impl SpanningProof {
                 verdict: None,
             })
             .collect();
-        let result = runtime.run(programs)?;
+        let result = sim.run(programs)?;
         let n = g.node_count();
         let sizes: Vec<usize> = labels.iter().map(|l| l.encoded_bits(n)).collect();
         let entry_counts = vec![0usize; n];
@@ -246,8 +248,7 @@ mod tests {
                 let tree = tree_of(g, root);
                 let labels = SpanningProof::assign(g, &tree);
                 let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
-                let report =
-                    SpanningProof::verify(g, &labels, &outputs, &RunConfig::default()).unwrap();
+                let report = SpanningProof::verify(&Sim::on(g), &labels, &outputs).unwrap();
                 assert!(
                     report.accepted,
                     "rejected a correct tree: {:?}",
@@ -268,7 +269,7 @@ mod tests {
         let labels = SpanningProof::assign(&g, &tree);
         let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
         outputs[5] = Some(UpwardOutput::Root);
-        let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let report = SpanningProof::verify(&Sim::on(&g), &labels, &outputs).unwrap();
         assert!(!report.accepted);
         assert!(report.rejecting_nodes.contains(&5));
     }
@@ -298,9 +299,7 @@ mod tests {
                 if tree.depth[neighbor] + 1 != tree.depth[u] {
                     let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
                     outputs[u] = Some(UpwardOutput::Parent(p));
-                    let report =
-                        SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default())
-                            .unwrap();
+                    let report = SpanningProof::verify(&Sim::on(&g), &labels, &outputs).unwrap();
                     assert!(
                         !report.accepted,
                         "depth-breaking reroute at node {u} accepted"
@@ -324,7 +323,7 @@ mod tests {
         let mut outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
         outputs[3] = None;
         outputs[4] = Some(UpwardOutput::Parent(17));
-        let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let report = SpanningProof::verify(&Sim::on(&g), &labels, &outputs).unwrap();
         assert!(!report.accepted);
         assert!(report
             .violations
@@ -374,8 +373,7 @@ mod tests {
                 .collect(),
         ];
         for labels in &adversarial {
-            let report =
-                SpanningProof::verify(&g, labels, &outputs, &RunConfig::default()).unwrap();
+            let report = SpanningProof::verify(&Sim::on(&g), labels, &outputs).unwrap();
             assert!(
                 !report.accepted,
                 "an adversarial labeling was accepted for a cyclic claim"
@@ -389,7 +387,7 @@ mod tests {
         let tree = tree_of(&g, 0);
         let labels = SpanningProof::assign(&g, &tree);
         let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
-        let report = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let report = SpanningProof::verify(&Sim::on(&g), &labels, &outputs).unwrap();
         assert!(
             report.labels.max_bits <= 64 + 8,
             "max label {} bits",

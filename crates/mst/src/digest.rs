@@ -1,0 +1,55 @@
+//! Digest folds for MST output shapes.
+//!
+//! The scenario registry of `lma-bench` fingerprints whole runs into golden
+//! digests (see [`lma_sim::digest`]); several [`Workload`] implementations
+//! across the workspace — the no-advice baselines, the labeling crate's
+//! certified pipeline — fold the paper's *upward tree representation* into
+//! those digests.  The encoding lives here, next to [`UpwardOutput`], so
+//! every crate folds it identically: changing it re-keys every committed
+//! golden that contains per-node outputs.
+//!
+//! [`Workload`]: lma_sim::driver::Workload
+
+use crate::verify::UpwardOutput;
+use lma_sim::digest::DigestWriter;
+
+/// Folds a per-node output vector in the upward tree representation:
+/// an `"outputs"` tag, the length, then one record per node —
+/// `0` (no output), `1` (root), or `2` plus the parent port.
+pub fn fold_upward_outputs(w: &mut DigestWriter, outputs: &[Option<UpwardOutput>]) {
+    w.str("outputs");
+    w.usize(outputs.len());
+    for output in outputs {
+        match output {
+            None => w.u64(0),
+            Some(UpwardOutput::Root) => w.u64(1),
+            Some(UpwardOutput::Parent(port)) => {
+                w.u64(2);
+                w.usize(*port);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest_of(outputs: &[Option<UpwardOutput>]) -> lma_sim::Digest {
+        let mut w = DigestWriter::new();
+        fold_upward_outputs(&mut w, outputs);
+        w.finish()
+    }
+
+    #[test]
+    fn distinguishes_presence_shape_and_port() {
+        let root = digest_of(&[Some(UpwardOutput::Root)]);
+        assert_eq!(root, digest_of(&[Some(UpwardOutput::Root)]));
+        assert_ne!(root, digest_of(&[None]));
+        assert_ne!(root, digest_of(&[Some(UpwardOutput::Parent(0))]));
+        assert_ne!(
+            digest_of(&[Some(UpwardOutput::Parent(0))]),
+            digest_of(&[Some(UpwardOutput::Parent(1))])
+        );
+    }
+}

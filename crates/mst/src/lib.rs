@@ -29,6 +29,7 @@
 
 pub mod boruvka;
 pub mod decomposition;
+pub mod digest;
 pub mod kruskal;
 pub mod prim;
 pub mod render;

@@ -1,0 +1,730 @@
+//! The unified run pipeline: the [`Sim`] builder and the [`Workload`] trait.
+//!
+//! Historically every caller wired a run by hand: construct a [`RunConfig`]
+//! literal, pick [`Runtime::run`] or an explicit executor, remember which
+//! knob selects the plane backing, and fold the outputs into whatever shape
+//! the harness wanted.  This module replaces all of that with **one typed
+//! entry point**:
+//!
+//! * [`Sim`] — a zero-cost builder pinning a graph plus every run knob
+//!   (model, round limit, trace, thread count, plane backing, execution
+//!   engine).  It resolves to a [`RunConfig`] internally; `RunConfig`
+//!   literals and direct `Runtime`/executor calls are implementation
+//!   details of this crate.
+//!
+//!   ```
+//!   use lma_sim::{Backing, Model, Sim};
+//!   use lma_graph::generators::ring;
+//!   use lma_graph::weights::WeightStrategy;
+//!
+//!   let graph = ring(8, WeightStrategy::Unit);
+//!   let sim = Sim::on(&graph)
+//!       .model(Model::congest_for(8))
+//!       .backing(Backing::Arena)
+//!       .threads(2)
+//!       .round_limit(1_000);
+//!   # let _ = sim;
+//!   ```
+//!
+//! * [`Workload`] — a full experiment pipeline as a value: a centralized
+//!   [`prepare`](Workload::prepare) phase (the paper's *oracle*), a
+//!   distributed [`execute`](Workload::execute) phase run on a `Sim`, an
+//!   independent [`verify`](Workload::verify) check, and a
+//!   [`fold`](Workload::fold) of the typed outcome into a
+//!   [`DigestWriter`] for golden-digest regression guards.  The generic
+//!   driver [`run_workload`] chains the phases; [`DynWorkload`] is the
+//!   object-safe form registries store.
+//!
+//! * [`FleetWorkload`] — the common special case: one node program per
+//!   node, one simulator run, outputs collated into the typed outcome.  A
+//!   blanket impl turns any `FleetWorkload` into a [`Workload`], so simple
+//!   workloads only write a program factory and a
+//!   [`collate`](FleetWorkload::collate) step.
+//!
+//! The builder adds **zero per-run overhead**: `Sim` is a `Copy` value
+//! holding a graph reference and the resolved `RunConfig`, and
+//! [`Sim::run`] dispatches to exactly the same executor paths (and the same
+//! per-thread plane pool) a hand-built `Runtime` uses.  The `driver` group
+//! of `bench_substrate` pins this with a counting allocator.
+
+use crate::algorithm::NodeAlgorithm;
+use crate::digest::{fold_error, DigestWriter, RunSummary};
+use crate::executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
+use crate::model::Model;
+use crate::plane::Backing;
+use crate::runtime::{RunConfig, RunError, RunResult, Runtime};
+use lma_graph::WeightedGraph;
+use std::num::NonZeroUsize;
+
+/// The execution engine a [`Sim`] dispatches a run to.
+///
+/// All engines produce bit-identical outputs, stats, traces and errors for
+/// the same `(graph, config, programs)` — pinned by the
+/// `runtime_equivalence` suite — so the choice is purely about performance
+/// (and, for [`Engine::Reference`], differential testing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Dispatch on the configured thread count ([`Sim::threads`]): the
+    /// sequential plane executor by default, the sharded executor when two
+    /// or more threads are requested.  The right choice for all ordinary
+    /// callers.
+    Auto,
+    /// Always the sequential plane executor, ignoring the thread knob.
+    Sequential,
+    /// The deterministic sharded executor on the given worker count.
+    Sharded(NonZeroUsize),
+    /// The preserved push-based oracle (plane-free, allocating) — for
+    /// differential testing and benchmark baselines only.
+    Reference,
+}
+
+impl Engine {
+    /// Stable short label used in scenario cell ids and lock files
+    /// (`"auto"`, `"seq"`, `"sharded<t>"`, `"push"`).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            Engine::Auto => "auto".to_string(),
+            Engine::Sequential => "seq".to_string(),
+            Engine::Sharded(t) => format!("sharded{t}"),
+            Engine::Reference => "push".to_string(),
+        }
+    }
+}
+
+/// A configured simulation: one graph plus every run knob, ready to execute
+/// program fleets.  See the [module docs](self) for the builder idiom.
+///
+/// `Sim` is `Copy`: clone it freely to derive per-cell variants of a base
+/// configuration (`sim.backing(..)`, `sim.executor(..)` consume and return
+/// by value, so a shared `Sim` is never mutated in place).
+#[derive(Debug, Clone, Copy)]
+pub struct Sim<'g> {
+    graph: &'g WeightedGraph,
+    config: RunConfig,
+    engine: Engine,
+}
+
+impl<'g> Sim<'g> {
+    /// A simulation on `graph` with the default configuration: LOCAL model,
+    /// generous round limit, no trace, sequential auto-dispatch, inline
+    /// plane backing.
+    #[must_use]
+    pub fn on(graph: &'g WeightedGraph) -> Self {
+        Self {
+            graph,
+            config: RunConfig::default(),
+            engine: Engine::Auto,
+        }
+    }
+
+    /// Sets the communication model (LOCAL or CONGEST(B)).
+    #[must_use]
+    pub fn model(mut self, model: Model) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Sets the hard round limit; exceeding it fails the run with
+    /// [`RunError::RoundLimitExceeded`].
+    #[must_use]
+    pub fn round_limit(mut self, max_rounds: usize) -> Self {
+        self.config.max_rounds = max_rounds;
+        self
+    }
+
+    /// When `true`, the first message over the CONGEST budget aborts the run
+    /// (instead of only being counted in the stats).
+    #[must_use]
+    pub fn enforce_congest(mut self, enforce: bool) -> Self {
+        self.config.enforce_congest = enforce;
+        self
+    }
+
+    /// When `true`, every message delivery is recorded in the result's
+    /// trace.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Sets the worker-thread count for [`Engine::Auto`] dispatch: `0` and
+    /// `1` run the sequential executor, `t >= 2` the sharded executor on
+    /// `t` scoped threads.  Results are bit-identical either way.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = NonZeroUsize::new(threads).filter(|t| t.get() > 1);
+        self
+    }
+
+    /// Selects the plane's slot-storage backend (see [`Backing`]).
+    #[must_use]
+    pub fn backing(mut self, backing: Backing) -> Self {
+        self.config.backing = backing;
+        self
+    }
+
+    /// Pins an explicit execution engine.  The thread knob of the resolved
+    /// config is *derived* from the pinned engine at [`Sim::config`] time
+    /// (see there), so engine and config can never contradict each other,
+    /// in any builder-call order.
+    #[must_use]
+    pub fn executor(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The graph this simulation runs on.
+    #[must_use]
+    pub fn graph(&self) -> &'g WeightedGraph {
+        self.graph
+    }
+
+    /// The resolved low-level run configuration.  Exposed for code that
+    /// hands the simulator to a nested pipeline; everything else should
+    /// stay on the builder.
+    ///
+    /// The thread knob is resolved against the pinned [`Engine`] —
+    /// [`Engine::Sharded`] reports its worker count,
+    /// [`Engine::Sequential`] / [`Engine::Reference`] report none,
+    /// [`Engine::Auto`] reports whatever [`Sim::threads`] set — so
+    /// config-driven re-entry (e.g. a harness precomputing a sharded
+    /// executor from this value) always dispatches onto the same engine as
+    /// [`Sim::run`], regardless of builder-call order.
+    #[must_use]
+    pub fn config(&self) -> RunConfig {
+        let mut config = self.config;
+        config.threads = match self.engine {
+            Engine::Auto => config.threads,
+            Engine::Sharded(t) => Some(t),
+            Engine::Sequential | Engine::Reference => None,
+        };
+        config
+    }
+
+    /// The pinned execution engine.
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Runs one node program per node until every node is done, dispatching
+    /// on the pinned [`Engine`].
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Runtime::run`].
+    pub fn run<A: NodeAlgorithm>(
+        &self,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        let config = self.config();
+        match self.engine {
+            Engine::Auto => Runtime::with_config(self.graph, config).run(programs),
+            Engine::Sequential => SequentialExecutor.run(self.graph, config, programs),
+            Engine::Sharded(t) => ShardedExecutor::new(t).run(self.graph, config, programs),
+            Engine::Reference => ReferenceExecutor.run(self.graph, config, programs),
+        }
+    }
+
+    /// Runs on an explicit [`Executor`] value, bypassing the pinned engine —
+    /// the hook for harnesses that precompute per-graph executor state
+    /// (e.g. a partition-caching [`ShardedExecutor`]).
+    ///
+    /// # Errors
+    /// Exactly the error cases of [`Runtime::run`].
+    pub fn run_on<E: Executor, A: NodeAlgorithm>(
+        &self,
+        executor: &E,
+        programs: Vec<A>,
+    ) -> Result<RunResult<A::Output>, RunError> {
+        executor.run(self.graph, self.config(), programs)
+    }
+}
+
+/// Why a [`Workload`] pipeline failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The simulator rejected the distributed phase.  Kept structured
+    /// because *failing the same way* is part of a pinned scenario's
+    /// contract: the error payload folds into golden digests.
+    Run(RunError),
+    /// The centralized prepare/oracle phase failed (e.g. a disconnected
+    /// graph or an advice-packing overflow).
+    Prepare(String),
+    /// The outcome failed independent verification.
+    Invalid(String),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Run(e) => write!(f, "simulation failure: {e}"),
+            Self::Prepare(msg) => write!(f, "prepare failure: {msg}"),
+            Self::Invalid(msg) => write!(f, "verification failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<RunError> for WorkloadError {
+    fn from(e: RunError) -> Self {
+        Self::Run(e)
+    }
+}
+
+/// A full experiment pipeline as a value: oracle → distributed run →
+/// independent verification → digest fold.
+///
+/// Implementations live next to the thing they run — the baselines crate
+/// implements it for its MST baselines, the advice crate for advising
+/// schemes (the oracle phase is [`prepare`](Workload::prepare)), the
+/// labeling crate for the certified decode-plus-verify pipeline — and the
+/// scenario registry of `lma-bench` stores them as [`DynWorkload`] trait
+/// objects, deriving every golden digest from [`fold`](Workload::fold)
+/// instead of per-scenario glue.
+///
+/// For single-run workloads prefer implementing [`FleetWorkload`]; a
+/// blanket impl provides `Workload` on top.
+pub trait Workload: Send + Sync {
+    /// Product of the centralized prepare phase (advice strings, reference
+    /// trees, labels — whatever the distributed phase consumes).
+    type Prep: Send;
+    /// The typed outcome of the full pipeline.
+    type Outcome: Send;
+
+    /// A short, stable name (used by scenario ids and the `--workload`
+    /// filter of the `scenarios` binary).
+    fn name(&self) -> &'static str;
+
+    /// Tailors a base [`Sim`] to this workload's needs (model, trace, round
+    /// limit).  The caller still owns the engine/backing knobs.
+    #[must_use]
+    fn tune<'g>(&self, sim: Sim<'g>) -> Sim<'g> {
+        sim
+    }
+
+    /// Whether the workload can run on the push-based [`Engine::Reference`]
+    /// oracle.  Multi-stage pipelines that pre-date the unified driver were
+    /// pinned without reference cells; they keep answering `false` so the
+    /// committed scenario matrix stays stable.
+    fn supports_reference(&self) -> bool {
+        true
+    }
+
+    /// The centralized oracle/setup phase.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Prepare`] when the oracle cannot handle the graph.
+    fn prepare(&self, graph: &WeightedGraph) -> Result<Self::Prep, WorkloadError>;
+
+    /// The distributed phase: build per-node programs, run them on `sim`,
+    /// and collate the results into the typed outcome.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Run`] when the simulator rejects the run.
+    fn execute(&self, sim: &Sim<'_>, prep: Self::Prep) -> Result<Self::Outcome, WorkloadError>;
+
+    /// Independent (centralized) verification of the outcome.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] when the outcome fails the check.
+    fn verify(&self, graph: &WeightedGraph, outcome: &Self::Outcome) -> Result<(), WorkloadError> {
+        let _ = (graph, outcome);
+        Ok(())
+    }
+
+    /// Folds the outcome into a digest writer.  The encoding is a pinned
+    /// wire format: golden digests in `SCENARIOS.lock` depend on it.
+    fn fold(&self, w: &mut DigestWriter, outcome: &Self::Outcome);
+
+    /// The drift-localization summary of the outcome (see [`RunSummary`]).
+    fn summary(&self, outcome: &Self::Outcome) -> RunSummary;
+}
+
+/// Runs a [`Workload`] end to end on `sim`: prepare, execute, verify.
+///
+/// The caller is expected to have applied [`Workload::tune`] to the `Sim`
+/// (registries do this once per cell, after picking engine and backing).
+///
+/// # Errors
+/// The first failing phase's [`WorkloadError`].
+pub fn run_workload<W: Workload + ?Sized>(
+    workload: &W,
+    sim: &Sim<'_>,
+) -> Result<W::Outcome, WorkloadError> {
+    let prep = workload.prepare(sim.graph())?;
+    let outcome = workload.execute(sim, prep)?;
+    workload.verify(sim.graph(), &outcome)?;
+    Ok(outcome)
+}
+
+/// A [`Workload`] whose distributed phase is a single fleet run: one
+/// program per node, one [`Sim::run`], outputs collated into the typed
+/// outcome.  The blanket impl below lifts any `FleetWorkload` into a
+/// [`Workload`].
+pub trait FleetWorkload: Send + Sync {
+    /// Product of the centralized prepare phase.
+    type Prep: Send;
+    /// The per-node program type.
+    type Program: NodeAlgorithm;
+    /// The typed outcome of the pipeline.
+    type Outcome: Send;
+
+    /// See [`Workload::name`].
+    fn name(&self) -> &'static str;
+
+    /// See [`Workload::tune`].
+    #[must_use]
+    fn tune<'g>(&self, sim: Sim<'g>) -> Sim<'g> {
+        sim
+    }
+
+    /// See [`Workload::prepare`].
+    ///
+    /// # Errors
+    /// [`WorkloadError::Prepare`] when the oracle cannot handle the graph.
+    fn prepare(&self, graph: &WeightedGraph) -> Result<Self::Prep, WorkloadError>;
+
+    /// The per-node program factory: `programs(graph, prep)[u]` is the
+    /// program node `u` runs.
+    fn programs(&self, graph: &WeightedGraph, prep: &Self::Prep) -> Vec<Self::Program>;
+
+    /// Collates the raw run result into the typed outcome.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] when the outputs cannot be collated.
+    fn collate(
+        &self,
+        graph: &WeightedGraph,
+        prep: Self::Prep,
+        result: RunResult<<Self::Program as NodeAlgorithm>::Output>,
+    ) -> Result<Self::Outcome, WorkloadError>;
+
+    /// See [`Workload::verify`].
+    ///
+    /// # Errors
+    /// [`WorkloadError::Invalid`] when the outcome fails the check.
+    fn verify(&self, graph: &WeightedGraph, outcome: &Self::Outcome) -> Result<(), WorkloadError> {
+        let _ = (graph, outcome);
+        Ok(())
+    }
+
+    /// See [`Workload::fold`].
+    fn fold(&self, w: &mut DigestWriter, outcome: &Self::Outcome);
+
+    /// See [`Workload::summary`].
+    fn summary(&self, outcome: &Self::Outcome) -> RunSummary;
+}
+
+impl<F: FleetWorkload> Workload for F {
+    type Prep = F::Prep;
+    type Outcome = F::Outcome;
+
+    fn name(&self) -> &'static str {
+        FleetWorkload::name(self)
+    }
+
+    fn tune<'g>(&self, sim: Sim<'g>) -> Sim<'g> {
+        FleetWorkload::tune(self, sim)
+    }
+
+    fn prepare(&self, graph: &WeightedGraph) -> Result<Self::Prep, WorkloadError> {
+        FleetWorkload::prepare(self, graph)
+    }
+
+    fn execute(&self, sim: &Sim<'_>, prep: Self::Prep) -> Result<Self::Outcome, WorkloadError> {
+        let programs = self.programs(sim.graph(), &prep);
+        let result = sim.run(programs)?;
+        self.collate(sim.graph(), prep, result)
+    }
+
+    fn verify(&self, graph: &WeightedGraph, outcome: &Self::Outcome) -> Result<(), WorkloadError> {
+        FleetWorkload::verify(self, graph, outcome)
+    }
+
+    fn fold(&self, w: &mut DigestWriter, outcome: &Self::Outcome) {
+        FleetWorkload::fold(self, w, outcome)
+    }
+
+    fn summary(&self, outcome: &Self::Outcome) -> RunSummary {
+        FleetWorkload::summary(self, outcome)
+    }
+}
+
+/// The object-safe form of [`Workload`] that heterogeneous registries
+/// store: run the full pipeline and fold the outcome — or, when the
+/// simulator rejects the run, the error payload — into a digest writer.
+pub trait DynWorkload: Send + Sync {
+    /// See [`Workload::name`].
+    fn name(&self) -> &'static str;
+
+    /// See [`Workload::tune`].
+    #[must_use]
+    fn tune<'g>(&self, sim: Sim<'g>) -> Sim<'g>;
+
+    /// See [`Workload::supports_reference`].
+    fn supports_reference(&self) -> bool;
+
+    /// Runs [`run_workload`] and folds the outcome into `w`.  A
+    /// [`WorkloadError::Run`] is folded as the error payload (expected for
+    /// error-path scenarios) and reported as an error-shaped summary; other
+    /// errors propagate.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Prepare`] / [`WorkloadError::Invalid`] from the
+    /// centralized phases.
+    fn run_fold(&self, sim: &Sim<'_>, w: &mut DigestWriter) -> Result<RunSummary, WorkloadError>;
+}
+
+impl<W: Workload> DynWorkload for W {
+    fn name(&self) -> &'static str {
+        Workload::name(self)
+    }
+
+    fn tune<'g>(&self, sim: Sim<'g>) -> Sim<'g> {
+        Workload::tune(self, sim)
+    }
+
+    fn supports_reference(&self) -> bool {
+        Workload::supports_reference(self)
+    }
+
+    fn run_fold(&self, sim: &Sim<'_>, w: &mut DigestWriter) -> Result<RunSummary, WorkloadError> {
+        match run_workload(self, sim) {
+            Ok(outcome) => {
+                self.fold(w, &outcome);
+                Ok(self.summary(&outcome))
+            }
+            Err(WorkloadError::Run(error)) => {
+                fold_error(w, &error);
+                Ok(RunSummary::of_error())
+            }
+            Err(other) => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{LocalView, Outbox};
+    use crate::digest::fold_result;
+    use lma_graph::generators::ring;
+    use lma_graph::weights::WeightStrategy;
+    use lma_graph::Port;
+
+    struct Echo {
+        rounds_left: usize,
+    }
+
+    impl NodeAlgorithm for Echo {
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+            (0..view.degree()).map(|p| (p, view.id)).collect()
+        }
+
+        fn round(&mut self, _: &LocalView, _: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+            self.rounds_left = self.rounds_left.saturating_sub(1);
+            if self.rounds_left == 0 {
+                return Vec::new();
+            }
+            inbox.iter().map(|&(p, m)| (p, m)).collect()
+        }
+
+        fn is_done(&self) -> bool {
+            self.rounds_left == 0
+        }
+
+        fn output(&self) -> Option<u64> {
+            (self.rounds_left == 0).then_some(7)
+        }
+    }
+
+    fn fleet(n: usize) -> Vec<Echo> {
+        (0..n).map(|_| Echo { rounds_left: 4 }).collect()
+    }
+
+    #[test]
+    fn builder_resolves_to_the_expected_config() {
+        let g = ring(6, WeightStrategy::Unit);
+        let sim = Sim::on(&g)
+            .model(Model::Congest { bits: 16 })
+            .round_limit(99)
+            .enforce_congest(true)
+            .trace(true)
+            .threads(3)
+            .backing(Backing::Arena);
+        let config = sim.config();
+        assert_eq!(config.model, Model::Congest { bits: 16 });
+        assert_eq!(config.max_rounds, 99);
+        assert!(config.enforce_congest);
+        assert!(config.trace);
+        assert_eq!(config.threads, NonZeroUsize::new(3));
+        assert_eq!(config.backing, Backing::Arena);
+        assert_eq!(sim.engine(), Engine::Auto);
+    }
+
+    #[test]
+    fn one_thread_resolves_to_sequential_dispatch() {
+        let g = ring(6, WeightStrategy::Unit);
+        assert_eq!(Sim::on(&g).threads(1).config().threads, None);
+        assert_eq!(Sim::on(&g).threads(0).config().threads, None);
+    }
+
+    #[test]
+    fn resolved_config_threads_always_match_the_pinned_engine() {
+        let g = ring(6, WeightStrategy::Unit);
+        let sim = Sim::on(&g).executor(Engine::Sharded(NonZeroUsize::new(4).unwrap()));
+        assert_eq!(sim.config().threads, NonZeroUsize::new(4));
+        // A non-sharded engine overrides the thread knob in the resolved
+        // view — in either builder-call order — so config-driven re-entry
+        // cannot contradict the pinned engine.
+        for engine in [Engine::Sequential, Engine::Reference] {
+            let before = Sim::on(&g).threads(4).executor(engine);
+            let after = Sim::on(&g).executor(engine).threads(4);
+            assert_eq!(before.config().threads, None, "{engine:?}");
+            assert_eq!(after.config().threads, None, "{engine:?}");
+        }
+        // Auto keeps whatever the threads knob said.
+        let sim = Sim::on(&g).threads(4).executor(Engine::Auto);
+        assert_eq!(sim.config().threads, NonZeroUsize::new(4));
+    }
+
+    #[test]
+    fn every_engine_produces_identical_results() {
+        let g = ring(12, WeightStrategy::DistinctRandom { seed: 3 });
+        let base = Sim::on(&g).trace(true);
+        let auto = base.run(fleet(12)).unwrap();
+        for engine in [
+            Engine::Sequential,
+            Engine::Sharded(NonZeroUsize::new(3).unwrap()),
+            Engine::Reference,
+        ] {
+            let got = base.executor(engine).run(fleet(12)).unwrap();
+            assert_eq!(auto.outputs, got.outputs, "{engine:?}");
+            assert_eq!(auto.stats, got.stats, "{engine:?}");
+            assert_eq!(auto.trace, got.trace, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn engine_labels_are_stable() {
+        assert_eq!(Engine::Auto.label(), "auto");
+        assert_eq!(Engine::Sequential.label(), "seq");
+        assert_eq!(
+            Engine::Sharded(NonZeroUsize::new(2).unwrap()).label(),
+            "sharded2"
+        );
+        assert_eq!(Engine::Reference.label(), "push");
+    }
+
+    /// A minimal fleet workload covering the blanket impl and the erased
+    /// error path.
+    struct EchoWorkload {
+        round_limit: Option<usize>,
+    }
+
+    impl FleetWorkload for EchoWorkload {
+        type Prep = ();
+        type Program = Echo;
+        type Outcome = RunResult<u64>;
+
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+
+        fn tune<'g>(&self, sim: Sim<'g>) -> Sim<'g> {
+            match self.round_limit {
+                Some(limit) => sim.round_limit(limit),
+                None => sim,
+            }
+        }
+
+        fn prepare(&self, _graph: &WeightedGraph) -> Result<(), WorkloadError> {
+            Ok(())
+        }
+
+        fn programs(&self, graph: &WeightedGraph, (): &()) -> Vec<Echo> {
+            fleet(graph.node_count())
+        }
+
+        fn collate(
+            &self,
+            _graph: &WeightedGraph,
+            (): (),
+            result: RunResult<u64>,
+        ) -> Result<RunResult<u64>, WorkloadError> {
+            Ok(result)
+        }
+
+        fn verify(
+            &self,
+            _graph: &WeightedGraph,
+            outcome: &RunResult<u64>,
+        ) -> Result<(), WorkloadError> {
+            if outcome.outputs.iter().all(|o| *o == Some(7)) {
+                Ok(())
+            } else {
+                Err(WorkloadError::Invalid("wrong echo output".to_string()))
+            }
+        }
+
+        fn fold(&self, w: &mut DigestWriter, outcome: &RunResult<u64>) {
+            fold_result(w, outcome, |w, o| w.u64(*o));
+        }
+
+        fn summary(&self, outcome: &RunResult<u64>) -> RunSummary {
+            RunSummary::of_stats(&outcome.stats)
+        }
+    }
+
+    #[test]
+    fn run_workload_chains_prepare_execute_verify() {
+        let g = ring(9, WeightStrategy::Unit);
+        let workload = EchoWorkload { round_limit: None };
+        let sim = Workload::tune(&workload, Sim::on(&g));
+        let outcome = run_workload(&workload, &sim).unwrap();
+        assert_eq!(outcome.stats.rounds, 4);
+    }
+
+    #[test]
+    fn erased_workload_folds_outcomes_and_run_errors() {
+        let g = ring(9, WeightStrategy::Unit);
+        let ok: &dyn DynWorkload = &EchoWorkload { round_limit: None };
+        let failing: &dyn DynWorkload = &EchoWorkload {
+            round_limit: Some(1),
+        };
+
+        let mut w = DigestWriter::new();
+        let summary = ok.run_fold(&ok.tune(Sim::on(&g)), &mut w).unwrap();
+        assert_eq!(summary.rounds, 4);
+        let ok_digest = w.finish();
+
+        let mut w = DigestWriter::new();
+        let summary = failing
+            .run_fold(&failing.tune(Sim::on(&g)), &mut w)
+            .unwrap();
+        assert_eq!(summary, RunSummary::of_error());
+        assert_ne!(
+            w.finish(),
+            ok_digest,
+            "error payloads must re-key the digest"
+        );
+    }
+
+    #[test]
+    fn workload_error_display_is_informative() {
+        let e = WorkloadError::from(RunError::RoundLimitExceeded { limit: 3 });
+        assert!(e.to_string().contains("3 rounds"));
+        assert!(WorkloadError::Prepare("oops".into())
+            .to_string()
+            .contains("oops"));
+        assert!(WorkloadError::Invalid("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+}

@@ -55,8 +55,16 @@
 //! shard's gather → step → scatter on its own scoped thread with one barrier
 //! per round (cross-shard traffic moves through backend-specific exchange
 //! buffers: owned values inline, copied byte spans on the arena).  All
-//! engines produce bit-identical results; select one via
-//! [`RunConfig::threads`] or an explicit executor value.
+//! engines produce bit-identical results.
+//!
+//! Every run is wired through the [`driver`] module: the zero-cost
+//! [`Sim`] builder (graph + model + round limit + trace +
+//! threads + backing + engine, resolved to a [`RunConfig`] internally) is
+//! the single run entry point of the workspace, and the
+//! [`Workload`] trait packages whole experiment
+//! pipelines — oracle `prepare`, distributed `execute`, independent
+//! `verify`, digest `fold` — as values the scenario registry of
+//! `lma-bench` stores and fingerprints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,6 +72,7 @@
 pub mod algorithm;
 pub mod bitset;
 pub mod digest;
+pub mod driver;
 pub mod executor;
 pub mod message;
 pub mod model;
@@ -79,6 +88,7 @@ pub mod wire;
 pub use algorithm::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox};
 pub use bitset::FixedBitSet;
 pub use digest::{Digest, DigestWriter, RunSummary};
+pub use driver::{run_workload, DynWorkload, Engine, FleetWorkload, Sim, Workload, WorkloadError};
 pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
 pub use message::BitSized;
 pub use model::Model;

@@ -10,7 +10,7 @@ use lma_advice::{
 };
 use lma_graph::generators::Family;
 use lma_graph::weights::WeightStrategy;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 fn main() {
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
@@ -41,7 +41,7 @@ fn main() {
             };
             let g = family.instantiate(n, WeightStrategy::DistinctRandom { seed: 9 }, 9);
             for scheme in &schemes {
-                let eval = evaluate_scheme(scheme.as_ref(), &g, &RunConfig::default())
+                let eval = evaluate_scheme(scheme.as_ref(), &Sim::on(&g))
                     .expect("every scheme must solve every instance");
                 println!(
                     "{:<42} {:>14} {:>6} {:>10} {:>10.2} {:>8}",

@@ -11,7 +11,7 @@ use lma_advice::{AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme
 use lma_graph::generators::connected_random;
 use lma_graph::weights::WeightStrategy;
 use lma_mst::verify::verify_upward_outputs;
-use lma_sim::{Model, RunConfig};
+use lma_sim::{Model, Sim};
 
 fn main() {
     let n = 300;
@@ -23,10 +23,7 @@ fn main() {
     );
     let model = Model::congest_for(n);
     let budget = model.budget().unwrap();
-    let config = RunConfig {
-        model,
-        ..RunConfig::default()
-    };
+    let sim = Sim::on(&g).model(model);
 
     let schemes: Vec<Box<dyn AdvisingScheme>> = vec![
         Box::new(TrivialScheme::default()),
@@ -45,9 +42,7 @@ fn main() {
     );
     for scheme in &schemes {
         let advice = scheme.advise(&g).expect("oracle succeeds");
-        let outcome = scheme
-            .decode(&g, &advice, &config)
-            .expect("decode succeeds");
+        let outcome = scheme.decode(&sim, &advice).expect("decode succeeds");
         verify_upward_outputs(&g, &outcome.outputs).expect("verified MST");
         println!(
             "{:<42} {:>8} {:>14} {:>14.1} {:>12}",

@@ -10,7 +10,7 @@ use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme};
 use lma_graph::generators::connected_random;
 use lma_graph::weights::WeightStrategy;
 use lma_mst::verify::UpwardOutput;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 fn main() {
     // 1. A connected random graph with 200 nodes, ~600 edges and pairwise
@@ -29,8 +29,8 @@ fn main() {
 
     // 3. Oracle + distributed decoding + independent MST verification, in one
     //    call.  The returned evaluation carries the measured (m, t).
-    let eval = evaluate_scheme(&scheme, &graph, &RunConfig::default())
-        .expect("the scheme must produce a verified MST");
+    let eval =
+        evaluate_scheme(&scheme, &Sim::on(&graph)).expect("the scheme must produce a verified MST");
 
     println!("scheme            : {}", scheme.name());
     println!(

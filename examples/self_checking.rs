@@ -12,17 +12,17 @@ use lma_graph::weights::WeightStrategy;
 use lma_labeling::faults::flip_advice_bits;
 use lma_labeling::{certified_run, self_check::certified_run_with_advice};
 use lma_mst::boruvka::BoruvkaConfig;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 fn main() {
     let n = 150;
     let g = connected_random(n, 3 * n, 7, WeightStrategy::DistinctRandom { seed: 7 });
     let scheme = ConstantScheme::default();
     let reference = BoruvkaConfig::default();
-    let config = RunConfig::default();
+    let sim = Sim::on(&g);
 
     // 1. Honest run: decode, then verify distributively — every node accepts.
-    let honest = certified_run(&scheme, &g, &reference, &config).expect("honest run succeeds");
+    let honest = certified_run(&scheme, &sim, &reference).expect("honest run succeeds");
     println!("honest run ({}):", scheme.name());
     println!("  max advice        : {} bits", honest.advice.max_bits);
     println!("  decode rounds     : {}", honest.decode.rounds);
@@ -45,7 +45,7 @@ fn main() {
         let mut advice = scheme.advise(&g).expect("oracle succeeds");
         flip_advice_bits(&mut advice, 3, seed);
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            certified_run_with_advice(&scheme, &g, &advice, &reference, &config)
+            certified_run_with_advice(&scheme, &sim, &advice, &reference)
         }));
         match attempt {
             Err(_) | Ok(Err(_)) => outcomes[0] += 1,

@@ -12,7 +12,7 @@ use lma_advice::tradeoff::frontier;
 use lma_advice::{AdvisingScheme, TradeoffScheme};
 use lma_graph::generators::connected_random;
 use lma_graph::weights::WeightStrategy;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 fn main() {
     for n in [256usize, 1024, 4096] {
@@ -33,7 +33,7 @@ fn main() {
             "{:>8} {:>16} {:>16} {:>8} {:>16}",
             "cutoff", "max advice [b]", "avg advice [b]", "rounds", "advice × rounds"
         );
-        let points = frontier(&g, &RunConfig::default()).expect("frontier evaluation");
+        let points = frontier(&Sim::on(&g)).expect("frontier evaluation");
         for p in &points {
             println!(
                 "{:>8} {:>16} {:>16.2} {:>8} {:>16}",

@@ -25,7 +25,7 @@
 use lma_baselines::flood_collect::FixedGossip;
 use lma_graph::generators::ring;
 use lma_graph::weights::WeightStrategy;
-use lma_sim::{Backing, RunConfig, Runtime};
+use lma_sim::{Backing, Runtime, Sim};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -62,18 +62,22 @@ const ROUNDS_SHORT: usize = 40;
 const ROUNDS_LONG: usize = 64;
 
 fn gossip_allocations(g: &lma_graph::WeightedGraph, backing: Backing, rounds: usize) -> u64 {
-    let config = RunConfig {
-        backing,
-        ..RunConfig::default()
-    };
+    let sim = Sim::on(g).backing(backing);
     let programs: Vec<FixedGossip> = g
         .nodes()
         .map(|u| FixedGossip::new(u as u64, FACTS, rounds))
         .collect();
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let result = Runtime::with_config(g, config).run(programs).unwrap();
+    let result = sim.run(programs).unwrap();
     assert_eq!(result.stats.rounds, rounds);
     assert!(result.outputs.iter().all(Option::is_some));
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// Allocation count of one `f()` call.
+fn allocations_of(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
@@ -104,5 +108,28 @@ fn arena_gossip_steady_state_allocates_nothing_per_round() {
         inline_long > inline_short,
         "inline-backed gossip was expected to allocate per round \
          (got {inline_short} vs {inline_long}) — is the control broken?"
+    );
+
+    // Driver-overhead oracle (same binary so the global counter stays
+    // single-threaded): a `Sim`-built run must perform exactly as many
+    // allocations as a direct `Runtime::run` with a pre-built `RunConfig` —
+    // the builder is zero-cost.
+    let mk = || -> Vec<FixedGossip> {
+        g.nodes()
+            .map(|u| FixedGossip::new(u as u64, FACTS, ROUNDS_SHORT))
+            .collect()
+    };
+    let config = Sim::on(&g).backing(Backing::Arena).config();
+    Runtime::with_config(&g, config).run(mk()).unwrap();
+    let direct = allocations_of(|| {
+        Runtime::with_config(&g, config).run(mk()).unwrap();
+    });
+    let built = allocations_of(|| {
+        Sim::on(&g).backing(Backing::Arena).run(mk()).unwrap();
+    });
+    assert_eq!(
+        built, direct,
+        "the Sim builder must add zero per-run allocations over a direct \
+         Runtime::run (builder: {built}, direct: {direct})"
     );
 }

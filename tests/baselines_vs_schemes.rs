@@ -7,21 +7,21 @@ use lma_graph::generators::{connected_random, lollipop, Family};
 use lma_graph::weights::WeightStrategy;
 use lma_mst::kruskal::mst_weight;
 use lma_mst::verify::verify_upward_outputs;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 #[test]
 fn all_algorithms_agree_on_the_mst_weight() {
     let g = connected_random(40, 110, 4, WeightStrategy::DistinctRandom { seed: 4 });
     let optimal = mst_weight(&g).unwrap();
 
-    let eval = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+    let eval = evaluate_scheme(&ConstantScheme::default(), &Sim::on(&g)).unwrap();
     assert_eq!(g.weight_of(&eval.tree.edges), optimal);
 
     for baseline in [
         Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
         Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
     ] {
-        let (outputs, _) = baseline.run(&g, &RunConfig::default()).unwrap();
+        let (outputs, _) = baseline.run(&Sim::on(&g)).unwrap();
         let tree = verify_upward_outputs(&g, &outputs).unwrap();
         assert_eq!(g.weight_of(&tree.edges), optimal, "{}", baseline.name());
     }
@@ -33,11 +33,11 @@ fn constant_advice_scheme_is_much_faster_than_the_no_advice_baseline() {
     // O(log n) rounds with advice vs Θ(n log n) rounds without.
     for n in [48usize, 96, 192] {
         let g = connected_random(n, 3 * n, 6, WeightStrategy::DistinctRandom { seed: 6 });
-        let with_advice = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default())
+        let with_advice = evaluate_scheme(&ConstantScheme::default(), &Sim::on(&g))
             .unwrap()
             .run
             .rounds;
-        let (outputs, stats) = SyncBoruvkaMst.run(&g, &RunConfig::default()).unwrap();
+        let (outputs, stats) = SyncBoruvkaMst.run(&Sim::on(&g)).unwrap();
         verify_upward_outputs(&g, &outputs).unwrap();
         assert!(
             stats.rounds > 4 * with_advice,
@@ -52,11 +52,11 @@ fn constant_advice_scheme_is_much_faster_than_the_no_advice_baseline() {
 fn the_gap_grows_with_n() {
     let ratio = |n: usize| {
         let g = connected_random(n, 3 * n, 8, WeightStrategy::DistinctRandom { seed: 8 });
-        let with_advice = evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default())
+        let with_advice = evaluate_scheme(&ConstantScheme::default(), &Sim::on(&g))
             .unwrap()
             .run
             .rounds as f64;
-        let (_, stats) = SyncBoruvkaMst.run(&g, &RunConfig::default()).unwrap();
+        let (_, stats) = SyncBoruvkaMst.run(&Sim::on(&g)).unwrap();
         stats.rounds as f64 / with_advice
     };
     let small = ratio(32);
@@ -73,10 +73,9 @@ fn flood_collect_wins_on_rounds_but_loses_on_message_size() {
     // messages carry the whole topology; the constant-advice scheme stays
     // polylogarithmic on both axes.
     let g = Family::DenseRandom.instantiate(96, WeightStrategy::DistinctRandom { seed: 10 }, 10);
-    let (outputs, flood_stats) = FloodCollectMst.run(&g, &RunConfig::default()).unwrap();
+    let (outputs, flood_stats) = FloodCollectMst.run(&Sim::on(&g)).unwrap();
     verify_upward_outputs(&g, &outputs).unwrap();
-    let scheme_eval =
-        evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+    let scheme_eval = evaluate_scheme(&ConstantScheme::default(), &Sim::on(&g)).unwrap();
 
     assert!(flood_stats.rounds <= scheme_eval.run.rounds);
     assert!(
@@ -94,7 +93,7 @@ fn baselines_handle_high_diameter_families() {
         Box::new(SyncBoruvkaMst) as Box<dyn NoAdviceMst>,
         Box::new(FloodCollectMst) as Box<dyn NoAdviceMst>,
     ] {
-        let (outputs, stats) = baseline.run(&g, &RunConfig::default()).unwrap();
+        let (outputs, stats) = baseline.run(&Sim::on(&g)).unwrap();
         verify_upward_outputs(&g, &outputs).unwrap();
         assert!(stats.rounds >= g.diameter(), "{}", baseline.name());
     }

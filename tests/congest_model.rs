@@ -6,7 +6,7 @@ use lma_baselines::{FloodCollectMst, NoAdviceMst};
 use lma_graph::generators::connected_random;
 use lma_graph::weights::WeightStrategy;
 use lma_mst::verify::verify_upward_outputs;
-use lma_sim::{Model, RunConfig};
+use lma_sim::{Model, Sim};
 
 fn graph(n: usize) -> lma_graph::WeightedGraph {
     connected_random(
@@ -22,7 +22,7 @@ fn trivial_scheme_sends_nothing() {
     let g = graph(64);
     let scheme = TrivialScheme::default();
     let advice = scheme.advise(&g).unwrap();
-    let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+    let outcome = scheme.decode(&Sim::on(&g), &advice).unwrap();
     assert_eq!(outcome.stats.total_messages, 0);
     assert_eq!(outcome.stats.total_bits, 0);
     assert_eq!(outcome.stats.max_message_bits, 0);
@@ -32,13 +32,11 @@ fn trivial_scheme_sends_nothing() {
 fn one_round_scheme_sends_single_bit_messages_under_enforced_congest() {
     let g = graph(128);
     let scheme = OneRoundScheme::default();
-    let config = RunConfig {
-        model: Model::congest_for(128),
-        enforce_congest: true,
-        ..RunConfig::default()
-    };
+    let sim = Sim::on(&g)
+        .model(Model::congest_for(128))
+        .enforce_congest(true);
     let advice = scheme.advise(&g).unwrap();
-    let outcome = scheme.decode(&g, &advice, &config).unwrap();
+    let outcome = scheme.decode(&sim, &advice).unwrap();
     verify_upward_outputs(&g, &outcome.outputs).unwrap();
     assert!(outcome.stats.max_message_bits <= 1);
     assert_eq!(outcome.stats.congest_violations, 0);
@@ -53,7 +51,7 @@ fn constant_scheme_messages_are_polylogarithmic() {
         let g = graph(n);
         let scheme = ConstantScheme::default();
         let advice = scheme.advise(&g).unwrap();
-        let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+        let outcome = scheme.decode(&Sim::on(&g), &advice).unwrap();
         verify_upward_outputs(&g, &outcome.outputs).unwrap();
         let logn = lma_graph::graph::ceil_log2(n) as usize;
         assert!(
@@ -71,7 +69,7 @@ fn per_round_maxima_are_recorded_for_every_round() {
     let g = graph(96);
     let scheme = ConstantScheme::default();
     let advice = scheme.advise(&g).unwrap();
-    let outcome = scheme.decode(&g, &advice, &RunConfig::default()).unwrap();
+    let outcome = scheme.decode(&Sim::on(&g), &advice).unwrap();
     assert_eq!(outcome.stats.per_round_max_bits.len(), outcome.stats.rounds);
     assert_eq!(
         outcome.stats.max_message_bits,
@@ -88,11 +86,8 @@ fn per_round_maxima_are_recorded_for_every_round() {
 #[test]
 fn flooding_baseline_violates_congest_as_expected() {
     let g = graph(96);
-    let config = RunConfig {
-        model: Model::congest_for(96),
-        ..RunConfig::default()
-    };
-    let (outputs, stats) = FloodCollectMst.run(&g, &config).unwrap();
+    let sim = Sim::on(&g).model(Model::congest_for(96));
+    let (outputs, stats) = FloodCollectMst.run(&sim).unwrap();
     verify_upward_outputs(&g, &outputs).unwrap();
     assert!(stats.congest_violations > 0);
     assert!(stats.max_message_bits > Model::congest_for(96).budget().unwrap());
@@ -101,10 +96,8 @@ fn flooding_baseline_violates_congest_as_expected() {
 #[test]
 fn congest_enforcement_aborts_the_flooding_baseline() {
     let g = graph(64);
-    let config = RunConfig {
-        model: Model::congest_for(64),
-        enforce_congest: true,
-        ..RunConfig::default()
-    };
-    assert!(FloodCollectMst.run(&g, &config).is_err());
+    let sim = Sim::on(&g)
+        .model(Model::congest_for(64))
+        .enforce_congest(true);
+    assert!(FloodCollectMst.run(&sim).is_err());
 }

@@ -7,7 +7,7 @@ use lma_advice::{
 use lma_graph::generators::Family;
 use lma_graph::weights::WeightStrategy;
 use lma_mst::kruskal::mst_weight;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 fn all_schemes() -> Vec<Box<dyn AdvisingScheme>> {
     vec![
@@ -28,10 +28,9 @@ fn every_scheme_solves_every_family() {
             let g = family.instantiate(n, WeightStrategy::DistinctRandom { seed: 1 }, 1);
             let optimal = mst_weight(&g).unwrap();
             for scheme in all_schemes() {
-                let eval = evaluate_scheme(scheme.as_ref(), &g, &RunConfig::default())
-                    .unwrap_or_else(|e| {
-                        panic!("{} failed on {} (n={n}): {e}", scheme.name(), family.name())
-                    });
+                let eval = evaluate_scheme(scheme.as_ref(), &Sim::on(&g)).unwrap_or_else(|e| {
+                    panic!("{} failed on {} (n={n}): {e}", scheme.name(), family.name())
+                });
                 assert_eq!(
                     g.weight_of(&eval.tree.edges),
                     optimal,
@@ -63,7 +62,7 @@ fn schemes_agree_on_the_same_rooted_tree_when_rooted_identically() {
     ];
     let mut trees = Vec::new();
     for scheme in &schemes {
-        let eval = evaluate_scheme(scheme.as_ref(), &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(scheme.as_ref(), &Sim::on(&g)).unwrap();
         assert_eq!(eval.tree.root, root);
         let mut edges = eval.tree.edges.clone();
         edges.sort_unstable();
@@ -77,8 +76,8 @@ fn schemes_agree_on_the_same_rooted_tree_when_rooted_identically() {
 fn all_results_are_deterministic_across_repeated_runs() {
     let g = Family::Grid.instantiate(49, WeightStrategy::DistinctRandom { seed: 3 }, 3);
     let scheme = ConstantScheme::default();
-    let a = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
-    let b = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+    let a = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
+    let b = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
     assert_eq!(a.advice.max_bits, b.advice.max_bits);
     assert_eq!(a.advice.total_bits, b.advice.total_bits);
     assert_eq!(a.run.rounds, b.run.rounds);
@@ -94,10 +93,8 @@ fn advice_size_ordering_matches_the_paper() {
     let mut constant_max = Vec::new();
     for n in [48usize, 192] {
         let g = Family::DenseRandom.instantiate(n, WeightStrategy::DistinctRandom { seed: 8 }, 8);
-        let trivial =
-            evaluate_scheme(&TrivialScheme::default(), &g, &RunConfig::default()).unwrap();
-        let constant =
-            evaluate_scheme(&ConstantScheme::default(), &g, &RunConfig::default()).unwrap();
+        let trivial = evaluate_scheme(&TrivialScheme::default(), &Sim::on(&g)).unwrap();
+        let constant = evaluate_scheme(&ConstantScheme::default(), &Sim::on(&g)).unwrap();
         assert_eq!(trivial.run.rounds, 0);
         assert!(constant.run.rounds > 1);
         trivial_max.push(trivial.advice.max_bits);

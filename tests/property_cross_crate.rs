@@ -10,7 +10,7 @@ use lma_mst::boruvka::{run_boruvka, BoruvkaConfig, TieBreak};
 use lma_mst::kruskal::{kruskal_mst, mst_weight};
 use lma_mst::prim_mst;
 use lma_mst::verify::verify_mst_edges;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 use proptest::prelude::*;
 
 proptest! {
@@ -42,7 +42,7 @@ proptest! {
             Box::new(ConstantScheme::default()),
         ];
         for scheme in &schemes {
-            let eval = evaluate_scheme(scheme.as_ref(), &g, &RunConfig::default()).unwrap();
+            let eval = evaluate_scheme(scheme.as_ref(), &Sim::on(&g)).unwrap();
             prop_assert_eq!(g.weight_of(&eval.tree.edges), optimal);
             prop_assert!(eval.within_claims(scheme.as_ref(), g.node_count()));
         }
@@ -77,7 +77,7 @@ proptest! {
     #[test]
     fn one_round_average_bound(n in 8usize..200, seed in 0u64..300) {
         let g = connected_random(n, 3 * n, seed, WeightStrategy::DistinctRandom { seed });
-        let eval = evaluate_scheme(&OneRoundScheme::default(), &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&OneRoundScheme::default(), &Sim::on(&g)).unwrap();
         prop_assert!(eval.advice.avg_bits <= OneRoundScheme::ANALYTIC_AVERAGE_BOUND);
         prop_assert_eq!(eval.run.rounds, 1);
     }
@@ -88,7 +88,7 @@ proptest! {
     fn constant_scheme_cap(n in 4usize..150, seed in 0u64..300) {
         let g = connected_random(n, 2 * n, seed, WeightStrategy::DistinctRandom { seed });
         let scheme = ConstantScheme::default();
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         prop_assert!(eval.advice.max_bits <= scheme.claimed_max_bits(n).unwrap());
     }
 }

@@ -11,7 +11,7 @@ use lma_labeling::{CentroidDecomposition, MstCertificate, SpanningProof};
 use lma_mst::kruskal_mst;
 use lma_mst::verify::verify_upward_outputs;
 use lma_mst::RootedTree;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 use proptest::prelude::*;
 
 fn mst_tree(g: &WeightedGraph, root: usize) -> RootedTree {
@@ -49,7 +49,7 @@ proptest! {
         let g = connected_random(n, n - 1 + extra, seed, WeightStrategy::DistinctRandom { seed });
         for cutoff in 0..=log_log_n(n) {
             let scheme = TradeoffScheme::with_cutoff(cutoff);
-            let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+            let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
             prop_assert!(eval.within_claims(&scheme, n), "cutoff {} broke its claims", cutoff);
             prop_assert_eq!(eval.tree.edges.len(), n - 1);
         }
@@ -60,10 +60,10 @@ proptest! {
     #[test]
     fn tradeoff_endpoints(n in 8usize..120, seed in 0u64..300) {
         let g = connected_random(n, 3 * n, seed, WeightStrategy::DistinctRandom { seed });
-        let zero = evaluate_scheme(&TradeoffScheme::with_cutoff(0), &g, &RunConfig::default()).unwrap();
+        let zero = evaluate_scheme(&TradeoffScheme::with_cutoff(0), &Sim::on(&g)).unwrap();
         prop_assert_eq!(zero.run.rounds, 0);
         prop_assert_eq!(zero.advice.max_bits, log_n(n));
-        let full = evaluate_scheme(&TradeoffScheme::default(), &g, &RunConfig::default()).unwrap();
+        let full = evaluate_scheme(&TradeoffScheme::default(), &Sim::on(&g)).unwrap();
         prop_assert!(full.advice.max_bits <= 14);
     }
 
@@ -94,9 +94,9 @@ proptest! {
         let tree = mst_tree(&g, root);
         let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
         let spanning = SpanningProof::assign(&g, &tree);
-        let r1 = SpanningProof::verify(&g, &spanning, &outputs, &RunConfig::default()).unwrap();
+        let r1 = SpanningProof::verify(&Sim::on(&g), &spanning, &outputs).unwrap();
         prop_assert!(r1.accepted, "{:?}", r1.violations);
-        let r2 = MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default()).unwrap();
+        let r2 = MstCertificate::certify_and_verify(&Sim::on(&g), &tree, &outputs).unwrap();
         prop_assert!(r2.accepted, "{:?}", r2.violations);
         prop_assert_eq!(r1.run.rounds, 1);
         prop_assert_eq!(r2.run.rounds, 1);
@@ -114,7 +114,7 @@ proptest! {
         let labels = MstCertificate::certify(&g, &tree);
         let plan = FaultPlan::random(&g, &tree, faults, seed ^ 0x5EED);
         let bad = plan.apply(&outputs);
-        let report = MstCertificate::verify(&g, &labels, &bad, &RunConfig::default()).unwrap();
+        let report = MstCertificate::verify(&Sim::on(&g), &labels, &bad).unwrap();
         if bad != outputs {
             prop_assert!(!report.accepted, "corruption {:?} accepted", plan.faults);
         } else {

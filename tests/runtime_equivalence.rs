@@ -22,11 +22,7 @@ use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
 use lma_graph::generators::{connected_random, gnp_connected, grid, ring};
 use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
-use lma_sim::reference::run_push;
-use lma_sim::{
-    Backing, Executor, LocalView, Model, NodeAlgorithm, Outbox, ReferenceExecutor, RunConfig,
-    RunError, RunResult, Runtime, SequentialExecutor, ShardedExecutor,
-};
+use lma_sim::{Backing, Engine, LocalView, Model, NodeAlgorithm, Outbox, RunError, RunResult, Sim};
 use std::num::NonZeroUsize;
 
 /// Flood the maximum identifier (the canonical LOCAL warm-up algorithm).
@@ -122,24 +118,22 @@ impl NodeAlgorithm for MinForward {
 
 /// LOCAL and CONGEST-audit, each on both plane backings — every equivalence
 /// test below therefore sweeps the arena plane against the push oracle and
-/// the sequential executor for free.
-fn configs(n: usize) -> Vec<RunConfig> {
-    let mut configs = Vec::new();
+/// the sequential executor for free.  Everything is expressed through the
+/// [`Sim`] builder: engine variants derive from a base sim via
+/// [`Sim::executor`].
+fn sims(g: &WeightedGraph) -> Vec<Sim<'_>> {
+    let mut sims = Vec::new();
     for backing in [Backing::Inline, Backing::Arena] {
-        configs.push(RunConfig {
-            trace: true,
-            backing,
-            ..RunConfig::default()
-        });
-        configs.push(RunConfig {
-            model: Model::congest_for(n),
-            enforce_congest: false,
-            trace: true,
-            backing,
-            ..RunConfig::default()
-        });
+        sims.push(Sim::on(g).trace(true).backing(backing));
+        sims.push(
+            Sim::on(g)
+                .model(Model::congest_for(g.node_count()))
+                .enforce_congest(false)
+                .trace(true)
+                .backing(backing),
+        );
     }
-    configs
+    sims
 }
 
 fn assert_identical<O: PartialEq + std::fmt::Debug>(
@@ -180,12 +174,11 @@ const SHARD_COUNTS: [usize; 3] = [2, 5, 8];
 #[test]
 fn max_id_flood_is_deterministic_across_runs() {
     for (name, g) in graphs() {
-        for config in configs(g.node_count()) {
-            let rt = Runtime::with_config(&g, config);
-            let a = rt
+        for sim in sims(&g) {
+            let a = sim
                 .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
                 .unwrap();
-            let b = rt
+            let b = sim
                 .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
                 .unwrap();
             assert_identical(&a, &b, name);
@@ -201,16 +194,14 @@ fn max_id_flood_is_deterministic_across_runs() {
 #[test]
 fn pull_plane_matches_push_reference_exactly() {
     for (name, g) in graphs() {
-        for config in configs(g.node_count()) {
-            let pull = Runtime::with_config(&g, config)
+        for sim in sims(&g) {
+            let pull = sim
                 .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
                 .unwrap();
-            let push = run_push(
-                &g,
-                config,
-                g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>(),
-            )
-            .unwrap();
+            let push = sim
+                .executor(Engine::Reference)
+                .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+                .unwrap();
             assert_identical(&pull, &push, name);
         }
     }
@@ -219,7 +210,7 @@ fn pull_plane_matches_push_reference_exactly() {
 #[test]
 fn sparse_traffic_matches_push_reference_exactly() {
     for (name, g) in graphs() {
-        for config in configs(g.node_count()) {
+        for sim in sims(&g) {
             let mk = || {
                 g.nodes()
                     .map(|_| MinForward {
@@ -228,8 +219,8 @@ fn sparse_traffic_matches_push_reference_exactly() {
                     })
                     .collect::<Vec<_>>()
             };
-            let pull = Runtime::with_config(&g, config).run(mk()).unwrap();
-            let push = run_push(&g, config, mk()).unwrap();
+            let pull = sim.run(mk()).unwrap();
+            let push = sim.executor(Engine::Reference).run(mk()).unwrap();
             assert_identical(&pull, &push, name);
         }
     }
@@ -238,15 +229,12 @@ fn sparse_traffic_matches_push_reference_exactly() {
 #[test]
 fn sync_boruvka_reproduces_identical_runs_under_both_models() {
     let g = connected_random(40, 100, 21, WeightStrategy::DistinctRandom { seed: 21 });
-    for config in [
-        RunConfig::default(),
-        RunConfig {
-            model: Model::congest_for(g.node_count()),
-            ..RunConfig::default()
-        },
+    for sim in [
+        Sim::on(&g),
+        Sim::on(&g).model(Model::congest_for(g.node_count())),
     ] {
-        let (out_a, stats_a) = SyncBoruvkaMst.run(&g, &config).unwrap();
-        let (out_b, stats_b) = SyncBoruvkaMst.run(&g, &config).unwrap();
+        let (out_a, stats_a) = SyncBoruvkaMst.run(&sim).unwrap();
+        let (out_b, stats_b) = SyncBoruvkaMst.run(&sim).unwrap();
         assert_eq!(out_a, out_b, "sync-boruvka outputs must be reproducible");
         assert_eq!(stats_a, stats_b, "sync-boruvka stats must be reproducible");
         lma_mst::verify::verify_upward_outputs(&g, &out_a).unwrap();
@@ -256,11 +244,8 @@ fn sync_boruvka_reproduces_identical_runs_under_both_models() {
 #[test]
 fn trace_round_numbers_and_totals_are_consistent() {
     let g = ring(12, WeightStrategy::DistinctRandom { seed: 5 });
-    let config = RunConfig {
-        trace: true,
-        ..RunConfig::default()
-    };
-    let result = Runtime::with_config(&g, config)
+    let result = Sim::on(&g)
+        .trace(true)
         .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
         .unwrap();
     let trace = result.trace.unwrap();
@@ -314,24 +299,21 @@ impl NodeAlgorithm for DuplicatePort {
     }
 }
 
-fn sharded(threads: usize) -> ShardedExecutor<'static> {
-    ShardedExecutor::new(NonZeroUsize::new(threads).unwrap())
+fn shard_engine(threads: usize) -> Engine {
+    Engine::Sharded(NonZeroUsize::new(threads).unwrap())
 }
 
 #[test]
 fn sharded_matches_sequential_exactly_on_all_graph_families() {
     for (name, g) in graphs() {
-        for config in configs(g.node_count()) {
-            let seq = Runtime::with_config(&g, config)
+        for sim in sims(&g) {
+            let seq = sim
                 .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
                 .unwrap();
             for shards in SHARD_COUNTS {
-                let par = sharded(shards)
-                    .run(
-                        &g,
-                        config,
-                        g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>(),
-                    )
+                let par = sim
+                    .executor(shard_engine(shards))
+                    .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
                     .unwrap();
                 assert_identical(&seq, &par, &format!("{name}/shards={shards}"));
             }
@@ -342,7 +324,7 @@ fn sharded_matches_sequential_exactly_on_all_graph_families() {
 #[test]
 fn sharded_matches_sequential_on_sparse_traffic() {
     for (name, g) in graphs() {
-        for config in configs(g.node_count()) {
+        for sim in sims(&g) {
             let mk = || {
                 g.nodes()
                     .map(|_| MinForward {
@@ -351,9 +333,9 @@ fn sharded_matches_sequential_on_sparse_traffic() {
                     })
                     .collect::<Vec<_>>()
             };
-            let seq = Runtime::with_config(&g, config).run(mk()).unwrap();
+            let seq = sim.run(mk()).unwrap();
             for shards in SHARD_COUNTS {
-                let par = sharded(shards).run(&g, config, mk()).unwrap();
+                let par = sim.executor(shard_engine(shards)).run(mk()).unwrap();
                 assert_identical(&seq, &par, &format!("{name}/shards={shards}"));
             }
         }
@@ -361,21 +343,16 @@ fn sharded_matches_sequential_on_sparse_traffic() {
 }
 
 #[test]
-fn run_config_threads_knob_dispatches_to_the_sharded_executor() {
+fn sim_threads_knob_dispatches_to_the_sharded_executor() {
     let g = grid(8, 8, WeightStrategy::DistinctRandom { seed: 3 });
-    let base = RunConfig {
-        trace: true,
-        ..RunConfig::default()
-    };
-    let seq = Runtime::with_config(&g, base)
+    let seq = Sim::on(&g)
+        .trace(true)
         .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
         .unwrap();
     for threads in [1usize, 2, 4] {
-        let config = RunConfig {
-            threads: NonZeroUsize::new(threads),
-            ..base
-        };
-        let via_knob = Runtime::with_config(&g, config)
+        let via_knob = Sim::on(&g)
+            .trace(true)
+            .threads(threads)
             .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
             .unwrap();
         assert_identical(&seq, &via_knob, &format!("threads={threads}"));
@@ -400,20 +377,17 @@ fn sharded_reports_the_same_malformed_outbox_error() {
                 })
                 .collect::<Vec<_>>()
         };
-        let seq = Runtime::new(&g).run(mk()).unwrap_err();
+        let seq = Sim::on(&g).run(mk()).unwrap_err();
         assert!(matches!(seq, RunError::MalformedOutbox { .. }));
         for backing in [Backing::Inline, Backing::Arena] {
-            let config = RunConfig {
-                backing,
-                ..RunConfig::default()
-            };
-            let seq_backed = Runtime::with_config(&g, config).run(mk()).unwrap_err();
+            let sim = Sim::on(&g).backing(backing);
+            let seq_backed = sim.run(mk()).unwrap_err();
             assert_eq!(
                 seq, seq_backed,
                 "culprit {culprit} round {at_round} backing {backing:?}"
             );
             for shards in SHARD_COUNTS {
-                let par = sharded(shards).run(&g, config, mk()).unwrap_err();
+                let par = sim.executor(shard_engine(shards)).run(mk()).unwrap_err();
                 assert_eq!(
                     seq, par,
                     "culprit {culprit} round {at_round} shards {shards} backing {backing:?}"
@@ -426,14 +400,11 @@ fn sharded_reports_the_same_malformed_outbox_error() {
 #[test]
 fn sharded_reports_the_same_round_limit_error() {
     let g = ring(20, WeightStrategy::Unit);
-    let config = RunConfig {
-        max_rounds: 3,
-        ..RunConfig::default()
-    };
+    let sim = Sim::on(&g).round_limit(3);
     let mk = || g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
-    let seq = Runtime::with_config(&g, config).run(mk()).unwrap_err();
+    let seq = sim.run(mk()).unwrap_err();
     for shards in SHARD_COUNTS {
-        let par = sharded(shards).run(&g, config, mk()).unwrap_err();
+        let par = sim.executor(shard_engine(shards)).run(mk()).unwrap_err();
         assert_eq!(seq, par, "shards {shards}");
     }
 }
@@ -441,16 +412,14 @@ fn sharded_reports_the_same_round_limit_error() {
 #[test]
 fn sharded_reports_the_same_congest_violation_error() {
     let g = ring(20, WeightStrategy::Unit);
-    let config = RunConfig {
-        model: Model::Congest { bits: 1 },
-        enforce_congest: true,
-        ..RunConfig::default()
-    };
+    let sim = Sim::on(&g)
+        .model(Model::Congest { bits: 1 })
+        .enforce_congest(true);
     let mk = || g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>();
-    let seq = Runtime::with_config(&g, config).run(mk()).unwrap_err();
+    let seq = sim.run(mk()).unwrap_err();
     assert!(matches!(seq, RunError::CongestViolation { .. }));
     for shards in SHARD_COUNTS {
-        let par = sharded(shards).run(&g, config, mk()).unwrap_err();
+        let par = sim.executor(shard_engine(shards)).run(mk()).unwrap_err();
         assert_eq!(seq, par, "shards {shards}");
     }
 }
@@ -463,15 +432,12 @@ fn sharded_reports_the_same_congest_violation_error() {
 /// protocol-heavy consumer of the simulator.
 fn assert_baseline_backing_equivalence<B: NoAdviceMst>(baseline: B, g: &WeightedGraph) {
     let reference = baseline
-        .run_with(g, &RunConfig::default(), &ReferenceExecutor)
+        .run(&Sim::on(g).executor(Engine::Reference))
         .unwrap_or_else(|e| panic!("{}: push reference failed: {e}", baseline.name()));
     for backing in [Backing::Inline, Backing::Arena] {
-        let config = RunConfig {
-            backing,
-            ..RunConfig::default()
-        };
+        let sim = Sim::on(g).backing(backing);
         let seq = baseline
-            .run_with(g, &config, &SequentialExecutor)
+            .run(&sim.executor(Engine::Sequential))
             .unwrap_or_else(|e| panic!("{}: sequential failed: {e}", baseline.name()));
         assert_eq!(
             reference.0,
@@ -487,7 +453,7 @@ fn assert_baseline_backing_equivalence<B: NoAdviceMst>(baseline: B, g: &Weighted
         );
         for shards in SHARD_COUNTS {
             let par = baseline
-                .run_with(g, &config, &sharded(shards))
+                .run(&sim.executor(shard_engine(shards)))
                 .unwrap_or_else(|e| panic!("{}: sharded({shards}) failed: {e}", baseline.name()));
             assert_eq!(
                 reference.0,
@@ -521,16 +487,8 @@ fn sync_boruvka_is_bit_identical_across_backings_shards_and_push() {
 fn sharded_sync_boruvka_matches_sequential() {
     let g = connected_random(60, 150, 31, WeightStrategy::DistinctRandom { seed: 31 });
     for threads in [2usize, 4] {
-        let seq = SyncBoruvkaMst.run(&g, &RunConfig::default()).unwrap();
-        let par = SyncBoruvkaMst
-            .run(
-                &g,
-                &RunConfig {
-                    threads: NonZeroUsize::new(threads),
-                    ..RunConfig::default()
-                },
-            )
-            .unwrap();
+        let seq = SyncBoruvkaMst.run(&Sim::on(&g)).unwrap();
+        let par = SyncBoruvkaMst.run(&Sim::on(&g).threads(threads)).unwrap();
         assert_eq!(seq.0, par.0, "sync-boruvka outputs diverged");
         assert_eq!(seq.1, par.1, "sync-boruvka stats diverged");
     }

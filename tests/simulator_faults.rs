@@ -8,7 +8,7 @@ use lma_graph::weights::WeightStrategy;
 use lma_graph::Port;
 use lma_sim::message::{bits_for_universe, BitSized};
 use lma_sim::runtime::RunError;
-use lma_sim::{LocalView, Model, NodeAlgorithm, Outbox, RunConfig, RunStats, Runtime};
+use lma_sim::{LocalView, Model, NodeAlgorithm, Outbox, RunStats, Sim};
 
 /// A program that keeps chattering forever on every port.
 struct Chatterbox;
@@ -149,24 +149,17 @@ impl NodeAlgorithm for Echo {
 #[test]
 fn round_limit_is_enforced() {
     let g = ring(8, WeightStrategy::Unit);
-    let runtime = Runtime::with_config(
-        &g,
-        RunConfig {
-            max_rounds: 25,
-            ..RunConfig::default()
-        },
-    );
+    let sim = Sim::on(&g).round_limit(25);
     let programs: Vec<Chatterbox> = g.nodes().map(|_| Chatterbox).collect();
-    let err = runtime.run(programs).unwrap_err();
+    let err = sim.run(programs).unwrap_err();
     assert_eq!(err, RunError::RoundLimitExceeded { limit: 25 });
 }
 
 #[test]
 fn duplicate_port_use_is_reported_with_the_offender() {
     let g = ring(5, WeightStrategy::Unit);
-    let runtime = Runtime::new(&g);
     let programs: Vec<PortAbuser> = g.nodes().map(|_| PortAbuser { done: false }).collect();
-    match runtime.run(programs) {
+    match Sim::on(&g).run(programs) {
         Err(RunError::MalformedOutbox { port: 0, .. }) => {}
         other => panic!("expected a malformed-outbox error, got {other:?}"),
     }
@@ -175,12 +168,9 @@ fn duplicate_port_use_is_reported_with_the_offender() {
 #[test]
 fn congest_enforcement_aborts_on_the_oversized_message() {
     let g = connected_random(16, 40, 1, WeightStrategy::DistinctRandom { seed: 1 });
-    let config = RunConfig {
-        model: Model::Congest { bits: 128 },
-        enforce_congest: true,
-        ..RunConfig::default()
-    };
-    let runtime = Runtime::with_config(&g, config);
+    let sim = Sim::on(&g)
+        .model(Model::Congest { bits: 128 })
+        .enforce_congest(true);
     let programs: Vec<Megaphone> = g
         .nodes()
         .map(|_| Megaphone {
@@ -188,7 +178,7 @@ fn congest_enforcement_aborts_on_the_oversized_message() {
             done: false,
         })
         .collect();
-    match runtime.run(programs) {
+    match sim.run(programs) {
         Err(RunError::CongestViolation {
             round: 1,
             bits,
@@ -203,12 +193,9 @@ fn congest_enforcement_aborts_on_the_oversized_message() {
 #[test]
 fn congest_auditing_counts_instead_of_aborting() {
     let g = connected_random(16, 40, 2, WeightStrategy::DistinctRandom { seed: 2 });
-    let config = RunConfig {
-        model: Model::Congest { bits: 128 },
-        enforce_congest: false,
-        ..RunConfig::default()
-    };
-    let runtime = Runtime::with_config(&g, config);
+    let sim = Sim::on(&g)
+        .model(Model::Congest { bits: 128 })
+        .enforce_congest(false);
     let programs: Vec<Megaphone> = g
         .nodes()
         .map(|_| Megaphone {
@@ -216,7 +203,7 @@ fn congest_auditing_counts_instead_of_aborting() {
             done: false,
         })
         .collect();
-    let result = runtime.run(programs).unwrap();
+    let result = sim.run(programs).unwrap();
     assert_eq!(result.stats.congest_violations, 1);
     assert_eq!(result.stats.max_message_bits, 64 * 64);
 }
@@ -224,7 +211,6 @@ fn congest_auditing_counts_instead_of_aborting() {
 #[test]
 fn message_accounting_matches_hand_counts() {
     let g = ring(10, WeightStrategy::Unit);
-    let runtime = Runtime::new(&g);
     let programs: Vec<Echo> = g
         .nodes()
         .map(|_| Echo {
@@ -232,7 +218,7 @@ fn message_accounting_matches_hand_counts() {
             done: false,
         })
         .collect();
-    let result = runtime.run(programs).unwrap();
+    let result = Sim::on(&g).run(programs).unwrap();
     let stats: &RunStats = &result.stats;
     // Every node sends one message per port in round 1: 2 · n messages on a
     // ring, each of at most 2 bits (port numbers 0/1 as u32 values 0/1).
@@ -248,13 +234,6 @@ fn message_accounting_matches_hand_counts() {
 #[test]
 fn trace_records_every_delivery_when_enabled() {
     let g = ring(6, WeightStrategy::Unit);
-    let runtime = Runtime::with_config(
-        &g,
-        RunConfig {
-            trace: true,
-            ..RunConfig::default()
-        },
-    );
     let programs: Vec<Echo> = g
         .nodes()
         .map(|_| Echo {
@@ -262,7 +241,7 @@ fn trace_records_every_delivery_when_enabled() {
             done: false,
         })
         .collect();
-    let result = runtime.run(programs).unwrap();
+    let result = Sim::on(&g).trace(true).run(programs).unwrap();
     let trace = result.trace.expect("tracing was requested");
     assert_eq!(trace.len() as u64, result.stats.total_messages);
 }

@@ -11,7 +11,7 @@ use lma_graph::generators::lowerbound::{
 };
 use lma_mst::boruvka::{BoruvkaConfig, TieBreak};
 use lma_mst::kruskal::kruskal_mst;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 #[test]
 fn gn_has_the_unique_spine_mst_for_all_band_assignments() {
@@ -89,7 +89,7 @@ fn trivial_scheme_average_on_gn_is_close_to_log_n() {
                 tie_break: TieBreak::CanonicalGlobal,
             },
         };
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         let lower = certified_report(n).average_bits;
         let measured = eval.advice.avg_bits;
         assert!(

@@ -3,14 +3,14 @@
 use lma_advice::{evaluate_scheme, AdvisingScheme, OneRoundScheme, TrivialScheme};
 use lma_graph::generators::{connected_random, Family};
 use lma_graph::weights::WeightStrategy;
-use lma_sim::{Model, RunConfig};
+use lma_sim::{Model, Sim};
 
 #[test]
 fn exactly_one_round_on_every_family() {
     let scheme = OneRoundScheme::default();
     for family in Family::ALL {
         let g = family.instantiate(36, WeightStrategy::DistinctRandom { seed: 2 }, 2);
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         assert_eq!(eval.run.rounds, 1, "family {}", family.name());
     }
 }
@@ -20,7 +20,7 @@ fn average_advice_is_bounded_by_the_analytic_constant_across_sizes() {
     let scheme = OneRoundScheme::default();
     for n in [32usize, 128, 512, 2048] {
         let g = connected_random(n, 3 * n, 77, WeightStrategy::DistinctRandom { seed: 77 });
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         assert!(
             eval.advice.avg_bits <= OneRoundScheme::ANALYTIC_AVERAGE_BOUND,
             "n={n}: {}",
@@ -38,8 +38,8 @@ fn theorem1_vs_theorem2_one_round_beats_zero_rounds_on_average() {
     // in a couple of phases so few nodes ever receive one-round advice.
     let n = 300;
     let g = lma_graph::generators::complete(n, WeightStrategy::DistinctRandom { seed: 3 });
-    let zero = evaluate_scheme(&TrivialScheme::default(), &g, &RunConfig::default()).unwrap();
-    let one = evaluate_scheme(&OneRoundScheme::default(), &g, &RunConfig::default()).unwrap();
+    let zero = evaluate_scheme(&TrivialScheme::default(), &Sim::on(&g)).unwrap();
+    let one = evaluate_scheme(&OneRoundScheme::default(), &Sim::on(&g)).unwrap();
     assert_eq!(zero.run.rounds, 0);
     assert_eq!(one.run.rounds, 1);
     assert!(
@@ -55,12 +55,10 @@ fn one_round_scheme_fits_congest() {
     let n = 256;
     let g = connected_random(n, 4 * n, 5, WeightStrategy::DistinctRandom { seed: 5 });
     let scheme = OneRoundScheme::default();
-    let config = RunConfig {
-        model: Model::congest_for(n),
-        enforce_congest: true,
-        ..RunConfig::default()
-    };
-    let eval = evaluate_scheme(&scheme, &g, &config).unwrap();
+    let sim = Sim::on(&g)
+        .model(Model::congest_for(n))
+        .enforce_congest(true);
+    let eval = evaluate_scheme(&scheme, &sim).unwrap();
     assert_eq!(eval.run.congest_violations, 0);
     assert!(eval.run.max_message_bits <= 1);
 }
@@ -71,7 +69,7 @@ fn max_advice_grows_no_faster_than_log_squared() {
     let mut maxima = Vec::new();
     for n in [64usize, 256, 1024] {
         let g = connected_random(n, 3 * n, 9, WeightStrategy::DistinctRandom { seed: 9 });
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         let p = lma_graph::graph::ceil_log2(n) as usize;
         assert!(eval.advice.max_bits <= p * (p + 3), "n={n}");
         maxima.push(eval.advice.max_bits);

@@ -5,7 +5,7 @@ use lma_advice::constant::schedule::{log_log_n, Schedule};
 use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme, ConstantVariant};
 use lma_graph::generators::{connected_random, Family};
 use lma_graph::weights::WeightStrategy;
-use lma_sim::RunConfig;
+use lma_sim::Sim;
 
 #[test]
 fn max_advice_is_a_constant_independent_of_n() {
@@ -18,7 +18,7 @@ fn max_advice_is_a_constant_independent_of_n() {
         let mut maxima = Vec::new();
         for n in [32usize, 128, 512, 2048] {
             let g = connected_random(n, 3 * n, 13, WeightStrategy::DistinctRandom { seed: 13 });
-            let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+            let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
             assert!(eval.advice.max_bits <= cap, "variant {variant:?}, n={n}");
             maxima.push(eval.advice.max_bits);
         }
@@ -33,7 +33,7 @@ fn paper_literal_variant_reproduces_twelve_bits() {
     let scheme = ConstantScheme::paper_literal();
     for n in [64usize, 256, 1024] {
         let g = connected_random(n, 3 * n, 17, WeightStrategy::DistinctRandom { seed: 17 });
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         assert!(
             eval.advice.max_bits <= 12,
             "n={n}: paper's Theorem 3 constant is 12 bits, measured {}",
@@ -47,7 +47,7 @@ fn rounds_track_the_schedule_and_stay_within_the_papers_budget() {
     let scheme = ConstantScheme::default();
     for n in [32usize, 128, 512, 2048] {
         let g = connected_random(n, 3 * n, 19, WeightStrategy::DistinctRandom { seed: 19 });
-        let eval = evaluate_scheme(&scheme, &g, &RunConfig::default()).unwrap();
+        let eval = evaluate_scheme(&scheme, &Sim::on(&g)).unwrap();
         let claimed = scheme.claimed_rounds(n).unwrap();
         assert_eq!(eval.run.rounds, claimed, "the schedule is deterministic");
         assert!(
@@ -65,10 +65,7 @@ fn rounds_scale_logarithmically_in_n() {
         .iter()
         .map(|&n| {
             let g = connected_random(n, 3 * n, 23, WeightStrategy::DistinctRandom { seed: 23 });
-            evaluate_scheme(&scheme, &g, &RunConfig::default())
-                .unwrap()
-                .run
-                .rounds
+            evaluate_scheme(&scheme, &Sim::on(&g)).unwrap().run.rounds
         })
         .collect();
     // n grew by 16x; O(log n) rounds should grow by well under 3x.
@@ -84,7 +81,7 @@ fn every_family_is_solved_by_both_variants() {
         };
         for family in Family::ALL {
             let g = family.instantiate(30, WeightStrategy::DistinctRandom { seed: 29 }, 29);
-            let eval = evaluate_scheme(&scheme, &g, &RunConfig::default())
+            let eval = evaluate_scheme(&scheme, &Sim::on(&g))
                 .unwrap_or_else(|e| panic!("variant {variant:?} failed on {}: {e}", family.name()));
             assert!(eval.within_claims(&scheme, g.node_count()));
         }
@@ -117,6 +114,6 @@ fn advice_can_be_serialized_and_restored_bitwise() {
             .collect(),
     };
     assert_eq!(advice, restored);
-    let outcome = scheme.decode(&g, &restored, &RunConfig::default()).unwrap();
+    let outcome = scheme.decode(&Sim::on(&g), &restored).unwrap();
     lma_mst::verify::verify_upward_outputs(&g, &outcome.outputs).unwrap();
 }

@@ -13,7 +13,7 @@ use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::kruskal_mst;
 use lma_mst::verify::verify_upward_outputs;
 use lma_mst::RootedTree;
-use lma_sim::{Model, RunConfig};
+use lma_sim::{Model, Sim};
 
 fn all_schemes() -> Vec<Box<dyn AdvisingScheme>> {
     vec![
@@ -37,13 +37,8 @@ fn every_scheme_passes_distributed_verification_on_every_family() {
     ] {
         let g = family.instantiate(80, WeightStrategy::DistinctRandom { seed: 11 }, 11);
         for scheme in all_schemes() {
-            let run = certified_run(
-                scheme.as_ref(),
-                &g,
-                &BoruvkaConfig::default(),
-                &RunConfig::default(),
-            )
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", scheme.name(), family.name()));
+            let run = certified_run(scheme.as_ref(), &Sim::on(&g), &BoruvkaConfig::default())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", scheme.name(), family.name()));
             assert!(
                 run.report.accepted,
                 "{} on {} rejected an honest run: {:?}",
@@ -68,8 +63,7 @@ fn verification_stays_within_congest_on_sparse_graphs() {
     let g = grid(16, 16, WeightStrategy::DistinctRandom { seed: 5 });
     let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
     let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
-    let report =
-        MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default()).unwrap();
+    let report = MstCertificate::certify_and_verify(&Sim::on(&g), &tree, &outputs).unwrap();
     assert!(report.accepted);
     let logn = (usize::BITS - (n - 1).leading_zeros()) as usize;
     assert!(
@@ -79,12 +73,10 @@ fn verification_stays_within_congest_on_sparse_graphs() {
     );
     // The spanning-tree-only proof fits in plain CONGEST.
     let labels = SpanningProof::assign(&g, &tree);
-    let config = RunConfig {
-        model: Model::congest_for(n),
-        enforce_congest: true,
-        ..RunConfig::default()
-    };
-    let spanning_report = SpanningProof::verify(&g, &labels, &outputs, &config).unwrap();
+    let sim = Sim::on(&g)
+        .model(Model::congest_for(n))
+        .enforce_congest(true);
+    let spanning_report = SpanningProof::verify(&sim, &labels, &outputs).unwrap();
     assert!(spanning_report.accepted);
     assert_eq!(spanning_report.run.congest_violations, 0);
 }
@@ -103,7 +95,7 @@ fn random_output_corruption_is_never_silently_accepted() {
             continue;
         }
         corrupted_runs += 1;
-        let report = MstCertificate::verify(&g, &labels, &bad, &RunConfig::default()).unwrap();
+        let report = MstCertificate::verify(&Sim::on(&g), &labels, &bad).unwrap();
         assert!(
             !report.accepted,
             "corruption {:?} was accepted by every node",
@@ -136,9 +128,7 @@ fn non_minimum_spanning_trees_are_rejected_by_the_cycle_check() {
         let outputs: Vec<_> = bad_tree.upward_outputs().into_iter().map(Some).collect();
         // Certify the bad tree faithfully: the spanning checks pass, the
         // binding check passes, but the cycle property fails somewhere.
-        let report =
-            MstCertificate::certify_and_verify(&g, &bad_tree, &outputs, &RunConfig::default())
-                .unwrap();
+        let report = MstCertificate::certify_and_verify(&Sim::on(&g), &bad_tree, &outputs).unwrap();
         assert!(!report.accepted);
         assert!(
             report.has_cycle_violation(),
@@ -149,7 +139,7 @@ fn non_minimum_spanning_trees_are_rejected_by_the_cycle_check() {
         // accepts the same outputs: minimality is exactly what the MST
         // certificate adds.
         let labels = SpanningProof::assign(&g, &bad_tree);
-        let spanning = SpanningProof::verify(&g, &labels, &outputs, &RunConfig::default()).unwrap();
+        let spanning = SpanningProof::verify(&Sim::on(&g), &labels, &outputs).unwrap();
         assert!(spanning.accepted);
     }
 }
@@ -162,7 +152,7 @@ fn certify_outputs_accepts_only_the_reference_rooted_mst() {
     let run = run_boruvka(&g, &reference).unwrap();
     let honest: Vec<_> = run.tree.upward_outputs().into_iter().map(Some).collect();
     assert!(
-        certify_outputs(&g, &reference, &honest, &RunConfig::default())
+        certify_outputs(&Sim::on(&g), &reference, &honest)
             .unwrap()
             .accepted
     );
@@ -182,11 +172,11 @@ fn certify_outputs_accepts_only_the_reference_rooted_mst() {
         .into_iter()
         .map(Some)
         .collect();
-    let report = certify_outputs(&g, &reference, &foreign, &RunConfig::default()).unwrap();
+    let report = certify_outputs(&Sim::on(&g), &reference, &foreign).unwrap();
     assert!(!report.accepted);
     let mut dropped = honest.clone();
     dropped[7] = None;
-    let report = certify_outputs(&g, &reference, &dropped, &RunConfig::default()).unwrap();
+    let report = certify_outputs(&Sim::on(&g), &reference, &dropped).unwrap();
     assert!(report
         .violations
         .iter()
@@ -200,8 +190,7 @@ fn certificate_label_sizes_grow_polylogarithmically() {
         let g = connected_random(n, 3 * n, 51, WeightStrategy::DistinctRandom { seed: 51 });
         let tree = RootedTree::from_edges(&g, 0, &kruskal_mst(&g).unwrap()).unwrap();
         let outputs: Vec<_> = tree.upward_outputs().into_iter().map(Some).collect();
-        let report =
-            MstCertificate::certify_and_verify(&g, &tree, &outputs, &RunConfig::default()).unwrap();
+        let report = MstCertificate::certify_and_verify(&Sim::on(&g), &tree, &outputs).unwrap();
         assert!(report.accepted);
         let logn = (usize::BITS - (n - 1).leading_zeros()) as usize;
         let logw = (u32::BITS - (3 * n as u32).leading_zeros()) as usize;
@@ -232,13 +221,7 @@ fn tradeoff_scheme_outputs_are_certified_at_every_cutoff() {
     for g in graph_families_for_tradeoff() {
         for cutoff in 0..=3usize {
             let scheme = TradeoffScheme::with_cutoff(cutoff);
-            let run = certified_run(
-                &scheme,
-                &g,
-                &BoruvkaConfig::default(),
-                &RunConfig::default(),
-            )
-            .unwrap();
+            let run = certified_run(&scheme, &Sim::on(&g), &BoruvkaConfig::default()).unwrap();
             assert!(
                 run.report.accepted,
                 "cutoff {cutoff}: {:?}",

@@ -15,6 +15,7 @@
 //! invisible exactly when the codec is lossless and the accounting honest.
 
 use lma_advice::constant::messages::{ChooserPayload, ConstMsg, MapEntry, Report};
+use lma_advice::BitString;
 use lma_baselines::flood_collect::{EdgeFact, Knowledge};
 use lma_baselines::sync_boruvka::GhsMsg;
 use lma_labeling::labels::SpanningLabel;
@@ -210,5 +211,101 @@ proptest! {
             parent_edge: !parent_edge,
         };
         pin_codec(&cert, scratch);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BitString: the advice-side bit-exact codec.  Advice strings ride the same
+// oracle → decode pipeline the Wire codec serves on the message side, so
+// their append/read round trips, bit-length accounting and concatenation
+// are pinned here alongside the message codecs.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// `read_uint ∘ push_uint = id` for any (value, width) sequence, with
+    /// exact bit-length accounting along the way.
+    #[test]
+    fn bitstring_uint_sequences_round_trip(
+        fields in proptest::collection::vec((any::<u64>(), 1usize..65), 0..12)
+    ) {
+        let mut s = BitString::new();
+        let mut expected_len = 0usize;
+        let masked: Vec<(u64, usize)> = fields
+            .iter()
+            .map(|&(value, width)| {
+                let masked = if width == 64 { value } else { value & ((1 << width) - 1) };
+                (masked, width)
+            })
+            .collect();
+        for &(value, width) in &masked {
+            s.push_uint(value, width);
+            expected_len += width;
+            prop_assert_eq!(s.len(), expected_len, "length must track every append");
+        }
+        prop_assert_eq!(s.is_empty(), masked.is_empty());
+        let mut reader = s.reader();
+        for &(value, width) in &masked {
+            prop_assert_eq!(reader.read_uint(width), Some(value));
+        }
+        prop_assert_eq!(reader.remaining(), 0);
+        prop_assert_eq!(reader.read_bit(), None, "a drained reader must stay drained");
+    }
+
+    /// Raw bits survive `from_bits` → `iter`/`get`/`read_bits` unchanged,
+    /// and `to_bit_string` renders exactly one character per bit.
+    #[test]
+    fn bitstring_raw_bits_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..160)) {
+        let s = BitString::from_bits(bits.clone());
+        prop_assert_eq!(s.len(), bits.len());
+        prop_assert_eq!(s.iter().collect::<Vec<_>>(), bits.clone());
+        prop_assert_eq!(s.as_slice(), bits.as_slice());
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(s.get(i), Some(bit));
+        }
+        prop_assert_eq!(s.get(bits.len()), None);
+        let rendered = s.to_bit_string();
+        prop_assert_eq!(rendered.len(), bits.len());
+        prop_assert!(rendered.chars().zip(&bits).all(|(c, &b)| c == if b { '1' } else { '0' }));
+        prop_assert_eq!(s.reader().read_bits(bits.len()), Some(bits));
+    }
+
+    /// `extend` concatenates exactly: lengths add, and reading the result
+    /// yields the left string's bits then the right's.
+    #[test]
+    fn bitstring_concat_is_exact(
+        left in proptest::collection::vec(any::<bool>(), 0..100),
+        right in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut a = BitString::from_bits(left.clone());
+        let b = BitString::from_bits(right.clone());
+        a.extend(&b);
+        prop_assert_eq!(a.len(), left.len() + right.len());
+        let mut expected = left.clone();
+        expected.extend_from_slice(&right);
+        prop_assert_eq!(a.iter().collect::<Vec<_>>(), expected);
+        // The right operand is untouched, and a reader positioned at the
+        // seam sees exactly the right operand's bits.
+        prop_assert_eq!(b.iter().collect::<Vec<_>>(), right.clone());
+        let mut reader = a.reader_at(left.len());
+        prop_assert_eq!(reader.read_bits(right.len()), Some(right));
+        prop_assert_eq!(reader.remaining(), 0);
+    }
+
+    /// Mixed single-bit and uint appends account and read back in order —
+    /// the exact shape the one-round scheme's bitmap + payload advice uses.
+    #[test]
+    fn bitstring_mixed_appends_read_back_in_order(
+        flag in any::<bool>(),
+        rank in 0u64..512,
+        width in 10usize..17,
+    ) {
+        let mut s = BitString::new();
+        s.push(flag);
+        s.push_uint(rank, width);
+        prop_assert_eq!(s.len(), 1 + width);
+        let mut reader = s.reader();
+        prop_assert_eq!(reader.read_bit(), Some(flag));
+        prop_assert_eq!(reader.read_uint(width), Some(rank));
+        prop_assert_eq!(reader.position(), 1 + width);
     }
 }
