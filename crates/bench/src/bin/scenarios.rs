@@ -4,9 +4,9 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p lma-bench --bin scenarios -- list [--filter S] [--workload W]
-//! cargo run --release -p lma-bench --bin scenarios -- run [--filter S] [--workload W] [--smoke]
-//! cargo run --release -p lma-bench --bin scenarios -- verify [--filter S] [--workload W] [--smoke]
+//! cargo run --release -p lma-bench --bin scenarios -- list [--filter S] [--workload W] [--executor E] [--backing B]
+//! cargo run --release -p lma-bench --bin scenarios -- run [--filter S] [--workload W] [--executor E] [--backing B] [--smoke]
+//! cargo run --release -p lma-bench --bin scenarios -- verify [--filter S] [--workload W] [--executor E] [--backing B] [--smoke]
 //! cargo run --release -p lma-bench --bin scenarios -- update [--missing]
 //! ```
 //!
@@ -27,11 +27,18 @@
 //! every push); `--filter S` keeps the **scenarios** whose id — or any of
 //! whose cell ids (`id#engine/backing`) — contains the substring `S`;
 //! `--workload W` is the same, matched against the workload names only
-//! (`flood`, `scheme-constant`, …).  A selected scenario always runs *all*
-//! of its cells, because cross-cell digest invariance is part of what is
-//! being checked.  `--lock PATH` overrides the default lock location (the
+//! (`flood`, `scheme-constant`, …).  A scenario selected by those flags
+//! normally runs *all* of its cells, because cross-cell digest invariance
+//! is part of what is being checked; `--executor E` / `--backing B` narrow
+//! the selection to **cells** whose engine segment (`seq`, `sharded2`,
+//! `push`, `batch8`, …) or backing segment (`inline`, `arena`) contains
+//! the substring — the handle for re-checking one executor or one backing
+//! in isolation.  `--lock PATH` overrides the default lock location (the
 //! workspace root).  `update` always re-runs scenarios unfiltered and
-//! rejects the selection flags.
+//! rejects every selection flag; `update --missing` additionally
+//! *refreshes the cell list* of records whose registry cell set grew since
+//! they were pinned — the new cells must reproduce the pinned digest
+//! bit-for-bit, and the record's digest/chain/stats are kept verbatim.
 
 use lma_bench::scenarios::{registry, LockFile, Scenario, ScenarioOutcome, Variant};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,6 +52,8 @@ struct Args {
     command: String,
     filter: Option<String>,
     workload: Option<String>,
+    executor: Option<String>,
+    backing: Option<String>,
     smoke: bool,
     missing: bool,
     lock: PathBuf,
@@ -53,7 +62,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: scenarios <list|run|verify|update> [--filter SUBSTRING] [--workload NAME] \
-         [--smoke] [--missing] [--lock PATH]"
+         [--executor ENGINE] [--backing BACKING] [--smoke] [--missing] [--lock PATH]"
     );
     std::process::exit(2);
 }
@@ -63,6 +72,8 @@ fn parse_args() -> Args {
     let mut command = None;
     let mut filter = None;
     let mut workload = None;
+    let mut executor = None;
+    let mut backing = None;
     let mut smoke = false;
     let mut missing = false;
     let mut lock = default_lock_path();
@@ -75,6 +86,14 @@ fn parse_args() -> Args {
             },
             "--workload" => match it.next() {
                 Some(value) => workload = Some(value),
+                None => usage(),
+            },
+            "--executor" => match it.next() {
+                Some(value) => executor = Some(value),
+                None => usage(),
+            },
+            "--backing" => match it.next() {
+                Some(value) => backing = Some(value),
                 None => usage(),
             },
             "--lock" => match it.next() {
@@ -94,6 +113,8 @@ fn parse_args() -> Args {
         command,
         filter,
         workload,
+        executor,
+        backing,
         smoke,
         missing,
         lock,
@@ -127,11 +148,34 @@ fn select(scenarios: &[Scenario], args: &Args) -> Vec<Scenario> {
         .collect()
 }
 
-/// Runs every cell of a scenario, converting a panicking cell into an error
-/// message instead of aborting the whole sweep.
-fn run_checked(scenario: &Scenario) -> Result<ScenarioOutcome, String> {
+/// The cells of `scenario` selected by `--executor` / `--backing`.  Each
+/// flag is a substring match against its segment of the cell label
+/// (`batch8/arena` → engine segment `batch8`, backing segment `arena`).
+/// With neither flag, all cells are selected and the cross-cell invariance
+/// check covers the full matrix.
+fn select_cells(scenario: &Scenario, args: &Args) -> Vec<Variant> {
+    scenario
+        .variants()
+        .into_iter()
+        .filter(|v| {
+            let label = v.label();
+            let (engine, backing) = label.split_once('/').expect("labels are engine/backing");
+            args.executor
+                .as_ref()
+                .is_none_or(|e| engine.contains(e.as_str()))
+                && args
+                    .backing
+                    .as_ref()
+                    .is_none_or(|b| backing.contains(b.as_str()))
+        })
+        .collect()
+}
+
+/// Runs the selected cells of a scenario, converting a panicking cell into
+/// an error message instead of aborting the whole sweep.
+fn run_checked(scenario: &Scenario, variants: &[Variant]) -> Result<ScenarioOutcome, String> {
     catch_unwind(AssertUnwindSafe(|| {
-        lma_bench::scenarios::run_scenario(scenario)
+        lma_bench::scenarios::run_scenario_cells(scenario, variants)
     }))
     .map_err(|payload| {
         let msg = payload
@@ -143,25 +187,31 @@ fn run_checked(scenario: &Scenario) -> Result<ScenarioOutcome, String> {
     })
 }
 
-fn cmd_list(scenarios: &[Scenario]) {
+fn cmd_list(scenarios: &[Scenario], args: &Args) {
+    let mut cells = 0usize;
     for scenario in scenarios {
+        let selected = select_cells(scenario, args);
+        if selected.is_empty() {
+            continue;
+        }
         let marker = if scenario.smoke { " [smoke]" } else { "" };
         println!("{}{marker}", scenario.id());
-        for variant in scenario.variants() {
+        for variant in selected {
             println!("  {}#{}", scenario.id(), variant.label());
+            cells += 1;
         }
     }
-    println!(
-        "\n{} scenarios, {} cells",
-        scenarios.len(),
-        lma_bench::scenarios::cell_count(scenarios)
-    );
+    println!("\n{} scenarios, {cells} cells", scenarios.len());
 }
 
-fn cmd_run(scenarios: &[Scenario]) -> i32 {
+fn cmd_run(scenarios: &[Scenario], args: &Args) -> i32 {
     let mut failures = 0;
     for scenario in scenarios {
-        match run_checked(scenario) {
+        let cells = select_cells(scenario, args);
+        if cells.is_empty() {
+            continue;
+        }
+        match run_checked(scenario, &cells) {
             Ok(outcome) => {
                 let canonical = outcome.canonical();
                 println!(
@@ -257,13 +307,17 @@ fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
     let mut failures = 0usize;
     let mut cells_checked = 0usize;
     for scenario in scenarios {
+        let cells = select_cells(scenario, args);
+        if cells.is_empty() {
+            continue;
+        }
         let id = scenario.id();
         let Some(golden) = lock.get(&id) else {
             println!("UNLOCKED {id} — run `scenarios update` to pin it");
             failures += 1;
             continue;
         };
-        match run_checked(scenario) {
+        match run_checked(scenario, &cells) {
             Ok(outcome) => {
                 for (variant, cell) in &outcome.outcomes {
                     cells_checked += 1;
@@ -281,7 +335,12 @@ fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
     }
     // A full verify also flags stale lock entries (only a full sweep can
     // tell "stale" from "filtered out").
-    if args.filter.is_none() && args.workload.is_none() && !args.smoke {
+    if args.filter.is_none()
+        && args.workload.is_none()
+        && args.executor.is_none()
+        && args.backing.is_none()
+        && !args.smoke
+    {
         let ids: std::collections::BTreeSet<String> = scenarios.iter().map(Scenario::id).collect();
         for golden in &lock.scenarios {
             if !ids.contains(&golden.id) {
@@ -311,9 +370,15 @@ fn cmd_update(args: &Args) -> i32 {
     // (`--missing`): the flags that would narrow it arbitrarily are
     // rejected loudly instead of silently ignored, because a partial
     // re-pin would mix digests from two behaviors.
-    if args.smoke || args.filter.is_some() || args.workload.is_some() {
+    if args.smoke
+        || args.filter.is_some()
+        || args.workload.is_some()
+        || args.executor.is_some()
+        || args.backing.is_some()
+    {
         eprintln!(
-            "update re-runs scenarios unfiltered; --smoke/--filter/--workload are not supported"
+            "update re-runs scenarios unfiltered; \
+             --smoke/--filter/--workload/--executor/--backing are not supported"
         );
         return 2;
     }
@@ -355,12 +420,57 @@ fn cmd_update(args: &Args) -> i32 {
     }
     let mut lock = LockFile::default();
     let mut appended = 0usize;
+    let mut refreshed = 0usize;
     for scenario in &scenarios {
         if let Some(golden) = existing.get(&scenario.id()) {
-            lock.scenarios.push(golden.clone());
+            let labels: Vec<String> = scenario.variants().iter().map(Variant::label).collect();
+            if golden.cells == labels {
+                lock.scenarios.push(golden.clone());
+                continue;
+            }
+            // The registry's cell set for this scenario changed since it
+            // was pinned (e.g. batch cells were added).  Under `--missing`
+            // the pinned behavior is not up for re-signing: re-run every
+            // current cell, require each to reproduce the pinned digest
+            // bit-for-bit, and refresh only the cell list — digest, chain
+            // and traffic stats stay verbatim.
+            match run_checked(scenario, &scenario.variants()) {
+                Ok(outcome) => {
+                    let mismatched: Vec<String> = outcome
+                        .outcomes
+                        .iter()
+                        .filter(|(_, cell)| cell.digest != golden.digest)
+                        .map(|(v, _)| v.label())
+                        .collect();
+                    if !mismatched.is_empty() {
+                        eprintln!(
+                            "refusing to refresh {}: cell(s) {} do not reproduce the pinned \
+                             digest; run a full `scenarios update` if this behavior change is \
+                             intentional",
+                            scenario.id(),
+                            mismatched.join(", ")
+                        );
+                        return 1;
+                    }
+                    let mut updated = golden.clone();
+                    updated.cells = labels;
+                    println!(
+                        "refreshed cell list of {} ({} -> {} cells, digest unchanged)",
+                        scenario.id(),
+                        golden.cells.len(),
+                        updated.cells.len()
+                    );
+                    lock.scenarios.push(updated);
+                    refreshed += 1;
+                }
+                Err(msg) => {
+                    eprintln!("refusing to refresh {}: {msg}", scenario.id());
+                    return 1;
+                }
+            }
             continue;
         }
-        match run_checked(scenario) {
+        match run_checked(scenario, &scenario.variants()) {
             Ok(outcome) => {
                 let divergent = outcome.divergent();
                 if !divergent.is_empty() {
@@ -391,7 +501,8 @@ fn cmd_update(args: &Args) -> i32 {
     }
     if args.missing {
         println!(
-            "appended {appended} new scenario(s); kept {} existing record(s) verbatim",
+            "appended {appended} new scenario(s), refreshed {refreshed} cell list(s); kept {} \
+             existing digest(s) verbatim",
             existing.scenarios.len()
         );
     }
@@ -409,10 +520,10 @@ fn main() {
     let selected = select(&registry(), &args);
     let code = match args.command.as_str() {
         "list" => {
-            cmd_list(&selected);
+            cmd_list(&selected, &args);
             0
         }
-        "run" => cmd_run(&selected),
+        "run" => cmd_run(&selected, &args),
         "verify" => cmd_verify(&selected, &args),
         "update" => cmd_update(&args),
         _ => unreachable!("parse_args validated the command"),

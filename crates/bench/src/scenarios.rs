@@ -44,7 +44,7 @@ use lma_sim::driver::{DynWorkload, Engine, FleetWorkload, Sim, WorkloadError};
 use lma_sim::{Backing, LocalView, NodeAlgorithm, Outbox, RunResult};
 use std::num::NonZeroUsize;
 
-/// One (executor × plane backing) combination of a scenario.
+/// One (executor × plane backing × lane count) combination of a scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Variant {
     /// The execution engine (never [`Engine::Auto`] — registry cells pin
@@ -52,17 +52,27 @@ pub struct Variant {
     pub engine: Engine,
     /// The plane's slot-storage backend.
     pub backing: Backing,
+    /// `Some(W)` runs the cell through the lockstep batch executor at `W`
+    /// lanes (every lane must reproduce the scenario digest — `batched(W)`
+    /// ≡ `W` sequential runs is part of the pinned contract); `None` is an
+    /// ordinary single-run cell.
+    pub lanes: Option<NonZeroUsize>,
 }
 
 impl Variant {
-    /// Stable `engine/backing` label, e.g. `sharded2/arena`.
+    /// Stable label: `engine/backing` (e.g. `sharded2/arena`) for
+    /// single-run cells, `batch<W>/backing` (e.g. `batch8/inline`) for
+    /// batch-executor cells.
     #[must_use]
     pub fn label(&self) -> String {
         let backing = match self.backing {
             Backing::Inline => "inline",
             Backing::Arena => "arena",
         };
-        format!("{}/{}", self.engine.label(), backing)
+        match self.lanes {
+            Some(w) => format!("batch{w}/{backing}"),
+            None => format!("{}/{}", self.engine.label(), backing),
+        }
     }
 }
 
@@ -185,10 +195,18 @@ pub struct Scenario {
     pub seed: u64,
     /// Whether the scenario is part of the CI smoke subset.
     pub smoke: bool,
+    /// Whether the scenario also expands batch-executor cells (see
+    /// [`BATCH_WIDTHS`]).
+    pub batch: bool,
 }
 
 /// Sharded worker counts every full-matrix scenario is pinned on.
 pub const SHARD_COUNTS: [usize; 2] = [2, 4];
+
+/// Lane widths batch-marked scenarios are pinned on (inline backing; an
+/// extra `W = 8` cell covers the arena).  `batched(W)` must reproduce the
+/// scenario's sequential digest in every lane.
+pub const BATCH_WIDTHS: [usize; 3] = [1, 8, 64];
 
 impl Scenario {
     /// Stable scenario id, e.g. `flood/ring/n48/s11`.
@@ -203,10 +221,20 @@ impl Scenario {
         )
     }
 
-    /// Every (executor × backing) cell of this scenario: sequential and
-    /// sharded engines on both backings, plus the push oracle (inline only —
-    /// it has no plane, so a second backing cell would be the same run
-    /// twice) when the workload supports the reference engine.
+    /// Marks the scenario as carrying batch-executor cells (see
+    /// [`BATCH_WIDTHS`] and [`Scenario::variants`]).
+    #[must_use]
+    pub fn with_batch(mut self) -> Self {
+        self.batch = true;
+        self
+    }
+
+    /// Every cell of this scenario: sequential and sharded engines on both
+    /// backings, plus the push oracle (inline only — it has no plane, so a
+    /// second backing cell would be the same run twice) when the workload
+    /// supports the reference engine, plus — for batch-marked scenarios —
+    /// the lockstep batch executor at every [`BATCH_WIDTHS`] lane count
+    /// (inline) and at `W = 8` on the arena.
     #[must_use]
     pub fn variants(&self) -> Vec<Variant> {
         let mut variants = Vec::new();
@@ -214,11 +242,13 @@ impl Scenario {
             variants.push(Variant {
                 engine: Engine::Sequential,
                 backing,
+                lanes: None,
             });
             for t in SHARD_COUNTS {
                 variants.push(Variant {
                     engine: Engine::Sharded(NonZeroUsize::new(t).expect("t >= 2")),
                     backing,
+                    lanes: None,
                 });
             }
         }
@@ -226,6 +256,21 @@ impl Scenario {
             variants.push(Variant {
                 engine: Engine::Reference,
                 backing: Backing::Inline,
+                lanes: None,
+            });
+        }
+        if self.batch {
+            for w in BATCH_WIDTHS {
+                variants.push(Variant {
+                    engine: Engine::Sequential,
+                    backing: Backing::Inline,
+                    lanes: NonZeroUsize::new(w),
+                });
+            }
+            variants.push(Variant {
+                engine: Engine::Sequential,
+                backing: Backing::Arena,
+                lanes: NonZeroUsize::new(8),
             });
         }
         variants
@@ -247,8 +292,21 @@ impl Scenario {
         self.run_on(&self.graph(), variant)
     }
 
+    /// A digest writer seeded with this scenario's identity header.
+    /// Domain separation: the scenario identity (but never the variant —
+    /// cells of one scenario must collide bit-for-bit).
+    fn fold_header(&self) -> DigestWriter {
+        let mut w = DigestWriter::new();
+        w.str("scenario");
+        w.str(self.workload.name());
+        w.str(self.family.name());
+        w.usize(self.n);
+        w.u64(self.seed);
+        w
+    }
+
     /// Like [`Scenario::run`], on a caller-built graph instance —
-    /// [`run_scenario`] builds the graph once and reuses it across all 6–7
+    /// [`run_scenario`] builds the graph once and reuses it across all
     /// cells instead of regenerating it per cell.  `graph` must be
     /// [`Scenario::graph`]'s instance, or the digest is meaningless.
     #[must_use]
@@ -258,14 +316,34 @@ impl Scenario {
             .tune(Sim::on(graph))
             .executor(variant.engine)
             .backing(variant.backing);
-        let mut w = DigestWriter::new();
-        // Domain separation: the scenario identity (but never the variant —
-        // cells of one scenario must collide bit-for-bit).
-        w.str("scenario");
-        w.str(self.workload.name());
-        w.str(self.family.name());
-        w.usize(self.n);
-        w.u64(self.seed);
+        if let Some(lanes) = variant.lanes {
+            // Batch cell: every lane folds into its own writer; all W
+            // digests must agree (per-lane bit-equality with the sequential
+            // run is the batch executor's contract), and the shared digest
+            // must then also match the scenario's golden.
+            let lanes = lanes.get();
+            let mut writers: Vec<DigestWriter> = (0..lanes).map(|_| self.fold_header()).collect();
+            let summaries = workload
+                .run_fold_batch(&sim, lanes, &mut writers)
+                .unwrap_or_else(|e| panic!("scenario {} failed: {e}", self.id()));
+            let digests: Vec<Digest> = writers.into_iter().map(DigestWriter::finish).collect();
+            let digest = if digests.iter().all(|d| *d == digests[0]) {
+                digests[0]
+            } else {
+                // Lane divergence is an executor defect: synthesize a digest
+                // that can never match the golden, so `verify` flags the
+                // cell instead of silently trusting lane 0.
+                let mut w = self.fold_header();
+                w.str("batch-lane-divergence");
+                for d in &digests {
+                    w.str(&d.to_string());
+                }
+                w.finish()
+            };
+            let summary = summaries.into_iter().next().expect("W >= 1 lanes");
+            return CellOutcome { digest, summary };
+        }
+        let mut w = self.fold_header();
         let summary = workload
             .run_fold(&sim, &mut w)
             .unwrap_or_else(|e| panic!("scenario {} failed: {e}", self.id()));
@@ -369,11 +447,12 @@ pub fn registry() -> Vec<Scenario> {
         n,
         seed,
         smoke,
+        batch: false,
     };
     vec![
         // Flooding: LOCAL, trace-folded; ring (worst-case diameter), the
         // scale-free hubs, and the torus lattice.
-        s(W::Flood, F::Ring, 48, 11, true),
+        s(W::Flood, F::Ring, 48, 11, true).with_batch(),
         s(W::Flood, F::PreferentialAttachment, 64, 12, true),
         s(W::Flood, F::Torus, 49, 13, false),
         // Gossip: variable-size payloads under a CONGEST audit; the
@@ -398,7 +477,7 @@ pub fn registry() -> Vec<Scenario> {
         // Cells unlocked by the unified Workload API (PR 5): advising
         // schemes on the Barabási–Albert and Watts–Strogatz families.
         s(W::SchemeOneRound, F::PreferentialAttachment, 40, 56, false),
-        s(W::SchemeTrivial, F::SmallWorld, 36, 57, true),
+        s(W::SchemeTrivial, F::SmallWorld, 36, 57, true).with_batch(),
     ]
 }
 
@@ -598,10 +677,17 @@ impl LockFile {
 /// with the first one, if any.
 #[must_use]
 pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    run_scenario_cells(scenario, &scenario.variants())
+}
+
+/// Like [`run_scenario`], restricted to an explicit cell subset (the
+/// `scenarios` binary's `--executor`/`--backing` filters) — the graph is
+/// still built once and shared across the selected cells.
+#[must_use]
+pub fn run_scenario_cells(scenario: &Scenario, variants: &[Variant]) -> ScenarioOutcome {
     let graph = scenario.graph();
-    let variants = scenario.variants();
     let mut outcomes: Vec<(Variant, CellOutcome)> = Vec::with_capacity(variants.len());
-    for variant in variants {
+    for &variant in variants {
         outcomes.push((variant, scenario.run_on(&graph, variant)));
     }
     ScenarioOutcome { outcomes }
@@ -674,6 +760,23 @@ mod tests {
         assert!(engines.contains("sharded4"));
         assert!(engines.contains("push"));
         assert_eq!(backings.len(), 2);
+        // Batch cells: at least one batch-marked scenario per label family,
+        // every pinned width on the inline backing plus the arena W=8 cell.
+        let batch_labels: std::collections::BTreeSet<String> = scenarios
+            .iter()
+            .filter(|s| s.batch)
+            .flat_map(|s| s.variants())
+            .filter(|v| v.lanes.is_some())
+            .map(|v| v.label())
+            .collect();
+        for expected in [
+            "batch1/inline",
+            "batch8/inline",
+            "batch64/inline",
+            "batch8/arena",
+        ] {
+            assert!(batch_labels.contains(expected), "missing {expected}");
+        }
         // At least one advice-scheme workload and two of the new families.
         assert!(scenarios.iter().any(|s| !s.workload.supports_reference()));
         assert!(scenarios
@@ -723,12 +826,15 @@ mod tests {
         // One cheap full-matrix scenario and one config-dispatch scenario:
         // every variant must produce the canonical digest.
         for scenario in [
+            // The flood scenario is batch-marked, so this also pins the
+            // batch cells (every lane) against the sequential digest.
             Scenario {
                 workload: WorkloadKind::Flood,
                 family: Family::Ring,
                 n: 16,
                 seed: 7,
                 smoke: false,
+                batch: true,
             },
             Scenario {
                 workload: WorkloadKind::SchemeConstant,
@@ -736,6 +842,7 @@ mod tests {
                 n: 24,
                 seed: 9,
                 smoke: false,
+                batch: false,
             },
         ] {
             let outcome = run_scenario(&scenario);
@@ -757,6 +864,7 @@ mod tests {
             n: 8,
             seed: 3,
             smoke: false,
+            batch: false,
         };
         let outcome = run_scenario(&scenario);
         assert!(outcome.divergent().is_empty());
@@ -771,6 +879,7 @@ mod tests {
             n: 20,
             seed: 1,
             smoke: false,
+            batch: false,
         };
         let perturbed = Scenario { seed: 2, ..base };
         let a = base.run(base.variants()[0]);

@@ -1,0 +1,668 @@
+//! The batch executor: `W` independent simulations run in lockstep over
+//! **one** graph traversal.
+//!
+//! The paper's evaluation shape is many same-program runs on a shared
+//! topology — different seeds, advice strings and root choices.  Running
+//! them one at a time re-walks the same CSR adjacency `W` times.  A
+//! [`BatchSim`] (built with [`Sim::batch`]) instead runs a *fleet of
+//! fleets*: `fleets[l][u]` is the program node `u` runs in lane `l`, and
+//! every round the executor walks the CSR **once**, stepping each node's
+//! `W` lane programs back to back while their messages live side by side in
+//! one lane-striped [`BatchPlaneStore`].  Graph traversal, plane
+//! management, the plane pool checkout and (under the sharded engine) the
+//! `Partition` and its boundary exchange are all amortized across the whole
+//! batch — the FRAIG-style word-parallel simulation idea applied at the
+//! executor level, with [`crate::lanes`] providing the genuinely word-packed
+//! variant for bit-sized payloads.
+//!
+//! **Per-lane semantics are exactly the single-run semantics.**  Each lane
+//! carries its own `PendingRound` accounting, its own [`RunStats`], trace
+//! and error state; a lane that finishes (or fails) drops out of the batch
+//! through the per-lane done-bitmask ([`LaneWords`]) without stalling the
+//! others, draining its message stripe so the shared plane's round-reset
+//! invariants hold.  `batched(W)` is therefore bit-for-bit equal to `W`
+//! sequential runs — outputs, stats, traces, errors, and golden digests —
+//! which the `runtime_equivalence` suite and the scenario registry's batch
+//! cells pin at `W ∈ {1, 2, 8, 64}`.
+
+use crate::algorithm::{MsgSink, NodeAlgorithm, SendSlot};
+use crate::batch_plane::BatchPlaneStore;
+use crate::driver::{Engine, Sim};
+use crate::lanes::LaneWords;
+use crate::message::BitSized;
+use crate::plane::{ArenaPlane, Backing, MessagePlane, PlaneStore};
+use crate::pool;
+use crate::runtime::{PendingError, PendingRound, RunConfig, RunError, RunResult, Runtime};
+use crate::stats::RunStats;
+use crate::trace::TraceEvent;
+use lma_graph::{IncidentEdge, Partition, Port};
+
+/// The per-lane outcomes of a batch run: one entry per lane, index for
+/// index with the `fleets` handed to [`BatchSim::run`], each exactly what
+/// [`Sim::run`] would have returned for that fleet alone.
+pub type LaneResults<O> = Vec<Result<RunResult<O>, RunError>>;
+
+/// A configured batch of `W` lockstep simulations: a [`Sim`] plus a lane
+/// count.  Built with [`Sim::batch`]; see the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSim<'g> {
+    sim: Sim<'g>,
+    lanes: usize,
+}
+
+impl<'g> BatchSim<'g> {
+    pub(crate) fn new(sim: Sim<'g>, lanes: usize) -> Self {
+        Self { sim, lanes }
+    }
+
+    /// The underlying single-run simulation (graph + every run knob).
+    #[must_use]
+    pub fn sim(&self) -> &Sim<'g> {
+        &self.sim
+    }
+
+    /// The lane count `W`.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Runs `W` program fleets in lockstep: `fleets[l][u]` is the program
+    /// node `u` runs in lane `l`.  Returns one per-lane result, index for
+    /// index with `fleets` — each exactly what [`Sim::run`] would have
+    /// returned for that fleet alone (a failing lane reports its own error;
+    /// the other lanes complete).
+    ///
+    /// Dispatches like [`Sim::run`]: the sharded engine tiles shard × lane
+    /// (one barrier cycle per round for the whole batch), the reference
+    /// engine falls back to per-lane oracle runs, everything else runs the
+    /// sequential lockstep loop on the configured plane backing.
+    pub fn run<A: NodeAlgorithm>(
+        &self,
+        fleets: Vec<Vec<A>>,
+    ) -> Result<LaneResults<A::Output>, BatchShapeError> {
+        if fleets.len() != self.lanes {
+            return Err(BatchShapeError {
+                expected: self.lanes,
+                got: fleets.len(),
+            });
+        }
+        if self.lanes == 0 {
+            return Ok(Vec::new());
+        }
+        let graph = self.sim.graph();
+        let config = self.sim.config();
+        if self.sim.engine() == Engine::Reference {
+            // The push-based oracle has no plane to stripe; run the lanes
+            // through it one by one (differential-testing path only).
+            return Ok(fleets.into_iter().map(|f| self.sim.run(f)).collect());
+        }
+        if let Some(threads) = config.threads {
+            if threads.get() > 1 && graph.node_count() > 1 {
+                let views = Runtime::with_config(graph, config).local_views();
+                let partition = Partition::new(graph.csr(), threads.get());
+                return Ok(crate::batch_sharded::run_batch_sharded(
+                    graph, config, &partition, &views, fleets,
+                ));
+            }
+        }
+        Ok(run_batch_sequential(graph, config, fleets))
+    }
+}
+
+/// The batch was handed the wrong number of fleets (`fleets.len() != W`).
+/// Shape errors are the caller's bug, not a lane outcome, so they surface
+/// separately from the per-lane [`RunError`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchShapeError {
+    /// The batch's configured lane count.
+    pub expected: usize,
+    /// The number of fleets actually supplied.
+    pub got: usize,
+}
+
+impl std::fmt::Display for BatchShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch of {} lanes was handed {} fleets",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for BatchShapeError {}
+
+impl<'g> Sim<'g> {
+    /// Turns this simulation into a batch of `lanes` lockstep runs sharing
+    /// one traversal (see [`BatchSim`] and the [`crate::batch`] docs).
+    #[must_use]
+    pub fn batch(self, lanes: usize) -> BatchSim<'g> {
+        BatchSim::new(self, lanes)
+    }
+}
+
+/// The lane-aware scatter sink: the batch executors' counterpart of the
+/// single-run `Scatter`, storing into `(slot, lane)` of a lane-striped
+/// plane while accumulating that lane's own [`PendingRound`].  Validation,
+/// accounting and error latching are copied line for line so the per-lane
+/// error semantics (first fatal event wins, surfaced at delivery) match the
+/// single-run executor exactly.
+pub(crate) struct BatchScatter<'a, M, S: PlaneStore<M>> {
+    pub node: usize,
+    /// First slot of `node` in the global slot space (`offsets[node]`).
+    pub base: usize,
+    pub degree: usize,
+    pub delivery_round: usize,
+    pub plane: &'a mut BatchPlaneStore<M, S>,
+    /// Global index of the plane's graph slot 0 (0 sequential, the shard's
+    /// first slot under the sharded engine).
+    pub plane_offset: usize,
+    pub lane: usize,
+    pub spare: &'a mut Vec<M>,
+    pub pending: &'a mut PendingRound,
+    pub incident: &'a [IncidentEdge],
+    pub budget: Option<usize>,
+    pub enforce_congest: bool,
+    pub trace: bool,
+}
+
+impl<M: BitSized, S: PlaneStore<M>> BatchScatter<'_, M, S> {
+    fn accept(&mut self, port: Port) -> Option<usize> {
+        if self.pending.error.is_some() {
+            return None;
+        }
+        if port >= self.degree {
+            self.pending.error = Some(PendingError::Malformed {
+                node: self.node,
+                port,
+            });
+            return None;
+        }
+        Some(self.base + port)
+    }
+
+    fn reject(&mut self, occupied: crate::plane::SlotOccupied) {
+        // `occupied.slot` is already back in graph-slot space (the batch
+        // plane un-stripes it), so the mapping matches the single-run path.
+        self.pending.error = Some(PendingError::Malformed {
+            node: self.node,
+            port: occupied.slot + self.plane_offset - self.base,
+        });
+    }
+
+    fn account(&mut self, slot: usize, size: usize) {
+        self.pending.messages += 1;
+        self.pending.bits += size as u64;
+        self.pending.max_bits = self.pending.max_bits.max(size);
+        if let Some(b) = self.budget {
+            if size > b {
+                if self.enforce_congest {
+                    self.pending.error = Some(PendingError::Congest { bits: size });
+                    return;
+                }
+                self.pending.violations += 1;
+            }
+        }
+        if self.trace {
+            self.pending.events.push(TraceEvent {
+                round: self.delivery_round,
+                from: self.node,
+                to: self.incident[slot].neighbor,
+                bits: size,
+            });
+        }
+    }
+}
+
+impl<M: BitSized, S: PlaneStore<M>> SendSlot<M> for BatchScatter<'_, M, S> {
+    fn send(&mut self, port: Port, msg: M) {
+        let Some(slot) = self.accept(port) else {
+            return;
+        };
+        let size = msg.bit_size();
+        match self
+            .plane
+            .store(slot - self.plane_offset, self.lane, msg, self.spare)
+        {
+            Ok(()) => self.account(slot, size),
+            Err(occupied) => self.reject(occupied),
+        }
+    }
+
+    fn send_ref(&mut self, port: Port, msg: &M) {
+        let Some(slot) = self.accept(port) else {
+            return;
+        };
+        let size = msg.bit_size();
+        match self
+            .plane
+            .store_ref(slot - self.plane_offset, self.lane, msg)
+        {
+            Ok(()) => self.account(slot, size),
+            Err(occupied) => self.reject(occupied),
+        }
+    }
+}
+
+/// The sequential lockstep loop, dispatched on the configured backing.
+pub(crate) fn run_batch_sequential<A: NodeAlgorithm>(
+    graph: &lma_graph::WeightedGraph,
+    config: RunConfig,
+    fleets: Vec<Vec<A>>,
+) -> LaneResults<A::Output> {
+    match config.backing {
+        Backing::Inline => {
+            run_batch_sequential_on::<MessagePlane<A::Msg>, A>(graph, config, fleets)
+        }
+        Backing::Arena => run_batch_sequential_on::<ArenaPlane<A::Msg>, A>(graph, config, fleets),
+    }
+}
+
+fn run_batch_sequential_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
+    graph: &lma_graph::WeightedGraph,
+    config: RunConfig,
+    fleets: Vec<Vec<A>>,
+) -> LaneResults<A::Output> {
+    let lanes = fleets.len();
+    let mut set = pool::checkout_batch::<A::Msg, S>(graph.csr().slot_count(), lanes);
+    let results = batch_loop(graph, config, &mut set, fleets);
+    pool::give_back_batch(set);
+    results
+}
+
+/// The core lockstep loop.  Structured exactly like the single-run
+/// `sequential_loop`, with every piece of per-run state turned into a
+/// per-lane vector and the done-check, round-limit check and pending-error
+/// commit applied lane by lane in the same order the single-run loop
+/// applies them — that ordering is what makes `batched(W)` bit-identical
+/// to `W` sequential runs.
+#[allow(clippy::too_many_lines)]
+fn batch_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
+    graph: &lma_graph::WeightedGraph,
+    config: RunConfig,
+    set: &mut pool::BatchSet<A::Msg, S>,
+    mut fleets: Vec<Vec<A>>,
+) -> LaneResults<A::Output> {
+    let lanes = fleets.len();
+    let n = graph.node_count();
+    for fleet in &fleets {
+        assert_eq!(fleet.len(), n, "one program per node per lane is required");
+    }
+    let views = Runtime::with_config(graph, config).local_views();
+    let budget = config.model.budget();
+    let csr = graph.csr();
+    let offsets = csr.offsets();
+    let mirror = csr.mirror_table();
+    let incident = csr.incident_flat();
+
+    let pool::BatchSet {
+        cur,
+        next,
+        inbox,
+        spare,
+    } = set;
+    let mut pending: Vec<PendingRound> = (0..lanes).map(|_| PendingRound::default()).collect();
+    let mut events: Vec<Vec<TraceEvent>> = (0..lanes).map(|_| Vec::new()).collect();
+    let mut stats: Vec<RunStats> = (0..lanes).map(|_| RunStats::default()).collect();
+    let mut done_counts = vec![0usize; lanes];
+    let mut results: Vec<Option<Result<RunResult<A::Output>, RunError>>> =
+        (0..lanes).map(|_| None).collect();
+    // The per-lane done-bitmask: lanes still running.  Finished lanes drop
+    // out without stalling the batch.
+    let mut active = LaneWords::new(lanes);
+    active.fill();
+
+    // Initialization: every lane's round-0 local computation, node-major so
+    // the views are walked once.
+    for u in 0..n {
+        for l in 0..lanes {
+            let mut scatter = BatchScatter {
+                node: u,
+                base: offsets[u],
+                degree: offsets[u + 1] - offsets[u],
+                delivery_round: 1,
+                plane: &mut *cur,
+                plane_offset: 0,
+                lane: l,
+                spare: &mut *spare,
+                pending: &mut pending[l],
+                incident,
+                budget,
+                enforce_congest: config.enforce_congest,
+                trace: config.trace,
+            };
+            fleets[l][u].init_into(&views[u], &mut MsgSink::new(&mut scatter));
+            if fleets[l][u].is_done() {
+                done_counts[l] += 1;
+            }
+        }
+    }
+
+    let mut round = 0usize;
+    loop {
+        // Lane finalization first — the batch analogue of the single-run
+        // `while done_count < n` condition: a fully done lane completes
+        // *before* the round-limit check, and its final-step traffic is
+        // dropped, never counted (drained out of the shared plane so the
+        // round-reset invariants hold for the lanes that keep going).
+        for l in active.ones().collect::<Vec<_>>() {
+            if done_counts[l] >= n {
+                cur.drain_lane(l, spare);
+                pending[l].reset();
+                let outputs = fleets[l].iter().map(NodeAlgorithm::output).collect();
+                let mut lane_events = std::mem::take(&mut events[l]);
+                results[l] = Some(Ok(RunResult {
+                    outputs,
+                    stats: std::mem::take(&mut stats[l]),
+                    trace: config.trace.then(|| {
+                        lane_events.sort_by_key(|e| (e.round, e.from, e.to));
+                        lane_events
+                    }),
+                }));
+                active.clear(l);
+            }
+        }
+        if !active.any() {
+            break;
+        }
+        if round >= config.max_rounds {
+            for l in active.ones().collect::<Vec<_>>() {
+                results[l] = Some(Err(RunError::RoundLimitExceeded {
+                    limit: config.max_rounds,
+                }));
+                // Pending errors are shadowed by the round limit, exactly as
+                // in the single-run loop.  The planes are left as-is; the
+                // pool's checkout `prepare` clears them for the next run.
+            }
+            break;
+        }
+        round += 1;
+
+        // Commit each active lane's scattered traffic: errors first (in
+        // scatter order within the lane), then stats and trace.
+        for l in active.ones().collect::<Vec<_>>() {
+            let p = &mut pending[l];
+            let failure = match p.error {
+                Some(PendingError::Malformed { node, port }) => {
+                    Some(RunError::MalformedOutbox { node, port })
+                }
+                Some(PendingError::Congest { bits }) => Some(RunError::CongestViolation {
+                    round,
+                    bits,
+                    budget: budget.expect("congest error implies a budget"),
+                }),
+                None => None,
+            };
+            if let Some(error) = failure {
+                results[l] = Some(Err(error));
+                p.reset();
+                cur.drain_lane(l, spare);
+                active.clear(l);
+                continue;
+            }
+            stats[l].record_round(p.messages, p.bits, p.max_bits, p.violations);
+            if config.trace {
+                events[l].append(&mut p.events);
+            }
+            p.reset();
+        }
+        if !active.any() {
+            break;
+        }
+
+        // Deliver and step: one CSR walk for the whole batch.  Per node,
+        // every active lane gathers (unconditionally — done nodes of live
+        // lanes still drain their stripe) and steps back to back, so the
+        // offsets/mirror/incident cache lines are touched once per node for
+        // all W runs.
+        for v in 0..n {
+            let base = offsets[v];
+            let degree = offsets[v + 1] - base;
+            for l in active.ones() {
+                if S::RECYCLES {
+                    spare.extend(inbox.drain(..).map(|(_, m)| m));
+                } else {
+                    inbox.clear();
+                }
+                for (p, &sender_slot) in mirror[base..base + degree].iter().enumerate() {
+                    if let Some(msg) = cur.fetch(sender_slot, l, spare) {
+                        inbox.push((p, msg));
+                    }
+                }
+                if fleets[l][v].is_done() {
+                    continue;
+                }
+                let mut scatter = BatchScatter {
+                    node: v,
+                    base,
+                    degree,
+                    delivery_round: round + 1,
+                    plane: &mut *next,
+                    plane_offset: 0,
+                    lane: l,
+                    spare: &mut *spare,
+                    pending: &mut pending[l],
+                    incident,
+                    budget,
+                    enforce_congest: config.enforce_congest,
+                    trace: config.trace,
+                };
+                fleets[l][v].round_into(&views[v], round, inbox, &mut MsgSink::new(&mut scatter));
+                if fleets[l][v].is_done() {
+                    done_counts[l] += 1;
+                }
+            }
+        }
+
+        std::mem::swap(cur, next);
+        next.reset_round();
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane was finalized"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{LocalView, Outbox};
+    use lma_graph::generators::{gnp_connected, ring};
+    use lma_graph::weights::WeightStrategy;
+    use lma_graph::WeightedGraph;
+
+    /// Flood the maximum identifier, finishing after `n` quiet rounds.
+    struct MaxIdFlood {
+        best: u64,
+        quiet_for: usize,
+        done: bool,
+    }
+
+    impl NodeAlgorithm for MaxIdFlood {
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+            self.best = view.id;
+            (0..view.degree()).map(|p| (p, self.best)).collect()
+        }
+
+        fn round(&mut self, view: &LocalView, _round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+            let before = self.best;
+            for (_, id) in inbox {
+                self.best = self.best.max(*id);
+            }
+            if self.best == before {
+                self.quiet_for += 1;
+            } else {
+                self.quiet_for = 0;
+            }
+            if self.quiet_for >= view.n {
+                self.done = true;
+                return Vec::new();
+            }
+            (0..view.degree()).map(|p| (p, self.best)).collect()
+        }
+
+        fn is_done(&self) -> bool {
+            self.done
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.done.then_some(self.best)
+        }
+    }
+
+    fn flood_fleet(n: usize) -> Vec<MaxIdFlood> {
+        (0..n)
+            .map(|_| MaxIdFlood {
+                best: 0,
+                quiet_for: 0,
+                done: false,
+            })
+            .collect()
+    }
+
+    fn assert_lanes_match_sequential(graph: &WeightedGraph, sim: Sim<'_>, lanes: usize) {
+        let n = graph.node_count();
+        let batched = sim
+            .batch(lanes)
+            .run((0..lanes).map(|_| flood_fleet(n)).collect())
+            .unwrap();
+        let solo = sim.run(flood_fleet(n)).unwrap();
+        for (l, lane) in batched.iter().enumerate() {
+            let lane = lane.as_ref().expect("flood lanes succeed");
+            assert_eq!(lane.outputs, solo.outputs, "lane {l} outputs");
+            assert_eq!(lane.stats, solo.stats, "lane {l} stats");
+            assert_eq!(lane.trace, solo.trace, "lane {l} trace");
+        }
+    }
+
+    #[test]
+    fn batched_flood_is_bit_identical_to_sequential_per_lane() {
+        let g = ring(13, WeightStrategy::DistinctRandom { seed: 5 });
+        let sim = Sim::on(&g).trace(true);
+        for lanes in [1usize, 2, 8] {
+            assert_lanes_match_sequential(&g, sim, lanes);
+        }
+    }
+
+    #[test]
+    fn batched_arena_backing_matches_too() {
+        let g = gnp_connected(20, 0.2, 3, WeightStrategy::DistinctRandom { seed: 8 });
+        let sim = Sim::on(&g).trace(true).backing(Backing::Arena);
+        assert_lanes_match_sequential(&g, sim, 3);
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential_lane_for_lane() {
+        let g = gnp_connected(24, 0.15, 11, WeightStrategy::DistinctRandom { seed: 4 });
+        for backing in [Backing::Inline, Backing::Arena] {
+            let sim = Sim::on(&g).trace(true).backing(backing).threads(3);
+            assert_lanes_match_sequential(&g, sim, 5);
+        }
+    }
+
+    /// A flood program that, when rogue, also sends through a port it does
+    /// not have — the per-lane malformed-outbox path.
+    struct MaybeRogue {
+        flood: MaxIdFlood,
+        rogue: bool,
+    }
+
+    impl NodeAlgorithm for MaybeRogue {
+        type Msg = u64;
+        type Output = u64;
+
+        fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+            let mut out = self.flood.init(view);
+            if self.rogue {
+                out.push((view.degree(), 99));
+            }
+            out
+        }
+
+        fn round(&mut self, view: &LocalView, round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+            self.flood.round(view, round, inbox)
+        }
+
+        fn is_done(&self) -> bool {
+            self.flood.is_done()
+        }
+
+        fn output(&self) -> Option<u64> {
+            self.flood.output()
+        }
+    }
+
+    fn rogue_fleet(n: usize, rogue: bool) -> Vec<MaybeRogue> {
+        flood_fleet(n)
+            .into_iter()
+            .map(|flood| MaybeRogue { flood, rogue })
+            .collect()
+    }
+
+    #[test]
+    fn failing_lane_reports_its_own_error_and_the_others_complete() {
+        let g = ring(10, WeightStrategy::DistinctRandom { seed: 2 });
+        for threads in [0usize, 3] {
+            let sim = Sim::on(&g).threads(threads);
+            let good = sim.run(rogue_fleet(10, false)).unwrap();
+            let bad = sim.run(rogue_fleet(10, true)).unwrap_err();
+            let results = sim
+                .batch(3)
+                .run(vec![
+                    rogue_fleet(10, false),
+                    rogue_fleet(10, true),
+                    rogue_fleet(10, false),
+                ])
+                .unwrap();
+            assert_eq!(
+                results[1].as_ref().unwrap_err(),
+                &bad,
+                "threads={threads}: the rogue lane fails exactly like its solo run"
+            );
+            for l in [0usize, 2] {
+                let lane = results[l].as_ref().unwrap();
+                assert_eq!(lane.outputs, good.outputs, "threads={threads} lane {l}");
+                assert_eq!(lane.stats, good.stats, "threads={threads} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_lanes_is_an_empty_batch() {
+        let g = ring(4, WeightStrategy::Unit);
+        let results = Sim::on(&g).batch(0).run(Vec::<Vec<MaxIdFlood>>::new());
+        assert!(results.unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_fleet_count_is_a_shape_error() {
+        let g = ring(4, WeightStrategy::Unit);
+        let err = Sim::on(&g).batch(3).run(vec![flood_fleet(4)]).unwrap_err();
+        assert_eq!(
+            err,
+            BatchShapeError {
+                expected: 3,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("3 lanes"));
+    }
+
+    #[test]
+    fn round_limit_fails_every_unfinished_lane() {
+        let g = ring(9, WeightStrategy::Unit);
+        let sim = Sim::on(&g).round_limit(2);
+        let results = sim
+            .batch(2)
+            .run(vec![flood_fleet(9), flood_fleet(9)])
+            .unwrap();
+        for lane in results {
+            assert_eq!(lane.unwrap_err(), RunError::RoundLimitExceeded { limit: 2 });
+        }
+    }
+}

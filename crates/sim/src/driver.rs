@@ -48,6 +48,7 @@
 //! of `bench_substrate` pins this with a counting allocator.
 
 use crate::algorithm::NodeAlgorithm;
+use crate::batch::BatchSim;
 use crate::digest::{fold_error, DigestWriter, RunSummary};
 use crate::executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
 use crate::model::Model;
@@ -326,6 +327,31 @@ pub trait Workload: Send + Sync {
     /// [`WorkloadError::Run`] when the simulator rejects the run.
     fn execute(&self, sim: &Sim<'_>, prep: Self::Prep) -> Result<Self::Outcome, WorkloadError>;
 
+    /// Whether [`execute_batch`](Workload::execute_batch) actually shares a
+    /// traversal across lanes.  The default impl runs lanes one by one, so
+    /// it answers `false`; single-fleet workloads (the [`FleetWorkload`]
+    /// blanket impl) ride the lockstep batch executor and answer `true`.
+    fn supports_batch(&self) -> bool {
+        false
+    }
+
+    /// The distributed phase for a whole batch: one prep per lane, one
+    /// outcome (or error) per lane, index for index.  The default simply
+    /// executes the lanes sequentially; workloads whose distributed phase
+    /// is a fleet run override this to fan the preps into a
+    /// [`BatchSim::run`] so graph traversal and plane management are
+    /// amortized across the batch.
+    fn execute_batch(
+        &self,
+        batch: &BatchSim<'_>,
+        preps: Vec<Self::Prep>,
+    ) -> Vec<Result<Self::Outcome, WorkloadError>> {
+        preps
+            .into_iter()
+            .map(|prep| self.execute(batch.sim(), prep))
+            .collect()
+    }
+
     /// Independent (centralized) verification of the outcome.
     ///
     /// # Errors
@@ -358,6 +384,38 @@ pub fn run_workload<W: Workload + ?Sized>(
     let outcome = workload.execute(sim, prep)?;
     workload.verify(sim.graph(), &outcome)?;
     Ok(outcome)
+}
+
+/// Runs a [`Workload`] once per lane of `batch` — prepare `W` times,
+/// execute the lanes through [`Workload::execute_batch`] (lockstep when the
+/// workload supports it), verify each lane independently — returning one
+/// result per lane, index for index.  Each lane's result is exactly what
+/// [`run_workload`] would have produced on `batch.sim()` alone; the batch
+/// changes the cost, never the outcome.
+pub fn run_workload_batch<W: Workload + ?Sized>(
+    workload: &W,
+    batch: &BatchSim<'_>,
+) -> Vec<Result<W::Outcome, WorkloadError>> {
+    let graph = batch.sim().graph();
+    let mut preps = Vec::with_capacity(batch.lanes());
+    for _ in 0..batch.lanes() {
+        match workload.prepare(graph) {
+            Ok(prep) => preps.push(prep),
+            // Prepare is deterministic per graph: a failure fails every
+            // lane the same way, exactly as `W` solo pipelines would.
+            Err(e) => return (0..batch.lanes()).map(|_| Err(e.clone())).collect(),
+        }
+    }
+    workload
+        .execute_batch(batch, preps)
+        .into_iter()
+        .map(|lane| {
+            lane.and_then(|outcome| {
+                workload.verify(graph, &outcome)?;
+                Ok(outcome)
+            })
+        })
+        .collect()
 }
 
 /// A [`Workload`] whose distributed phase is a single fleet run: one
@@ -440,6 +498,28 @@ impl<F: FleetWorkload> Workload for F {
         self.collate(sim.graph(), prep, result)
     }
 
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn execute_batch(
+        &self,
+        batch: &BatchSim<'_>,
+        preps: Vec<Self::Prep>,
+    ) -> Vec<Result<Self::Outcome, WorkloadError>> {
+        let graph = batch.sim().graph();
+        let fleets = preps.iter().map(|p| self.programs(graph, p)).collect();
+        let lane_results = batch.run(fleets).expect("one fleet per lane was supplied");
+        preps
+            .into_iter()
+            .zip(lane_results)
+            .map(|(prep, lane)| match lane {
+                Ok(result) => self.collate(graph, prep, result),
+                Err(e) => Err(WorkloadError::Run(e)),
+            })
+            .collect()
+    }
+
     fn verify(&self, graph: &WeightedGraph, outcome: &Self::Outcome) -> Result<(), WorkloadError> {
         FleetWorkload::verify(self, graph, outcome)
     }
@@ -476,6 +556,25 @@ pub trait DynWorkload: Send + Sync {
     /// [`WorkloadError::Prepare`] / [`WorkloadError::Invalid`] from the
     /// centralized phases.
     fn run_fold(&self, sim: &Sim<'_>, w: &mut DigestWriter) -> Result<RunSummary, WorkloadError>;
+
+    /// See [`Workload::supports_batch`].
+    fn supports_batch(&self) -> bool;
+
+    /// Runs the workload once per lane of a `lanes`-wide batch on `sim` via
+    /// [`run_workload_batch`], folding each lane into its own writer
+    /// (`writers[l]` ↔ lane `l`) with the same outcome-or-run-error folding
+    /// as [`run_fold`](DynWorkload::run_fold).  Returns one summary per
+    /// lane.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Prepare`] / [`WorkloadError::Invalid`] from the
+    /// centralized phases of any lane.
+    fn run_fold_batch(
+        &self,
+        sim: &Sim<'_>,
+        lanes: usize,
+        writers: &mut [DigestWriter],
+    ) -> Result<Vec<RunSummary>, WorkloadError>;
 }
 
 impl<W: Workload> DynWorkload for W {
@@ -503,6 +602,38 @@ impl<W: Workload> DynWorkload for W {
             }
             Err(other) => Err(other),
         }
+    }
+
+    fn supports_batch(&self) -> bool {
+        Workload::supports_batch(self)
+    }
+
+    fn run_fold_batch(
+        &self,
+        sim: &Sim<'_>,
+        lanes: usize,
+        writers: &mut [DigestWriter],
+    ) -> Result<Vec<RunSummary>, WorkloadError> {
+        assert_eq!(writers.len(), lanes, "one digest writer per lane");
+        let batch = (*sim).batch(lanes);
+        let mut summaries = Vec::with_capacity(lanes);
+        for (lane, w) in run_workload_batch(self, &batch)
+            .into_iter()
+            .zip(writers.iter_mut())
+        {
+            match lane {
+                Ok(outcome) => {
+                    self.fold(w, &outcome);
+                    summaries.push(self.summary(&outcome));
+                }
+                Err(WorkloadError::Run(error)) => {
+                    fold_error(w, &error);
+                    summaries.push(RunSummary::of_error());
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(summaries)
     }
 }
 
@@ -714,6 +845,30 @@ mod tests {
             ok_digest,
             "error payloads must re-key the digest"
         );
+    }
+
+    #[test]
+    fn batched_workload_folds_match_solo_runs_lane_for_lane() {
+        let g = ring(9, WeightStrategy::Unit);
+        let ok: &dyn DynWorkload = &EchoWorkload { round_limit: None };
+        let failing: &dyn DynWorkload = &EchoWorkload {
+            round_limit: Some(1),
+        };
+        assert!(ok.supports_batch(), "fleet workloads batch natively");
+        for workload in [ok, failing] {
+            let sim = workload.tune(Sim::on(&g));
+            let mut solo = DigestWriter::new();
+            let solo_summary = workload.run_fold(&sim, &mut solo).unwrap();
+            let solo_digest = solo.finish();
+
+            let lanes = 3;
+            let mut writers: Vec<DigestWriter> = (0..lanes).map(|_| DigestWriter::new()).collect();
+            let summaries = workload.run_fold_batch(&sim, lanes, &mut writers).unwrap();
+            assert_eq!(summaries, vec![solo_summary; lanes]);
+            for w in writers {
+                assert_eq!(w.finish(), solo_digest, "per-lane digest drifted");
+            }
+        }
     }
 
     #[test]

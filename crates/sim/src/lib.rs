@@ -70,10 +70,14 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod batch;
+pub mod batch_plane;
+pub(crate) mod batch_sharded;
 pub mod bitset;
 pub mod digest;
 pub mod driver;
 pub mod executor;
+pub mod lanes;
 pub mod message;
 pub mod model;
 pub mod plane;
@@ -86,10 +90,16 @@ pub mod trace;
 pub mod wire;
 
 pub use algorithm::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox};
+pub use batch::{BatchShapeError, BatchSim, LaneResults};
+pub use batch_plane::{BatchArenaPlane, BatchInlinePlane, BatchPlaneStore};
 pub use bitset::FixedBitSet;
 pub use digest::{Digest, DigestWriter, RunSummary};
-pub use driver::{run_workload, DynWorkload, Engine, FleetWorkload, Sim, Workload, WorkloadError};
+pub use driver::{
+    run_workload, run_workload_batch, DynWorkload, Engine, FleetWorkload, Sim, Workload,
+    WorkloadError,
+};
 pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
+pub use lanes::{BitFleet, LaneWords};
 pub use message::BitSized;
 pub use model::Model;
 pub use plane::{ArenaPlane, Backing, MessagePlane, PlaneStore, SlotOccupied};

@@ -17,6 +17,7 @@
 //! semantics, only the allocation profile.  [`stats`] exposes hit/miss
 //! counters so tests and benches can assert the reuse actually happens.
 
+use crate::batch_plane::BatchPlaneStore;
 use crate::plane::PlaneStore;
 use lma_graph::Port;
 use std::any::{Any, TypeId};
@@ -109,6 +110,76 @@ pub fn stats() -> PoolStats {
     STATS.get()
 }
 
+/// The batch executor's reusable buffers: the lane-striped plane pair plus
+/// the shared gather buffer and spare pool — one entry per `(message type,
+/// backing)` pair, pooled independently of the single-run sets (the inner
+/// planes are `W×` larger, so swapping them into single-run service would
+/// just thrash the resize path).
+pub(crate) struct BatchSet<M, S: PlaneStore<M>> {
+    /// Gather source (delivery) plane.
+    pub cur: BatchPlaneStore<M, S>,
+    /// Scatter target plane for the next round.
+    pub next: BatchPlaneStore<M, S>,
+    /// The per-`(node, lane)` gather buffer (cleared between lanes).
+    pub inbox: Vec<(Port, M)>,
+    /// Spent message values awaiting revival, shared by every lane.
+    pub spare: Vec<M>,
+}
+
+impl<M, S: PlaneStore<M>> BatchSet<M, S> {
+    fn new(slots: usize, lanes: usize) -> Self {
+        Self {
+            cur: BatchPlaneStore::new(slots, lanes),
+            next: BatchPlaneStore::new(slots, lanes),
+            inbox: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    fn prepare(&mut self, slots: usize, lanes: usize) {
+        self.cur.prepare(slots, lanes);
+        self.next.prepare(slots, lanes);
+        if S::RECYCLES {
+            self.spare.extend(self.inbox.drain(..).map(|(_, m)| m));
+        } else {
+            self.inbox.clear();
+            self.spare.clear();
+        }
+    }
+}
+
+/// Checks a batch plane set out of this thread's pool, resized and cleared
+/// for `slots × lanes` striped slots.
+pub(crate) fn checkout_batch<M: 'static, S: PlaneStore<M>>(
+    slots: usize,
+    lanes: usize,
+) -> BatchSet<M, S> {
+    let reused = POOL.with(|pool| pool.borrow_mut().remove(&TypeId::of::<BatchSet<M, S>>()));
+    let mut stats = STATS.get();
+    match reused.and_then(|boxed| boxed.downcast::<BatchSet<M, S>>().ok()) {
+        Some(mut set) => {
+            stats.hits += 1;
+            STATS.set(stats);
+            set.prepare(slots, lanes);
+            *set
+        }
+        None => {
+            stats.misses += 1;
+            STATS.set(stats);
+            BatchSet::new(slots, lanes)
+        }
+    }
+}
+
+/// Returns a batch plane set to this thread's pool for the next batch to
+/// reuse.
+pub(crate) fn give_back_batch<M: 'static, S: PlaneStore<M>>(set: BatchSet<M, S>) {
+    POOL.with(|pool| {
+        pool.borrow_mut()
+            .insert(TypeId::of::<BatchSet<M, S>>(), Box::new(set))
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +233,24 @@ mod tests {
     fn inbox_fill(inbox: &mut Vec<(Port, u64)>) {
         inbox.push((0, 1));
         inbox.push((1, 2));
+    }
+
+    #[test]
+    fn batch_sets_pool_independently_and_reshape_on_checkout() {
+        let single: PlaneSet<u8, MessagePlane<u8>> = checkout(4);
+        give_back(single);
+        let batch: BatchSet<u8, MessagePlane<u8>> = checkout_batch(4, 3);
+        assert_eq!(batch.cur.slots(), 4);
+        assert_eq!(batch.cur.lanes(), 3);
+        give_back_batch(batch);
+        // Reuse must reshape to the new (slots, lanes) geometry.
+        let batch: BatchSet<u8, MessagePlane<u8>> = checkout_batch(2, 8);
+        assert_eq!(batch.next.slots(), 2);
+        assert_eq!(batch.next.lanes(), 8);
+        give_back_batch(batch);
+        // The single-run set is still poolable under its own key.
+        let single: PlaneSet<u8, MessagePlane<u8>> = checkout(4);
+        assert_eq!(single.cur.len(), 4);
+        give_back(single);
     }
 }

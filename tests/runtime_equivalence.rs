@@ -16,7 +16,13 @@
 //!    G(n, p) and sparse random graphs at several shard counts, including
 //!    every error path (malformed outbox, round limit, CONGEST enforcement);
 //! 4. the `sync_boruvka` baseline (the most protocol-heavy consumer of the
-//!    simulator) reproduces identical results across runs and models.
+//!    simulator) reproduces identical results across runs and models;
+//! 5. **batch equivalence** — the lockstep fleet executor
+//!    ([`lma_sim::BatchSim`]) at widths 1, 2 and 8 produces, lane for lane,
+//!    bit-identical outputs, stats and traces to sequential runs of the same
+//!    programs, on both plane backings, sequential and sharded, including
+//!    the malformed-outbox error path (the failing lane alone reports the
+//!    sequential run's exact error; every other lane completes).
 
 use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};
 use lma_graph::generators::{connected_random, gnp_connected, grid, ring};
@@ -481,6 +487,109 @@ fn flood_collect_is_bit_identical_across_backings_shards_and_push() {
 fn sync_boruvka_is_bit_identical_across_backings_shards_and_push() {
     let g = connected_random(30, 75, 43, WeightStrategy::DistinctRandom { seed: 43 });
     assert_baseline_backing_equivalence(SyncBoruvkaMst, &g);
+}
+
+/// The batch widths every fleet-equivalence test sweeps (1 pins the
+/// degenerate single-lane batch; 8 exercises multi-lane striping).
+const BATCH_WIDTHS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn batched_fleets_match_sequential_lane_for_lane() {
+    for (name, g) in graphs() {
+        for sim in sims(&g) {
+            let solo = sim
+                .run(g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+                .unwrap();
+            for lanes in BATCH_WIDTHS {
+                for threads in [1usize, 3] {
+                    let fleets = (0..lanes)
+                        .map(|_| g.nodes().map(|_| MaxIdFlood::new()).collect::<Vec<_>>())
+                        .collect();
+                    let results = sim.threads(threads).batch(lanes).run(fleets).unwrap();
+                    assert_eq!(results.len(), lanes);
+                    for (lane, result) in results.into_iter().enumerate() {
+                        assert_identical(
+                            &solo,
+                            &result.unwrap(),
+                            &format!("{name}/W={lanes}/threads={threads}/lane={lane}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_sparse_traffic_matches_sequential_lane_for_lane() {
+    for (name, g) in graphs() {
+        for sim in sims(&g) {
+            let mk = || {
+                g.nodes()
+                    .map(|_| MinForward {
+                        best: 0,
+                        rounds_left: 40,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let solo = sim.run(mk()).unwrap();
+            for lanes in BATCH_WIDTHS {
+                let fleets = (0..lanes).map(|_| mk()).collect();
+                let results = sim.batch(lanes).run(fleets).unwrap();
+                for (lane, result) in results.into_iter().enumerate() {
+                    assert_identical(
+                        &solo,
+                        &result.unwrap(),
+                        &format!("{name}/W={lanes}/lane={lane}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_lane_with_malformed_outbox_fails_alone() {
+    let g = ring(24, WeightStrategy::Unit);
+    // `usize::MAX` never matches a node, so that fleet runs clean; planting
+    // the culprit in exactly one lane must reproduce the sequential error in
+    // that lane — and only there.
+    let mk = |culprit: usize| {
+        g.nodes()
+            .map(|_| DuplicatePort {
+                me: 0,
+                culprit,
+                at_round: 2,
+                done: false,
+            })
+            .collect::<Vec<_>>()
+    };
+    let solo_ok = Sim::on(&g).run(mk(usize::MAX)).unwrap();
+    let solo_err = Sim::on(&g).run(mk(13)).unwrap_err();
+    assert!(matches!(solo_err, RunError::MalformedOutbox { .. }));
+    let lanes = 4;
+    let rogue = 2;
+    for backing in [Backing::Inline, Backing::Arena] {
+        for threads in [1usize, 3] {
+            let sim = Sim::on(&g).backing(backing).threads(threads);
+            let fleets = (0..lanes)
+                .map(|l| mk(if l == rogue { 13 } else { usize::MAX }))
+                .collect();
+            let results = sim.batch(lanes).run(fleets).unwrap();
+            assert_eq!(results.len(), lanes);
+            for (lane, result) in results.into_iter().enumerate() {
+                let what = format!("backing {backing:?} threads {threads} lane {lane}");
+                if lane == rogue {
+                    assert_eq!(result.unwrap_err(), solo_err, "{what}");
+                } else {
+                    let clean =
+                        result.unwrap_or_else(|e| panic!("{what}: a clean lane failed with {e}"));
+                    assert_eq!(clean.outputs, solo_ok.outputs, "{what}: outputs diverged");
+                    assert_eq!(clean.stats, solo_ok.stats, "{what}: stats diverged");
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -30,7 +30,13 @@
 //!   run skips the JSON export so trajectory files always hold full runs);
 //! * **throughput** — [`BenchmarkGroup::throughput`] with
 //!   [`Throughput::Elements`] records a per-element time (e.g. ns/round)
-//!   next to the absolute sample times in the JSON.
+//!   next to the absolute sample times in the JSON;
+//! * **trajectory honesty** — the JSON export records `host_cpus`, and
+//!   [`finalize`] refuses to overwrite a committed `BENCH_*.json` that was
+//!   recorded on a machine with *more* cores than the current host (a
+//!   laptop re-run would silently rewrite multi-core numbers with
+//!   single-core ones).  `-- --force` overrides the refusal when the
+//!   downgrade is intentional.
 //!
 //! Swap this crate for the real `criterion` in the workspace manifest once
 //! the build environment has network access.
@@ -43,6 +49,7 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 static SMOKE: AtomicBool = AtomicBool::new(false);
+static FORCE: AtomicBool = AtomicBool::new(false);
 
 /// One recorded benchmark result, queued for the JSON trajectory.
 struct RecordedResult {
@@ -89,13 +96,25 @@ pub fn is_smoke() -> bool {
     SMOKE.load(Ordering::Relaxed)
 }
 
+/// True when the bench binary was invoked with `-- --force` (overrides the
+/// fewer-cores refusal to overwrite a committed trajectory).
+#[must_use]
+pub fn is_force() -> bool {
+    FORCE.load(Ordering::Relaxed)
+}
+
 /// Parses the bench binary's CLI (called by [`criterion_main!`] before any
-/// group runs).  Only `--smoke` is interpreted; everything else cargo
-/// forwards (`--bench`, filters) is ignored, like the real criterion would.
+/// group runs).  Only `--smoke` and `--force` are interpreted; everything
+/// else cargo forwards (`--bench`, filters) is ignored, like the real
+/// criterion would.
 #[doc(hidden)]
 pub fn init_from_args() {
-    if std::env::args().any(|a| a == "--smoke") {
-        SMOKE.store(true, Ordering::Relaxed);
+    for arg in std::env::args() {
+        match arg.as_str() {
+            "--smoke" => SMOKE.store(true, Ordering::Relaxed),
+            "--force" => FORCE.store(true, Ordering::Relaxed),
+            _ => {}
+        }
     }
 }
 
@@ -366,13 +385,28 @@ pub fn finalize() {
         .unwrap_or_else(|| "bench".to_string());
     let dir = output_dir();
     let path = dir.join(format!("BENCH_{name}.json"));
+    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    // Trajectory honesty: a committed BENCH json recorded on a bigger
+    // machine must not be silently replaced by numbers from a smaller one —
+    // the sharded/fleet cells would regress for reasons that have nothing to
+    // do with the code.  `--force` acknowledges the downgrade explicitly.
+    if let Some(committed) = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|json| committed_host_cpus(&json))
+    {
+        if committed > host_cpus && !is_force() {
+            eprintln!(
+                "\nrefusing to overwrite {}: it was recorded on {committed} cores, \
+                 this host has {host_cpus}; rerun with `-- --force` to overwrite anyway",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"bench\": \"{}\",\n", escape(&name)));
-    json.push_str(&format!(
-        "  \"host_cpus\": {},\n",
-        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
-    ));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 == results.len() { "" } else { "," };
@@ -398,6 +432,21 @@ pub fn finalize() {
         Ok(()) => println!("\nwrote bench trajectory to {}", path.display()),
         Err(e) => eprintln!("\nfailed to write bench trajectory {}: {e}", path.display()),
     }
+}
+
+/// Extracts the `"host_cpus": N` field from a committed trajectory file.
+/// Hand-rolled like the writer above (no serde in this shim); returns
+/// `None` on any shape surprise so a malformed file never blocks a write.
+fn committed_host_cpus(json: &str) -> Option<usize> {
+    let rest = json.split_once("\"host_cpus\"")?.1;
+    let digits = rest.trim_start_matches([':', ' ', '\t']);
+    let end = digits
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    digits[..end].parse().ok()
 }
 
 /// `target/release/deps/bench_substrate-0f3a…` → `bench_substrate`.
@@ -526,6 +575,15 @@ mod tests {
         assert_eq!(new.len(), 2, "exactly the two broken benches fail: {new:?}");
         assert!(new[0].contains("failing/panics") && new[0].contains("planted failure"));
         assert!(new[1].contains("failing/no_samples"));
+    }
+
+    #[test]
+    fn committed_host_cpus_parses_the_written_shape() {
+        let json = "{\n  \"bench\": \"b\",\n  \"host_cpus\": 96,\n  \"results\": [\n  ]\n}\n";
+        assert_eq!(committed_host_cpus(json), Some(96));
+        assert_eq!(committed_host_cpus("{}"), None);
+        assert_eq!(committed_host_cpus("{\"host_cpus\": }"), None);
+        assert_eq!(committed_host_cpus("{\"host_cpus\":4}"), Some(4));
     }
 
     #[test]
