@@ -342,9 +342,9 @@ fn bench_gossip_backings(c: &mut Criterion) {
             .collect()
     };
     for (name, g) in &graphs {
-        for (backing_name, backing) in [("inline", Backing::Inline), ("arena", Backing::Arena)] {
+        for backing in Backing::ALL {
             let sim = Sim::on(g).backing(backing);
-            group.bench_with_input(BenchmarkId::new(backing_name, name), g, |b, g| {
+            group.bench_with_input(BenchmarkId::new(backing.as_str(), name), g, |b, g| {
                 b.iter(|| black_box(sim.run(fleet(g)).unwrap().stats.total_bits));
             });
         }
@@ -439,6 +439,27 @@ fn bench_fleet_batching(c: &mut Criterion) {
                     },
                 );
             }
+            // Hybrid-backed lanes: the same fleet through 16-byte tagged
+            // cells, against the inline `batch{w}/local` cell above (Ping
+            // encodes to one varint, so every message stays in-cell).
+            let hybrid_sim = Sim::on(g).backing(Backing::Hybrid);
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch{w}/hybrid"), name),
+                g,
+                |b, g| {
+                    b.iter(|| {
+                        let fleets = (0..w).map(|_| ping_fleet(g)).collect();
+                        let total: u64 = hybrid_sim
+                            .batch(w)
+                            .run(fleets)
+                            .unwrap()
+                            .into_iter()
+                            .map(|lane| lane.unwrap().stats.total_messages)
+                            .sum();
+                        black_box(total)
+                    });
+                },
+            );
             // The genuinely bit-sized workload: W reachability floods as
             // packed lanes (⌈W / 64⌉ ORs per edge per round for the whole
             // fleet) against W one-lane floods over the same buffers.

@@ -65,10 +65,7 @@ impl Variant {
     /// batch-executor cells.
     #[must_use]
     pub fn label(&self) -> String {
-        let backing = match self.backing {
-            Backing::Inline => "inline",
-            Backing::Arena => "arena",
-        };
+        let backing = self.backing.as_str();
         match self.lanes {
             Some(w) => format!("batch{w}/{backing}"),
             None => format!("{}/{}", self.engine.label(), backing),
@@ -229,16 +226,17 @@ impl Scenario {
         self
     }
 
-    /// Every cell of this scenario: sequential and sharded engines on both
-    /// backings, plus the push oracle (inline only — it has no plane, so a
-    /// second backing cell would be the same run twice) when the workload
-    /// supports the reference engine, plus — for batch-marked scenarios —
-    /// the lockstep batch executor at every [`BATCH_WIDTHS`] lane count
-    /// (inline) and at `W = 8` on the arena.
+    /// Every cell of this scenario: sequential and sharded engines on every
+    /// backing ([`Backing::ALL`]), plus the push oracle (inline only — it
+    /// has no plane, so a second backing cell would be the same run twice)
+    /// when the workload supports the reference engine, plus — for
+    /// batch-marked scenarios — the lockstep batch executor at every
+    /// [`BATCH_WIDTHS`] lane count (inline) and at `W = 8` on the arena and
+    /// hybrid backings.
     #[must_use]
     pub fn variants(&self) -> Vec<Variant> {
         let mut variants = Vec::new();
-        for backing in [Backing::Inline, Backing::Arena] {
+        for backing in Backing::ALL {
             variants.push(Variant {
                 engine: Engine::Sequential,
                 backing,
@@ -267,11 +265,13 @@ impl Scenario {
                     lanes: NonZeroUsize::new(w),
                 });
             }
-            variants.push(Variant {
-                engine: Engine::Sequential,
-                backing: Backing::Arena,
-                lanes: NonZeroUsize::new(8),
-            });
+            for backing in [Backing::Arena, Backing::Hybrid] {
+                variants.push(Variant {
+                    engine: Engine::Sequential,
+                    backing,
+                    lanes: NonZeroUsize::new(8),
+                });
+            }
         }
         variants
     }
@@ -746,7 +746,7 @@ mod tests {
             "the lock must cover at least 30 cells, got {}",
             cell_count(&scenarios)
         );
-        // All three engines, both backings.
+        // All three engines, every backing.
         let mut engines = std::collections::BTreeSet::new();
         let mut backings = std::collections::BTreeSet::new();
         for s in &scenarios {
@@ -759,9 +759,10 @@ mod tests {
         assert!(engines.contains("sharded2"));
         assert!(engines.contains("sharded4"));
         assert!(engines.contains("push"));
-        assert_eq!(backings.len(), 2);
+        assert_eq!(backings.len(), Backing::ALL.len());
         // Batch cells: at least one batch-marked scenario per label family,
-        // every pinned width on the inline backing plus the arena W=8 cell.
+        // every pinned width on the inline backing plus the arena and
+        // hybrid W=8 cells.
         let batch_labels: std::collections::BTreeSet<String> = scenarios
             .iter()
             .filter(|s| s.batch)
@@ -774,6 +775,7 @@ mod tests {
             "batch8/inline",
             "batch64/inline",
             "batch8/arena",
+            "batch8/hybrid",
         ] {
             assert!(batch_labels.contains(expected), "missing {expected}");
         }

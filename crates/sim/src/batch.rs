@@ -30,7 +30,7 @@ use crate::batch_plane::BatchPlaneStore;
 use crate::driver::{Engine, Sim};
 use crate::lanes::LaneWords;
 use crate::message::BitSized;
-use crate::plane::{ArenaPlane, Backing, MessagePlane, PlaneStore};
+use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
 use crate::pool;
 use crate::runtime::{PendingError, PendingRound, RunConfig, RunError, RunResult, Runtime};
 use crate::stats::RunStats;
@@ -256,6 +256,7 @@ pub(crate) fn run_batch_sequential<A: NodeAlgorithm>(
             run_batch_sequential_on::<MessagePlane<A::Msg>, A>(graph, config, fleets)
         }
         Backing::Arena => run_batch_sequential_on::<ArenaPlane<A::Msg>, A>(graph, config, fleets),
+        Backing::Hybrid => run_batch_sequential_on::<HybridPlane<A::Msg>, A>(graph, config, fleets),
     }
 }
 
@@ -559,7 +560,7 @@ mod tests {
     #[test]
     fn sharded_batch_matches_sequential_lane_for_lane() {
         let g = gnp_connected(24, 0.15, 11, WeightStrategy::DistinctRandom { seed: 4 });
-        for backing in [Backing::Inline, Backing::Arena] {
+        for backing in Backing::ALL {
             let sim = Sim::on(&g).trace(true).backing(backing).threads(3);
             assert_lanes_match_sequential(&g, sim, 5);
         }

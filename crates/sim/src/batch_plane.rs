@@ -10,12 +10,13 @@
 //! [`PlaneStore::export_boundary`] pass, and what keeps the per-round
 //! traversal walking the CSR once for the whole fleet.
 //!
-//! Nothing about the backends changes: [`BatchInlinePlane`] and
-//! [`BatchArenaPlane`] reuse [`MessagePlane`] and [`ArenaPlane`] verbatim
-//! (occupancy, arena bump buffer, spare recycling, boundary export), so the
-//! per-slot semantics pinned by the single-run suites — first write wins,
-//! duplicate port surfaces [`SlotOccupied`], a span is delivered once —
-//! hold per `(slot, lane)` automatically.
+//! Nothing about the backends changes: [`BatchInlinePlane`],
+//! [`BatchArenaPlane`] and [`BatchHybridPlane`] reuse [`MessagePlane`],
+//! [`ArenaPlane`] and [`HybridPlane`] verbatim (occupancy, tagged cells,
+//! arena bump buffer, spare recycling, boundary export), so the per-slot
+//! semantics pinned by the single-run suites — first write wins, duplicate
+//! port surfaces [`SlotOccupied`], a span is delivered once — hold per
+//! `(slot, lane)` automatically.
 //!
 //! One batch-specific operation exists: [`BatchPlaneStore::drain_lane`].
 //! When a lane finishes (or fails) mid-batch, its undelivered final-round
@@ -25,7 +26,7 @@
 //! fully drained.  Draining just the finished lane's stripe keeps that
 //! invariant (and the recycling pool) intact without stalling the batch.
 
-use crate::plane::{ArenaPlane, MessagePlane, PlaneStore, SlotOccupied};
+use crate::plane::{ArenaPlane, HybridPlane, MessagePlane, PlaneStore, SlotOccupied};
 use std::marker::PhantomData;
 
 /// Inline-backed batch plane: `Option<M>` lane-striped slots.
@@ -34,6 +35,10 @@ pub type BatchInlinePlane<M> = BatchPlaneStore<M, MessagePlane<M>>;
 /// Arena-backed batch plane: lane-striped byte spans in one bump arena
 /// shared by every lane's traffic for the round.
 pub type BatchArenaPlane<M> = BatchPlaneStore<M, ArenaPlane<M>>;
+
+/// Hybrid-backed batch plane: lane-striped 16-byte tagged cells, with
+/// oversize messages spilling to the shared bump arena.
+pub type BatchHybridPlane<M> = BatchPlaneStore<M, HybridPlane<M>>;
 
 /// Expands per-graph-slot indices into lane-striped inner indices: each
 /// global slot `s` becomes the `lanes` consecutive entries
@@ -212,9 +217,10 @@ mod tests {
     }
 
     #[test]
-    fn lanes_are_isolated_on_both_backends() {
+    fn lanes_are_isolated_on_all_backends() {
         lane_isolated::<MessagePlane<u64>>();
         lane_isolated::<ArenaPlane<u64>>();
+        lane_isolated::<HybridPlane<u64>>();
     }
 
     #[test]
@@ -248,6 +254,7 @@ mod tests {
     fn drain_lane_empties_only_that_lane() {
         drained_lane_leaves_others::<MessagePlane<u64>>();
         drained_lane_leaves_others::<ArenaPlane<u64>>();
+        drained_lane_leaves_others::<HybridPlane<u64>>();
     }
 
     #[test]
@@ -292,5 +299,6 @@ mod tests {
     fn boundary_exchange_carries_whole_lane_groups() {
         boundary_ships_lane_groups::<MessagePlane<u64>>();
         boundary_ships_lane_groups::<ArenaPlane<u64>>();
+        boundary_ships_lane_groups::<HybridPlane<u64>>();
     }
 }

@@ -3,8 +3,10 @@
 //!
 //! Structure and protocol are exactly [`crate::sharded`]'s — contiguous
 //! shards, private double-buffered planes per worker, parity-alternating
-//! exchange buffers, one barrier cycle per round with the leader merging
-//! per-shard reports in shard order — with one extra dimension: every
+//! exchange buffers (cache-line padded, created empty and first-touched by
+//! their producing worker; see the cache-hygiene notes there), one barrier
+//! cycle per round with the leader merging per-shard reports in shard
+//! order — with one extra dimension: every
 //! worker's planes are [`BatchPlaneStore`]s carrying all `W` lanes of the
 //! shard's slots, every report and every piece of leader state is
 //! per-lane, and the boundary exchange ships **whole lane-groups per
@@ -26,8 +28,9 @@ use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm};
 use crate::batch::{run_batch_sequential, BatchScatter};
 use crate::batch_plane::{expand_lanes, BatchPlaneStore};
 use crate::lanes::LaneWords;
-use crate::plane::{ArenaPlane, Backing, MessagePlane, PlaneStore};
+use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
 use crate::runtime::{PendingError, PendingRound, RunConfig, RunError, RunResult};
+use crate::sharded::CachePadded;
 use crate::stats::RunStats;
 use crate::trace::TraceEvent;
 use lma_graph::{Partition, Port, WeightedGraph};
@@ -87,12 +90,14 @@ struct Shared<M, S: PlaneStore<M>> {
     barrier: Barrier,
     /// `pair_bufs[parity][s * k + t]`, dense over
     /// `partition.boundary(s, t).len() × lanes` positions (whole
-    /// lane-groups per boundary slot).
-    pair_bufs: [Vec<Mutex<S::Boundary>>; 2],
+    /// lane-groups per boundary slot).  Created empty; worker `s` sizes
+    /// and first-touches its own `(s, *)` buffers before its first
+    /// publish.
+    pair_bufs: [Vec<CachePadded<Mutex<S::Boundary>>>; 2],
     /// `boundary_lanes[s * k + t]`: the lane-striped expansion of
     /// `partition.boundary(s, t)`, precomputed once for the whole batch.
     boundary_lanes: Vec<Vec<usize>>,
-    reports: Vec<Mutex<ShardReport>>,
+    reports: Vec<CachePadded<Mutex<ShardReport>>>,
     control: Mutex<Control>,
 }
 
@@ -112,6 +117,9 @@ pub(crate) fn run_batch_sharded<A: NodeAlgorithm>(
         }
         Backing::Arena => {
             run_batch_sharded_on::<ArenaPlane<A::Msg>, A>(graph, config, partition, views, fleets)
+        }
+        Backing::Hybrid => {
+            run_batch_sharded_on::<HybridPlane<A::Msg>, A>(graph, config, partition, views, fleets)
         }
     }
 }
@@ -159,17 +167,12 @@ fn run_batch_sharded_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         }
     }
 
+    // Buffers start empty on the caller thread; each worker sizes and
+    // first-touches its own outgoing buffers (see `crate::sharded`).
     let make_bufs = || {
-        let mut bufs = Vec::with_capacity(k * k);
-        for s in 0..k {
-            for t in 0..k {
-                bufs.push(Mutex::new(BatchPlaneStore::<A::Msg, S>::new_boundary(
-                    partition.boundary(s, t).len(),
-                    lanes,
-                )));
-            }
-        }
-        bufs
+        (0..k * k)
+            .map(|_| CachePadded(Mutex::new(S::Boundary::default())))
+            .collect()
     };
     let mut boundary_lanes = Vec::with_capacity(k * k);
     for s in 0..k {
@@ -183,10 +186,10 @@ fn run_batch_sharded_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         boundary_lanes,
         reports: (0..k)
             .map(|_| {
-                Mutex::new(ShardReport {
+                CachePadded(Mutex::new(ShardReport {
                     lanes: (0..lanes).map(|_| LaneReport::default()).collect(),
                     panic: None,
-                })
+                }))
             })
             .collect(),
         control: Mutex::new(Control {
@@ -289,6 +292,20 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
     // Lanes this worker knows to be finished (drained on first sight).
     let mut finished_seen = LaneWords::new(lanes);
 
+    // First-touch: allocate this shard's outgoing exchange buffers (both
+    // parities) on this thread, before the first publish.  Consumers only
+    // read them after the first barrier cycle, so this is race-free.
+    for parity in 0..2 {
+        for t in 0..k {
+            let boundary = partition.boundary(s, t);
+            if boundary.is_empty() {
+                continue;
+            }
+            *shared.pair_bufs[parity][s * k + t].0.lock().unwrap() =
+                BatchPlaneStore::<A::Msg, S>::new_boundary(boundary.len(), lanes);
+        }
+    }
+
     // Initialization: every lane's round-0 local computation producing
     // round-1 traffic, scattered into `cur` and drained into the parity-1
     // exchange buffers.
@@ -360,7 +377,7 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         for (src, buf) in incoming.iter_mut().enumerate() {
             if src != s && !partition.boundary(src, s).is_empty() {
                 *buf = std::mem::take(
-                    &mut *shared.pair_bufs[read_parity][src * k + s].lock().unwrap(),
+                    &mut *shared.pair_bufs[read_parity][src * k + s].0.lock().unwrap(),
                 );
             }
         }
@@ -439,7 +456,7 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         // the next export).
         for (src, buf) in incoming.iter_mut().enumerate() {
             if src != s && !partition.boundary(src, s).is_empty() {
-                *shared.pair_bufs[read_parity][src * k + s].lock().unwrap() = std::mem::take(buf);
+                *shared.pair_bufs[read_parity][src * k + s].0.lock().unwrap() = std::mem::take(buf);
             }
         }
 
@@ -481,12 +498,12 @@ fn publish<M, S: PlaneStore<M>>(
             if striped.is_empty() {
                 continue;
             }
-            let mut buf = shared.pair_bufs[parity][s * k + t].lock().unwrap();
+            let mut buf = shared.pair_bufs[parity][s * k + t].0.lock().unwrap();
             plane.export_boundary(striped, slot_base * lanes, &mut buf);
             drop(buf);
         }
     }
-    let mut report = shared.reports[s].lock().unwrap();
+    let mut report = shared.reports[s].0.lock().unwrap();
     for (l, p) in pending.iter_mut().enumerate() {
         let lane = &mut report.lanes[l];
         lane.messages = p.messages;
@@ -535,7 +552,7 @@ fn coordinate<M, S: PlaneStore<M>>(
     let mut agg: Vec<LaneAgg> = (0..lanes).map(|_| LaneAgg::default()).collect();
     let mut panic: Option<Box<dyn Any + Send>> = None;
     for slot in shared.reports.iter() {
-        let mut report = slot.lock().unwrap();
+        let mut report = slot.0.lock().unwrap();
         for (l, lane) in report.lanes.iter_mut().enumerate() {
             ctl.lanes[l].done_count += lane.done_delta;
             lane.done_delta = 0;

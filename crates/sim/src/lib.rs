@@ -45,8 +45,14 @@
 //!   broadcast fast path by overriding
 //!   [`NodeAlgorithm::init_into`] / [`NodeAlgorithm::round_into`] and
 //!   sending with [`algorithm::MsgSink::send_ref`].
+//! * **hybrid** (`Backing::Hybrid`) — fixed 16-byte tagged cells: a
+//!   `Wire`-encoded message of at most 15 bytes lives inline in the cell
+//!   (no arena touch), anything larger spills to the per-round bump
+//!   arena.  Pick it when small and large messages mix — the paper's
+//!   `O(log n)`-bit CONGEST traffic stays in the cells while `Vec`-carrying
+//!   floods keep the arena's zero-allocation steady state.
 //!
-//! Both backings produce bit-identical outputs, stats, traces and errors.
+//! All backings produce bit-identical outputs, stats, traces and errors.
 //!
 //! Execution engines are pluggable behind the [`executor::Executor`] trait:
 //! the sequential plane loop, the push-based reference, and a deterministic
@@ -91,7 +97,7 @@ pub mod wire;
 
 pub use algorithm::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox};
 pub use batch::{BatchShapeError, BatchSim, LaneResults};
-pub use batch_plane::{BatchArenaPlane, BatchInlinePlane, BatchPlaneStore};
+pub use batch_plane::{BatchArenaPlane, BatchHybridPlane, BatchInlinePlane, BatchPlaneStore};
 pub use bitset::FixedBitSet;
 pub use digest::{Digest, DigestWriter, RunSummary};
 pub use driver::{
@@ -102,7 +108,9 @@ pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecu
 pub use lanes::{BitFleet, LaneWords};
 pub use message::BitSized;
 pub use model::Model;
-pub use plane::{ArenaPlane, Backing, MessagePlane, PlaneStore, SlotOccupied};
+pub use plane::{
+    ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore, SlotOccupied, UnknownBacking,
+};
 pub use runtime::{RunConfig, RunError, RunResult, Runtime};
 pub use stats::RunStats;
 pub use wire::{Wire, WireReader};

@@ -24,7 +24,7 @@
 use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm, SendSlot};
 use crate::message::BitSized;
 use crate::model::Model;
-use crate::plane::{ArenaPlane, Backing, MessagePlane, PlaneStore};
+use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
 use crate::pool;
 use crate::stats::RunStats;
 use crate::trace::TraceEvent;
@@ -371,6 +371,7 @@ impl<'g> Runtime<'g> {
         match self.config.backing {
             Backing::Inline => self.run_sequential_on::<MessagePlane<A::Msg>, A>(programs),
             Backing::Arena => self.run_sequential_on::<ArenaPlane<A::Msg>, A>(programs),
+            Backing::Hybrid => self.run_sequential_on::<HybridPlane<A::Msg>, A>(programs),
         }
     }
 

@@ -25,6 +25,19 @@
 //! single-producer/single-consumer hand-off separated by a barrier, so the
 //! per-buffer `Mutex` is never contended.
 //!
+//! **Cache hygiene.**  Exchange buffers and per-shard report slots are
+//! wrapped in `CachePadded` (64-byte aligned) so that adjacent shards'
+//! hot `Mutex` words never share a cache line — uncontended locks stay
+//! uncontended at the coherence level too.  The buffers are created
+//! *empty* on the caller thread; each worker allocates and first-touches
+//! its own outgoing buffers (both parities) before its first publish, so
+//! a buffer's backing pages are faulted in by the thread that writes it
+//! every round (first-touch NUMA placement).  This is race-free: a
+//! producer only writes its own `(s, t)` buffers and every consumer first
+//! reads after the first barrier cycle, which orders all first-touches
+//! before all reads.  Workers already build their private plane pairs
+//! inside their own threads for the same reason.
+//!
 //! Each round costs exactly one barrier cycle (two `Barrier::wait`s): after
 //! every worker has published its per-shard report, the barrier leader
 //! merges the reports **in shard order** — sums and maxima for
@@ -40,7 +53,7 @@
 //! at the barrier.
 
 use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm};
-use crate::plane::{ArenaPlane, Backing, MessagePlane, PlaneStore};
+use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
 use crate::runtime::{PendingError, PendingRound, RunConfig, RunError, RunResult, Scatter};
 use crate::stats::RunStats;
 use crate::trace::TraceEvent;
@@ -48,6 +61,13 @@ use lma_graph::{Partition, Port, WeightedGraph};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Barrier, Mutex};
+
+/// Pads (and aligns) `T` to a 64-byte cache line so adjacent entries of a
+/// `Vec<CachePadded<T>>` never false-share: each shard's exchange-buffer
+/// mutexes and report slot live on their own lines.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub(crate) struct CachePadded<T>(pub(crate) T);
 
 /// What the barrier leader tells every worker to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,9 +107,11 @@ struct Shared<M, S: PlaneStore<M>> {
     barrier: Barrier,
     /// `pair_bufs[parity][s * k + t]`: the exchange buffer carrying shard
     /// `s`'s boundary traffic to shard `t` for rounds of that parity, dense
-    /// over `partition.boundary(s, t)` positions.
-    pair_bufs: [Vec<Mutex<S::Boundary>>; 2],
-    reports: Vec<Mutex<ShardReport>>,
+    /// over `partition.boundary(s, t)` positions.  Created empty; worker
+    /// `s` sizes and first-touches its own `(s, *)` buffers before its
+    /// first publish (see the module docs).
+    pair_bufs: [Vec<CachePadded<Mutex<S::Boundary>>>; 2],
+    reports: Vec<CachePadded<Mutex<ShardReport>>>,
     control: Mutex<Control>,
 }
 
@@ -112,6 +134,9 @@ pub(crate) fn run_sharded<A: NodeAlgorithm>(
         }
         Backing::Arena => {
             run_sharded_on::<ArenaPlane<A::Msg>, A>(graph, config, partition, views, programs)
+        }
+        Backing::Hybrid => {
+            run_sharded_on::<HybridPlane<A::Msg>, A>(graph, config, partition, views, programs)
         }
     }
 }
@@ -151,19 +176,19 @@ fn run_sharded_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         }
     }
 
+    // Buffers start empty on the caller thread; each worker sizes and
+    // first-touches its own outgoing buffers (see the module docs).
     let make_bufs = || {
-        let mut bufs = Vec::with_capacity(k * k);
-        for s in 0..k {
-            for t in 0..k {
-                bufs.push(Mutex::new(S::new_boundary(partition.boundary(s, t).len())));
-            }
-        }
-        bufs
+        (0..k * k)
+            .map(|_| CachePadded(Mutex::new(S::Boundary::default())))
+            .collect()
     };
     let shared: Shared<A::Msg, S> = Shared {
         barrier: Barrier::new(k),
         pair_bufs: [make_bufs(), make_bufs()],
-        reports: (0..k).map(|_| Mutex::new(ShardReport::default())).collect(),
+        reports: (0..k)
+            .map(|_| CachePadded(Mutex::new(ShardReport::default())))
+            .collect(),
         control: Mutex::new(Control {
             round: 0,
             done_count: 0,
@@ -249,6 +274,20 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
     let mut pending = PendingRound::default();
     let mut incoming: Vec<S::Boundary> = (0..k).map(|_| S::Boundary::default()).collect();
 
+    // First-touch: allocate this shard's outgoing exchange buffers (both
+    // parities) on this thread, before the first publish.  Consumers only
+    // read them after the first barrier cycle, so this is race-free.
+    for parity in 0..2 {
+        for t in 0..k {
+            let boundary = partition.boundary(s, t);
+            if boundary.is_empty() {
+                continue;
+            }
+            *shared.pair_bufs[parity][s * k + t].0.lock().unwrap() =
+                S::new_boundary(boundary.len());
+        }
+    }
+
     // Initialization: round-0 local computation producing round-1 traffic,
     // scattered into `cur` and drained into the parity-1 exchange buffers.
     let caught = catch_unwind(AssertUnwindSafe(|| {
@@ -303,7 +342,7 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         for (src, buf) in incoming.iter_mut().enumerate() {
             if src != s && !partition.boundary(src, s).is_empty() {
                 *buf = std::mem::take(
-                    &mut *shared.pair_bufs[read_parity][src * k + s].lock().unwrap(),
+                    &mut *shared.pair_bufs[read_parity][src * k + s].0.lock().unwrap(),
                 );
             }
         }
@@ -363,7 +402,7 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         // refill two phases from now.
         for (src, buf) in incoming.iter_mut().enumerate() {
             if src != s && !partition.boundary(src, s).is_empty() {
-                *shared.pair_bufs[read_parity][src * k + s].lock().unwrap() = std::mem::take(buf);
+                *shared.pair_bufs[read_parity][src * k + s].0.lock().unwrap() = std::mem::take(buf);
             }
         }
 
@@ -410,12 +449,12 @@ fn publish<M, S: PlaneStore<M>>(
             if boundary.is_empty() {
                 continue;
             }
-            let mut buf = shared.pair_bufs[parity][s * k + t].lock().unwrap();
+            let mut buf = shared.pair_bufs[parity][s * k + t].0.lock().unwrap();
             plane.export_boundary(boundary, slot_base, &mut buf);
             drop(buf);
         }
     }
-    let mut report = shared.reports[s].lock().unwrap();
+    let mut report = shared.reports[s].0.lock().unwrap();
     report.messages = pending.messages;
     report.bits = pending.bits;
     report.max_bits = pending.max_bits;
@@ -450,7 +489,7 @@ fn coordinate<M, S: PlaneStore<M>>(
     let mut panic: Option<Box<dyn Any + Send>> = None;
     let mut round_events: Vec<TraceEvent> = Vec::new();
     for slot in shared.reports.iter() {
-        let mut report = slot.lock().unwrap();
+        let mut report = slot.0.lock().unwrap();
         ctl.done_count += report.done_delta;
         report.done_delta = 0;
         messages += report.messages;

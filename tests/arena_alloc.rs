@@ -21,11 +21,17 @@
 //! capacity in both runs.  As a control, the inline backing — which clones
 //! the facts vector per port per round — must show a strictly positive
 //! difference, so the test cannot silently pass by measuring nothing.
+//!
+//! The hybrid backing is pinned in **both** of its regimes: the
+//! `Knowledge`-flood gossip above (every encoding spills to the arena) and
+//! a small-`u64`-message beacon (every encoding stays in the 16-byte cell,
+//! never touching the arena) must each show a zero per-round difference.
 
 use lma_baselines::flood_collect::FixedGossip;
 use lma_graph::generators::ring;
 use lma_graph::weights::WeightStrategy;
-use lma_sim::{Backing, Runtime, Sim};
+use lma_graph::Port;
+use lma_sim::{collect_outbox, Backing, LocalView, MsgSink, NodeAlgorithm, Outbox, Runtime, Sim};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -81,13 +87,86 @@ fn allocations_of(f: impl FnOnce()) -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
+/// The small-message regime probe: every round each node broadcasts its
+/// `u64` id (a couple of LEB128 bytes — always inside a hybrid cell) for a
+/// fixed number of rounds.  The sink forms are the primary implementation
+/// so the program itself allocates nothing per round.
+struct Beacon {
+    id: u64,
+    heard: u64,
+    rounds_left: usize,
+}
+
+impl NodeAlgorithm for Beacon {
+    type Msg = u64;
+    type Output = u64;
+
+    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+        collect_outbox(|out| self.init_into(view, out))
+    }
+
+    fn round(&mut self, view: &LocalView, round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+        collect_outbox(|out| self.round_into(view, round, inbox, out))
+    }
+
+    fn init_into(&mut self, view: &LocalView, out: &mut MsgSink<'_, u64>) {
+        for port in 0..view.degree() {
+            out.send(port, self.id);
+        }
+    }
+
+    fn round_into(
+        &mut self,
+        view: &LocalView,
+        _round: usize,
+        inbox: &[(Port, u64)],
+        out: &mut MsgSink<'_, u64>,
+    ) {
+        for &(_, id) in inbox {
+            self.heard = self.heard.wrapping_add(id);
+        }
+        self.rounds_left -= 1;
+        if self.rounds_left == 0 {
+            return;
+        }
+        for port in 0..view.degree() {
+            out.send(port, self.id);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self) -> Option<u64> {
+        (self.rounds_left == 0).then_some(self.heard)
+    }
+}
+
+fn beacon_allocations(g: &lma_graph::WeightedGraph, backing: Backing, rounds: usize) -> u64 {
+    let sim = Sim::on(g).backing(backing);
+    let programs: Vec<Beacon> = g
+        .nodes()
+        .map(|u| Beacon {
+            id: u as u64,
+            heard: 0,
+            rounds_left: rounds,
+        })
+        .collect();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let result = sim.run(programs).unwrap();
+    assert_eq!(result.stats.rounds, rounds);
+    assert!(result.outputs.iter().all(Option::is_some));
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
 #[test]
 fn arena_gossip_steady_state_allocates_nothing_per_round() {
     let g = ring(24, WeightStrategy::Unit);
 
     // Warm-up: prime the per-thread plane pool, the arenas and the spare
-    // messages to their high-water marks for BOTH backings.
-    for backing in [Backing::Arena, Backing::Inline] {
+    // messages to their high-water marks for every backing.
+    for backing in Backing::ALL {
         gossip_allocations(&g, backing, ROUNDS_LONG);
     }
 
@@ -131,5 +210,40 @@ fn arena_gossip_steady_state_allocates_nothing_per_round() {
         built, direct,
         "the Sim builder must add zero per-run allocations over a direct \
          Runtime::run (builder: {built}, direct: {direct})"
+    );
+
+    // ------------------------------------------------------------------
+    // Hybrid backing, both regimes.  Same test function (not a second
+    // `#[test]`): the harness runs tests on parallel threads, which would
+    // interleave allocations into the single global counter.
+    // ------------------------------------------------------------------
+
+    // Warm-up: prime the hybrid plane pool, cells, spill arena and spare
+    // messages to their high-water marks for the beacon probe (the gossip
+    // warm-up above already covered hybrid).
+    beacon_allocations(&g, Backing::Hybrid, ROUNDS_LONG);
+
+    // Spill regime: every `Knowledge` encoding (48 facts) overflows the
+    // 16-byte cell into the bump arena — the arena discipline must keep
+    // steady-state rounds allocation-free, exactly like the arena backing.
+    let flood_short = gossip_allocations(&g, Backing::Hybrid, ROUNDS_SHORT);
+    let flood_long = gossip_allocations(&g, Backing::Hybrid, ROUNDS_LONG);
+    assert_eq!(
+        flood_long, flood_short,
+        "hybrid-backed Knowledge flood must not allocate per round \
+         ({ROUNDS_LONG}-round run: {flood_long} allocations, \
+         {ROUNDS_SHORT}-round run: {flood_short})"
+    );
+
+    // Inline regime: a `u64` beacon encodes to a couple of bytes, so every
+    // message lives in its cell and the arena is never touched — and the
+    // cell path must be just as allocation-free.
+    let beacon_short = beacon_allocations(&g, Backing::Hybrid, ROUNDS_SHORT);
+    let beacon_long = beacon_allocations(&g, Backing::Hybrid, ROUNDS_LONG);
+    assert_eq!(
+        beacon_long, beacon_short,
+        "hybrid-backed small-message beacon must not allocate per round \
+         ({ROUNDS_LONG}-round run: {beacon_long} allocations, \
+         {ROUNDS_SHORT}-round run: {beacon_short})"
     );
 }

@@ -1,0 +1,151 @@
+//! Property suite for the hybrid plane backing (vendored proptest): the
+//! tagged 16-byte cell layout around its 15-byte inline/spill threshold.
+//!
+//! 1. **threshold round trip** — payloads whose `Wire` encoding lands on
+//!    14/15/16/17 bytes (both sides of the tag) round-trip through
+//!    `store`/`store_ref`/`fetch`, with the spill arena growing exactly by
+//!    the encodings that do not fit a cell;
+//! 2. **duplicate parity** — a write sequence produces byte-identical
+//!    `Ok`/`SlotOccupied` outcomes on the inline, arena and hybrid
+//!    backings (first write wins everywhere, and the reported slot/len
+//!    agree);
+//! 3. **delivery parity** — after the same writes, all three backings
+//!    deliver the same message exactly once per slot.
+//!
+//! `Vec<u8>` is the probe type: `k` items encode to `1 + k` bytes
+//! (`k < 128` — one LEB128 length byte plus the raw bytes), so the drawn
+//! payload length dials the encoded size exactly and the threshold can be
+//! hit on the byte.
+
+use lma_sim::wire::Wire;
+use lma_sim::{ArenaPlane, HybridPlane, MessagePlane, PlaneStore, SlotOccupied};
+use proptest::prelude::*;
+
+type Msg = Vec<u8>;
+
+/// Encoded byte length of one probe payload.
+fn encoded_len(msg: &Msg) -> usize {
+    let mut bytes = Vec::new();
+    msg.encode(&mut bytes);
+    bytes.len()
+}
+
+/// Stores every payload into its own slot (alternating the consuming
+/// `store` and the by-reference `store_ref` paths), checks the spill
+/// accounting against the 15-byte threshold, then fetches everything back.
+fn pin_hybrid_roundtrip(payloads: &[Msg], store_ref_odd: bool) {
+    let mut plane: HybridPlane<Msg> = HybridPlane::new(payloads.len());
+    let mut spare: Vec<Msg> = Vec::new();
+    let mut expected_spill = 0usize;
+    for (slot, payload) in payloads.iter().enumerate() {
+        let n = encoded_len(payload);
+        assert_eq!(n, 1 + payload.len(), "Vec<u8> premise: one length byte");
+        if n > 15 {
+            expected_spill += n;
+        }
+        if store_ref_odd && slot % 2 == 1 {
+            plane.store_ref(slot, payload).expect("free slot");
+        } else {
+            plane
+                .store(slot, payload.clone(), &mut spare)
+                .expect("free slot");
+        }
+        assert_eq!(
+            plane.spill_bytes(),
+            expected_spill,
+            "only encodings over 15 bytes may touch the arena"
+        );
+    }
+    for (slot, payload) in payloads.iter().enumerate() {
+        assert_eq!(
+            plane.fetch(slot, &mut spare).as_ref(),
+            Some(payload),
+            "slot {slot} must deliver what was stored"
+        );
+        assert_eq!(
+            plane.fetch(slot, &mut spare),
+            None,
+            "a message is delivered once"
+        );
+    }
+    plane.reset_round();
+    assert_eq!(plane.spill_bytes(), 0, "round reset empties the arena");
+}
+
+/// Runs one write sequence through a backend, recording each outcome, then
+/// drains the plane so the arena's round-reset invariant holds.
+fn outcomes<S: PlaneStore<Msg>>(
+    len: usize,
+    writes: &[(usize, Msg)],
+) -> (Vec<Result<(), SlotOccupied>>, Vec<Option<Msg>>) {
+    let mut plane = S::with_len(len);
+    let mut spare: Vec<Msg> = Vec::new();
+    let results = writes
+        .iter()
+        .map(|(slot, msg)| plane.store(*slot, msg.clone(), &mut spare))
+        .collect();
+    let delivered = (0..len).map(|s| plane.fetch(s, &mut spare)).collect();
+    plane.reset_round();
+    (results, delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary payload sizes straddling the threshold round-trip through
+    /// both store paths, with exact spill accounting.
+    #[test]
+    fn hybrid_round_trips_across_the_tag_threshold(
+        payloads in collection::vec(collection::vec(any::<u8>(), 0..40), 1..16),
+        store_ref_odd in any::<bool>(),
+    ) {
+        pin_hybrid_roundtrip(&payloads, store_ref_odd);
+    }
+
+    /// The same write sequence (duplicates included) yields identical
+    /// `SlotOccupied` reports and identical deliveries on every backing.
+    #[test]
+    fn duplicate_reporting_matches_the_other_backings(
+        len in 1usize..10,
+        writes in collection::vec(
+            (0usize..1 << 16, collection::vec(any::<u8>(), 0..24)),
+            0..24,
+        ),
+    ) {
+        let writes: Vec<(usize, Msg)> =
+            writes.iter().map(|(s, v)| (s % len, v.clone())).collect();
+        let inline = outcomes::<MessagePlane<Msg>>(len, &writes);
+        let arena = outcomes::<ArenaPlane<Msg>>(len, &writes);
+        let hybrid = outcomes::<HybridPlane<Msg>>(len, &writes);
+        prop_assert_eq!(&hybrid, &inline, "hybrid must match inline");
+        prop_assert_eq!(&hybrid, &arena, "hybrid must match arena");
+    }
+}
+
+/// The four encoded sizes that bracket the tag: 14 and 15 stay in the
+/// cell, 16 and 17 spill.  (`Vec<u8>` of `k` items encodes to `1 + k`
+/// bytes, so `k = 13..=16` dials the encoded size exactly.)
+#[test]
+fn the_tag_threshold_sits_between_15_and_16_encoded_bytes() {
+    for (k, spills) in [(13usize, false), (14, false), (15, true), (16, true)] {
+        let payload: Msg = vec![0xAB; k];
+        assert_eq!(encoded_len(&payload), 1 + k);
+        let mut plane: HybridPlane<Msg> = HybridPlane::new(2);
+        let mut spare: Vec<Msg> = Vec::new();
+        plane.store_ref(0, &payload).expect("free slot");
+        plane
+            .store(1, payload.clone(), &mut spare)
+            .expect("free slot");
+        let expected = if spills { 2 * (1 + k) } else { 0 };
+        assert_eq!(
+            plane.spill_bytes(),
+            expected,
+            "encoded size {} must {} the cell",
+            1 + k,
+            if spills { "spill past" } else { "stay inside" }
+        );
+        assert_eq!(plane.fetch(0, &mut spare).as_ref(), Some(&payload));
+        assert_eq!(plane.fetch(1, &mut spare).as_ref(), Some(&payload));
+        plane.reset_round();
+    }
+}

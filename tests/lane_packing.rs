@@ -7,7 +7,7 @@
 //! 2. **op-sequence model** — arbitrary `set`/`clear`/`fill`/`clear_all`
 //!    sequences on a [`LaneWords`] agree with the obvious `Vec<bool>` model,
 //!    so the word-packed fast paths can never drift from per-lane semantics;
-//! 3. **lane isolation** — on both plane backends, a [`BatchPlaneStore`]
+//! 3. **lane isolation** — on every plane backend, a [`BatchPlaneStore`]
 //!    delivers exactly what each `(slot, lane)` stored: writes in one lane
 //!    are invisible to every other lane, duplicates surface in graph-slot
 //!    space, and [`BatchPlaneStore::drain_lane`] empties only its lane;
@@ -18,7 +18,9 @@
 //! `W` runs and still be bit-identical to `W` sequential runs: striping is
 //! invisible exactly when packing is lossless and lanes never alias.
 
-use lma_sim::{ArenaPlane, BatchPlaneStore, BitFleet, LaneWords, MessagePlane, PlaneStore};
+use lma_sim::{
+    ArenaPlane, BatchPlaneStore, BitFleet, HybridPlane, LaneWords, MessagePlane, PlaneStore,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -151,7 +153,7 @@ proptest! {
     }
 
     #[test]
-    fn batch_planes_isolate_lanes_on_both_backends(
+    fn batch_planes_isolate_lanes_on_all_backends(
         slots in 1usize..12,
         lanes in 1usize..10,
         writes in collection::vec(((0usize..1 << 16, 0usize..1 << 16), any::<u64>()), 0..48),
@@ -162,6 +164,7 @@ proptest! {
         let drain = drain.0.then_some(drain.1);
         pin_lane_isolation::<MessagePlane<u64>>(slots, lanes, &writes, drain);
         pin_lane_isolation::<ArenaPlane<u64>>(slots, lanes, &writes, drain);
+        pin_lane_isolation::<HybridPlane<u64>>(slots, lanes, &writes, drain);
     }
 
     #[test]

@@ -129,7 +129,7 @@ impl NodeAlgorithm for MinForward {
 /// [`Sim::executor`].
 fn sims(g: &WeightedGraph) -> Vec<Sim<'_>> {
     let mut sims = Vec::new();
-    for backing in [Backing::Inline, Backing::Arena] {
+    for backing in Backing::ALL {
         sims.push(Sim::on(g).trace(true).backing(backing));
         sims.push(
             Sim::on(g)
@@ -385,7 +385,7 @@ fn sharded_reports_the_same_malformed_outbox_error() {
         };
         let seq = Sim::on(&g).run(mk()).unwrap_err();
         assert!(matches!(seq, RunError::MalformedOutbox { .. }));
-        for backing in [Backing::Inline, Backing::Arena] {
+        for backing in Backing::ALL {
             let sim = Sim::on(&g).backing(backing);
             let seq_backed = sim.run(mk()).unwrap_err();
             assert_eq!(
@@ -440,7 +440,7 @@ fn assert_baseline_backing_equivalence<B: NoAdviceMst>(baseline: B, g: &Weighted
     let reference = baseline
         .run(&Sim::on(g).executor(Engine::Reference))
         .unwrap_or_else(|e| panic!("{}: push reference failed: {e}", baseline.name()));
-    for backing in [Backing::Inline, Backing::Arena] {
+    for backing in Backing::ALL {
         let sim = Sim::on(g).backing(backing);
         let seq = baseline
             .run(&sim.executor(Engine::Sequential))
@@ -569,7 +569,7 @@ fn batched_lane_with_malformed_outbox_fails_alone() {
     assert!(matches!(solo_err, RunError::MalformedOutbox { .. }));
     let lanes = 4;
     let rogue = 2;
-    for backing in [Backing::Inline, Backing::Arena] {
+    for backing in Backing::ALL {
         for threads in [1usize, 3] {
             let sim = Sim::on(&g).backing(backing).threads(threads);
             let fleets = (0..lanes)

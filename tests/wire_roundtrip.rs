@@ -8,9 +8,14 @@
 //!    spare-message recycling takes every round);
 //! 3. **honest sizing** — `bit_size() <= 8 * encoded_len`, so the byte
 //!    arena can never make a message cheaper than the CONGEST accounting
-//!    claims it is.
+//!    claims it is;
+//! 4. **stable appending length** — [`encoded_len`] is deterministic and
+//!    `encode` appends exactly that many bytes wherever the buffer tail
+//!    is.  The hybrid backing decides inline-vs-spill by encoding onto the
+//!    arena tail and measuring the growth, so the 15-byte threshold is
+//!    made on a number pinned correct here.
 //!
-//! These three properties are what let the arena-backed executors be
+//! These properties are what let the arena- and hybrid-backed executors be
 //! bit-identical to the inline and push executors: routing through bytes is
 //! invisible exactly when the codec is lossless and the accounting honest.
 
@@ -26,12 +31,47 @@ use lma_sim::message::BitSized;
 use lma_sim::wire::{Wire, WireReader};
 use proptest::prelude::*;
 
-/// Pins all three codec properties for one value.  `scratch` is an
+/// The encoded byte length of `value`: a fresh encode into an empty
+/// buffer.  This is the number the hybrid backing's inline/spill threshold
+/// decision is made on (≤ 15 bytes stays in the 16-byte cell).
+fn encoded_len<T: Wire>(value: &T) -> usize {
+    let mut bytes = Vec::new();
+    value.encode(&mut bytes);
+    bytes.len()
+}
+
+/// Pins all the codec properties for one value.  `scratch` is an
 /// arbitrary unrelated value of the same type used as the `decode_into`
 /// target (mimicking a recycled spare).
 fn pin_codec<T: Wire + BitSized + PartialEq + std::fmt::Debug>(value: &T, scratch: T) {
     let mut bytes = Vec::new();
     value.encode(&mut bytes);
+
+    assert_eq!(
+        encoded_len(value),
+        bytes.len(),
+        "encoded_len must be deterministic per value"
+    );
+    // `encode` must *append* exactly `encoded_len` bytes wherever the
+    // buffer tail is — the hybrid store encodes onto the arena tail and
+    // measures the growth to pick inline vs spill.
+    let mut prefixed = vec![0xA5u8; 3];
+    value.encode(&mut prefixed);
+    assert_eq!(
+        prefixed.len(),
+        3 + bytes.len(),
+        "encode must append exactly encoded_len bytes"
+    );
+    assert_eq!(
+        &prefixed[..3],
+        &[0xA5u8; 3],
+        "encode must not touch the prefix"
+    );
+    assert_eq!(
+        &prefixed[3..],
+        &bytes[..],
+        "appended encoding must be identical"
+    );
 
     let mut reader = WireReader::new(&bytes);
     let decoded = T::decode(&mut reader);
