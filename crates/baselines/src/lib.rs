@@ -32,6 +32,7 @@ pub use flood_collect::FloodCollectMst;
 pub use sync_boruvka::SyncBoruvkaMst;
 pub use workloads::{
     FloodCollectWorkload, FloodWorkload, GhsWorkload, GossipWorkload, MaxFlood, MstOutcome,
+    WaveFlood, WaveWorkload,
 };
 
 use lma_mst::verify::UpwardOutput;

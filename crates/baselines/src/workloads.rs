@@ -71,6 +71,172 @@ impl NodeAlgorithm for MaxFlood {
     }
 }
 
+/// A genuinely message-driven BFS wave — the canonical sparse-frontier
+/// workload.  Node 0 floods its identifier at init and finishes; every
+/// other node stays **silent until the wave reaches it**, then records the
+/// arrival round and the relayed identifier, forwards once through every
+/// port, and finishes.
+///
+/// `round` with an empty inbox changes nothing, sends nothing and never
+/// reads the round number, so the program satisfies the
+/// [`NodeAlgorithm::MESSAGE_DRIVEN`] contract and the executors may skip
+/// idle nodes entirely.  An instance built with [`WaveFlood::eager`] opts
+/// back out at the instance level (`message_driven() == false`) — it runs
+/// the identical code but stays on the frontier every round, which the
+/// mixed-fleet equivalence tests use.
+pub struct WaveFlood {
+    source: bool,
+    eager: bool,
+    /// `(relayed id, arrival round)` once the wave has reached this node.
+    reached: Option<(u64, u64)>,
+    done: bool,
+}
+
+impl WaveFlood {
+    /// A wave node (`source` = node 0's role: flood at init, then finish).
+    #[must_use]
+    pub fn new(source: bool) -> Self {
+        Self {
+            source,
+            eager: false,
+            reached: None,
+            done: false,
+        }
+    }
+
+    /// A wave node that declines the sparse schedule at the instance level.
+    #[must_use]
+    pub fn eager(source: bool) -> Self {
+        Self {
+            eager: true,
+            ..Self::new(source)
+        }
+    }
+}
+
+impl NodeAlgorithm for WaveFlood {
+    type Msg = u64;
+    type Output = (u64, u64);
+
+    const MESSAGE_DRIVEN: bool = true;
+
+    fn message_driven(&self) -> bool {
+        !self.eager
+    }
+
+    fn init(&mut self, view: &LocalView) -> Outbox<u64> {
+        if self.source {
+            self.reached = Some((view.id, 0));
+            self.done = true;
+            return (0..view.degree()).map(|p| (p, view.id)).collect();
+        }
+        Vec::new()
+    }
+
+    fn round(&mut self, view: &LocalView, round: usize, inbox: &[(Port, u64)]) -> Outbox<u64> {
+        let Some(&(_, id)) = inbox.iter().min_by_key(|(_, id)| *id) else {
+            return Vec::new();
+        };
+        self.reached = Some((id, round as u64));
+        self.done = true;
+        (0..view.degree()).map(|p| (p, id)).collect()
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> Option<(u64, u64)> {
+        self.done.then_some(self.reached.expect("done implies reached"))
+    }
+}
+
+/// The wave workload: a [`WaveFlood`] fleet (node 0 the source) with the
+/// delivery trace folded into the digest, verified against BFS distances —
+/// the registry's standing pin that the sparse frontier schedule and the
+/// dense scan (and the push-based oracle, which never skips) agree
+/// bit-for-bit.
+pub struct WaveWorkload;
+
+impl FleetWorkload for WaveWorkload {
+    type Prep = ();
+    type Program = WaveFlood;
+    type Outcome = RunResult<(u64, u64)>;
+
+    fn name(&self) -> &'static str {
+        "wave"
+    }
+
+    fn tune<'g>(&self, sim: Sim<'g>) -> Sim<'g> {
+        sim.trace(true)
+    }
+
+    fn prepare(&self, _graph: &WeightedGraph) -> Result<(), WorkloadError> {
+        Ok(())
+    }
+
+    fn programs(&self, graph: &WeightedGraph, (): &()) -> Vec<WaveFlood> {
+        graph.nodes().map(|u| WaveFlood::new(u == 0)).collect()
+    }
+
+    fn collate(
+        &self,
+        _graph: &WeightedGraph,
+        (): (),
+        result: RunResult<(u64, u64)>,
+    ) -> Result<RunResult<(u64, u64)>, WorkloadError> {
+        Ok(result)
+    }
+
+    fn verify(
+        &self,
+        graph: &WeightedGraph,
+        outcome: &RunResult<(u64, u64)>,
+    ) -> Result<(), WorkloadError> {
+        let dist = bfs_distances(graph, 0);
+        let id0 = graph.id(0);
+        for (u, out) in outcome.outputs.iter().enumerate() {
+            if *out != Some((id0, dist[u])) {
+                return Err(WorkloadError::Invalid(format!(
+                    "node {u}: expected wave ({id0}, {}) got {out:?}",
+                    dist[u]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn fold(&self, w: &mut DigestWriter, outcome: &RunResult<(u64, u64)>) {
+        fold_result(w, outcome, |w, (id, round)| {
+            w.u64(*id);
+            w.u64(*round);
+        });
+    }
+
+    fn summary(&self, outcome: &RunResult<(u64, u64)>) -> RunSummary {
+        RunSummary::of_stats(&outcome.stats)
+    }
+}
+
+/// Unweighted BFS hop counts from `source` over the CSR adjacency.
+fn bfs_distances(graph: &WeightedGraph, source: usize) -> Vec<u64> {
+    let csr = graph.csr();
+    let offsets = csr.offsets();
+    let incident = csr.incident_flat();
+    let mut dist = vec![u64::MAX; graph.node_count()];
+    dist[source] = 0;
+    let mut queue = std::collections::VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for e in &incident[offsets[u]..offsets[u + 1]] {
+            if dist[e.neighbor] == u64::MAX {
+                dist[e.neighbor] = dist[u] + 1;
+                queue.push_back(e.neighbor);
+            }
+        }
+    }
+    dist
+}
+
 /// The flooding workload: a [`MaxFlood`] fleet in the LOCAL model.
 ///
 /// Two stock configurations cover the registry's uses: [`traced`]
@@ -321,6 +487,22 @@ mod tests {
         let outcome = run_workload(&workload, &sim).unwrap();
         assert_eq!(outcome.stats.rounds, 12);
         assert!(outcome.trace.is_some());
+    }
+
+    #[test]
+    fn wave_workload_runs_and_verifies_on_every_frontier_mode() {
+        let g = ring(17, WeightStrategy::DistinctRandom { seed: 9 });
+        let workload = WaveWorkload;
+        for mode in ["auto", "dense", "sparse"] {
+            let mode = lma_sim::FrontierMode::parse(mode).unwrap();
+            let sim = FleetWorkload::tune(&workload, Sim::on(&g)).frontier(mode);
+            let outcome = run_workload(&workload, &sim).unwrap();
+            FleetWorkload::verify(&workload, &g, &outcome).unwrap();
+            // The wave crosses the ring in ecc(0) = ⌊n/2⌋ rounds; the last
+            // nodes' forwards are the dropped final-step traffic.
+            assert_eq!(outcome.stats.rounds, 8);
+            assert!(!outcome.stats.per_round_active_nodes.is_empty());
+        }
     }
 
     #[test]

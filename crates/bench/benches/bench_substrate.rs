@@ -28,12 +28,21 @@
 //! Every cell reports per-run time via `Throughput::Elements(W)`, so runs/sec
 //! of batched vs sequential land side by side in the committed trajectory.
 //!
+//! The `frontier` group measures sparse frontier execution: a
+//! message-driven BFS wave under the forced-dense, forced-sparse and auto
+//! schedules on long-diameter rings (where the active set is 2–4 nodes for
+//! thousands of rounds), a grid, and a dense G(n, p) control where auto
+//! must match dense within noise.  Per-run time via
+//! `Throughput::Elements(1)`.
+//!
 //! `-- --smoke` shrinks the scaling graphs to 10³–10⁴ nodes (gossip to
-//! 256–1024, fleets to 128) and clamps the sample counts (see the vendored
-//! criterion shim), which is what the CI smoke job runs.
+//! 256–1024, fleets to 128, frontier waves to 256–1024) and clamps the
+//! sample counts (see the vendored criterion shim), which is what the CI
+//! smoke job runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use lma_baselines::flood_collect::FixedGossip;
+use lma_baselines::WaveFlood;
 use lma_graph::generators::{
     barabasi_albert, complete, connected_random, gnp_connected, grid, ring,
 };
@@ -42,7 +51,8 @@ use lma_graph::{Port, WeightedGraph};
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};
 use lma_mst::{kruskal_mst, prim_mst, UnionFind};
 use lma_sim::{
-    Backing, Engine, LocalView, Model, NodeAlgorithm, Outbox, Runtime, ShardedExecutor, Sim,
+    Backing, Engine, FrontierMode, LocalView, Model, NodeAlgorithm, Outbox, Runtime,
+    ShardedExecutor, Sim,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -354,6 +364,28 @@ fn bench_gossip_backings(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("push", name), g, |b, g| {
             b.iter(|| black_box(push.run(fleet(g)).unwrap().stats.total_bits));
         });
+        // Small-message control: the same backing sweep with a bare `u64`
+        // payload (a couple of LEB128 bytes), where the arena's codec
+        // round-trip is all overhead and the hybrid's 16-byte cells keep
+        // every message inline — the other end of the payload-size axis
+        // from the `Knowledge` flood above.
+        let small_fleet = |g: &WeightedGraph| -> Vec<Ping> {
+            (0..g.node_count())
+                .map(|_| Ping {
+                    rounds_left: GOSSIP_ROUNDS,
+                })
+                .collect()
+        };
+        for backing in Backing::ALL {
+            let sim = Sim::on(g).backing(backing);
+            group.bench_with_input(
+                BenchmarkId::new(format!("u64-{}", backing.as_str()), name),
+                g,
+                |b, g| {
+                    b.iter(|| black_box(sim.run(small_fleet(g)).unwrap().stats.total_bits));
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -497,6 +529,60 @@ fn bench_fleet_batching(c: &mut Criterion) {
     group.finish();
 }
 
+/// Frontier-scenario graph families: long-diameter rings (a 2-tip wavefront
+/// for thousands of rounds — the sparse schedule's home turf), a same-scale
+/// grid (√n-wide wavefront, the middle ground), and a dense G(n, p) control
+/// whose wave covers most nodes within a handful of rounds, so the auto
+/// heuristic must *not* pay for sparseness that is not there.
+fn frontier_graphs() -> Vec<(String, WeightedGraph)> {
+    let (small, large): (usize, usize) = if criterion::is_smoke() {
+        (256, 1_024)
+    } else {
+        (1_024, 4_096)
+    };
+    let side = (large as f64).sqrt() as usize;
+    vec![
+        (format!("ring/{small}"), ring(small, WeightStrategy::Unit)),
+        (format!("ring/{large}"), ring(large, WeightStrategy::Unit)),
+        (
+            format!("grid/{}", side * side),
+            grid(side, side, WeightStrategy::DistinctRandom { seed: 23 }),
+        ),
+        (
+            format!("gnp/{large}"),
+            gnp_connected(
+                large,
+                2.0 * (large as f64).ln() / large as f64,
+                23,
+                WeightStrategy::DistinctRandom { seed: 23 },
+            ),
+        ),
+    ]
+}
+
+/// The `frontier` group: a message-driven BFS wave ([`WaveFlood`]) under the
+/// forced-dense, forced-sparse and auto schedules.  `Throughput::Elements(1)`
+/// makes every cell's `per_element_ns` the time per *run*, so the
+/// sparse-vs-dense runs/sec ratio — the point of the active-set loop — reads
+/// straight off the committed JSON, with the G(n, p) cells as the
+/// dense-control (auto must sit within noise of dense there).
+fn bench_frontier_schedules(c: &mut Criterion) {
+    let graphs = frontier_graphs();
+    let mut group = c.benchmark_group("frontier");
+    group.throughput(Throughput::Elements(1));
+    let fleet =
+        |g: &WeightedGraph| -> Vec<WaveFlood> { g.nodes().map(|u| WaveFlood::new(u == 0)).collect() };
+    for (name, g) in &graphs {
+        for mode in [FrontierMode::Dense, FrontierMode::Sparse, FrontierMode::Auto] {
+            let sim = Sim::on(g).frontier(mode);
+            group.bench_with_input(BenchmarkId::new(mode.label(), name), g, |b, g| {
+                b.iter(|| black_box(sim.run(fleet(g)).unwrap().stats.rounds));
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Rounds driven per iteration in the driver-overhead scenario.
 const DRIVER_ROUNDS: usize = 10;
 
@@ -569,6 +655,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_union_find, bench_generators, bench_sequential_mst, bench_simulator,
         bench_routing_scaling, bench_gossip_backings, bench_fleet_batching,
-        bench_driver_overhead
+        bench_frontier_schedules, bench_driver_overhead
 }
 criterion_main!(substrate);

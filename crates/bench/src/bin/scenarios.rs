@@ -222,6 +222,16 @@ fn cmd_run(scenarios: &[Scenario], args: &Args) -> i32 {
                     canonical.summary.total_bits
                 );
                 println!("  digest {}", canonical.digest);
+                // Frontier observability (absent unless the workload is
+                // message-driven): the schedule actually taken.  Kept out
+                // of the digest fold, so printing it here is the pinned
+                // way to see it.
+                if let Some(frontier) = &canonical.summary.frontier {
+                    println!(
+                        "  frontier sparse_rounds={} dense_rounds={} peak_active={}",
+                        frontier.sparse_rounds, frontier.dense_rounds, frontier.peak_active
+                    );
+                }
                 for (variant, cell) in outcome.divergent() {
                     failures += 1;
                     println!(

@@ -34,7 +34,9 @@
 //! [`Workload`]: lma_sim::driver::Workload
 
 use lma_advice::{ConstantScheme, OneRoundScheme, SchemeWorkload, TrivialScheme};
-use lma_baselines::{FloodCollectWorkload, FloodWorkload, GhsWorkload, GossipWorkload};
+use lma_baselines::{
+    FloodCollectWorkload, FloodWorkload, GhsWorkload, GossipWorkload, WaveWorkload,
+};
 use lma_graph::generators::Family;
 use lma_graph::weights::WeightStrategy;
 use lma_graph::{Port, WeightedGraph};
@@ -88,6 +90,10 @@ pub enum WorkloadKind {
     /// (violations counted, not enforced) — the variable-size-payload path
     /// of the arena backing.
     Gossip,
+    /// Message-driven BFS wave (the sparse-frontier workload): nodes stay
+    /// silent until reached, so the run exercises the dense↔sparse
+    /// active-set switch; outputs are verified against BFS distances.
+    Wave,
     /// The GHS-style synchronous Borůvka baseline.
     GhsBoruvka,
     /// The LOCAL flood-and-compute baseline.
@@ -122,6 +128,7 @@ impl WorkloadKind {
         match self {
             WorkloadKind::Flood => "flood",
             WorkloadKind::Gossip => "gossip",
+            WorkloadKind::Wave => "wave",
             WorkloadKind::GhsBoruvka => "ghs-boruvka",
             WorkloadKind::FloodCollect => "flood-collect",
             WorkloadKind::SchemeTrivial => "scheme-trivial",
@@ -155,6 +162,7 @@ impl WorkloadKind {
         match self {
             WorkloadKind::Flood => Box::new(FloodWorkload::traced()),
             WorkloadKind::Gossip => Box::new(GossipWorkload::new(GOSSIP_FACTS, GOSSIP_ROUNDS)),
+            WorkloadKind::Wave => Box::new(WaveWorkload),
             WorkloadKind::GhsBoruvka => Box::new(GhsWorkload),
             WorkloadKind::FloodCollect => Box::new(FloodCollectWorkload),
             WorkloadKind::SchemeTrivial => Box::new(SchemeWorkload::new(
@@ -478,6 +486,14 @@ pub fn registry() -> Vec<Scenario> {
         // schemes on the Barabási–Albert and Watts–Strogatz families.
         s(W::SchemeOneRound, F::PreferentialAttachment, 40, 56, false),
         s(W::SchemeTrivial, F::SmallWorld, 36, 57, true).with_batch(),
+        // Sparse frontier execution (PR 8): the message-driven BFS wave.
+        // Runs under the default auto schedule — the digest must not depend
+        // on the dense↔sparse decision, which the frontier equivalence
+        // suite pins and these goldens re-check on every verify.  Ring is
+        // the long-diameter sparse regime (batch cells included); the
+        // scale-free hubs give a fast-collapsing dense-control wave.
+        s(W::Wave, F::Ring, 48, 81, true).with_batch(),
+        s(W::Wave, F::PreferentialAttachment, 56, 82, false),
     ]
 }
 
@@ -796,6 +812,7 @@ mod tests {
         for kind in [
             W::Flood,
             W::Gossip,
+            W::Wave,
             W::GhsBoruvka,
             W::FloodCollect,
             W::SchemeTrivial,

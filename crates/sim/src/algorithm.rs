@@ -161,6 +161,33 @@ pub trait NodeAlgorithm: Send {
     /// Per-node output type.
     type Output: Clone + Send;
 
+    /// Opt-in marker for sparse frontier execution (see
+    /// [`crate::frontier`]): `true` promises that a [`NodeAlgorithm::round`]
+    /// call with an **empty inbox is a no-op** — no state change, no sends,
+    /// no dependence on the round number.  Under that contract the executors
+    /// may skip quiet nodes entirely (gathering only the round's *frontier*,
+    /// the nodes that actually received a message), which turns
+    /// O(n · diameter) floods into O(edges-touched) without changing any
+    /// observable output.
+    ///
+    /// The default is `false`: programs that compute on silence (quiet-round
+    /// counters, unconditional countdowns — e.g. `MaxFlood`) keep today's
+    /// every-node-every-round schedule untouched.  Opting in falsely breaks
+    /// the run's semantics, so only set this when the contract genuinely
+    /// holds.
+    const MESSAGE_DRIVEN: bool = false;
+
+    /// Per-instance form of [`NodeAlgorithm::MESSAGE_DRIVEN`]: a node whose
+    /// program answers `false` here is treated as *eager* — kept on the
+    /// frontier every round even when its inbox is empty.  The default
+    /// mirrors the type-level constant; mixed fleets (some nodes
+    /// message-driven, some eager) override this per instance.  Must be
+    /// constant over the program's lifetime, and must never answer `true`
+    /// when the type-level constant is `false`.
+    fn message_driven(&self) -> bool {
+        Self::MESSAGE_DRIVEN
+    }
+
     /// One-time initialization; returns the messages to send in round 1.
     fn init(&mut self, view: &LocalView) -> Outbox<Self::Msg>;
 

@@ -28,6 +28,7 @@
 use crate::algorithm::{MsgSink, NodeAlgorithm, SendSlot};
 use crate::batch_plane::BatchPlaneStore;
 use crate::driver::{Engine, Sim};
+use crate::frontier::BatchFrontier;
 use crate::lanes::LaneWords;
 use crate::message::BitSized;
 use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
@@ -165,6 +166,11 @@ pub(crate) struct BatchScatter<'a, M, S: PlaneStore<M>> {
     pub budget: Option<usize>,
     pub enforce_congest: bool,
     pub trace: bool,
+    /// When the program opts into sparse frontier execution
+    /// ([`NodeAlgorithm::MESSAGE_DRIVEN`]), every successfully stored
+    /// message marks `(destination, lane)` here; `None` compiles the
+    /// marking away.
+    pub frontier: Option<&'a mut BatchFrontier>,
 }
 
 impl<M: BitSized, S: PlaneStore<M>> BatchScatter<'_, M, S> {
@@ -192,6 +198,9 @@ impl<M: BitSized, S: PlaneStore<M>> BatchScatter<'_, M, S> {
     }
 
     fn account(&mut self, slot: usize, size: usize) {
+        if let Some(front) = self.frontier.as_deref_mut() {
+            front.mark(self.incident[slot].neighbor, self.lane);
+        }
         self.pending.messages += 1;
         self.pending.bits += size as u64;
         self.pending.max_bits = self.pending.max_bits.max(size);
@@ -313,6 +322,32 @@ fn batch_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
     // out without stalling the batch.
     let mut active = LaneWords::new(lanes);
     active.fill();
+    // Reused lane-index scratch: the finalization / round-limit / commit
+    // passes mutate `active` while iterating, so they snapshot the live
+    // lanes here instead of collecting a fresh Vec every round.
+    let mut lane_scratch: Vec<usize> = Vec::with_capacity(lanes);
+
+    // Sparse frontier state (see `crate::frontier`): lane-striped cur/next
+    // mark sets plus the eager template that re-seeds `next` each round —
+    // the batch analogue of the single-run executor's `NodeSet` pair.
+    // Compiled away unless the program opts in via `MESSAGE_DRIVEN`.
+    let mut cur_front = BatchFrontier::default();
+    let mut next_front = BatchFrontier::default();
+    let mut eager_front = BatchFrontier::default();
+    let mut lane_active: Vec<u64> = Vec::new();
+    if A::MESSAGE_DRIVEN {
+        eager_front = BatchFrontier::new(n, lanes);
+        for (l, fleet) in fleets.iter().enumerate() {
+            for (u, program) in fleet.iter().enumerate() {
+                if !program.message_driven() {
+                    eager_front.mark(u, l);
+                }
+            }
+        }
+        cur_front = eager_front.clone();
+        next_front = BatchFrontier::new(n, lanes);
+        lane_active = vec![0; lanes];
+    }
 
     // Initialization: every lane's round-0 local computation, node-major so
     // the views are walked once.
@@ -332,6 +367,7 @@ fn batch_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
                 budget,
                 enforce_congest: config.enforce_congest,
                 trace: config.trace,
+                frontier: A::MESSAGE_DRIVEN.then_some(&mut cur_front),
             };
             fleets[l][u].init_into(&views[u], &mut MsgSink::new(&mut scatter));
             if fleets[l][u].is_done() {
@@ -347,7 +383,9 @@ fn batch_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         // *before* the round-limit check, and its final-step traffic is
         // dropped, never counted (drained out of the shared plane so the
         // round-reset invariants hold for the lanes that keep going).
-        for l in active.ones().collect::<Vec<_>>() {
+        lane_scratch.clear();
+        lane_scratch.extend(active.ones());
+        for &l in &lane_scratch {
             if done_counts[l] >= n {
                 cur.drain_lane(l, spare);
                 pending[l].reset();
@@ -368,7 +406,9 @@ fn batch_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
             break;
         }
         if round >= config.max_rounds {
-            for l in active.ones().collect::<Vec<_>>() {
+            lane_scratch.clear();
+            lane_scratch.extend(active.ones());
+            for &l in &lane_scratch {
                 results[l] = Some(Err(RunError::RoundLimitExceeded {
                     limit: config.max_rounds,
                 }));
@@ -382,7 +422,9 @@ fn batch_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
 
         // Commit each active lane's scattered traffic: errors first (in
         // scatter order within the lane), then stats and trace.
-        for l in active.ones().collect::<Vec<_>>() {
+        lane_scratch.clear();
+        lane_scratch.extend(active.ones());
+        for &l in &lane_scratch {
             let p = &mut pending[l];
             let failure = match p.error {
                 Some(PendingError::Malformed { node, port }) => {
@@ -412,52 +454,92 @@ fn batch_loop<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
             break;
         }
 
+        // The frontier decision is global for the batch (on the any-lane
+        // mask, so one traversal serves everyone) but the recorded per-lane
+        // active counts are lane-exact — identical to what each lane's solo
+        // run records.  `next` is re-seeded from the eager template so
+        // eager-instance lanes never leave the frontier.
+        let use_sparse = if A::MESSAGE_DRIVEN {
+            let use_sparse = config.frontier.use_sparse(cur_front.any().count(), n);
+            cur_front.lane_counts(&mut lane_active);
+            for l in active.ones() {
+                stats[l].record_frontier(lane_active[l], use_sparse);
+            }
+            next_front.copy_from(&eager_front);
+            use_sparse
+        } else {
+            false
+        };
+
         // Deliver and step: one CSR walk for the whole batch.  Per node,
         // every active lane gathers (unconditionally — done nodes of live
         // lanes still drain their stripe) and steps back to back, so the
         // offsets/mirror/incident cache lines are touched once per node for
-        // all W runs.
-        for v in 0..n {
-            let base = offsets[v];
-            let degree = offsets[v + 1] - base;
-            for l in active.ones() {
-                if S::RECYCLES {
-                    spare.extend(inbox.drain(..).map(|(_, m)| m));
-                } else {
-                    inbox.clear();
-                }
-                for (p, &sender_slot) in mirror[base..base + degree].iter().enumerate() {
-                    if let Some(msg) = cur.fetch(sender_slot, l, spare) {
-                        inbox.push((p, msg));
+        // all W runs.  The sparse branch walks only any-lane-active nodes:
+        // by the marking invariant a skipped node's slots are empty in every
+        // lane, so skipping its gather is a pure no-op.
+        macro_rules! gather_step {
+            ($v:expr) => {{
+                let v = $v;
+                let base = offsets[v];
+                let degree = offsets[v + 1] - base;
+                for l in active.ones() {
+                    if S::RECYCLES {
+                        spare.extend(inbox.drain(..).map(|(_, m)| m));
+                    } else {
+                        inbox.clear();
+                    }
+                    for (p, &sender_slot) in mirror[base..base + degree].iter().enumerate() {
+                        if let Some(msg) = cur.fetch(sender_slot, l, spare) {
+                            inbox.push((p, msg));
+                        }
+                    }
+                    if fleets[l][v].is_done() {
+                        continue;
+                    }
+                    let mut scatter = BatchScatter {
+                        node: v,
+                        base,
+                        degree,
+                        delivery_round: round + 1,
+                        plane: &mut *next,
+                        plane_offset: 0,
+                        lane: l,
+                        spare: &mut *spare,
+                        pending: &mut pending[l],
+                        incident,
+                        budget,
+                        enforce_congest: config.enforce_congest,
+                        trace: config.trace,
+                        frontier: A::MESSAGE_DRIVEN.then_some(&mut next_front),
+                    };
+                    fleets[l][v].round_into(
+                        &views[v],
+                        round,
+                        inbox,
+                        &mut MsgSink::new(&mut scatter),
+                    );
+                    if fleets[l][v].is_done() {
+                        done_counts[l] += 1;
                     }
                 }
-                if fleets[l][v].is_done() {
-                    continue;
-                }
-                let mut scatter = BatchScatter {
-                    node: v,
-                    base,
-                    degree,
-                    delivery_round: round + 1,
-                    plane: &mut *next,
-                    plane_offset: 0,
-                    lane: l,
-                    spare: &mut *spare,
-                    pending: &mut pending[l],
-                    incident,
-                    budget,
-                    enforce_congest: config.enforce_congest,
-                    trace: config.trace,
-                };
-                fleets[l][v].round_into(&views[v], round, inbox, &mut MsgSink::new(&mut scatter));
-                if fleets[l][v].is_done() {
-                    done_counts[l] += 1;
-                }
+            }};
+        }
+        if use_sparse {
+            for v in cur_front.any().ones() {
+                gather_step!(v);
+            }
+        } else {
+            for v in 0..n {
+                gather_step!(v);
             }
         }
 
         std::mem::swap(cur, next);
         next.reset_round();
+        if A::MESSAGE_DRIVEN {
+            std::mem::swap(&mut cur_front, &mut next_front);
+        }
     }
 
     results

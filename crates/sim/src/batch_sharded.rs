@@ -27,6 +27,7 @@
 use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm};
 use crate::batch::{run_batch_sequential, BatchScatter};
 use crate::batch_plane::{expand_lanes, BatchPlaneStore};
+use crate::frontier::{BatchFrontier, NodeSet};
 use crate::lanes::LaneWords;
 use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
 use crate::runtime::{PendingError, PendingRound, RunConfig, RunError, RunResult};
@@ -64,6 +65,11 @@ struct LaneReport {
 /// unwound out of the sequential lockstep loop).
 struct ShardReport {
     lanes: Vec<LaneReport>,
+    /// The shard's per-(node, lane) frontier mark words for the next round
+    /// (full `n × wpn` shape — scatters mark remote destinations too),
+    /// with the shard's own eager instances pre-ORed.  Empty unless the
+    /// program opts into `MESSAGE_DRIVEN`.
+    frontier: Vec<u64>,
     panic: Option<Box<dyn Any + Send>>,
 }
 
@@ -83,6 +89,15 @@ struct Control {
     /// a local copy to find freshly finished stripes to drain.
     finished: LaneWords,
     command: Command,
+    /// Whether the program opted into sparse frontier execution
+    /// (`MESSAGE_DRIVEN`); gates all frontier work below.
+    track_frontier: bool,
+    /// The merged global frontier for the round just commanded, ORed from
+    /// the shard reports in `coordinate`.
+    frontier: BatchFrontier,
+    /// The leader's dense↔sparse decision for the commanded round; workers
+    /// read it together with the command.
+    sparse: bool,
     panic: Option<Box<dyn Any + Send>>,
 }
 
@@ -188,6 +203,7 @@ fn run_batch_sharded_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
             .map(|_| {
                 CachePadded(Mutex::new(ShardReport {
                     lanes: (0..lanes).map(|_| LaneReport::default()).collect(),
+                    frontier: Vec::new(),
                     panic: None,
                 }))
             })
@@ -204,6 +220,13 @@ fn run_batch_sharded_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
                 .collect(),
             finished: LaneWords::new(lanes),
             command: Command::Stop,
+            track_frontier: A::MESSAGE_DRIVEN,
+            frontier: if A::MESSAGE_DRIVEN {
+                BatchFrontier::new(n, lanes)
+            } else {
+                BatchFrontier::default()
+            },
+            sparse: false,
             panic: None,
         }),
     };
@@ -292,6 +315,29 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
     // Lanes this worker knows to be finished (drained on first sight).
     let mut finished_seen = LaneWords::new(lanes);
 
+    // Sparse frontier state (see `crate::frontier`): `local_front` collects
+    // this shard's scatter marks (full `n × lanes` shape — remote
+    // destinations too) with the shard's own eager instances pre-ORed;
+    // `gather_front` is this round's merged global any-lane mask copied
+    // from the leader.  Compiled away unless the program opts in.
+    let n = partition.node_count();
+    let mut local_front = BatchFrontier::default();
+    let mut eager_front = BatchFrontier::default();
+    let mut gather_front = NodeSet::default();
+    let mut use_sparse = false;
+    if A::MESSAGE_DRIVEN {
+        eager_front = BatchFrontier::new(n, lanes);
+        for (i, u) in nodes.clone().enumerate() {
+            for (l, lane_programs) in programs.iter().enumerate() {
+                if !lane_programs[i].message_driven() {
+                    eager_front.mark(u, l);
+                }
+            }
+        }
+        local_front = eager_front.clone();
+        gather_front = NodeSet::new(n);
+    }
+
     // First-touch: allocate this shard's outgoing exchange buffers (both
     // parities) on this thread, before the first publish.  Consumers only
     // read them after the first barrier cycle, so this is race-free.
@@ -327,6 +373,7 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
                     budget,
                     enforce_congest: config.enforce_congest,
                     trace: config.trace,
+                    frontier: A::MESSAGE_DRIVEN.then_some(&mut local_front),
                 };
                 lane_programs[i].init_into(&views[u], &mut MsgSink::new(&mut scatter));
                 if lane_programs[i].is_done() {
@@ -344,8 +391,12 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         slot_base,
         1,
         &mut pending,
+        A::MESSAGE_DRIVEN.then_some(&local_front),
         caught,
     );
+    if A::MESSAGE_DRIVEN {
+        local_front.copy_from(&eager_front);
+    }
 
     loop {
         let leader = shared.barrier.wait().is_leader();
@@ -359,6 +410,10 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
                 Command::Stop => break,
                 Command::Work { round } => round,
             };
+            if A::MESSAGE_DRIVEN {
+                gather_front.copy_from(ctl.frontier.any());
+                use_sparse = ctl.sparse;
+            }
             (round, ctl.finished.clone())
         };
         // Drain the stripes of lanes the leader just retired: their final
@@ -384,68 +439,87 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
 
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let mut done_delta = vec![0usize; lanes];
-            for (i, v) in nodes.clone().enumerate() {
-                let base = offsets[v];
-                for (l, lane_programs) in programs.iter_mut().enumerate() {
-                    if finished_seen.get(l) {
-                        continue;
-                    }
-                    if S::RECYCLES {
-                        spare.extend(inbox.drain(..).map(|(_, m)| m));
-                    } else {
-                        inbox.clear();
-                    }
-                    // Gather in port order: intra-shard mirrors from the
-                    // private plane, cross-shard mirrors from the exchange
-                    // buffers (lane-group position `pos × lanes + l`).
-                    // Unconditional per active lane (done nodes too), so
-                    // every live stripe is drained each round.
-                    for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
-                        let msg = if slots.contains(&sender_slot) {
-                            cur.fetch(sender_slot - slot_base, l, &mut spare)
+            // The per-node gather → step body, expanded under both round
+            // schedules.  The sparse branch walks only this shard's slice
+            // of the merged any-lane mask: by the marking invariant a
+            // skipped node's slots (private plane and exchange positions
+            // alike) are empty in every lane, so skipping is a pure no-op.
+            macro_rules! gather_step {
+                ($i:expr, $v:expr) => {{
+                    let i = $i;
+                    let v = $v;
+                    let base = offsets[v];
+                    for (l, lane_programs) in programs.iter_mut().enumerate() {
+                        if finished_seen.get(l) {
+                            continue;
+                        }
+                        if S::RECYCLES {
+                            spare.extend(inbox.drain(..).map(|(_, m)| m));
                         } else {
-                            let (src, pos) = partition
-                                .cross_ref(sender_slot)
-                                .expect("out-of-shard mirror slot must be a boundary slot");
-                            BatchPlaneStore::<A::Msg, S>::fetch_boundary(
-                                &mut incoming[src],
-                                pos,
-                                l,
-                                lanes,
-                                &mut spare,
-                            )
+                            inbox.clear();
+                        }
+                        // Gather in port order: intra-shard mirrors from the
+                        // private plane, cross-shard mirrors from the exchange
+                        // buffers (lane-group position `pos × lanes + l`).
+                        // Unconditional per active lane (done nodes too), so
+                        // every live stripe is drained each round.
+                        for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
+                            let msg = if slots.contains(&sender_slot) {
+                                cur.fetch(sender_slot - slot_base, l, &mut spare)
+                            } else {
+                                let (src, pos) = partition
+                                    .cross_ref(sender_slot)
+                                    .expect("out-of-shard mirror slot must be a boundary slot");
+                                BatchPlaneStore::<A::Msg, S>::fetch_boundary(
+                                    &mut incoming[src],
+                                    pos,
+                                    l,
+                                    lanes,
+                                    &mut spare,
+                                )
+                            };
+                            if let Some(msg) = msg {
+                                inbox.push((p, msg));
+                            }
+                        }
+                        if lane_programs[i].is_done() {
+                            continue;
+                        }
+                        let mut scatter = BatchScatter {
+                            node: v,
+                            base,
+                            degree: offsets[v + 1] - base,
+                            delivery_round: round + 1,
+                            plane: &mut next,
+                            plane_offset: slot_base,
+                            lane: l,
+                            spare: &mut spare,
+                            pending: &mut pending[l],
+                            incident,
+                            budget,
+                            enforce_congest: config.enforce_congest,
+                            trace: config.trace,
+                            frontier: A::MESSAGE_DRIVEN.then_some(&mut local_front),
                         };
-                        if let Some(msg) = msg {
-                            inbox.push((p, msg));
+                        lane_programs[i].round_into(
+                            &views[v],
+                            round,
+                            &inbox,
+                            &mut MsgSink::new(&mut scatter),
+                        );
+                        if lane_programs[i].is_done() {
+                            done_delta[l] += 1;
                         }
                     }
-                    if lane_programs[i].is_done() {
-                        continue;
-                    }
-                    let mut scatter = BatchScatter {
-                        node: v,
-                        base,
-                        degree: offsets[v + 1] - base,
-                        delivery_round: round + 1,
-                        plane: &mut next,
-                        plane_offset: slot_base,
-                        lane: l,
-                        spare: &mut spare,
-                        pending: &mut pending[l],
-                        incident,
-                        budget,
-                        enforce_congest: config.enforce_congest,
-                        trace: config.trace,
-                    };
-                    lane_programs[i].round_into(
-                        &views[v],
-                        round,
-                        &inbox,
-                        &mut MsgSink::new(&mut scatter),
-                    );
-                    if lane_programs[i].is_done() {
-                        done_delta[l] += 1;
-                    }
+                }};
+            }
+            if use_sparse {
+                for v in gather_front.ones_in(nodes.start, nodes.end) {
+                    gather_step!(v - nodes.start, v);
+                }
+            } else {
+                for (i, v) in nodes.clone().enumerate() {
+                    gather_step!(i, v);
                 }
             }
             done_delta
@@ -470,15 +544,19 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
             slot_base,
             (round + 1) & 1,
             &mut pending,
+            A::MESSAGE_DRIVEN.then_some(&local_front),
             caught,
         );
+        if A::MESSAGE_DRIVEN {
+            local_front.copy_from(&eager_front);
+        }
     }
     programs
 }
 
 /// Drains the boundary lane-groups of `plane` into this shard's outgoing
 /// exchange buffers for `parity`, then publishes the shard's per-lane
-/// report for the round.
+/// report for the round (including its frontier marks when tracking).
 #[allow(clippy::too_many_arguments)]
 fn publish<M, S: PlaneStore<M>>(
     s: usize,
@@ -488,6 +566,7 @@ fn publish<M, S: PlaneStore<M>>(
     slot_base: usize,
     parity: usize,
     pending: &mut [PendingRound],
+    frontier: Option<&BatchFrontier>,
     caught: Result<Vec<usize>, Box<dyn Any + Send>>,
 ) {
     let k = partition.shard_count();
@@ -504,6 +583,10 @@ fn publish<M, S: PlaneStore<M>>(
         }
     }
     let mut report = shared.reports[s].0.lock().unwrap();
+    if let Some(front) = frontier {
+        report.frontier.clear();
+        report.frontier.extend_from_slice(front.marks());
+    }
     for (l, p) in pending.iter_mut().enumerate() {
         let lane = &mut report.lanes[l];
         lane.messages = p.messages;
@@ -551,8 +634,14 @@ fn coordinate<M, S: PlaneStore<M>>(
     let lanes = ctl.lanes.len();
     let mut agg: Vec<LaneAgg> = (0..lanes).map(|_| LaneAgg::default()).collect();
     let mut panic: Option<Box<dyn Any + Send>> = None;
+    if ctl.track_frontier {
+        ctl.frontier.clear_all();
+    }
     for slot in shared.reports.iter() {
         let mut report = slot.0.lock().unwrap();
+        if ctl.track_frontier {
+            ctl.frontier.or_marks(&report.frontier);
+        }
         for (l, lane) in report.lanes.iter_mut().enumerate() {
             ctl.lanes[l].done_count += lane.done_delta;
             lane.done_delta = 0;
@@ -616,6 +705,19 @@ fn coordinate<M, S: PlaneStore<M>>(
     }
     ctl.round += 1;
     let round = ctl.round;
+    // The global dense↔sparse decision for the round being commanded, plus
+    // the lane-exact active counts each surviving lane records (identical
+    // to its solo run's).
+    let (sparse, lane_active) = if ctl.track_frontier {
+        ctl.frontier.rebuild_any();
+        let sparse = config.frontier.use_sparse(ctl.frontier.any().count(), n);
+        ctl.sparse = sparse;
+        let mut counts = vec![0; lanes];
+        ctl.frontier.lane_counts(&mut counts);
+        (sparse, counts)
+    } else {
+        (false, Vec::new())
+    };
     for (l, a) in agg.iter_mut().enumerate() {
         if ctl.finished.get(l) {
             continue;
@@ -637,6 +739,9 @@ fn coordinate<M, S: PlaneStore<M>>(
                 ctl.lanes[l]
                     .stats
                     .record_round(a.messages, a.bits, a.max_bits, a.violations);
+                if ctl.track_frontier {
+                    ctl.lanes[l].stats.record_frontier(lane_active[l], sparse);
+                }
                 if config.trace {
                     let mut events = std::mem::take(&mut a.events);
                     ctl.lanes[l].events.append(&mut events);

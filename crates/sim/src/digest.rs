@@ -189,7 +189,7 @@ impl DigestWriter {
 /// (failed runs fold the exact error payload and carry an empty chain —
 /// error *identity* is part of the guarded behavior, see the
 /// `runtime_equivalence` error-path tests).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Rounds executed (0 for failed runs).
     pub rounds: usize,
@@ -202,7 +202,37 @@ pub struct RunSummary {
     /// violations.  Two runs of the same scenario diverge first at the first
     /// index where their chains differ.
     pub round_chain: Vec<u16>,
+    /// Sparse-frontier schedule profile, present only for programs that
+    /// opted into frontier execution ([`crate::NodeAlgorithm::MESSAGE_DRIVEN`]).
+    /// Observability only: excluded from equality (the schedule may differ
+    /// between executors while every semantic field is bit-identical) and
+    /// never folded into digests.
+    pub frontier: Option<FrontierProfile>,
 }
+
+/// How an opted-in run's rounds were scheduled — printed by `scenarios run`
+/// next to the digest, never part of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierProfile {
+    /// Rounds gathered sparsely (frontier iteration).
+    pub sparse_rounds: usize,
+    /// Rounds gathered with the dense all-nodes scan.
+    pub dense_rounds: usize,
+    /// Largest per-round active-node count observed.
+    pub peak_active: u64,
+}
+
+impl PartialEq for RunSummary {
+    fn eq(&self, other: &Self) -> bool {
+        // `frontier` intentionally excluded — see its field docs.
+        self.rounds == other.rounds
+            && self.total_messages == other.total_messages
+            && self.total_bits == other.total_bits
+            && self.round_chain == other.round_chain
+    }
+}
+
+impl Eq for RunSummary {}
 
 /// Folds `(messages, bits, max_bits, violations)` of one round into the
 /// 16-bit chain entry.  A fixed multiply–xor–fold; changing it invalidates
@@ -234,11 +264,17 @@ impl RunSummary {
                 )
             })
             .collect();
+        let frontier = (!stats.per_round_active_nodes.is_empty()).then(|| FrontierProfile {
+            sparse_rounds: stats.per_round_sparse.iter().filter(|&&s| s).count(),
+            dense_rounds: stats.per_round_sparse.iter().filter(|&&s| !s).count(),
+            peak_active: stats.per_round_active_nodes.iter().copied().max().unwrap_or(0),
+        });
         Self {
             rounds: stats.rounds,
             total_messages: stats.total_messages,
             total_bits: stats.total_bits,
             round_chain,
+            frontier,
         }
     }
 
@@ -251,6 +287,7 @@ impl RunSummary {
             total_messages: 0,
             total_bits: 0,
             round_chain: Vec::new(),
+            frontier: None,
         }
     }
 

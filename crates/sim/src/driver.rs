@@ -51,6 +51,7 @@ use crate::algorithm::NodeAlgorithm;
 use crate::batch::BatchSim;
 use crate::digest::{fold_error, DigestWriter, RunSummary};
 use crate::executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
+use crate::frontier::FrontierMode;
 use crate::model::Model;
 use crate::plane::Backing;
 use crate::runtime::{RunConfig, RunError, RunResult, Runtime};
@@ -163,6 +164,16 @@ impl<'g> Sim<'g> {
     #[must_use]
     pub fn backing(mut self, backing: Backing) -> Self {
         self.config.backing = backing;
+        self
+    }
+
+    /// Selects the sparse-frontier scheduling mode (see
+    /// [`crate::frontier::FrontierMode`]) for programs that opt in via
+    /// [`NodeAlgorithm::MESSAGE_DRIVEN`].  Bit-identical results in every
+    /// mode; ignored by programs that do not opt in.
+    #[must_use]
+    pub fn frontier(mut self, mode: FrontierMode) -> Self {
+        self.config.frontier = mode;
         self
     }
 

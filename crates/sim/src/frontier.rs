@@ -1,0 +1,341 @@
+//! Sparse frontier execution — Ligra-style dense↔sparse round loops.
+//!
+//! The paper's workloads are frontier-shaped: floods, gossip waves and MST
+//! component growth touch a moving subset of nodes per round, yet a dense
+//! round loop scans all `n` nodes every round, so a flood on `ring/4096`
+//! pays ~4096 gathers per round for a ~2-node frontier.  This module holds
+//! the shared machinery that lets every executor gather **only** the nodes
+//! that can possibly act:
+//!
+//! * While a sender scatters, each successfully stored message marks its
+//!   destination node (known at `put` time from the CSR `IncidentEdge`
+//!   target) in a `next_frontier` bitset.
+//! * The next round gathers only frontier nodes when the frontier is small
+//!   (`|frontier| · θ < n`, θ = [`THETA`]), and falls back to the existing
+//!   dense scan otherwise — dense workloads keep their current code path
+//!   and cost.
+//!
+//! Skipping a node is only sound when its `round` call would have been a
+//! no-op, so the whole mechanism is **opt-in** via
+//! [`crate::NodeAlgorithm::MESSAGE_DRIVEN`]; programs whose instances
+//! answer [`crate::NodeAlgorithm::message_driven`]` == false` are *eager*
+//! and stay on the frontier every round.  For programs that do not opt in,
+//! every executor compiles the frontier plumbing away (`MESSAGE_DRIVEN` is
+//! an associated const) and behaves byte-for-byte as before.
+
+/// How an opted-in run picks between the dense scan and the sparse
+/// frontier gather each round.
+///
+/// The mode is a pure *scheduling* knob: by the [`MESSAGE_DRIVEN`]
+/// contract every mode produces bit-identical outputs, stats, traces and
+/// errors — `Dense` and `Sparse` exist to pin exactly that in tests and to
+/// isolate the two code paths in benchmarks.  Programs that do not opt in
+/// ignore the knob entirely.
+///
+/// [`MESSAGE_DRIVEN`]: crate::NodeAlgorithm::MESSAGE_DRIVEN
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FrontierMode {
+    /// Per-round switch: gather sparsely when `|frontier| · θ < n`
+    /// (θ = [`THETA`]), densely otherwise.  The default.
+    #[default]
+    Auto,
+    /// Always run the dense scan (today's schedule, every non-done node
+    /// stepped every round).
+    Dense,
+    /// Always iterate the frontier, whatever its size.
+    Sparse,
+}
+
+impl FrontierMode {
+    /// Parses the lowercase mode names used by benches and CLI tools.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(Self::Auto),
+            "dense" => Some(Self::Dense),
+            "sparse" => Some(Self::Sparse),
+            _ => None,
+        }
+    }
+
+    /// The lowercase name, inverse of [`FrontierMode::parse`].
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Dense => "dense",
+            Self::Sparse => "sparse",
+        }
+    }
+
+    /// The per-round decision: gather sparsely this round?
+    #[must_use]
+    pub(crate) fn use_sparse(self, active: usize, n: usize) -> bool {
+        match self {
+            Self::Auto => active * THETA < n,
+            Self::Dense => false,
+            Self::Sparse => true,
+        }
+    }
+}
+
+/// Density threshold for [`FrontierMode::Auto`]: gather sparsely while the
+/// frontier covers less than `1/θ` of the nodes.  Ligra's direction switch
+/// uses edge counts; here the gather cost is dominated by the per-node
+/// mirror walk, so a node-count threshold is the honest analogue.  θ = 8
+/// keeps the dense path for anything that touches ≥ 12.5% of the graph
+/// (see the README decision table for measurements).
+pub(crate) const THETA: usize = 8;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-capacity bitset over node indices — the frontier itself.
+///
+/// Deliberately minimal (insert, bulk copy/OR, popcount, set-bit
+/// iteration): every executor keeps two of these (`cur`, `next`) plus an
+/// `eager` template, swapped in lockstep with the message planes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    /// An empty set with capacity for nodes `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Adds `node` to the set.
+    #[inline]
+    pub(crate) fn insert(&mut self, node: usize) {
+        self.words[node / WORD_BITS] |= 1 << (node % WORD_BITS);
+    }
+
+    /// Membership test (test-only helper).
+    #[cfg(test)]
+    pub(crate) fn contains(&self, node: usize) -> bool {
+        self.words[node / WORD_BITS] & (1 << (node % WORD_BITS)) != 0
+    }
+
+    /// Number of set bits.
+    pub(crate) fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Overwrites this set with `other` (equal capacity).
+    pub(crate) fn copy_from(&mut self, other: &Self) {
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// ORs raw words into this set (equal capacity).
+    pub(crate) fn or_words(&mut self, words: &[u64]) {
+        debug_assert_eq!(self.words.len(), words.len());
+        for (dst, src) in self.words.iter_mut().zip(words) {
+            *dst |= src;
+        }
+    }
+
+    /// Clears every bit.
+    pub(crate) fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The backing words (for publication through shard reports).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates set bits in ascending order.
+    pub(crate) fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        ones_of(&self.words, 0)
+    }
+
+    /// Iterates set bits within `start..end` in ascending order — the
+    /// shard-local slice of a global frontier.
+    pub(crate) fn ones_in(&self, start: usize, end: usize) -> impl Iterator<Item = usize> + '_ {
+        let first_word = start / WORD_BITS;
+        let words = &self.words[first_word..];
+        ones_of(words, first_word * WORD_BITS)
+            .skip_while(move |&v| v < start)
+            .take_while(move |&v| v < end)
+    }
+}
+
+/// Trailing-zeros iteration over raw bitset words, offset by `base`.
+fn ones_of(words: &[u64], base: usize) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(move |(i, &word)| {
+        std::iter::successors((word != 0).then_some(word), |w| {
+            let rest = w & (w - 1);
+            (rest != 0).then_some(rest)
+        })
+        .map(move |w| base + i * WORD_BITS + w.trailing_zeros() as usize)
+    })
+}
+
+/// The lane-striped frontier used by the batch executors: per-(node, lane)
+/// marks plus a node-level "any lane active" mask so one gather pass can
+/// serve the whole batch.
+///
+/// Layout is node-major like `BitFleet`: lane `l` of node `v` lives at bit
+/// `l % 64` of word `v * wpn + l / 64`, where `wpn = lanes.div_ceil(64)`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchFrontier {
+    marks: Vec<u64>,
+    any: NodeSet,
+    lanes: usize,
+    wpn: usize,
+}
+
+impl BatchFrontier {
+    /// An empty frontier for `n` nodes × `lanes` lanes.
+    pub(crate) fn new(n: usize, lanes: usize) -> Self {
+        let wpn = lanes.div_ceil(WORD_BITS);
+        Self {
+            marks: vec![0; n * wpn],
+            any: NodeSet::new(n),
+            lanes,
+            wpn,
+        }
+    }
+
+    /// Marks `(node, lane)` active and `node` any-lane-active.
+    #[inline]
+    pub(crate) fn mark(&mut self, node: usize, lane: usize) {
+        self.marks[node * self.wpn + lane / WORD_BITS] |= 1 << (lane % WORD_BITS);
+        self.any.insert(node);
+    }
+
+    /// The node-level any-lane-active mask.
+    pub(crate) fn any(&self) -> &NodeSet {
+        &self.any
+    }
+
+    /// The raw per-(node, lane) mark words (for shard reports).
+    pub(crate) fn marks(&self) -> &[u64] {
+        &self.marks
+    }
+
+    /// Overwrites this frontier with `other` (equal shape).
+    pub(crate) fn copy_from(&mut self, other: &Self) {
+        self.marks.copy_from_slice(&other.marks);
+        self.any.copy_from(&other.any);
+    }
+
+    /// ORs raw mark words into this frontier **without** updating the any
+    /// mask; call [`BatchFrontier::rebuild_any`] after the last merge.
+    pub(crate) fn or_marks(&mut self, words: &[u64]) {
+        debug_assert_eq!(self.marks.len(), words.len());
+        for (dst, src) in self.marks.iter_mut().zip(words) {
+            *dst |= src;
+        }
+    }
+
+    /// Recomputes the any mask from the mark words (used by the sharded
+    /// leader after merging shard contributions).
+    pub(crate) fn rebuild_any(&mut self) {
+        self.any.clear_all();
+        for (v, node_words) in self.marks.chunks_exact(self.wpn.max(1)).enumerate() {
+            if node_words.iter().any(|&w| w != 0) {
+                self.any.insert(v);
+            }
+        }
+    }
+
+    /// Clears every mark.
+    pub(crate) fn clear_all(&mut self) {
+        self.marks.fill(0);
+        self.any.clear_all();
+    }
+
+    /// Per-lane active-node counts (`counts[l] = |{v : (v, l) marked}|`),
+    /// accumulated by iterating the any mask — O(active · wpn).
+    pub(crate) fn lane_counts(&self, counts: &mut [u64]) {
+        debug_assert_eq!(counts.len(), self.lanes);
+        counts.fill(0);
+        for v in self.any.ones() {
+            let node_words = &self.marks[v * self.wpn..(v + 1) * self.wpn];
+            for (i, &word) in node_words.iter().enumerate() {
+                let mut rest = word;
+                while rest != 0 {
+                    let lane = i * WORD_BITS + rest.trailing_zeros() as usize;
+                    counts[lane] += 1;
+                    rest &= rest - 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_defaults_and_labels_round_trip() {
+        assert_eq!(FrontierMode::default(), FrontierMode::Auto);
+        for mode in [FrontierMode::Auto, FrontierMode::Dense, FrontierMode::Sparse] {
+            assert_eq!(FrontierMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(FrontierMode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn auto_switches_at_theta() {
+        let n = 80;
+        assert!(FrontierMode::Auto.use_sparse(9, n), "9 * 8 = 72 < 80");
+        assert!(!FrontierMode::Auto.use_sparse(10, n), "10 * 8 = 80");
+        assert!(FrontierMode::Sparse.use_sparse(n, n));
+        assert!(!FrontierMode::Dense.use_sparse(0, n));
+    }
+
+    #[test]
+    fn node_set_insert_count_iterate() {
+        let mut set = NodeSet::new(130);
+        for v in [0, 1, 63, 64, 65, 127, 128, 129] {
+            set.insert(v);
+        }
+        assert_eq!(set.count(), 8);
+        assert!(set.contains(64));
+        assert!(!set.contains(2));
+        let got: Vec<usize> = set.ones().collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 65, 127, 128, 129]);
+        let ranged: Vec<usize> = set.ones_in(63, 128).collect();
+        assert_eq!(ranged, vec![63, 64, 65, 127]);
+
+        let mut other = NodeSet::new(130);
+        other.or_words(set.words());
+        assert_eq!(other.count(), 8);
+        other.clear_all();
+        assert_eq!(other.count(), 0);
+        other.insert(5);
+        other.copy_from(&set);
+        assert!(!other.contains(5));
+        assert_eq!(other.count(), 8);
+    }
+
+    #[test]
+    fn batch_frontier_marks_lanes_and_counts() {
+        let mut f = BatchFrontier::new(5, 70);
+        f.mark(0, 0);
+        f.mark(0, 69);
+        f.mark(3, 69);
+        f.mark(4, 1);
+        assert_eq!(f.any().ones().collect::<Vec<_>>(), vec![0, 3, 4]);
+        let mut counts = vec![0; 70];
+        f.lane_counts(&mut counts);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[69], 2);
+        assert_eq!(counts.iter().sum::<u64>(), 4);
+
+        let mut merged = BatchFrontier::new(5, 70);
+        merged.or_marks(f.marks());
+        merged.rebuild_any();
+        assert_eq!(merged.any().ones().collect::<Vec<_>>(), vec![0, 3, 4]);
+        merged.clear_all();
+        assert_eq!(merged.any().count(), 0);
+        assert!(merged.marks().iter().all(|&w| w == 0));
+    }
+}

@@ -83,6 +83,7 @@ pub mod bitset;
 pub mod digest;
 pub mod driver;
 pub mod executor;
+pub mod frontier;
 pub mod lanes;
 pub mod message;
 pub mod model;
@@ -99,12 +100,13 @@ pub use algorithm::{collect_outbox, LocalView, MsgSink, NodeAlgorithm, Outbox};
 pub use batch::{BatchShapeError, BatchSim, LaneResults};
 pub use batch_plane::{BatchArenaPlane, BatchHybridPlane, BatchInlinePlane, BatchPlaneStore};
 pub use bitset::FixedBitSet;
-pub use digest::{Digest, DigestWriter, RunSummary};
+pub use digest::{Digest, DigestWriter, FrontierProfile, RunSummary};
 pub use driver::{
     run_workload, run_workload_batch, DynWorkload, Engine, FleetWorkload, Sim, Workload,
     WorkloadError,
 };
 pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
+pub use frontier::FrontierMode;
 pub use lanes::{BitFleet, LaneWords};
 pub use message::BitSized;
 pub use model::Model;

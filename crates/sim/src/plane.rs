@@ -306,14 +306,16 @@ impl<M> MessagePlane<M> {
     /// Resizes the plane to `len` slots and clears every slot and the
     /// occupancy set, making the plane indistinguishable from a freshly
     /// built one while reusing its allocations (the pool checkout path:
-    /// an aborted run may have left messages behind).
+    /// an aborted run — or a completed one whose programs sent on their
+    /// final round — may have left messages behind).
     pub fn prepare(&mut self, len: usize) {
+        // Clear before resizing: slots retained across a resize would
+        // otherwise keep their stale messages, and `take` reads the slot
+        // directly rather than consulting the (rebuilt) occupancy set.
+        self.clear();
         if self.slots.len() != len {
-            self.slots.truncate(len);
             self.slots.resize_with(len, || None);
             self.occupied = FixedBitSet::new(len);
-        } else {
-            self.clear();
         }
     }
 }
@@ -871,9 +873,16 @@ mod tests {
         assert!(p.put(1, 4).is_ok(), "prepare must reset occupancy");
         p.prepare(5);
         assert_eq!(p.len(), 5);
+        assert_eq!(
+            p.take(1),
+            None,
+            "a growing prepare must drop messages in retained slots"
+        );
         assert!(p.put(4, 1).is_ok());
+        assert!(p.put(1, 6).is_ok());
         p.prepare(2);
         assert_eq!(p.len(), 2);
+        assert_eq!(p.take(1), None, "a shrinking prepare must drop messages");
     }
 
     fn arena_cycle(p: &mut ArenaPlane<Vec<u64>>, spare: &mut Vec<Vec<u64>>) {

@@ -16,12 +16,31 @@
 //! * termination uses a running done-counter instead of an O(n) scan of
 //!   every program at every round.
 //!
+//! ## Sparse frontier execution
+//!
+//! For programs that opt in via [`NodeAlgorithm::MESSAGE_DRIVEN`] ("`round`
+//! with an empty inbox is a no-op"), the round loop switches Ligra-style
+//! between the dense scan above and a **sparse frontier gather** (see
+//! [`crate::frontier`]): each successful store into the plane marks the
+//! destination node — known at put time from the CSR `IncidentEdge`
+//! target — in a `next_frontier` bitset, and when the frontier is small
+//! (`|frontier| · θ < n`, θ = 8) the next round iterates only its set bits.
+//! Nodes off the frontier received nothing, so their slots need no drain
+//! and (by the opt-in contract) their step would be a no-op; nodes *on* the
+//! frontier run the exact same gather → step body as the dense scan,
+//! including the done-node drain.  Programs whose instances report
+//! [`NodeAlgorithm::message_driven`]` == false` are eager: they ride the
+//! frontier every round.  The schedule is pinned bit-identical to the dense
+//! scan by `tests/frontier_equivalence.rs`; for programs that do not opt
+//! in, the plumbing compiles away entirely and the loop below is unchanged.
+//!
 //! The observable semantics (outputs, [`RunStats`], trace, error cases) are
 //! identical to the original push-based executor, which is preserved in
 //! [`crate::reference`] as a differential-testing oracle; the equivalence is
 //! asserted by the `runtime_equivalence` integration suite.
 
 use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm, SendSlot};
+use crate::frontier::{FrontierMode, NodeSet};
 use crate::message::BitSized;
 use crate::model::Model;
 use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
@@ -57,6 +76,13 @@ pub struct RunConfig {
     /// Bit-identical results either way; only the allocation profile
     /// changes.
     pub backing: Backing,
+    /// Sparse-frontier scheduling for programs that opt in via
+    /// [`NodeAlgorithm::MESSAGE_DRIVEN`] (see [`crate::frontier`]): the
+    /// default [`FrontierMode::Auto`] switches per round between the dense
+    /// scan and the sparse frontier gather; `Dense` / `Sparse` pin one
+    /// path.  Bit-identical results in every mode; ignored by programs
+    /// that do not opt in.
+    pub frontier: FrontierMode,
 }
 
 impl Default for RunConfig {
@@ -68,6 +94,7 @@ impl Default for RunConfig {
             trace: false,
             threads: None,
             backing: Backing::Inline,
+            frontier: FrontierMode::Auto,
         }
     }
 }
@@ -202,6 +229,12 @@ pub(crate) struct Scatter<'a, M, S: PlaneStore<M>> {
     pub budget: Option<usize>,
     pub enforce_congest: bool,
     pub trace: bool,
+    /// Frontier marking target: `Some` only for programs that opted into
+    /// sparse frontier execution ([`NodeAlgorithm::MESSAGE_DRIVEN`]), in
+    /// which case every successfully stored message marks its destination
+    /// node (the `IncidentEdge` target of the slot) as active in the round
+    /// the message will be delivered in.
+    pub frontier: Option<&'a mut NodeSet>,
 }
 
 impl<M: BitSized, S: PlaneStore<M>> Scatter<'_, M, S> {
@@ -230,8 +263,11 @@ impl<M: BitSized, S: PlaneStore<M>> Scatter<'_, M, S> {
         });
     }
 
-    /// Post-store accounting: stats, CONGEST audit, trace.
+    /// Post-store accounting: frontier mark, stats, CONGEST audit, trace.
     fn account(&mut self, slot: usize, size: usize) {
+        if let Some(front) = self.frontier.as_deref_mut() {
+            front.insert(self.incident[slot].neighbor);
+        }
         self.pending.messages += 1;
         self.pending.bits += size as u64;
         self.pending.max_bits = self.pending.max_bits.max(size);
@@ -412,8 +448,29 @@ impl<'g> Runtime<'g> {
         let mut stats = RunStats::default();
         let mut done_count = 0usize;
 
+        // Frontier state for opted-in programs: `cur_front` holds the nodes
+        // active in the round being gathered, `next_front` collects scatter
+        // marks for the round after, `eager_front` is the constant set of
+        // nodes whose instances are not message-driven.  For programs that
+        // do not opt in these stay empty and every frontier branch below is
+        // compiled out (`MESSAGE_DRIVEN` is an associated const).
+        let mut cur_front = NodeSet::default();
+        let mut next_front = NodeSet::default();
+        let mut eager_front = NodeSet::default();
+        if A::MESSAGE_DRIVEN {
+            eager_front = NodeSet::new(n);
+            for (u, program) in programs.iter().enumerate() {
+                if !program.message_driven() {
+                    eager_front.insert(u);
+                }
+            }
+            cur_front = eager_front.clone();
+            next_front = NodeSet::new(n);
+        }
+
         // Initialization: round-0 local computation producing round-1
-        // traffic, emitted straight into the plane.
+        // traffic, emitted straight into the plane (marking the round-1
+        // frontier as it goes).
         for u in 0..n {
             let mut scatter = Scatter {
                 node: u,
@@ -428,6 +485,7 @@ impl<'g> Runtime<'g> {
                 budget,
                 enforce_congest: self.config.enforce_congest,
                 trace: self.config.trace,
+                frontier: A::MESSAGE_DRIVEN.then_some(&mut cur_front),
             };
             programs[u].init_into(&views[u], &mut MsgSink::new(&mut scatter));
             if programs[u].is_done() {
@@ -465,6 +523,18 @@ impl<'g> Runtime<'g> {
                 pending.max_bits,
                 pending.violations,
             );
+            // Frontier bookkeeping (opted-in programs only): record the
+            // round's active-node count, decide dense vs sparse, and seed
+            // the next frontier with the always-active eager nodes.
+            let use_sparse = if A::MESSAGE_DRIVEN {
+                let active = cur_front.count();
+                let use_sparse = self.config.frontier.use_sparse(active, n);
+                stats.record_frontier(active as u64, use_sparse);
+                next_front.copy_from(&eager_front);
+                use_sparse
+            } else {
+                false
+            };
             if self.config.trace {
                 events.append(&mut pending.events);
             }
@@ -476,46 +546,70 @@ impl<'g> Runtime<'g> {
             // each message is *moved* (inline) or decoded into a recycled
             // value (arena) out of the sender's slot.  Gathering is
             // unconditional — done nodes still drain their slots so the
-            // plane is empty when the buffers swap.
-            for v in 0..n {
-                if S::RECYCLES {
-                    spare.extend(inbox.drain(..).map(|(_, m)| m));
-                } else {
-                    inbox.clear();
-                }
-                let base = offsets[v];
-                for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
-                    if let Some(msg) = cur.fetch(sender_slot, spare) {
-                        inbox.push((p, msg));
+            // plane is empty when the buffers swap.  (In sparse mode only
+            // frontier nodes are visited; by construction nobody stored
+            // into the slots of a skipped node, so the drain invariant
+            // holds.)
+            macro_rules! gather_step {
+                ($v:expr) => {{
+                    let v: usize = $v;
+                    if S::RECYCLES {
+                        spare.extend(inbox.drain(..).map(|(_, m)| m));
+                    } else {
+                        inbox.clear();
                     }
+                    let base = offsets[v];
+                    for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
+                        if let Some(msg) = cur.fetch(sender_slot, spare) {
+                            inbox.push((p, msg));
+                        }
+                    }
+                    if !programs[v].is_done() {
+                        let mut scatter = Scatter {
+                            node: v,
+                            base,
+                            degree: offsets[v + 1] - base,
+                            delivery_round: round + 1,
+                            plane: &mut *next,
+                            plane_offset: 0,
+                            spare: &mut *spare,
+                            pending: &mut pending,
+                            incident,
+                            budget,
+                            enforce_congest: self.config.enforce_congest,
+                            trace: self.config.trace,
+                            frontier: A::MESSAGE_DRIVEN.then_some(&mut next_front),
+                        };
+                        programs[v].round_into(
+                            &views[v],
+                            round,
+                            inbox,
+                            &mut MsgSink::new(&mut scatter),
+                        );
+                        if programs[v].is_done() {
+                            done_count += 1;
+                        }
+                    }
+                }};
+            }
+            if use_sparse {
+                for v in cur_front.ones() {
+                    gather_step!(v);
                 }
-                if programs[v].is_done() {
-                    continue;
-                }
-                let mut scatter = Scatter {
-                    node: v,
-                    base,
-                    degree: offsets[v + 1] - base,
-                    delivery_round: round + 1,
-                    plane: &mut *next,
-                    plane_offset: 0,
-                    spare: &mut *spare,
-                    pending: &mut pending,
-                    incident,
-                    budget,
-                    enforce_congest: self.config.enforce_congest,
-                    trace: self.config.trace,
-                };
-                programs[v].round_into(&views[v], round, inbox, &mut MsgSink::new(&mut scatter));
-                if programs[v].is_done() {
-                    done_count += 1;
+            } else {
+                for v in 0..n {
+                    gather_step!(v);
                 }
             }
 
             // The current plane was fully drained by the gather pass; it
-            // becomes the (empty) scatter target of the next round.
+            // becomes the (empty) scatter target of the next round.  The
+            // frontiers swap in lockstep with the planes.
             std::mem::swap(cur, next);
             next.reset_round();
+            if A::MESSAGE_DRIVEN {
+                std::mem::swap(&mut cur_front, &mut next_front);
+            }
         }
 
         let outputs = programs.iter().map(NodeAlgorithm::output).collect();

@@ -53,6 +53,7 @@
 //! at the barrier.
 
 use crate::algorithm::{LocalView, MsgSink, NodeAlgorithm};
+use crate::frontier::NodeSet;
 use crate::plane::{ArenaPlane, Backing, HybridPlane, MessagePlane, PlaneStore};
 use crate::runtime::{PendingError, PendingRound, RunConfig, RunError, RunResult, Scatter};
 use crate::stats::RunStats;
@@ -89,6 +90,11 @@ struct ShardReport {
     events: Vec<TraceEvent>,
     done_delta: usize,
     panic: Option<Box<dyn Any + Send>>,
+    /// Frontier words this shard marked for the upcoming round (full-`n`
+    /// bitset: cross-shard `put`s mark remote nodes too), with the shard's
+    /// own eager nodes pre-ORed in.  Empty unless the program opted into
+    /// frontier execution.
+    frontier: Vec<u64>,
 }
 
 /// Leader-owned global state, read by the caller after the scope joins.
@@ -101,6 +107,16 @@ struct Control {
     command: Command,
     failure: Option<RunError>,
     panic: Option<Box<dyn Any + Send>>,
+    /// Whether the program opted into frontier execution
+    /// (`A::MESSAGE_DRIVEN`) — set once at startup, drives the leader's
+    /// merge and the fields below.
+    track_frontier: bool,
+    /// The merged global frontier for the round just commanded (leader
+    /// writes in `coordinate`, workers copy their node-range slice after
+    /// the second barrier).
+    frontier: NodeSet,
+    /// The leader's dense-vs-sparse decision for that round.
+    sparse: bool,
 }
 
 struct Shared<M, S: PlaneStore<M>> {
@@ -197,6 +213,13 @@ fn run_sharded_on<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
             command: Command::Stop,
             failure: None,
             panic: None,
+            track_frontier: A::MESSAGE_DRIVEN,
+            frontier: if A::MESSAGE_DRIVEN {
+                NodeSet::new(n)
+            } else {
+                NodeSet::default()
+            },
+            sparse: false,
         }),
     };
 
@@ -274,6 +297,29 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
     let mut pending = PendingRound::default();
     let mut incoming: Vec<S::Boundary> = (0..k).map(|_| S::Boundary::default()).collect();
 
+    // Frontier state (opted-in programs only; empty and compiled out
+    // otherwise).  All three are full-`n` bitsets: a shard's scatter can
+    // mark *remote* destination nodes, and the leader merges every shard's
+    // words into one global frontier.  `eager_front` carries only this
+    // shard's own non-message-driven nodes; it is pre-ORed into every
+    // published frontier so the leader's union is complete without knowing
+    // the programs.
+    let n = partition.node_count();
+    let mut local_front = NodeSet::default();
+    let mut eager_front = NodeSet::default();
+    let mut gather_front = NodeSet::default();
+    let mut use_sparse = false;
+    if A::MESSAGE_DRIVEN {
+        eager_front = NodeSet::new(n);
+        for (i, u) in nodes.clone().enumerate() {
+            if !programs[i].message_driven() {
+                eager_front.insert(u);
+            }
+        }
+        local_front = eager_front.clone();
+        gather_front = NodeSet::new(n);
+    }
+
     // First-touch: allocate this shard's outgoing exchange buffers (both
     // parities) on this thread, before the first publish.  Consumers only
     // read them after the first barrier cycle, so this is race-free.
@@ -306,6 +352,7 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
                 budget,
                 enforce_congest: config.enforce_congest,
                 trace: config.trace,
+                frontier: A::MESSAGE_DRIVEN.then_some(&mut local_front),
             };
             programs[i].init_into(&views[u], &mut MsgSink::new(&mut scatter));
             if programs[i].is_done() {
@@ -323,7 +370,11 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
         1,
         &mut pending,
         caught,
+        A::MESSAGE_DRIVEN.then_some(&local_front),
     );
+    if A::MESSAGE_DRIVEN {
+        local_front.copy_from(&eager_front);
+    }
 
     loop {
         let leader = shared.barrier.wait().is_leader();
@@ -331,9 +382,17 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
             coordinate(shared, &config, n_of(partition), budget);
         }
         shared.barrier.wait();
-        let round = match shared.control.lock().unwrap().command {
-            Command::Stop => break,
-            Command::Work { round } => round,
+        let round = {
+            let ctl = shared.control.lock().unwrap();
+            let round = match ctl.command {
+                Command::Stop => break,
+                Command::Work { round } => round,
+            };
+            if A::MESSAGE_DRIVEN {
+                gather_front.copy_from(&ctl.frontier);
+                use_sparse = ctl.sparse;
+            }
+            round
         };
         let read_parity = round & 1;
 
@@ -349,50 +408,71 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
 
         let caught = catch_unwind(AssertUnwindSafe(|| {
             let mut done_delta = 0usize;
-            for (i, v) in nodes.clone().enumerate() {
-                if S::RECYCLES {
-                    spare.extend(inbox.drain(..).map(|(_, m)| m));
-                } else {
-                    inbox.clear();
-                }
-                let base = offsets[v];
-                // Gather in port order: intra-shard mirrors from the private
-                // plane, cross-shard mirrors from the exchange buffers.
-                // Unconditional (done nodes too), so every slot and buffer
-                // position is drained each round.
-                for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
-                    let msg = if slots.contains(&sender_slot) {
-                        cur.fetch(sender_slot - slot_base, &mut spare)
+            // One shard-local gather → step body, shared by the dense scan
+            // and the sparse frontier iteration (in sparse mode nobody
+            // stored into a skipped node's slots or buffer positions, so
+            // the drain invariant holds shard-locally too).
+            macro_rules! gather_step {
+                ($i:expr, $v:expr) => {{
+                    let (i, v): (usize, usize) = ($i, $v);
+                    if S::RECYCLES {
+                        spare.extend(inbox.drain(..).map(|(_, m)| m));
                     } else {
-                        let (src, pos) = partition
-                            .cross_ref(sender_slot)
-                            .expect("out-of-shard mirror slot must be a boundary slot");
-                        S::fetch_boundary(&mut incoming[src], pos, &mut spare)
-                    };
-                    if let Some(msg) = msg {
-                        inbox.push((p, msg));
+                        inbox.clear();
                     }
+                    let base = offsets[v];
+                    // Gather in port order: intra-shard mirrors from the private
+                    // plane, cross-shard mirrors from the exchange buffers.
+                    // Unconditional (done nodes too), so every slot and buffer
+                    // position is drained each round.
+                    for (p, &sender_slot) in mirror[base..offsets[v + 1]].iter().enumerate() {
+                        let msg = if slots.contains(&sender_slot) {
+                            cur.fetch(sender_slot - slot_base, &mut spare)
+                        } else {
+                            let (src, pos) = partition
+                                .cross_ref(sender_slot)
+                                .expect("out-of-shard mirror slot must be a boundary slot");
+                            S::fetch_boundary(&mut incoming[src], pos, &mut spare)
+                        };
+                        if let Some(msg) = msg {
+                            inbox.push((p, msg));
+                        }
+                    }
+                    if !programs[i].is_done() {
+                        let mut scatter = Scatter {
+                            node: v,
+                            base,
+                            degree: offsets[v + 1] - base,
+                            delivery_round: round + 1,
+                            plane: &mut next,
+                            plane_offset: slot_base,
+                            spare: &mut spare,
+                            pending: &mut pending,
+                            incident,
+                            budget,
+                            enforce_congest: config.enforce_congest,
+                            trace: config.trace,
+                            frontier: A::MESSAGE_DRIVEN.then_some(&mut local_front),
+                        };
+                        programs[i].round_into(
+                            &views[v],
+                            round,
+                            &inbox,
+                            &mut MsgSink::new(&mut scatter),
+                        );
+                        if programs[i].is_done() {
+                            done_delta += 1;
+                        }
+                    }
+                }};
+            }
+            if use_sparse {
+                for v in gather_front.ones_in(nodes.start, nodes.end) {
+                    gather_step!(v - nodes.start, v);
                 }
-                if programs[i].is_done() {
-                    continue;
-                }
-                let mut scatter = Scatter {
-                    node: v,
-                    base,
-                    degree: offsets[v + 1] - base,
-                    delivery_round: round + 1,
-                    plane: &mut next,
-                    plane_offset: slot_base,
-                    spare: &mut spare,
-                    pending: &mut pending,
-                    incident,
-                    budget,
-                    enforce_congest: config.enforce_congest,
-                    trace: config.trace,
-                };
-                programs[i].round_into(&views[v], round, &inbox, &mut MsgSink::new(&mut scatter));
-                if programs[i].is_done() {
-                    done_delta += 1;
+            } else {
+                for (i, v) in nodes.clone().enumerate() {
+                    gather_step!(i, v);
                 }
             }
             done_delta
@@ -420,7 +500,11 @@ fn worker<S: PlaneStore<A::Msg>, A: NodeAlgorithm>(
             (round + 1) & 1,
             &mut pending,
             caught,
+            A::MESSAGE_DRIVEN.then_some(&local_front),
         );
+        if A::MESSAGE_DRIVEN {
+            local_front.copy_from(&eager_front);
+        }
     }
     programs
 }
@@ -430,7 +514,8 @@ fn n_of(partition: &Partition) -> usize {
 }
 
 /// Drains the boundary slots of `plane` into this shard's outgoing exchange
-/// buffers for `parity`, then publishes the shard's report for the round.
+/// buffers for `parity`, then publishes the shard's report for the round
+/// (including, for opted-in programs, the shard's frontier words).
 #[allow(clippy::too_many_arguments)]
 fn publish<M, S: PlaneStore<M>>(
     s: usize,
@@ -441,6 +526,7 @@ fn publish<M, S: PlaneStore<M>>(
     parity: usize,
     pending: &mut PendingRound,
     caught: Result<usize, Box<dyn Any + Send>>,
+    frontier: Option<&NodeSet>,
 ) {
     let k = partition.shard_count();
     if caught.is_ok() {
@@ -461,6 +547,10 @@ fn publish<M, S: PlaneStore<M>>(
     report.violations = pending.violations;
     report.error = pending.error.take();
     report.events = std::mem::take(&mut pending.events);
+    if let Some(front) = frontier {
+        report.frontier.clear();
+        report.frontier.extend_from_slice(front.words());
+    }
     match caught {
         Ok(done_delta) => report.done_delta = done_delta,
         Err(payload) => report.panic = Some(payload),
@@ -488,8 +578,14 @@ fn coordinate<M, S: PlaneStore<M>>(
     let mut error: Option<PendingError> = None;
     let mut panic: Option<Box<dyn Any + Send>> = None;
     let mut round_events: Vec<TraceEvent> = Vec::new();
+    if ctl.track_frontier {
+        ctl.frontier.clear_all();
+    }
     for slot in shared.reports.iter() {
         let mut report = slot.0.lock().unwrap();
+        if ctl.track_frontier {
+            ctl.frontier.or_words(&report.frontier);
+        }
         ctl.done_count += report.done_delta;
         report.done_delta = 0;
         messages += report.messages;
@@ -551,6 +647,12 @@ fn coordinate<M, S: PlaneStore<M>>(
         }
         None => {
             ctl.stats.record_round(messages, bits, max_bits, violations);
+            if ctl.track_frontier {
+                let active = ctl.frontier.count();
+                let sparse = config.frontier.use_sparse(active, n);
+                ctl.sparse = sparse;
+                ctl.stats.record_frontier(active as u64, sparse);
+            }
             if config.trace {
                 ctl.events.append(&mut round_events);
             }

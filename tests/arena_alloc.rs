@@ -160,6 +160,27 @@ fn beacon_allocations(g: &lma_graph::WeightedGraph, backing: Backing, rounds: us
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
+const LANES: usize = 3;
+
+fn batch_gossip_allocations(g: &lma_graph::WeightedGraph, backing: Backing, rounds: usize) -> u64 {
+    let sim = Sim::on(g).backing(backing).batch(LANES);
+    let fleets: Vec<Vec<FixedGossip>> = (0..LANES)
+        .map(|l| {
+            g.nodes()
+                .map(|u| FixedGossip::new((l * g.node_count() + u) as u64, FACTS, rounds))
+                .collect()
+        })
+        .collect();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let results = sim.run(fleets).unwrap();
+    for lane in &results {
+        let lane = lane.as_ref().unwrap();
+        assert_eq!(lane.stats.rounds, rounds);
+        assert!(lane.outputs.iter().all(Option::is_some));
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
 #[test]
 fn arena_gossip_steady_state_allocates_nothing_per_round() {
     let g = ring(24, WeightStrategy::Unit);
@@ -245,5 +266,21 @@ fn arena_gossip_steady_state_allocates_nothing_per_round() {
         "hybrid-backed small-message beacon must not allocate per round \
          ({ROUNDS_LONG}-round run: {beacon_long} allocations, \
          {ROUNDS_SHORT}-round run: {beacon_short})"
+    );
+
+    // ------------------------------------------------------------------
+    // Batch executor (same single-`#[test]` discipline): the lockstep loop
+    // drives every lane through one traversal per round, and its live-lane
+    // iteration reuses a scratch buffer — steady-state batch rounds must be
+    // exactly as allocation-free as solo ones.
+    // ------------------------------------------------------------------
+    batch_gossip_allocations(&g, Backing::Arena, ROUNDS_LONG);
+    let batch_short = batch_gossip_allocations(&g, Backing::Arena, ROUNDS_SHORT);
+    let batch_long = batch_gossip_allocations(&g, Backing::Arena, ROUNDS_LONG);
+    assert_eq!(
+        batch_long, batch_short,
+        "arena-backed batch gossip must not allocate per round \
+         ({ROUNDS_LONG}-round run: {batch_long} allocations, \
+         {ROUNDS_SHORT}-round run: {batch_short})"
     );
 }
