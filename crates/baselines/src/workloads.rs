@@ -147,7 +147,8 @@ impl NodeAlgorithm for WaveFlood {
     }
 
     fn output(&self) -> Option<(u64, u64)> {
-        self.done.then_some(self.reached.expect("done implies reached"))
+        self.done
+            .then_some(self.reached.expect("done implies reached"))
     }
 }
 

@@ -570,10 +570,15 @@ fn bench_frontier_schedules(c: &mut Criterion) {
     let graphs = frontier_graphs();
     let mut group = c.benchmark_group("frontier");
     group.throughput(Throughput::Elements(1));
-    let fleet =
-        |g: &WeightedGraph| -> Vec<WaveFlood> { g.nodes().map(|u| WaveFlood::new(u == 0)).collect() };
+    let fleet = |g: &WeightedGraph| -> Vec<WaveFlood> {
+        g.nodes().map(|u| WaveFlood::new(u == 0)).collect()
+    };
     for (name, g) in &graphs {
-        for mode in [FrontierMode::Dense, FrontierMode::Sparse, FrontierMode::Auto] {
+        for mode in [
+            FrontierMode::Dense,
+            FrontierMode::Sparse,
+            FrontierMode::Auto,
+        ] {
             let sim = Sim::on(g).frontier(mode);
             group.bench_with_input(BenchmarkId::new(mode.label(), name), g, |b, g| {
                 b.iter(|| black_box(sim.run(fleet(g)).unwrap().stats.rounds));

@@ -40,7 +40,8 @@
 //! they were pinned — the new cells must reproduce the pinned digest
 //! bit-for-bit, and the record's digest/chain/stats are kept verbatim.
 
-use lma_bench::scenarios::{registry, LockFile, Scenario, ScenarioOutcome, Variant};
+use lma_bench::catalog::{Selection, WorkloadCatalog};
+use lma_bench::scenarios::{LockFile, Scenario, ScenarioOutcome, Variant};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
@@ -50,11 +51,7 @@ fn default_lock_path() -> PathBuf {
 
 struct Args {
     command: String,
-    filter: Option<String>,
-    workload: Option<String>,
-    executor: Option<String>,
-    backing: Option<String>,
-    smoke: bool,
+    selection: Selection,
     missing: bool,
     lock: PathBuf,
 }
@@ -70,37 +67,33 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
-    let mut filter = None;
-    let mut workload = None;
-    let mut executor = None;
-    let mut backing = None;
-    let mut smoke = false;
+    let mut selection = Selection::default();
     let mut missing = false;
     let mut lock = default_lock_path();
     let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--filter" => match it.next() {
-                Some(value) => filter = Some(value),
+                Some(value) => selection.filter = Some(value),
                 None => usage(),
             },
             "--workload" => match it.next() {
-                Some(value) => workload = Some(value),
+                Some(value) => selection.workload = Some(value),
                 None => usage(),
             },
             "--executor" => match it.next() {
-                Some(value) => executor = Some(value),
+                Some(value) => selection.executor = Some(value),
                 None => usage(),
             },
             "--backing" => match it.next() {
-                Some(value) => backing = Some(value),
+                Some(value) => selection.backing = Some(value),
                 None => usage(),
             },
             "--lock" => match it.next() {
                 Some(value) => lock = PathBuf::from(value),
                 None => usage(),
             },
-            "--smoke" => smoke = true,
+            "--smoke" => selection.smoke = true,
             "--missing" => missing = true,
             "list" | "run" | "verify" | "update" if command.is_none() => {
                 command = Some(arg);
@@ -111,64 +104,10 @@ fn parse_args() -> Args {
     let Some(command) = command else { usage() };
     Args {
         command,
-        filter,
-        workload,
-        executor,
-        backing,
-        smoke,
+        selection,
         missing,
         lock,
     }
-}
-
-/// The scenarios selected by `--smoke` / `--filter` / `--workload`.
-/// Filtering is scenario-granular: a filter matches when the scenario id,
-/// or any of its cell ids, contains the substring (`--workload` matches
-/// the workload name only) — and a matched scenario contributes **all** of
-/// its cells (the cross-cell invariance check needs them).
-fn select(scenarios: &[Scenario], args: &Args) -> Vec<Scenario> {
-    scenarios
-        .iter()
-        .filter(|s| !args.smoke || s.smoke)
-        .filter(|s| match &args.workload {
-            None => true,
-            Some(w) => s.workload.name().contains(w.as_str()),
-        })
-        .filter(|s| match &args.filter {
-            None => true,
-            Some(f) => {
-                let id = s.id();
-                id.contains(f.as_str())
-                    || s.variants()
-                        .iter()
-                        .any(|v| format!("{id}#{}", v.label()).contains(f.as_str()))
-            }
-        })
-        .copied()
-        .collect()
-}
-
-/// The cells of `scenario` selected by `--executor` / `--backing`.  Each
-/// flag is a substring match against its segment of the cell label
-/// (`batch8/arena` → engine segment `batch8`, backing segment `arena`).
-/// With neither flag, all cells are selected and the cross-cell invariance
-/// check covers the full matrix.
-fn select_cells(scenario: &Scenario, args: &Args) -> Vec<Variant> {
-    scenario
-        .variants()
-        .into_iter()
-        .filter(|v| {
-            let label = v.label();
-            let (engine, backing) = label.split_once('/').expect("labels are engine/backing");
-            args.executor
-                .as_ref()
-                .is_none_or(|e| engine.contains(e.as_str()))
-                && args
-                    .backing
-                    .as_ref()
-                    .is_none_or(|b| backing.contains(b.as_str()))
-        })
-        .collect()
 }
 
 /// Runs the selected cells of a scenario, converting a panicking cell into
@@ -187,10 +126,10 @@ fn run_checked(scenario: &Scenario, variants: &[Variant]) -> Result<ScenarioOutc
     })
 }
 
-fn cmd_list(scenarios: &[Scenario], args: &Args) {
+fn cmd_list(catalog: &WorkloadCatalog, scenarios: &[Scenario], args: &Args) {
     let mut cells = 0usize;
     for scenario in scenarios {
-        let selected = select_cells(scenario, args);
+        let selected = catalog.select_cells(scenario, &args.selection);
         if selected.is_empty() {
             continue;
         }
@@ -204,10 +143,10 @@ fn cmd_list(scenarios: &[Scenario], args: &Args) {
     println!("\n{} scenarios, {cells} cells", scenarios.len());
 }
 
-fn cmd_run(scenarios: &[Scenario], args: &Args) -> i32 {
+fn cmd_run(catalog: &WorkloadCatalog, scenarios: &[Scenario], args: &Args) -> i32 {
     let mut failures = 0;
     for scenario in scenarios {
-        let cells = select_cells(scenario, args);
+        let cells = catalog.select_cells(scenario, &args.selection);
         if cells.is_empty() {
             continue;
         }
@@ -296,7 +235,7 @@ fn print_drift(
     }
 }
 
-fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
+fn cmd_verify(catalog: &WorkloadCatalog, scenarios: &[Scenario], args: &Args) -> i32 {
     let text = match std::fs::read_to_string(&args.lock) {
         Ok(text) => text,
         Err(e) => {
@@ -317,7 +256,7 @@ fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
     let mut failures = 0usize;
     let mut cells_checked = 0usize;
     for scenario in scenarios {
-        let cells = select_cells(scenario, args);
+        let cells = catalog.select_cells(scenario, &args.selection);
         if cells.is_empty() {
             continue;
         }
@@ -345,12 +284,7 @@ fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
     }
     // A full verify also flags stale lock entries (only a full sweep can
     // tell "stale" from "filtered out").
-    if args.filter.is_none()
-        && args.workload.is_none()
-        && args.executor.is_none()
-        && args.backing.is_none()
-        && !args.smoke
-    {
+    if args.selection.is_full() {
         let ids: std::collections::BTreeSet<String> = scenarios.iter().map(Scenario::id).collect();
         for golden in &lock.scenarios {
             if !ids.contains(&golden.id) {
@@ -375,24 +309,19 @@ fn cmd_verify(scenarios: &[Scenario], args: &Args) -> i32 {
     }
 }
 
-fn cmd_update(args: &Args) -> i32 {
+fn cmd_update(catalog: &WorkloadCatalog, args: &Args) -> i32 {
     // A re-pin is either all-or-nothing (default) or strictly append-only
     // (`--missing`): the flags that would narrow it arbitrarily are
     // rejected loudly instead of silently ignored, because a partial
     // re-pin would mix digests from two behaviors.
-    if args.smoke
-        || args.filter.is_some()
-        || args.workload.is_some()
-        || args.executor.is_some()
-        || args.backing.is_some()
-    {
+    if !args.selection.is_full() {
         eprintln!(
             "update re-runs scenarios unfiltered; \
              --smoke/--filter/--workload/--executor/--backing are not supported"
         );
         return 2;
     }
-    let scenarios = registry();
+    let scenarios = catalog.scenarios().to_vec();
     // `--missing` preserves every existing record byte for byte and only
     // runs (and appends, in registry order) scenarios without one.
     let existing = if args.missing {
@@ -527,15 +456,16 @@ fn cmd_update(args: &Args) -> i32 {
 
 fn main() {
     let args = parse_args();
-    let selected = select(&registry(), &args);
+    let catalog = WorkloadCatalog::new();
+    let selected = catalog.select(&args.selection);
     let code = match args.command.as_str() {
         "list" => {
-            cmd_list(&selected, &args);
+            cmd_list(&catalog, &selected, &args);
             0
         }
-        "run" => cmd_run(&selected, &args),
-        "verify" => cmd_verify(&selected, &args),
-        "update" => cmd_update(&args),
+        "run" => cmd_run(&catalog, &selected, &args),
+        "verify" => cmd_verify(&catalog, &selected, &args),
+        "update" => cmd_update(&catalog, &args),
         _ => unreachable!("parse_args validated the command"),
     };
     std::process::exit(code);

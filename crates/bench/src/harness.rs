@@ -8,11 +8,10 @@
 //! * **runs on the same graph share state** — a [`RunHarness`] pins one
 //!   [`Sim`]; every evaluation through it reuses the per-thread plane pool
 //!   of `lma-sim` (one plane allocation for the whole sweep), and when the
-//!   sim asks for sharding, direct [`RunHarness::run`] calls go through
-//!   one precomputed `Partition`-backed [`ShardedExecutor`] (scheme
-//!   evaluations run inside the schemes' own decoders, which dispatch on
-//!   the sim's thread knob and re-partition per run — O(n + m), small next
-//!   to the run itself);
+//!   sim asks for sharding, the harness partitions the graph **once** and
+//!   hands the result to every run through [`Sim::with_partition`] — the
+//!   `Sim`-level cached-partition facility — so direct runs *and* the runs
+//!   nested inside scheme decoders all skip the per-run `Partition` build;
 //! * **cells are independent** — [`fan_out`] maps a function over a cell
 //!   list on scoped threads with deterministic, index-ordered collection,
 //!   so tables come out bit-identical to the sequential sweep no matter how
@@ -26,32 +25,38 @@
 //! `experiments` binary's CLI.
 
 use lma_advice::{evaluate_scheme, AdvisingScheme, SchemeError, SchemeEvaluation};
-use lma_graph::WeightedGraph;
-use lma_sim::{NodeAlgorithm, RunError, RunResult, ShardedExecutor, Sim};
+use lma_graph::{Partition, WeightedGraph};
+use lma_sim::{NodeAlgorithm, RunError, RunResult, Sim};
 use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A pinned [`Sim`] that every run of a sweep goes through, so per-graph
 /// state is built once and reused.
+///
+/// The harness is now a *thin wrapper*: all run configuration lives on the
+/// [`Sim`] itself, and the only state the harness adds is an owned
+/// [`Partition`] (built once when the sim asks for ≥ 2 threads) that it
+/// attaches to every run via [`Sim::with_partition`].  `lma-serve`'s
+/// topology cache uses the same facility with an `Arc`-shared partition.
 #[derive(Debug, Clone)]
 pub struct RunHarness<'g> {
     sim: Sim<'g>,
-    /// Built once per harness when the sim asks for ≥ 2 threads; direct
-    /// runs then reuse its partition instead of re-partitioning per run.
-    sharded: Option<ShardedExecutor<'g>>,
+    /// Built once per harness when the sim asks for ≥ 2 threads; every run
+    /// through the harness then reuses it instead of re-partitioning.
+    partition: Option<Partition>,
 }
 
 impl<'g> RunHarness<'g> {
     /// A harness running everything on the given simulation.
     #[must_use]
     pub fn new(sim: Sim<'g>) -> Self {
-        let sharded = sim
+        let partition = sim
             .config()
             .threads
             .filter(|t| t.get() > 1 && sim.graph().node_count() > 1)
-            .map(|t| ShardedExecutor::for_graph(sim.graph(), t));
-        Self { sim, sharded }
+            .map(|t| Partition::new(sim.graph().csr(), t.get()));
+        Self { sim, partition }
     }
 
     /// The pinned graph.
@@ -66,8 +71,19 @@ impl<'g> RunHarness<'g> {
         self.sim
     }
 
+    /// The pinned sim with the harness's cached partition attached (`Sim` is
+    /// covariant in its graph lifetime, so borrowing from the harness only
+    /// shortens it).
+    fn prepared_sim(&self) -> Sim<'_> {
+        match &self.partition {
+            Some(p) => self.sim.with_partition(p),
+            None => self.sim,
+        }
+    }
+
     /// Evaluates a scheme end to end (oracle → decode → MST verification)
-    /// on the pinned simulation.
+    /// on the pinned simulation, reusing the harness's cached partition in
+    /// every nested decoder run.
     ///
     /// # Errors
     /// Exactly the error cases of [`evaluate_scheme`].
@@ -75,11 +91,11 @@ impl<'g> RunHarness<'g> {
         &self,
         scheme: &S,
     ) -> Result<SchemeEvaluation, SchemeError> {
-        evaluate_scheme(scheme, &self.sim)
+        evaluate_scheme(scheme, &self.prepared_sim())
     }
 
     /// Runs one program set on the pinned simulation, reusing the
-    /// harness's precomputed sharded executor when one exists.
+    /// harness's cached partition when one exists.
     ///
     /// # Errors
     /// Exactly the error cases of [`Sim::run`].
@@ -87,10 +103,7 @@ impl<'g> RunHarness<'g> {
         &self,
         programs: Vec<A>,
     ) -> Result<RunResult<A::Output>, RunError> {
-        match &self.sharded {
-            Some(exec) => self.sim.run_on(exec, programs),
-            None => self.sim.run(programs),
-        }
+        self.prepared_sim().run(programs)
     }
 }
 

@@ -21,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod experiments;
 pub mod harness;
 pub mod scenarios;
 pub mod table;
 
+pub use catalog::{Selection, WorkloadCatalog};
 pub use experiments::{
     run_a1_capacity_sweep, run_a2_tie_break, run_a3_congest_audit, run_a4_fault_detection,
     run_e1_lower_bound, run_e2_one_round, run_e3_constant, run_e4_scheme_comparison,

@@ -121,6 +121,28 @@ const GOSSIP_ROUNDS: usize = 8;
 const ERR_ROUND_LIMIT: usize = 5;
 
 impl WorkloadKind {
+    /// Every registered workload kind, in declaration order — the single
+    /// enumeration point for catalog listings and name resolution.
+    pub const ALL: [WorkloadKind; 11] = [
+        WorkloadKind::Flood,
+        WorkloadKind::Gossip,
+        WorkloadKind::Wave,
+        WorkloadKind::GhsBoruvka,
+        WorkloadKind::FloodCollect,
+        WorkloadKind::SchemeTrivial,
+        WorkloadKind::SchemeOneRound,
+        WorkloadKind::SchemeConstant,
+        WorkloadKind::CertifiedConstant,
+        WorkloadKind::ErrRoundLimit,
+        WorkloadKind::ErrMalformed,
+    ];
+
+    /// Resolves a stable name (see [`WorkloadKind::name`]) back to its kind.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Stable name used in scenario ids (always equal to the resolved
     /// workload's [`DynWorkload::name`] — pinned by a test).
     #[must_use]
@@ -304,13 +326,7 @@ impl Scenario {
     /// Domain separation: the scenario identity (but never the variant —
     /// cells of one scenario must collide bit-for-bit).
     fn fold_header(&self) -> DigestWriter {
-        let mut w = DigestWriter::new();
-        w.str("scenario");
-        w.str(self.workload.name());
-        w.str(self.family.name());
-        w.usize(self.n);
-        w.u64(self.seed);
-        w
+        scenario_fold_header(self.workload.name(), self.family.name(), self.n, self.seed)
     }
 
     /// Like [`Scenario::run`], on a caller-built graph instance —
@@ -360,6 +376,23 @@ impl Scenario {
             summary,
         }
     }
+}
+
+/// A digest writer seeded with a scenario identity header — **the** pinned
+/// domain-separation prefix every golden digest in `SCENARIOS.lock` starts
+/// from.  Public so out-of-registry consumers (the `lma-serve` run pipeline)
+/// can fold byte-identical digests for the same `(workload, family, n, seed)`
+/// identity; `workload` / `family` are the stable names
+/// ([`WorkloadKind::name`], [`Family::name`]).
+#[must_use]
+pub fn scenario_fold_header(workload: &str, family: &str, n: usize, seed: u64) -> DigestWriter {
+    let mut w = DigestWriter::new();
+    w.str("scenario");
+    w.str(workload);
+    w.str(family);
+    w.usize(n);
+    w.u64(seed);
+    w
 }
 
 // ---------------------------------------------------------------------------
@@ -808,20 +841,7 @@ mod tests {
 
     #[test]
     fn kind_names_match_their_workload_names() {
-        use WorkloadKind as W;
-        for kind in [
-            W::Flood,
-            W::Gossip,
-            W::Wave,
-            W::GhsBoruvka,
-            W::FloodCollect,
-            W::SchemeTrivial,
-            W::SchemeOneRound,
-            W::SchemeConstant,
-            W::CertifiedConstant,
-            W::ErrRoundLimit,
-            W::ErrMalformed,
-        ] {
+        for kind in WorkloadKind::ALL {
             assert_eq!(kind.name(), kind.workload().name(), "{kind:?}");
             assert_eq!(
                 kind.supports_reference(),
@@ -829,6 +849,16 @@ mod tests {
                 "{kind:?}"
             );
         }
+    }
+
+    #[test]
+    fn kind_names_are_unique_and_resolve_back() {
+        let mut names = std::collections::BTreeSet::new();
+        for kind in WorkloadKind::ALL {
+            assert!(names.insert(kind.name()), "duplicate name {}", kind.name());
+            assert_eq!(WorkloadKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::from_name("no-such-workload"), None);
     }
 
     #[test]

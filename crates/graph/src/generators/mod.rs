@@ -121,6 +121,12 @@ impl Family {
         }
     }
 
+    /// Resolves a stable name (see [`Family::name`]) back to its family.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Family> {
+        Family::ALL.into_iter().find(|f| f.name() == name)
+    }
+
     /// Instantiates the family with (approximately) `n` nodes and the given
     /// weight strategy/seed.
     #[must_use]

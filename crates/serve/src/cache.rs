@@ -1,0 +1,196 @@
+//! The server's hot-state cache: interned graphs, partitions and prepared
+//! oracles shared across requests.
+//!
+//! Everything the per-request pipeline would otherwise recompute is keyed by
+//! the topology identity `(family, n, seed)` — the same triple that names a
+//! scenario in `SCENARIOS.lock`:
+//!
+//! * **Graphs** — `Family::instantiate` is deterministic per seed, so one
+//!   [`WeightedGraph`] serves every request for the same topology.
+//! * **Partitions** — additionally keyed by the shard count; handed to
+//!   [`Sim::with_partition`](lma_sim::Sim::with_partition) so repeated
+//!   sharded runs skip the BFS-order partitioning pass.
+//! * **Oracles** — a workload's centralized prepare product
+//!   ([`PreparedOracle`]), additionally keyed by the workload name.
+//!   Prepare *failures* are never cached: a transiently failing prepare
+//!   must stay observable, and the erased box has nothing to store anyway.
+//!
+//! All three maps sit behind plain mutexes — entries are built once and
+//! then only read, so contention is a non-issue next to a graph build.
+//! Hit/miss counters are atomics so the stats snapshot never takes a lock
+//! it does not need.
+
+use lma_graph::{generators::Family, weights::WeightStrategy, Partition, WeightedGraph};
+use lma_sim::{DynWorkload, PreparedOracle, WorkloadError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A topology identity: `(family name, n, seed)`.  Family names are the
+/// stable `&'static str`s of [`Family::name`], so the key is `Copy`-cheap.
+pub type TopologyKey = (&'static str, usize, u64);
+
+/// One hit/miss counter pair.
+#[derive(Debug, Default)]
+struct HitMiss {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HitMiss {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The hot-state cache (see the module docs).
+#[derive(Debug, Default)]
+pub struct HotCache {
+    graphs: Mutex<HashMap<TopologyKey, Arc<WeightedGraph>>>,
+    partitions: Mutex<HashMap<(TopologyKey, usize), Arc<Partition>>>,
+    oracles: Mutex<HashMap<(&'static str, TopologyKey), Arc<PreparedOracle>>>,
+    graph_stats: HitMiss,
+    partition_stats: HitMiss,
+    oracle_stats: HitMiss,
+}
+
+impl HotCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The interned graph for `(family, n, seed)`, building it on first use.
+    pub fn graph(&self, family: Family, n: usize, seed: u64) -> Arc<WeightedGraph> {
+        let key: TopologyKey = (family.name(), n, seed);
+        if let Some(g) = self.graphs.lock().expect("graph cache poisoned").get(&key) {
+            self.graph_stats.hit();
+            return Arc::clone(g);
+        }
+        // Build outside the lock: graph generation is the expensive part and
+        // a racing duplicate build is harmless (deterministic per seed).
+        self.graph_stats.miss();
+        let built = Arc::new(family.instantiate(n, WeightStrategy::DistinctRandom { seed }, seed));
+        let mut graphs = self.graphs.lock().expect("graph cache poisoned");
+        Arc::clone(graphs.entry(key).or_insert(built))
+    }
+
+    /// The interned partition of `graph` into `shards`, building it on
+    /// first use.  `key` must be the topology identity `graph` was built
+    /// from.
+    pub fn partition(
+        &self,
+        key: TopologyKey,
+        graph: &WeightedGraph,
+        shards: usize,
+    ) -> Arc<Partition> {
+        let full_key = (key, shards);
+        if let Some(p) = self
+            .partitions
+            .lock()
+            .expect("partition cache poisoned")
+            .get(&full_key)
+        {
+            self.partition_stats.hit();
+            return Arc::clone(p);
+        }
+        self.partition_stats.miss();
+        let built = Arc::new(Partition::new(graph.csr(), shards));
+        let mut partitions = self.partitions.lock().expect("partition cache poisoned");
+        Arc::clone(partitions.entry(full_key).or_insert(built))
+    }
+
+    /// The interned prepare product of `workload` on `graph`, running the
+    /// centralized prepare on first use.  `key` must be the topology
+    /// identity `graph` was built from.
+    ///
+    /// # Errors
+    /// [`WorkloadError`] from the prepare phase; failures are not cached.
+    pub fn oracle(
+        &self,
+        workload: &dyn DynWorkload,
+        key: TopologyKey,
+        graph: &WeightedGraph,
+    ) -> Result<Arc<PreparedOracle>, WorkloadError> {
+        let full_key = (workload.name(), key);
+        if let Some(o) = self
+            .oracles
+            .lock()
+            .expect("oracle cache poisoned")
+            .get(&full_key)
+        {
+            self.oracle_stats.hit();
+            return Ok(Arc::clone(o));
+        }
+        self.oracle_stats.miss();
+        let built = Arc::new(workload.prepare_oracle(graph)?);
+        let mut oracles = self.oracles.lock().expect("oracle cache poisoned");
+        Ok(Arc::clone(oracles.entry(full_key).or_insert(built)))
+    }
+
+    /// Graph-cache `(hits, misses)`.
+    #[must_use]
+    pub fn graph_stats(&self) -> (u64, u64) {
+        self.graph_stats.read()
+    }
+
+    /// Partition-cache `(hits, misses)`.
+    #[must_use]
+    pub fn partition_stats(&self) -> (u64, u64) {
+        self.partition_stats.read()
+    }
+
+    /// Oracle-cache `(hits, misses)`.
+    #[must_use]
+    pub fn oracle_stats(&self) -> (u64, u64) {
+        self.oracle_stats.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lma_bench::WorkloadCatalog;
+
+    #[test]
+    fn graphs_partitions_and_oracles_are_interned() {
+        let cache = HotCache::new();
+        let family = Family::from_name("ring").unwrap();
+        let g1 = cache.graph(family, 48, 11);
+        let g2 = cache.graph(family, 48, 11);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        assert_eq!(cache.graph_stats(), (1, 1));
+
+        let key: TopologyKey = (family.name(), 48, 11);
+        let p1 = cache.partition(key, &g1, 2);
+        let p2 = cache.partition(key, &g1, 2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(p1.shard_count(), 2);
+        let p3 = cache.partition(key, &g1, 3);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.partition_stats(), (1, 2));
+
+        let catalog = WorkloadCatalog::new();
+        let flood = catalog.resolve("flood").unwrap();
+        let o1 = cache.oracle(flood.as_ref(), key, &g1).unwrap();
+        let o2 = cache.oracle(flood.as_ref(), key, &g1).unwrap();
+        assert!(Arc::ptr_eq(&o1, &o2));
+        // A different workload on the same topology is a distinct entry.
+        let gossip = catalog.resolve("gossip").unwrap();
+        let o3 = cache.oracle(gossip.as_ref(), key, &g1).unwrap();
+        assert!(!Arc::ptr_eq(&o1, &o3));
+        assert_eq!(cache.oracle_stats(), (1, 2));
+    }
+}

@@ -101,10 +101,19 @@ impl<'g> BatchSim<'g> {
         if let Some(threads) = config.threads {
             if threads.get() > 1 && graph.node_count() > 1 {
                 let views = Runtime::with_config(graph, config).local_views();
-                let partition = Partition::new(graph.csr(), threads.get());
-                return Ok(crate::batch_sharded::run_batch_sharded(
-                    graph, config, &partition, &views, fleets,
-                ));
+                // A precomputed partition supplied via `Sim::with_partition`
+                // is amortized across the batch exactly as in `Sim::run`.
+                return Ok(match self.sim.usable_partition(threads.get()) {
+                    Some(partition) => crate::batch_sharded::run_batch_sharded(
+                        graph, config, partition, &views, fleets,
+                    ),
+                    None => {
+                        let partition = Partition::new(graph.csr(), threads.get());
+                        crate::batch_sharded::run_batch_sharded(
+                            graph, config, &partition, &views, fleets,
+                        )
+                    }
+                });
             }
         }
         Ok(run_batch_sequential(graph, config, fleets))

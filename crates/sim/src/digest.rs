@@ -267,7 +267,12 @@ impl RunSummary {
         let frontier = (!stats.per_round_active_nodes.is_empty()).then(|| FrontierProfile {
             sparse_rounds: stats.per_round_sparse.iter().filter(|&&s| s).count(),
             dense_rounds: stats.per_round_sparse.iter().filter(|&&s| !s).count(),
-            peak_active: stats.per_round_active_nodes.iter().copied().max().unwrap_or(0),
+            peak_active: stats
+                .per_round_active_nodes
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
         });
         Self {
             rounds: stats.rounds,

@@ -50,12 +50,13 @@
 use crate::algorithm::NodeAlgorithm;
 use crate::batch::BatchSim;
 use crate::digest::{fold_error, DigestWriter, RunSummary};
-use crate::executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
+use crate::executor::{Executor, ReferenceExecutor, SequentialExecutor};
 use crate::frontier::FrontierMode;
 use crate::model::Model;
 use crate::plane::Backing;
 use crate::runtime::{RunConfig, RunError, RunResult, Runtime};
-use lma_graph::WeightedGraph;
+use lma_graph::{Partition, WeightedGraph};
+use std::any::Any;
 use std::num::NonZeroUsize;
 
 /// The execution engine a [`Sim`] dispatches a run to.
@@ -105,6 +106,8 @@ pub struct Sim<'g> {
     graph: &'g WeightedGraph,
     config: RunConfig,
     engine: Engine,
+    /// Caller-supplied precomputed partition (see [`Sim::with_partition`]).
+    partition: Option<&'g Partition>,
 }
 
 impl<'g> Sim<'g> {
@@ -117,6 +120,7 @@ impl<'g> Sim<'g> {
             graph,
             config: RunConfig::default(),
             engine: Engine::Auto,
+            partition: None,
         }
     }
 
@@ -177,6 +181,38 @@ impl<'g> Sim<'g> {
         self
     }
 
+    /// Supplies a precomputed [`Partition`] of this graph — **the**
+    /// cached-partition facility of the workspace: multi-run harnesses
+    /// (`RunHarness` in `lma-bench`) and the `lma-serve` topology cache
+    /// partition a graph once and hand the result to every subsequent `Sim`
+    /// on it, instead of re-partitioning per run.
+    ///
+    /// The partition is consulted by every sharded dispatch reachable from
+    /// this value — [`Sim::run`], nested pipeline runs through
+    /// [`Workload::execute`], and the lockstep batch executor
+    /// ([`Sim::batch`]) — whenever the run actually shards **and** the
+    /// partition's shard count matches the resolved worker count; in every
+    /// other case it is ignored and the run partitions on the fly, so a
+    /// mismatched handoff can never change behavior, only cost.
+    ///
+    /// Correctness note: `partition` must have been built from **this**
+    /// graph's CSR (`Partition::new(graph.csr(), t)`).  Boundary routing
+    /// tables depend on the edges, so handing a partition of a different
+    /// graph is a logic error — the same contract as
+    /// [`ShardedExecutor::for_graph`](crate::executor::ShardedExecutor::for_graph),
+    /// which enforces it by construction.
+    #[must_use]
+    pub fn with_partition(mut self, partition: &'g Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// The precomputed partition, when one was supplied.
+    #[must_use]
+    pub fn partition(&self) -> Option<&'g Partition> {
+        self.partition
+    }
+
     /// Pins an explicit execution engine.  The thread knob of the resolved
     /// config is *derived* from the pinned engine at [`Sim::config`] time
     /// (see there), so engine and config can never contradict each other,
@@ -232,16 +268,39 @@ impl<'g> Sim<'g> {
     ) -> Result<RunResult<A::Output>, RunError> {
         let config = self.config();
         match self.engine {
-            Engine::Auto => Runtime::with_config(self.graph, config).run(programs),
+            Engine::Auto | Engine::Sharded(_) => match config.threads {
+                Some(t) if t.get() > 1 && self.graph.node_count() > 1 => {
+                    let runtime = Runtime::with_config(self.graph, config);
+                    let views = runtime.local_views();
+                    match self.usable_partition(t.get()) {
+                        Some(partition) => crate::sharded::run_sharded(
+                            self.graph, config, partition, &views, programs,
+                        ),
+                        None => {
+                            let partition = Partition::new(self.graph.csr(), t.get());
+                            crate::sharded::run_sharded(
+                                self.graph, config, &partition, &views, programs,
+                            )
+                        }
+                    }
+                }
+                _ => SequentialExecutor.run(self.graph, config, programs),
+            },
             Engine::Sequential => SequentialExecutor.run(self.graph, config, programs),
-            Engine::Sharded(t) => ShardedExecutor::new(t).run(self.graph, config, programs),
             Engine::Reference => ReferenceExecutor.run(self.graph, config, programs),
         }
     }
 
+    /// The supplied partition, when it matches the resolved worker count
+    /// (any mismatch falls back to partitioning on the fly — see
+    /// [`Sim::with_partition`]).
+    pub(crate) fn usable_partition(&self, threads: usize) -> Option<&'g Partition> {
+        self.partition.filter(|p| p.shard_count() == threads)
+    }
+
     /// Runs on an explicit [`Executor`] value, bypassing the pinned engine —
     /// the hook for harnesses that precompute per-graph executor state
-    /// (e.g. a partition-caching [`ShardedExecutor`]).
+    /// (e.g. a partition-caching [`crate::ShardedExecutor`]).
     ///
     /// # Errors
     /// Exactly the error cases of [`Runtime::run`].
@@ -302,7 +361,12 @@ impl From<RunError> for WorkloadError {
 pub trait Workload: Send + Sync {
     /// Product of the centralized prepare phase (advice strings, reference
     /// trees, labels — whatever the distributed phase consumes).
-    type Prep: Send;
+    ///
+    /// `Clone` because prepare is deterministic per graph and its product is
+    /// pure data: a cached oracle (see [`DynWorkload::prepare_oracle`]) is
+    /// cloned per run/lane rather than recomputed.  `'static + Send + Sync`
+    /// so erased oracles can live in cross-request caches.
+    type Prep: Clone + Send + Sync + 'static;
     /// The typed outcome of the full pipeline.
     type Outcome: Send;
 
@@ -392,6 +456,21 @@ pub fn run_workload<W: Workload + ?Sized>(
     sim: &Sim<'_>,
 ) -> Result<W::Outcome, WorkloadError> {
     let prep = workload.prepare(sim.graph())?;
+    run_workload_prepared(workload, sim, prep)
+}
+
+/// The prepare-free tail of [`run_workload`]: execute and verify with a
+/// caller-supplied prep.  Because prepare is deterministic per graph, running
+/// with a cached prep produces exactly what [`run_workload`] would — this is
+/// the primitive the oracle cache of `lma-serve` builds on.
+///
+/// # Errors
+/// The first failing phase's [`WorkloadError`].
+pub fn run_workload_prepared<W: Workload + ?Sized>(
+    workload: &W,
+    sim: &Sim<'_>,
+    prep: W::Prep,
+) -> Result<W::Outcome, WorkloadError> {
     let outcome = workload.execute(sim, prep)?;
     workload.verify(sim.graph(), &outcome)?;
     Ok(outcome)
@@ -417,6 +496,22 @@ pub fn run_workload_batch<W: Workload + ?Sized>(
             Err(e) => return (0..batch.lanes()).map(|_| Err(e.clone())).collect(),
         }
     }
+    run_workload_batch_prepared(workload, batch, preps)
+}
+
+/// The prepare-free tail of [`run_workload_batch`]: execute all lanes with
+/// caller-supplied preps (one per lane, index for index) and verify each lane
+/// independently.
+///
+/// # Panics
+/// When `preps.len() != batch.lanes()`.
+pub fn run_workload_batch_prepared<W: Workload + ?Sized>(
+    workload: &W,
+    batch: &BatchSim<'_>,
+    preps: Vec<W::Prep>,
+) -> Vec<Result<W::Outcome, WorkloadError>> {
+    assert_eq!(preps.len(), batch.lanes(), "one prep per lane");
+    let graph = batch.sim().graph();
     workload
         .execute_batch(batch, preps)
         .into_iter()
@@ -434,8 +529,9 @@ pub fn run_workload_batch<W: Workload + ?Sized>(
 /// outcome.  The blanket impl below lifts any `FleetWorkload` into a
 /// [`Workload`].
 pub trait FleetWorkload: Send + Sync {
-    /// Product of the centralized prepare phase.
-    type Prep: Send;
+    /// Product of the centralized prepare phase.  See [`Workload::Prep`]
+    /// for the bounds rationale.
+    type Prep: Clone + Send + Sync + 'static;
     /// The per-node program type.
     type Program: NodeAlgorithm;
     /// The typed outcome of the pipeline.
@@ -544,6 +640,19 @@ impl<F: FleetWorkload> Workload for F {
     }
 }
 
+/// An erased product of a workload's centralized prepare phase, produced by
+/// [`DynWorkload::prepare_oracle`] and consumed by
+/// [`DynWorkload::run_fold_prepared`] /
+/// [`DynWorkload::run_fold_batch_prepared`].
+///
+/// Prepare is deterministic per graph, so an oracle computed once can serve
+/// every later run of the same workload on the same graph — the hot-state
+/// cache of `lma-serve` stores these keyed by `(workload, topology)`.  The
+/// concrete type inside the box is the workload's [`Workload::Prep`]; handing
+/// an oracle to a *different* workload is reported as
+/// [`WorkloadError::Prepare`], never a panic.
+pub type PreparedOracle = Box<dyn Any + Send + Sync>;
+
 /// The object-safe form of [`Workload`] that heterogeneous registries
 /// store: run the full pipeline and fold the outcome — or, when the
 /// simulator rejects the run, the error payload — into a digest writer.
@@ -586,6 +695,57 @@ pub trait DynWorkload: Send + Sync {
         lanes: usize,
         writers: &mut [DigestWriter],
     ) -> Result<Vec<RunSummary>, WorkloadError>;
+
+    /// Runs the centralized prepare phase once, returning its product in
+    /// erased, cacheable form (see [`PreparedOracle`]).
+    ///
+    /// # Errors
+    /// [`WorkloadError::Prepare`] when the oracle cannot handle the graph.
+    fn prepare_oracle(&self, graph: &WeightedGraph) -> Result<PreparedOracle, WorkloadError>;
+
+    /// [`run_fold`](DynWorkload::run_fold) with a cached oracle in place of
+    /// a fresh prepare.  Because prepare is deterministic per graph, the
+    /// digest and summary are exactly those of `run_fold` on the same `sim`.
+    ///
+    /// # Errors
+    /// [`WorkloadError::Prepare`] when `oracle` was produced by a different
+    /// workload type; [`WorkloadError::Invalid`] from verification.
+    fn run_fold_prepared(
+        &self,
+        sim: &Sim<'_>,
+        oracle: &PreparedOracle,
+        w: &mut DigestWriter,
+    ) -> Result<RunSummary, WorkloadError>;
+
+    /// [`run_fold_batch`](DynWorkload::run_fold_batch) with a cached oracle:
+    /// the single oracle is cloned into every lane (prepare is deterministic,
+    /// so `W` fresh prepares would have produced `W` equal preps).
+    ///
+    /// # Errors
+    /// [`WorkloadError::Prepare`] when `oracle` was produced by a different
+    /// workload type; [`WorkloadError::Invalid`] from any lane's
+    /// verification.
+    fn run_fold_batch_prepared(
+        &self,
+        sim: &Sim<'_>,
+        oracle: &PreparedOracle,
+        lanes: usize,
+        writers: &mut [DigestWriter],
+    ) -> Result<Vec<RunSummary>, WorkloadError>;
+}
+
+/// Recovers a workload's typed prep from an erased oracle, failing with a
+/// typed error (not a panic) on a cross-workload mixup.
+fn downcast_prep<'a, W: Workload + ?Sized>(
+    workload: &W,
+    oracle: &'a PreparedOracle,
+) -> Result<&'a W::Prep, WorkloadError> {
+    oracle.downcast_ref::<W::Prep>().ok_or_else(|| {
+        WorkloadError::Prepare(format!(
+            "cached oracle type mismatch for workload `{}`",
+            workload.name()
+        ))
+    })
 }
 
 impl<W: Workload> DynWorkload for W {
@@ -602,17 +762,7 @@ impl<W: Workload> DynWorkload for W {
     }
 
     fn run_fold(&self, sim: &Sim<'_>, w: &mut DigestWriter) -> Result<RunSummary, WorkloadError> {
-        match run_workload(self, sim) {
-            Ok(outcome) => {
-                self.fold(w, &outcome);
-                Ok(self.summary(&outcome))
-            }
-            Err(WorkloadError::Run(error)) => {
-                fold_error(w, &error);
-                Ok(RunSummary::of_error())
-            }
-            Err(other) => Err(other),
-        }
+        fold_lane(self, w, run_workload(self, sim))
     }
 
     fn supports_batch(&self) -> bool {
@@ -627,24 +777,65 @@ impl<W: Workload> DynWorkload for W {
     ) -> Result<Vec<RunSummary>, WorkloadError> {
         assert_eq!(writers.len(), lanes, "one digest writer per lane");
         let batch = (*sim).batch(lanes);
-        let mut summaries = Vec::with_capacity(lanes);
-        for (lane, w) in run_workload_batch(self, &batch)
+        run_workload_batch(self, &batch)
             .into_iter()
             .zip(writers.iter_mut())
-        {
-            match lane {
-                Ok(outcome) => {
-                    self.fold(w, &outcome);
-                    summaries.push(self.summary(&outcome));
-                }
-                Err(WorkloadError::Run(error)) => {
-                    fold_error(w, &error);
-                    summaries.push(RunSummary::of_error());
-                }
-                Err(other) => return Err(other),
-            }
+            .map(|(lane, w)| fold_lane(self, w, lane))
+            .collect()
+    }
+
+    fn prepare_oracle(&self, graph: &WeightedGraph) -> Result<PreparedOracle, WorkloadError> {
+        Ok(Box::new(Workload::prepare(self, graph)?))
+    }
+
+    fn run_fold_prepared(
+        &self,
+        sim: &Sim<'_>,
+        oracle: &PreparedOracle,
+        w: &mut DigestWriter,
+    ) -> Result<RunSummary, WorkloadError> {
+        let prep = downcast_prep(self, oracle)?.clone();
+        fold_lane(self, w, run_workload_prepared(self, sim, prep))
+    }
+
+    fn run_fold_batch_prepared(
+        &self,
+        sim: &Sim<'_>,
+        oracle: &PreparedOracle,
+        lanes: usize,
+        writers: &mut [DigestWriter],
+    ) -> Result<Vec<RunSummary>, WorkloadError> {
+        assert_eq!(writers.len(), lanes, "one digest writer per lane");
+        let prep = downcast_prep(self, oracle)?;
+        let preps = vec![prep.clone(); lanes];
+        let batch = (*sim).batch(lanes);
+        run_workload_batch_prepared(self, &batch, preps)
+            .into_iter()
+            .zip(writers.iter_mut())
+            .map(|(lane, w)| fold_lane(self, w, lane))
+            .collect()
+    }
+}
+
+/// Folds one pipeline result into a digest writer with the
+/// outcome-or-run-error discipline every [`DynWorkload`] entry point shares:
+/// a [`WorkloadError::Run`] is part of the pinned contract (folded as the
+/// error payload, summarized as an error), other errors propagate.
+fn fold_lane<W: Workload + ?Sized>(
+    workload: &W,
+    w: &mut DigestWriter,
+    lane: Result<W::Outcome, WorkloadError>,
+) -> Result<RunSummary, WorkloadError> {
+    match lane {
+        Ok(outcome) => {
+            workload.fold(w, &outcome);
+            Ok(workload.summary(&outcome))
         }
-        Ok(summaries)
+        Err(WorkloadError::Run(error)) => {
+            fold_error(w, &error);
+            Ok(RunSummary::of_error())
+        }
+        Err(other) => Err(other),
     }
 }
 
@@ -879,6 +1070,83 @@ mod tests {
             for w in writers {
                 assert_eq!(w.finish(), solo_digest, "per-lane digest drifted");
             }
+        }
+    }
+
+    #[test]
+    fn cached_oracle_runs_match_fresh_prepares() {
+        let g = ring(9, WeightStrategy::Unit);
+        let workload: &dyn DynWorkload = &EchoWorkload { round_limit: None };
+        let sim = workload.tune(Sim::on(&g));
+
+        let mut fresh = DigestWriter::new();
+        let fresh_summary = workload.run_fold(&sim, &mut fresh).unwrap();
+        let fresh_digest = fresh.finish();
+
+        let oracle = workload.prepare_oracle(&g).unwrap();
+        let mut cached = DigestWriter::new();
+        let cached_summary = workload
+            .run_fold_prepared(&sim, &oracle, &mut cached)
+            .unwrap();
+        assert_eq!(cached_summary, fresh_summary);
+        assert_eq!(cached.finish(), fresh_digest);
+
+        // The same single oracle serves a whole batch, lane for lane.
+        let lanes = 3;
+        let mut writers: Vec<DigestWriter> = (0..lanes).map(|_| DigestWriter::new()).collect();
+        let summaries = workload
+            .run_fold_batch_prepared(&sim, &oracle, lanes, &mut writers)
+            .unwrap();
+        assert_eq!(summaries, vec![fresh_summary; lanes]);
+        for w in writers {
+            assert_eq!(w.finish(), fresh_digest, "per-lane digest drifted");
+        }
+    }
+
+    #[test]
+    fn mismatched_oracle_is_a_typed_error_not_a_panic() {
+        let g = ring(9, WeightStrategy::Unit);
+        let workload: &dyn DynWorkload = &EchoWorkload { round_limit: None };
+        let alien: PreparedOracle = Box::new(42u64);
+        let mut w = DigestWriter::new();
+        match workload.run_fold_prepared(&workload.tune(Sim::on(&g)), &alien, &mut w) {
+            Err(WorkloadError::Prepare(msg)) => assert!(msg.contains("echo"), "{msg}"),
+            other => panic!("expected a typed prepare error, got {other:?}"),
+        }
+        let mut writers = vec![DigestWriter::new()];
+        assert!(matches!(
+            workload.run_fold_batch_prepared(&workload.tune(Sim::on(&g)), &alien, 1, &mut writers),
+            Err(WorkloadError::Prepare(_))
+        ));
+    }
+
+    #[test]
+    fn precomputed_partition_runs_are_bit_identical() {
+        let g = ring(12, WeightStrategy::DistinctRandom { seed: 3 });
+        let base = Sim::on(&g).threads(3).trace(true);
+        let fresh = base.run(fleet(12)).unwrap();
+
+        let partition = Partition::new(g.csr(), 3);
+        let cached = base.with_partition(&partition).run(fleet(12)).unwrap();
+        assert_eq!(fresh.outputs, cached.outputs);
+        assert_eq!(fresh.stats, cached.stats);
+        assert_eq!(fresh.trace, cached.trace);
+
+        // A shard-count mismatch silently falls back to on-the-fly
+        // partitioning — same results, never an error.
+        let wrong = Partition::new(g.csr(), 5);
+        let fallback = base.with_partition(&wrong).run(fleet(12)).unwrap();
+        assert_eq!(fresh.outputs, fallback.outputs);
+        assert_eq!(fresh.stats, fallback.stats);
+
+        // And the partition threads through the lockstep batch executor.
+        let lanes = 2;
+        let fleets: Vec<Vec<Echo>> = (0..lanes).map(|_| fleet(12)).collect();
+        let batched = base.with_partition(&partition).batch(lanes);
+        for lane in batched.run(fleets).unwrap() {
+            let lane = lane.unwrap();
+            assert_eq!(fresh.outputs, lane.outputs);
+            assert_eq!(fresh.stats, lane.stats);
         }
     }
 

@@ -11,7 +11,7 @@
 //!   destination node (known at `put` time from the CSR `IncidentEdge`
 //!   target) in a `next_frontier` bitset.
 //! * The next round gathers only frontier nodes when the frontier is small
-//!   (`|frontier| · θ < n`, θ = [`THETA`]), and falls back to the existing
+//!   (`|frontier| · θ < n`, θ = `THETA`), and falls back to the existing
 //!   dense scan otherwise — dense workloads keep their current code path
 //!   and cost.
 //!
@@ -36,7 +36,7 @@
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum FrontierMode {
     /// Per-round switch: gather sparsely when `|frontier| · θ < n`
-    /// (θ = [`THETA`]), densely otherwise.  The default.
+    /// (θ = `THETA`), densely otherwise.  The default.
     #[default]
     Auto,
     /// Always run the dense scan (today's schedule, every non-done node
@@ -275,7 +275,11 @@ mod tests {
     #[test]
     fn mode_defaults_and_labels_round_trip() {
         assert_eq!(FrontierMode::default(), FrontierMode::Auto);
-        for mode in [FrontierMode::Auto, FrontierMode::Dense, FrontierMode::Sparse] {
+        for mode in [
+            FrontierMode::Auto,
+            FrontierMode::Dense,
+            FrontierMode::Sparse,
+        ] {
             assert_eq!(FrontierMode::parse(mode.label()), Some(mode));
         }
         assert_eq!(FrontierMode::parse("bogus"), None);

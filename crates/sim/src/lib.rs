@@ -102,8 +102,8 @@ pub use batch_plane::{BatchArenaPlane, BatchHybridPlane, BatchInlinePlane, Batch
 pub use bitset::FixedBitSet;
 pub use digest::{Digest, DigestWriter, FrontierProfile, RunSummary};
 pub use driver::{
-    run_workload, run_workload_batch, DynWorkload, Engine, FleetWorkload, Sim, Workload,
-    WorkloadError,
+    run_workload, run_workload_batch, run_workload_batch_prepared, run_workload_prepared,
+    DynWorkload, Engine, FleetWorkload, PreparedOracle, Sim, Workload, WorkloadError,
 };
 pub use executor::{Executor, ReferenceExecutor, SequentialExecutor, ShardedExecutor};
 pub use frontier::FrontierMode;

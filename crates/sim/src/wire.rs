@@ -236,6 +236,18 @@ impl<T: Wire> Wire for Vec<T> {
     }
 }
 
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Self {
+        let len = usize::try_from(r.varint()).expect("length varint out of range");
+        String::from_utf8(r.bytes(len).to_vec()).expect("string bytes were not UTF-8")
+    }
+}
+
 impl<A: Wire, B: Wire> Wire for (A, B) {
     fn encode(&self, out: &mut Vec<u8>) {
         self.0.encode(out);
@@ -319,6 +331,17 @@ mod tests {
             assert!(out.len() <= 10);
             assert_eq!(WireReader::new(&out).varint(), x);
         }
+    }
+
+    #[test]
+    fn string_round_trips() {
+        assert_eq!(round_trip(String::new()), 1);
+        round_trip("flood".to_string());
+        round_trip("ünïcodé — 16 bytes?".to_string());
+        // Length is the byte length, varint-prefixed like `Vec<u8>`.
+        let mut bytes = Vec::new();
+        "ab".to_string().encode(&mut bytes);
+        assert_eq!(bytes, vec![2, b'a', b'b']);
     }
 
     #[test]

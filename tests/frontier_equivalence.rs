@@ -20,7 +20,11 @@ use lma_sim::{
 };
 use proptest::prelude::*;
 
-const MODES: [FrontierMode; 3] = [FrontierMode::Auto, FrontierMode::Dense, FrontierMode::Sparse];
+const MODES: [FrontierMode; 3] = [
+    FrontierMode::Auto,
+    FrontierMode::Dense,
+    FrontierMode::Sparse,
+];
 
 /// A wave fleet on `g`: node 0 is the source; nodes where `eager(u)` holds
 /// decline the sparse schedule at the instance level (mixed fleets).
@@ -189,7 +193,10 @@ fn malformed_outbox_mid_wave_fails_identically_under_every_schedule() {
             })
             .collect::<Vec<_>>()
     };
-    let want = Sim::on(&g).frontier(FrontierMode::Dense).run(mk()).unwrap_err();
+    let want = Sim::on(&g)
+        .frontier(FrontierMode::Dense)
+        .run(mk())
+        .unwrap_err();
     assert!(matches!(want, RunError::MalformedOutbox { node: 9, .. }));
     for backing in Backing::ALL {
         for mode in MODES {
@@ -245,7 +252,12 @@ fn auto_mode_goes_sparse_on_a_ring_wave_and_reports_it() {
     assert_eq!(profile.dense_rounds, 0);
     assert_eq!(
         profile.peak_active,
-        auto.stats.per_round_active_nodes.iter().copied().max().unwrap()
+        auto.stats
+            .per_round_active_nodes
+            .iter()
+            .copied()
+            .max()
+            .unwrap()
     );
 
     let dense = Sim::on(&g)
@@ -296,7 +308,7 @@ proptest! {
         let p = f64::from(p_mil) / 1000.0;
         let g = gnp_connected(n, p, seed, WeightStrategy::DistinctRandom { seed });
         let backing = Backing::ALL[backing_ix];
-        let eager = move |u: usize| eager_stride != 0 && u % (eager_stride + 1) == 0;
+        let eager = move |u: usize| eager_stride != 0 && u.is_multiple_of(eager_stride + 1);
         let base = Sim::on(&g).trace(true).backing(backing);
         let dense = base.frontier(FrontierMode::Dense).run(wave_fleet(&g, eager)).unwrap();
         for mode in MODES {

@@ -383,25 +383,11 @@ pub fn finalize() {
         .next()
         .map(|argv0| bench_name_from_argv0(&argv0))
         .unwrap_or_else(|| "bench".to_string());
-    let dir = output_dir();
-    let path = dir.join(format!("BENCH_{name}.json"));
-    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
-    // Trajectory honesty: a committed BENCH json recorded on a bigger
-    // machine must not be silently replaced by numbers from a smaller one —
-    // the sharded/fleet cells would regress for reasons that have nothing to
-    // do with the code.  `--force` acknowledges the downgrade explicitly.
-    if let Some(committed) = std::fs::read_to_string(&path)
-        .ok()
-        .and_then(|json| committed_host_cpus(&json))
-    {
-        if committed > host_cpus && !is_force() {
-            eprintln!(
-                "\nrefusing to overwrite {}: it was recorded on {committed} cores, \
-                 this host has {host_cpus}; rerun with `-- --force` to overwrite anyway",
-                path.display()
-            );
-            std::process::exit(1);
-        }
+    let path = trajectory_path(&name);
+    let host_cpus = host_cpus();
+    if let Err(refusal) = guard_trajectory_overwrite(&path, host_cpus, is_force()) {
+        eprintln!("\n{refusal}");
+        std::process::exit(1);
     }
     let mut json = String::new();
     json.push_str("{\n");
@@ -432,6 +418,53 @@ pub fn finalize() {
         Ok(()) => println!("\nwrote bench trajectory to {}", path.display()),
         Err(e) => eprintln!("\nfailed to write bench trajectory {}: {e}", path.display()),
     }
+}
+
+/// The core count trajectory files record as `host_cpus`.
+#[must_use]
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+}
+
+/// The canonical location of the `BENCH_<name>.json` trajectory: under
+/// `$BENCH_JSON_DIR` when set, else at the workspace root (the nearest
+/// ancestor of the running crate's manifest directory holding a
+/// `Cargo.lock`), else the current directory.  Public so non-bench exporters
+/// (`lma-serve`'s replay driver) write their trajectories to the same place
+/// the committed ones live.
+#[must_use]
+pub fn trajectory_path(name: &str) -> std::path::PathBuf {
+    output_dir().join(format!("BENCH_{name}.json"))
+}
+
+/// The honest-trajectory guard, reusable by every `BENCH_*.json` export
+/// path: a committed trajectory recorded on a bigger machine must not be
+/// silently replaced by numbers from a smaller one — the parallel cells
+/// would regress for reasons that have nothing to do with the code.
+/// `force` acknowledges the downgrade explicitly.
+///
+/// # Errors
+/// The human-readable refusal when the committed file at `path` was
+/// recorded on more cores than `host_cpus` and `force` is unset.  A missing
+/// or malformed file never blocks a write.
+pub fn guard_trajectory_overwrite(
+    path: &std::path::Path,
+    host_cpus: usize,
+    force: bool,
+) -> Result<(), String> {
+    if let Some(committed) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|json| committed_host_cpus(&json))
+    {
+        if committed > host_cpus && !force {
+            return Err(format!(
+                "refusing to overwrite {}: it was recorded on {committed} cores, \
+                 this host has {host_cpus}; rerun with `-- --force` to overwrite anyway",
+                path.display()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Extracts the `"host_cpus": N` field from a committed trajectory file.
@@ -584,6 +617,29 @@ mod tests {
         assert_eq!(committed_host_cpus("{}"), None);
         assert_eq!(committed_host_cpus("{\"host_cpus\": }"), None);
         assert_eq!(committed_host_cpus("{\"host_cpus\":4}"), Some(4));
+    }
+
+    #[test]
+    fn overwrite_guard_refuses_core_downgrades_unless_forced() {
+        let dir = std::env::temp_dir().join(format!("criterion-guard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_guard.json");
+        std::fs::write(&path, "{\n  \"bench\": \"g\",\n  \"host_cpus\": 64,\n}\n").unwrap();
+        // Fewer cores than committed: refused without force, allowed with.
+        let refusal = guard_trajectory_overwrite(&path, 1, false).unwrap_err();
+        assert!(
+            refusal.contains("64 cores") && refusal.contains("--force"),
+            "{refusal}"
+        );
+        assert!(guard_trajectory_overwrite(&path, 1, true).is_ok());
+        // Equal or more cores: allowed.
+        assert!(guard_trajectory_overwrite(&path, 64, false).is_ok());
+        assert!(guard_trajectory_overwrite(&path, 128, false).is_ok());
+        // Missing or malformed files never block.
+        assert!(guard_trajectory_overwrite(&dir.join("missing.json"), 1, false).is_ok());
+        std::fs::write(&path, "not json").unwrap();
+        assert!(guard_trajectory_overwrite(&path, 1, false).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
