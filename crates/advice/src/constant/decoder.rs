@@ -27,7 +27,7 @@ use crate::bits::BitString;
 use lma_graph::Port;
 use lma_mst::verify::UpwardOutput;
 use lma_sim::{LocalView, NodeAlgorithm, Outbox};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap}; // lint: allow(hash-iteration) — HashMap only feeds the pointer-keyed position index below
 
 /// The per-node program of the constant-advice scheme.
 pub struct ConstantDecoder {
@@ -52,12 +52,12 @@ pub struct ConstantDecoder {
     // --- dynamic state ---
     cons: usize,
     parent_port: Option<Port>,
-    child_reports: HashMap<Port, Report>,
+    child_reports: BTreeMap<Port, Report>,
     pending_map: Option<Vec<MapEntry>>,
     map_child_ports: Vec<Port>,
     chooser: Option<ChooserPayload>,
-    neighbor_levels: HashMap<Port, u8>,
-    final_child_reports: HashMap<Port, Report>,
+    neighbor_levels: BTreeMap<Port, u8>,
+    final_child_reports: BTreeMap<Port, Report>,
     output: Option<UpwardOutput>,
 }
 
@@ -100,12 +100,12 @@ impl ConstantDecoder {
             my_levels,
             cons: 0,
             parent_port: None,
-            child_reports: HashMap::new(),
+            child_reports: BTreeMap::new(),
             pending_map: None,
             map_child_ports: Vec::new(),
             chooser: None,
-            neighbor_levels: HashMap::new(),
-            final_child_reports: HashMap::new(),
+            neighbor_levels: BTreeMap::new(),
+            final_child_reports: BTreeMap::new(),
             output: None,
         }
     }
@@ -117,7 +117,7 @@ impl ConstantDecoder {
 
     /// Child ports ordered by `(weight, port)` — the order the paper's BFS
     /// uses, shared by reports and maps.
-    fn ordered_child_ports(&self, view: &LocalView, reports: &HashMap<Port, Report>) -> Vec<Port> {
+    fn ordered_child_ports(&self, view: &LocalView, reports: &BTreeMap<Port, Report>) -> Vec<Port> {
         let mut ports: Vec<Port> = reports.keys().copied().collect();
         ports.sort_by_key(|&p| (view.weight_at(p), p));
         ports
@@ -374,12 +374,14 @@ fn build_map(
     // Assign BFS positions to report nodes, then build the map recursively
     // (shape-preserving, so children stay aligned with ports).
     let order = report.bfs_order();
+    // lint: allow(hash-iteration) — pointer-keyed position index, lookups only (never iterated)
     let mut positions: HashMap<*const Report, usize> = HashMap::new();
     for (k, node) in order.iter().enumerate() {
         positions.insert(std::ptr::from_ref::<Report>(node), k);
     }
     fn build(
         node: &Report,
+        // lint: allow(hash-iteration) — pointer-keyed position index, lookups only (never iterated)
         positions: &HashMap<*const Report, usize>,
         consume: &[usize],
         chooser_pos: usize,

@@ -175,7 +175,7 @@ pub fn pigeonhole_witness<S: AdvisingScheme>(
     scheme: &S,
     family: &LowerBoundFamily,
 ) -> Result<Option<(usize, usize)>, SchemeError> {
-    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut seen: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
     for (k, instance) in family.instances.iter().enumerate() {
         let advice = scheme.advise(instance)?;
         let key = advice.per_node[family.target].to_bit_string();

@@ -2,6 +2,8 @@
 //! cost of their (much larger) round counts next to the Theorem 3 scheme on
 //! the same graphs — the wall-clock companion of experiment E5.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_advice::{evaluate_scheme, ConstantScheme};
 use lma_baselines::{FloodCollectMst, NoAdviceMst, SyncBoruvkaMst};

@@ -2,6 +2,8 @@
 //! certificate construction (centroid decomposition + labels) and the
 //! one-round distributed verification, as a function of `n`.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_bench::experiments::experiment_graph;
 use lma_labeling::{CentroidDecomposition, MstCertificate, SpanningProof};

@@ -1,6 +1,8 @@
 //! Criterion benches for the Theorem 1 machinery: building `G_n`, building
 //! the indistinguishable instance families, and running the adversary.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_advice::lowerbound::{attack_scheme_at, certified_report, truncated_trivial};
 use lma_graph::generators::lowerbound::{lowerbound_family_at, lowerbound_gn, LowerBoundParams};

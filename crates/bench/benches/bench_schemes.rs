@@ -1,6 +1,8 @@
 //! Criterion benches for the advising schemes (Theorems 2 and 3 plus the
 //! trivial scheme): oracle encoding cost and full decode-simulation cost.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_advice::{AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme};
 use lma_bench::experiments::experiment_graph;

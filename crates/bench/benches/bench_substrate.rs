@@ -1,3 +1,4 @@
+// lint: allow-file(unsafe-code) — the counting GlobalAlloc this bench exists to install; audited here, forbidden everywhere else
 //! Criterion benches for the substrates: graph generation, sequential MST
 //! algorithms, the Borůvka decomposition, and — the headline of this file —
 //! the simulator's message-routing cost.
@@ -73,15 +74,18 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's; forwarded to `System` verbatim.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as the caller's; forwarded to `System` verbatim.
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract as the caller's; forwarded to `System` verbatim.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -2,6 +2,8 @@
 //! oracle cost and decode-simulation cost at each end and at the middle of
 //! the frontier, against the two schemes it interpolates between.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lma_advice::constant::schedule::log_log_n;
 use lma_advice::{AdvisingScheme, ConstantScheme, TradeoffScheme, TrivialScheme};

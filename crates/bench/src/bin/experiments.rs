@@ -16,6 +16,10 @@
 //! change only wall-clock: the printed tables are bit-identical to the
 //! sequential run.
 
+#![forbid(unsafe_code)]
+// Binaries talk on stdio; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_bench::{ExperimentId, RunOpts, Table};
 use std::num::NonZeroUsize;
 

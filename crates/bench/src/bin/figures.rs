@@ -8,6 +8,10 @@
 //!
 //! With no argument, all figures are emitted.
 
+#![forbid(unsafe_code)]
+// Binaries talk on stdio; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme, OneRoundScheme, TrivialScheme};
 use lma_bench::experiments::{experiment_graph, run_e5_rounds_vs_n, RunOpts};
 use lma_graph::dot::to_dot_plain;

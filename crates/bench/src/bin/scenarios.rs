@@ -40,6 +40,10 @@
 //! they were pinned — the new cells must reproduce the pinned digest
 //! bit-for-bit, and the record's digest/chain/stats are kept verbatim.
 
+#![forbid(unsafe_code)]
+// Binaries talk on stdio; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_bench::catalog::{Selection, WorkloadCatalog};
 use lma_bench::scenarios::{LockFile, Scenario, ScenarioOutcome, Variant};
 use std::panic::{catch_unwind, AssertUnwindSafe};

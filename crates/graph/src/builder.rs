@@ -55,7 +55,7 @@ pub struct GraphBuilder {
     ids: Vec<u64>,
     edges: Vec<(NodeIdx, NodeIdx, Weight)>,
     port_seed: Option<u64>,
-    explicit_orders: std::collections::HashMap<NodeIdx, Vec<EdgeId>>,
+    explicit_orders: std::collections::BTreeMap<NodeIdx, Vec<EdgeId>>,
 }
 
 impl GraphBuilder {
@@ -68,7 +68,7 @@ impl GraphBuilder {
             ids: (0..n as u64).collect(),
             edges: Vec::new(),
             port_seed: None,
-            explicit_orders: std::collections::HashMap::new(),
+            explicit_orders: std::collections::BTreeMap::new(),
         }
     }
 
@@ -152,7 +152,7 @@ impl GraphBuilder {
     /// range).
     pub fn build(&self) -> Result<WeightedGraph, BuildError> {
         // Validate.
-        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        let mut seen = std::collections::BTreeSet::new();
         for &(u, v, _) in &self.edges {
             if u >= self.n {
                 return Err(BuildError::NodeOutOfRange { node: u, n: self.n });
@@ -191,10 +191,10 @@ impl GraphBuilder {
                 "explicit port order for node {node} must cover all {} incident edges",
                 inc.len()
             );
-            let by_edge: std::collections::HashMap<EdgeId, (EdgeId, NodeIdx, Weight)> =
+            let by_edge: std::collections::BTreeMap<EdgeId, (EdgeId, NodeIdx, Weight)> =
                 inc.iter().map(|&entry| (entry.0, entry)).collect();
             let mut reordered = Vec::with_capacity(order.len());
-            let mut used = std::collections::HashSet::new();
+            let mut used = std::collections::BTreeSet::new();
             for &e in order {
                 let entry = by_edge
                     .get(&e)

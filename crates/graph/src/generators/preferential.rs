@@ -108,8 +108,8 @@ pub fn watts_strogatz(
     assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
     let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new(n);
-    let mut present = std::collections::HashSet::with_capacity(n * k);
-    let add = |present: &mut std::collections::HashSet<(usize, usize)>,
+    let mut present = std::collections::BTreeSet::new();
+    let add = |present: &mut std::collections::BTreeSet<(usize, usize)>,
                b: &mut GraphBuilder,
                u: usize,
                v: usize|

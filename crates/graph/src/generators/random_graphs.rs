@@ -30,7 +30,7 @@ pub fn connected_random(
     let target_m = target_m.clamp(n - 1, max_m);
     let mut rng = SplitMix64::new(seed);
     let mut b = GraphBuilder::new(n);
-    let mut present = std::collections::HashSet::with_capacity(target_m);
+    let mut present = std::collections::BTreeSet::new();
 
     // Spanning-tree backbone guarantees connectivity.
     for i in 1..n {

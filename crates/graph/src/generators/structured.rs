@@ -59,7 +59,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64, weights: WeightStrategy) ->
             let mut stubs: Vec<usize> = (0..n).flat_map(|u| std::iter::repeat_n(u, d)).collect();
             rng.shuffle(&mut stubs);
             let mut b = GraphBuilder::new(n);
-            let mut present = std::collections::HashSet::new();
+            let mut present = std::collections::BTreeSet::new();
             for pair in stubs.chunks(2) {
                 let (u, v) = (pair[0], pair[1]);
                 if u == v || !present.insert((u.min(v), u.max(v))) {
@@ -95,7 +95,7 @@ pub fn geometric(n: usize, radius: f64, seed: u64, weights: WeightStrategy) -> W
     let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
-    let mut present = std::collections::HashSet::new();
+    let mut present = std::collections::BTreeSet::new();
     for u in 0..n {
         for v in (u + 1)..n {
             let dx = points[u].0 - points[v].0;

@@ -75,7 +75,7 @@ pub fn check_well_formed(g: &WeightedGraph) -> Result<(), ValidationError> {
         }
     }
     // Simplicity.
-    let mut seen = std::collections::HashSet::with_capacity(g.edge_count());
+    let mut seen = std::collections::BTreeSet::new();
     for (e, rec) in g.edges().iter().enumerate() {
         if rec.u == rec.v {
             return Err(ValidationError::SelfLoop { edge: e });

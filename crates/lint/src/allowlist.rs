@@ -1,0 +1,266 @@
+//! The inline allowlist pragma: every exception to a rule is declared in
+//! the source it excuses, names the rule it suppresses, and carries a
+//! mandatory human reason.
+//!
+//! Grammar (inside a `//` comment):
+//!
+//! ```text
+//! // lint: allow(rule-a, rule-b) — reason text
+//! // lint: allow-file(rule-a) — reason text
+//! ```
+//!
+//! * `allow(…)` suppresses the named rules on the pragma's own line and on
+//!   the next source line (so it can trail the offending line or sit just
+//!   above it);
+//! * `allow-file(…)` suppresses the named rules for the whole file (used
+//!   where a file's entire contract is the exception, e.g. the counting
+//!   allocator bench);
+//! * the reason — an em-dash or `--` followed by non-empty text — is
+//!   **mandatory**: a pragma without one is itself a diagnostic
+//!   ([`crate::rules::PRAGMA_REASON`]), as is a pragma naming an unknown
+//!   rule or one that suppresses nothing.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules;
+use crate::scanner::Scanned;
+use std::collections::BTreeMap;
+
+/// One parsed pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the pragma sits on.
+    pub line: usize,
+    /// The rules it names.
+    pub rules: Vec<String>,
+    /// Whole-file scope (`allow-file`) vs line scope (`allow`).
+    pub file_scope: bool,
+}
+
+/// The allowlist of one file, with per-pragma use tracking (so pragmas that
+/// suppress nothing are reported as stale).
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// `(rule, pragma line, file_scope)` → used?
+    entries: Vec<(String, usize, bool, bool)>,
+}
+
+/// Parses every pragma in `scanned`, reporting malformed ones against
+/// `path`.  Returns the allowlist plus the pragma diagnostics.
+pub fn parse(path: &str, scanned: &Scanned) -> (Allowlist, Vec<Diagnostic>) {
+    let mut list = Allowlist::default();
+    let mut diags = Vec::new();
+
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        let number = idx + 1;
+        let comment = line.comment.trim();
+        let Some(rest) = comment.strip_prefix("lint:") else {
+            // A comment that *starts* like the marker but does not parse is
+            // suspicious enough to flag (a typo'd pragma silently
+            // suppressing nothing is worse than a loud error).  Mid-comment
+            // mentions are prose or quoted examples and stay untouched.
+            if comment.starts_with("lint") && comment.contains("allow") {
+                diags.push(malformed(path, number, "pragma must start `lint:`"));
+            }
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (file_scope, rest) = match rest.strip_prefix("allow-file(") {
+            Some(r) => (true, r),
+            None => match rest.strip_prefix("allow(") {
+                Some(r) => (false, r),
+                None => {
+                    diags.push(malformed(
+                        path,
+                        number,
+                        "expected `allow(<rule>)` or `allow-file(<rule>)` after `lint:`",
+                    ));
+                    continue;
+                }
+            },
+        };
+        let Some(close) = rest.find(')') else {
+            diags.push(malformed(path, number, "unclosed rule list"));
+            continue;
+        };
+        let names: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            diags.push(malformed(path, number, "empty rule list"));
+            continue;
+        }
+        for name in &names {
+            if !rules::is_known(name) {
+                diags.push(Diagnostic {
+                    rule: rules::PRAGMA_UNKNOWN,
+                    path: path.to_string(),
+                    line: number,
+                    message: format!("pragma names unknown rule `{name}`"),
+                });
+            }
+        }
+
+        // The mandatory reason: `— why` or `-- why` after the paren.
+        let after = rest[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix('—')
+            .or_else(|| after.strip_prefix("--"))
+            .map(str::trim);
+        match reason {
+            Some(r) if !r.is_empty() => {}
+            _ => {
+                diags.push(Diagnostic {
+                    rule: rules::PRAGMA_REASON,
+                    path: path.to_string(),
+                    line: number,
+                    message: "allowlist pragma carries no reason (append `— <why this is exempt>`)"
+                        .to_string(),
+                });
+                // A reasonless pragma still suppresses: the finding about
+                // the missing reason is the enforcement, and double
+                // reporting the underlying rule would bury it.
+            }
+        }
+
+        for name in names {
+            list.entries.push((name, number, file_scope, false));
+        }
+    }
+
+    (list, diags)
+}
+
+fn malformed(path: &str, line: usize, what: &str) -> Diagnostic {
+    Diagnostic {
+        rule: rules::PRAGMA_SYNTAX,
+        path: path.to_string(),
+        line,
+        message: format!("malformed lint pragma: {what}"),
+    }
+}
+
+impl Allowlist {
+    /// True when `rule` is suppressed at `line`; marks the winning pragma
+    /// used.  Line pragmas cover their own line and the next one; file
+    /// pragmas cover everything.
+    pub fn allows(&mut self, rule: &str, line: usize) -> bool {
+        for (name, at, file_scope, used) in &mut self.entries {
+            if name != rule {
+                continue;
+            }
+            if *file_scope || *at == line || *at + 1 == line {
+                *used = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Diagnostics for pragmas that suppressed nothing.
+    #[must_use]
+    pub fn stale(&self, path: &str) -> Vec<Diagnostic> {
+        // Group per (line, rule) — a pragma row is one rule already.
+        let mut out = Vec::new();
+        let mut seen: BTreeMap<(usize, &str), bool> = BTreeMap::new();
+        for (name, at, _, used) in &self.entries {
+            let slot = seen.entry((*at, name.as_str())).or_insert(false);
+            *slot |= *used;
+        }
+        for ((line, name), used) in seen {
+            if !used && rules::is_known(name) {
+                out.push(Diagnostic {
+                    rule: rules::PRAGMA_UNUSED,
+                    path: path.to_string(),
+                    line,
+                    message: format!("pragma allows `{name}` but suppresses nothing — remove it"),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn parse_one(src: &str) -> (Allowlist, Vec<Diagnostic>) {
+        parse("x.rs", &scan(src))
+    }
+
+    #[test]
+    fn pragma_with_reason_parses_and_suppresses_next_line() {
+        let (mut list, diags) =
+            parse_one("// lint: allow(wall-clock) — bench timing only\nlet t = Instant::now();\n");
+        assert!(diags.is_empty());
+        assert!(list.allows("wall-clock", 2));
+        assert!(!list.allows("wall-clock", 3));
+        assert!(!list.allows("hash-iteration", 2));
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_its_own_line() {
+        let (mut list, diags) =
+            parse_one("let t = Instant::now(); // lint: allow(wall-clock) — timing\n");
+        assert!(diags.is_empty());
+        assert!(list.allows("wall-clock", 1));
+    }
+
+    #[test]
+    fn file_pragma_suppresses_everywhere() {
+        let (mut list, diags) =
+            parse_one("// lint: allow-file(unsafe-code) — counting allocator\n\n\n\n");
+        assert!(diags.is_empty());
+        assert!(list.allows("unsafe-code", 999));
+    }
+
+    #[test]
+    fn missing_reason_is_a_diagnostic() {
+        for src in [
+            "// lint: allow(wall-clock)\n",
+            "// lint: allow(wall-clock) —\n",
+            "// lint: allow(wall-clock) --   \n",
+        ] {
+            let (_, diags) = parse_one(src);
+            assert_eq!(diags.len(), 1, "src: {src:?}");
+            assert_eq!(diags[0].rule, rules::PRAGMA_REASON);
+            assert_eq!(diags[0].line, 1);
+        }
+    }
+
+    #[test]
+    fn unknown_rule_and_malformed_pragmas_are_diagnostics() {
+        let (_, diags) = parse_one("// lint: allow(no-such-rule) — reason\n");
+        assert_eq!(diags[0].rule, rules::PRAGMA_UNKNOWN);
+        let (_, diags) = parse_one("// lint: allowance(x) — r\n");
+        assert_eq!(diags[0].rule, rules::PRAGMA_SYNTAX);
+        let (_, diags) = parse_one("// lint allow(wall-clock) — colon missing\n");
+        assert_eq!(diags[0].rule, rules::PRAGMA_SYNTAX);
+        // Mid-comment mentions (prose, quoted examples) are not pragmas.
+        let (_, diags) = parse_one("// note: see lint: allow elsewhere\n");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn stale_pragmas_are_reported() {
+        let (mut list, diags) = parse_one("// lint: allow(wall-clock, hash-iteration) — reason\n");
+        assert!(diags.is_empty());
+        assert!(list.allows("wall-clock", 2));
+        let stale = list.stale("x.rs");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, rules::PRAGMA_UNUSED);
+        assert!(stale[0].message.contains("hash-iteration"));
+    }
+
+    #[test]
+    fn multi_rule_pragma_suppresses_each_named_rule() {
+        let (mut list, diags) =
+            parse_one("// lint: allow(codec-panic, codec-cast) — trusted path\nx\n");
+        assert!(diags.is_empty());
+        assert!(list.allows("codec-panic", 2));
+        assert!(list.allows("codec-cast", 2));
+    }
+}

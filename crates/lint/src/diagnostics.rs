@@ -1,0 +1,120 @@
+//! Typed, `file:line`-anchored diagnostics and their renderings (human and
+//! `--json` machine output).
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (see [`crate::rules`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line the finding anchors to.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The canonical `path:line: [rule] message` rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the stable reporting order (path, line, rule).
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
+
+/// Renders the diagnostics as a JSON document:
+/// `{"version":1,"count":N,"diagnostics":[{rule,path,line,message},…]}`.
+#[must_use]
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"version\":1,\"count\":");
+    out.push_str(&diags.len().to_string());
+    out.push_str(",\"diagnostics\":[");
+    for (k, d) in diags.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        json_string(&mut out, d.rule);
+        out.push_str(",\"path\":");
+        json_string(&mut out, &d.path);
+        out.push_str(",\"line\":");
+        out.push_str(&d.line.to_string());
+        out.push_str(",\"message\":");
+        json_string(&mut out, &d.message);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule: "wall-clock",
+            path: path.to_string(),
+            line,
+            message: "msg with \"quotes\" and\nnewline".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_is_file_line_anchored() {
+        assert!(diag("crates/x/src/lib.rs", 7)
+            .render()
+            .starts_with("crates/x/src/lib.rs:7: [wall-clock]"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = to_json(&[diag("a.rs", 1), diag("b.rs", 2)]);
+        assert!(json.starts_with("{\"version\":1,\"count\":2,"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn sort_orders_by_path_then_line() {
+        let mut v = vec![diag("b.rs", 1), diag("a.rs", 9), diag("a.rs", 2)];
+        sort(&mut v);
+        assert_eq!(
+            v.iter()
+                .map(|d| (d.path.clone(), d.line))
+                .collect::<Vec<_>>(),
+            vec![
+                ("a.rs".to_string(), 2),
+                ("a.rs".to_string(), 9),
+                ("b.rs".to_string(), 1)
+            ]
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Minimal `SCENARIOS.lock` reader: just enough structure for the
+//! registry-consistency rule.  The lock's full grammar (digest, chain and
+//! cell lines) belongs to `lma-bench`; the linter only needs the workload
+//! component of each `scenario <workload>/<family>/nN/sS …` header.
+
+/// Workload names pinned by a `SCENARIOS.lock`, with the 1-based line of
+/// each `scenario` header (duplicates kept in file order).
+#[derive(Debug, Default)]
+pub struct Lock {
+    /// `(workload, line)` per `scenario` line.
+    pub workloads: Vec<(String, usize)>,
+}
+
+impl Lock {
+    /// True when some scenario pins `workload`.
+    #[must_use]
+    pub fn pins(&self, workload: &str) -> bool {
+        self.workloads.iter().any(|(w, _)| w == workload)
+    }
+}
+
+/// Parses the lock text.  Unrecognised lines are ignored — the lock's
+/// integrity is `lma-bench scenarios verify`'s job, not the linter's.
+#[must_use]
+pub fn parse(text: &str) -> Lock {
+    let mut lock = Lock::default();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(rest) = line.strip_prefix("scenario ") else {
+            continue;
+        };
+        let Some(spec) = rest.split_whitespace().next() else {
+            continue;
+        };
+        let Some(workload) = spec.split('/').next() else {
+            continue;
+        };
+        if !workload.is_empty() {
+            lock.workloads.push((workload.to_string(), idx + 1));
+        }
+    }
+    lock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# header comment\n\
+scenario flood/ring/n48/s11 smoke=true rounds=48 messages=4608 bits=26904\n\
+digest 123abc\n\
+scenario gossip/small-world/n48/s21 smoke=true rounds=8 messages=1536 bits=777952\n\
+scenario flood/torus/n49/s13 smoke=false rounds=49 messages=9604 bits=57280\n";
+
+    #[test]
+    fn scenario_headers_yield_workloads_with_lines() {
+        let lock = parse(SAMPLE);
+        assert_eq!(
+            lock.workloads,
+            vec![
+                ("flood".to_string(), 2),
+                ("gossip".to_string(), 4),
+                ("flood".to_string(), 5),
+            ]
+        );
+        assert!(lock.pins("flood"));
+        assert!(lock.pins("gossip"));
+        assert!(!lock.pins("wave"));
+    }
+
+    #[test]
+    fn non_scenario_lines_are_ignored() {
+        assert!(parse("digest abc\nchain def\ncells 1 2 3\n")
+            .workloads
+            .is_empty());
+    }
+}

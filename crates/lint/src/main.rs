@@ -1,0 +1,87 @@
+//! The `lma-lint` binary: lints the workspace, prints `file:line`-anchored
+//! findings (or `--json`), exits nonzero when anything is wrong.
+
+// CLI output is this binary's contract.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: lma-lint [--root <dir>] [--json] [--rules]
+
+Checks the workspace invariants (determinism, codec totality, unsafe
+audit, registry consistency) and exits 1 on any finding.
+
+  --root <dir>   workspace root (default: the workspace this binary was
+                 built from)
+  --json         machine-readable output on stdout
+  --rules        list the rule ids and exit
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("lma-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--rules" => {
+                for (id, what) in lma_lint::rules::ALL {
+                    println!("{id:16} {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("lma-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Default to the workspace this binary was built from: the manifest dir
+    // is `crates/lint`, the workspace root is two levels up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let diags = match lma_lint::run(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lma-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", lma_lint::diagnostics::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render());
+        }
+        if diags.is_empty() {
+            println!("lma-lint: clean");
+        } else {
+            println!("lma-lint: {} finding(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,325 @@
+//! The cross-file rules: `registry-lock` (catalog workload names ↔
+//! `SCENARIOS.lock`) and `wire-roundtrip` (every `Wire` impl is exercised
+//! by the round-trip property suites).
+//!
+//! Both rules work on raw source text rather than the blanked scanner
+//! output, because the facts they extract — workload name strings and impl
+//! headers — live partly *inside* string literals.  Test regions are still
+//! excluded via the scanner's `#[cfg(test)]` marker.
+
+use crate::diagnostics::Diagnostic;
+use crate::lockfile;
+use crate::rules::{REGISTRY_LOCK, WIRE_ROUNDTRIP};
+use crate::scanner::has_token;
+use crate::SourceFile;
+
+/// Path of the catalog definition whose `name()` arms are the registry.
+pub const CATALOG: &str = "crates/bench/src/scenarios.rs";
+/// The trusted in-process codec — its primitive impls are the codec itself,
+/// not message types, so they are exempt from the round-trip rule.
+const WIRE_RS: &str = "crates/sim/src/wire.rs";
+/// Suites a `Wire` impl may be named in to satisfy `wire-roundtrip`.
+const SUITES: &[&str] = &["tests/wire_roundtrip.rs", "tests/serve_proto.rs"];
+
+/// Runs both cross-file rules over the scanned workspace.
+/// `lock` is the text of `SCENARIOS.lock` (None when the file is absent).
+pub fn check(files: &mut [SourceFile], lock: Option<&str>, diags: &mut Vec<Diagnostic>) {
+    check_registry_lock(files, lock, diags);
+    check_wire_roundtrip(files, diags);
+}
+
+// ---------------------------------------------------------------------------
+// registry-lock
+// ---------------------------------------------------------------------------
+
+fn check_registry_lock(files: &mut [SourceFile], lock: Option<&str>, diags: &mut Vec<Diagnostic>) {
+    let Some(catalog_idx) = files.iter().position(|f| f.path == CATALOG) else {
+        return; // fixture trees without the catalog have nothing to check
+    };
+    let names = catalog_names(&files[catalog_idx]);
+
+    let Some(lock_text) = lock else {
+        diags.push(Diagnostic {
+            rule: REGISTRY_LOCK,
+            path: "SCENARIOS.lock".to_string(),
+            line: 1,
+            message: "SCENARIOS.lock is missing but the workload catalog is not empty".to_string(),
+        });
+        return;
+    };
+    let lock = lockfile::parse(lock_text);
+
+    for (name, line) in &names {
+        if !lock.pins(name) && !files[catalog_idx].allow.allows(REGISTRY_LOCK, *line) {
+            diags.push(Diagnostic {
+                rule: REGISTRY_LOCK,
+                path: CATALOG.to_string(),
+                line: *line,
+                message: format!(
+                    "workload `{name}` is resolvable by the catalog but no scenario in \
+                     SCENARIOS.lock pins it — add a locked scenario (append-only) or retire \
+                     the workload"
+                ),
+            });
+        }
+    }
+    for (workload, line) in &lock.workloads {
+        if !names.iter().any(|(n, _)| n == workload) {
+            diags.push(Diagnostic {
+                rule: REGISTRY_LOCK,
+                path: "SCENARIOS.lock".to_string(),
+                line: *line,
+                message: format!(
+                    "locked scenario names workload `{workload}` which the catalog cannot \
+                     resolve"
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `(workload name, line)` pairs from the catalog's
+/// `WorkloadKind::Variant => "name"` arms.  The reverse (`from_name`) arms
+/// put the string before the arrow, so this pattern selects only the
+/// forward direction.
+fn catalog_names(file: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in file.raw.lines().enumerate() {
+        if file.scanned.in_tests(idx + 1) {
+            break;
+        }
+        let Some(at) = line.find("WorkloadKind::") else {
+            continue;
+        };
+        let rest = &line[at..];
+        let Some(arrow) = rest.find("=>") else {
+            continue;
+        };
+        let after = rest[arrow + 2..].trim_start();
+        let Some(open) = after.strip_prefix('"') else {
+            continue;
+        };
+        let Some(close) = open.find('"') else {
+            continue;
+        };
+        let name = &open[..close];
+        if !name.is_empty() {
+            out.push((name.to_string(), idx + 1));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// wire-roundtrip
+// ---------------------------------------------------------------------------
+
+fn check_wire_roundtrip(files: &mut [SourceFile], diags: &mut Vec<Diagnostic>) {
+    let suites: String = files
+        .iter()
+        .filter(|f| SUITES.contains(&f.path.as_str()))
+        .map(|f| f.raw.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut findings = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        if !file.path.starts_with("crates/") || !file.path.contains("/src/") || file.path == WIRE_RS
+        {
+            continue;
+        }
+        for (name, line) in wire_impls(file) {
+            if !has_token(&suites, &name) {
+                findings.push((idx, line, name));
+            }
+        }
+    }
+    for (idx, line, name) in findings {
+        if !files[idx].allow.allows(WIRE_ROUNDTRIP, line) {
+            diags.push(Diagnostic {
+                rule: WIRE_ROUNDTRIP,
+                path: files[idx].path.clone(),
+                line,
+                message: format!(
+                    "`{name}` implements Wire but is not named in {} — add it to a \
+                     round-trip property suite",
+                    SUITES.join(" or ")
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `(type name, line)` for each `impl … Wire for T` header and
+/// `wire_struct!(T { … })` invocation outside the file's test region.
+fn wire_impls(file: &SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in file.raw.lines().enumerate() {
+        if file.scanned.in_tests(idx + 1) {
+            break;
+        }
+        if let Some(at) = line.find("Wire for ") {
+            // `impl Wire for T` / `impl lma_sim::Wire for T` / generics.
+            if line[..at].contains("impl") {
+                if let Some(name) = leading_ident(&line[at + "Wire for ".len()..]) {
+                    out.push((name, idx + 1));
+                }
+            }
+        }
+        if let Some(at) = line.find("wire_struct!(") {
+            if let Some(name) = leading_ident(&line[at + "wire_struct!(".len()..]) {
+                out.push((name, idx + 1));
+            }
+        }
+    }
+    out
+}
+
+/// The leading identifier of `s`, if any.
+fn leading_ident(s: &str) -> Option<String> {
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(s.len());
+    if end == 0 {
+        None
+    } else {
+        Some(s[..end].to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allowlist;
+    use crate::scanner::scan;
+
+    fn source(path: &str, raw: &str) -> SourceFile {
+        let scanned = scan(raw);
+        let (allow, _) = allowlist::parse(path, &scanned);
+        SourceFile {
+            path: path.to_string(),
+            raw: raw.to_string(),
+            scanned,
+            allow,
+        }
+    }
+
+    const CATALOG_SRC: &str = "\
+impl WorkloadKind {\n\
+    fn name(self) -> &'static str {\n\
+        match self {\n\
+            WorkloadKind::Flood => \"flood\",\n\
+            WorkloadKind::Wave => \"wave\",\n\
+        }\n\
+    }\n\
+    fn from_name(s: &str) -> Option<Self> {\n\
+        match s {\n\
+            \"flood\" => Some(WorkloadKind::Flood),\n\
+            _ => None,\n\
+        }\n\
+    }\n\
+}\n";
+
+    #[test]
+    fn catalog_names_reads_only_the_forward_arms() {
+        let f = source(CATALOG, CATALOG_SRC);
+        assert_eq!(
+            catalog_names(&f),
+            vec![("flood".to_string(), 4), ("wave".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn unlocked_workload_and_unknown_lock_entry_are_flagged() {
+        let mut files = vec![source(CATALOG, CATALOG_SRC)];
+        let lock = "scenario flood/ring/n8/s1 smoke=true rounds=1 messages=1 bits=1\n\
+                    scenario ghost/ring/n8/s2 smoke=true rounds=1 messages=1 bits=1\n";
+        let mut diags = Vec::new();
+        check(&mut files, Some(lock), &mut diags);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == REGISTRY_LOCK));
+        // `wave` has no lock entry: anchored at its catalog arm.
+        assert_eq!((diags[0].path.as_str(), diags[0].line), (CATALOG, 5));
+        // `ghost` is locked but unresolvable: anchored at the lock line.
+        assert_eq!(
+            (diags[1].path.as_str(), diags[1].line),
+            ("SCENARIOS.lock", 2)
+        );
+    }
+
+    #[test]
+    fn fully_pinned_catalog_passes() {
+        let mut files = vec![source(CATALOG, CATALOG_SRC)];
+        let lock = "scenario flood/ring/n8/s1 smoke=true rounds=1 messages=1 bits=1\n\
+                    scenario wave/ring/n8/s2 smoke=true rounds=1 messages=1 bits=1\n";
+        let mut diags = Vec::new();
+        check(&mut files, Some(lock), &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_lock_is_a_finding() {
+        let mut files = vec![source(CATALOG, CATALOG_SRC)];
+        let mut diags = Vec::new();
+        check(&mut files, None, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].path, "SCENARIOS.lock");
+    }
+
+    #[test]
+    fn wire_impls_sees_all_three_spellings_and_skips_tests() {
+        let src = "\
+impl Wire for GhsMsg {\n\
+}\n\
+impl lma_sim::Wire for Knowledge {\n\
+}\n\
+lma_sim::wire_struct!(Report { bits });\n\
+wire_struct!(CertMsg {\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    impl Wire for TestOnly {}\n\
+}\n";
+        let f = source("crates/x/src/m.rs", src);
+        assert_eq!(
+            wire_impls(&f),
+            vec![
+                ("GhsMsg".to_string(), 1),
+                ("Knowledge".to_string(), 3),
+                ("Report".to_string(), 5),
+                ("CertMsg".to_string(), 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn uncovered_impl_is_flagged_and_covered_one_passes() {
+        let mut files = vec![
+            source(
+                "crates/x/src/m.rs",
+                "impl Wire for GhsMsg {}\nimpl Wire for Orphan {}\n",
+            ),
+            source("tests/wire_roundtrip.rs", "roundtrip::<GhsMsg>();\n"),
+        ];
+        let mut diags = Vec::new();
+        check_wire_roundtrip(&mut files, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, WIRE_ROUNDTRIP);
+        assert_eq!(
+            (diags[0].path.as_str(), diags[0].line),
+            ("crates/x/src/m.rs", 2)
+        );
+        assert!(diags[0].message.contains("Orphan"));
+    }
+
+    #[test]
+    fn allowlisted_impl_passes() {
+        let src =
+            "// lint: allow(wire-roundtrip) — internal handshake type, covered by serve_server\n\
+                   impl Wire for Handshake {}\n";
+        let mut files = vec![source("crates/x/src/m.rs", src)];
+        let mut diags = Vec::new();
+        check_wire_roundtrip(&mut files, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

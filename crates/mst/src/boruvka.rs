@@ -337,9 +337,9 @@ fn fragment_bfs(
     nodes: &[NodeIdx],
     start: NodeIdx,
 ) -> Vec<NodeIdx> {
-    let member: std::collections::HashSet<NodeIdx> = nodes.iter().copied().collect();
-    let tree_edges: std::collections::HashSet<EdgeId> = tree.edges.iter().copied().collect();
-    let mut visited: std::collections::HashSet<NodeIdx> = std::collections::HashSet::new();
+    let member: std::collections::BTreeSet<NodeIdx> = nodes.iter().copied().collect();
+    let tree_edges: std::collections::BTreeSet<EdgeId> = tree.edges.iter().copied().collect();
+    let mut visited: std::collections::BTreeSet<NodeIdx> = std::collections::BTreeSet::new();
     let mut order = Vec::with_capacity(nodes.len());
     let mut queue = std::collections::VecDeque::new();
     visited.insert(start);

@@ -20,8 +20,8 @@ pub fn phase_to_dot(g: &WeightedGraph, run: &BoruvkaRun, i: usize) -> String {
     out.push_str("  node [shape=circle, fontsize=10];\n");
 
     // Which nodes choose, and which edges are selected (with orientation).
-    let mut selected: std::collections::HashMap<usize, bool> = std::collections::HashMap::new();
-    let mut choosing: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut selected: std::collections::BTreeMap<usize, bool> = std::collections::BTreeMap::new();
+    let mut choosing: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     for frag in &rec.fragments {
         if let Some(sel) = &frag.selection {
             selected.insert(sel.edge, sel.up);

@@ -12,6 +12,10 @@
 //! `--max-queue N`, `--max-batch W`.  `replay --bench` exits non-zero when
 //! no scenario clears the 1.2× coalescing bar, so CI can hold the line.
 
+#![forbid(unsafe_code)]
+// Binaries talk on stdio; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_serve::replay::{bench, verify_lock, ReplayOpts};
 use lma_serve::server::{Server, ServerConfig, TcpServer};
 

@@ -44,7 +44,12 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
-    let len = u32::try_from(payload.len()).expect("MAX_FRAME fits in u32");
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame length overflows the u32 prefix",
+        )
+    })?;
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -61,6 +66,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
     let mut read = 0;
     while read < 4 {
+        // lint: allow(codec-panic) — `read < 4` is the loop condition; the slice is always in range
         match r.read(&mut len_bytes[read..])? {
             0 if read == 0 => return Ok(None),
             0 => {
@@ -72,7 +78,12 @@ pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
             n => read += n,
         }
     }
-    let len = u32::from_le_bytes(len_bytes) as usize;
+    let len = usize::try_from(u32::from_le_bytes(len_bytes)).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame length exceeds addressable memory",
+        )
+    })?;
     if len > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
@@ -356,6 +367,7 @@ impl Wire for RequestBody {
             TAG_RUN => RequestBody::Run(RunSpec::decode(r)),
             TAG_STATS => RequestBody::Stats,
             TAG_SHUTDOWN => RequestBody::Shutdown,
+            // lint: allow(codec-panic) — trusted Wire path; socket bytes are decoded by CheckedReader
             tag => panic!("unknown request tag {tag}"),
         }
     }
@@ -391,6 +403,7 @@ impl Wire for ResponseBody {
             TAG_FAILED => ResponseBody::Failed(ErrorReport::decode(r)),
             TAG_STATS_REPLY => ResponseBody::Stats(StatsReport::decode(r)),
             TAG_BYE => ResponseBody::Bye(u64::decode(r)),
+            // lint: allow(codec-panic) — trusted Wire path; socket bytes are decoded by CheckedReader
             tag => panic!("unknown response tag {tag}"),
         }
     }
@@ -560,7 +573,10 @@ impl<'a> CheckedReader<'a> {
 
     fn string(&mut self) -> Result<String, FrameError> {
         let len = self.length()?;
-        let span = &self.buf[self.pos..self.pos + len];
+        let span = self
+            .buf
+            .get(self.pos..self.pos + len)
+            .ok_or(FrameError::Truncated)?;
         self.pos += len;
         String::from_utf8(span.to_vec()).map_err(|_| FrameError::BadUtf8)
     }

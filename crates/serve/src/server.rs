@@ -1,3 +1,4 @@
+// lint: allow-file(wall-clock) — admission/latency timing is this module’s purpose; nothing here feeds a digest
 //! The server: admission, the coalescing dispatcher, and transports.
 //!
 //! Life of a request:

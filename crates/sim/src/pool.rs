@@ -22,7 +22,7 @@ use crate::plane::PlaneStore;
 use lma_graph::Port;
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::HashMap; // lint: allow(hash-iteration) — TypeId-keyed checkout map, never iterated
 
 /// The reusable per-run buffers of the sequential executor: the two
 /// double-buffered planes, the flat gather buffer, and the spare-message
@@ -72,6 +72,7 @@ pub struct PoolStats {
 }
 
 thread_local! {
+    // lint: allow(hash-iteration) — TypeId-keyed checkout map, never iterated
     static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
     static STATS: Cell<PoolStats> = const { Cell::new(PoolStats { hits: 0, misses: 0 }) };
 }

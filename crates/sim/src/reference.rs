@@ -77,7 +77,7 @@ pub fn run_push<A: NodeAlgorithm>(
         let mut max_bits = 0usize;
         let mut violations = 0u64;
         for (u, outbox) in outboxes.iter().enumerate() {
-            let mut used_ports = std::collections::HashSet::new();
+            let mut used_ports = std::collections::BTreeSet::new();
             for (port, msg) in outbox {
                 if *port >= graph.degree(u) || !used_ports.insert(*port) {
                     return Err(RunError::MalformedOutbox {

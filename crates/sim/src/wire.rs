@@ -36,7 +36,7 @@
 /// bit = continuation).
 pub fn write_varint(out: &mut Vec<u8>, mut x: u64) {
     loop {
-        let byte = (x & 0x7f) as u8;
+        let byte = (x & 0x7f) as u8; // lint: allow(codec-cast) — masked to 7 bits, cannot truncate
         x >>= 7;
         if x == 0 {
             out.push(byte);
@@ -66,7 +66,7 @@ impl<'a> WireReader<'a> {
 
     /// Reads one byte.
     pub fn byte(&mut self) -> u8 {
-        let b = self.buf[self.pos];
+        let b = self.buf[self.pos]; // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         self.pos += 1;
         b
     }
@@ -82,6 +82,7 @@ impl<'a> WireReader<'a> {
                 return x;
             }
             shift += 7;
+            // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
             assert!(shift < 64, "varint longer than 64 bits");
         }
     }
@@ -90,7 +91,7 @@ impl<'a> WireReader<'a> {
     /// so fixed-stride payload codecs can decode field-by-field inside the
     /// block with no further checks.
     pub fn bytes(&mut self, n: usize) -> &'a [u8] {
-        let span = &self.buf[self.pos..self.pos + n];
+        let span = &self.buf[self.pos..self.pos + n]; // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         self.pos += n;
         span
     }
@@ -155,6 +156,7 @@ impl Wire for u32 {
     }
 
     fn decode(r: &mut WireReader<'_>) -> Self {
+        // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         u32::try_from(r.varint()).expect("u32 varint out of range")
     }
 }
@@ -171,10 +173,11 @@ impl Wire for u64 {
 
 impl Wire for usize {
     fn encode(&self, out: &mut Vec<u8>) {
-        write_varint(out, *self as u64);
+        write_varint(out, *self as u64); // lint: allow(codec-cast) — usize → u64 is lossless on every supported target
     }
 
     fn decode(r: &mut WireReader<'_>) -> Self {
+        // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         usize::try_from(r.varint()).expect("usize varint out of range")
     }
 }
@@ -208,13 +211,14 @@ impl<T: Wire> Wire for Option<T> {
 
 impl<T: Wire> Wire for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
-        write_varint(out, self.len() as u64);
+        write_varint(out, self.len() as u64); // lint: allow(codec-cast) — usize → u64 is lossless on every supported target
         for item in self {
             item.encode(out);
         }
     }
 
     fn decode(r: &mut WireReader<'_>) -> Self {
+        // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         let len = usize::try_from(r.varint()).expect("length varint out of range");
         let mut v = Vec::with_capacity(len);
         for _ in 0..len {
@@ -227,6 +231,7 @@ impl<T: Wire> Wire for Vec<T> {
         // Reuse the allocation: after the first few rounds prime the
         // capacity, steady-state decodes of flat item types allocate
         // nothing.
+        // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         let len = usize::try_from(r.varint()).expect("length varint out of range");
         self.clear();
         self.reserve(len);
@@ -238,12 +243,14 @@ impl<T: Wire> Wire for Vec<T> {
 
 impl Wire for String {
     fn encode(&self, out: &mut Vec<u8>) {
-        write_varint(out, self.len() as u64);
+        write_varint(out, self.len() as u64); // lint: allow(codec-cast) — usize → u64 is lossless on every supported target
         out.extend_from_slice(self.as_bytes());
     }
 
     fn decode(r: &mut WireReader<'_>) -> Self {
+        // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         let len = usize::try_from(r.varint()).expect("length varint out of range");
+        // lint: allow(codec-panic) — trusted in-process span; socket bytes go through serve's CheckedReader
         String::from_utf8(r.bytes(len).to_vec()).expect("string bytes were not UTF-8")
     }
 }

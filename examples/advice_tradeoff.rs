@@ -5,6 +5,9 @@
 //! cargo run -p lma-advice --release --example advice_tradeoff
 //! ```
 
+// Examples talk on stdout; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_advice::{
     evaluate_scheme, AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme,
 };

@@ -7,6 +7,9 @@
 //! cargo run -p lma-advice --release --example boruvka_phases | dot -Tpng -o phase.png
 //! ```
 
+// Examples talk on stdout; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_graph::generators::connected_random;
 use lma_graph::weights::WeightStrategy;
 use lma_mst::boruvka::{run_boruvka, BoruvkaConfig};

@@ -7,6 +7,9 @@
 //! cargo run -p lma-advice --release --example congest_audit
 //! ```
 
+// Examples talk on stdout; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_advice::{AdvisingScheme, ConstantScheme, ConstantVariant, OneRoundScheme, TrivialScheme};
 use lma_graph::generators::connected_random;
 use lma_graph::weights::WeightStrategy;

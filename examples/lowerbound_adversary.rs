@@ -6,6 +6,9 @@
 //! cargo run -p lma-advice --release --example lowerbound_adversary
 //! ```
 
+// Examples talk on stdout; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_advice::lowerbound::{
     attack_scheme_at, certified_node_bits, certified_report, pigeonhole_witness, truncated_trivial,
 };

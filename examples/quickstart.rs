@@ -6,6 +6,9 @@
 //! cargo run -p lma-advice --release --example quickstart
 //! ```
 
+// Examples talk on stdout; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_advice::{evaluate_scheme, AdvisingScheme, ConstantScheme};
 use lma_graph::generators::connected_random;
 use lma_graph::weights::WeightStrategy;

@@ -7,6 +7,9 @@
 //! cargo run -p lma-advice --release --example tradeoff_frontier
 //! ```
 
+// Examples talk on stdout; the print lints guard library crates.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use lma_advice::constant::schedule::{log_log_n, log_n};
 use lma_advice::tradeoff::frontier;
 use lma_advice::{AdvisingScheme, TradeoffScheme};

@@ -41,6 +41,8 @@
 //! Swap this crate for the real `criterion` in the workspace manifest once
 //! the build environment has network access.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};

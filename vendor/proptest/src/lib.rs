@@ -42,6 +42,21 @@ impl Default for ProptestConfig {
     }
 }
 
+/// The case count a property actually runs: the `PROPTEST_CASES`
+/// environment variable when set and parseable, else `configured`.
+///
+/// Unlike real proptest (where the env var only changes the *default*),
+/// the override beats explicit `with_cases` headers too — the variable
+/// exists so Miri and sanitizer CI jobs can clamp every suite at once,
+/// and a header that silently escaped the clamp would defeat that.
+#[must_use]
+pub fn resolved_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.trim().parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
 /// The deterministic RNG driving input generation (SplitMix64).
 #[derive(Debug, Clone)]
 pub struct TestRng {
@@ -258,8 +273,9 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
+            let cases = $crate::resolved_cases(config.cases);
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
+            for case in 0..cases {
                 let values = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
                 let rendered = format!("{:?}", values);
                 let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(move || {
@@ -271,7 +287,7 @@ macro_rules! __proptest_items {
                         "proptest: {} failed at case {}/{} with inputs ({}) = {}",
                         stringify!($name),
                         case + 1,
-                        config.cases,
+                        cases,
                         stringify!($($arg),+),
                         rendered
                     );
@@ -285,6 +301,12 @@ macro_rules! __proptest_items {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn resolved_cases_falls_back_to_configured() {
+        // PROPTEST_CASES is not set in the unit-test environment.
+        assert_eq!(crate::resolved_cases(7), 7);
+    }
+
     use crate::prelude::*;
 
     #[test]
